@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Ablation study for the engine/instrumentation design choices called
+ * out in DESIGN.md:
+ *
+ *  A1  intrinsifyCountProbe on/off (Wizard's Tuning.v3 flag)
+ *  A2  intrinsifyOperandProbe on/off
+ *  A3  on-stack replacement at loop backedges on/off (Tiered)
+ *  A4  tier-up threshold sweep (Tiered, uninstrumented)
+ *  A5  global-probe mode excursion: run, enable global probes briefly,
+ *      disable, run again — the §4.1 claim that compiled code survives
+ *
+ * Workload: a PolyBench subset that stresses loops and calls.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+const char* kPrograms[] = {"gemm", "jacobi-2d", "trisolv", "nqueens"};
+
+const BenchProgram&
+prog(const char* name)
+{
+    const BenchProgram* p = findProgram(name);
+    if (!p) std::abort();
+    return *p;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::string> csv;
+
+    printf("=== A1/A2: intrinsification flags (compiled tier) ===\n");
+    printf("%-12s %12s %12s | %12s %12s\n", "program", "count:on",
+           "count:off", "operand:on", "operand:off");
+    for (const char* name : kPrograms) {
+        const BenchProgram& p = prog(name);
+        uint32_t n = p.defaultN;
+        auto base = measureWizard(p, ExecMode::Jit, Tool::None, true, n);
+        auto cntOn = measureWizard(p, ExecMode::Jit, Tool::HotnessLocal,
+                                   true, n);
+        auto cntOff = measureWizard(p, ExecMode::Jit, Tool::HotnessLocal,
+                                    false, n);
+        auto opOn = measureWizard(p, ExecMode::Jit, Tool::BranchLocal,
+                                  true, n);
+        auto opOff = measureWizard(p, ExecMode::Jit, Tool::BranchLocal,
+                                   false, n);
+        printf("%-12s %12s %12s | %12s %12s\n", name,
+               fmtRatio(cntOn.seconds / base.seconds).c_str(),
+               fmtRatio(cntOff.seconds / base.seconds).c_str(),
+               fmtRatio(opOn.seconds / base.seconds).c_str(),
+               fmtRatio(opOff.seconds / base.seconds).c_str());
+        csv.push_back(std::string("intrinsify,") + name + "," +
+                      std::to_string(cntOn.seconds / base.seconds) + "," +
+                      std::to_string(cntOff.seconds / base.seconds) + "," +
+                      std::to_string(opOn.seconds / base.seconds) + "," +
+                      std::to_string(opOff.seconds / base.seconds));
+    }
+
+    printf("\n=== A3: OSR at loop backedges (Tiered, uninstrumented) "
+           "===\n");
+    printf("%-12s %12s %12s\n", "program", "osr:on(ms)", "osr:off(ms)");
+    for (const char* name : kPrograms) {
+        const BenchProgram& p = prog(name);
+        uint32_t n = p.defaultN;
+        const Module* m = nullptr;
+        (void)m;
+        auto time = [&](bool osr) {
+            // Run in Tiered mode with a high threshold so only OSR (or
+            // nothing) promotes the hot loops within the single call.
+            double best = 0;
+            for (int i = 0; i < reps(); i++) {
+                EngineConfig cfg;
+                cfg.mode = ExecMode::Tiered;
+                cfg.tierUpThreshold = 3;
+                cfg.osrAtLoopBackedge = osr;
+                Measurement meas = runWizardWithConfig(p, cfg, Tool::None,
+                                                       n);
+                if (i == 0 || meas.seconds < best) best = meas.seconds;
+            }
+            return best;
+        };
+        double on = time(true);
+        double off = time(false);
+        printf("%-12s %12.2f %12.2f\n", name, on * 1e3, off * 1e3);
+        csv.push_back(std::string("osr,") + name + "," +
+                      std::to_string(on) + "," + std::to_string(off));
+    }
+
+    printf("\n=== A4: tier-up threshold sweep (Tiered, gemm) ===\n");
+    printf("%-12s %12s\n", "threshold", "time(ms)");
+    for (uint32_t threshold : {1u, 4u, 16u, 64u, 256u}) {
+        const BenchProgram& p = prog("gemm");
+        double best = 0;
+        for (int i = 0; i < reps(); i++) {
+            EngineConfig cfg;
+            cfg.mode = ExecMode::Tiered;
+            cfg.tierUpThreshold = threshold;
+            Measurement meas = runWizardWithConfig(p, cfg, Tool::None,
+                                                   p.defaultN);
+            if (i == 0 || meas.seconds < best) best = meas.seconds;
+        }
+        printf("%-12u %12.2f\n", threshold, best * 1e3);
+        csv.push_back("threshold,gemm," + std::to_string(threshold) +
+                      "," + std::to_string(best));
+    }
+
+    printf("\n=== A5: global-probe excursion keeps compiled code "
+           "(Section 4.1) ===\n");
+    {
+        const BenchProgram& p = prog("gemm");
+        double without = timeAfterGlobalExcursion(p, p.defaultN, false);
+        double with = timeAfterGlobalExcursion(p, p.defaultN, true);
+        printf("  warmed run without excursion: %.2f ms, after "
+               "enable+disable: %.2f ms (delta %+.1f%%)\n",
+               without * 1e3, with * 1e3,
+               100.0 * (with - without) / without);
+        csv.push_back("excursion,gemm," + std::to_string(without) + "," +
+                      std::to_string(with));
+    }
+
+    writeCsv("ablation.csv", "study,program,a,b,c,d", csv);
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figure 6: relative execution times of the hotness and branch
+ * monitors across all programs of all three suites, under six
+ * configurations (paper legend order):
+ *
+ *   native   — DynamoRIO-like DBT over the compiled tier (DESIGN.md S3)
+ *   wasabi   — Wasabi-like injected hooks through a boxed host boundary
+ *   interp   — Wizard interpreter, local probes
+ *   jit-intr — Wizard compiled tier with probe intrinsification
+ *   jit      — Wizard compiled tier, generic probes
+ *   rewrite  — static bytecode rewriting (in-memory counters)
+ *
+ * Rows are sorted by uninstrumented execution time, as in the paper.
+ * Results are also written to results/fig6.csv (consumed by fig7).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+struct Row
+{
+    const BenchProgram* p;
+    double execSeconds;
+    // native, wasabi, interp, jit-intr, jit, rewrite
+    double hot[6];
+    double br[6];
+};
+
+Row
+measureRow(const BenchProgram& p)
+{
+    Row r;
+    r.p = &p;
+    uint32_t nHot = 1;
+    uint32_t nBr = std::max(1u, p.defaultN / 2);
+
+    auto jitBaseHot = measureWizard(p, ExecMode::Jit, Tool::None, true,
+                                    nHot);
+    auto jitBaseBr = measureWizard(p, ExecMode::Jit, Tool::None, true,
+                                   nBr);
+    auto intBaseHot = measureWizard(p, ExecMode::Interpreter, Tool::None,
+                                    true, nHot);
+    auto intBaseBr = measureWizard(p, ExecMode::Interpreter, Tool::None,
+                                   true, nBr);
+    r.execSeconds = jitBaseBr.seconds;
+
+    r.hot[0] = measureDbt(p, DbtKind::Hotness, nHot).seconds /
+               jitBaseHot.seconds;
+    r.hot[1] = measureWasabi(p, WasabiKind::Hotness, nHot).seconds /
+               jitBaseHot.seconds;
+    r.hot[2] = measureWizard(p, ExecMode::Interpreter, Tool::HotnessLocal,
+                             true, nHot).seconds / intBaseHot.seconds;
+    r.hot[3] = measureWizard(p, ExecMode::Jit, Tool::HotnessLocal, true,
+                             nHot).seconds / jitBaseHot.seconds;
+    r.hot[4] = measureWizard(p, ExecMode::Jit, Tool::HotnessLocal, false,
+                             nHot).seconds / jitBaseHot.seconds;
+    r.hot[5] = measureRewrite(p, RewriteKind::Hotness, nHot).seconds /
+               jitBaseHot.seconds;
+
+    r.br[0] = measureDbt(p, DbtKind::Branch, nBr).seconds /
+              jitBaseBr.seconds;
+    r.br[1] = measureWasabi(p, WasabiKind::Branch, nBr).seconds /
+              jitBaseBr.seconds;
+    r.br[2] = measureWizard(p, ExecMode::Interpreter, Tool::BranchLocal,
+                            true, nBr).seconds / intBaseBr.seconds;
+    r.br[3] = measureWizard(p, ExecMode::Jit, Tool::BranchLocal, true,
+                            nBr).seconds / jitBaseBr.seconds;
+    r.br[4] = measureWizard(p, ExecMode::Jit, Tool::BranchLocal, false,
+                            nBr).seconds / jitBaseBr.seconds;
+    r.br[5] = measureRewrite(p, RewriteKind::Branch, nBr).seconds /
+              jitBaseBr.seconds;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    const char* configs[6] = {"native", "wasabi", "interp", "jit-intr",
+                              "jit", "rewrite"};
+    std::vector<Row> rows;
+    for (const char* suite : {"polybench", "libsodium", "ostrich"}) {
+        for (const BenchProgram* p : selectPrograms(suite)) {
+            rows.push_back(measureRow(*p));
+            fprintf(stderr, ".");
+            fflush(stderr);
+        }
+    }
+    fprintf(stderr, "\n");
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+        return a.execSeconds < b.execSeconds;
+    });
+
+    auto printOne = [&](const char* title, bool hot) {
+        printf("\n=== Figure 6 (%s monitor): relative execution time "
+               "===\n", title);
+        printf("%-28s", "program");
+        for (const char* c : configs) printf(" %10s", c);
+        printf("\n");
+        for (const Row& r : rows) {
+            printf("%-28s", (r.p->suite + "/" + r.p->name).c_str());
+            const double* vals = hot ? r.hot : r.br;
+            for (int i = 0; i < 6; i++) {
+                printf(" %10s", fmtRatio(vals[i]).c_str());
+            }
+            printf("\n");
+        }
+    };
+    printOne("hotness", true);
+    printOne("branch", false);
+
+    std::vector<std::string> csv;
+    for (const Row& r : rows) {
+        std::string line = r.p->suite + "," + r.p->name + "," +
+                           std::to_string(r.execSeconds);
+        for (int i = 0; i < 6; i++) line += "," + std::to_string(r.hot[i]);
+        for (int i = 0; i < 6; i++) line += "," + std::to_string(r.br[i]);
+        csv.push_back(line);
+    }
+    writeCsv("fig6.csv",
+             "suite,program,exec_s,"
+             "hot_native,hot_wasabi,hot_interp,hot_jitintr,hot_jit,"
+             "hot_rewrite,"
+             "br_native,br_wasabi,br_interp,br_jitintr,br_jit,br_rewrite",
+             csv);
+
+    printf("\nExpected shape (paper Section 5.8): wasabi >> native-DBT "
+           ">> jit > rewrite >= jit-intr; interpreter relative overheads "
+           "are the lowest because the baseline is slow.\n");
+    return 0;
+}

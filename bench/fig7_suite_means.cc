@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Figure 7: per-suite geometric-mean relative execution times of the
+ * hotness and branch monitors under the six Figure-6 configurations.
+ * Reads results/fig6.csv when available (run fig6_all_programs first);
+ * otherwise measures a fresh (fast-mode) sweep itself.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "harness.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+struct Row
+{
+    std::string suite;
+    double hot[6];
+    double br[6];
+};
+
+bool
+readCsv(std::vector<Row>* out)
+{
+    std::ifstream in("results/fig6.csv");
+    if (!in) return false;
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+        std::istringstream ss(line);
+        std::string field;
+        Row r;
+        std::getline(ss, r.suite, ',');
+        std::getline(ss, field, ',');  // program
+        std::getline(ss, field, ',');  // exec_s
+        for (int i = 0; i < 6; i++) {
+            std::getline(ss, field, ',');
+            r.hot[i] = std::stod(field);
+        }
+        for (int i = 0; i < 6; i++) {
+            std::getline(ss, field, ',');
+            r.br[i] = std::stod(field);
+        }
+        out->push_back(r);
+    }
+    return !out->empty();
+}
+
+void
+measureFresh(std::vector<Row>* out)
+{
+    for (const char* suite : {"polybench", "libsodium", "ostrich"}) {
+        for (const BenchProgram* p : selectPrograms(suite)) {
+            uint32_t nHot = 1;
+            uint32_t nBr = std::max(1u, p->defaultN / 2);
+            auto jb = measureWizard(*p, ExecMode::Jit, Tool::None, true,
+                                    nBr);
+            auto jbh = measureWizard(*p, ExecMode::Jit, Tool::None, true,
+                                     nHot);
+            auto ib = measureWizard(*p, ExecMode::Interpreter, Tool::None,
+                                    true, nBr);
+            auto ibh = measureWizard(*p, ExecMode::Interpreter,
+                                     Tool::None, true, nHot);
+            Row r;
+            r.suite = suite;
+            r.hot[0] = measureDbt(*p, DbtKind::Hotness, nHot).seconds /
+                       jbh.seconds;
+            r.hot[1] = measureWasabi(*p, WasabiKind::Hotness, nHot)
+                           .seconds / jbh.seconds;
+            r.hot[2] = measureWizard(*p, ExecMode::Interpreter,
+                                     Tool::HotnessLocal, true, nHot)
+                           .seconds / ibh.seconds;
+            r.hot[3] = measureWizard(*p, ExecMode::Jit,
+                                     Tool::HotnessLocal, true, nHot)
+                           .seconds / jbh.seconds;
+            r.hot[4] = measureWizard(*p, ExecMode::Jit,
+                                     Tool::HotnessLocal, false, nHot)
+                           .seconds / jbh.seconds;
+            r.hot[5] = measureRewrite(*p, RewriteKind::Hotness, nHot)
+                           .seconds / jbh.seconds;
+            r.br[0] = measureDbt(*p, DbtKind::Branch, nBr).seconds /
+                      jb.seconds;
+            r.br[1] = measureWasabi(*p, WasabiKind::Branch, nBr).seconds /
+                      jb.seconds;
+            r.br[2] = measureWizard(*p, ExecMode::Interpreter,
+                                    Tool::BranchLocal, true, nBr)
+                          .seconds / ib.seconds;
+            r.br[3] = measureWizard(*p, ExecMode::Jit, Tool::BranchLocal,
+                                    true, nBr).seconds / jb.seconds;
+            r.br[4] = measureWizard(*p, ExecMode::Jit, Tool::BranchLocal,
+                                    false, nBr).seconds / jb.seconds;
+            r.br[5] = measureRewrite(*p, RewriteKind::Branch, nBr)
+                          .seconds / jb.seconds;
+            out->push_back(r);
+            fprintf(stderr, ".");
+            fflush(stderr);
+        }
+    }
+    fprintf(stderr, "\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const char* configs[6] = {"native", "wasabi", "interp", "jit-intr",
+                              "jit", "rewrite"};
+    std::vector<Row> rows;
+    bool fromCsv = readCsv(&rows);
+    if (!fromCsv) measureFresh(&rows);
+
+    printf("=== Figure 7: per-suite geometric-mean relative execution "
+           "time%s ===\n", fromCsv ? " (from results/fig6.csv)" : "");
+
+    std::vector<std::string> csv;
+    for (bool hot : {true, false}) {
+        printf("\n--- %s monitor ---\n", hot ? "hotness" : "branch");
+        printf("%-12s", "suite");
+        for (const char* c : configs) printf(" %10s", c);
+        printf("\n");
+        for (const char* suite : {"polybench", "libsodium", "ostrich"}) {
+            std::vector<double> vals[6];
+            for (const Row& r : rows) {
+                if (r.suite != suite) continue;
+                for (int i = 0; i < 6; i++) {
+                    vals[i].push_back(hot ? r.hot[i] : r.br[i]);
+                }
+            }
+            if (vals[0].empty()) continue;
+            printf("%-12s", suite);
+            std::string line = std::string(hot ? "hotness" : "branch") +
+                               "," + suite;
+            for (int i = 0; i < 6; i++) {
+                double g = geomean(vals[i]);
+                printf(" %10s", fmtRatio(g).c_str());
+                line += "," + std::to_string(g);
+            }
+            printf("\n");
+            csv.push_back(line);
+        }
+    }
+    writeCsv("fig7.csv",
+             "monitor,suite,native,wasabi,interp,jitintr,jit,rewrite",
+             csv);
+    printf("\nExpected shape (paper Figure 7): intrinsified JIT beats "
+           "static bytecode rewriting; both beat the generic JIT; "
+           "wasabi is orders of magnitude slower; native DBT sits "
+           "between wasabi and the JIT.\n");
+    return 0;
+}

@@ -1,0 +1,361 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "monitors/monitors.h"
+#include "wat/wat.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp::bench {
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Parsed-module cache: WAT parsing is our build step, not program
+ *  load, so it stays outside the timed region. */
+const Module&
+parsedModule(const BenchProgram& p)
+{
+    static std::unordered_map<const BenchProgram*,
+                              std::unique_ptr<Module>> cache;
+    auto it = cache.find(&p);
+    if (it != cache.end()) return *it->second;
+    auto r = parseWat(p.wat);
+    if (!r.ok()) {
+        throw std::runtime_error("parse " + p.name + ": " +
+                                 r.error().toString());
+    }
+    auto m = std::make_unique<Module>(r.take());
+    const Module& ref = *m;
+    cache.emplace(&p, std::move(m));
+    return ref;
+}
+
+void
+check(bool ok, const std::string& what)
+{
+    if (!ok) throw std::runtime_error("bench harness: " + what);
+}
+
+/** Installs the tool's probes; returns a fire-count reader. */
+struct Instrumentation
+{
+    std::unique_ptr<Monitor> monitor;
+    std::vector<std::shared_ptr<CountProbe>> counters;
+    std::vector<std::shared_ptr<Probe>> probes;
+    HotnessMonitor* hotness = nullptr;
+    BranchMonitor* branch = nullptr;
+
+    uint64_t
+    fires(Engine& eng) const
+    {
+        if (hotness) return hotness->totalCount();
+        if (branch) return branch->totalFires();
+        uint64_t n = 0;
+        for (const auto& c : counters) n += c->count;
+        if (!counters.empty()) return n;
+        return eng.probes().localFireCount + eng.probes().globalFireCount;
+    }
+};
+
+void
+instrument(Engine& eng, Tool tool, Instrumentation* out)
+{
+    switch (tool) {
+      case Tool::None:
+        break;
+      case Tool::HotnessLocal: {
+        auto m = std::make_unique<HotnessMonitor>(false);
+        out->hotness = m.get();
+        eng.attachMonitor(m.get());
+        out->monitor = std::move(m);
+        break;
+      }
+      case Tool::HotnessGlobal: {
+        auto m = std::make_unique<HotnessMonitor>(true);
+        out->hotness = m.get();
+        eng.attachMonitor(m.get());
+        out->monitor = std::move(m);
+        break;
+      }
+      case Tool::BranchLocal: {
+        auto m = std::make_unique<BranchMonitor>(false);
+        out->branch = m.get();
+        eng.attachMonitor(m.get());
+        out->monitor = std::move(m);
+        break;
+      }
+      case Tool::BranchGlobal: {
+        auto m = std::make_unique<BranchMonitor>(true);
+        out->branch = m.get();
+        eng.attachMonitor(m.get());
+        out->monitor = std::move(m);
+        break;
+      }
+      case Tool::HotnessEmpty: {
+        // Empty probes at every instruction: measures T_PD (probe
+        // dispatch) without M-code (Section 5.3 methodology).
+        for (uint32_t f = 0; f < eng.numFuncs(); f++) {
+            FuncState& fs = eng.funcState(f);
+            if (fs.decl->imported) continue;
+            for (uint32_t pc : fs.sideTable.instrBoundaries) {
+                auto p = std::make_shared<EmptyProbe>();
+                eng.probes().insertLocal(f, pc, p);
+                out->probes.push_back(p);
+            }
+        }
+        break;
+      }
+      case Tool::BranchEmpty: {
+        for (uint32_t f = 0; f < eng.numFuncs(); f++) {
+            FuncState& fs = eng.funcState(f);
+            if (fs.decl->imported) continue;
+            const auto& code = fs.decl->code;
+            for (uint32_t pc : fs.sideTable.instrBoundaries) {
+                uint8_t op = code[pc];
+                if (op != OP_IF && op != OP_BR_IF && op != OP_BR_TABLE) {
+                    continue;
+                }
+                auto p = std::make_shared<EmptyOperandProbe>();
+                eng.probes().insertLocal(f, pc, p);
+                out->probes.push_back(p);
+            }
+        }
+        break;
+      }
+    }
+}
+
+} // namespace
+
+int
+reps()
+{
+    const char* e = std::getenv("WIZPP_BENCH_REPS");
+    int r = e ? std::atoi(e) : 2;
+    return r < 1 ? 1 : r;
+}
+
+bool
+fastMode()
+{
+    return std::getenv("WIZPP_BENCH_FAST") != nullptr;
+}
+
+std::vector<const BenchProgram*>
+selectPrograms(const std::string& suite)
+{
+    auto all = programsBySuite(suite);
+    if (!fastMode()) return all;
+    std::vector<const BenchProgram*> subset;
+    for (size_t i = 0; i < all.size(); i += 4) subset.push_back(all[i]);
+    return subset;
+}
+
+Measurement
+runWizard(const BenchProgram& p, ExecMode mode, Tool tool, bool intrinsify,
+          uint32_t n)
+{
+    const Module& m = parsedModule(p);
+    EngineConfig cfg;
+    cfg.mode = mode;
+    cfg.intrinsifyCountProbe = intrinsify;
+    cfg.intrinsifyOperandProbe = intrinsify;
+
+    double t0 = now();
+    Engine eng(cfg);
+    check(eng.loadModule(m).ok(), "load " + p.name);
+    Instrumentation inst;
+    instrument(eng, tool, &inst);
+    check(eng.instantiate().ok(), "instantiate " + p.name);
+    auto r = eng.callExport(p.entry, {Value::makeI32(n)});
+    check(r.ok(), "run " + p.name);
+    double t1 = now();
+
+    Measurement out;
+    out.seconds = t1 - t0;
+    out.probeFires = inst.fires(eng);
+    return out;
+}
+
+Measurement
+runWizardWithConfig(const BenchProgram& p, const EngineConfig& cfg,
+                    Tool tool, uint32_t n)
+{
+    const Module& m = parsedModule(p);
+    double t0 = now();
+    Engine eng(cfg);
+    check(eng.loadModule(m).ok(), "load " + p.name);
+    Instrumentation inst;
+    instrument(eng, tool, &inst);
+    check(eng.instantiate().ok(), "instantiate " + p.name);
+    auto r = eng.callExport(p.entry, {Value::makeI32(n)});
+    check(r.ok(), "run " + p.name);
+    Measurement out;
+    out.seconds = now() - t0;
+    out.probeFires = inst.fires(eng);
+    return out;
+}
+
+double
+timeAfterGlobalExcursion(const BenchProgram& p, uint32_t n,
+                         bool excursion)
+{
+    const Module& m = parsedModule(p);
+    double best = 0;
+    for (int i = 0; i < reps(); i++) {
+        EngineConfig cfg;
+        cfg.mode = ExecMode::Jit;
+        Engine eng(cfg);
+        check(eng.loadModule(m).ok(), "load " + p.name);
+        check(eng.instantiate().ok(), "instantiate " + p.name);
+        // Warm run.
+        check(eng.callExport(p.entry, {Value::makeI32(1)}).ok(), "warm");
+        if (excursion) {
+            // Brief global-probe excursion: one run in interpreter-only
+            // mode, then back.
+            auto probe = std::make_shared<CountProbe>();
+            eng.probes().insertGlobal(probe);
+            check(eng.callExport(p.entry, {Value::makeI32(1)}).ok(),
+                  "g-run");
+            eng.probes().removeGlobal(probe.get());
+        }
+        // Timed run: compiled code must (still) be in place.
+        double t0 = now();
+        check(eng.callExport(p.entry, {Value::makeI32(n)}).ok(), "run");
+        double dt = now() - t0;
+        if (i == 0 || dt < best) best = dt;
+    }
+    return best;
+}
+
+Measurement
+measureWizard(const BenchProgram& p, ExecMode mode, Tool tool,
+              bool intrinsify, uint32_t n)
+{
+    Measurement best;
+    for (int i = 0; i < reps(); i++) {
+        Measurement m = runWizard(p, mode, tool, intrinsify, n);
+        if (i == 0 || m.seconds < best.seconds) {
+            best.seconds = m.seconds;
+        }
+        best.probeFires = m.probeFires;
+    }
+    return best;
+}
+
+Measurement
+measureRewrite(const BenchProgram& p, RewriteKind kind, uint32_t n)
+{
+    const Module& m = parsedModule(p);
+    Measurement best;
+    for (int i = 0; i < reps(); i++) {
+        double t0 = now();
+        auto rr = rewriteForCounting(m, kind);
+        check(rr.ok(), "rewrite " + p.name);
+        EngineConfig cfg;
+        cfg.mode = ExecMode::Jit;
+        Engine eng(cfg);
+        check(eng.loadModule(std::move(rr.value().module)).ok(),
+              "load rewritten " + p.name);
+        check(eng.instantiate().ok(), "instantiate rewritten " + p.name);
+        auto r = eng.callExport(p.entry, {Value::makeI32(n)});
+        check(r.ok(), "run rewritten " + p.name);
+        double dt = now() - t0;
+        if (i == 0 || dt < best.seconds) best.seconds = dt;
+        best.probeFires = rr.value().numCounters;
+    }
+    return best;
+}
+
+Measurement
+measureWasabi(const BenchProgram& p, WasabiKind kind, uint32_t n)
+{
+    const Module& m = parsedModule(p);
+    Measurement best;
+    for (int i = 0; i < reps(); i++) {
+        double t0 = now();
+        auto wr = wasabiInstrument(m, kind);
+        check(wr.ok(), "wasabi " + p.name);
+        WasabiHost host;
+        EngineConfig cfg;
+        cfg.mode = ExecMode::Jit;
+        Engine eng(cfg);
+        host.bind(&eng.imports());
+        check(eng.loadModule(std::move(wr.value().module)).ok(),
+              "load wasabi " + p.name);
+        check(eng.instantiate().ok(), "instantiate wasabi " + p.name);
+        auto r = eng.callExport(p.entry, {Value::makeI32(n)});
+        check(r.ok(), "run wasabi " + p.name);
+        double dt = now() - t0;
+        if (i == 0 || dt < best.seconds) best.seconds = dt;
+        best.probeFires = host.instrEvents + host.branchEvents;
+    }
+    return best;
+}
+
+Measurement
+measureDbt(const BenchProgram& p, DbtKind kind, uint32_t n)
+{
+    const Module& m = parsedModule(p);
+    Measurement best;
+    for (int i = 0; i < reps(); i++) {
+        double t0 = now();
+        EngineConfig cfg;
+        cfg.mode = ExecMode::Jit;
+        Engine eng(cfg);
+        check(eng.loadModule(m).ok(), "load dbt " + p.name);
+        DbtInstrumenter dbt(eng, kind);
+        check(eng.instantiate().ok(), "instantiate dbt " + p.name);
+        auto r = eng.callExport(p.entry, {Value::makeI32(n)});
+        check(r.ok(), "run dbt " + p.name);
+        double dt = now() - t0;
+        if (i == 0 || dt < best.seconds) best.seconds = dt;
+        best.probeFires = dbt.blocksExecuted();
+    }
+    return best;
+}
+
+std::string
+fmtRatio(double r)
+{
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.2fx", r);
+    return buf;
+}
+
+void
+writeCsv(const std::string& filename, const std::string& header,
+         const std::vector<std::string>& rows)
+{
+    std::filesystem::create_directories("results");
+    std::ofstream out("results/" + filename);
+    out << header << "\n";
+    for (const auto& r : rows) out << r << "\n";
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty()) return 0;
+    double logSum = 0;
+    for (double x : xs) logSum += std::log(x);
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+} // namespace wizpp::bench

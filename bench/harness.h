@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared benchmark harness (paper Section 5.1 methodology).
+ *
+ * Every measurement is the total wall-clock time of loading,
+ * validating, instrumenting, instantiating and executing a program —
+ * "total execution time of the entire program, including engine
+ * startup and program load". Static-instrumentation baselines include
+ * their transformation passes in the timed region (they are part of
+ * program load for those tools).
+ *
+ * Metrics follow the paper: given instrumented time Ti and
+ * uninstrumented time Tu, absolute overhead is Ti - Tu and relative
+ * execution time is Ti / Tu.
+ *
+ * Environment knobs:
+ *   WIZPP_BENCH_REPS  repetitions per measurement (default 2; min).
+ *   WIZPP_BENCH_FAST  if set, run a representative subset per suite.
+ */
+
+#ifndef WIZPP_BENCH_HARNESS_H
+#define WIZPP_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbt/dbt.h"
+#include "engine/engine.h"
+#include "rewriter/rewriter.h"
+#include "suites/suites.h"
+#include "wasabi/wasabi.h"
+
+namespace wizpp::bench {
+
+/** What instrumentation runs during a Wizard-engine measurement. */
+enum class Tool : uint8_t {
+    None,            ///< uninstrumented baseline
+    HotnessLocal,    ///< CountProbe at every instruction
+    HotnessGlobal,   ///< one global probe + M-state lookup
+    BranchLocal,     ///< OperandProbe at every branch
+    BranchGlobal,    ///< one global probe + branch-site lookup
+    HotnessEmpty,    ///< empty probes at every instruction (T_PD)
+    BranchEmpty,     ///< empty operand probes at branches (T_PD)
+};
+
+/** One measurement outcome. */
+struct Measurement
+{
+    double seconds = 0;
+    uint64_t probeFires = 0;
+};
+
+/** Repetitions (min-of-k) from WIZPP_BENCH_REPS. */
+int reps();
+
+/** True if WIZPP_BENCH_FAST is set. */
+bool fastMode();
+
+/** Programs of a suite, honoring fast mode. */
+std::vector<const BenchProgram*> selectPrograms(const std::string& suite);
+
+/** Times one run on the engine with the given instrumentation. */
+Measurement runWizard(const BenchProgram& p, ExecMode mode, Tool tool,
+                      bool intrinsify, uint32_t n);
+
+/** Min-of-reps wrapper. */
+Measurement measureWizard(const BenchProgram& p, ExecMode mode, Tool tool,
+                          bool intrinsify, uint32_t n);
+
+/** One run under a fully custom engine config (ablations). */
+Measurement runWizardWithConfig(const BenchProgram& p,
+                                const EngineConfig& cfg, Tool tool,
+                                uint32_t n);
+
+/**
+ * Times a warmed run, optionally after briefly enabling and disabling
+ * a global probe (the Section 4.1 compiled-code-survives claim): with
+ * and without the excursion must time the same.
+ */
+double timeAfterGlobalExcursion(const BenchProgram& p, uint32_t n,
+                                bool excursion);
+
+/** Static bytecode-rewriting baseline (runs on the compiled tier). */
+Measurement measureRewrite(const BenchProgram& p, RewriteKind kind,
+                           uint32_t n);
+
+/** Wasabi-like injected-hook baseline (runs on the compiled tier). */
+Measurement measureWasabi(const BenchProgram& p, WasabiKind kind,
+                          uint32_t n);
+
+/** DynamoRIO-like DBT baseline over the compiled tier. */
+Measurement measureDbt(const BenchProgram& p, DbtKind kind, uint32_t n);
+
+/** Formats a ratio as "12.34x". */
+std::string fmtRatio(double r);
+
+/** Writes a CSV file under results/ (created if needed). */
+void writeCsv(const std::string& filename, const std::string& header,
+              const std::vector<std::string>& rows);
+
+/** Geometric mean. */
+double geomean(const std::vector<double>& xs);
+
+} // namespace wizpp::bench
+
+#endif // WIZPP_BENCH_HARNESS_H

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) backing the paper's Section 4
+ * claims that are not in a numbered figure:
+ *
+ *  - zero overhead when instrumentation is not in use: execution time
+ *    is unchanged after inserting and then removing probes (bytecode
+ *    overwriting restores the original bytes; dispatch-table switching
+ *    restores the normal table);
+ *  - probe insertion/removal is a cheap constant-time operation;
+ *  - dispatch-table switching (global probe enable/disable) is cheap
+ *    and does not discard compiled code;
+ *  - FrameAccessor objects are lazily materialized.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+#include "probes/frameaccessor.h"
+#include "wat/wat.h"
+
+namespace wizpp {
+namespace {
+
+const char* kLoopWat = R"((module
+  (func (export "f") (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    (block $x (loop $t
+      (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+      (local.set $acc (i32.add (local.get $acc)
+                               (i32.mul (local.get $i) (i32.const 3))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $t)))
+    (local.get $acc))
+))";
+
+std::unique_ptr<Engine>
+freshEngine(ExecMode mode)
+{
+    EngineConfig cfg;
+    cfg.mode = mode;
+    auto eng = std::make_unique<Engine>(cfg);
+    auto m = parseWat(kLoopWat);
+    if (!m.ok()) std::abort();
+    if (!eng->loadModule(m.take()).ok()) std::abort();
+    if (!eng->instantiate().ok()) std::abort();
+    return eng;
+}
+
+void
+BM_UninstrumentedInterpreter(benchmark::State& state)
+{
+    auto eng = freshEngine(ExecMode::Interpreter);
+    for (auto _ : state) {
+        auto r = eng->callFunction(0, {Value::makeI32(10000)});
+        benchmark::DoNotOptimize(r.value()[0].bits);
+    }
+}
+BENCHMARK(BM_UninstrumentedInterpreter);
+
+void
+BM_InterpreterAfterProbeInsertRemove(benchmark::State& state)
+{
+    // Must match BM_UninstrumentedInterpreter: removal restores the
+    // original bytecode, so the disabled-instrumentation cost is zero.
+    auto eng = freshEngine(ExecMode::Interpreter);
+    auto probe = std::make_shared<CountProbe>();
+    uint32_t pc = eng->funcState(0).sideTable.instrBoundaries[3];
+    eng->probes().insertLocal(0, pc, probe);
+    eng->probes().removeLocal(0, pc, probe.get());
+    for (auto _ : state) {
+        auto r = eng->callFunction(0, {Value::makeI32(10000)});
+        benchmark::DoNotOptimize(r.value()[0].bits);
+    }
+}
+BENCHMARK(BM_InterpreterAfterProbeInsertRemove);
+
+void
+BM_UninstrumentedJit(benchmark::State& state)
+{
+    auto eng = freshEngine(ExecMode::Jit);
+    for (auto _ : state) {
+        auto r = eng->callFunction(0, {Value::makeI32(10000)});
+        benchmark::DoNotOptimize(r.value()[0].bits);
+    }
+}
+BENCHMARK(BM_UninstrumentedJit);
+
+void
+BM_JitAfterGlobalProbeEnableDisable(benchmark::State& state)
+{
+    // Global probe enable/disable must leave compiled-tier performance
+    // untouched (dispatch-table switching; no code discarded).
+    auto eng = freshEngine(ExecMode::Jit);
+    auto probe = std::make_shared<CountProbe>();
+    eng->probes().insertGlobal(probe);
+    eng->probes().removeGlobal(probe.get());
+    for (auto _ : state) {
+        auto r = eng->callFunction(0, {Value::makeI32(10000)});
+        benchmark::DoNotOptimize(r.value()[0].bits);
+    }
+}
+BENCHMARK(BM_JitAfterGlobalProbeEnableDisable);
+
+void
+BM_ProbeInsertRemovePair(benchmark::State& state)
+{
+    auto eng = freshEngine(ExecMode::Interpreter);
+    auto probe = std::make_shared<CountProbe>();
+    uint32_t pc = eng->funcState(0).sideTable.instrBoundaries[3];
+    for (auto _ : state) {
+        eng->probes().insertLocal(0, pc, probe);
+        eng->probes().removeLocal(0, pc, probe.get());
+    }
+}
+BENCHMARK(BM_ProbeInsertRemovePair);
+
+void
+BM_DispatchTableSwitchPair(benchmark::State& state)
+{
+    auto eng = freshEngine(ExecMode::Interpreter);
+    auto probe = std::make_shared<CountProbe>();
+    for (auto _ : state) {
+        eng->probes().insertGlobal(probe);
+        eng->probes().removeGlobal(probe.get());
+    }
+}
+BENCHMARK(BM_DispatchTableSwitchPair);
+
+void
+BM_IntrinsifiedCountProbeLoop(benchmark::State& state)
+{
+    auto eng = freshEngine(ExecMode::Jit);
+    auto probe = std::make_shared<CountProbe>();
+    uint32_t pc = eng->funcState(0).sideTable.instrBoundaries[3];
+    eng->probes().insertLocal(0, pc, probe);
+    for (auto _ : state) {
+        auto r = eng->callFunction(0, {Value::makeI32(10000)});
+        benchmark::DoNotOptimize(r.value()[0].bits);
+    }
+    state.counters["fires"] = static_cast<double>(probe->count);
+}
+BENCHMARK(BM_IntrinsifiedCountProbeLoop);
+
+void
+BM_GenericProbeLoop(benchmark::State& state)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    cfg.intrinsifyCountProbe = false;
+    auto eng = std::make_unique<Engine>(cfg);
+    auto m = parseWat(kLoopWat);
+    if (!eng->loadModule(m.take()).ok()) std::abort();
+    if (!eng->instantiate().ok()) std::abort();
+    auto probe = std::make_shared<CountProbe>();
+    uint32_t pc = eng->funcState(0).sideTable.instrBoundaries[3];
+    eng->probes().insertLocal(0, pc, probe);
+    for (auto _ : state) {
+        auto r = eng->callFunction(0, {Value::makeI32(10000)});
+        benchmark::DoNotOptimize(r.value()[0].bits);
+    }
+}
+BENCHMARK(BM_GenericProbeLoop);
+
+void
+BM_FrameAccessorMaterialization(benchmark::State& state)
+{
+    auto eng = freshEngine(ExecMode::Interpreter);
+    uint32_t pc = eng->funcState(0).sideTable.instrBoundaries[0];
+    std::shared_ptr<FrameAccessor> acc;
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        acc = ctx.accessor();
+        benchmark::DoNotOptimize(acc->getLocal(0).bits);
+    }));
+    for (auto _ : state) {
+        auto r = eng->callFunction(0, {Value::makeI32(4)});
+        benchmark::DoNotOptimize(r.value()[0].bits);
+    }
+}
+BENCHMARK(BM_FrameAccessorMaterialization);
+
+} // namespace
+} // namespace wizpp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Coverage-guided input search — the fuzzing-style analysis the paper
+ * lists among advanced FrameAccessor/probe uses (Section 2.3).
+ *
+ * The target hides a "bug" behind nested input conditions. The fuzzer
+ * mutates inputs and keeps those that increase instruction coverage,
+ * measured with the CoverageMonitor (whose self-removing probes make
+ * already-covered paths free — dynamic probe removal at work).
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "engine/engine.h"
+#include "monitors/monitors.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+
+namespace {
+
+// The "application under test": distinct paths guarded by magic values.
+const char* kTargetWat = R"((module
+  (func (export "target") (param $a i32) (param $b i32) (result i32)
+    (if (i32.eq (i32.and (local.get $a) (i32.const 0xff)) (i32.const 0x5a))
+      (then
+        (if (i32.gt_u (local.get $b) (i32.const 1000))
+          (then
+            (if (i32.eq (i32.rem_u (local.get $b) (i32.const 7))
+                        (i32.const 3))
+              (then (return (i32.const 999))))  ;; the "bug"
+            (return (i32.const 3))))
+        (return (i32.const 2))))
+    (i32.const 1))
+))";
+
+} // namespace
+
+int
+main()
+{
+    auto module = parseWat(kTargetWat);
+    if (!module.ok()) return 1;
+    Engine engine(EngineConfig{});
+    if (!engine.loadModule(module.take()).ok()) return 1;
+
+    CoverageMonitor coverage;
+    engine.attachMonitor(&coverage);
+    if (!engine.instantiate().ok()) return 1;
+
+    std::mt19937 rng(42);
+    std::vector<std::pair<uint32_t, uint32_t>> corpus = {{0, 0}};
+    double bestCoverage = 0;
+    int executions = 0;
+    bool bugFound = false;
+
+    for (int round = 0; round < 40000 && !bugFound; round++) {
+        // Pick a corpus entry and mutate it.
+        auto [a, b] = corpus[rng() % corpus.size()];
+        switch (rng() % 4) {
+          case 0: a ^= 1u << (rng() % 32); break;
+          case 1: b ^= 1u << (rng() % 32); break;
+          case 2: a = rng(); break;
+          case 3: b += static_cast<uint32_t>(rng() % 2048); break;
+        }
+        auto r = engine.callExport(
+            "target", {Value::makeI32(a), Value::makeI32(b)});
+        executions++;
+        if (!r.ok()) continue;
+        if (r.value()[0].i32() == 999) {
+            std::cout << "bug reached with a=0x" << std::hex << a
+                      << " b=" << std::dec << b << " after "
+                      << executions << " executions\n";
+            bugFound = true;
+            break;
+        }
+        double c = coverage.totalCoverage();
+        if (c > bestCoverage) {
+            bestCoverage = c;
+            corpus.push_back({a, b});
+            std::cout << "new coverage " << c * 100 << "% with a=0x"
+                      << std::hex << a << std::dec << " b=" << b << "\n";
+        }
+    }
+
+    std::cout << "final coverage: " << bestCoverage * 100 << "%, corpus "
+              << corpus.size() << " inputs, " << executions
+              << " executions\n";
+    coverage.report(std::cout);
+    return bugFound ? 0 : 2;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Debugger example: a scripted session of the bytecode-level REPL
+ * (breakpoints, backtraces, single-step, and fix-and-continue via
+ * frame modification — which forces deoptimization of compiled
+ * frames, paper Section 2.4.2).
+ *
+ * The buggy program computes an average but divides by the wrong
+ * count; the session patches the divisor local in a live frame.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "engine/engine.h"
+#include "monitors/debugger.h"
+#include "wasm/opcodes.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+
+int
+main()
+{
+    const char* wat = R"((module
+      (memory 1)
+      (func $sum (param $n i32) (result i32)
+        (local $i i32) (local $acc i32)
+        (block $x (loop $l
+          (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+          (local.set $acc (i32.add (local.get $acc)
+            (i32.load (i32.mul (local.get $i) (i32.const 4)))))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l)))
+        (local.get $acc))
+      (func $average (export "average") (param $n i32) (result i32)
+        (local $total i32) (local $divisor i32)
+        (local.set $total (call $sum (local.get $n)))
+        ;; BUG: divisor is off by one
+        (local.set $divisor (i32.add (local.get $n) (i32.const 1)))
+        (i32.div_u (local.get $total) (local.get $divisor)))
+      (func (export "setup") (param $n i32)
+        (local $i i32)
+        (block $x (loop $l
+          (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+          (i32.store (i32.mul (local.get $i) (i32.const 4))
+                     (i32.const 10))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l))))
+    ))";
+
+    auto module = parseWat(wat);
+    if (!module.ok()) return 1;
+    EngineConfig config;
+    config.mode = ExecMode::Jit;  // fix-and-continue deopts this frame
+    Engine engine(config);
+    if (!engine.loadModule(module.take()).ok()) return 1;
+
+    // Locate the buggy division so the script can break on it.
+    int32_t avg = engine.findFunc("average");
+    FuncState& fs = engine.funcState(avg);
+    uint32_t divPc = 0;
+    for (uint32_t pc : fs.sideTable.instrBoundaries) {
+        if (fs.decl->code[pc] == OP_I32_DIV_U) divPc = pc;
+    }
+
+    // The scripted session: break at the division; when it hits,
+    // inspect the frame, patch the divisor, single-step, continue.
+    std::istringstream script(
+        "break average " + std::to_string(divPc) + "\n"
+        "run\n"
+        "locals\n"
+        "stack\n"
+        "bt\n"
+        "setop 0 8\n"   // divisor operand := 8 (fix-and-continue)
+        "step\n"
+        "continue\n");
+    std::ostringstream transcript;
+    DebuggerMonitor debugger(script, transcript);
+    engine.attachMonitor(&debugger);
+    if (!engine.instantiate().ok()) return 1;
+
+    engine.callExport("setup", {Value::makeI32(8)});
+    auto result = engine.callExport("average", {Value::makeI32(8)});
+
+    std::cout << transcript.str();
+    if (result.ok()) {
+        std::cout << "\naverage(8 tens) = " << result.value()[0].i32()
+                  << "  (the unpatched program prints 8; the patched "
+                     "frame prints 10)\n";
+    }
+    std::cout << "breakpoint hits: " << debugger.breakpointHits
+              << ", frame deopts: " << engine.stats.frameDeopts << "\n";
+    return debugger.breakpointHits == 1 ? 0 : 2;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Profiling example: run corpus programs under the calling-context
+ * tree profiler and the dynamic call-graph monitor, then emit a
+ * folded-stack flame graph (feed the output to flamegraph.pl).
+ *
+ *   flamegraph_profiler [program-name] > folded.txt
+ */
+
+#include <iostream>
+
+#include "engine/engine.h"
+#include "monitors/monitors.h"
+#include "suites/suites.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+
+int
+main(int argc, char** argv)
+{
+    std::string name = argc > 1 ? argv[1] : "richards";
+    const BenchProgram* program = findProgram(name);
+    if (!program) {
+        std::cerr << "unknown program: " << name << "\navailable:";
+        for (const auto& p : allPrograms()) std::cerr << " " << p.name;
+        std::cerr << " richards\n";
+        return 1;
+    }
+
+    auto module = parseWat(program->wat);
+    if (!module.ok()) {
+        std::cerr << "parse: " << module.error().toString() << "\n";
+        return 1;
+    }
+    EngineConfig config;
+    config.mode = ExecMode::Jit;
+    Engine engine(config);
+    if (!engine.loadModule(module.take()).ok()) return 1;
+
+    CallTreeMonitor profiler;
+    CallsMonitor calls;
+    engine.attachMonitor(&profiler);
+    engine.attachMonitor(&calls);
+
+    if (!engine.instantiate().ok()) return 1;
+    auto r = engine.callExport(program->entry,
+                               {Value::makeI32(program->defaultN)});
+    if (!r.ok()) {
+        std::cerr << "run failed: " << r.error().toString() << "\n";
+        return 1;
+    }
+
+    std::cerr << "== calling-context tree ==\n";
+    profiler.report(std::cerr);
+    std::cerr << "\n== dynamic call graph ==\n";
+    calls.report(std::cerr);
+
+    // Folded stacks on stdout, ready for flamegraph.pl.
+    profiler.writeFlameGraph(std::cout);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Quickstart: load a Wasm module (from WAT), run it, then attach
+ * monitors and dynamically insert/remove probes — the 90-second tour
+ * of the instrumentation API.
+ */
+
+#include <iostream>
+
+#include "engine/engine.h"
+#include "monitors/monitors.h"
+#include "probes/frameaccessor.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+
+int
+main()
+{
+    // A module computing the n-th Fibonacci number two ways.
+    const char* wat = R"((module
+      (func $fib_rec (export "fib_rec") (param $n i32) (result i64)
+        (if (result i64) (i32.lt_u (local.get $n) (i32.const 2))
+          (then (i64.extend_i32_u (local.get $n)))
+          (else (i64.add
+            (call $fib_rec (i32.sub (local.get $n) (i32.const 1)))
+            (call $fib_rec (i32.sub (local.get $n) (i32.const 2)))))))
+      (func (export "fib_iter") (param $n i32) (result i64)
+        (local $a i64) (local $b i64) (local $t i64) (local $i i32)
+        (local.set $b (i64.const 1))
+        (block $x (loop $l
+          (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+          (local.set $t (i64.add (local.get $a) (local.get $b)))
+          (local.set $a (local.get $b))
+          (local.set $b (local.get $t))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l)))
+        (local.get $a))
+    ))";
+
+    // 1. Parse, load, instantiate.
+    auto module = parseWat(wat);
+    if (!module.ok()) {
+        std::cerr << "parse error: " << module.error().toString() << "\n";
+        return 1;
+    }
+    EngineConfig config;
+    config.mode = ExecMode::Jit;  // multi-tier engine, compiled tier on
+    Engine engine(config);
+    if (!engine.loadModule(module.take()).ok() ||
+        !engine.instantiate().ok()) {
+        std::cerr << "engine setup failed\n";
+        return 1;
+    }
+
+    // 2. Plain execution.
+    auto r = engine.callExport("fib_iter", {Value::makeI32(50)});
+    std::cout << "fib_iter(50) = " << r.value()[0].i64() << "\n";
+
+    // 3. Attach off-the-shelf monitors (the Monitor Zoo).
+    HotnessMonitor hotness;
+    BranchMonitor branches;
+    engine.attachMonitor(&hotness);
+    engine.attachMonitor(&branches);
+    engine.callExport("fib_rec", {Value::makeI32(18)});
+    std::cout << "\nfib_rec(18) under hotness+branch monitors:\n";
+    hotness.report(std::cout);
+    branches.report(std::cout);
+
+    // 4. Hand-rolled probes: count recursive calls and peek at frames.
+    int32_t fibIdx = engine.findFunc("fib_rec");
+    auto counter = std::make_shared<CountProbe>();
+    engine.probes().insertLocal(fibIdx, 0, counter);
+
+    uint32_t maxDepth = 0;
+    engine.probes().insertLocal(fibIdx, 0, makeProbe(
+        [&maxDepth](ProbeContext& ctx) {
+            maxDepth = std::max(maxDepth, ctx.accessor()->depth() + 1);
+        }));
+    engine.callExport("fib_rec", {Value::makeI32(18)});
+    std::cout << "\nfib_rec(18): " << counter->count
+              << " activations, max call depth " << maxDepth << "\n";
+
+    // 5. Dynamic removal: probes impose zero overhead once removed.
+    engine.probes().removeLocal(fibIdx, 0, counter.get());
+    std::cout << "probed sites remaining: "
+              << engine.probes().numProbedSites() << " (counter removed, "
+              << "depth probe still installed)\n";
+    return 0;
+}

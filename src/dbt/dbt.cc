@@ -1,0 +1,122 @@
+#include "dbt/dbt.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "engine/engine.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+DbtInstrumenter::DbtInstrumenter(Engine& engine, DbtKind kind)
+    : _kind(kind)
+{
+    discoverBlocks(engine);
+}
+
+void
+DbtInstrumenter::discoverBlocks(Engine& engine)
+{
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        FuncState& fs = engine.funcState(f);
+        if (fs.decl->imported) continue;
+        const SideTable& st = fs.sideTable;
+        const std::vector<uint8_t>& code = fs.decl->code;
+
+        // Block leaders: function entry, branch targets, post-branch
+        // fall-throughs, post-call sites.
+        std::set<uint32_t> leaders;
+        leaders.insert(st.instrBoundaries.empty()
+                           ? 0 : st.instrBoundaries.front());
+        for (const auto& [pc, e] : st.branches) {
+            leaders.insert(e.targetPc);
+        }
+        for (const auto& [pc, arms] : st.brTables) {
+            for (const auto& arm : arms) leaders.insert(arm.targetPc);
+        }
+        for (size_t i = 0; i < st.instrBoundaries.size(); i++) {
+            uint32_t pc = st.instrBoundaries[i];
+            uint8_t op = code[pc];
+            bool endsBlock = isBranchOpcode(op) || isCallOpcode(op) ||
+                             op == OP_RETURN || op == OP_LOOP ||
+                             op == OP_ELSE;
+            if (endsBlock && i + 1 < st.instrBoundaries.size()) {
+                leaders.insert(st.instrBoundaries[i + 1]);
+            }
+        }
+
+        // Materialize blocks and install a clean-call trampoline at
+        // each leader (the DBT block-cache + trampoline structure).
+        std::vector<uint32_t> sorted(leaders.begin(), leaders.end());
+        for (size_t b = 0; b < sorted.size(); b++) {
+            uint32_t start = sorted[b];
+            uint32_t end = (b + 1 < sorted.size())
+                               ? sorted[b + 1]
+                               : (st.instrBoundaries.empty()
+                                      ? 0 : st.instrBoundaries.back() + 1);
+            auto block = std::make_shared<Block>();
+            block->funcIndex = f;
+            block->startPc = start;
+            block->instrCount = 0;
+            block->branchesInBlock = 0;
+            for (uint32_t pc : st.instrBoundaries) {
+                if (pc < start || pc >= end) continue;
+                block->instrCount++;
+                uint8_t op = code[pc];
+                if (op == OP_IF || op == OP_BR_IF || op == OP_BR_TABLE) {
+                    block->branchesInBlock++;
+                }
+            }
+            if (block->instrCount == 0) continue;
+            block->counters.assign(block->instrCount, 0);
+            instrumentBlock(engine, block);
+            _numBlocks++;
+        }
+    }
+}
+
+void
+DbtInstrumenter::instrumentBlock(Engine& engine,
+                                 std::shared_ptr<Block> block)
+{
+    auto probe = makeProbe([this, block](ProbeContext&) {
+        cleanCall(*block);
+    });
+    engine.probes().insertLocal(block->funcIndex, block->startPc, probe);
+    _trampolines.push_back(probe);
+}
+
+void
+DbtInstrumenter::cleanCall(Block& block)
+{
+    // Context save: DynamoRIO clean calls spill the full GPR file +
+    // flags before entering analysis code, and restore after.
+    std::memcpy(_spillArea, _machineContext, sizeof(_machineContext));
+    _blocksExecuted++;
+
+    if (_kind == DbtKind::Hotness) {
+        // One counter increment per instruction in the block, each
+        // bracketed by an EFLAGS spill/restore (lahf/seto ... sahf) —
+        // the specific cost the paper cites for DynamoRIO's counters.
+        // The spill is a store+load round trip through memory on both
+        // sides of the increment.
+        for (uint32_t i = 0; i < block.instrCount; i++) {
+            _eflagsSpill = _machineContext[80];   // lahf; seto; push
+            _flagsScratch = _eflagsSpill + 1;
+            block.counters[i]++;
+            _instructionsCounted++;
+            _eflagsSpill = _flagsScratch;         // pop; add; sahf
+            _machineContext[80] = _eflagsSpill - 1;
+        }
+    } else {
+        // Branch monitor: tally branch executions in this block.
+        _branchesTallied += block.branchesInBlock;
+    }
+
+    // Context restore.
+    std::memcpy(_machineContext, _spillArea, sizeof(_machineContext));
+}
+
+} // namespace wizpp

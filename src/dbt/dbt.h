@@ -1,0 +1,100 @@
+/**
+ * @file
+ * DynamoRIO-like dynamic-binary-translation baseline (paper
+ * Section 5.7).
+ *
+ * The paper instruments natively-compiled benchmark programs with
+ * DynamoRIO. We cannot execute native x86 here, so this module
+ * reproduces DynamoRIO's *mechanism and cost structure* on the engine's
+ * compiled tier (DESIGN.md substitution S3):
+ *
+ *  - basic blocks are discovered from the control-flow side tables
+ *    (block entry = function start, branch target, or post-branch
+ *    fall-through), mirroring a DBT's block cache;
+ *  - a *clean call* trampoline runs at every block entry: the simulated
+ *    machine context (16 GPRs + flags) is saved and restored around the
+ *    analysis callback, as DynamoRIO does for unoptimized clean calls;
+ *  - the hotness variant additionally increments one counter per
+ *    instruction in the block with an EFLAGS spill/restore around each
+ *    increment — the exact effect the paper cites for DynamoRIO's
+ *    counter overhead ("inserts instructions to spill and restore
+ *    EFLAGS for each counter increment").
+ */
+
+#ifndef WIZPP_DBT_DBT_H
+#define WIZPP_DBT_DBT_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "probes/probe.h"
+#include "support/result.h"
+#include "wasm/module.h"
+
+namespace wizpp {
+
+class Engine;
+
+/** Instrumentation flavor, matching the paper's two monitors. */
+enum class DbtKind : uint8_t {
+    Hotness,
+    Branch,
+};
+
+/**
+ * Attaches DBT-style instrumentation to an engine. The engine must
+ * have a module loaded; blocks are discovered eagerly (DBT block-cache
+ * population) and clean-call trampolines installed at block entries.
+ */
+class DbtInstrumenter
+{
+  public:
+    DbtInstrumenter(Engine& engine, DbtKind kind);
+
+    uint64_t blocksExecuted() const { return _blocksExecuted; }
+    uint64_t instructionsCounted() const { return _instructionsCounted; }
+    uint64_t branchesTallied() const { return _branchesTallied; }
+    size_t numBlocks() const { return _numBlocks; }
+
+  private:
+    struct Block
+    {
+        uint32_t funcIndex;
+        uint32_t startPc;
+        uint32_t instrCount;      ///< instructions in the block
+        uint32_t branchesInBlock;
+        std::vector<uint64_t> counters;  ///< per-instruction counters
+    };
+
+    void discoverBlocks(Engine& engine);
+    void instrumentBlock(Engine& engine, std::shared_ptr<Block> block);
+
+    /** Simulated machine-context save/restore (clean call). */
+    void cleanCall(Block& block);
+
+    DbtKind _kind;
+    uint64_t _blocksExecuted = 0;
+    uint64_t _instructionsCounted = 0;
+    uint64_t _branchesTallied = 0;
+    size_t _numBlocks = 0;
+
+    /**
+     * Simulated machine context spilled/restored around clean calls:
+     * 16 GPRs + 16 x 256-bit vector registers + flags, as DynamoRIO
+     * preserves for unoptimized clean calls.
+     */
+    uint64_t _machineContext[81] = {};
+    uint64_t _spillArea[81] = {};
+    /** Simulated EFLAGS spill slot (lahf/seto ... sahf round trip). */
+    volatile uint64_t _eflagsSpill = 0;
+    volatile uint64_t _flagsScratch = 0;
+
+    /** Installed trampolines (block-entry probes). */
+    std::vector<std::shared_ptr<Probe>> _trampolines;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_DBT_DBT_H

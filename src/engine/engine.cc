@@ -1,0 +1,318 @@
+#include "engine/engine.h"
+
+#include "interp/interpreter.h"
+#include "jit/jitcode.h"
+#include "jit/jitexec.h"
+#include "monitors/monitor.h"
+#include "probes/frameaccessor.h"
+
+namespace wizpp {
+
+namespace {
+constexpr uint32_t kNoPc = 0xffffffffu;
+}
+
+FuncState::FuncState() = default;
+FuncState::~FuncState() = default;
+FuncState::FuncState(FuncState&&) noexcept = default;
+FuncState& FuncState::operator=(FuncState&&) noexcept = default;
+
+Engine::Engine(EngineConfig config) : _config(config)
+{
+    _values.resize(_config.valueStackSize);
+    _frames.reserve(_config.maxFrames);
+    _dispatch = interpNormalTable();
+}
+
+Engine::~Engine() = default;
+
+Result<bool>
+Engine::loadModule(Module m)
+{
+    if (_loaded) return Error{"engine already has a module", 0};
+    auto vr = validateModule(m);
+    if (!vr.ok()) return vr.error();
+    _module = std::move(m);
+    ValidationInfo info = vr.take();
+
+    // Canonicalize (deduplicate) types for call_indirect checks.
+    _canonTypeIds.resize(_module.types.size());
+    for (size_t i = 0; i < _module.types.size(); i++) {
+        uint32_t id = static_cast<uint32_t>(i);
+        for (size_t j = 0; j < i; j++) {
+            if (_module.types[j] == _module.types[i]) {
+                id = static_cast<uint32_t>(j);
+                break;
+            }
+        }
+        _canonTypeIds[i] = id;
+    }
+
+    _funcs.clear();
+    _funcs.reserve(_module.functions.size());
+    for (size_t i = 0; i < _module.functions.size(); i++) {
+        const FuncDecl& decl = _module.functions[i];
+        const FuncType& type = _module.types[decl.typeIndex];
+        FuncState fs;
+        fs.decl = &decl;
+        fs.type = &type;
+        fs.funcIndex = static_cast<uint32_t>(i);
+        fs.numParams = static_cast<uint32_t>(type.params.size());
+        fs.numResults = static_cast<uint32_t>(type.results.size());
+        fs.localTypes = type.params;
+        fs.localTypes.insert(fs.localTypes.end(), decl.locals.begin(),
+                             decl.locals.end());
+        fs.numLocals = static_cast<uint32_t>(fs.localTypes.size());
+        fs.canonTypeId = _canonTypeIds[decl.typeIndex];
+        if (!decl.imported) {
+            fs.code = decl.code;  // private mutable copy for overwriting
+            fs.sideTable = std::move(info.sideTables[i]);
+            fs.maxOperand = info.maxOperandStack[i];
+        }
+        _funcs.push_back(std::move(fs));
+    }
+    _loaded = true;
+    return true;
+}
+
+Result<bool>
+Engine::instantiate()
+{
+    if (!_loaded) return Error{"no module loaded", 0};
+    auto ir = Instance::instantiate(_module, _imports);
+    if (!ir.ok()) return ir.error();
+    _instance = ir.take();
+    _instantiated = true;
+
+    if (_config.mode == ExecMode::Jit) {
+        for (auto& fs : _funcs) {
+            if (!fs.decl->imported && !fs.jit) {
+                compileFunction(fs.funcIndex);
+            }
+        }
+    }
+
+    if (_module.start) {
+        auto r = execute(*_module.start, {});
+        if (!r.ok()) return r.error();
+    }
+    return true;
+}
+
+int32_t
+Engine::findFunc(const std::string& name) const
+{
+    int32_t e = _module.findFuncExport(name);
+    if (e >= 0) return e;
+    for (const auto& f : _module.functions) {
+        if (f.name == name) return static_cast<int32_t>(f.index);
+    }
+    return -1;
+}
+
+Result<std::vector<Value>>
+Engine::callExport(const std::string& name, const std::vector<Value>& args)
+{
+    int32_t idx = _module.findFuncExport(name);
+    if (idx < 0) return Error{"no exported function '" + name + "'", 0};
+    return callFunction(static_cast<uint32_t>(idx), args);
+}
+
+Result<std::vector<Value>>
+Engine::callFunction(uint32_t funcIndex, const std::vector<Value>& args)
+{
+    if (!_instantiated) return Error{"engine not instantiated", 0};
+    if (funcIndex >= _funcs.size()) {
+        return Error{"function index out of range", 0};
+    }
+    const FuncType& type = *_funcs[funcIndex].type;
+    if (args.size() != type.params.size()) {
+        return Error{"argument count mismatch", 0};
+    }
+    for (size_t i = 0; i < args.size(); i++) {
+        if (args[i].type != type.params[i]) {
+            return Error{"argument type mismatch at " + std::to_string(i),
+                         0};
+        }
+    }
+    return execute(funcIndex, args);
+}
+
+Result<std::vector<Value>>
+Engine::execute(uint32_t funcIndex, const std::vector<Value>& args)
+{
+    FuncState& fs = _funcs[funcIndex];
+    if (fs.decl->imported) return Error{"cannot call an import", 0};
+
+    _frames.clear();
+    _trap = TrapReason::None;
+
+    // Arguments become the first locals of the bottom frame.
+    for (size_t i = 0; i < args.size(); i++) _values[i] = args[i];
+    for (uint32_t i = fs.numParams; i < fs.numLocals; i++) {
+        _values[i] = Value::zeroOf(fs.localTypes[i]);
+    }
+
+    // Tiering decision for the entry frame. In Jit mode, functions
+    // whose code was invalidated by probe changes are recompiled on
+    // their next call (Section 4.5: "hot functions will eventually be
+    // recompiled").
+    Tier tier = Tier::Interpreter;
+    if (!_interpreterOnly) {
+        if (!fs.jit) {
+            if (_config.mode == ExecMode::Jit) {
+                compileFunction(funcIndex);
+            } else if (_config.mode == ExecMode::Tiered &&
+                       ++fs.hotness >= _config.tierUpThreshold) {
+                compileFunction(funcIndex);
+            }
+        }
+        if (fs.jit) tier = Tier::Jit;
+    }
+
+    _frames.emplace_back();
+    Frame& f = _frames.back();
+    f.fs = &fs;
+    f.pc = 0;
+    f.localsBase = 0;
+    f.stackStart = fs.numLocals;
+    f.sp = f.stackStart;
+    f.frameId = nextFrameId();
+    f.accessor = nullptr;
+    f.tier = tier;
+    f.jitEpoch = fs.jitEpoch;
+    f.jitResumeIdx = 0;
+    f.deoptRequested = false;
+    f.skipProbeOncePc = kNoPc;
+
+    Signal s = run();
+    _retiredJit.clear();
+
+    if (s == Signal::Trap) {
+        unwindAll();
+        return Error{std::string("trap: ") + trapReasonName(_trap), 0};
+    }
+
+    std::vector<Value> results;
+    for (uint32_t i = 0; i < fs.numResults; i++) results.push_back(_values[i]);
+    return results;
+}
+
+Signal
+Engine::run()
+{
+    while (true) {
+        if (_frames.empty()) return Signal::Done;
+        Frame& f = _frames.back();
+        bool useJit = false;
+        if (f.tier == Tier::Jit) {
+            if (_interpreterOnly) {
+                // Global-probe mode pins execution to the interpreter
+                // without discarding compiled code (Section 4.1).
+                f.tier = Tier::Interpreter;
+            } else if (!f.fs->jit || f.jitEpoch != f.fs->jitEpoch ||
+                       f.deoptRequested) {
+                f.tier = Tier::Interpreter;
+                f.deoptRequested = false;
+                stats.frameDeopts++;
+            } else {
+                useJit = true;
+            }
+        }
+        Signal s = useJit ? runJitTier(*this) : runInterpreter(*this);
+        if (s != Signal::TierSwitch) return s;
+    }
+}
+
+void
+Engine::unwindAll()
+{
+    // Invalidate accessors on unwind (Section 2.3, mechanism 3).
+    for (Frame& f : _frames) {
+        if (f.accessor) {
+            f.accessor->invalidate();
+            f.accessor.reset();
+        }
+    }
+    _frames.clear();
+}
+
+void
+Engine::attachMonitor(Monitor* m)
+{
+    _monitors.push_back(m);
+    m->onAttach(*this);
+}
+
+void
+Engine::requestDeopt(Frame* frame)
+{
+    frame->deoptRequested = true;
+    instrumentationEpoch++;
+}
+
+void
+Engine::onLocalProbesChanged(uint32_t funcIndex)
+{
+    instrumentationEpoch++;
+    FuncState& fs = _funcs[funcIndex];
+    if (fs.jit) {
+        // The compiled code was specialized to the old instrumentation
+        // and is now invalid (Section 4.5). Live frames notice the epoch
+        // bump and return to the interpreter.
+        fs.jitEpoch++;
+        _retiredJit.push_back(std::move(fs.jit));
+        stats.jitInvalidations++;
+    }
+}
+
+void
+Engine::onGlobalProbesChanged()
+{
+    instrumentationEpoch++;
+    bool enable = _probes.hasGlobalProbes();
+    if (enable == _interpreterOnly) return;
+    _interpreterOnly = enable;
+    _dispatch = enable ? interpProbedTable() : interpNormalTable();
+    stats.dispatchTableSwitches++;
+}
+
+void
+Engine::compileFunction(uint32_t funcIndex)
+{
+    FuncState& fs = _funcs[funcIndex];
+    if (fs.decl->imported || _config.mode == ExecMode::Interpreter) return;
+    fs.jit = translateFunction(*this, fs);
+    if (fs.jit) stats.functionsCompiled++;
+}
+
+// ---- ProbeContext ----
+
+uint32_t
+ProbeContext::funcIndex() const
+{
+    return _fs->funcIndex;
+}
+
+std::shared_ptr<FrameAccessor>
+ProbeContext::accessor() const
+{
+    if (!_frame) return nullptr;
+    if (!_frame->accessor) {
+        uint32_t depth = static_cast<uint32_t>(
+            _frame - _engine.frames().data());
+        _frame->accessor = std::make_shared<FrameAccessor>(
+            _engine, depth, _frame->frameId);
+    }
+    return _frame->accessor;
+}
+
+void
+OperandProbe::fire(ProbeContext& ctx)
+{
+    // Generic path: reach the top-of-stack through the FrameAccessor.
+    // The compiled tier's intrinsified path calls fireOperand directly.
+    fireOperand(ctx.accessor()->getOperand(0));
+}
+
+} // namespace wizpp

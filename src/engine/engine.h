@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The Engine: a multi-tier WebAssembly execution engine with
+ * first-class, non-intrusive dynamic instrumentation.
+ *
+ * The engine hosts one module at a time (like `wizeng module.wasm`),
+ * executes it in an in-place interpreter tier and a compiled tier, and
+ * exposes the probe-based instrumentation API that is the paper's core
+ * contribution. Monitors attach before execution and register probes;
+ * probes may be inserted and removed dynamically during execution with
+ * the consistency guarantees of Section 2.4.
+ */
+
+#ifndef WIZPP_ENGINE_ENGINE_H
+#define WIZPP_ENGINE_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/frame.h"
+#include "probes/probemanager.h"
+#include "runtime/instance.h"
+#include "runtime/trap.h"
+#include "runtime/value.h"
+#include "support/result.h"
+#include "wasm/module.h"
+#include "wasm/validator.h"
+
+namespace wizpp {
+
+class Monitor;
+struct Interp;
+
+/** How the engine executes code. */
+enum class ExecMode : uint8_t {
+    Interpreter,  ///< interpreter only; nothing is ever compiled
+    Jit,          ///< compile every function eagerly at instantiation
+    Tiered,       ///< interpret first, tier up hot functions dynamically
+};
+
+/** Engine tuning knobs (cf. Wizard's src/engine/Tuning.v3). */
+struct EngineConfig
+{
+    ExecMode mode = ExecMode::Jit;
+
+    /** Intrinsify CountProbes to inline counter increments (Section 4.4). */
+    bool intrinsifyCountProbe = true;
+
+    /** Intrinsify OperandProbes to direct top-of-stack calls. */
+    bool intrinsifyOperandProbe = true;
+
+    /** Calls (or backedges) before a function tiers up in Tiered mode. */
+    uint32_t tierUpThreshold = 10;
+
+    /** Allow on-stack replacement into compiled code at loop backedges. */
+    bool osrAtLoopBackedge = true;
+
+    /** Value-stack capacity in slots (locals + operands of all frames). */
+    uint32_t valueStackSize = 1u << 20;
+
+    /** Maximum call depth. */
+    uint32_t maxFrames = 1u << 14;
+};
+
+/** Outcome signals from the tier execution loops (engine internal). */
+enum class Signal : uint8_t {
+    Done,        ///< bottom frame returned; results on the value stack
+    Trap,        ///< trapped; Engine::_trap holds the reason
+    TierSwitch,  ///< top frame should (re)enter the other tier
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig config = {});
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    // ---- Loading and instantiation ----
+
+    /** Host imports to link against (populate before instantiate()). */
+    ImportMap& imports() { return _imports; }
+
+    /**
+     * Validates @p m, builds per-function engine state (side tables,
+     * mutable code copies) and takes ownership of the module.
+     */
+    Result<bool> loadModule(Module m);
+
+    /** Allocates the instance and runs the start function, if any. */
+    Result<bool> instantiate();
+
+    // ---- Execution ----
+
+    /** Calls an exported function by name. */
+    Result<std::vector<Value>> callExport(const std::string& name,
+                                          const std::vector<Value>& args);
+
+    /** Calls a function by index. */
+    Result<std::vector<Value>> callFunction(uint32_t funcIndex,
+                                            const std::vector<Value>& args);
+
+    TrapReason lastTrap() const { return _trap; }
+
+    // ---- Instrumentation ----
+
+    ProbeManager& probes() { return _probes; }
+
+    /**
+     * Attaches a monitor (must be after loadModule). The monitor
+     * registers its probes against this engine; the engine does not take
+     * ownership.
+     */
+    void attachMonitor(Monitor* m);
+
+    const std::vector<Monitor*>& monitors() const { return _monitors; }
+
+    // ---- Introspection ----
+
+    const EngineConfig& config() const { return _config; }
+    Module& module() { return _module; }
+    const Module& module() const { return _module; }
+    Instance& instance() { return _instance; }
+    bool loaded() const { return _loaded; }
+
+    size_t numFuncs() const { return _funcs.size(); }
+    FuncState& funcState(uint32_t idx) { return _funcs[idx]; }
+
+    /** Finds a function index by debug/export name; -1 if absent. */
+    int32_t findFunc(const std::string& name) const;
+
+    // ---- Engine internals (used by tiers, probes, accessors) ----
+
+    /** The shared value array (locals and operand stacks of all frames). */
+    std::vector<Value>& values() { return _values; }
+
+    /** The frame stack; back() is the executing frame. */
+    std::vector<Frame>& frames() { return _frames; }
+
+    Frame* frameAt(uint32_t depth)
+    {
+        return depth < _frames.size() ? &_frames[depth] : nullptr;
+    }
+
+    /** True while global probes force interpreter-only execution. */
+    bool interpreterOnly() const { return _interpreterOnly; }
+
+    /** Active interpreter dispatch table (swapped for global probes). */
+    const void* dispatchTable() const { return _dispatch; }
+
+    /** Marks @p frame for deoptimization to the interpreter. */
+    void requestDeopt(Frame* frame);
+
+    /** ProbeManager hook: probes changed in @p funcIndex (Section 4.5). */
+    void onLocalProbesChanged(uint32_t funcIndex);
+
+    /** ProbeManager hook: global probe count went 0↔nonzero. */
+    void onGlobalProbesChanged();
+
+    /** Compiles @p funcIndex into the jit tier (no-op for imports). */
+    void compileFunction(uint32_t funcIndex);
+
+    /** Sets the trap state (tier loops call this). */
+    void setTrap(TrapReason r) { _trap = r; }
+
+    /** Allocates a fresh frame id. */
+    uint64_t nextFrameId() { return _nextFrameId++; }
+
+    /**
+     * Bumped on every instrumentation change (probe insert/remove,
+     * deopt request). The compiled tier re-checks it after intrinsified
+     * operand-probe calls so even hostile M-code cannot keep stale
+     * compiled code running.
+     */
+    uint64_t instrumentationEpoch = 0;
+
+    /** Canonical type id for call_indirect signature checks. */
+    uint32_t canonTypeId(uint32_t typeIndex) const
+    {
+        return _canonTypeIds[typeIndex];
+    }
+
+    /** Statistics (tests assert on these). */
+    struct Stats
+    {
+        uint64_t functionsCompiled = 0;
+        uint64_t jitInvalidations = 0;
+        uint64_t frameDeopts = 0;
+        uint64_t osrEntries = 0;
+        uint64_t dispatchTableSwitches = 0;
+    };
+    Stats stats;
+
+  private:
+    friend struct Interp;
+
+    Result<std::vector<Value>> execute(uint32_t funcIndex,
+                                       const std::vector<Value>& args);
+
+    /** Runs the driver loop until Done or Trap. */
+    Signal run();
+
+    /** Unwinds all frames (trap path), invalidating accessors. */
+    void unwindAll();
+
+    EngineConfig _config;
+    Module _module;
+    ImportMap _imports;
+    Instance _instance;
+    std::vector<FuncState> _funcs;
+    std::vector<uint32_t> _canonTypeIds;
+    ProbeManager _probes{*this};
+    std::vector<Monitor*> _monitors;
+
+    std::vector<Value> _values;
+    std::vector<Frame> _frames;
+    uint64_t _nextFrameId = 1;
+
+    const void* _dispatch = nullptr;
+    bool _interpreterOnly = false;
+    bool _loaded = false;
+    bool _instantiated = false;
+    TrapReason _trap = TrapReason::None;
+
+    /**
+     * Invalidated compiled code is parked here instead of being freed:
+     * a probe firing from inside the compiled tier may invalidate the
+     * very code object the tier loop is executing. Retired code is
+     * reclaimed once execution returns to the driver.
+     */
+    std::vector<std::unique_ptr<JitCode>> _retiredJit;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_ENGINE_ENGINE_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Execution frames and per-function engine state.
+ *
+ * FuncState is the engine-side companion of a FuncDecl: the mutable
+ * bytecode copy used for probe overwriting, the control-flow side table,
+ * tier-up counters and compiled code. Frame is one activation; frames of
+ * both tiers share the same layout so a frame can be deoptimized by
+ * simply flipping its tier field (paper Section 4.6, strategy 4).
+ */
+
+#ifndef WIZPP_ENGINE_FRAME_H
+#define WIZPP_ENGINE_FRAME_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wasm/module.h"
+#include "wasm/sidetable.h"
+
+namespace wizpp {
+
+class FrameAccessor;
+struct JitCode;
+
+/** Execution tier of a frame. */
+enum class Tier : uint8_t {
+    Interpreter = 0,
+    Jit = 1,
+};
+
+/** Engine-side state for one function. */
+struct FuncState
+{
+    const FuncDecl* decl = nullptr;
+    const FuncType* type = nullptr;
+    uint32_t funcIndex = 0;
+
+    /** Total locals including params. */
+    uint32_t numLocals = 0;
+    uint32_t numParams = 0;
+    uint32_t numResults = 0;
+
+    /** Types of all locals (params first). */
+    std::vector<ValType> localTypes;
+
+    /** Maximum operand-stack height (from validation; frame sizing). */
+    uint32_t maxOperand = 0;
+
+    /** Canonical (structural) type id for call_indirect checks. */
+    uint32_t canonTypeId = 0;
+
+    /**
+     * Mutable instruction bytes. Local probes overwrite the first byte of
+     * an instrumented instruction here with OP_PROBE; the pristine bytes
+     * remain in decl->code (Section 4.2, bytecode overwriting).
+     */
+    std::vector<uint8_t> code;
+
+    SideTable sideTable;
+
+    /** Compiled-tier code; null when not compiled. */
+    std::unique_ptr<JitCode> jit;
+
+    /**
+     * Bumped whenever compiled code is invalidated (probe insertion or
+     * removal). Frames remember the epoch they entered under; a mismatch
+     * forces them back to the interpreter (Section 4.5).
+     */
+    uint64_t jitEpoch = 0;
+
+    /** Call-count for tier-up heuristics. */
+    uint32_t hotness = 0;
+
+    /** Number of local probes currently in this function. */
+    uint32_t probeCount = 0;
+
+    FuncState();
+    ~FuncState();
+    FuncState(FuncState&&) noexcept;
+    FuncState& operator=(FuncState&&) noexcept;
+};
+
+/** One activation record. */
+struct Frame
+{
+    FuncState* fs = nullptr;
+
+    /**
+     * Resume pc (bytecode offset). While a frame is running in a tier
+     * loop, its live pc is cached in the loop; it is written back at
+     * every checkpoint (probe fire, call, return, trap).
+     */
+    uint32_t pc = 0;
+
+    /** Index of local 0 in the engine value array. */
+    uint32_t localsBase = 0;
+
+    /** Index of operand-stack slot 0 (== localsBase + numLocals). */
+    uint32_t stackStart = 0;
+
+    /** Saved operand-stack height (absolute value-array index). */
+    uint32_t sp = 0;
+
+    /** Monotonic id distinguishing reuses of the same stack slot. */
+    uint64_t frameId = 0;
+
+    /**
+     * Accessor slot: the lazily-allocated FrameAccessor for this frame
+     * (paper Section 2.3). Cleared on function entry; invalidated on
+     * return and unwind.
+     */
+    std::shared_ptr<FrameAccessor> accessor;
+
+    Tier tier = Tier::Interpreter;
+
+    /** Jit epoch the frame entered compiled code under. */
+    uint64_t jitEpoch = 0;
+
+    /** Decoded-code resume index when tier == Jit. */
+    uint32_t jitResumeIdx = 0;
+
+    /** Set by frame modifications: forces deopt to the interpreter. */
+    bool deoptRequested = false;
+
+    /**
+     * When resuming at this pc in the interpreter after a deopt, probes
+     * at the pc already fired in the compiled tier and must not re-fire.
+     */
+    uint32_t skipProbeOncePc = 0xffffffffu;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_ENGINE_FRAME_H

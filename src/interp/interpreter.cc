@@ -1,0 +1,1284 @@
+#include "interp/interpreter.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "jit/jitcode.h"
+#include "probes/frameaccessor.h"
+#include "support/leb128.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+constexpr uint32_t kNoPc = 0xffffffffu;
+}
+
+/** Live interpreter state threaded through every handler. */
+struct Interp
+{
+    Engine& eng;
+    Value* vals = nullptr;
+    const uint8_t* code = nullptr;
+    uint32_t pc = 0;
+    uint32_t sp = 0;           ///< absolute index into the value array
+    Frame* frame = nullptr;
+    FuncState* fs = nullptr;
+    Instance* inst = nullptr;
+    const void* dispatch = nullptr;
+    Signal signal = Signal::Done;
+    bool exit = false;
+
+    explicit Interp(Engine& e) : eng(e)
+    {
+        vals = e.values().data();
+        inst = &e.instance();
+        dispatch = e.dispatchTable();
+    }
+
+    void
+    loadTopFrame()
+    {
+        frame = &eng.frames().back();
+        fs = frame->fs;
+        code = fs->code.data();
+        pc = frame->pc;
+        sp = frame->sp;
+    }
+
+    void
+    sync()
+    {
+        frame->pc = pc;
+        frame->sp = sp;
+    }
+};
+
+using OpHandler = void (*)(Interp&);
+
+namespace {
+
+OpHandler gNormalTable[256];
+OpHandler gProbedTable[256];
+
+inline void
+doTrap(Interp& I, TrapReason r)
+{
+    I.sync();
+    I.eng.setTrap(r);
+    I.signal = Signal::Trap;
+    I.exit = true;
+}
+
+inline uint32_t
+readU32Imm(Interp& I, uint32_t at, size_t* len)
+{
+    auto r = decodeULEB<uint32_t>(I.code + at,
+                                  I.code + I.fs->code.size());
+    *len = r.length;
+    return r.value;
+}
+
+// ---------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------
+
+/** Applies a resolved branch: collapse the operand stack and jump. */
+inline void
+applyBranch(Interp& I, const SideTableEntry& e)
+{
+    uint32_t dst = I.frame->stackStart + e.popTo;
+    uint32_t srcBase = I.sp - e.valCount;
+    for (uint32_t i = 0; i < e.valCount; i++) {
+        I.vals[dst + i] = I.vals[srcBase + i];
+    }
+    I.sp = dst + e.valCount;
+    I.pc = e.targetPc;
+}
+
+/**
+ * Backedge hook: tier-up accounting and on-stack replacement into
+ * compiled code at loop headers (Tiered mode only).
+ */
+inline void
+maybeOsr(Interp& I, uint32_t targetPc, uint32_t fromPc)
+{
+    if (targetPc > fromPc) return;  // not a backedge
+    Engine& eng = I.eng;
+    const EngineConfig& cfg = eng.config();
+    if (cfg.mode != ExecMode::Tiered || eng.interpreterOnly()) return;
+    FuncState* fs = I.fs;
+    if (!fs->jit) {
+        if (++fs->hotness < cfg.tierUpThreshold) return;
+        eng.compileFunction(fs->funcIndex);
+        if (!fs->jit) return;
+    }
+    if (!cfg.osrAtLoopBackedge) return;
+    uint32_t idx = fs->jit->indexOfPc(targetPc);
+    if (idx == kNoJitIndex) return;
+    I.sync();
+    I.frame->tier = Tier::Jit;
+    I.frame->jitEpoch = fs->jitEpoch;
+    I.frame->jitResumeIdx = idx;
+    eng.stats.osrEntries++;
+    I.signal = Signal::TierSwitch;
+    I.exit = true;
+}
+
+void
+h_nop(Interp& I)
+{
+    I.pc += 1;
+}
+
+void
+h_unreachable(Interp& I)
+{
+    doTrap(I, TrapReason::Unreachable);
+}
+
+void
+h_block(Interp& I)
+{
+    I.pc += 2;  // opcode + blocktype byte
+}
+
+void
+h_loop(Interp& I)
+{
+    I.pc += 2;
+}
+
+void
+h_if(Interp& I)
+{
+    uint32_t cond = I.vals[--I.sp].i32();
+    if (cond) {
+        I.pc += 2;
+    } else {
+        applyBranch(I, I.fs->sideTable.branchAt(I.pc));
+    }
+}
+
+void
+h_else(Interp& I)
+{
+    // Reached only by falling out of a then-branch: skip to after `end`.
+    applyBranch(I, I.fs->sideTable.branchAt(I.pc));
+}
+
+void
+h_br(Interp& I)
+{
+    uint32_t from = I.pc;
+    applyBranch(I, I.fs->sideTable.branchAt(I.pc));
+    maybeOsr(I, I.pc, from);
+}
+
+void
+h_br_if(Interp& I)
+{
+    uint32_t cond = I.vals[--I.sp].i32();
+    if (cond) {
+        uint32_t from = I.pc;
+        applyBranch(I, I.fs->sideTable.branchAt(I.pc));
+        maybeOsr(I, I.pc, from);
+    } else {
+        size_t len;
+        readU32Imm(I, I.pc + 1, &len);
+        I.pc += 1 + static_cast<uint32_t>(len);
+    }
+}
+
+void
+h_br_table(Interp& I)
+{
+    uint32_t idx = I.vals[--I.sp].i32();
+    const auto& entries = I.fs->sideTable.brTableAt(I.pc);
+    uint32_t n = static_cast<uint32_t>(entries.size()) - 1;  // last=default
+    const SideTableEntry& e = entries[idx < n ? idx : n];
+    uint32_t from = I.pc;
+    applyBranch(I, e);
+    maybeOsr(I, I.pc, from);
+}
+
+/** Pops the current frame; returns results to the caller. */
+inline void
+doReturn(Interp& I)
+{
+    uint32_t arity = I.fs->numResults;
+    uint32_t lb = I.frame->localsBase;
+    for (uint32_t i = 0; i < arity; i++) {
+        I.vals[lb + i] = I.vals[I.sp - arity + i];
+    }
+    if (I.frame->accessor) {
+        I.frame->accessor->invalidate();
+        I.frame->accessor.reset();
+    }
+    auto& frames = I.eng.frames();
+    frames.pop_back();
+    if (frames.empty()) {
+        I.sp = lb + arity;
+        I.signal = Signal::Done;
+        I.exit = true;
+        return;
+    }
+    Frame& caller = frames.back();
+    caller.sp = lb + arity;
+    if (!I.eng.interpreterOnly() && caller.tier == Tier::Jit) {
+        FuncState* cfs = caller.fs;
+        if (cfs->jit && caller.jitEpoch == cfs->jitEpoch &&
+            !caller.deoptRequested) {
+            I.signal = Signal::TierSwitch;
+            I.exit = true;
+            return;
+        }
+        caller.tier = Tier::Interpreter;
+        caller.deoptRequested = false;
+        I.eng.stats.frameDeopts++;
+    } else if (caller.tier == Tier::Jit) {
+        // Interpreter-only (global probe) mode pins frames to the
+        // interpreter without discarding compiled code (Section 4.1).
+        caller.tier = Tier::Interpreter;
+    }
+    I.loadTopFrame();
+}
+
+void
+h_return(Interp& I)
+{
+    doReturn(I);
+}
+
+void
+h_end(Interp& I)
+{
+    if (I.pc + 1 == I.fs->code.size()) {
+        doReturn(I);
+    } else {
+        I.pc += 1;
+    }
+}
+
+/** Invokes a function (shared by call and call_indirect). */
+inline void
+doCall(Interp& I, uint32_t calleeIdx, uint32_t pcAfter)
+{
+    Engine& eng = I.eng;
+    FuncState& callee = eng.funcState(calleeIdx);
+    if (callee.decl->imported) {
+        const HostFunc& hf = I.inst->hostFuncs[calleeIdx];
+        uint32_t n = callee.numParams;
+        std::vector<Value> args(I.vals + I.sp - n, I.vals + I.sp);
+        I.sp -= n;
+        std::vector<Value> results;
+        I.sync();
+        I.frame->pc = pcAfter;
+        TrapReason t = hf.fn(args, &results);
+        if (t != TrapReason::None) {
+            doTrap(I, t);
+            return;
+        }
+        for (const Value& v : results) I.vals[I.sp++] = v;
+        I.pc = pcAfter;
+        return;
+    }
+
+    // Sync the caller; its sp excludes the arguments, which become the
+    // callee's first locals in place. Any pending skip-probe flag is
+    // dead once the frame progresses past its resume instruction.
+    uint32_t nparams = callee.numParams;
+    uint32_t localsBase = I.sp - nparams;
+    I.frame->pc = pcAfter;
+    I.frame->sp = localsBase;
+    I.frame->skipProbeOncePc = kNoPc;
+
+    auto& frames = eng.frames();
+    if (frames.size() >= eng.config().maxFrames) {
+        doTrap(I, TrapReason::StackOverflow);
+        return;
+    }
+    uint32_t stackStart = localsBase + callee.numLocals;
+    if (stackStart + callee.maxOperand > eng.values().size()) {
+        doTrap(I, TrapReason::StackOverflow);
+        return;
+    }
+
+    // Tiering decision for the callee. Jit mode lazily recompiles code
+    // invalidated by probe changes (Section 4.5).
+    Tier tier = Tier::Interpreter;
+    const EngineConfig& cfg = eng.config();
+    if (!eng.interpreterOnly()) {
+        if (!callee.jit) {
+            if (cfg.mode == ExecMode::Jit) {
+                eng.compileFunction(calleeIdx);
+            } else if (cfg.mode == ExecMode::Tiered &&
+                       ++callee.hotness >= cfg.tierUpThreshold) {
+                eng.compileFunction(calleeIdx);
+            }
+        }
+        if (callee.jit) tier = Tier::Jit;
+    }
+
+    frames.emplace_back();
+    Frame& f = frames.back();
+    f.fs = &callee;
+    f.pc = 0;
+    f.localsBase = localsBase;
+    f.stackStart = stackStart;
+    f.sp = stackStart;
+    f.frameId = eng.nextFrameId();
+    f.accessor = nullptr;  // clear accessor slot on entry (Section 2.3)
+    f.tier = tier;
+    f.jitEpoch = callee.jitEpoch;
+    f.jitResumeIdx = 0;
+    f.deoptRequested = false;
+    f.skipProbeOncePc = kNoPc;
+
+    // Zero the non-parameter locals with correctly-typed zeros.
+    for (uint32_t i = nparams; i < callee.numLocals; i++) {
+        I.vals[localsBase + i] = Value::zeroOf(callee.localTypes[i]);
+    }
+
+    if (tier == Tier::Jit) {
+        I.signal = Signal::TierSwitch;
+        I.exit = true;
+        return;
+    }
+    I.loadTopFrame();
+}
+
+void
+h_call(Interp& I)
+{
+    size_t len;
+    uint32_t idx = readU32Imm(I, I.pc + 1, &len);
+    doCall(I, idx, I.pc + 1 + static_cast<uint32_t>(len));
+}
+
+void
+h_call_indirect(Interp& I)
+{
+    size_t len;
+    uint32_t typeIdx = readU32Imm(I, I.pc + 1, &len);
+    uint32_t pcAfter = I.pc + 1 + static_cast<uint32_t>(len) + 1;  // +table
+    uint32_t slot = I.vals[--I.sp].i32();
+    Table& table = I.inst->table;
+    if (!table.inBounds(slot)) {
+        doTrap(I, TrapReason::TableOutOfBounds);
+        return;
+    }
+    uint32_t target = table.get(slot);
+    if (target == kNullFuncIndex) {
+        doTrap(I, TrapReason::UninitializedTableEntry);
+        return;
+    }
+    if (I.eng.funcState(target).canonTypeId != I.eng.canonTypeId(typeIdx)) {
+        doTrap(I, TrapReason::IndirectCallTypeMismatch);
+        return;
+    }
+    doCall(I, target, pcAfter);
+}
+
+// ---------------------------------------------------------------------
+// Parametric and variable instructions
+// ---------------------------------------------------------------------
+
+void
+h_drop(Interp& I)
+{
+    --I.sp;
+    I.pc += 1;
+}
+
+void
+h_select(Interp& I)
+{
+    uint32_t cond = I.vals[--I.sp].i32();
+    Value v2 = I.vals[--I.sp];
+    Value v1 = I.vals[--I.sp];
+    I.vals[I.sp++] = cond ? v1 : v2;
+    I.pc += 1;
+}
+
+void
+h_local_get(Interp& I)
+{
+    size_t len;
+    uint32_t idx = readU32Imm(I, I.pc + 1, &len);
+    I.vals[I.sp++] = I.vals[I.frame->localsBase + idx];
+    I.pc += 1 + static_cast<uint32_t>(len);
+}
+
+void
+h_local_set(Interp& I)
+{
+    size_t len;
+    uint32_t idx = readU32Imm(I, I.pc + 1, &len);
+    I.vals[I.frame->localsBase + idx] = I.vals[--I.sp];
+    I.pc += 1 + static_cast<uint32_t>(len);
+}
+
+void
+h_local_tee(Interp& I)
+{
+    size_t len;
+    uint32_t idx = readU32Imm(I, I.pc + 1, &len);
+    I.vals[I.frame->localsBase + idx] = I.vals[I.sp - 1];
+    I.pc += 1 + static_cast<uint32_t>(len);
+}
+
+void
+h_global_get(Interp& I)
+{
+    size_t len;
+    uint32_t idx = readU32Imm(I, I.pc + 1, &len);
+    I.vals[I.sp++] = I.inst->globals[idx].value;
+    I.pc += 1 + static_cast<uint32_t>(len);
+}
+
+void
+h_global_set(Interp& I)
+{
+    size_t len;
+    uint32_t idx = readU32Imm(I, I.pc + 1, &len);
+    I.inst->globals[idx].value = I.vals[--I.sp];
+    I.pc += 1 + static_cast<uint32_t>(len);
+}
+
+// ---------------------------------------------------------------------
+// Memory instructions
+// ---------------------------------------------------------------------
+
+/** Decodes a memarg (align, offset); returns the instruction length. */
+inline uint32_t
+readMemArg(Interp& I, uint32_t* offset)
+{
+    const uint8_t* base = I.code + I.pc + 1;
+    const uint8_t* end = I.code + I.fs->code.size();
+    auto a = decodeULEB<uint32_t>(base, end);
+    auto o = decodeULEB<uint32_t>(base + a.length, end);
+    *offset = o.value;
+    return 1 + static_cast<uint32_t>(a.length + o.length);
+}
+
+#define MEM_LOAD(NAME, CT, MAKE)                                         \
+    void h_##NAME(Interp& I)                                             \
+    {                                                                    \
+        uint32_t offset;                                                 \
+        uint32_t len = readMemArg(I, &offset);                           \
+        uint32_t addr = I.vals[I.sp - 1].i32();                          \
+        Memory& mem = I.inst->memory;                                    \
+        if (!mem.inBounds(addr, offset, sizeof(CT))) {                   \
+            doTrap(I, TrapReason::MemoryOutOfBounds);                    \
+            return;                                                      \
+        }                                                                \
+        CT raw = mem.read<CT>(addr + offset);                            \
+        I.vals[I.sp - 1] = MAKE;                                         \
+        I.pc += len;                                                     \
+    }
+
+MEM_LOAD(i32_load, uint32_t, Value::makeI32(raw))
+MEM_LOAD(i64_load, uint64_t, Value::makeI64(raw))
+MEM_LOAD(f32_load, float, Value::makeF32(raw))
+MEM_LOAD(f64_load, double, Value::makeF64(raw))
+MEM_LOAD(i32_load8_s, int8_t, Value::makeI32(static_cast<int32_t>(raw)))
+MEM_LOAD(i32_load8_u, uint8_t, Value::makeI32(static_cast<uint32_t>(raw)))
+MEM_LOAD(i32_load16_s, int16_t, Value::makeI32(static_cast<int32_t>(raw)))
+MEM_LOAD(i32_load16_u, uint16_t, Value::makeI32(static_cast<uint32_t>(raw)))
+MEM_LOAD(i64_load8_s, int8_t, Value::makeI64(static_cast<int64_t>(raw)))
+MEM_LOAD(i64_load8_u, uint8_t, Value::makeI64(static_cast<uint64_t>(raw)))
+MEM_LOAD(i64_load16_s, int16_t, Value::makeI64(static_cast<int64_t>(raw)))
+MEM_LOAD(i64_load16_u, uint16_t, Value::makeI64(static_cast<uint64_t>(raw)))
+MEM_LOAD(i64_load32_s, int32_t, Value::makeI64(static_cast<int64_t>(raw)))
+MEM_LOAD(i64_load32_u, uint32_t, Value::makeI64(static_cast<uint64_t>(raw)))
+
+#define MEM_STORE(NAME, CT, GET)                                         \
+    void h_##NAME(Interp& I)                                             \
+    {                                                                    \
+        uint32_t offset;                                                 \
+        uint32_t len = readMemArg(I, &offset);                           \
+        Value val = I.vals[--I.sp];                                      \
+        uint32_t addr = I.vals[--I.sp].i32();                            \
+        Memory& mem = I.inst->memory;                                    \
+        if (!mem.inBounds(addr, offset, sizeof(CT))) {                   \
+            doTrap(I, TrapReason::MemoryOutOfBounds);                    \
+            return;                                                      \
+        }                                                                \
+        mem.write<CT>(addr + offset, static_cast<CT>(GET));              \
+        I.pc += len;                                                     \
+    }
+
+MEM_STORE(i32_store, uint32_t, val.i32())
+MEM_STORE(i64_store, uint64_t, val.i64())
+MEM_STORE(f32_store, float, val.f32())
+MEM_STORE(f64_store, double, val.f64())
+MEM_STORE(i32_store8, uint8_t, val.i32())
+MEM_STORE(i32_store16, uint16_t, val.i32())
+MEM_STORE(i64_store8, uint8_t, val.i64())
+MEM_STORE(i64_store16, uint16_t, val.i64())
+MEM_STORE(i64_store32, uint32_t, val.i64())
+
+void
+h_memory_size(Interp& I)
+{
+    I.vals[I.sp++] = Value::makeI32(I.inst->memory.pages());
+    I.pc += 2;  // opcode + reserved byte
+}
+
+void
+h_memory_grow(Interp& I)
+{
+    uint32_t delta = I.vals[I.sp - 1].i32();
+    I.vals[I.sp - 1] = Value::makeI32(I.inst->memory.grow(delta));
+    I.pc += 2;
+}
+
+// ---------------------------------------------------------------------
+// Constants
+// ---------------------------------------------------------------------
+
+void
+h_i32_const(Interp& I)
+{
+    auto r = decodeSLEB<int32_t>(I.code + I.pc + 1,
+                                 I.code + I.fs->code.size());
+    I.vals[I.sp++] = Value::makeI32(r.value);
+    I.pc += 1 + static_cast<uint32_t>(r.length);
+}
+
+void
+h_i64_const(Interp& I)
+{
+    auto r = decodeSLEB<int64_t>(I.code + I.pc + 1,
+                                 I.code + I.fs->code.size());
+    I.vals[I.sp++] = Value::makeI64(r.value);
+    I.pc += 1 + static_cast<uint32_t>(r.length);
+}
+
+void
+h_f32_const(Interp& I)
+{
+    uint32_t bits;
+    std::memcpy(&bits, I.code + I.pc + 1, 4);
+    I.vals[I.sp++] = Value{ValType::F32, bits};
+    I.pc += 5;
+}
+
+void
+h_f64_const(Interp& I)
+{
+    uint64_t bits;
+    std::memcpy(&bits, I.code + I.pc + 1, 8);
+    I.vals[I.sp++] = Value{ValType::F64, bits};
+    I.pc += 9;
+}
+
+// ---------------------------------------------------------------------
+// Numeric instructions
+// ---------------------------------------------------------------------
+
+#define UNOP(NAME, POPT, PUSH)                                           \
+    void h_##NAME(Interp& I)                                             \
+    {                                                                    \
+        auto a = I.vals[I.sp - 1].POPT();                                \
+        I.vals[I.sp - 1] = PUSH;                                         \
+        I.pc += 1;                                                       \
+    }
+
+#define BINOP(NAME, POPT, PUSH)                                          \
+    void h_##NAME(Interp& I)                                             \
+    {                                                                    \
+        auto b = I.vals[--I.sp].POPT();                                  \
+        auto a = I.vals[I.sp - 1].POPT();                                \
+        I.vals[I.sp - 1] = PUSH;                                         \
+        I.pc += 1;                                                       \
+    }
+
+// i32 comparison
+UNOP(i32_eqz, i32, Value::makeI32(uint32_t{a == 0}))
+BINOP(i32_eq, i32, Value::makeI32(uint32_t{a == b}))
+BINOP(i32_ne, i32, Value::makeI32(uint32_t{a != b}))
+BINOP(i32_lt_s, i32s, Value::makeI32(uint32_t{a < b}))
+BINOP(i32_lt_u, i32, Value::makeI32(uint32_t{a < b}))
+BINOP(i32_gt_s, i32s, Value::makeI32(uint32_t{a > b}))
+BINOP(i32_gt_u, i32, Value::makeI32(uint32_t{a > b}))
+BINOP(i32_le_s, i32s, Value::makeI32(uint32_t{a <= b}))
+BINOP(i32_le_u, i32, Value::makeI32(uint32_t{a <= b}))
+BINOP(i32_ge_s, i32s, Value::makeI32(uint32_t{a >= b}))
+BINOP(i32_ge_u, i32, Value::makeI32(uint32_t{a >= b}))
+
+// i64 comparison
+UNOP(i64_eqz, i64, Value::makeI32(uint32_t{a == 0}))
+BINOP(i64_eq, i64, Value::makeI32(uint32_t{a == b}))
+BINOP(i64_ne, i64, Value::makeI32(uint32_t{a != b}))
+BINOP(i64_lt_s, i64s, Value::makeI32(uint32_t{a < b}))
+BINOP(i64_lt_u, i64, Value::makeI32(uint32_t{a < b}))
+BINOP(i64_gt_s, i64s, Value::makeI32(uint32_t{a > b}))
+BINOP(i64_gt_u, i64, Value::makeI32(uint32_t{a > b}))
+BINOP(i64_le_s, i64s, Value::makeI32(uint32_t{a <= b}))
+BINOP(i64_le_u, i64, Value::makeI32(uint32_t{a <= b}))
+BINOP(i64_ge_s, i64s, Value::makeI32(uint32_t{a >= b}))
+BINOP(i64_ge_u, i64, Value::makeI32(uint32_t{a >= b}))
+
+// float comparison
+BINOP(f32_eq, f32, Value::makeI32(uint32_t{a == b}))
+BINOP(f32_ne, f32, Value::makeI32(uint32_t{a != b}))
+BINOP(f32_lt, f32, Value::makeI32(uint32_t{a < b}))
+BINOP(f32_gt, f32, Value::makeI32(uint32_t{a > b}))
+BINOP(f32_le, f32, Value::makeI32(uint32_t{a <= b}))
+BINOP(f32_ge, f32, Value::makeI32(uint32_t{a >= b}))
+BINOP(f64_eq, f64, Value::makeI32(uint32_t{a == b}))
+BINOP(f64_ne, f64, Value::makeI32(uint32_t{a != b}))
+BINOP(f64_lt, f64, Value::makeI32(uint32_t{a < b}))
+BINOP(f64_gt, f64, Value::makeI32(uint32_t{a > b}))
+BINOP(f64_le, f64, Value::makeI32(uint32_t{a <= b}))
+BINOP(f64_ge, f64, Value::makeI32(uint32_t{a >= b}))
+
+// i32 arithmetic
+UNOP(i32_clz, i32, Value::makeI32(a ? uint32_t(__builtin_clz(a)) : 32u))
+UNOP(i32_ctz, i32, Value::makeI32(a ? uint32_t(__builtin_ctz(a)) : 32u))
+UNOP(i32_popcnt, i32, Value::makeI32(uint32_t(__builtin_popcount(a))))
+BINOP(i32_add, i32, Value::makeI32(a + b))
+BINOP(i32_sub, i32, Value::makeI32(a - b))
+BINOP(i32_mul, i32, Value::makeI32(a * b))
+BINOP(i32_and, i32, Value::makeI32(a & b))
+BINOP(i32_or, i32, Value::makeI32(a | b))
+BINOP(i32_xor, i32, Value::makeI32(a ^ b))
+BINOP(i32_shl, i32, Value::makeI32(a << (b & 31)))
+BINOP(i32_shr_u, i32, Value::makeI32(a >> (b & 31)))
+BINOP(i32_shr_s, i32, Value::makeI32(
+    uint32_t(static_cast<int32_t>(a) >> (b & 31))))
+BINOP(i32_rotl, i32, Value::makeI32(
+    (b & 31) ? ((a << (b & 31)) | (a >> (32 - (b & 31)))) : a))
+BINOP(i32_rotr, i32, Value::makeI32(
+    (b & 31) ? ((a >> (b & 31)) | (a << (32 - (b & 31)))) : a))
+
+void
+h_i32_div_s(Interp& I)
+{
+    int32_t b = I.vals[--I.sp].i32s();
+    int32_t a = I.vals[I.sp - 1].i32s();
+    if (b == 0) { doTrap(I, TrapReason::DivByZero); return; }
+    if (a == INT32_MIN && b == -1) {
+        doTrap(I, TrapReason::IntegerOverflow);
+        return;
+    }
+    I.vals[I.sp - 1] = Value::makeI32(a / b);
+    I.pc += 1;
+}
+
+void
+h_i32_div_u(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t a = I.vals[I.sp - 1].i32();
+    if (b == 0) { doTrap(I, TrapReason::DivByZero); return; }
+    I.vals[I.sp - 1] = Value::makeI32(a / b);
+    I.pc += 1;
+}
+
+void
+h_i32_rem_s(Interp& I)
+{
+    int32_t b = I.vals[--I.sp].i32s();
+    int32_t a = I.vals[I.sp - 1].i32s();
+    if (b == 0) { doTrap(I, TrapReason::DivByZero); return; }
+    int32_t r = (a == INT32_MIN && b == -1) ? 0 : a % b;
+    I.vals[I.sp - 1] = Value::makeI32(r);
+    I.pc += 1;
+}
+
+void
+h_i32_rem_u(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t a = I.vals[I.sp - 1].i32();
+    if (b == 0) { doTrap(I, TrapReason::DivByZero); return; }
+    I.vals[I.sp - 1] = Value::makeI32(a % b);
+    I.pc += 1;
+}
+
+// i64 arithmetic
+UNOP(i64_clz, i64, Value::makeI64(a ? uint64_t(__builtin_clzll(a)) : 64u))
+UNOP(i64_ctz, i64, Value::makeI64(a ? uint64_t(__builtin_ctzll(a)) : 64u))
+UNOP(i64_popcnt, i64, Value::makeI64(uint64_t(__builtin_popcountll(a))))
+BINOP(i64_add, i64, Value::makeI64(a + b))
+BINOP(i64_sub, i64, Value::makeI64(a - b))
+BINOP(i64_mul, i64, Value::makeI64(a * b))
+BINOP(i64_and, i64, Value::makeI64(a & b))
+BINOP(i64_or, i64, Value::makeI64(a | b))
+BINOP(i64_xor, i64, Value::makeI64(a ^ b))
+BINOP(i64_shl, i64, Value::makeI64(a << (b & 63)))
+BINOP(i64_shr_u, i64, Value::makeI64(a >> (b & 63)))
+BINOP(i64_shr_s, i64, Value::makeI64(
+    uint64_t(static_cast<int64_t>(a) >> (b & 63))))
+BINOP(i64_rotl, i64, Value::makeI64(
+    (b & 63) ? ((a << (b & 63)) | (a >> (64 - (b & 63)))) : a))
+BINOP(i64_rotr, i64, Value::makeI64(
+    (b & 63) ? ((a >> (b & 63)) | (a << (64 - (b & 63)))) : a))
+
+void
+h_i64_div_s(Interp& I)
+{
+    int64_t b = I.vals[--I.sp].i64s();
+    int64_t a = I.vals[I.sp - 1].i64s();
+    if (b == 0) { doTrap(I, TrapReason::DivByZero); return; }
+    if (a == INT64_MIN && b == -1) {
+        doTrap(I, TrapReason::IntegerOverflow);
+        return;
+    }
+    I.vals[I.sp - 1] = Value::makeI64(a / b);
+    I.pc += 1;
+}
+
+void
+h_i64_div_u(Interp& I)
+{
+    uint64_t b = I.vals[--I.sp].i64();
+    uint64_t a = I.vals[I.sp - 1].i64();
+    if (b == 0) { doTrap(I, TrapReason::DivByZero); return; }
+    I.vals[I.sp - 1] = Value::makeI64(a / b);
+    I.pc += 1;
+}
+
+void
+h_i64_rem_s(Interp& I)
+{
+    int64_t b = I.vals[--I.sp].i64s();
+    int64_t a = I.vals[I.sp - 1].i64s();
+    if (b == 0) { doTrap(I, TrapReason::DivByZero); return; }
+    int64_t r = (a == INT64_MIN && b == -1) ? 0 : a % b;
+    I.vals[I.sp - 1] = Value::makeI64(r);
+    I.pc += 1;
+}
+
+void
+h_i64_rem_u(Interp& I)
+{
+    uint64_t b = I.vals[--I.sp].i64();
+    uint64_t a = I.vals[I.sp - 1].i64();
+    if (b == 0) { doTrap(I, TrapReason::DivByZero); return; }
+    I.vals[I.sp - 1] = Value::makeI64(a % b);
+    I.pc += 1;
+}
+
+// Float min/max with Wasm NaN semantics (either NaN -> NaN; -0 < +0).
+template <typename F>
+inline F
+wasmMin(F a, F b)
+{
+    if (std::isnan(a) || std::isnan(b)) {
+        return std::numeric_limits<F>::quiet_NaN();
+    }
+    if (a == b) return std::signbit(a) ? a : b;
+    return a < b ? a : b;
+}
+
+template <typename F>
+inline F
+wasmMax(F a, F b)
+{
+    if (std::isnan(a) || std::isnan(b)) {
+        return std::numeric_limits<F>::quiet_NaN();
+    }
+    if (a == b) return std::signbit(a) ? b : a;
+    return a > b ? a : b;
+}
+
+// f32 arithmetic
+UNOP(f32_abs, f32, Value::makeF32(std::fabs(a)))
+UNOP(f32_neg, f32, Value::makeF32(-a))
+UNOP(f32_ceil, f32, Value::makeF32(std::ceil(a)))
+UNOP(f32_floor, f32, Value::makeF32(std::floor(a)))
+UNOP(f32_trunc, f32, Value::makeF32(std::trunc(a)))
+UNOP(f32_nearest, f32, Value::makeF32(std::nearbyintf(a)))
+UNOP(f32_sqrt, f32, Value::makeF32(std::sqrt(a)))
+BINOP(f32_add, f32, Value::makeF32(a + b))
+BINOP(f32_sub, f32, Value::makeF32(a - b))
+BINOP(f32_mul, f32, Value::makeF32(a * b))
+BINOP(f32_div, f32, Value::makeF32(a / b))
+BINOP(f32_min, f32, Value::makeF32(wasmMin(a, b)))
+BINOP(f32_max, f32, Value::makeF32(wasmMax(a, b)))
+BINOP(f32_copysign, f32, Value::makeF32(std::copysign(a, b)))
+
+// f64 arithmetic
+UNOP(f64_abs, f64, Value::makeF64(std::fabs(a)))
+UNOP(f64_neg, f64, Value::makeF64(-a))
+UNOP(f64_ceil, f64, Value::makeF64(std::ceil(a)))
+UNOP(f64_floor, f64, Value::makeF64(std::floor(a)))
+UNOP(f64_trunc, f64, Value::makeF64(std::trunc(a)))
+UNOP(f64_nearest, f64, Value::makeF64(std::nearbyint(a)))
+UNOP(f64_sqrt, f64, Value::makeF64(std::sqrt(a)))
+BINOP(f64_add, f64, Value::makeF64(a + b))
+BINOP(f64_sub, f64, Value::makeF64(a - b))
+BINOP(f64_mul, f64, Value::makeF64(a * b))
+BINOP(f64_div, f64, Value::makeF64(a / b))
+BINOP(f64_min, f64, Value::makeF64(wasmMin(a, b)))
+BINOP(f64_max, f64, Value::makeF64(wasmMax(a, b)))
+BINOP(f64_copysign, f64, Value::makeF64(std::copysign(a, b)))
+
+// Conversions.
+UNOP(i32_wrap_i64, i64, Value::makeI32(static_cast<uint32_t>(a)))
+UNOP(i64_extend_i32_s, i32s, Value::makeI64(static_cast<int64_t>(a)))
+UNOP(i64_extend_i32_u, i32, Value::makeI64(static_cast<uint64_t>(a)))
+UNOP(f32_convert_i32_s, i32s, Value::makeF32(static_cast<float>(a)))
+UNOP(f32_convert_i32_u, i32, Value::makeF32(static_cast<float>(a)))
+UNOP(f32_convert_i64_s, i64s, Value::makeF32(static_cast<float>(a)))
+UNOP(f32_convert_i64_u, i64, Value::makeF32(static_cast<float>(a)))
+UNOP(f32_demote_f64, f64, Value::makeF32(static_cast<float>(a)))
+UNOP(f64_convert_i32_s, i32s, Value::makeF64(static_cast<double>(a)))
+UNOP(f64_convert_i32_u, i32, Value::makeF64(static_cast<double>(a)))
+UNOP(f64_convert_i64_s, i64s, Value::makeF64(static_cast<double>(a)))
+UNOP(f64_convert_i64_u, i64, Value::makeF64(static_cast<double>(a)))
+UNOP(f64_promote_f32, f32, Value::makeF64(static_cast<double>(a)))
+UNOP(i32_reinterpret_f32, i32, Value(ValType::I32, a))
+UNOP(i64_reinterpret_f64, i64, Value(ValType::I64, a))
+UNOP(f32_reinterpret_i32, i32, Value(ValType::F32, a))
+UNOP(f64_reinterpret_i64, i64, Value(ValType::F64, a))
+UNOP(i32_extend8_s, i32,
+     Value::makeI32(static_cast<int32_t>(static_cast<int8_t>(a))))
+UNOP(i32_extend16_s, i32,
+     Value::makeI32(static_cast<int32_t>(static_cast<int16_t>(a))))
+UNOP(i64_extend8_s, i64,
+     Value::makeI64(static_cast<int64_t>(static_cast<int8_t>(a))))
+UNOP(i64_extend16_s, i64,
+     Value::makeI64(static_cast<int64_t>(static_cast<int16_t>(a))))
+UNOP(i64_extend32_s, i64,
+     Value::makeI64(static_cast<int64_t>(static_cast<int32_t>(a))))
+
+// Trapping float->int truncations.
+#define TRUNC(NAME, POPT, IT, LO, HI, MAKE)                              \
+    void h_##NAME(Interp& I)                                             \
+    {                                                                    \
+        double v = static_cast<double>(I.vals[I.sp - 1].POPT());         \
+        if (std::isnan(v)) {                                             \
+            doTrap(I, TrapReason::InvalidConversion);                    \
+            return;                                                      \
+        }                                                                \
+        double t = std::trunc(v);                                        \
+        if (!(t >= (LO) && t <= (HI))) {                                 \
+            doTrap(I, TrapReason::IntegerOverflow);                      \
+            return;                                                      \
+        }                                                                \
+        I.vals[I.sp - 1] = MAKE(static_cast<IT>(t));                     \
+        I.pc += 1;                                                       \
+    }
+
+TRUNC(i32_trunc_f32_s, f32, int32_t, -2147483648.0, 2147483647.0,
+      Value::makeI32)
+TRUNC(i32_trunc_f32_u, f32, uint32_t, 0.0, 4294967295.0, Value::makeI32)
+TRUNC(i32_trunc_f64_s, f64, int32_t, -2147483648.0, 2147483647.0,
+      Value::makeI32)
+TRUNC(i32_trunc_f64_u, f64, uint32_t, 0.0, 4294967295.0, Value::makeI32)
+
+// i64 bounds: the upper bound 2^63-1 is not representable; use < 2^63.
+#define TRUNC64(NAME, POPT, IT, CHECK, MAKE)                             \
+    void h_##NAME(Interp& I)                                             \
+    {                                                                    \
+        double v = static_cast<double>(I.vals[I.sp - 1].POPT());         \
+        if (std::isnan(v)) {                                             \
+            doTrap(I, TrapReason::InvalidConversion);                    \
+            return;                                                      \
+        }                                                                \
+        double t = std::trunc(v);                                        \
+        if (!(CHECK)) {                                                  \
+            doTrap(I, TrapReason::IntegerOverflow);                      \
+            return;                                                      \
+        }                                                                \
+        I.vals[I.sp - 1] = MAKE(static_cast<IT>(t));                     \
+        I.pc += 1;                                                       \
+    }
+
+TRUNC64(i64_trunc_f32_s, f32, int64_t,
+        t >= -9223372036854775808.0 && t < 9223372036854775808.0,
+        Value::makeI64)
+TRUNC64(i64_trunc_f32_u, f32, uint64_t,
+        t >= 0.0 && t < 18446744073709551616.0, Value::makeI64)
+TRUNC64(i64_trunc_f64_s, f64, int64_t,
+        t >= -9223372036854775808.0 && t < 9223372036854775808.0,
+        Value::makeI64)
+TRUNC64(i64_trunc_f64_u, f64, uint64_t,
+        t >= 0.0 && t < 18446744073709551616.0, Value::makeI64)
+
+// 0xFC-prefixed opcodes: saturating truncation + bulk memory.
+template <typename IT>
+inline IT
+truncSat(double v, double lo, double hi)
+{
+    if (std::isnan(v)) return 0;
+    double t = std::trunc(v);
+    if (t < lo) return std::numeric_limits<IT>::min();
+    if (t > hi) return std::numeric_limits<IT>::max();
+    return static_cast<IT>(t);
+}
+
+void
+h_prefix_fc(Interp& I)
+{
+    auto sub = decodeULEB<uint32_t>(I.code + I.pc + 1,
+                                    I.code + I.fs->code.size());
+    uint32_t len = 1 + static_cast<uint32_t>(sub.length);
+    switch (sub.value) {
+      case FC_I32_TRUNC_SAT_F32_S:
+        I.vals[I.sp - 1] = Value::makeI32(truncSat<int32_t>(
+            I.vals[I.sp - 1].f32(), -2147483648.0, 2147483647.0));
+        break;
+      case FC_I32_TRUNC_SAT_F32_U:
+        I.vals[I.sp - 1] = Value::makeI32(truncSat<uint32_t>(
+            I.vals[I.sp - 1].f32(), 0.0, 4294967295.0));
+        break;
+      case FC_I32_TRUNC_SAT_F64_S:
+        I.vals[I.sp - 1] = Value::makeI32(truncSat<int32_t>(
+            I.vals[I.sp - 1].f64(), -2147483648.0, 2147483647.0));
+        break;
+      case FC_I32_TRUNC_SAT_F64_U:
+        I.vals[I.sp - 1] = Value::makeI32(truncSat<uint32_t>(
+            I.vals[I.sp - 1].f64(), 0.0, 4294967295.0));
+        break;
+      case FC_I64_TRUNC_SAT_F32_S:
+        I.vals[I.sp - 1] = Value::makeI64(truncSat<int64_t>(
+            I.vals[I.sp - 1].f32(), -9223372036854775808.0,
+            9223372036854775807.0));
+        break;
+      case FC_I64_TRUNC_SAT_F32_U:
+        I.vals[I.sp - 1] = Value::makeI64(truncSat<uint64_t>(
+            I.vals[I.sp - 1].f32(), 0.0, 18446744073709551615.0));
+        break;
+      case FC_I64_TRUNC_SAT_F64_S:
+        I.vals[I.sp - 1] = Value::makeI64(truncSat<int64_t>(
+            I.vals[I.sp - 1].f64(), -9223372036854775808.0,
+            9223372036854775807.0));
+        break;
+      case FC_I64_TRUNC_SAT_F64_U:
+        I.vals[I.sp - 1] = Value::makeI64(truncSat<uint64_t>(
+            I.vals[I.sp - 1].f64(), 0.0, 18446744073709551615.0));
+        break;
+      case FC_MEMORY_FILL: {
+        len += 1;  // memory index byte
+        uint32_t n = I.vals[--I.sp].i32();
+        uint32_t val = I.vals[--I.sp].i32();
+        uint32_t dst = I.vals[--I.sp].i32();
+        Memory& mem = I.inst->memory;
+        if (!mem.inBounds(dst, 0, n)) {
+            doTrap(I, TrapReason::MemoryOutOfBounds);
+            return;
+        }
+        std::memset(mem.data() + dst, val & 0xff, n);
+        break;
+      }
+      case FC_MEMORY_COPY: {
+        len += 2;  // two memory index bytes
+        uint32_t n = I.vals[--I.sp].i32();
+        uint32_t src = I.vals[--I.sp].i32();
+        uint32_t dst = I.vals[--I.sp].i32();
+        Memory& mem = I.inst->memory;
+        if (!mem.inBounds(dst, 0, n) || !mem.inBounds(src, 0, n)) {
+            doTrap(I, TrapReason::MemoryOutOfBounds);
+            return;
+        }
+        std::memmove(mem.data() + dst, mem.data() + src, n);
+        break;
+      }
+      default:
+        doTrap(I, TrapReason::Unreachable);
+        return;
+    }
+    I.pc += len;
+}
+
+void
+h_illegal(Interp& I)
+{
+    doTrap(I, TrapReason::Unreachable);
+}
+
+// ---------------------------------------------------------------------
+// Probe handlers
+// ---------------------------------------------------------------------
+
+/**
+ * Local probe handler: the interpreter tripped over an OP_PROBE byte
+ * written by bytecode overwriting. Fires the probes at this location
+ * and then executes the saved original instruction.
+ */
+void
+h_probe(Interp& I)
+{
+    uint32_t pc = I.pc;
+    ProbeManager& pm = I.eng.probes();
+    // One lookup fetches both the snapshot and the original byte; the
+    // snapshot stays valid even if probes remove this site mid-fire.
+    ProbeManager::SiteView site = pm.siteFor(I.fs->funcIndex, pc);
+    if (I.frame->skipProbeOncePc == pc) {
+        // Resuming after a deopt at this site: probes already fired in
+        // the compiled tier.
+        I.frame->skipProbeOncePc = kNoPc;
+        gNormalTable[site.originalByte](I);
+        return;
+    }
+    I.sync();
+    pm.fireList(*site.probes, I.frame, I.fs, pc);
+    // Probes may have inserted/removed global probes (table switch) —
+    // refresh the cached dispatch pointer.
+    I.dispatch = I.eng.dispatchTable();
+    // Frame modifications are already visible (shared value array);
+    // the interpreter needs no deoptimization.
+    I.frame->deoptRequested = false;
+    gNormalTable[site.originalByte](I);
+}
+
+/**
+ * Global-probe stub: every entry of the instrumented dispatch table
+ * points here. Fires global probes, then dispatches the instruction
+ * through the normal table (which handles OP_PROBE bytes, so local
+ * probes still fire after global ones).
+ */
+void
+h_global_stub(Interp& I)
+{
+    // Read the opcode before firing: probes inserted at this very
+    // location during the firing are deferred to its next occurrence.
+    uint8_t op = I.code[I.pc];
+    if (I.frame->skipProbeOncePc == I.pc) {
+        // Deopt resume: this instruction's probes (global and local)
+        // already fired before the frame left the compiled tier.
+        if (op != OP_PROBE) I.frame->skipProbeOncePc = kNoPc;
+        gNormalTable[op](I);  // h_probe consumes the flag for locals
+        return;
+    }
+    I.sync();
+    I.eng.probes().fireGlobal(I.frame, I.fs, I.pc);
+    I.dispatch = I.eng.dispatchTable();
+    I.frame->deoptRequested = false;
+    gNormalTable[op](I);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch table construction
+// ---------------------------------------------------------------------
+
+struct TableInit
+{
+    TableInit()
+    {
+        for (auto& h : gNormalTable) h = h_illegal;
+        for (auto& h : gProbedTable) h = h_global_stub;
+
+        auto set = [&](uint8_t op, OpHandler h) { gNormalTable[op] = h; };
+
+        set(OP_UNREACHABLE, h_unreachable);
+        set(OP_NOP, h_nop);
+        set(OP_BLOCK, h_block);
+        set(OP_LOOP, h_loop);
+        set(OP_IF, h_if);
+        set(OP_ELSE, h_else);
+        set(OP_END, h_end);
+        set(OP_BR, h_br);
+        set(OP_BR_IF, h_br_if);
+        set(OP_BR_TABLE, h_br_table);
+        set(OP_RETURN, h_return);
+        set(OP_CALL, h_call);
+        set(OP_CALL_INDIRECT, h_call_indirect);
+        set(OP_DROP, h_drop);
+        set(OP_SELECT, h_select);
+        set(OP_LOCAL_GET, h_local_get);
+        set(OP_LOCAL_SET, h_local_set);
+        set(OP_LOCAL_TEE, h_local_tee);
+        set(OP_GLOBAL_GET, h_global_get);
+        set(OP_GLOBAL_SET, h_global_set);
+        set(OP_I32_LOAD, h_i32_load);
+        set(OP_I64_LOAD, h_i64_load);
+        set(OP_F32_LOAD, h_f32_load);
+        set(OP_F64_LOAD, h_f64_load);
+        set(OP_I32_LOAD8_S, h_i32_load8_s);
+        set(OP_I32_LOAD8_U, h_i32_load8_u);
+        set(OP_I32_LOAD16_S, h_i32_load16_s);
+        set(OP_I32_LOAD16_U, h_i32_load16_u);
+        set(OP_I64_LOAD8_S, h_i64_load8_s);
+        set(OP_I64_LOAD8_U, h_i64_load8_u);
+        set(OP_I64_LOAD16_S, h_i64_load16_s);
+        set(OP_I64_LOAD16_U, h_i64_load16_u);
+        set(OP_I64_LOAD32_S, h_i64_load32_s);
+        set(OP_I64_LOAD32_U, h_i64_load32_u);
+        set(OP_I32_STORE, h_i32_store);
+        set(OP_I64_STORE, h_i64_store);
+        set(OP_F32_STORE, h_f32_store);
+        set(OP_F64_STORE, h_f64_store);
+        set(OP_I32_STORE8, h_i32_store8);
+        set(OP_I32_STORE16, h_i32_store16);
+        set(OP_I64_STORE8, h_i64_store8);
+        set(OP_I64_STORE16, h_i64_store16);
+        set(OP_I64_STORE32, h_i64_store32);
+        set(OP_MEMORY_SIZE, h_memory_size);
+        set(OP_MEMORY_GROW, h_memory_grow);
+        set(OP_I32_CONST, h_i32_const);
+        set(OP_I64_CONST, h_i64_const);
+        set(OP_F32_CONST, h_f32_const);
+        set(OP_F64_CONST, h_f64_const);
+        set(OP_I32_EQZ, h_i32_eqz);
+        set(OP_I32_EQ, h_i32_eq);
+        set(OP_I32_NE, h_i32_ne);
+        set(OP_I32_LT_S, h_i32_lt_s);
+        set(OP_I32_LT_U, h_i32_lt_u);
+        set(OP_I32_GT_S, h_i32_gt_s);
+        set(OP_I32_GT_U, h_i32_gt_u);
+        set(OP_I32_LE_S, h_i32_le_s);
+        set(OP_I32_LE_U, h_i32_le_u);
+        set(OP_I32_GE_S, h_i32_ge_s);
+        set(OP_I32_GE_U, h_i32_ge_u);
+        set(OP_I64_EQZ, h_i64_eqz);
+        set(OP_I64_EQ, h_i64_eq);
+        set(OP_I64_NE, h_i64_ne);
+        set(OP_I64_LT_S, h_i64_lt_s);
+        set(OP_I64_LT_U, h_i64_lt_u);
+        set(OP_I64_GT_S, h_i64_gt_s);
+        set(OP_I64_GT_U, h_i64_gt_u);
+        set(OP_I64_LE_S, h_i64_le_s);
+        set(OP_I64_LE_U, h_i64_le_u);
+        set(OP_I64_GE_S, h_i64_ge_s);
+        set(OP_I64_GE_U, h_i64_ge_u);
+        set(OP_F32_EQ, h_f32_eq);
+        set(OP_F32_NE, h_f32_ne);
+        set(OP_F32_LT, h_f32_lt);
+        set(OP_F32_GT, h_f32_gt);
+        set(OP_F32_LE, h_f32_le);
+        set(OP_F32_GE, h_f32_ge);
+        set(OP_F64_EQ, h_f64_eq);
+        set(OP_F64_NE, h_f64_ne);
+        set(OP_F64_LT, h_f64_lt);
+        set(OP_F64_GT, h_f64_gt);
+        set(OP_F64_LE, h_f64_le);
+        set(OP_F64_GE, h_f64_ge);
+        set(OP_I32_CLZ, h_i32_clz);
+        set(OP_I32_CTZ, h_i32_ctz);
+        set(OP_I32_POPCNT, h_i32_popcnt);
+        set(OP_I32_ADD, h_i32_add);
+        set(OP_I32_SUB, h_i32_sub);
+        set(OP_I32_MUL, h_i32_mul);
+        set(OP_I32_DIV_S, h_i32_div_s);
+        set(OP_I32_DIV_U, h_i32_div_u);
+        set(OP_I32_REM_S, h_i32_rem_s);
+        set(OP_I32_REM_U, h_i32_rem_u);
+        set(OP_I32_AND, h_i32_and);
+        set(OP_I32_OR, h_i32_or);
+        set(OP_I32_XOR, h_i32_xor);
+        set(OP_I32_SHL, h_i32_shl);
+        set(OP_I32_SHR_S, h_i32_shr_s);
+        set(OP_I32_SHR_U, h_i32_shr_u);
+        set(OP_I32_ROTL, h_i32_rotl);
+        set(OP_I32_ROTR, h_i32_rotr);
+        set(OP_I64_CLZ, h_i64_clz);
+        set(OP_I64_CTZ, h_i64_ctz);
+        set(OP_I64_POPCNT, h_i64_popcnt);
+        set(OP_I64_ADD, h_i64_add);
+        set(OP_I64_SUB, h_i64_sub);
+        set(OP_I64_MUL, h_i64_mul);
+        set(OP_I64_DIV_S, h_i64_div_s);
+        set(OP_I64_DIV_U, h_i64_div_u);
+        set(OP_I64_REM_S, h_i64_rem_s);
+        set(OP_I64_REM_U, h_i64_rem_u);
+        set(OP_I64_AND, h_i64_and);
+        set(OP_I64_OR, h_i64_or);
+        set(OP_I64_XOR, h_i64_xor);
+        set(OP_I64_SHL, h_i64_shl);
+        set(OP_I64_SHR_S, h_i64_shr_s);
+        set(OP_I64_SHR_U, h_i64_shr_u);
+        set(OP_I64_ROTL, h_i64_rotl);
+        set(OP_I64_ROTR, h_i64_rotr);
+        set(OP_F32_ABS, h_f32_abs);
+        set(OP_F32_NEG, h_f32_neg);
+        set(OP_F32_CEIL, h_f32_ceil);
+        set(OP_F32_FLOOR, h_f32_floor);
+        set(OP_F32_TRUNC, h_f32_trunc);
+        set(OP_F32_NEAREST, h_f32_nearest);
+        set(OP_F32_SQRT, h_f32_sqrt);
+        set(OP_F32_ADD, h_f32_add);
+        set(OP_F32_SUB, h_f32_sub);
+        set(OP_F32_MUL, h_f32_mul);
+        set(OP_F32_DIV, h_f32_div);
+        set(OP_F32_MIN, h_f32_min);
+        set(OP_F32_MAX, h_f32_max);
+        set(OP_F32_COPYSIGN, h_f32_copysign);
+        set(OP_F64_ABS, h_f64_abs);
+        set(OP_F64_NEG, h_f64_neg);
+        set(OP_F64_CEIL, h_f64_ceil);
+        set(OP_F64_FLOOR, h_f64_floor);
+        set(OP_F64_TRUNC, h_f64_trunc);
+        set(OP_F64_NEAREST, h_f64_nearest);
+        set(OP_F64_SQRT, h_f64_sqrt);
+        set(OP_F64_ADD, h_f64_add);
+        set(OP_F64_SUB, h_f64_sub);
+        set(OP_F64_MUL, h_f64_mul);
+        set(OP_F64_DIV, h_f64_div);
+        set(OP_F64_MIN, h_f64_min);
+        set(OP_F64_MAX, h_f64_max);
+        set(OP_F64_COPYSIGN, h_f64_copysign);
+        set(OP_I32_WRAP_I64, h_i32_wrap_i64);
+        set(OP_I32_TRUNC_F32_S, h_i32_trunc_f32_s);
+        set(OP_I32_TRUNC_F32_U, h_i32_trunc_f32_u);
+        set(OP_I32_TRUNC_F64_S, h_i32_trunc_f64_s);
+        set(OP_I32_TRUNC_F64_U, h_i32_trunc_f64_u);
+        set(OP_I64_EXTEND_I32_S, h_i64_extend_i32_s);
+        set(OP_I64_EXTEND_I32_U, h_i64_extend_i32_u);
+        set(OP_I64_TRUNC_F32_S, h_i64_trunc_f32_s);
+        set(OP_I64_TRUNC_F32_U, h_i64_trunc_f32_u);
+        set(OP_I64_TRUNC_F64_S, h_i64_trunc_f64_s);
+        set(OP_I64_TRUNC_F64_U, h_i64_trunc_f64_u);
+        set(OP_F32_CONVERT_I32_S, h_f32_convert_i32_s);
+        set(OP_F32_CONVERT_I32_U, h_f32_convert_i32_u);
+        set(OP_F32_CONVERT_I64_S, h_f32_convert_i64_s);
+        set(OP_F32_CONVERT_I64_U, h_f32_convert_i64_u);
+        set(OP_F32_DEMOTE_F64, h_f32_demote_f64);
+        set(OP_F64_CONVERT_I32_S, h_f64_convert_i32_s);
+        set(OP_F64_CONVERT_I32_U, h_f64_convert_i32_u);
+        set(OP_F64_CONVERT_I64_S, h_f64_convert_i64_s);
+        set(OP_F64_CONVERT_I64_U, h_f64_convert_i64_u);
+        set(OP_F64_PROMOTE_F32, h_f64_promote_f32);
+        set(OP_I32_REINTERPRET_F32, h_i32_reinterpret_f32);
+        set(OP_I64_REINTERPRET_F64, h_i64_reinterpret_f64);
+        set(OP_F32_REINTERPRET_I32, h_f32_reinterpret_i32);
+        set(OP_F64_REINTERPRET_I64, h_f64_reinterpret_i64);
+        set(OP_I32_EXTEND8_S, h_i32_extend8_s);
+        set(OP_I32_EXTEND16_S, h_i32_extend16_s);
+        set(OP_I64_EXTEND8_S, h_i64_extend8_s);
+        set(OP_I64_EXTEND16_S, h_i64_extend16_s);
+        set(OP_I64_EXTEND32_S, h_i64_extend32_s);
+        set(OP_PREFIX_FC, h_prefix_fc);
+        set(OP_PROBE, h_probe);
+    }
+};
+
+TableInit tableInit;
+
+} // namespace
+
+const void*
+interpNormalTable()
+{
+    return static_cast<const void*>(gNormalTable);
+}
+
+const void*
+interpProbedTable()
+{
+    return static_cast<const void*>(gProbedTable);
+}
+
+Signal
+runInterpreter(Engine& eng)
+{
+    Interp I(eng);
+    I.loadTopFrame();
+    while (!I.exit) {
+        auto table = static_cast<OpHandler const*>(I.dispatch);
+        table[I.code[I.pc]](I);
+    }
+    if (!eng.frames().empty() && I.signal != Signal::Trap &&
+        &eng.frames().back() == I.frame) {
+        I.sync();
+    }
+    return I.signal;
+}
+
+} // namespace wizpp

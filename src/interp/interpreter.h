@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The in-place bytecode interpreter tier.
+ *
+ * The interpreter executes the engine's mutable code copy directly
+ * (LEB immediates are decoded on the fly; control flow uses the
+ * validator-built side table). Dispatch is through a 256-entry handler
+ * table:
+ *
+ *  - The normal table maps each opcode to its handler; the reserved
+ *    OP_PROBE opcode maps to the local-probe handler (bytecode
+ *    overwriting, Section 4.2) — uninstrumented instructions pay zero
+ *    overhead.
+ *  - The instrumented table maps *every* opcode to a stub that fires
+ *    global probes and then dispatches through the normal table
+ *    (dispatch-table switching, Section 4.1) — enabling/disabling
+ *    global probes is a single pointer swap with zero disabled cost.
+ */
+
+#ifndef WIZPP_INTERP_INTERPRETER_H
+#define WIZPP_INTERP_INTERPRETER_H
+
+#include "engine/engine.h"
+
+namespace wizpp {
+
+/**
+ * Runs the interpreter on the engine's top frame until the program
+ * finishes, traps, or the top frame should enter the compiled tier.
+ */
+Signal runInterpreter(Engine& eng);
+
+/** The normal dispatch table (opaque pointer; see file comment). */
+const void* interpNormalTable();
+
+/** The global-probe dispatch table. */
+const void* interpProbedTable();
+
+} // namespace wizpp
+
+#endif // WIZPP_INTERP_INTERPRETER_H

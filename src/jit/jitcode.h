@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Compiled-tier code representation.
+ *
+ * The "baseline JIT" of this reproduction pre-decodes a function body
+ * into a dense array of JInst records: immediates are fully decoded,
+ * control flow is resolved to instruction indices, and probed locations
+ * are compiled to explicit probe instructions — a generic runtime call,
+ * or an intrinsified form for CountProbes (inline counter increment)
+ * and OperandProbes (direct top-of-stack call), exactly mirroring
+ * Figure 2 of the paper. See DESIGN.md substitution S1 for why this
+ * stands in for native code emission.
+ */
+
+#ifndef WIZPP_JIT_JITCODE_H
+#define WIZPP_JIT_JITCODE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace wizpp {
+
+class Engine;
+struct FuncState;
+
+/** Extended opcode space for compiled instructions. */
+
+/** 0xFC-prefixed ops are encoded as kJFcBase + subopcode. */
+constexpr uint16_t kJFcBase = 256;
+
+/** Generic probe: checkpoint, runtime call into ProbeManager. */
+constexpr uint16_t kJProbeGeneric = 512;
+
+/** Intrinsified CountProbe: inline counter increment (Figure 2). */
+constexpr uint16_t kJProbeCount = 513;
+
+/** Intrinsified OperandProbe: direct call with top-of-stack value. */
+constexpr uint16_t kJProbeOperand = 514;
+
+/** Returned by JitCode::indexOfPc for unmapped pcs. */
+constexpr uint32_t kNoJitIndex = 0xffffffffu;
+
+/** One pre-decoded instruction. */
+struct JInst
+{
+    uint16_t op = 0;    ///< opcode byte, kJFcBase+sub, or kJProbe*
+    uint16_t aux = 0;   ///< branch valCount / br_table entry count
+    uint32_t a = 0;     ///< target idx / local idx / func idx / mem offset
+    uint32_t b = 0;     ///< branch popTo
+    uint32_t pc = 0;    ///< original bytecode pc (deopt anchor)
+    uint64_t imm = 0;   ///< constant payload
+    void* ptr = nullptr;  ///< intrinsified probe target
+};
+
+/** A resolved br_table arm. */
+struct JBranch
+{
+    uint32_t target = 0;
+    uint32_t popTo = 0;
+    uint16_t valCount = 0;
+};
+
+/** Compiled code for one function. */
+struct JitCode
+{
+    std::vector<JInst> insts;
+    std::vector<JBranch> brTableArms;
+    std::unordered_map<uint32_t, uint32_t> pcToIndex;
+
+    /** Maps a bytecode pc to its compiled index (kNoJitIndex if absent). */
+    uint32_t
+    indexOfPc(uint32_t pc) const
+    {
+        auto it = pcToIndex.find(pc);
+        return it == pcToIndex.end() ? kNoJitIndex : it->second;
+    }
+};
+
+/**
+ * Compiles @p fs with the engine's current instrumentation baked in
+ * (probe sites become probe instructions; see Section 4.3-4.4).
+ */
+std::unique_ptr<JitCode> translateFunction(Engine& eng, FuncState& fs);
+
+} // namespace wizpp
+
+#endif // WIZPP_JIT_JITCODE_H

@@ -1,0 +1,810 @@
+#include "jit/jitexec.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "jit/jitcode.h"
+#include "probes/frameaccessor.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+constexpr uint32_t kNoPc = 0xffffffffu;
+
+/** Live compiled-tier state. */
+struct JState
+{
+    Engine& eng;
+    Value* vals;
+    Instance* inst;
+    Frame* frame = nullptr;
+    FuncState* fs = nullptr;
+    const JitCode* jc = nullptr;
+    uint32_t idx = 0;      ///< next instruction index
+    uint32_t sp = 0;
+    Signal signal = Signal::Done;
+    bool exit = false;
+
+    explicit JState(Engine& e)
+        : eng(e), vals(e.values().data()), inst(&e.instance())
+    {}
+
+    void
+    loadTopFrame()
+    {
+        frame = &eng.frames().back();
+        fs = frame->fs;
+        jc = fs->jit.get();
+        idx = frame->jitResumeIdx;
+        sp = frame->sp;
+    }
+};
+
+inline void
+doTrap(JState& J, uint32_t pc, TrapReason r)
+{
+    J.frame->pc = pc;
+    J.frame->sp = J.sp;
+    J.eng.setTrap(r);
+    J.signal = Signal::Trap;
+    J.exit = true;
+}
+
+inline void
+applyBranch(JState& J, uint32_t target, uint32_t popTo, uint32_t valCount)
+{
+    uint32_t dst = J.frame->stackStart + popTo;
+    uint32_t srcBase = J.sp - valCount;
+    for (uint32_t i = 0; i < valCount; i++) {
+        J.vals[dst + i] = J.vals[srcBase + i];
+    }
+    J.sp = dst + valCount;
+    J.idx = target;
+}
+
+/** Leaves compiled code: the top frame resumes in the interpreter. */
+inline void
+deoptHere(JState& J, uint32_t pc, bool skipProbes)
+{
+    J.frame->pc = pc;
+    J.frame->sp = J.sp;
+    J.frame->tier = Tier::Interpreter;
+    if (skipProbes) J.frame->skipProbeOncePc = pc;
+    J.eng.stats.frameDeopts++;
+    J.signal = Signal::TierSwitch;
+    J.exit = true;
+}
+
+inline void
+doReturn(JState& J)
+{
+    uint32_t arity = J.fs->numResults;
+    uint32_t lb = J.frame->localsBase;
+    for (uint32_t i = 0; i < arity; i++) {
+        J.vals[lb + i] = J.vals[J.sp - arity + i];
+    }
+    if (J.frame->accessor) {
+        J.frame->accessor->invalidate();
+        J.frame->accessor.reset();
+    }
+    auto& frames = J.eng.frames();
+    frames.pop_back();
+    if (frames.empty()) {
+        J.sp = lb + arity;
+        J.signal = Signal::Done;
+        J.exit = true;
+        return;
+    }
+    Frame& caller = frames.back();
+    caller.sp = lb + arity;
+    FuncState* cfs = caller.fs;
+    if (!J.eng.interpreterOnly() && caller.tier == Tier::Jit && cfs->jit &&
+        caller.jitEpoch == cfs->jitEpoch && !caller.deoptRequested) {
+        J.loadTopFrame();
+        return;
+    }
+    J.signal = Signal::TierSwitch;
+    J.exit = true;
+}
+
+/** Calls a function from compiled code; nextIdx resumes the caller. */
+inline void
+doCall(JState& J, uint32_t calleeIdx, uint32_t nextIdx)
+{
+    Engine& eng = J.eng;
+    FuncState& callee = eng.funcState(calleeIdx);
+    uint32_t nextPc = J.jc->insts[nextIdx].pc;
+
+    if (callee.decl->imported) {
+        const HostFunc& hf = J.inst->hostFuncs[calleeIdx];
+        uint32_t n = callee.numParams;
+        std::vector<Value> args(J.vals + J.sp - n, J.vals + J.sp);
+        J.sp -= n;
+        J.frame->pc = nextPc;
+        J.frame->sp = J.sp;
+        J.frame->jitResumeIdx = nextIdx;
+        std::vector<Value> results;
+        TrapReason t = hf.fn(args, &results);
+        if (t != TrapReason::None) {
+            doTrap(J, J.jc->insts[nextIdx - 1].pc, t);
+            return;
+        }
+        for (const Value& v : results) J.vals[J.sp++] = v;
+        J.idx = nextIdx;
+        return;
+    }
+
+    uint32_t nparams = callee.numParams;
+    uint32_t localsBase = J.sp - nparams;
+    J.frame->pc = nextPc;
+    J.frame->sp = localsBase;
+    J.frame->jitResumeIdx = nextIdx;
+
+    auto& frames = eng.frames();
+    if (frames.size() >= eng.config().maxFrames) {
+        doTrap(J, J.jc->insts[nextIdx - 1].pc, TrapReason::StackOverflow);
+        return;
+    }
+    uint32_t stackStart = localsBase + callee.numLocals;
+    if (stackStart + callee.maxOperand > eng.values().size()) {
+        doTrap(J, J.jc->insts[nextIdx - 1].pc, TrapReason::StackOverflow);
+        return;
+    }
+
+    // Tier-up accounting also applies to calls made from compiled code;
+    // Jit mode lazily recompiles invalidated code (Section 4.5).
+    const EngineConfig& cfg = eng.config();
+    if (!callee.jit) {
+        if (cfg.mode == ExecMode::Jit) {
+            eng.compileFunction(calleeIdx);
+        } else if (cfg.mode == ExecMode::Tiered &&
+                   ++callee.hotness >= cfg.tierUpThreshold) {
+            eng.compileFunction(calleeIdx);
+        }
+    }
+
+    frames.emplace_back();
+    Frame& f = frames.back();
+    f.fs = &callee;
+    f.pc = 0;
+    f.localsBase = localsBase;
+    f.stackStart = stackStart;
+    f.sp = stackStart;
+    f.frameId = eng.nextFrameId();
+    f.accessor = nullptr;
+    f.jitEpoch = callee.jitEpoch;
+    f.jitResumeIdx = 0;
+    f.deoptRequested = false;
+    f.skipProbeOncePc = kNoPc;
+
+    for (uint32_t i = nparams; i < callee.numLocals; i++) {
+        J.vals[localsBase + i] = Value::zeroOf(callee.localTypes[i]);
+    }
+
+    if (callee.jit) {
+        f.tier = Tier::Jit;
+        J.loadTopFrame();
+    } else {
+        f.tier = Tier::Interpreter;
+        J.signal = Signal::TierSwitch;
+        J.exit = true;
+    }
+}
+
+template <typename F>
+inline F
+wasmMin(F a, F b)
+{
+    if (std::isnan(a) || std::isnan(b)) {
+        return std::numeric_limits<F>::quiet_NaN();
+    }
+    if (a == b) return std::signbit(a) ? a : b;
+    return a < b ? a : b;
+}
+
+template <typename F>
+inline F
+wasmMax(F a, F b)
+{
+    if (std::isnan(a) || std::isnan(b)) {
+        return std::numeric_limits<F>::quiet_NaN();
+    }
+    if (a == b) return std::signbit(a) ? b : a;
+    return a > b ? a : b;
+}
+
+template <typename IT>
+inline IT
+truncSat(double v, double lo, double hi)
+{
+    if (std::isnan(v)) return 0;
+    double t = std::trunc(v);
+    if (t < lo) return std::numeric_limits<IT>::min();
+    if (t > hi) return std::numeric_limits<IT>::max();
+    return static_cast<IT>(t);
+}
+
+} // namespace
+
+Signal
+runJitTier(Engine& eng)
+{
+    JState J(eng);
+    J.loadTopFrame();
+
+#define TOP J.vals[J.sp - 1]
+#define PUSH(v) J.vals[J.sp++] = (v)
+#define POP() J.vals[--J.sp]
+#define BINOP_CASE(OPC, POPT, MAKE_EXPR)                                  \
+    case OPC: {                                                           \
+        auto b = POP().POPT();                                            \
+        auto a = TOP.POPT();                                              \
+        TOP = MAKE_EXPR;                                                  \
+        J.idx++;                                                          \
+        break;                                                            \
+    }
+#define UNOP_CASE(OPC, POPT, MAKE_EXPR)                                   \
+    case OPC: {                                                           \
+        auto a = TOP.POPT();                                              \
+        TOP = MAKE_EXPR;                                                  \
+        J.idx++;                                                          \
+        break;                                                            \
+    }
+#define LOAD_CASE(OPC, CT, MAKE)                                          \
+    case OPC: {                                                           \
+        uint32_t addr = TOP.i32();                                        \
+        Memory& mem = J.inst->memory;                                     \
+        if (!mem.inBounds(addr, n.a, sizeof(CT))) {                       \
+            doTrap(J, n.pc, TrapReason::MemoryOutOfBounds);               \
+            break;                                                        \
+        }                                                                 \
+        CT raw = mem.read<CT>(addr + n.a);                                \
+        TOP = MAKE;                                                       \
+        J.idx++;                                                          \
+        break;                                                            \
+    }
+#define STORE_CASE(OPC, CT, GET)                                          \
+    case OPC: {                                                           \
+        Value val = POP();                                                \
+        uint32_t addr = POP().i32();                                      \
+        Memory& mem = J.inst->memory;                                     \
+        if (!mem.inBounds(addr, n.a, sizeof(CT))) {                       \
+            doTrap(J, n.pc, TrapReason::MemoryOutOfBounds);               \
+            break;                                                        \
+        }                                                                 \
+        mem.write<CT>(addr + n.a, static_cast<CT>(GET));                  \
+        J.idx++;                                                          \
+        break;                                                            \
+    }
+#define TRUNC_CASE(OPC, POPT, IT, LO, HI, MAKE)                           \
+    case OPC: {                                                           \
+        double v = static_cast<double>(TOP.POPT());                       \
+        if (std::isnan(v)) {                                              \
+            doTrap(J, n.pc, TrapReason::InvalidConversion);               \
+            break;                                                        \
+        }                                                                 \
+        double t = std::trunc(v);                                         \
+        if (!(t >= (LO) && t < (HI))) {                                   \
+            doTrap(J, n.pc, TrapReason::IntegerOverflow);                 \
+            break;                                                        \
+        }                                                                 \
+        TOP = MAKE(static_cast<IT>(t));                                   \
+        J.idx++;                                                          \
+        break;                                                            \
+    }
+
+    while (!J.exit) {
+        const JInst& n = J.jc->insts[J.idx];
+        switch (n.op) {
+          // ---- Probes (Section 4.3-4.4) ----
+          case kJProbeGeneric: {
+            uint32_t pc = n.pc;
+            // Checkpoint program and VM state, then call M-code.
+            J.frame->pc = pc;
+            J.frame->sp = J.sp;
+            J.frame->jitResumeIdx = J.idx;
+            FuncState* fs = J.fs;
+            eng.probes().fireLocal(J.frame, fs, pc);
+            // The probes may have modified the frame or invalidated this
+            // code; if so, continue in the interpreter (Section 4.5).
+            if (J.frame->deoptRequested ||
+                J.frame->jitEpoch != fs->jitEpoch || eng.interpreterOnly()) {
+                J.frame->deoptRequested = false;
+                deoptHere(J, pc, /*skipProbes=*/true);
+                break;
+            }
+            J.idx++;
+            break;
+          }
+          case kJProbeCount:
+            // Fully intrinsified counter increment (Figure 2, right).
+            ++*static_cast<uint64_t*>(n.ptr);
+            J.idx++;
+            break;
+          case kJProbeOperand: {
+            // Direct call with the top-of-stack value; no FrameAccessor.
+            uint64_t epoch = eng.instrumentationEpoch;
+            static_cast<OperandProbe*>(n.ptr)->fireOperand(TOP);
+            if (eng.instrumentationEpoch != epoch) {
+                // M-code touched instrumentation; bail out safely.
+                J.frame->deoptRequested = false;
+                deoptHere(J, n.pc, /*skipProbes=*/true);
+                break;
+            }
+            J.idx++;
+            break;
+          }
+
+          // ---- Control flow ----
+          case OP_UNREACHABLE:
+            doTrap(J, n.pc, TrapReason::Unreachable);
+            break;
+          case OP_IF: {
+            uint32_t cond = POP().i32();
+            if (cond) {
+                J.idx++;
+            } else {
+                applyBranch(J, n.a, n.b, n.aux);
+            }
+            break;
+          }
+          case OP_ELSE:
+          case OP_BR:
+            applyBranch(J, n.a, n.b, n.aux);
+            break;
+          case OP_BR_IF: {
+            uint32_t cond = POP().i32();
+            if (cond) {
+                applyBranch(J, n.a, n.b, n.aux);
+            } else {
+                J.idx++;
+            }
+            break;
+          }
+          case OP_BR_TABLE: {
+            uint32_t v = POP().i32();
+            uint32_t count = n.aux;  // includes default
+            uint32_t arm = v < count - 1 ? v : count - 1;
+            const JBranch& br = J.jc->brTableArms[n.a + arm];
+            applyBranch(J, br.target, br.popTo, br.valCount);
+            break;
+          }
+          case OP_RETURN:
+            doReturn(J);
+            break;
+          case OP_CALL:
+            doCall(J, n.a, J.idx + 1);
+            break;
+          case OP_CALL_INDIRECT: {
+            uint32_t slot = POP().i32();
+            Table& table = J.inst->table;
+            if (!table.inBounds(slot)) {
+                doTrap(J, n.pc, TrapReason::TableOutOfBounds);
+                break;
+            }
+            uint32_t target = table.get(slot);
+            if (target == kNullFuncIndex) {
+                doTrap(J, n.pc, TrapReason::UninitializedTableEntry);
+                break;
+            }
+            if (eng.funcState(target).canonTypeId != n.a) {
+                doTrap(J, n.pc, TrapReason::IndirectCallTypeMismatch);
+                break;
+            }
+            doCall(J, target, J.idx + 1);
+            break;
+          }
+
+          // ---- Parametric / variable ----
+          case OP_DROP:
+            --J.sp;
+            J.idx++;
+            break;
+          case OP_SELECT: {
+            uint32_t cond = POP().i32();
+            Value v2 = POP();
+            Value v1 = POP();
+            PUSH(cond ? v1 : v2);
+            J.idx++;
+            break;
+          }
+          case OP_LOCAL_GET:
+            PUSH(J.vals[J.frame->localsBase + n.a]);
+            J.idx++;
+            break;
+          case OP_LOCAL_SET:
+            J.vals[J.frame->localsBase + n.a] = POP();
+            J.idx++;
+            break;
+          case OP_LOCAL_TEE:
+            J.vals[J.frame->localsBase + n.a] = TOP;
+            J.idx++;
+            break;
+          case OP_GLOBAL_GET:
+            PUSH(J.inst->globals[n.a].value);
+            J.idx++;
+            break;
+          case OP_GLOBAL_SET:
+            J.inst->globals[n.a].value = POP();
+            J.idx++;
+            break;
+
+          // ---- Memory ----
+          LOAD_CASE(OP_I32_LOAD, uint32_t, Value::makeI32(raw))
+          LOAD_CASE(OP_I64_LOAD, uint64_t, Value::makeI64(raw))
+          LOAD_CASE(OP_F32_LOAD, float, Value::makeF32(raw))
+          LOAD_CASE(OP_F64_LOAD, double, Value::makeF64(raw))
+          LOAD_CASE(OP_I32_LOAD8_S, int8_t,
+                    Value::makeI32(static_cast<int32_t>(raw)))
+          LOAD_CASE(OP_I32_LOAD8_U, uint8_t,
+                    Value::makeI32(static_cast<uint32_t>(raw)))
+          LOAD_CASE(OP_I32_LOAD16_S, int16_t,
+                    Value::makeI32(static_cast<int32_t>(raw)))
+          LOAD_CASE(OP_I32_LOAD16_U, uint16_t,
+                    Value::makeI32(static_cast<uint32_t>(raw)))
+          LOAD_CASE(OP_I64_LOAD8_S, int8_t,
+                    Value::makeI64(static_cast<int64_t>(raw)))
+          LOAD_CASE(OP_I64_LOAD8_U, uint8_t,
+                    Value::makeI64(static_cast<uint64_t>(raw)))
+          LOAD_CASE(OP_I64_LOAD16_S, int16_t,
+                    Value::makeI64(static_cast<int64_t>(raw)))
+          LOAD_CASE(OP_I64_LOAD16_U, uint16_t,
+                    Value::makeI64(static_cast<uint64_t>(raw)))
+          LOAD_CASE(OP_I64_LOAD32_S, int32_t,
+                    Value::makeI64(static_cast<int64_t>(raw)))
+          LOAD_CASE(OP_I64_LOAD32_U, uint32_t,
+                    Value::makeI64(static_cast<uint64_t>(raw)))
+          STORE_CASE(OP_I32_STORE, uint32_t, val.i32())
+          STORE_CASE(OP_I64_STORE, uint64_t, val.i64())
+          STORE_CASE(OP_F32_STORE, float, val.f32())
+          STORE_CASE(OP_F64_STORE, double, val.f64())
+          STORE_CASE(OP_I32_STORE8, uint8_t, val.i32())
+          STORE_CASE(OP_I32_STORE16, uint16_t, val.i32())
+          STORE_CASE(OP_I64_STORE8, uint8_t, val.i64())
+          STORE_CASE(OP_I64_STORE16, uint16_t, val.i64())
+          STORE_CASE(OP_I64_STORE32, uint32_t, val.i64())
+          case OP_MEMORY_SIZE:
+            PUSH(Value::makeI32(J.inst->memory.pages()));
+            J.idx++;
+            break;
+          case OP_MEMORY_GROW:
+            TOP = Value::makeI32(J.inst->memory.grow(TOP.i32()));
+            J.idx++;
+            break;
+
+          // ---- Constants ----
+          case OP_I32_CONST:
+            PUSH(Value(ValType::I32, n.imm & 0xffffffffu));
+            J.idx++;
+            break;
+          case OP_I64_CONST:
+            PUSH(Value(ValType::I64, n.imm));
+            J.idx++;
+            break;
+          case OP_F32_CONST:
+            PUSH(Value(ValType::F32, n.imm & 0xffffffffu));
+            J.idx++;
+            break;
+          case OP_F64_CONST:
+            PUSH(Value(ValType::F64, n.imm));
+            J.idx++;
+            break;
+
+          // ---- i32 compare/arithmetic ----
+          UNOP_CASE(OP_I32_EQZ, i32, Value::makeI32(uint32_t{a == 0}))
+          BINOP_CASE(OP_I32_EQ, i32, Value::makeI32(uint32_t{a == b}))
+          BINOP_CASE(OP_I32_NE, i32, Value::makeI32(uint32_t{a != b}))
+          BINOP_CASE(OP_I32_LT_S, i32s, Value::makeI32(uint32_t{a < b}))
+          BINOP_CASE(OP_I32_LT_U, i32, Value::makeI32(uint32_t{a < b}))
+          BINOP_CASE(OP_I32_GT_S, i32s, Value::makeI32(uint32_t{a > b}))
+          BINOP_CASE(OP_I32_GT_U, i32, Value::makeI32(uint32_t{a > b}))
+          BINOP_CASE(OP_I32_LE_S, i32s, Value::makeI32(uint32_t{a <= b}))
+          BINOP_CASE(OP_I32_LE_U, i32, Value::makeI32(uint32_t{a <= b}))
+          BINOP_CASE(OP_I32_GE_S, i32s, Value::makeI32(uint32_t{a >= b}))
+          BINOP_CASE(OP_I32_GE_U, i32, Value::makeI32(uint32_t{a >= b}))
+          UNOP_CASE(OP_I32_CLZ, i32,
+                    Value::makeI32(a ? uint32_t(__builtin_clz(a)) : 32u))
+          UNOP_CASE(OP_I32_CTZ, i32,
+                    Value::makeI32(a ? uint32_t(__builtin_ctz(a)) : 32u))
+          UNOP_CASE(OP_I32_POPCNT, i32,
+                    Value::makeI32(uint32_t(__builtin_popcount(a))))
+          BINOP_CASE(OP_I32_ADD, i32, Value::makeI32(a + b))
+          BINOP_CASE(OP_I32_SUB, i32, Value::makeI32(a - b))
+          BINOP_CASE(OP_I32_MUL, i32, Value::makeI32(a * b))
+          BINOP_CASE(OP_I32_AND, i32, Value::makeI32(a & b))
+          BINOP_CASE(OP_I32_OR, i32, Value::makeI32(a | b))
+          BINOP_CASE(OP_I32_XOR, i32, Value::makeI32(a ^ b))
+          BINOP_CASE(OP_I32_SHL, i32, Value::makeI32(a << (b & 31)))
+          BINOP_CASE(OP_I32_SHR_U, i32, Value::makeI32(a >> (b & 31)))
+          BINOP_CASE(OP_I32_SHR_S, i32,
+                     Value::makeI32(uint32_t(int32_t(a) >> (b & 31))))
+          BINOP_CASE(OP_I32_ROTL, i32, Value::makeI32(
+              (b & 31) ? ((a << (b & 31)) | (a >> (32 - (b & 31)))) : a))
+          BINOP_CASE(OP_I32_ROTR, i32, Value::makeI32(
+              (b & 31) ? ((a >> (b & 31)) | (a << (32 - (b & 31)))) : a))
+          case OP_I32_DIV_S: {
+            int32_t b = POP().i32s();
+            int32_t a = TOP.i32s();
+            if (b == 0) { doTrap(J, n.pc, TrapReason::DivByZero); break; }
+            if (a == INT32_MIN && b == -1) {
+                doTrap(J, n.pc, TrapReason::IntegerOverflow);
+                break;
+            }
+            TOP = Value::makeI32(a / b);
+            J.idx++;
+            break;
+          }
+          case OP_I32_DIV_U: {
+            uint32_t b = POP().i32();
+            uint32_t a = TOP.i32();
+            if (b == 0) { doTrap(J, n.pc, TrapReason::DivByZero); break; }
+            TOP = Value::makeI32(a / b);
+            J.idx++;
+            break;
+          }
+          case OP_I32_REM_S: {
+            int32_t b = POP().i32s();
+            int32_t a = TOP.i32s();
+            if (b == 0) { doTrap(J, n.pc, TrapReason::DivByZero); break; }
+            TOP = Value::makeI32((a == INT32_MIN && b == -1) ? 0 : a % b);
+            J.idx++;
+            break;
+          }
+          case OP_I32_REM_U: {
+            uint32_t b = POP().i32();
+            uint32_t a = TOP.i32();
+            if (b == 0) { doTrap(J, n.pc, TrapReason::DivByZero); break; }
+            TOP = Value::makeI32(a % b);
+            J.idx++;
+            break;
+          }
+
+          // ---- i64 compare/arithmetic ----
+          UNOP_CASE(OP_I64_EQZ, i64, Value::makeI32(uint32_t{a == 0}))
+          BINOP_CASE(OP_I64_EQ, i64, Value::makeI32(uint32_t{a == b}))
+          BINOP_CASE(OP_I64_NE, i64, Value::makeI32(uint32_t{a != b}))
+          BINOP_CASE(OP_I64_LT_S, i64s, Value::makeI32(uint32_t{a < b}))
+          BINOP_CASE(OP_I64_LT_U, i64, Value::makeI32(uint32_t{a < b}))
+          BINOP_CASE(OP_I64_GT_S, i64s, Value::makeI32(uint32_t{a > b}))
+          BINOP_CASE(OP_I64_GT_U, i64, Value::makeI32(uint32_t{a > b}))
+          BINOP_CASE(OP_I64_LE_S, i64s, Value::makeI32(uint32_t{a <= b}))
+          BINOP_CASE(OP_I64_LE_U, i64, Value::makeI32(uint32_t{a <= b}))
+          BINOP_CASE(OP_I64_GE_S, i64s, Value::makeI32(uint32_t{a >= b}))
+          BINOP_CASE(OP_I64_GE_U, i64, Value::makeI32(uint32_t{a >= b}))
+          UNOP_CASE(OP_I64_CLZ, i64,
+                    Value::makeI64(a ? uint64_t(__builtin_clzll(a)) : 64u))
+          UNOP_CASE(OP_I64_CTZ, i64,
+                    Value::makeI64(a ? uint64_t(__builtin_ctzll(a)) : 64u))
+          UNOP_CASE(OP_I64_POPCNT, i64,
+                    Value::makeI64(uint64_t(__builtin_popcountll(a))))
+          BINOP_CASE(OP_I64_ADD, i64, Value::makeI64(a + b))
+          BINOP_CASE(OP_I64_SUB, i64, Value::makeI64(a - b))
+          BINOP_CASE(OP_I64_MUL, i64, Value::makeI64(a * b))
+          BINOP_CASE(OP_I64_AND, i64, Value::makeI64(a & b))
+          BINOP_CASE(OP_I64_OR, i64, Value::makeI64(a | b))
+          BINOP_CASE(OP_I64_XOR, i64, Value::makeI64(a ^ b))
+          BINOP_CASE(OP_I64_SHL, i64, Value::makeI64(a << (b & 63)))
+          BINOP_CASE(OP_I64_SHR_U, i64, Value::makeI64(a >> (b & 63)))
+          BINOP_CASE(OP_I64_SHR_S, i64,
+                     Value::makeI64(uint64_t(int64_t(a) >> (b & 63))))
+          BINOP_CASE(OP_I64_ROTL, i64, Value::makeI64(
+              (b & 63) ? ((a << (b & 63)) | (a >> (64 - (b & 63)))) : a))
+          BINOP_CASE(OP_I64_ROTR, i64, Value::makeI64(
+              (b & 63) ? ((a >> (b & 63)) | (a << (64 - (b & 63)))) : a))
+          case OP_I64_DIV_S: {
+            int64_t b = POP().i64s();
+            int64_t a = TOP.i64s();
+            if (b == 0) { doTrap(J, n.pc, TrapReason::DivByZero); break; }
+            if (a == INT64_MIN && b == -1) {
+                doTrap(J, n.pc, TrapReason::IntegerOverflow);
+                break;
+            }
+            TOP = Value::makeI64(a / b);
+            J.idx++;
+            break;
+          }
+          case OP_I64_DIV_U: {
+            uint64_t b = POP().i64();
+            uint64_t a = TOP.i64();
+            if (b == 0) { doTrap(J, n.pc, TrapReason::DivByZero); break; }
+            TOP = Value::makeI64(a / b);
+            J.idx++;
+            break;
+          }
+          case OP_I64_REM_S: {
+            int64_t b = POP().i64s();
+            int64_t a = TOP.i64s();
+            if (b == 0) { doTrap(J, n.pc, TrapReason::DivByZero); break; }
+            TOP = Value::makeI64((a == INT64_MIN && b == -1) ? 0 : a % b);
+            J.idx++;
+            break;
+          }
+          case OP_I64_REM_U: {
+            uint64_t b = POP().i64();
+            uint64_t a = TOP.i64();
+            if (b == 0) { doTrap(J, n.pc, TrapReason::DivByZero); break; }
+            TOP = Value::makeI64(a % b);
+            J.idx++;
+            break;
+          }
+
+          // ---- float compare/arithmetic ----
+          BINOP_CASE(OP_F32_EQ, f32, Value::makeI32(uint32_t{a == b}))
+          BINOP_CASE(OP_F32_NE, f32, Value::makeI32(uint32_t{a != b}))
+          BINOP_CASE(OP_F32_LT, f32, Value::makeI32(uint32_t{a < b}))
+          BINOP_CASE(OP_F32_GT, f32, Value::makeI32(uint32_t{a > b}))
+          BINOP_CASE(OP_F32_LE, f32, Value::makeI32(uint32_t{a <= b}))
+          BINOP_CASE(OP_F32_GE, f32, Value::makeI32(uint32_t{a >= b}))
+          BINOP_CASE(OP_F64_EQ, f64, Value::makeI32(uint32_t{a == b}))
+          BINOP_CASE(OP_F64_NE, f64, Value::makeI32(uint32_t{a != b}))
+          BINOP_CASE(OP_F64_LT, f64, Value::makeI32(uint32_t{a < b}))
+          BINOP_CASE(OP_F64_GT, f64, Value::makeI32(uint32_t{a > b}))
+          BINOP_CASE(OP_F64_LE, f64, Value::makeI32(uint32_t{a <= b}))
+          BINOP_CASE(OP_F64_GE, f64, Value::makeI32(uint32_t{a >= b}))
+          UNOP_CASE(OP_F32_ABS, f32, Value::makeF32(std::fabs(a)))
+          UNOP_CASE(OP_F32_NEG, f32, Value::makeF32(-a))
+          UNOP_CASE(OP_F32_CEIL, f32, Value::makeF32(std::ceil(a)))
+          UNOP_CASE(OP_F32_FLOOR, f32, Value::makeF32(std::floor(a)))
+          UNOP_CASE(OP_F32_TRUNC, f32, Value::makeF32(std::trunc(a)))
+          UNOP_CASE(OP_F32_NEAREST, f32, Value::makeF32(std::nearbyintf(a)))
+          UNOP_CASE(OP_F32_SQRT, f32, Value::makeF32(std::sqrt(a)))
+          BINOP_CASE(OP_F32_ADD, f32, Value::makeF32(a + b))
+          BINOP_CASE(OP_F32_SUB, f32, Value::makeF32(a - b))
+          BINOP_CASE(OP_F32_MUL, f32, Value::makeF32(a * b))
+          BINOP_CASE(OP_F32_DIV, f32, Value::makeF32(a / b))
+          BINOP_CASE(OP_F32_MIN, f32, Value::makeF32(wasmMin(a, b)))
+          BINOP_CASE(OP_F32_MAX, f32, Value::makeF32(wasmMax(a, b)))
+          BINOP_CASE(OP_F32_COPYSIGN, f32,
+                     Value::makeF32(std::copysign(a, b)))
+          UNOP_CASE(OP_F64_ABS, f64, Value::makeF64(std::fabs(a)))
+          UNOP_CASE(OP_F64_NEG, f64, Value::makeF64(-a))
+          UNOP_CASE(OP_F64_CEIL, f64, Value::makeF64(std::ceil(a)))
+          UNOP_CASE(OP_F64_FLOOR, f64, Value::makeF64(std::floor(a)))
+          UNOP_CASE(OP_F64_TRUNC, f64, Value::makeF64(std::trunc(a)))
+          UNOP_CASE(OP_F64_NEAREST, f64, Value::makeF64(std::nearbyint(a)))
+          UNOP_CASE(OP_F64_SQRT, f64, Value::makeF64(std::sqrt(a)))
+          BINOP_CASE(OP_F64_ADD, f64, Value::makeF64(a + b))
+          BINOP_CASE(OP_F64_SUB, f64, Value::makeF64(a - b))
+          BINOP_CASE(OP_F64_MUL, f64, Value::makeF64(a * b))
+          BINOP_CASE(OP_F64_DIV, f64, Value::makeF64(a / b))
+          BINOP_CASE(OP_F64_MIN, f64, Value::makeF64(wasmMin(a, b)))
+          BINOP_CASE(OP_F64_MAX, f64, Value::makeF64(wasmMax(a, b)))
+          BINOP_CASE(OP_F64_COPYSIGN, f64,
+                     Value::makeF64(std::copysign(a, b)))
+
+          // ---- conversions ----
+          UNOP_CASE(OP_I32_WRAP_I64, i64, Value::makeI32(uint32_t(a)))
+          UNOP_CASE(OP_I64_EXTEND_I32_S, i32s, Value::makeI64(int64_t(a)))
+          UNOP_CASE(OP_I64_EXTEND_I32_U, i32, Value::makeI64(uint64_t(a)))
+          UNOP_CASE(OP_F32_CONVERT_I32_S, i32s, Value::makeF32(float(a)))
+          UNOP_CASE(OP_F32_CONVERT_I32_U, i32, Value::makeF32(float(a)))
+          UNOP_CASE(OP_F32_CONVERT_I64_S, i64s, Value::makeF32(float(a)))
+          UNOP_CASE(OP_F32_CONVERT_I64_U, i64, Value::makeF32(float(a)))
+          UNOP_CASE(OP_F32_DEMOTE_F64, f64, Value::makeF32(float(a)))
+          UNOP_CASE(OP_F64_CONVERT_I32_S, i32s, Value::makeF64(double(a)))
+          UNOP_CASE(OP_F64_CONVERT_I32_U, i32, Value::makeF64(double(a)))
+          UNOP_CASE(OP_F64_CONVERT_I64_S, i64s, Value::makeF64(double(a)))
+          UNOP_CASE(OP_F64_CONVERT_I64_U, i64, Value::makeF64(double(a)))
+          UNOP_CASE(OP_F64_PROMOTE_F32, f32, Value::makeF64(double(a)))
+          UNOP_CASE(OP_I32_REINTERPRET_F32, i32, Value(ValType::I32, a))
+          UNOP_CASE(OP_I64_REINTERPRET_F64, i64, Value(ValType::I64, a))
+          UNOP_CASE(OP_F32_REINTERPRET_I32, i32, Value(ValType::F32, a))
+          UNOP_CASE(OP_F64_REINTERPRET_I64, i64, Value(ValType::F64, a))
+          UNOP_CASE(OP_I32_EXTEND8_S, i32,
+                    Value::makeI32(int32_t(int8_t(a))))
+          UNOP_CASE(OP_I32_EXTEND16_S, i32,
+                    Value::makeI32(int32_t(int16_t(a))))
+          UNOP_CASE(OP_I64_EXTEND8_S, i64,
+                    Value::makeI64(int64_t(int8_t(a))))
+          UNOP_CASE(OP_I64_EXTEND16_S, i64,
+                    Value::makeI64(int64_t(int16_t(a))))
+          UNOP_CASE(OP_I64_EXTEND32_S, i64,
+                    Value::makeI64(int64_t(int32_t(a))))
+          TRUNC_CASE(OP_I32_TRUNC_F32_S, f32, int32_t, -2147483648.0,
+                     2147483648.0, Value::makeI32)
+          TRUNC_CASE(OP_I32_TRUNC_F32_U, f32, uint32_t, 0.0, 4294967296.0,
+                     Value::makeI32)
+          TRUNC_CASE(OP_I32_TRUNC_F64_S, f64, int32_t, -2147483648.0,
+                     2147483648.0, Value::makeI32)
+          TRUNC_CASE(OP_I32_TRUNC_F64_U, f64, uint32_t, 0.0, 4294967296.0,
+                     Value::makeI32)
+          TRUNC_CASE(OP_I64_TRUNC_F32_S, f32, int64_t,
+                     -9223372036854775808.0, 9223372036854775808.0,
+                     Value::makeI64)
+          TRUNC_CASE(OP_I64_TRUNC_F32_U, f32, uint64_t, 0.0,
+                     18446744073709551616.0, Value::makeI64)
+          TRUNC_CASE(OP_I64_TRUNC_F64_S, f64, int64_t,
+                     -9223372036854775808.0, 9223372036854775808.0,
+                     Value::makeI64)
+          TRUNC_CASE(OP_I64_TRUNC_F64_U, f64, uint64_t, 0.0,
+                     18446744073709551616.0, Value::makeI64)
+
+          // ---- 0xFC prefixed ----
+          case kJFcBase + FC_I32_TRUNC_SAT_F32_S:
+            TOP = Value::makeI32(truncSat<int32_t>(TOP.f32(),
+                -2147483648.0, 2147483647.0));
+            J.idx++;
+            break;
+          case kJFcBase + FC_I32_TRUNC_SAT_F32_U:
+            TOP = Value::makeI32(truncSat<uint32_t>(TOP.f32(), 0.0,
+                4294967295.0));
+            J.idx++;
+            break;
+          case kJFcBase + FC_I32_TRUNC_SAT_F64_S:
+            TOP = Value::makeI32(truncSat<int32_t>(TOP.f64(),
+                -2147483648.0, 2147483647.0));
+            J.idx++;
+            break;
+          case kJFcBase + FC_I32_TRUNC_SAT_F64_U:
+            TOP = Value::makeI32(truncSat<uint32_t>(TOP.f64(), 0.0,
+                4294967295.0));
+            J.idx++;
+            break;
+          case kJFcBase + FC_I64_TRUNC_SAT_F32_S:
+            TOP = Value::makeI64(truncSat<int64_t>(TOP.f32(),
+                -9223372036854775808.0, 9223372036854775807.0));
+            J.idx++;
+            break;
+          case kJFcBase + FC_I64_TRUNC_SAT_F32_U:
+            TOP = Value::makeI64(truncSat<uint64_t>(TOP.f32(), 0.0,
+                18446744073709551615.0));
+            J.idx++;
+            break;
+          case kJFcBase + FC_I64_TRUNC_SAT_F64_S:
+            TOP = Value::makeI64(truncSat<int64_t>(TOP.f64(),
+                -9223372036854775808.0, 9223372036854775807.0));
+            J.idx++;
+            break;
+          case kJFcBase + FC_I64_TRUNC_SAT_F64_U:
+            TOP = Value::makeI64(truncSat<uint64_t>(TOP.f64(), 0.0,
+                18446744073709551615.0));
+            J.idx++;
+            break;
+          case kJFcBase + FC_MEMORY_FILL: {
+            uint32_t cnt = POP().i32();
+            uint32_t val = POP().i32();
+            uint32_t dst = POP().i32();
+            Memory& mem = J.inst->memory;
+            if (!mem.inBounds(dst, 0, cnt)) {
+                doTrap(J, n.pc, TrapReason::MemoryOutOfBounds);
+                break;
+            }
+            std::memset(mem.data() + dst, val & 0xff, cnt);
+            J.idx++;
+            break;
+          }
+          case kJFcBase + FC_MEMORY_COPY: {
+            uint32_t cnt = POP().i32();
+            uint32_t src = POP().i32();
+            uint32_t dst = POP().i32();
+            Memory& mem = J.inst->memory;
+            if (!mem.inBounds(dst, 0, cnt) || !mem.inBounds(src, 0, cnt)) {
+                doTrap(J, n.pc, TrapReason::MemoryOutOfBounds);
+                break;
+            }
+            std::memmove(mem.data() + dst, mem.data() + src, cnt);
+            J.idx++;
+            break;
+          }
+
+          default:
+            doTrap(J, n.pc, TrapReason::Unreachable);
+            break;
+        }
+    }
+
+#undef TOP
+#undef PUSH
+#undef POP
+#undef BINOP_CASE
+#undef UNOP_CASE
+#undef LOAD_CASE
+#undef STORE_CASE
+#undef TRUNC_CASE
+
+    return J.signal;
+}
+
+} // namespace wizpp

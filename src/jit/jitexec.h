@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Compiled-tier execution loop.
+ */
+
+#ifndef WIZPP_JIT_JITEXEC_H
+#define WIZPP_JIT_JITEXEC_H
+
+#include "engine/engine.h"
+
+namespace wizpp {
+
+/**
+ * Runs the compiled tier on the engine's top frame (which must have
+ * valid compiled code) until the program finishes, traps, or the top
+ * frame must continue in the interpreter.
+ */
+Signal runJitTier(Engine& eng);
+
+} // namespace wizpp
+
+#endif // WIZPP_JIT_JITEXEC_H

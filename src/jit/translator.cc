@@ -1,0 +1,161 @@
+#include "jit/jitcode.h"
+
+#include <typeinfo>
+
+#include "engine/engine.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+/** True if the op needs no compiled instruction (pure structure). */
+bool
+isStructural(uint8_t op)
+{
+    return op == OP_NOP || op == OP_BLOCK || op == OP_LOOP;
+}
+
+} // namespace
+
+std::unique_ptr<JitCode>
+translateFunction(Engine& eng, FuncState& fs)
+{
+    auto jc = std::make_unique<JitCode>();
+    const std::vector<uint8_t>& pristine = fs.decl->code;
+    const SideTable& st = fs.sideTable;
+    ProbeManager& pm = eng.probes();
+    const EngineConfig& cfg = eng.config();
+    const size_t codeSize = pristine.size();
+
+    struct Fixup
+    {
+        uint32_t instIdx;    ///< index into insts, or arm index if isArm
+        bool isArm;
+        uint32_t targetPc;
+    };
+    std::vector<Fixup> fixups;
+
+    for (uint32_t pc : st.instrBoundaries) {
+        jc->pcToIndex[pc] = static_cast<uint32_t>(jc->insts.size());
+
+        // Instrumentation: compile probe sites to probe instructions,
+        // specializing single count/operand probes (Section 4.4).
+        uint8_t rawByte = fs.code[pc];
+        uint8_t op = rawByte;
+        if (rawByte == OP_PROBE) {
+            op = pm.originalByte(fs.funcIndex, pc);
+            ProbeListRef probes = pm.probesAt(fs.funcIndex, pc);
+            JInst pi;
+            pi.pc = pc;
+            pi.op = kJProbeGeneric;
+            if (probes && probes->size() == 1) {
+                Probe* p = (*probes)[0].get();
+                if (cfg.intrinsifyCountProbe && p->isCountProbe() &&
+                    typeid(*p) == typeid(CountProbe)) {
+                    pi.op = kJProbeCount;
+                    pi.ptr = &static_cast<CountProbe*>(p)->count;
+                } else if (cfg.intrinsifyOperandProbe &&
+                           p->isOperandProbe()) {
+                    pi.op = kJProbeOperand;
+                    pi.ptr = static_cast<OperandProbe*>(p);
+                }
+            }
+            jc->insts.push_back(pi);
+        }
+
+        InstrView v;
+        if (!decodeInstr(pristine, pc, &v)) {
+            // Validation guarantees this cannot happen.
+            return nullptr;
+        }
+
+        if (isStructural(op)) continue;
+
+        JInst ji;
+        ji.pc = pc;
+        ji.op = op;
+
+        switch (op) {
+          case OP_END:
+            if (pc + v.length == codeSize) {
+                ji.op = OP_RETURN;  // function end returns
+                jc->insts.push_back(ji);
+            }
+            continue;
+          case OP_IF:
+          case OP_ELSE:
+          case OP_BR:
+          case OP_BR_IF: {
+            const SideTableEntry& e = st.branchAt(pc);
+            ji.aux = static_cast<uint16_t>(e.valCount);
+            ji.b = e.popTo;
+            fixups.push_back({static_cast<uint32_t>(jc->insts.size()),
+                              false, e.targetPc});
+            jc->insts.push_back(ji);
+            continue;
+          }
+          case OP_BR_TABLE: {
+            const auto& entries = st.brTableAt(pc);
+            ji.a = static_cast<uint32_t>(jc->brTableArms.size());
+            ji.aux = static_cast<uint16_t>(entries.size());
+            for (const SideTableEntry& e : entries) {
+                fixups.push_back(
+                    {static_cast<uint32_t>(jc->brTableArms.size()), true,
+                     e.targetPc});
+                jc->brTableArms.push_back(
+                    {0, e.popTo, static_cast<uint16_t>(e.valCount)});
+            }
+            jc->insts.push_back(ji);
+            continue;
+          }
+          case OP_CALL:
+            ji.a = v.index;
+            break;
+          case OP_CALL_INDIRECT:
+            ji.a = eng.canonTypeId(v.index);
+            break;
+          case OP_LOCAL_GET:
+          case OP_LOCAL_SET:
+          case OP_LOCAL_TEE:
+          case OP_GLOBAL_GET:
+          case OP_GLOBAL_SET:
+            ji.a = v.index;
+            break;
+          case OP_I32_CONST:
+          case OP_I64_CONST:
+            ji.imm = static_cast<uint64_t>(v.i64Const);
+            break;
+          case OP_F32_CONST:
+          case OP_F64_CONST:
+            ji.imm = v.fBits;
+            break;
+          case OP_PREFIX_FC:
+            ji.op = static_cast<uint16_t>(kJFcBase + v.prefixOp);
+            break;
+          default:
+            if (isLoadOpcode(op) || isStoreOpcode(op)) {
+                ji.a = v.memOffset;
+            }
+            break;
+        }
+        jc->insts.push_back(ji);
+    }
+
+    // Resolve branch targets to instruction indices.
+    for (const Fixup& f : fixups) {
+        auto it = jc->pcToIndex.find(f.targetPc);
+        uint32_t idx = (it == jc->pcToIndex.end()) ? kNoJitIndex
+                                                   : it->second;
+        if (f.isArm) {
+            jc->brTableArms[f.instIdx].target = idx;
+        } else {
+            jc->insts[f.instIdx].a = idx;
+        }
+    }
+
+    return jc;
+}
+
+} // namespace wizpp

@@ -1,0 +1,82 @@
+#include "jvmti/jvmti.h"
+
+#include "engine/engine.h"
+
+namespace wizpp {
+
+AgentEnv::AgentEnv(Engine& engine) : _engine(engine)
+{
+    // Populate the method-id table (the VM knows method identities).
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        const FuncDecl& d = *engine.funcState(f).decl;
+        std::string name = d.name.empty()
+                               ? "func" + std::to_string(f) : d.name;
+        _methodNames[f] = name;
+    }
+}
+
+void
+AgentEnv::setEventCallback(
+    const std::string& type,
+    std::function<void(AgentEnv&, const AgentEvent&)> cb)
+{
+    _callbacks[type] = std::move(cb);
+}
+
+std::string
+AgentEnv::getMethodName(MethodId id)
+{
+    auto it = _methodNames.find(id);
+    return it == _methodNames.end() ? "<unknown>" : it->second;
+}
+
+void
+AgentEnv::postEvent(std::unique_ptr<AgentEvent> event)
+{
+    eventsPosted++;
+    // Generic dispatch: enabled check + callback lookup by type string.
+    auto en = _enabled.find(event->type);
+    if (en == _enabled.end() || !en->second) return;
+    auto cb = _callbacks.find(event->type);
+    if (cb == _callbacks.end()) return;
+    cb->second(*this, *event);
+}
+
+void
+AgentEnv::enableEvent(const std::string& type)
+{
+    _enabled[type] = true;
+    if (type != "MethodEntry") return;
+    // The VM arms method-entry event generation: every function entry
+    // allocates a boxed event and posts it through the generic pipe.
+    for (uint32_t f = 0; f < _engine.numFuncs(); f++) {
+        FuncState& fs = _engine.funcState(f);
+        if (fs.decl->imported) continue;
+        if (fs.sideTable.instrBoundaries.empty()) continue;
+        auto probe = makeProbe([this, f](ProbeContext&) {
+            auto event = std::make_unique<AgentEvent>();
+            event->type = "MethodEntry";
+            event->method = f;
+            event->payload["thread"] = 0;
+            postEvent(std::move(event));
+        });
+        _engine.probes().insertLocal(f, 0, probe);
+        _probes.push_back(probe);
+    }
+}
+
+MethodEntryAgent::MethodEntryAgent(Engine& engine) : _env(engine)
+{
+    _env.setEventCallback(
+        "MethodEntry",
+        [this](AgentEnv& env, const AgentEvent& e) {
+            // Resolve the opaque method id through the environment on
+            // every event, as the paper's C agent must.
+            std::string name = env.getMethodName(e.method);
+            _entryCounts[name]++;
+            _totalEntries++;
+        });
+    _env.enableEvent("MethodEntry");
+}
+
+} // namespace wizpp

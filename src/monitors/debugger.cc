@@ -1,0 +1,284 @@
+#include "monitors/debugger.h"
+
+#include <sstream>
+
+#include "engine/engine.h"
+#include "probes/frameaccessor.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+std::string
+funcLabel(Engine& eng, uint32_t funcIndex)
+{
+    const FuncDecl& d = *eng.funcState(funcIndex).decl;
+    if (!d.name.empty()) return d.name;
+    return "func" + std::to_string(funcIndex);
+}
+
+} // namespace
+
+void
+DebuggerMonitor::onAttach(Engine& engine)
+{
+    _engine = &engine;
+    _out << "(wdb) attached; " << engine.numFuncs() << " functions\n";
+    commandLoop(nullptr);
+}
+
+void
+DebuggerMonitor::stopAt(ProbeContext& ctx, const std::string& why)
+{
+    const FuncDecl& d = *ctx.func()->decl;
+    uint8_t op = d.code[ctx.pc()];
+    _out << "(wdb) " << why << " at " << funcLabel(*_engine,
+        ctx.funcIndex()) << "+" << ctx.pc() << ": " << opcodeName(op)
+        << "\n";
+    commandLoop(&ctx);
+}
+
+void
+DebuggerMonitor::cmdBreak(const std::string& funcRef, uint32_t pc,
+                          bool remove)
+{
+    int32_t f = _engine->findFunc(funcRef);
+    if (f < 0) {
+        char* end = nullptr;
+        long v = strtol(funcRef.c_str(), &end, 10);
+        if (end && *end == '\0') f = static_cast<int32_t>(v);
+    }
+    if (f < 0 || static_cast<size_t>(f) >= _engine->numFuncs()) {
+        _out << "(wdb) no such function: " << funcRef << "\n";
+        return;
+    }
+    auto key = std::make_pair(static_cast<uint32_t>(f), pc);
+    if (remove) {
+        auto it = _breakpoints.find(key);
+        if (it == _breakpoints.end()) {
+            _out << "(wdb) no breakpoint there\n";
+            return;
+        }
+        _engine->probes().removeLocal(key.first, key.second,
+                                      it->second.get());
+        _breakpoints.erase(it);
+        _out << "(wdb) deleted breakpoint " << funcRef << "+" << pc << "\n";
+        return;
+    }
+    auto probe = makeProbe([this](ProbeContext& ctx) {
+        breakpointHits++;
+        stopAt(ctx, "breakpoint");
+    });
+    if (!_engine->probes().insertLocal(key.first, key.second, probe)) {
+        _out << "(wdb) invalid location " << funcRef << "+" << pc << "\n";
+        return;
+    }
+    _breakpoints[key] = probe;
+    _out << "(wdb) breakpoint set at " << funcRef << "+" << pc << "\n";
+}
+
+void
+DebuggerMonitor::cmdWatch(uint32_t addr)
+{
+    // Watchpoint: instrument every load/store; stop when the effective
+    // address matches. (The paper's future-work hardware watchpoints
+    // would make this cheaper; probes make it possible today.)
+    for (uint32_t f = 0; f < _engine->numFuncs(); f++) {
+        FuncState& fs = _engine->funcState(f);
+        if (fs.decl->imported) continue;
+        const auto& code = fs.decl->code;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            uint8_t op = code[pc];
+            bool isLoad = isLoadOpcode(op);
+            bool isStore = isStoreOpcode(op);
+            if (!isLoad && !isStore) continue;
+            InstrView v;
+            decodeInstr(code, pc, &v);
+            uint32_t offset = v.memOffset;
+            auto probe = makeProbe(
+                [this, addr, offset, isLoad](ProbeContext& ctx) {
+                    auto acc = ctx.accessor();
+                    uint32_t a = isLoad ? acc->getOperand(0).i32()
+                                        : acc->getOperand(1).i32();
+                    if (a + offset == addr) {
+                        watchpointHits++;
+                        stopAt(ctx, "watchpoint @" + std::to_string(addr));
+                    }
+                });
+            _engine->probes().insertLocal(f, pc, probe);
+            _watchProbes.push_back(probe);
+        }
+    }
+    _out << "(wdb) watching address " << addr << "\n";
+}
+
+void
+DebuggerMonitor::armStep()
+{
+    // Single-step: a one-shot global probe fires before the next
+    // instruction, wherever it is (Section 3's Debugger; the same
+    // mechanism as the after-instruction library).
+    auto holder = std::make_shared<std::shared_ptr<Probe>>();
+    auto probe = makeProbe([this, holder](ProbeContext& ctx) {
+        _engine->probes().removeGlobal(holder->get());
+        holder->reset();
+        stepsTaken++;
+        stopAt(ctx, "step");
+    });
+    *holder = probe;
+    _engine->probes().insertGlobal(probe);
+}
+
+void
+DebuggerMonitor::printLocals(ProbeContext& ctx)
+{
+    auto acc = ctx.accessor();
+    for (uint32_t i = 0; i < acc->numLocals(); i++) {
+        _out << "  local[" << i << "] = " << acc->getLocal(i).toString()
+             << "\n";
+    }
+}
+
+void
+DebuggerMonitor::printStack(ProbeContext& ctx)
+{
+    auto acc = ctx.accessor();
+    uint32_t n = acc->numOperands();
+    _out << "  operand stack (" << n << "):";
+    for (uint32_t i = 0; i < n; i++) {
+        _out << " " << acc->getOperand(i).toString();
+    }
+    _out << "\n";
+}
+
+void
+DebuggerMonitor::printBacktrace(ProbeContext& ctx)
+{
+    auto acc = ctx.accessor();
+    int depth = 0;
+    while (acc) {
+        _out << "  #" << depth << " "
+             << funcLabel(*_engine, acc->func()->funcIndex) << "+"
+             << acc->pc() << "\n";
+        acc = acc->caller();
+        depth++;
+    }
+}
+
+void
+DebuggerMonitor::commandLoop(ProbeContext* ctx)
+{
+    std::string line;
+    while (std::getline(_in, line)) {
+        std::istringstream ss(line);
+        std::string cmd;
+        ss >> cmd;
+        if (cmd.empty() || cmd[0] == '#') continue;
+        if (cmd == "run" || cmd == "continue" || cmd == "c") return;
+        if (cmd == "step" || cmd == "s") {
+            armStep();
+            return;
+        }
+        if (cmd == "break" || cmd == "b") {
+            std::string f;
+            uint32_t pc = 0;
+            ss >> f >> pc;
+            cmdBreak(f, pc, false);
+        } else if (cmd == "delete") {
+            std::string f;
+            uint32_t pc = 0;
+            ss >> f >> pc;
+            cmdBreak(f, pc, true);
+        } else if (cmd == "watch") {
+            uint32_t addr = 0;
+            ss >> addr;
+            cmdWatch(addr);
+        } else if (cmd == "locals") {
+            if (ctx) printLocals(*ctx);
+            else _out << "(wdb) not stopped\n";
+        } else if (cmd == "stack") {
+            if (ctx) printStack(*ctx);
+            else _out << "(wdb) not stopped\n";
+        } else if (cmd == "bt") {
+            if (ctx) printBacktrace(*ctx);
+            else _out << "(wdb) not stopped\n";
+        } else if (cmd == "set") {
+            uint32_t idx = 0;
+            int64_t val = 0;
+            ss >> idx >> val;
+            if (!ctx) {
+                _out << "(wdb) not stopped\n";
+                continue;
+            }
+            auto acc = ctx->accessor();
+            Value v = acc->getLocal(idx);
+            switch (v.type) {
+              case ValType::I32:
+                v = Value::makeI32(static_cast<int32_t>(val));
+                break;
+              case ValType::I64:
+                v = Value::makeI64(val);
+                break;
+              case ValType::F64:
+                v = Value::makeF64(static_cast<double>(val));
+                break;
+              case ValType::F32:
+                v = Value::makeF32(static_cast<float>(val));
+                break;
+              default:
+                break;
+            }
+            if (acc->setLocal(idx, v)) {
+                _out << "(wdb) local[" << idx << "] = " << v.toString()
+                     << "\n";
+            } else {
+                _out << "(wdb) set failed\n";
+            }
+        } else if (cmd == "setop") {
+            // Change a value-stack slot (i from the top), Section 3's
+            // "changing the state of value stack slots".
+            uint32_t idx = 0;
+            int64_t val = 0;
+            ss >> idx >> val;
+            if (!ctx) {
+                _out << "(wdb) not stopped\n";
+                continue;
+            }
+            auto acc = ctx->accessor();
+            Value v = acc->getOperand(idx);
+            switch (v.type) {
+              case ValType::I32:
+                v = Value::makeI32(static_cast<int32_t>(val));
+                break;
+              case ValType::I64:
+                v = Value::makeI64(val);
+                break;
+              case ValType::F64:
+                v = Value::makeF64(static_cast<double>(val));
+                break;
+              case ValType::F32:
+                v = Value::makeF32(static_cast<float>(val));
+                break;
+              default:
+                break;
+            }
+            if (acc->setOperand(idx, v)) {
+                _out << "(wdb) stack[" << idx << "] = " << v.toString()
+                     << "\n";
+            } else {
+                _out << "(wdb) setop failed\n";
+            }
+        } else if (cmd == "info") {
+            for (const auto& [k, p] : _breakpoints) {
+                _out << "  breakpoint " << funcLabel(*_engine, k.first)
+                     << "+" << k.second << "\n";
+            }
+        } else {
+            _out << "(wdb) unknown command: " << cmd << "\n";
+        }
+    }
+}
+
+} // namespace wizpp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Debugger REPL monitor (paper Section 3): interactive bytecode-
+ * level debugging built from local probes (breakpoints, watchpoints)
+ * and a global probe (single-step). It is the zoo's only monitor that
+ * modifies frames (set-local), which exercises the frame-modification
+ * consistency machinery: immediate deoptimization of compiled frames.
+ *
+ * The REPL is stream-driven so tests and examples can script it.
+ * Commands:
+ *   break <func> <pc>     set a breakpoint (func by name or index)
+ *   delete <func> <pc>    remove a breakpoint
+ *   watch <addr>          break when memory address is accessed
+ *   step                  execute one instruction, then stop
+ *   continue              resume until the next stop
+ *   locals                print the stopped frame's locals
+ *   stack                 print the stopped frame's operand stack
+ *   bt                    print a backtrace
+ *   set <local> <value>   write an i32 local (frame modification)
+ *   info                  list breakpoints
+ *   run                   finish the setup phase and start execution
+ */
+
+#ifndef WIZPP_MONITORS_DEBUGGER_H
+#define WIZPP_MONITORS_DEBUGGER_H
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "monitors/monitor.h"
+#include "probes/probe.h"
+
+namespace wizpp {
+
+class DebuggerMonitor : public Monitor
+{
+  public:
+    DebuggerMonitor(std::istream& in, std::ostream& out)
+        : _in(in), _out(out)
+    {}
+
+    void onAttach(Engine& engine) override;
+    std::string name() const override { return "debugger"; }
+
+    uint64_t breakpointHits = 0;
+    uint64_t stepsTaken = 0;
+    uint64_t watchpointHits = 0;
+
+  private:
+    /** Reads and executes commands until continue/step/run/EOF. */
+    void commandLoop(ProbeContext* ctx);
+
+    void cmdBreak(const std::string& funcRef, uint32_t pc, bool remove);
+    void cmdWatch(uint32_t addr);
+    void armStep();
+    void printLocals(ProbeContext& ctx);
+    void printStack(ProbeContext& ctx);
+    void printBacktrace(ProbeContext& ctx);
+    void stopAt(ProbeContext& ctx, const std::string& why);
+
+    Engine* _engine = nullptr;
+    std::istream& _in;
+    std::ostream& _out;
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::shared_ptr<Probe>> _breakpoints;
+    std::vector<std::shared_ptr<Probe>> _watchProbes;
+    bool _stepArmed = false;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_MONITORS_DEBUGGER_H

@@ -1,0 +1,145 @@
+#include "monitors/entryexit.h"
+
+#include "engine/engine.h"
+#include "probes/frameaccessor.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+FunctionEntryExit::FunctionEntryExit(Engine& engine, EntryFn onEntry,
+                                     ExitFn onExit)
+    : _engine(engine), _onEntry(std::move(onEntry)),
+      _onExit(std::move(onExit))
+{}
+
+FunctionEntryExit::~FunctionEntryExit()
+{
+    for (const auto& inst : _installed) {
+        _engine.probes().removeLocal(inst.funcIndex, inst.pc,
+                                     inst.probe.get());
+    }
+}
+
+void
+FunctionEntryExit::instrumentAll()
+{
+    for (uint32_t i = 0; i < _engine.numFuncs(); i++) {
+        if (!_engine.funcState(i).decl->imported) instrument(i);
+    }
+}
+
+void
+FunctionEntryExit::instrument(uint32_t funcIndex)
+{
+    FuncState& fs = _engine.funcState(funcIndex);
+    const SideTable& st = fs.sideTable;
+    const std::vector<uint8_t>& code = fs.decl->code;
+    uint32_t endPc = st.instrBoundaries.empty()
+                         ? 0 : st.instrBoundaries.back();
+
+    // Entry probe on the first instruction: loop labels resolve past
+    // the loop header, so pc 0 is reached exactly once per activation.
+    auto entry = makeProbe([this](ProbeContext& ctx) {
+        handleEntry(ctx);
+    });
+    _engine.probes().insertLocal(funcIndex, 0, entry);
+    _installed.push_back({funcIndex, 0, entry});
+
+    // Exit probes on returns, the final end, and exit-targeting branches.
+    for (uint32_t pc : st.instrBoundaries) {
+        uint8_t op = code[pc];
+        bool candidate = false;
+        if (op == OP_RETURN) candidate = true;
+        if (op == OP_END && pc == endPc) candidate = true;
+        if (op == OP_BR || op == OP_BR_IF) {
+            auto it = st.branches.find(pc);
+            candidate = it != st.branches.end() &&
+                        it->second.targetPc == endPc;
+        }
+        if (op == OP_BR_TABLE) {
+            auto it = st.brTables.find(pc);
+            if (it != st.brTables.end()) {
+                for (const auto& arm : it->second) {
+                    if (arm.targetPc == endPc) candidate = true;
+                }
+            }
+        }
+        if (!candidate) continue;
+        auto exitProbe = makeProbe([this, op](ProbeContext& ctx) {
+            handleMaybeExit(ctx, op);
+        });
+        _engine.probes().insertLocal(funcIndex, pc, exitProbe);
+        _installed.push_back({funcIndex, pc, exitProbe});
+    }
+}
+
+void
+FunctionEntryExit::handleEntry(ProbeContext& ctx)
+{
+    uint64_t id = ctx.frame()->frameId;
+    _shadow.push_back({ctx.funcIndex(), id});
+    if (_onEntry) _onEntry(ctx.funcIndex(), id);
+}
+
+void
+FunctionEntryExit::handleMaybeExit(ProbeContext& ctx, uint8_t opcode)
+{
+    // Conditional exits consult the frame state to learn whether the
+    // branch will be taken (Section 2.5 / 2.6 style FrameAccessor use).
+    FuncState* fs = ctx.func();
+    const SideTable& st = fs->sideTable;
+    uint32_t endPc = st.instrBoundaries.back();
+    bool exits = true;
+    if (opcode == OP_BR_IF) {
+        auto acc = ctx.accessor();
+        exits = acc->getOperand(0).i32() != 0;
+    } else if (opcode == OP_BR_TABLE) {
+        auto acc = ctx.accessor();
+        uint32_t idx = acc->getOperand(0).i32();
+        const auto& arms = st.brTables.at(ctx.pc());
+        uint32_t n = static_cast<uint32_t>(arms.size()) - 1;
+        const SideTableEntry& chosen = arms[idx < n ? idx : n];
+        exits = chosen.targetPc == endPc;
+    }
+    if (!exits) return;
+
+    uint64_t id = ctx.frame()->frameId;
+    // Pop the shadow stack down to (and including) this activation;
+    // anything above it missed its exit (should not happen, but monitor
+    // robustness beats silent corruption).
+    while (!_shadow.empty()) {
+        Shadow top = _shadow.back();
+        _shadow.pop_back();
+        if (_onExit) _onExit(top.funcIndex, top.frameId);
+        if (top.frameId == id) break;
+    }
+}
+
+void
+FunctionEntryExit::flushUnwound()
+{
+    while (!_shadow.empty()) {
+        Shadow top = _shadow.back();
+        _shadow.pop_back();
+        if (_onExit) _onExit(top.funcIndex, top.frameId);
+    }
+}
+
+void
+runAfterCurrentInstruction(Engine& engine,
+                           std::function<void(ProbeContext&)> callback)
+{
+    auto holder = std::make_shared<std::shared_ptr<Probe>>();
+    auto probe = makeProbe(
+        [&engine, holder, cb = std::move(callback)](ProbeContext& ctx) {
+            cb(ctx);
+            // One-shot: remove ourselves. Deferred-removal consistency
+            // means this firing still completes safely.
+            engine.probes().removeGlobal(holder->get());
+            holder->reset();
+        });
+    *holder = probe;
+    engine.probes().insertGlobal(probe);
+}
+
+} // namespace wizpp

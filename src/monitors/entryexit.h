@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Higher-level instrumentation utilities built purely from probes,
+ * demonstrating the paper's instrumentation hierarchy (Sections 2.5 and
+ * 2.6): the engine only provides global/local probes; function
+ * entry/exit hooks and "after-instruction" hooks are libraries on top.
+ */
+
+#ifndef WIZPP_MONITORS_ENTRYEXIT_H
+#define WIZPP_MONITORS_ENTRYEXIT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "probes/probe.h"
+
+namespace wizpp {
+
+class Engine;
+
+/**
+ * Function entry/exit hooks (paper Section 2.5, strategy 1).
+ *
+ * Entry is detected with a local probe on each function's first
+ * instruction: branch targets never point at pc 0 (loop labels resolve
+ * past the loop header), so the probe fires exactly once per
+ * activation, including (tail-)recursive calls.
+ *
+ * Exit is detected by probing `return` instructions and the function's
+ * final `end`, plus branches that target the function's outermost label
+ * — for conditional branches the FrameAccessor's top-of-stack decides
+ * whether the branch (and hence the exit) will be taken. Activations
+ * unwound by traps are flushed via flushUnwound().
+ */
+class FunctionEntryExit
+{
+  public:
+    using EntryFn = std::function<void(uint32_t funcIndex,
+                                       uint64_t frameId)>;
+    using ExitFn = std::function<void(uint32_t funcIndex,
+                                      uint64_t frameId)>;
+
+    FunctionEntryExit(Engine& engine, EntryFn onEntry, ExitFn onExit);
+    ~FunctionEntryExit();
+
+    /** Instruments one function. */
+    void instrument(uint32_t funcIndex);
+
+    /** Instruments every non-imported function. */
+    void instrumentAll();
+
+    /** Flushes activations discarded by a trap unwind. */
+    void flushUnwound();
+
+    /** Currently live (shadow-stack) activation depth. */
+    size_t liveDepth() const { return _shadow.size(); }
+
+  private:
+    struct Shadow
+    {
+        uint32_t funcIndex;
+        uint64_t frameId;
+    };
+
+    void handleEntry(ProbeContext& ctx);
+    void handleMaybeExit(ProbeContext& ctx, uint8_t opcode);
+
+    Engine& _engine;
+    EntryFn _onEntry;
+    ExitFn _onExit;
+    std::vector<Shadow> _shadow;
+    struct Installed
+    {
+        uint32_t funcIndex;
+        uint32_t pc;
+        std::shared_ptr<Probe> probe;
+    };
+    std::vector<Installed> _installed;
+};
+
+/**
+ * "After-instruction" hook (paper Section 2.6, strategy 3): runs
+ * @p callback once, just before the *next* instruction executed, by
+ * inserting a one-shot global probe that removes itself. Dispatch-table
+ * switching makes this cheap: no compiled code is discarded.
+ */
+void runAfterCurrentInstruction(
+    Engine& engine, std::function<void(ProbeContext&)> callback);
+
+} // namespace wizpp
+
+#endif // WIZPP_MONITORS_ENTRYEXIT_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Monitor base class (paper Section 1.1): a self-contained dynamic
+ * analysis that attaches to an engine, registers probes, and produces a
+ * post-execution report. Monitor code (M-code) executes in the engine's
+ * state space, never the program's, so monitors are non-intrusive by
+ * construction.
+ */
+
+#ifndef WIZPP_MONITORS_MONITOR_H
+#define WIZPP_MONITORS_MONITOR_H
+
+#include <iosfwd>
+#include <string>
+
+namespace wizpp {
+
+class Engine;
+
+class Monitor
+{
+  public:
+    virtual ~Monitor() = default;
+
+    /**
+     * Called when the monitor is attached to an engine (after the module
+     * is loaded, before execution). This is where probes are registered.
+     */
+    virtual void onAttach(Engine& engine) = 0;
+
+    /** Emits the post-execution report. */
+    virtual void report(std::ostream& out) {}
+
+    /** The monitor's flag name (wizeng --monitors=<name> equivalent). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_MONITORS_MONITOR_H

@@ -1,0 +1,575 @@
+#include "monitors/monitors.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+
+#include "engine/engine.h"
+#include "monitors/entryexit.h"
+#include "probes/frameaccessor.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+uint64_t
+locKey(uint32_t funcIndex, uint32_t pc)
+{
+    return (static_cast<uint64_t>(funcIndex) << 32) | pc;
+}
+
+std::string
+funcName(Engine& eng, uint32_t funcIndex)
+{
+    const FuncDecl& d = *eng.funcState(funcIndex).decl;
+    if (!d.name.empty()) return d.name;
+    return "func" + std::to_string(funcIndex);
+}
+
+uint64_t
+nowNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// TraceMonitor
+// ---------------------------------------------------------------------
+
+void
+TraceMonitor::onAttach(Engine& engine)
+{
+    _probe = makeProbe([this, &engine](ProbeContext& ctx) {
+        instructionsTraced++;
+        const FuncDecl& d = *ctx.func()->decl;
+        uint8_t op = d.code[ctx.pc()];
+        _out << funcName(engine, ctx.funcIndex()) << "+" << ctx.pc()
+             << ": " << opcodeName(op);
+        if (_showStack) {
+            auto acc = ctx.accessor();
+            uint32_t n = acc->numOperands();
+            _out << "  [";
+            for (uint32_t i = n; i > 0; i--) {
+                _out << acc->getOperand(i - 1).toString();
+                if (i > 1) _out << " ";
+            }
+            _out << "]";
+        }
+        _out << "\n";
+    });
+    engine.probes().insertGlobal(_probe);
+}
+
+// ---------------------------------------------------------------------
+// CoverageMonitor
+// ---------------------------------------------------------------------
+
+void
+CoverageMonitor::onAttach(Engine& engine)
+{
+    _engine = &engine;
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        FuncState& fs = engine.funcState(f);
+        if (fs.decl->imported) continue;
+        const auto& pcs = fs.sideTable.instrBoundaries;
+        _pcs[f] = pcs;
+        _bits[f] = std::vector<bool>(pcs.size(), false);
+        for (size_t i = 0; i < pcs.size(); i++) {
+            uint32_t pc = pcs[i];
+            auto holder = std::make_shared<std::shared_ptr<Probe>>();
+            auto probe = makeProbe(
+                [this, f, i, pc, holder](ProbeContext& ctx) {
+                    _bits[f][i] = true;
+                    // Self-removal: covered locations return to zero
+                    // overhead (dynamic probe removal, Section 3).
+                    _engine->probes().removeLocal(f, pc, holder->get());
+                    holder->reset();
+                });
+            *holder = probe;
+            engine.probes().insertLocal(f, pc, probe);
+        }
+    }
+}
+
+double
+CoverageMonitor::covered(uint32_t funcIndex) const
+{
+    auto it = _bits.find(funcIndex);
+    if (it == _bits.end() || it->second.empty()) return 0.0;
+    size_t n = 0;
+    for (bool b : it->second) n += b;
+    return static_cast<double>(n) / static_cast<double>(it->second.size());
+}
+
+double
+CoverageMonitor::totalCoverage() const
+{
+    size_t n = 0, total = 0;
+    for (const auto& [f, bits] : _bits) {
+        total += bits.size();
+        for (bool b : bits) n += b;
+    }
+    return total ? static_cast<double>(n) / static_cast<double>(total) : 0.0;
+}
+
+void
+CoverageMonitor::report(std::ostream& out)
+{
+    out << "=== coverage ===\n";
+    for (const auto& [f, bits] : _bits) {
+        size_t n = 0;
+        for (bool b : bits) n += b;
+        out << "  " << funcName(*_engine, f) << ": " << n << "/"
+            << bits.size() << " ("
+            << std::fixed << std::setprecision(1)
+            << 100.0 * covered(f) << "%)\n";
+    }
+    out << "  total: " << std::fixed << std::setprecision(1)
+        << 100.0 * totalCoverage() << "%\n";
+}
+
+// ---------------------------------------------------------------------
+// LoopMonitor
+// ---------------------------------------------------------------------
+
+void
+LoopMonitor::onAttach(Engine& engine)
+{
+    _engine = &engine;
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        FuncState& fs = engine.funcState(f);
+        if (fs.decl->imported) continue;
+        for (uint32_t headerPc : fs.sideTable.loopHeaders) {
+            auto probe = std::make_shared<CountProbe>();
+            engine.probes().insertLocal(f, headerPc, probe);
+            _sites.push_back({f, headerPc, probe});
+        }
+    }
+}
+
+void
+LoopMonitor::report(std::ostream& out)
+{
+    out << "=== loop iteration counts ===\n";
+    for (const auto& s : _sites) {
+        out << "  " << funcName(*_engine, s.funcIndex) << "+" << s.pc
+            << ": " << s.probe->count << "\n";
+    }
+}
+
+// ---------------------------------------------------------------------
+// HotnessMonitor
+// ---------------------------------------------------------------------
+
+void
+HotnessMonitor::onAttach(Engine& engine)
+{
+    _engine = &engine;
+    if (_useGlobalProbe) {
+        // Emulating local probes with a global probe requires M-state
+        // lookups in the monitor (Section 2.2, footnote 6).
+        _globalProbe = makeProbe([this](ProbeContext& ctx) {
+            _globalCounts[locKey(ctx.funcIndex(), ctx.pc())]++;
+        });
+        engine.probes().insertGlobal(_globalProbe);
+        return;
+    }
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        FuncState& fs = engine.funcState(f);
+        if (fs.decl->imported) continue;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            auto probe = std::make_shared<CountProbe>();
+            engine.probes().insertLocal(f, pc, probe);
+            _counters[locKey(f, pc)] = probe;
+        }
+    }
+}
+
+uint64_t
+HotnessMonitor::totalCount() const
+{
+    uint64_t n = 0;
+    for (const auto& [k, p] : _counters) n += p->count;
+    for (const auto& [k, c] : _globalCounts) n += c;
+    return n;
+}
+
+uint64_t
+HotnessMonitor::countAt(uint32_t funcIndex, uint32_t pc) const
+{
+    uint64_t k = locKey(funcIndex, pc);
+    auto it = _counters.find(k);
+    if (it != _counters.end()) return it->second->count;
+    auto git = _globalCounts.find(k);
+    return git == _globalCounts.end() ? 0 : git->second;
+}
+
+void
+HotnessMonitor::report(std::ostream& out)
+{
+    struct Row
+    {
+        uint64_t key;
+        uint64_t count;
+    };
+    std::vector<Row> rows;
+    for (const auto& [k, p] : _counters) rows.push_back({k, p->count});
+    for (const auto& [k, c] : _globalCounts) rows.push_back({k, c});
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.count > b.count; });
+    out << "=== hottest instructions ===\n";
+    size_t shown = 0;
+    for (const Row& r : rows) {
+        if (r.count == 0 || shown >= 20) break;
+        uint32_t f = static_cast<uint32_t>(r.key >> 32);
+        uint32_t pc = static_cast<uint32_t>(r.key);
+        uint8_t op = _engine->funcState(f).decl->code[pc];
+        out << "  " << funcName(*_engine, f) << "+" << pc << " "
+            << opcodeName(op) << ": " << r.count << "\n";
+        shown++;
+    }
+    out << "  total fires: " << totalCount() << "\n";
+}
+
+// ---------------------------------------------------------------------
+// BranchMonitor
+// ---------------------------------------------------------------------
+
+void
+BranchMonitor::onAttach(Engine& engine)
+{
+    _engine = &engine;
+    auto branchPcs = [&](uint32_t f, auto&& fn) {
+        FuncState& fs = engine.funcState(f);
+        if (fs.decl->imported) return;
+        const std::vector<uint8_t>& code = fs.decl->code;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            uint8_t op = code[pc];
+            if (op == OP_IF || op == OP_BR_IF || op == OP_BR_TABLE) {
+                fn(pc, op);
+            }
+        }
+    };
+
+    if (_useGlobalProbe) {
+        for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+            branchPcs(f, [&](uint32_t pc, uint8_t op) {
+                _globalSites[locKey(f, pc)] =
+                    std::make_shared<BranchProbe>(op);
+            });
+        }
+        _globalProbe = makeProbe([this](ProbeContext& ctx) {
+            auto it = _globalSites.find(locKey(ctx.funcIndex(), ctx.pc()));
+            if (it == _globalSites.end()) return;
+            it->second->fireOperand(ctx.accessor()->getOperand(0));
+        });
+        engine.probes().insertGlobal(_globalProbe);
+        return;
+    }
+
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        branchPcs(f, [&](uint32_t pc, uint8_t op) {
+            auto probe = std::make_shared<BranchProbe>(op);
+            engine.probes().insertLocal(f, pc, probe);
+            _sites.push_back({f, pc, probe});
+        });
+    }
+}
+
+uint64_t
+BranchMonitor::totalFires() const
+{
+    uint64_t n = 0;
+    for (const auto& s : _sites) n += s.probe->fires;
+    for (const auto& [k, p] : _globalSites) n += p->fires;
+    return n;
+}
+
+void
+BranchMonitor::report(std::ostream& out)
+{
+    out << "=== branch profile ===\n";
+    auto row = [&](uint32_t f, uint32_t pc, const BranchProbe& p) {
+        if (p.fires == 0) return;
+        out << "  " << funcName(*_engine, f) << "+" << pc << " "
+            << opcodeName(p.opcode) << ": ";
+        if (p.opcode == OP_BR_TABLE) {
+            out << p.fires << " fires, dests [";
+            for (size_t i = 0; i < p.dests.size(); i++) {
+                if (i) out << " ";
+                out << p.dests[i];
+            }
+            out << "]";
+        } else {
+            out << "taken " << p.taken << ", not-taken " << p.notTaken;
+        }
+        out << "\n";
+    };
+    for (const auto& s : _sites) row(s.funcIndex, s.pc, *s.probe);
+    for (const auto& [k, p] : _globalSites) {
+        row(static_cast<uint32_t>(k >> 32), static_cast<uint32_t>(k), *p);
+    }
+    out << "  total branch fires: " << totalFires() << "\n";
+}
+
+// ---------------------------------------------------------------------
+// MemoryMonitor
+// ---------------------------------------------------------------------
+
+void
+MemoryMonitor::onAttach(Engine& engine)
+{
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        FuncState& fs = engine.funcState(f);
+        if (fs.decl->imported) continue;
+        const std::vector<uint8_t>& code = fs.decl->code;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            uint8_t op = code[pc];
+            bool isLoad = isLoadOpcode(op);
+            bool isStore = isStoreOpcode(op);
+            if (!isLoad && !isStore) continue;
+            InstrView v;
+            decodeInstr(code, pc, &v);
+            uint32_t offset = v.memOffset;
+            auto probe = makeProbe(
+                [this, op, offset, isLoad, &engine](ProbeContext& ctx) {
+                    auto acc = ctx.accessor();
+                    if (isLoad) {
+                        loads++;
+                        uint32_t addr = acc->getOperand(0).i32();
+                        _out << "load  " << opcodeName(op) << " @"
+                             << addr + offset << "\n";
+                    } else {
+                        stores++;
+                        Value val = acc->getOperand(0);
+                        uint32_t addr = acc->getOperand(1).i32();
+                        _out << "store " << opcodeName(op) << " @"
+                             << addr + offset << " = " << val.toString()
+                             << "\n";
+                    }
+                });
+            engine.probes().insertLocal(f, pc, probe);
+            _probes.push_back(probe);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CallsMonitor
+// ---------------------------------------------------------------------
+
+void
+CallsMonitor::onAttach(Engine& engine)
+{
+    _engine = &engine;
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        FuncState& fs = engine.funcState(f);
+        if (fs.decl->imported) continue;
+        const std::vector<uint8_t>& code = fs.decl->code;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            uint8_t op = code[pc];
+            if (op != OP_CALL && op != OP_CALL_INDIRECT) continue;
+            InstrView v;
+            decodeInstr(code, pc, &v);
+            CallSite site;
+            site.funcIndex = f;
+            site.pc = pc;
+            site.indirect = op == OP_CALL_INDIRECT;
+            site.directTarget = site.indirect ? 0 : v.index;
+            size_t idx = _sites->size();
+            _sites->push_back(site);
+            auto probe = makeProbe(
+                [this, idx, &engine](ProbeContext& ctx) {
+                    CallSite& s = (*_sites)[idx];
+                    s.count++;
+                    if (s.indirect) {
+                        // Resolve the target before the call happens by
+                        // reading the table slot off the operand stack —
+                        // the paper's "after-instruction" workaround for
+                        // call_indirect (Section 2.6, strategy 1 spirit).
+                        uint32_t slot = ctx.accessor()->getOperand(0).i32();
+                        Table& t = engine.instance().table;
+                        if (t.inBounds(slot) &&
+                            t.get(slot) != kNullFuncIndex) {
+                            s.indirectTargets[t.get(slot)]++;
+                        }
+                    }
+                });
+            engine.probes().insertLocal(f, pc, probe);
+            _probes.push_back(probe);
+        }
+    }
+}
+
+std::map<std::pair<uint32_t, uint32_t>, uint64_t>
+CallsMonitor::callGraph() const
+{
+    std::map<std::pair<uint32_t, uint32_t>, uint64_t> edges;
+    for (const auto& s : *_sites) {
+        if (s.indirect) {
+            for (const auto& [target, n] : s.indirectTargets) {
+                edges[{s.funcIndex, target}] += n;
+            }
+        } else if (s.count) {
+            edges[{s.funcIndex, s.directTarget}] += s.count;
+        }
+    }
+    return edges;
+}
+
+void
+CallsMonitor::report(std::ostream& out)
+{
+    out << "=== call sites ===\n";
+    for (const auto& s : *_sites) {
+        if (s.count == 0) continue;
+        out << "  " << funcName(*_engine, s.funcIndex) << "+" << s.pc;
+        if (s.indirect) {
+            out << " call_indirect x" << s.count << " ->";
+            for (const auto& [t, n] : s.indirectTargets) {
+                out << " " << funcName(*_engine, t) << ":" << n;
+            }
+        } else {
+            out << " call " << funcName(*_engine, s.directTarget) << " x"
+                << s.count;
+        }
+        out << "\n";
+    }
+}
+
+// ---------------------------------------------------------------------
+// CallTreeMonitor
+// ---------------------------------------------------------------------
+
+void
+CallTreeMonitor::onAttach(Engine& engine)
+{
+    _engine = &engine;
+    auto util = std::make_shared<FunctionEntryExit>(
+        engine,
+        [this](uint32_t f, uint64_t id) { onEntry(f, id); },
+        [this](uint32_t f, uint64_t id) { onExit(id); });
+    util->instrumentAll();
+    _entryExit = util;
+}
+
+void
+CallTreeMonitor::onEntry(uint32_t funcIndex, uint64_t frameId)
+{
+    Node* parent = _stack.empty() ? &_root : _stack.back().node;
+    auto& slot = parent->children[funcIndex];
+    if (!slot) {
+        slot = std::make_unique<Node>();
+        slot->funcIndex = funcIndex;
+    }
+    slot->calls++;
+    _stack.push_back({slot.get(), nowNanos(), frameId});
+}
+
+void
+CallTreeMonitor::onExit(uint64_t frameId)
+{
+    if (_stack.empty()) return;
+    Activation a = _stack.back();
+    _stack.pop_back();
+    a.node->totalNanos += nowNanos() - a.startNanos;
+}
+
+namespace {
+
+void
+printNode(std::ostream& out, Engine& eng,
+          const CallTreeMonitor::Node& node, int depth)
+{
+    uint64_t childNanos = 0;
+    for (const auto& [f, c] : node.children) childNanos += c->totalNanos;
+    uint64_t self = node.totalNanos > childNanos
+                        ? node.totalNanos - childNanos : 0;
+    for (int i = 0; i < depth; i++) out << "  ";
+    out << funcName(eng, node.funcIndex) << " calls=" << node.calls
+        << " total=" << node.totalNanos / 1000 << "us self="
+        << self / 1000 << "us\n";
+    for (const auto& [f, c] : node.children) {
+        printNode(out, eng, *c, depth + 1);
+    }
+}
+
+void
+foldNode(std::ostream& out, Engine& eng, const CallTreeMonitor::Node& node,
+         std::string prefix)
+{
+    std::string path = prefix.empty()
+                           ? funcName(eng, node.funcIndex)
+                           : prefix + ";" + funcName(eng, node.funcIndex);
+    uint64_t childNanos = 0;
+    for (const auto& [f, c] : node.children) childNanos += c->totalNanos;
+    uint64_t self = node.totalNanos > childNanos
+                        ? node.totalNanos - childNanos : 0;
+    if (self) out << path << " " << self << "\n";
+    for (const auto& [f, c] : node.children) foldNode(out, eng, *c, path);
+}
+
+} // namespace
+
+void
+CallTreeMonitor::report(std::ostream& out)
+{
+    // Flush activations that never saw an exit (trap unwinds).
+    std::static_pointer_cast<FunctionEntryExit>(_entryExit)->flushUnwound();
+    out << "=== calling context tree ===\n";
+    for (const auto& [f, c] : _root.children) {
+        printNode(out, *_engine, *c, 1);
+    }
+}
+
+void
+CallTreeMonitor::writeFlameGraph(std::ostream& out) const
+{
+    for (const auto& [f, c] : _root.children) {
+        foldNode(out, *_engine, *c, "");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Monitor>
+createMonitor(const std::string& name, std::ostream& out)
+{
+    if (name == "trace") return std::make_unique<TraceMonitor>(out);
+    if (name == "trace-stack") {
+        return std::make_unique<TraceMonitor>(out, true);
+    }
+    if (name == "coverage") return std::make_unique<CoverageMonitor>();
+    if (name == "loops") return std::make_unique<LoopMonitor>();
+    if (name == "hotness") return std::make_unique<HotnessMonitor>();
+    if (name == "hotness-global") {
+        return std::make_unique<HotnessMonitor>(true);
+    }
+    if (name == "branches") return std::make_unique<BranchMonitor>();
+    if (name == "branches-global") {
+        return std::make_unique<BranchMonitor>(true);
+    }
+    if (name == "memory") return std::make_unique<MemoryMonitor>(out);
+    if (name == "calls") return std::make_unique<CallsMonitor>();
+    if (name == "calltree") return std::make_unique<CallTreeMonitor>();
+    return nullptr;
+}
+
+std::vector<std::string>
+monitorNames()
+{
+    return {"trace", "trace-stack", "coverage", "loops", "hotness",
+            "hotness-global", "branches", "branches-global", "memory",
+            "calls", "calltree"};
+}
+
+} // namespace wizpp

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * The Monitor Zoo (paper Section 3): ready-made dynamic analyses built
+ * on the probe API. Each monitor is a dozen-or-two lines of actual
+ * instrumentation logic; most of the code is report formatting — as the
+ * paper notes.
+ */
+
+#ifndef WIZPP_MONITORS_MONITORS_H
+#define WIZPP_MONITORS_MONITORS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "monitors/monitor.h"
+#include "probes/probe.h"
+
+namespace wizpp {
+
+class Engine;
+
+/**
+ * Prints every executed instruction (with optional operand stack).
+ * Uses a single global probe — the paper's canonical global-probe use.
+ */
+class TraceMonitor : public Monitor
+{
+  public:
+    explicit TraceMonitor(std::ostream& out, bool showStack = false)
+        : _out(out), _showStack(showStack)
+    {}
+
+    void onAttach(Engine& engine) override;
+    std::string name() const override { return "trace"; }
+
+    uint64_t instructionsTraced = 0;
+
+  private:
+    std::ostream& _out;
+    bool _showStack;
+    std::shared_ptr<Probe> _probe;
+};
+
+/**
+ * Code coverage: a local probe at every instruction that marks a bit
+ * and removes itself, so covered paths asymptotically return to zero
+ * overhead (the paper's example of dynamic probe removal).
+ */
+class CoverageMonitor : public Monitor
+{
+  public:
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "coverage"; }
+
+    /** Fraction of instructions executed in function @p funcIndex. */
+    double covered(uint32_t funcIndex) const;
+
+    /** Total covered / total instrumented (whole module). */
+    double totalCoverage() const;
+
+  private:
+    Engine* _engine = nullptr;
+    /** Per function: covered-bit per instruction boundary. */
+    std::map<uint32_t, std::vector<bool>> _bits;
+    std::map<uint32_t, std::vector<uint32_t>> _pcs;
+};
+
+/** Counts loop iterations with a CountProbe at every loop header. */
+class LoopMonitor : public Monitor
+{
+  public:
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "loops"; }
+
+    struct LoopSite
+    {
+        uint32_t funcIndex;
+        uint32_t pc;
+        std::shared_ptr<CountProbe> probe;
+    };
+    const std::vector<LoopSite>& sites() const { return _sites; }
+
+  private:
+    Engine* _engine = nullptr;
+    std::vector<LoopSite> _sites;
+};
+
+/**
+ * Execution frequency of every instruction: a CountProbe per
+ * instruction (the paper's heavyweight benchmark monitor, Section 5).
+ * Can alternatively be implemented with one global probe (Section 5.2's
+ * comparison); select with `useGlobalProbe`.
+ */
+class HotnessMonitor : public Monitor
+{
+  public:
+    explicit HotnessMonitor(bool useGlobalProbe = false)
+        : _useGlobalProbe(useGlobalProbe)
+    {}
+
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "hotness"; }
+
+    /** Total probe fires (== instructions executed). */
+    uint64_t totalCount() const;
+
+    /** Count for one location. */
+    uint64_t countAt(uint32_t funcIndex, uint32_t pc) const;
+
+  private:
+    bool _useGlobalProbe;
+    Engine* _engine = nullptr;
+    // Local-probe implementation: one CountProbe per instruction.
+    std::map<uint64_t, std::shared_ptr<CountProbe>> _counters;
+    // Global-probe implementation: M-state lookup per fire.
+    std::shared_ptr<Probe> _globalProbe;
+    std::unordered_map<uint64_t, uint64_t> _globalCounts;
+};
+
+/**
+ * Branch profiler: instruments if/br_if/br_table and uses the
+ * top-of-stack to tally the direction of each branch (the paper's
+ * second benchmark monitor; intrinsifiable OperandProbes).
+ */
+class BranchMonitor : public Monitor
+{
+  public:
+    explicit BranchMonitor(bool useGlobalProbe = false)
+        : _useGlobalProbe(useGlobalProbe)
+    {}
+
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "branches"; }
+
+    /** One instrumented branch site. */
+    class BranchProbe : public OperandProbe
+    {
+      public:
+        explicit BranchProbe(uint8_t opcode) : opcode(opcode) {}
+
+        void
+        fireOperand(Value tos) override
+        {
+            fires++;
+            if (opcode == OP_BR_TABLE_MARKER) {
+                uint32_t d = tos.i32();
+                if (d >= dests.size()) {
+                    dests.resize(std::min<uint32_t>(d + 1, 64), 0);
+                }
+                dests[std::min<uint32_t>(d, 63)]++;
+            } else if (tos.i32()) {
+                taken++;
+            } else {
+                notTaken++;
+            }
+        }
+
+        static constexpr uint8_t OP_BR_TABLE_MARKER = 0x0e;
+
+        uint8_t opcode;
+        uint64_t fires = 0;
+        uint64_t taken = 0;
+        uint64_t notTaken = 0;
+        std::vector<uint64_t> dests;
+    };
+
+    struct Site
+    {
+        uint32_t funcIndex;
+        uint32_t pc;
+        std::shared_ptr<BranchProbe> probe;
+    };
+    const std::vector<Site>& sites() const { return _sites; }
+
+    uint64_t totalFires() const;
+
+  private:
+    Engine* _engine = nullptr;
+    bool _useGlobalProbe;
+    std::vector<Site> _sites;
+    std::shared_ptr<Probe> _globalProbe;
+    std::unordered_map<uint64_t, std::shared_ptr<BranchProbe>> _globalSites;
+};
+
+/** Traces all memory accesses: addresses and values (Section 3). */
+class MemoryMonitor : public Monitor
+{
+  public:
+    explicit MemoryMonitor(std::ostream& out) : _out(out) {}
+
+    void onAttach(Engine& engine) override;
+    std::string name() const override { return "memory"; }
+
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+
+  private:
+    std::ostream& _out;
+    std::vector<std::shared_ptr<Probe>> _probes;
+};
+
+/**
+ * Call-site statistics: direct call counts and the resolved targets of
+ * indirect calls — enough to build a dynamic call graph (Section 3).
+ */
+class CallsMonitor : public Monitor
+{
+  public:
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "calls"; }
+
+    struct CallSite
+    {
+        uint32_t funcIndex;       ///< caller
+        uint32_t pc;
+        bool indirect;
+        uint32_t directTarget;    ///< for direct calls
+        uint64_t count = 0;
+        std::map<uint32_t, uint64_t> indirectTargets;  ///< resolved targets
+    };
+
+    const std::vector<CallSite>& callSites() const { return *_sites; }
+
+    /** Edges of the dynamic call graph: (caller, callee) -> count. */
+    std::map<std::pair<uint32_t, uint32_t>, uint64_t> callGraph() const;
+
+  private:
+    Engine* _engine = nullptr;
+    std::shared_ptr<std::vector<CallSite>> _sites =
+        std::make_shared<std::vector<CallSite>>();
+    std::vector<std::shared_ptr<Probe>> _probes;
+};
+
+/**
+ * Calling-context-tree profiler with self/nested wall-clock time and
+ * flame-graph output (Section 3's "Call tree profiler"). Built on the
+ * function entry/exit library, which itself is built on local probes —
+ * demonstrating the instrumentation hierarchy.
+ */
+class CallTreeMonitor : public Monitor
+{
+  public:
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "calltree"; }
+
+    struct Node
+    {
+        uint32_t funcIndex = 0;
+        uint64_t calls = 0;
+        uint64_t totalNanos = 0;
+        std::map<uint32_t, std::unique_ptr<Node>> children;
+    };
+
+    const Node& root() const { return _root; }
+
+    /** Emits "a;b;c count" folded stacks for flame graphs. */
+    void writeFlameGraph(std::ostream& out) const;
+
+  private:
+    struct Activation
+    {
+        Node* node;
+        uint64_t startNanos;
+        uint64_t frameId;
+    };
+
+    void onEntry(uint32_t funcIndex, uint64_t frameId);
+    void onExit(uint64_t frameId);
+
+    Engine* _engine = nullptr;
+    Node _root;
+    std::vector<Activation> _stack;
+    std::shared_ptr<void> _entryExit;  // keeps the utility alive
+};
+
+/** Creates a monitor by its flag name (wizeng --monitors=<name>). */
+std::unique_ptr<Monitor> createMonitor(const std::string& name,
+                                       std::ostream& out);
+
+/** Names accepted by createMonitor. */
+std::vector<std::string> monitorNames();
+
+} // namespace wizpp
+
+#endif // WIZPP_MONITORS_MONITORS_H

@@ -1,0 +1,157 @@
+#include "probes/frameaccessor.h"
+
+#include "engine/engine.h"
+
+namespace wizpp {
+
+Frame*
+FrameAccessor::liveFrame() const
+{
+    if (_invalidated) return nullptr;
+    Frame* f = _engine.frameAt(_depth);
+    // Validate that the frame slot still holds the same activation and
+    // that the frame still points back at this accessor (Section 2.3,
+    // mechanism 5).
+    if (!f || f->frameId != _frameId) return nullptr;
+    if (f->accessor.get() != this) return nullptr;
+    return f;
+}
+
+bool
+FrameAccessor::valid() const
+{
+    return liveFrame() != nullptr;
+}
+
+FuncState*
+FrameAccessor::func() const
+{
+    Frame* f = liveFrame();
+    if (!f) {
+        _misuse = true;
+        return nullptr;
+    }
+    return f->fs;
+}
+
+uint32_t
+FrameAccessor::pc() const
+{
+    Frame* f = liveFrame();
+    if (!f) {
+        _misuse = true;
+        return 0;
+    }
+    return f->pc;
+}
+
+std::shared_ptr<FrameAccessor>
+FrameAccessor::caller() const
+{
+    Frame* f = liveFrame();
+    if (!f || _depth == 0) {
+        if (!f) _misuse = true;
+        return nullptr;
+    }
+    Frame* c = _engine.frameAt(_depth - 1);
+    if (!c) return nullptr;
+    if (!c->accessor) {
+        c->accessor = std::make_shared<FrameAccessor>(_engine, _depth - 1,
+                                                      c->frameId);
+    }
+    return c->accessor;
+}
+
+uint32_t
+FrameAccessor::numLocals() const
+{
+    Frame* f = liveFrame();
+    if (!f) {
+        _misuse = true;
+        return 0;
+    }
+    return f->fs->numLocals;
+}
+
+Value
+FrameAccessor::getLocal(uint32_t i) const
+{
+    Frame* f = liveFrame();
+    if (!f || i >= f->fs->numLocals) {
+        _misuse = true;
+        return Value{};
+    }
+    return _engine.values()[f->localsBase + i];
+}
+
+uint32_t
+FrameAccessor::numOperands() const
+{
+    Frame* f = liveFrame();
+    if (!f) {
+        _misuse = true;
+        return 0;
+    }
+    return f->sp - f->stackStart;
+}
+
+Value
+FrameAccessor::getOperand(uint32_t i) const
+{
+    Frame* f = liveFrame();
+    if (!f || f->sp - f->stackStart <= i) {
+        _misuse = true;
+        return Value{};
+    }
+    return _engine.values()[f->sp - 1 - i];
+}
+
+void
+FrameAccessor::requestDeopt(Frame* f)
+{
+    // Frame modification consistency (Section 2.4.2): state changes take
+    // effect immediately; a frame in compiled code must continue in the
+    // interpreter, as almost any invariant the compiler relied on may
+    // now be invalid.
+    if (f->tier == Tier::Jit) _engine.requestDeopt(f);
+    // Frames suspended inside compiled callers also re-check their
+    // deopt flag when control returns to them.
+    _engine.instrumentationEpoch++;
+}
+
+bool
+FrameAccessor::setLocal(uint32_t i, Value v)
+{
+    Frame* f = liveFrame();
+    if (!f || i >= f->fs->numLocals) {
+        _misuse = true;
+        return false;
+    }
+    if (v.type != f->fs->localTypes[i]) {
+        _misuse = true;
+        return false;
+    }
+    _engine.values()[f->localsBase + i] = v;
+    requestDeopt(f);
+    return true;
+}
+
+bool
+FrameAccessor::setOperand(uint32_t i, Value v)
+{
+    Frame* f = liveFrame();
+    if (!f || f->sp - f->stackStart <= i) {
+        _misuse = true;
+        return false;
+    }
+    Value& slot = _engine.values()[f->sp - 1 - i];
+    if (slot.type != v.type) {
+        _misuse = true;
+        return false;
+    }
+    slot = v;
+    requestDeopt(f);
+    return true;
+}
+
+} // namespace wizpp

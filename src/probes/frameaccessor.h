@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The FrameAccessor API (paper Section 2.3).
+ *
+ * A FrameAccessor is a lazily-allocated façade over one execution frame.
+ * It abstracts the machine-level frame representation (which differs
+ * between tiers and changes across deoptimization) behind a stable
+ * interface, and its object identity is observable so monitors can
+ * correlate callbacks on the same activation.
+ *
+ * Dangling-accessor protection follows the paper's chosen combination:
+ * the accessor slot is cleared on function entry, accessors are
+ * invalidated on return/unwind, and every API call validates that the
+ * accessor still matches its frame before touching state.
+ *
+ * Frame modifications (setLocal/setOperand) take effect immediately and
+ * force the frame to deoptimize to the interpreter (Section 2.4.2,
+ * "frame modification consistency").
+ */
+
+#ifndef WIZPP_PROBES_FRAMEACCESSOR_H
+#define WIZPP_PROBES_FRAMEACCESSOR_H
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/value.h"
+
+namespace wizpp {
+
+class Engine;
+struct Frame;
+struct FuncState;
+
+class FrameAccessor
+{
+  public:
+    FrameAccessor(Engine& engine, uint32_t frameDepth, uint64_t frameId)
+        : _engine(engine), _depth(frameDepth), _frameId(frameId)
+    {}
+
+    /**
+     * True while the underlying frame is still live. All other methods
+     * must only be called while valid; they return safe defaults (and
+     * flag the misuse via misuseDetected()) otherwise, protecting the
+     * runtime from buggy monitors.
+     */
+    bool valid() const;
+
+    /** Marks the accessor dead (engine calls this on return/unwind). */
+    void invalidate() { _invalidated = true; }
+
+    /** Identity of the activation this accessor represents. */
+    uint64_t frameId() const { return _frameId; }
+
+    /** Call-stack depth of this frame; 0 is the bottom frame. */
+    uint32_t depth() const { return _depth; }
+
+    /** The function this frame executes. */
+    FuncState* func() const;
+
+    /** Current bytecode pc of the frame. */
+    uint32_t pc() const;
+
+    /** Accessor of the calling frame, or null at the stack bottom. */
+    std::shared_ptr<FrameAccessor> caller() const;
+
+    uint32_t numLocals() const;
+    Value getLocal(uint32_t i) const;
+
+    /** Number of operand-stack slots currently live in this frame. */
+    uint32_t numOperands() const;
+
+    /** Reads operand @p i from the top (0 = top of stack). */
+    Value getOperand(uint32_t i) const;
+
+    /**
+     * Writes local @p i. The change applies immediately; if the frame is
+     * executing compiled code it is deoptimized to the interpreter.
+     */
+    bool setLocal(uint32_t i, Value v);
+
+    /** Writes operand @p i from the top; same consistency as setLocal. */
+    bool setOperand(uint32_t i, Value v);
+
+    /** True if any method was called on an invalid accessor. */
+    bool misuseDetected() const { return _misuse; }
+
+  private:
+    Frame* liveFrame() const;
+    void requestDeopt(Frame* f);
+
+    Engine& _engine;
+    uint32_t _depth;
+    uint64_t _frameId;
+    bool _invalidated = false;
+    mutable bool _misuse = false;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_PROBES_FRAMEACCESSOR_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The probe hierarchy — the paper's fundamental instrumentation
+ * primitive (Section 2).
+ *
+ * A probe fires a callback just before a specified event (a specific
+ * bytecode location for local probes; every instruction for global
+ * probes). Probe callbacks are M-code: they execute inside the engine's
+ * state space, so by construction they cannot perturb Wasm program state
+ * except through the explicit FrameAccessor mutation API.
+ *
+ * CountProbe and OperandProbe are the two specialized kinds that the
+ * compiled tier can intrinsify (Section 4.4): a CountProbe compiles to
+ * an inline counter increment, and an OperandProbe to a direct call that
+ * receives the top-of-stack value without materializing a FrameAccessor.
+ */
+
+#ifndef WIZPP_PROBES_PROBE_H
+#define WIZPP_PROBES_PROBE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/value.h"
+
+namespace wizpp {
+
+class Engine;
+class FrameAccessor;
+struct Frame;
+struct FuncState;
+
+/**
+ * Everything a firing probe can reach. The location triple
+ * (module, function, pc) is immediately available; frame state is
+ * reached through the lazily-allocated FrameAccessor (Section 2.3).
+ */
+class ProbeContext
+{
+  public:
+    ProbeContext(Engine& engine, Frame* frame, FuncState* fs, uint32_t pc)
+        : _engine(engine), _frame(frame), _fs(fs), _pc(pc)
+    {}
+
+    Engine& engine() const { return _engine; }
+    FuncState* func() const { return _fs; }
+    uint32_t funcIndex() const;
+    uint32_t pc() const { return _pc; }
+
+    /**
+     * Returns the FrameAccessor for the probed frame, allocating it on
+     * first request and caching it in the frame's accessor slot.
+     */
+    std::shared_ptr<FrameAccessor> accessor() const;
+
+    /** Raw frame pointer; internal use by the accessor machinery. */
+    Frame* frame() const { return _frame; }
+
+  private:
+    Engine& _engine;
+    Frame* _frame;
+    FuncState* _fs;
+    uint32_t _pc;
+};
+
+/** Base class of all probes. */
+class Probe
+{
+  public:
+    virtual ~Probe() = default;
+
+    /** Called just before the probed event. */
+    virtual void fire(ProbeContext& ctx) = 0;
+
+    /** Kind discriminators used by the compiled tier for intrinsification. */
+    virtual bool isCountProbe() const { return false; }
+    virtual bool isOperandProbe() const { return false; }
+};
+
+/**
+ * A counter. The compiled tier inlines the increment when
+ * intrinsifyCountProbe is enabled (Figure 2, right).
+ */
+class CountProbe : public Probe
+{
+  public:
+    void fire(ProbeContext& ctx) override { count++; }
+    bool isCountProbe() const override { return true; }
+
+    uint64_t count = 0;
+};
+
+/**
+ * A probe that only needs the top-of-stack operand value. The compiled
+ * tier passes the value directly when intrinsifyOperandProbe is enabled,
+ * skipping FrameAccessor materialization (Figure 2, middle).
+ */
+class OperandProbe : public Probe
+{
+  public:
+    void fire(ProbeContext& ctx) override;
+    bool isOperandProbe() const override { return true; }
+
+    /** Receives the value on top of the operand stack. */
+    virtual void fireOperand(Value topOfStack) = 0;
+};
+
+/** A probe with an empty fire function (Section 5.3's T_PD methodology). */
+class EmptyProbe : public Probe
+{
+  public:
+    void fire(ProbeContext& ctx) override {}
+};
+
+/** An empty probe that still counts as an operand probe (T_PD for branch). */
+class EmptyOperandProbe : public OperandProbe
+{
+  public:
+    void fireOperand(Value) override {}
+};
+
+/** Adapter wrapping a lambda as a probe. */
+template <typename F>
+class LambdaProbe : public Probe
+{
+  public:
+    explicit LambdaProbe(F f) : _f(std::move(f)) {}
+    void fire(ProbeContext& ctx) override { _f(ctx); }
+
+  private:
+    F _f;
+};
+
+/** Makes a probe from a callable taking (ProbeContext&). */
+template <typename F>
+std::shared_ptr<Probe>
+makeProbe(F f)
+{
+    return std::make_shared<LambdaProbe<F>>(std::move(f));
+}
+
+} // namespace wizpp
+
+#endif // WIZPP_PROBES_PROBE_H

@@ -1,0 +1,173 @@
+#include "probes/probemanager.h"
+
+#include "engine/engine.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+/** Clones a COW list for mutation. */
+ProbeList
+cloneList(const ProbeListRef& ref)
+{
+    return ref ? ProbeList(*ref) : ProbeList{};
+}
+
+} // namespace
+
+bool
+ProbeManager::insertLocal(uint32_t funcIndex, uint32_t pc,
+                          std::shared_ptr<Probe> probe)
+{
+    if (funcIndex >= _engine.numFuncs()) return false;
+    FuncState& fs = _engine.funcState(funcIndex);
+    if (fs.decl->imported) return false;
+    if (!fs.sideTable.isInstrBoundary(pc)) return false;
+
+    uint64_t k = key(funcIndex, pc);
+    auto it = _sites.find(k);
+    if (it == _sites.end()) {
+        // First probe here: overwrite the bytecode (Section 4.2).
+        LocalSite site;
+        site.originalByte = fs.code[pc];
+        ProbeList list;
+        list.push_back(std::move(probe));
+        site.probes = std::make_shared<const ProbeList>(std::move(list));
+        _sites.emplace(k, std::move(site));
+        fs.code[pc] = OP_PROBE;
+    } else {
+        ProbeList list = cloneList(it->second.probes);
+        list.push_back(std::move(probe));
+        it->second.probes =
+            std::make_shared<const ProbeList>(std::move(list));
+    }
+    fs.probeCount++;
+    _engine.onLocalProbesChanged(funcIndex);
+    return true;
+}
+
+bool
+ProbeManager::removeLocal(uint32_t funcIndex, uint32_t pc,
+                          const Probe* probe)
+{
+    uint64_t k = key(funcIndex, pc);
+    auto it = _sites.find(k);
+    if (it == _sites.end()) return false;
+    ProbeList list = cloneList(it->second.probes);
+    bool found = false;
+    for (auto li = list.begin(); li != list.end(); ++li) {
+        if (li->get() == probe) {
+            list.erase(li);
+            found = true;
+            break;
+        }
+    }
+    if (!found) return false;
+
+    FuncState& fs = _engine.funcState(funcIndex);
+    if (list.empty()) {
+        // Last probe removed: restore the original bytecode.
+        fs.code[pc] = it->second.originalByte;
+        _sites.erase(it);
+    } else {
+        it->second.probes =
+            std::make_shared<const ProbeList>(std::move(list));
+    }
+    fs.probeCount--;
+    _engine.onLocalProbesChanged(funcIndex);
+    return true;
+}
+
+void
+ProbeManager::removeAllLocal(uint32_t funcIndex, uint32_t pc)
+{
+    uint64_t k = key(funcIndex, pc);
+    auto it = _sites.find(k);
+    if (it == _sites.end()) return;
+    FuncState& fs = _engine.funcState(funcIndex);
+    fs.probeCount -= static_cast<uint32_t>(it->second.probes->size());
+    fs.code[pc] = it->second.originalByte;
+    _sites.erase(it);
+    _engine.onLocalProbesChanged(funcIndex);
+}
+
+ProbeListRef
+ProbeManager::probesAt(uint32_t funcIndex, uint32_t pc) const
+{
+    auto it = _sites.find(key(funcIndex, pc));
+    return it == _sites.end() ? nullptr : it->second.probes;
+}
+
+uint8_t
+ProbeManager::originalByte(uint32_t funcIndex, uint32_t pc) const
+{
+    auto it = _sites.find(key(funcIndex, pc));
+    if (it == _sites.end()) {
+        // Not probed: the live byte is the original.
+        return _engine.funcState(funcIndex).code[pc];
+    }
+    return it->second.originalByte;
+}
+
+void
+ProbeManager::insertGlobal(std::shared_ptr<Probe> probe)
+{
+    ProbeList list = cloneList(_globals);
+    list.push_back(std::move(probe));
+    _globals = std::make_shared<const ProbeList>(std::move(list));
+    _engine.onGlobalProbesChanged();
+}
+
+bool
+ProbeManager::removeGlobal(const Probe* probe)
+{
+    ProbeList list = cloneList(_globals);
+    bool found = false;
+    for (auto li = list.begin(); li != list.end(); ++li) {
+        if (li->get() == probe) {
+            list.erase(li);
+            found = true;
+            break;
+        }
+    }
+    if (!found) return false;
+    _globals = std::make_shared<const ProbeList>(std::move(list));
+    _engine.onGlobalProbesChanged();
+    return true;
+}
+
+void
+ProbeManager::fireLocal(Frame* frame, FuncState* fs, uint32_t pc)
+{
+    // Snapshot semantics give all three consistency guarantees: the
+    // list reference is immutable; concurrent inserts/removals replace
+    // the map entry with a new list without disturbing this iteration.
+    ProbeListRef list = probesAt(fs->funcIndex, pc);
+    if (!list) return;
+    fireList(*list, frame, fs, pc);
+}
+
+void
+ProbeManager::fireList(const ProbeList& list, Frame* frame, FuncState* fs,
+                       uint32_t pc)
+{
+    ProbeContext ctx(_engine, frame, fs, pc);
+    for (const auto& p : list) {
+        localFireCount++;
+        p->fire(ctx);
+    }
+}
+
+void
+ProbeManager::fireGlobal(Frame* frame, FuncState* fs, uint32_t pc)
+{
+    ProbeListRef list = _globals;
+    ProbeContext ctx(_engine, frame, fs, pc);
+    for (const auto& p : *list) {
+        globalFireCount++;
+        p->fire(ctx);
+    }
+}
+
+} // namespace wizpp

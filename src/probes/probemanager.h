@@ -1,0 +1,149 @@
+/**
+ * @file
+ * ProbeManager: dynamic insertion and removal of local and global probes
+ * with the paper's consistency guarantees (Section 2.4):
+ *
+ *  - Insertion order is firing order. Probe lists are append-ordered.
+ *  - Deferred inserts on the same event. Firing iterates an immutable
+ *    snapshot (copy-on-write lists), so probes inserted on event E while
+ *    E fires do not fire until E's next occurrence.
+ *  - Deferred removal on the same event. A probe removed during E's
+ *    firing is absent from the *new* list but still present in the
+ *    snapshot being iterated, so it fires this occurrence but not later.
+ *
+ * Local probes use bytecode overwriting (Section 4.2): the first byte of
+ * the probed instruction in the engine's mutable code copy is replaced
+ * with the reserved OP_PROBE opcode and the original byte is saved here.
+ * Insertion and removal are O(1) and the bytecode is always consistent
+ * with the installed instrumentation.
+ *
+ * Global probes use dispatch-table switching (Section 4.1): toggling
+ * between zero and nonzero global probes swaps the interpreter's
+ * dispatch table and enters/leaves interpreter-only execution without
+ * discarding compiled code.
+ */
+
+#ifndef WIZPP_PROBES_PROBEMANAGER_H
+#define WIZPP_PROBES_PROBEMANAGER_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "probes/probe.h"
+
+namespace wizpp {
+
+class Engine;
+struct Frame;
+struct FuncState;
+
+/** Immutable, shared probe list (copy-on-write). */
+using ProbeList = std::vector<std::shared_ptr<Probe>>;
+using ProbeListRef = std::shared_ptr<const ProbeList>;
+
+class ProbeManager
+{
+  public:
+    explicit ProbeManager(Engine& engine) : _engine(engine) {}
+
+    // ---- Local probes (location = function index + bytecode pc) ----
+
+    /**
+     * Attaches @p probe before the instruction at (funcIndex, pc).
+     * pc must be an instruction boundary of a non-imported function.
+     * Returns false on an invalid location.
+     */
+    bool insertLocal(uint32_t funcIndex, uint32_t pc,
+                     std::shared_ptr<Probe> probe);
+
+    /**
+     * Detaches one occurrence of @p probe from (funcIndex, pc).
+     * Returns false if it was not attached there.
+     */
+    bool removeLocal(uint32_t funcIndex, uint32_t pc, const Probe* probe);
+
+    /** Removes all probes at a location. */
+    void removeAllLocal(uint32_t funcIndex, uint32_t pc);
+
+    /** The probes at a location (null if none). */
+    ProbeListRef probesAt(uint32_t funcIndex, uint32_t pc) const;
+
+    /** One probed location: probe-list snapshot + saved opcode. */
+    struct SiteView
+    {
+        ProbeListRef probes;
+        uint8_t originalByte = 0;
+    };
+
+    /**
+     * Single-lookup access for the interpreter's probe handler: the
+     * snapshot and original byte together (the hot path of
+     * Section 4.2). The snapshot keeps the list alive across COW
+     * mutations performed by the firing probes themselves.
+     */
+    SiteView
+    siteFor(uint32_t funcIndex, uint32_t pc) const
+    {
+        auto it = _sites.find(key(funcIndex, pc));
+        if (it == _sites.end()) return {};
+        return {it->second.probes, it->second.originalByte};
+    }
+
+    /** The original (pre-overwrite) opcode byte at a probed location. */
+    uint8_t originalByte(uint32_t funcIndex, uint32_t pc) const;
+
+    /** Total number of probed locations (for tests/telemetry). */
+    size_t numProbedSites() const { return _sites.size(); }
+
+    // ---- Global probes ----
+
+    /** Attaches a probe firing before every instruction executed. */
+    void insertGlobal(std::shared_ptr<Probe> probe);
+
+    /** Detaches one occurrence of a global probe. */
+    bool removeGlobal(const Probe* probe);
+
+    bool hasGlobalProbes() const { return !_globals->empty(); }
+
+    // ---- Firing (engine internal) ----
+
+    /**
+     * Fires all local probes at (fs, pc) against @p frame. The engine
+     * must have checkpointed the frame (pc, sp) before calling.
+     */
+    void fireLocal(Frame* frame, FuncState* fs, uint32_t pc);
+
+    /** Fires a pre-looked-up snapshot (interpreter hot path). */
+    void fireList(const ProbeList& list, Frame* frame, FuncState* fs,
+                  uint32_t pc);
+
+    /** Fires all global probes. */
+    void fireGlobal(Frame* frame, FuncState* fs, uint32_t pc);
+
+    /** Telemetry: total local/global probe fires (for tests). */
+    uint64_t localFireCount = 0;
+    uint64_t globalFireCount = 0;
+
+  private:
+    struct LocalSite
+    {
+        ProbeListRef probes;
+        uint8_t originalByte = 0;
+    };
+
+    static uint64_t
+    key(uint32_t funcIndex, uint32_t pc)
+    {
+        return (static_cast<uint64_t>(funcIndex) << 32) | pc;
+    }
+
+    Engine& _engine;
+    std::unordered_map<uint64_t, LocalSite> _sites;
+    ProbeListRef _globals = std::make_shared<const ProbeList>();
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_PROBES_PROBEMANAGER_H

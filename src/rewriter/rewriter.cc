@@ -1,0 +1,114 @@
+#include "rewriter/rewriter.h"
+
+#include "support/leb128.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+/** Emits: i32.const addr ; i32.const addr ; i64.load ; i64.const 1 ;
+ *  i64.add ; i64.store — a stack-neutral counter increment. */
+void
+emitCounterIncrement(std::vector<uint8_t>& out, uint32_t addr)
+{
+    out.push_back(OP_I32_CONST);
+    encodeSLEB(out, static_cast<int32_t>(addr));
+    out.push_back(OP_I32_CONST);
+    encodeSLEB(out, static_cast<int32_t>(addr));
+    out.push_back(OP_I64_LOAD);
+    encodeULEB(out, 3u);  // align
+    encodeULEB(out, 0u);  // offset
+    out.push_back(OP_I64_CONST);
+    encodeSLEB(out, int64_t{1});
+    out.push_back(OP_I64_ADD);
+    out.push_back(OP_I64_STORE);
+    encodeULEB(out, 3u);
+    encodeULEB(out, 0u);
+}
+
+bool
+wantsCounter(RewriteKind kind, uint8_t op)
+{
+    if (kind == RewriteKind::Hotness) return true;
+    return op == OP_IF || op == OP_BR_IF || op == OP_BR_TABLE;
+}
+
+} // namespace
+
+Result<RewriteResult>
+rewriteForCounting(const Module& in, RewriteKind kind)
+{
+    RewriteResult r;
+    r.module = in;  // copy; bodies are rewritten below
+    Module& m = r.module;
+
+    // Counters go above the program's declared memory.
+    if (m.memories.empty()) {
+        MemoryDecl md;
+        md.limits.min = 0;
+        m.memories.push_back(md);
+    }
+    uint32_t origPages = m.memories[0].limits.min;
+    r.counterBase = origPages * kPageSize;
+
+    // First pass: count sites so we know how many pages to add.
+    for (auto& f : m.functions) {
+        if (f.imported) continue;
+        size_t pc = 0;
+        while (pc < f.code.size()) {
+            InstrView v;
+            if (!decodeInstr(f.code, pc, &v)) {
+                return Error{"malformed body during rewrite", pc};
+            }
+            if (wantsCounter(kind, v.opcode)) {
+                r.sites.push_back({f.index, static_cast<uint32_t>(pc)});
+            }
+            pc += v.length;
+        }
+    }
+    r.numCounters = static_cast<uint32_t>(r.sites.size());
+    uint32_t extraPages =
+        (r.numCounters * 8 + kPageSize - 1) / kPageSize;
+    m.memories[0].limits.min = origPages + extraPages;
+    if (m.memories[0].limits.hasMax) {
+        m.memories[0].limits.max += extraPages;
+    }
+
+    // Second pass: rebuild each body with injected increments.
+    uint32_t counter = 0;
+    for (auto& f : m.functions) {
+        if (f.imported) continue;
+        std::vector<uint8_t> out;
+        out.reserve(f.code.size() * 4);
+        size_t pc = 0;
+        while (pc < f.code.size()) {
+            InstrView v;
+            decodeInstr(f.code, pc, &v);
+            if (wantsCounter(kind, v.opcode)) {
+                emitCounterIncrement(out, r.counterBase + counter * 8);
+                counter++;
+            }
+            out.insert(out.end(), f.code.begin() + pc,
+                       f.code.begin() + pc + v.length);
+            pc += v.length;
+        }
+        f.code = std::move(out);
+    }
+
+    return r;
+}
+
+std::vector<uint64_t>
+readCounters(const Memory& mem, const RewriteResult& r)
+{
+    std::vector<uint64_t> counts;
+    counts.reserve(r.numCounters);
+    for (uint32_t i = 0; i < r.numCounters; i++) {
+        counts.push_back(mem.read<uint64_t>(r.counterBase + i * 8));
+    }
+    return counts;
+}
+
+} // namespace wizpp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static bytecode-rewriting baseline (paper Section 5.5).
+ *
+ * Reproduces the Walrus-based wasm-bytecode-instrumenter the paper
+ * compares against: the module is transformed *before* execution by
+ * injecting an in-memory counter increment before each instruction
+ * (hotness) or before each branching instruction (branch). Counters
+ * live in linear memory above the program's data, so the transformed
+ * program needs loads and stores for every count — exactly the
+ * intrusive static approach the paper contrasts with probes.
+ *
+ * Wasm's structured control flow (label-indexed branches) means no
+ * branch relocation is needed; only section sizes change.
+ */
+
+#ifndef WIZPP_REWRITER_REWRITER_H
+#define WIZPP_REWRITER_REWRITER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/memory.h"
+#include "support/result.h"
+#include "wasm/module.h"
+
+namespace wizpp {
+
+/** Which instructions get counters. */
+enum class RewriteKind : uint8_t {
+    Hotness,  ///< count every instruction
+    Branch,   ///< count if / br_if / br_table executions
+};
+
+/** A rewritten module plus the counter-array layout. */
+struct RewriteResult
+{
+    Module module;
+    uint32_t counterBase = 0;   ///< byte address of counter[0]
+    uint32_t numCounters = 0;   ///< one i64 counter per instrumented site
+
+    /** (funcIndex, pc) of each counter, in counter order. */
+    std::vector<std::pair<uint32_t, uint32_t>> sites;
+};
+
+/** Statically instruments @p in. The input module must be valid. */
+Result<RewriteResult> rewriteForCounting(const Module& in,
+                                         RewriteKind kind);
+
+/** Reads the counter array back out of the instance memory. */
+std::vector<uint64_t> readCounters(const Memory& mem,
+                                   const RewriteResult& r);
+
+} // namespace wizpp
+
+#endif // WIZPP_REWRITER_REWRITER_H

@@ -1,0 +1,107 @@
+#include "runtime/instance.h"
+
+namespace wizpp {
+
+namespace {
+
+Result<Value>
+evalInitExpr(const InitExpr& e, const std::vector<GlobalVar>& globals)
+{
+    switch (e.kind) {
+      case InitExpr::Kind::I32Const:
+        return Value{ValType::I32, e.bits & 0xffffffffu};
+      case InitExpr::Kind::I64Const:
+        return Value{ValType::I64, e.bits};
+      case InitExpr::Kind::F32Const:
+        return Value{ValType::F32, e.bits & 0xffffffffu};
+      case InitExpr::Kind::F64Const:
+        return Value{ValType::F64, e.bits};
+      case InitExpr::Kind::GlobalGet:
+        if (e.index >= globals.size()) {
+            return Error{"init expr global out of range", 0};
+        }
+        return globals[e.index].value;
+      default:
+        return Error{"unsupported init expr", 0};
+    }
+}
+
+} // namespace
+
+Result<Instance>
+Instance::instantiate(const Module& m, const ImportMap& imports)
+{
+    Instance inst;
+    inst.module = &m;
+
+    // Resolve imported functions.
+    inst.hostFuncs.resize(m.functions.size());
+    for (const auto& f : m.functions) {
+        if (!f.imported) continue;
+        const HostFunc* hf = imports.findFunc(f.importModule, f.importName);
+        if (!hf) {
+            return Error{"unresolved import " + f.importModule + "." +
+                         f.importName, 0};
+        }
+        if (!(hf->type == m.types[f.typeIndex])) {
+            return Error{"import signature mismatch for " + f.importModule +
+                         "." + f.importName, 0};
+        }
+        inst.hostFuncs[f.index] = *hf;
+    }
+
+    // Memory (imported memories are simply allocated by the engine).
+    if (!m.memories.empty()) {
+        inst.memory = Memory(m.memories[0].limits);
+    }
+
+    // Table.
+    if (!m.tables.empty()) {
+        inst.table = Table(m.tables[0].limits);
+    }
+
+    // Globals (imported globals get zero values unless initialized).
+    for (const auto& g : m.globals) {
+        GlobalVar gv;
+        gv.type = g.type;
+        gv.mut = g.mut;
+        if (g.imported) {
+            gv.value = Value::zeroOf(g.type);
+        } else {
+            auto v = evalInitExpr(g.init, inst.globals);
+            if (!v.ok()) return v.error();
+            gv.value = v.take();
+        }
+        inst.globals.push_back(gv);
+    }
+
+    // Element segments.
+    for (const auto& seg : m.elems) {
+        auto off = evalInitExpr(seg.offset, inst.globals);
+        if (!off.ok()) return off.error();
+        uint64_t base = off.value().i32();
+        if (base + seg.funcIndices.size() > inst.table.size()) {
+            return Error{"element segment out of bounds", 0};
+        }
+        for (size_t i = 0; i < seg.funcIndices.size(); i++) {
+            inst.table.set(static_cast<uint32_t>(base + i),
+                           seg.funcIndices[i]);
+        }
+    }
+
+    // Data segments.
+    for (const auto& seg : m.datas) {
+        auto off = evalInitExpr(seg.offset, inst.globals);
+        if (!off.ok()) return off.error();
+        uint64_t base = off.value().i32();
+        if (base + seg.bytes.size() > inst.memory.byteSize()) {
+            return Error{"data segment out of bounds", 0};
+        }
+        std::memcpy(inst.memory.data() + base, seg.bytes.data(),
+                    seg.bytes.size());
+    }
+
+    return inst;
+}
+
+} // namespace wizpp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Module instance: the runtime state of an instantiated module —
+ * linear memory, table, global values, and resolved host imports.
+ */
+
+#ifndef WIZPP_RUNTIME_INSTANCE_H
+#define WIZPP_RUNTIME_INSTANCE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/memory.h"
+#include "runtime/trap.h"
+#include "runtime/value.h"
+#include "support/result.h"
+#include "wasm/module.h"
+
+namespace wizpp {
+
+/** Sentinel for an uninitialized (null funcref) table slot. */
+constexpr uint32_t kNullFuncIndex = 0xffffffffu;
+
+/**
+ * A host (imported) function. Args arrive in declaration order; the
+ * implementation returns the results or a trap reason.
+ */
+struct HostFunc
+{
+    FuncType type;
+    std::function<TrapReason(const std::vector<Value>& args,
+                             std::vector<Value>* results)> fn;
+};
+
+/** A funcref table instance (slots hold module function indices). */
+class Table
+{
+  public:
+    Table() = default;
+    explicit Table(Limits limits) : _limits(limits)
+    {
+        _slots.assign(limits.min, kNullFuncIndex);
+    }
+
+    uint32_t size() const { return static_cast<uint32_t>(_slots.size()); }
+    uint32_t get(uint32_t i) const { return _slots[i]; }
+    void set(uint32_t i, uint32_t funcIndex) { _slots[i] = funcIndex; }
+    bool inBounds(uint32_t i) const { return i < _slots.size(); }
+
+  private:
+    Limits _limits;
+    std::vector<uint32_t> _slots;
+};
+
+/** A global variable instance. */
+struct GlobalVar
+{
+    ValType type = ValType::I32;
+    bool mut = false;
+    Value value;
+};
+
+/** Named host imports used to resolve a module's import section. */
+class ImportMap
+{
+  public:
+    void
+    addFunc(const std::string& module, const std::string& name, HostFunc f)
+    {
+        _funcs[{module, name}] = std::move(f);
+    }
+
+    const HostFunc*
+    findFunc(const std::string& module, const std::string& name) const
+    {
+        auto it = _funcs.find({module, name});
+        return it == _funcs.end() ? nullptr : &it->second;
+    }
+
+  private:
+    std::map<std::pair<std::string, std::string>, HostFunc> _funcs;
+};
+
+/** The runtime state of one instantiated module. */
+class Instance
+{
+  public:
+    /**
+     * Builds an instance: allocates memory/table, evaluates global
+     * initializers, applies data and element segments, and binds host
+     * functions for imports.
+     */
+    static Result<Instance> instantiate(const Module& m,
+                                        const ImportMap& imports);
+
+    Memory memory;
+    Table table;
+    std::vector<GlobalVar> globals;
+
+    /** Host functions, indexed by function index (empty for non-imports). */
+    std::vector<HostFunc> hostFuncs;
+
+    const Module* module = nullptr;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_RUNTIME_INSTANCE_H

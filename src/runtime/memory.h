@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Linear memory: a growable, bounds-checked byte array in units of
+ * 64 KiB pages.
+ */
+
+#ifndef WIZPP_RUNTIME_MEMORY_H
+#define WIZPP_RUNTIME_MEMORY_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "wasm/types.h"
+
+namespace wizpp {
+
+/** A Wasm linear memory instance. */
+class Memory
+{
+  public:
+    Memory() = default;
+
+    /** Allocates @p limits.min pages; growth is capped by limits/kMaxPages. */
+    explicit Memory(Limits limits) : _limits(limits)
+    {
+        _bytes.resize(static_cast<size_t>(limits.min) * kPageSize);
+    }
+
+    uint32_t pages() const
+    {
+        return static_cast<uint32_t>(_bytes.size() / kPageSize);
+    }
+    size_t byteSize() const { return _bytes.size(); }
+    uint8_t* data() { return _bytes.data(); }
+    const uint8_t* data() const { return _bytes.data(); }
+
+    /**
+     * Grows by @p delta pages. Returns the previous page count, or -1 on
+     * failure (as the memory.grow instruction requires).
+     */
+    int32_t
+    grow(uint32_t delta)
+    {
+        uint64_t cur = pages();
+        uint64_t next = cur + delta;
+        uint64_t cap = _limits.hasMax ? _limits.max : kMaxPages;
+        if (next > cap || next > kMaxPages) return -1;
+        _bytes.resize(static_cast<size_t>(next) * kPageSize);
+        return static_cast<int32_t>(cur);
+    }
+
+    /** True if [addr+offset, addr+offset+size) fits in memory. */
+    bool
+    inBounds(uint32_t addr, uint32_t offset, uint32_t size) const
+    {
+        uint64_t end = static_cast<uint64_t>(addr) + offset + size;
+        return end <= _bytes.size();
+    }
+
+    /** Unchecked typed read (callers bounds-check first). */
+    template <typename T>
+    T
+    read(uint32_t ea) const
+    {
+        T v;
+        std::memcpy(&v, _bytes.data() + ea, sizeof(T));
+        return v;
+    }
+
+    /** Unchecked typed write (callers bounds-check first). */
+    template <typename T>
+    void
+    write(uint32_t ea, T v)
+    {
+        std::memcpy(_bytes.data() + ea, &v, sizeof(T));
+    }
+
+    const Limits& limits() const { return _limits; }
+
+  private:
+    Limits _limits;
+    std::vector<uint8_t> _bytes;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_RUNTIME_MEMORY_H

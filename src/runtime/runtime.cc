@@ -1,0 +1,39 @@
+#include "runtime/trap.h"
+#include "runtime/value.h"
+
+namespace wizpp {
+
+const char*
+trapReasonName(TrapReason r)
+{
+    switch (r) {
+      case TrapReason::None: return "none";
+      case TrapReason::Unreachable: return "unreachable";
+      case TrapReason::MemoryOutOfBounds: return "memory access out of bounds";
+      case TrapReason::DivByZero: return "integer divide by zero";
+      case TrapReason::IntegerOverflow: return "integer overflow";
+      case TrapReason::InvalidConversion: return "invalid conversion to integer";
+      case TrapReason::TableOutOfBounds: return "table access out of bounds";
+      case TrapReason::UninitializedTableEntry: return "uninitialized table entry";
+      case TrapReason::IndirectCallTypeMismatch: return "indirect call type mismatch";
+      case TrapReason::StackOverflow: return "call stack exhausted";
+      case TrapReason::HostError: return "host function error";
+    }
+    return "<bad-trap>";
+}
+
+std::string
+Value::toString() const
+{
+    switch (type) {
+      case ValType::I32: return "i32:" + std::to_string(i32s());
+      case ValType::I64: return "i64:" + std::to_string(i64s());
+      case ValType::F32: return "f32:" + std::to_string(f32());
+      case ValType::F64: return "f64:" + std::to_string(f64());
+      case ValType::FuncRef: return "funcref:" + std::to_string(bits);
+      case ValType::Void: return "void";
+    }
+    return "<bad-value>";
+}
+
+} // namespace wizpp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Trap reasons. Traps unwind the whole Wasm activation; the unwind path
+ * also invalidates any FrameAccessor objects attached to unwound frames
+ * (paper Section 2.3, "invalidate accessors on unwind").
+ */
+
+#ifndef WIZPP_RUNTIME_TRAP_H
+#define WIZPP_RUNTIME_TRAP_H
+
+#include <cstdint>
+
+namespace wizpp {
+
+enum class TrapReason : uint8_t {
+    None = 0,
+    Unreachable,
+    MemoryOutOfBounds,
+    DivByZero,
+    IntegerOverflow,
+    InvalidConversion,
+    TableOutOfBounds,
+    UninitializedTableEntry,
+    IndirectCallTypeMismatch,
+    StackOverflow,
+    HostError,
+};
+
+const char* trapReasonName(TrapReason r);
+
+} // namespace wizpp
+
+#endif // WIZPP_RUNTIME_TRAP_H

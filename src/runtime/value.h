@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Runtime value representation.
+ *
+ * A Value is a tagged 64-bit payload. Both execution tiers and the
+ * FrameAccessor API share this representation, which is what lets the
+ * engine "rewrite a frame in place" when deoptimizing from the compiled
+ * tier back to the interpreter (paper Section 4.6, strategy 4).
+ */
+
+#ifndef WIZPP_RUNTIME_VALUE_H
+#define WIZPP_RUNTIME_VALUE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "wasm/types.h"
+
+namespace wizpp {
+
+/** A single Wasm value: type tag plus 64-bit payload. */
+struct Value
+{
+    ValType type = ValType::I32;
+    uint64_t bits = 0;
+
+    Value() = default;
+    Value(ValType t, uint64_t b) : type(t), bits(b) {}
+
+    static Value makeI32(uint32_t v) { return {ValType::I32, v}; }
+    static Value makeI32(int32_t v)
+    {
+        return {ValType::I32, static_cast<uint32_t>(v)};
+    }
+    static Value makeI64(uint64_t v) { return {ValType::I64, v}; }
+    static Value makeI64(int64_t v)
+    {
+        return {ValType::I64, static_cast<uint64_t>(v)};
+    }
+    static Value
+    makeF32(float v)
+    {
+        uint32_t b;
+        std::memcpy(&b, &v, 4);
+        return {ValType::F32, b};
+    }
+    static Value
+    makeF64(double v)
+    {
+        uint64_t b;
+        std::memcpy(&b, &v, 8);
+        return {ValType::F64, b};
+    }
+    static Value zeroOf(ValType t) { return {t, 0}; }
+
+    uint32_t i32() const { return static_cast<uint32_t>(bits); }
+    int32_t i32s() const { return static_cast<int32_t>(bits); }
+    uint64_t i64() const { return bits; }
+    int64_t i64s() const { return static_cast<int64_t>(bits); }
+    float
+    f32() const
+    {
+        float v;
+        uint32_t b = static_cast<uint32_t>(bits);
+        std::memcpy(&v, &b, 4);
+        return v;
+    }
+    double
+    f64() const
+    {
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    bool operator==(const Value& o) const
+    {
+        return type == o.type && bits == o.bits;
+    }
+
+    /** Renders "i32:42" style for traces and test diagnostics. */
+    std::string toString() const;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_RUNTIME_VALUE_H

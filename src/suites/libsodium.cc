@@ -1,0 +1,699 @@
+/**
+ * @file
+ * Libsodium-style crypto kernels hand-ported to WAT (paper
+ * Section 5.1). The libsodium benchmark suite runs each primitive at
+ * several message sizes (auth/auth2/auth3/..., secretbox/secretbox2,
+ * scalarmult2..7); we reproduce that structure: nine primitive modules
+ * — ChaCha20, Salsa20-style stream, SipHash-2-4, Poly1305-style MAC
+ * (reduced-modulus), SHA-256-style compression, BLAKE2-style i64
+ * mixing, Montgomery-ladder scalar multiplication (reduced field),
+ * xorshift key generation and an AEAD composition — registered under
+ * the suite's program names with different workload scales
+ * (DESIGN.md substitution S4).
+ */
+
+#include "suites/suites.h"
+
+#include "suites/watbuild.h"
+
+namespace wizpp {
+
+namespace {
+
+BenchProgram
+make(const std::string& name, const std::string& body, uint32_t defaultN)
+{
+    BenchProgram p;
+    p.suite = "libsodium";
+    p.name = name;
+    p.wat = "(module (memory 4)\n" + std::string(kSuitePrelude) + body +
+            ")";
+    p.defaultN = defaultN;
+    return p;
+}
+
+// ChaCha20: 16-word state at address 0; run(n) generates n*16 blocks.
+const char* kChaCha = R"WAT(
+  (func $ldw (param $i i32) (result i32)
+    (i32.load (i32.mul (local.get $i) (i32.const 4))))
+  (func $stw (param $i i32) (param $v i32)
+    (i32.store (i32.mul (local.get $i) (i32.const 4)) (local.get $v)))
+  (func $qr (param $a i32) (param $b i32) (param $c i32) (param $d i32)
+    (call $stw (local.get $a)
+      (i32.add (call $ldw (local.get $a)) (call $ldw (local.get $b))))
+    (call $stw (local.get $d)
+      (i32.rotl (i32.xor (call $ldw (local.get $d))
+                         (call $ldw (local.get $a))) (i32.const 16)))
+    (call $stw (local.get $c)
+      (i32.add (call $ldw (local.get $c)) (call $ldw (local.get $d))))
+    (call $stw (local.get $b)
+      (i32.rotl (i32.xor (call $ldw (local.get $b))
+                         (call $ldw (local.get $c))) (i32.const 12)))
+    (call $stw (local.get $a)
+      (i32.add (call $ldw (local.get $a)) (call $ldw (local.get $b))))
+    (call $stw (local.get $d)
+      (i32.rotl (i32.xor (call $ldw (local.get $d))
+                         (call $ldw (local.get $a))) (i32.const 8)))
+    (call $stw (local.get $c)
+      (i32.add (call $ldw (local.get $c)) (call $ldw (local.get $d))))
+    (call $stw (local.get $b)
+      (i32.rotl (i32.xor (call $ldw (local.get $b))
+                         (call $ldw (local.get $c))) (i32.const 7))))
+  (func $seed (param $ctr i32)
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 16)))
+      (call $stw (local.get $i)
+        (i32.add (i32.mul (local.get $i) (i32.const 0x9e3779b9))
+                 (local.get $ctr)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l))))
+  (func $block
+    (local $r i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $r) (i32.const 10)))
+      (call $qr (i32.const 0) (i32.const 4) (i32.const 8) (i32.const 12))
+      (call $qr (i32.const 1) (i32.const 5) (i32.const 9) (i32.const 13))
+      (call $qr (i32.const 2) (i32.const 6) (i32.const 10) (i32.const 14))
+      (call $qr (i32.const 3) (i32.const 7) (i32.const 11) (i32.const 15))
+      (call $qr (i32.const 0) (i32.const 5) (i32.const 10) (i32.const 15))
+      (call $qr (i32.const 1) (i32.const 6) (i32.const 11) (i32.const 12))
+      (call $qr (i32.const 2) (i32.const 7) (i32.const 8) (i32.const 13))
+      (call $qr (i32.const 3) (i32.const 4) (i32.const 9) (i32.const 14))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $l))))
+  (func (export "run") (param $n i32) (result f64)
+    (local $b i32) (local $blocks i32) (local $acc i32)
+    (local.set $blocks (i32.mul (local.get $n) (i32.const 16)))
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $b) (local.get $blocks)))
+      (call $seed (local.get $b))
+      (call $block)
+      (local.set $acc (i32.add (local.get $acc) (call $ldw (i32.const 0))))
+      (local.set $b (i32.add (local.get $b) (i32.const 1)))
+      (br $l)))
+    (f64.convert_i32_u (local.get $acc)))
+)WAT";
+
+// Salsa20-style stream: like ChaCha with the column/row round pattern,
+// XORing keystream into an 8 KiB buffer at 4096.
+const char* kStream = R"WAT(
+  (func $ldw (param $i i32) (result i32)
+    (i32.load (i32.mul (local.get $i) (i32.const 4))))
+  (func $stw (param $i i32) (param $v i32)
+    (i32.store (i32.mul (local.get $i) (i32.const 4)) (local.get $v)))
+  (func $sr (param $a i32) (param $b i32) (param $c i32) (param $r i32)
+    (call $stw (local.get $a)
+      (i32.xor (call $ldw (local.get $a))
+        (i32.rotl (i32.add (call $ldw (local.get $b))
+                           (call $ldw (local.get $c)))
+                  (local.get $r)))))
+  (func $seed (param $ctr i32)
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 16)))
+      (call $stw (local.get $i)
+        (i32.add (i32.mul (local.get $i) (i32.const 0x85ebca6b))
+                 (local.get $ctr)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l))))
+  (func $block
+    (local $r i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $r) (i32.const 10)))
+      (call $sr (i32.const 4) (i32.const 0) (i32.const 12) (i32.const 7))
+      (call $sr (i32.const 8) (i32.const 4) (i32.const 0) (i32.const 9))
+      (call $sr (i32.const 12) (i32.const 8) (i32.const 4) (i32.const 13))
+      (call $sr (i32.const 0) (i32.const 12) (i32.const 8) (i32.const 18))
+      (call $sr (i32.const 1) (i32.const 0) (i32.const 3) (i32.const 7))
+      (call $sr (i32.const 2) (i32.const 1) (i32.const 0) (i32.const 9))
+      (call $sr (i32.const 3) (i32.const 2) (i32.const 1) (i32.const 13))
+      (call $sr (i32.const 0) (i32.const 3) (i32.const 2) (i32.const 18))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $l))))
+  (func (export "run") (param $n i32) (result f64)
+    (local $rep i32) (local $i i32) (local $acc i32)
+    (block $xr (loop $lr
+      (br_if $xr (i32.ge_s (local.get $rep) (local.get $n)))
+      ;; 128 blocks of keystream XORed into the message buffer
+      (local.set $i (i32.const 0))
+      (block $x (loop $l
+        (br_if $x (i32.ge_s (local.get $i) (i32.const 128)))
+        (call $seed (local.get $i))
+        (call $block)
+        ;; xor 64 bytes (16 words) into buffer at 4096 + i*64
+        (i32.store (i32.add (i32.const 4096)
+                            (i32.mul (local.get $i) (i32.const 4)))
+          (i32.xor
+            (i32.load (i32.add (i32.const 4096)
+                               (i32.mul (local.get $i) (i32.const 4))))
+            (call $ldw (i32.and (local.get $i) (i32.const 15)))))
+        (local.set $acc (i32.add (local.get $acc)
+                                 (call $ldw (i32.const 5))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+      (local.set $rep (i32.add (local.get $rep) (i32.const 1)))
+      (br $lr)))
+    (f64.convert_i32_u (local.get $acc)))
+)WAT";
+
+// SipHash-2-4 over an 8 KiB message at address 0 (i64 lanes in globals).
+const char* kSipHash = R"WAT(
+  (global $v0 (mut i64) (i64.const 0x736f6d6570736575))
+  (global $v1 (mut i64) (i64.const 0x646f72616e646f6d))
+  (global $v2 (mut i64) (i64.const 0x6c7967656e657261))
+  (global $v3 (mut i64) (i64.const 0x7465646279746573))
+  (func $round
+    (global.set $v0 (i64.add (global.get $v0) (global.get $v1)))
+    (global.set $v1 (i64.rotl (global.get $v1) (i64.const 13)))
+    (global.set $v1 (i64.xor (global.get $v1) (global.get $v0)))
+    (global.set $v0 (i64.rotl (global.get $v0) (i64.const 32)))
+    (global.set $v2 (i64.add (global.get $v2) (global.get $v3)))
+    (global.set $v3 (i64.rotl (global.get $v3) (i64.const 16)))
+    (global.set $v3 (i64.xor (global.get $v3) (global.get $v2)))
+    (global.set $v0 (i64.add (global.get $v0) (global.get $v3)))
+    (global.set $v3 (i64.rotl (global.get $v3) (i64.const 21)))
+    (global.set $v3 (i64.xor (global.get $v3) (global.get $v0)))
+    (global.set $v2 (i64.add (global.get $v2) (global.get $v1)))
+    (global.set $v1 (i64.rotl (global.get $v1) (i64.const 17)))
+    (global.set $v1 (i64.xor (global.get $v1) (global.get $v2)))
+    (global.set $v2 (i64.rotl (global.get $v2) (i64.const 32))))
+  (func $hash (result i64)
+    (local $i i32) (local $m i64)
+    (global.set $v0 (i64.const 0x736f6d6570736575))
+    (global.set $v1 (i64.const 0x646f72616e646f6d))
+    (global.set $v2 (i64.const 0x6c7967656e657261))
+    (global.set $v3 (i64.const 0x7465646279746573))
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 8192)))
+      (local.set $m (i64.load (local.get $i)))
+      (global.set $v3 (i64.xor (global.get $v3) (local.get $m)))
+      (call $round)
+      (call $round)
+      (global.set $v0 (i64.xor (global.get $v0) (local.get $m)))
+      (local.set $i (i32.add (local.get $i) (i32.const 8)))
+      (br $l)))
+    (global.set $v2 (i64.xor (global.get $v2) (i64.const 0xff)))
+    (call $round)
+    (call $round)
+    (call $round)
+    (call $round)
+    (i64.xor (i64.xor (global.get $v0) (global.get $v1))
+             (i64.xor (global.get $v2) (global.get $v3))))
+  (func $init
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 8192)))
+      (i64.store (local.get $i)
+        (i64.mul (i64.extend_i32_s (local.get $i))
+                 (i64.const 0x9e3779b97f4a7c15)))
+      (local.set $i (i32.add (local.get $i) (i32.const 8)))
+      (br $l))))
+  (func (export "run") (param $n i32) (result f64)
+    (local $r i32) (local $acc i64)
+    (call $init)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $r) (local.get $n)))
+      (local.set $acc (i64.add (local.get $acc) (call $hash)))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $l)))
+    (f64.convert_i64_s (local.get $acc)))
+)WAT";
+
+// Poly1305-style MAC with a reduced modulus (2^31-1) so 64-bit
+// products never overflow; same accumulate-multiply-reduce loop shape.
+const char* kOnetimeAuth = R"WAT(
+  (func $init
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 8192)))
+      (i64.store (local.get $i)
+        (i64.mul (i64.extend_i32_s (i32.add (local.get $i) (i32.const 3)))
+                 (i64.const 0x2545f4914f6cdd1d)))
+      (local.set $i (i32.add (local.get $i) (i32.const 8)))
+      (br $l))))
+  (func $mac (param $r i64) (result i64)
+    (local $i i32) (local $acc i64) (local $m i64)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 8192)))
+      (local.set $m (i64.and (i64.load (local.get $i))
+                             (i64.const 0x7fffffff)))
+      (local.set $acc
+        (i64.rem_u
+          (i64.mul (i64.add (local.get $acc) (local.get $m))
+                   (local.get $r))
+          (i64.const 2147483647)))
+      (local.set $i (i32.add (local.get $i) (i32.const 8)))
+      (br $l)))
+    (local.get $acc))
+  (func (export "run") (param $n i32) (result f64)
+    (local $rep i32) (local $acc i64)
+    (call $init)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $rep) (local.get $n)))
+      (local.set $acc (i64.add (local.get $acc)
+        (call $mac (i64.add (i64.const 12345)
+                            (i64.extend_i32_s (local.get $rep))))))
+      (local.set $rep (i32.add (local.get $rep) (i32.const 1)))
+      (br $l)))
+    (f64.convert_i64_s (local.get $acc)))
+)WAT";
+
+// SHA-256-style compression over a 4 KiB message (schedule + 64 rounds).
+const char* kSha = R"WAT(
+  (func $init
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 4096)))
+      (i32.store (local.get $i)
+        (i32.mul (i32.add (local.get $i) (i32.const 7))
+                 (i32.const 0x45d9f3b)))
+      (local.set $i (i32.add (local.get $i) (i32.const 4)))
+      (br $l))))
+  ;; message schedule scratch at 8192 (64 words per block)
+  (func $compress (param $blockBase i32) (result i32)
+    (local $i i32) (local $a i32) (local $b i32) (local $c i32)
+    (local $d i32) (local $e i32) (local $f i32) (local $g i32)
+    (local $h i32) (local $t1 i32) (local $t2 i32) (local $w i32)
+    ;; schedule: first 16 words copied, next 48 expanded
+    (local.set $i (i32.const 0))
+    (block $x1 (loop $l1
+      (br_if $x1 (i32.ge_s (local.get $i) (i32.const 16)))
+      (i32.store
+        (i32.add (i32.const 8192) (i32.mul (local.get $i) (i32.const 4)))
+        (i32.load (i32.add (local.get $blockBase)
+                           (i32.mul (local.get $i) (i32.const 4)))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l1)))
+    (block $x2 (loop $l2
+      (br_if $x2 (i32.ge_s (local.get $i) (i32.const 64)))
+      (local.set $w
+        (i32.load (i32.add (i32.const 8192)
+          (i32.mul (i32.sub (local.get $i) (i32.const 15))
+                   (i32.const 4)))))
+      (local.set $t1
+        (i32.xor (i32.xor (i32.rotr (local.get $w) (i32.const 7))
+                          (i32.rotr (local.get $w) (i32.const 18)))
+                 (i32.shr_u (local.get $w) (i32.const 3))))
+      (local.set $w
+        (i32.load (i32.add (i32.const 8192)
+          (i32.mul (i32.sub (local.get $i) (i32.const 2))
+                   (i32.const 4)))))
+      (local.set $t2
+        (i32.xor (i32.xor (i32.rotr (local.get $w) (i32.const 17))
+                          (i32.rotr (local.get $w) (i32.const 19)))
+                 (i32.shr_u (local.get $w) (i32.const 10))))
+      (i32.store
+        (i32.add (i32.const 8192) (i32.mul (local.get $i) (i32.const 4)))
+        (i32.add
+          (i32.add
+            (i32.load (i32.add (i32.const 8192)
+              (i32.mul (i32.sub (local.get $i) (i32.const 16))
+                       (i32.const 4))))
+            (local.get $t1))
+          (i32.add
+            (i32.load (i32.add (i32.const 8192)
+              (i32.mul (i32.sub (local.get $i) (i32.const 7))
+                       (i32.const 4))))
+            (local.get $t2))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l2)))
+    ;; rounds
+    (local.set $a (i32.const 0x6a09e667))
+    (local.set $b (i32.const 0xbb67ae85))
+    (local.set $c (i32.const 0x3c6ef372))
+    (local.set $d (i32.const 0xa54ff53a))
+    (local.set $e (i32.const 0x510e527f))
+    (local.set $f (i32.const 0x9b05688c))
+    (local.set $g (i32.const 0x1f83d9ab))
+    (local.set $h (i32.const 0x5be0cd19))
+    (local.set $i (i32.const 0))
+    (block $x3 (loop $l3
+      (br_if $x3 (i32.ge_s (local.get $i) (i32.const 64)))
+      (local.set $t1
+        (i32.add
+          (i32.add
+            (i32.add (local.get $h)
+              (i32.xor (i32.xor
+                (i32.rotr (local.get $e) (i32.const 6))
+                (i32.rotr (local.get $e) (i32.const 11)))
+                (i32.rotr (local.get $e) (i32.const 25))))
+            (i32.xor (i32.and (local.get $e) (local.get $f))
+                     (i32.and (i32.xor (local.get $e) (i32.const -1))
+                              (local.get $g))))
+          (i32.add
+            (i32.mul (local.get $i) (i32.const 0x428a2f98))
+            (i32.load (i32.add (i32.const 8192)
+                               (i32.mul (local.get $i) (i32.const 4)))))))
+      (local.set $t2
+        (i32.add
+          (i32.xor (i32.xor (i32.rotr (local.get $a) (i32.const 2))
+                            (i32.rotr (local.get $a) (i32.const 13)))
+                   (i32.rotr (local.get $a) (i32.const 22)))
+          (i32.xor (i32.xor (i32.and (local.get $a) (local.get $b))
+                            (i32.and (local.get $a) (local.get $c)))
+                   (i32.and (local.get $b) (local.get $c)))))
+      (local.set $h (local.get $g))
+      (local.set $g (local.get $f))
+      (local.set $f (local.get $e))
+      (local.set $e (i32.add (local.get $d) (local.get $t1)))
+      (local.set $d (local.get $c))
+      (local.set $c (local.get $b))
+      (local.set $b (local.get $a))
+      (local.set $a (i32.add (local.get $t1) (local.get $t2)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l3)))
+    (i32.add (local.get $a) (local.get $e)))
+  (func $digest (result i32)
+    (local $b i32) (local $acc i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $b) (i32.const 4096)))
+      (local.set $acc (i32.add (local.get $acc)
+                               (call $compress (local.get $b))))
+      (local.set $b (i32.add (local.get $b) (i32.const 64)))
+      (br $l)))
+    (local.get $acc))
+  (func (export "run") (param $n i32) (result f64)
+    (local $r i32) (local $acc i32)
+    (call $init)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $r) (local.get $n)))
+      (local.set $acc (i32.add (local.get $acc) (call $digest)))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $l)))
+    (f64.convert_i32_u (local.get $acc)))
+)WAT";
+
+// BLAKE2b-style i64 mixing (generichash): G function over a 16-lane
+// i64 working vector in memory, 12 rounds per 128-byte block.
+const char* kGenericHash = R"WAT(
+  (func $ldq (param $i i32) (result i64)
+    (i64.load (i32.add (i32.const 8192)
+                       (i32.mul (local.get $i) (i32.const 8)))))
+  (func $stq (param $i i32) (param $v i64)
+    (i64.store (i32.add (i32.const 8192)
+                        (i32.mul (local.get $i) (i32.const 8)))
+               (local.get $v)))
+  (func $g (param $a i32) (param $b i32) (param $c i32) (param $d i32)
+           (param $x i64) (param $y i64)
+    (call $stq (local.get $a)
+      (i64.add (i64.add (call $ldq (local.get $a))
+                        (call $ldq (local.get $b))) (local.get $x)))
+    (call $stq (local.get $d)
+      (i64.rotr (i64.xor (call $ldq (local.get $d))
+                         (call $ldq (local.get $a))) (i64.const 32)))
+    (call $stq (local.get $c)
+      (i64.add (call $ldq (local.get $c)) (call $ldq (local.get $d))))
+    (call $stq (local.get $b)
+      (i64.rotr (i64.xor (call $ldq (local.get $b))
+                         (call $ldq (local.get $c))) (i64.const 24)))
+    (call $stq (local.get $a)
+      (i64.add (i64.add (call $ldq (local.get $a))
+                        (call $ldq (local.get $b))) (local.get $y)))
+    (call $stq (local.get $d)
+      (i64.rotr (i64.xor (call $ldq (local.get $d))
+                         (call $ldq (local.get $a))) (i64.const 16)))
+    (call $stq (local.get $c)
+      (i64.add (call $ldq (local.get $c)) (call $ldq (local.get $d))))
+    (call $stq (local.get $b)
+      (i64.rotr (i64.xor (call $ldq (local.get $b))
+                         (call $ldq (local.get $c))) (i64.const 63))))
+  (func $init
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 4096)))
+      (i64.store (local.get $i)
+        (i64.mul (i64.extend_i32_s (i32.add (local.get $i) (i32.const 11)))
+                 (i64.const 0x9e3779b97f4a7c15)))
+      (local.set $i (i32.add (local.get $i) (i32.const 8)))
+      (br $l))))
+  (func $blockmix (param $base i32)
+    (local $r i32)
+    ;; load working vector
+    (local $i i32)
+    (local.set $i (i32.const 0))
+    (block $xv (loop $lv
+      (br_if $xv (i32.ge_s (local.get $i) (i32.const 16)))
+      (call $stq (local.get $i)
+        (i64.xor
+          (i64.load (i32.add (local.get $base)
+                             (i32.mul (i32.and (local.get $i) (i32.const 15))
+                                      (i32.const 8))))
+          (i64.mul (i64.extend_i32_s (local.get $i))
+                   (i64.const 0x6a09e667f3bcc908))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $lv)))
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $r) (i32.const 12)))
+      (call $g (i32.const 0) (i32.const 4) (i32.const 8) (i32.const 12)
+        (i64.load (local.get $base))
+        (i64.load (i32.add (local.get $base) (i32.const 8))))
+      (call $g (i32.const 1) (i32.const 5) (i32.const 9) (i32.const 13)
+        (i64.load (i32.add (local.get $base) (i32.const 16)))
+        (i64.load (i32.add (local.get $base) (i32.const 24))))
+      (call $g (i32.const 2) (i32.const 6) (i32.const 10) (i32.const 14)
+        (i64.load (i32.add (local.get $base) (i32.const 32)))
+        (i64.load (i32.add (local.get $base) (i32.const 40))))
+      (call $g (i32.const 3) (i32.const 7) (i32.const 11) (i32.const 15)
+        (i64.load (i32.add (local.get $base) (i32.const 48)))
+        (i64.load (i32.add (local.get $base) (i32.const 56))))
+      (call $g (i32.const 0) (i32.const 5) (i32.const 10) (i32.const 15)
+        (i64.load (i32.add (local.get $base) (i32.const 64)))
+        (i64.load (i32.add (local.get $base) (i32.const 72))))
+      (call $g (i32.const 1) (i32.const 6) (i32.const 11) (i32.const 12)
+        (i64.load (i32.add (local.get $base) (i32.const 80)))
+        (i64.load (i32.add (local.get $base) (i32.const 88))))
+      (call $g (i32.const 2) (i32.const 7) (i32.const 8) (i32.const 13)
+        (i64.load (i32.add (local.get $base) (i32.const 96)))
+        (i64.load (i32.add (local.get $base) (i32.const 104))))
+      (call $g (i32.const 3) (i32.const 4) (i32.const 9) (i32.const 14)
+        (i64.load (i32.add (local.get $base) (i32.const 112)))
+        (i64.load (i32.add (local.get $base) (i32.const 120))))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $l))))
+  (func (export "run") (param $n i32) (result f64)
+    (local $r i32) (local $b i32) (local $acc i64)
+    (call $init)
+    (block $xr (loop $lr
+      (br_if $xr (i32.ge_s (local.get $r) (local.get $n)))
+      (local.set $b (i32.const 0))
+      (block $x (loop $l
+        (br_if $x (i32.ge_s (local.get $b) (i32.const 4096)))
+        (call $blockmix (local.get $b))
+        (local.set $acc (i64.add (local.get $acc)
+                                 (call $ldq (i32.const 0))))
+        (local.set $b (i32.add (local.get $b) (i32.const 128)))
+        (br $l)))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $lr)))
+    (f64.convert_i64_s (local.get $acc)))
+)WAT";
+
+// Montgomery-ladder scalar multiplication over a reduced field
+// (p = 2^31 - 1) so products fit in i64; 255 ladder steps.
+const char* kScalarMult = R"WAT(
+  (func $fmul (param $a i64) (param $b i64) (result i64)
+    (i64.rem_u (i64.mul (local.get $a) (local.get $b))
+               (i64.const 2147483647)))
+  (func $fadd (param $a i64) (param $b i64) (result i64)
+    (i64.rem_u (i64.add (local.get $a) (local.get $b))
+               (i64.const 2147483647)))
+  (func $fsub (param $a i64) (param $b i64) (result i64)
+    (i64.rem_u (i64.add (i64.sub (local.get $a) (local.get $b))
+                        (i64.const 2147483647))
+               (i64.const 2147483647)))
+  (func $ladder (param $k i64) (param $x1 i64) (result i64)
+    (local $bit i32) (local $x2 i64) (local $z2 i64) (local $x3 i64)
+    (local $z3 i64) (local $t1 i64) (local $t2 i64) (local $t3 i64)
+    (local $t4 i64) (local $swap i64)
+    (local.set $x2 (i64.const 1))
+    (local.set $z2 (i64.const 0))
+    (local.set $x3 (local.get $x1))
+    (local.set $z3 (i64.const 1))
+    (local.set $bit (i32.const 254))
+    (block $x (loop $l
+      (br_if $x (i32.lt_s (local.get $bit) (i32.const 0)))
+      (local.set $swap
+        (i64.and (i64.shr_u (local.get $k)
+                   (i64.extend_i32_s
+                     (i32.rem_s (local.get $bit) (i32.const 63))))
+                 (i64.const 1)))
+      ;; conditional swap (branchless, select)
+      (local.set $t1 (select (local.get $x3) (local.get $x2)
+                             (i32.wrap_i64 (local.get $swap))))
+      (local.set $x3 (select (local.get $x2) (local.get $x3)
+                             (i32.wrap_i64 (local.get $swap))))
+      (local.set $x2 (local.get $t1))
+      (local.set $t1 (select (local.get $z3) (local.get $z2)
+                             (i32.wrap_i64 (local.get $swap))))
+      (local.set $z3 (select (local.get $z2) (local.get $z3)
+                             (i32.wrap_i64 (local.get $swap))))
+      (local.set $z2 (local.get $t1))
+      ;; ladder step
+      (local.set $t1 (call $fadd (local.get $x2) (local.get $z2)))
+      (local.set $t2 (call $fsub (local.get $x2) (local.get $z2)))
+      (local.set $t3 (call $fadd (local.get $x3) (local.get $z3)))
+      (local.set $t4 (call $fsub (local.get $x3) (local.get $z3)))
+      (local.set $x2 (call $fmul (call $fmul (local.get $t1)
+                                             (local.get $t1))
+                           (call $fmul (local.get $t2) (local.get $t2))))
+      (local.set $z2 (call $fmul (i64.const 121665)
+        (call $fsub (call $fmul (local.get $t1) (local.get $t1))
+                    (call $fmul (local.get $t2) (local.get $t2)))))
+      (local.set $x3 (call $fmul (call $fmul (local.get $t1)
+                                             (local.get $t4))
+                           (call $fmul (local.get $t2) (local.get $t3))))
+      (local.set $z3 (call $fmul (local.get $x1)
+        (call $fsub (call $fmul (local.get $t1) (local.get $t4))
+                    (call $fmul (local.get $t2) (local.get $t3)))))
+      (local.set $z3 (call $fadd (local.get $z3) (i64.const 1)))
+      (local.set $bit (i32.sub (local.get $bit) (i32.const 1)))
+      (br $l)))
+    (call $fadd (local.get $x2) (local.get $z2)))
+  (func (export "run") (param $n i32) (result f64)
+    (local $r i32) (local $acc i64)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $r) (local.get $n)))
+      (local.set $acc (i64.add (local.get $acc)
+        (call $ladder
+          (i64.add (i64.const 0x417594a5f3c21e4)
+                   (i64.extend_i32_s (local.get $r)))
+          (i64.add (i64.const 9) (i64.extend_i32_s (local.get $r))))))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $l)))
+    (f64.convert_i64_s (local.get $acc)))
+)WAT";
+
+// xorshift128 key generation filling a 16 KiB buffer.
+const char* kKeygen = R"WAT(
+  (global $s0 (mut i64) (i64.const 0x123456789abcdef))
+  (global $s1 (mut i64) (i64.const 0xfedcba9876543210))
+  (func $next (result i64)
+    (local $a i64) (local $b i64)
+    (local.set $a (global.get $s0))
+    (local.set $b (global.get $s1))
+    (global.set $s0 (local.get $b))
+    (local.set $a (i64.xor (local.get $a)
+                           (i64.shl (local.get $a) (i64.const 23))))
+    (local.set $a (i64.xor (i64.xor (local.get $a) (local.get $b))
+      (i64.xor (i64.shr_u (local.get $a) (i64.const 17))
+               (i64.shr_u (local.get $b) (i64.const 26)))))
+    (global.set $s1 (local.get $a))
+    (i64.add (local.get $a) (local.get $b)))
+  (func (export "run") (param $n i32) (result f64)
+    (local $r i32) (local $i i32) (local $acc i64)
+    (global.set $s0 (i64.const 0x123456789abcdef))
+    (global.set $s1 (i64.const 0xfedcba9876543210))
+    (block $xr (loop $lr
+      (br_if $xr (i32.ge_s (local.get $r) (local.get $n)))
+      (local.set $i (i32.const 0))
+      (block $x (loop $l
+        (br_if $x (i32.ge_s (local.get $i) (i32.const 16384)))
+        (i64.store (local.get $i) (call $next))
+        (local.set $i (i32.add (local.get $i) (i32.const 8)))
+        (br $l)))
+      (local.set $acc (i64.add (local.get $acc)
+                               (i64.load (i32.const 64))))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $lr)))
+    (f64.convert_i64_s (local.get $acc)))
+)WAT";
+
+// AEAD: ChaCha-style keystream XOR + Poly-style accumulate in one pass.
+const char* kAead = R"WAT(
+  (global $acc (mut i64) (i64.const 0))
+  (func $ks (param $i i32) (result i32)
+    ;; cheap per-word keystream derived from block function shape
+    (local $x i32)
+    (local.set $x (i32.mul (local.get $i) (i32.const 0x9e3779b9)))
+    (local.set $x (i32.xor (local.get $x)
+                           (i32.rotl (local.get $x) (i32.const 16))))
+    (local.set $x (i32.add (local.get $x)
+                           (i32.rotl (local.get $x) (i32.const 12))))
+    (local.set $x (i32.xor (local.get $x)
+                           (i32.rotl (local.get $x) (i32.const 8))))
+    (i32.add (local.get $x) (i32.rotl (local.get $x) (i32.const 7))))
+  (func $init
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 8192)))
+      (i32.store (local.get $i)
+        (i32.mul (i32.add (local.get $i) (i32.const 13))
+                 (i32.const 0x85ebca6b)))
+      (local.set $i (i32.add (local.get $i) (i32.const 4)))
+      (br $l))))
+  (func (export "run") (param $n i32) (result f64)
+    (local $r i32) (local $i i32) (local $c i32)
+    (call $init)
+    (global.set $acc (i64.const 0))
+    (block $xr (loop $lr
+      (br_if $xr (i32.ge_s (local.get $r) (local.get $n)))
+      (local.set $i (i32.const 0))
+      (block $x (loop $l
+        (br_if $x (i32.ge_s (local.get $i) (i32.const 8192)))
+        ;; encrypt word
+        (local.set $c (i32.xor
+          (i32.load (local.get $i))
+          (call $ks (i32.add (local.get $i) (local.get $r)))))
+        (i32.store (local.get $i) (local.get $c))
+        ;; MAC accumulate (reduced modulus)
+        (global.set $acc
+          (i64.rem_u
+            (i64.mul
+              (i64.add (global.get $acc)
+                (i64.and (i64.extend_i32_u (local.get $c))
+                         (i64.const 0x7fffffff)))
+              (i64.const 31337))
+            (i64.const 2147483647)))
+        (local.set $i (i32.add (local.get $i) (i32.const 4)))
+        (br $l)))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $lr)))
+    (f64.convert_i64_s (global.get $acc)))
+)WAT";
+
+} // namespace
+
+void
+registerLibsodium(std::vector<BenchProgram>* out)
+{
+    // Primitive modules registered under the suite's program names;
+    // size variants (auth2/auth3/..., scalarmult2..7) differ in
+    // repetition scale exactly as the libsodium benchmark does.
+    auto add = [&](const char* name, const char* wat, uint32_t n) {
+        out->push_back(make(name, wat, n));
+    };
+    add("chacha20", kChaCha, 32);
+    add("stream", kStream, 16);
+    add("stream3", kStream, 4);
+    add("secretbox", kStream, 12);
+    add("secretbox2", kStream, 6);
+    add("secretbox_easy", kStream, 24);
+    add("onetimeauth", kOnetimeAuth, 4);
+    add("auth", kSha, 12);
+    add("auth2", kSha, 4);
+    add("auth3", kSha, 6);
+    add("auth6", kSha, 8);
+    add("hash", kSha, 16);
+    add("hash3", kSha, 5);
+    add("shorthash", kSipHash, 8);
+    add("siphashx24", kSipHash, 10);
+    add("generichash", kGenericHash, 8);
+    add("generichash2", kGenericHash, 16);
+    add("keygen", kKeygen, 12);
+    add("randombytes", kKeygen, 24);
+    add("kdf", kGenericHash, 12);
+    add("scalarmult", kScalarMult, 48);
+    add("scalarmult2", kScalarMult, 24);
+    add("scalarmult5", kScalarMult, 56);
+    add("scalarmult6", kScalarMult, 64);
+    add("scalarmult7", kScalarMult, 72);
+    add("box", kScalarMult, 40);
+    add("box2", kScalarMult, 20);
+    add("box_easy", kAead, 16);
+    add("box_seal", kAead, 24);
+    add("box_seed", kKeygen, 16);
+    add("aead_chacha20poly1305", kAead, 20);
+}
+
+} // namespace wizpp

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Ostrich-suite kernels hand-ported to WAT (paper Section 5.1). The
+ * Ostrich benchmarks are numerical-computing kernels for the web; the
+ * eight used in Figure 6 are reproduced here with the same algorithmic
+ * skeletons (transcendental functions are replaced with rational
+ * approximations — Wasm has no sin/cos/exp — which preserves the
+ * instruction mix; DESIGN.md substitution S4).
+ */
+
+#include "suites/suites.h"
+
+#include "suites/watbuild.h"
+
+namespace wizpp {
+
+namespace {
+
+using namespace watbuild;
+
+BenchProgram
+make(const std::string& name, const std::string& body, uint32_t defaultN)
+{
+    BenchProgram p;
+    p.suite = "ostrich";
+    p.name = name;
+    p.wat = "(module (memory 8)\n" + std::string(kSuitePrelude) + body +
+            runDriver() + ")";
+    p.defaultN = defaultN;
+    return p;
+}
+
+std::string I = get("$i"), J = get("$j"), K = get("$k"), T = get("$t");
+
+// nqueens: recursive backtracking solution counter (call-heavy).
+std::string
+nqueens()
+{
+    return R"WAT(
+  (func $init)
+  (func $solve (param $cols i32) (param $diag1 i32) (param $diag2 i32)
+               (param $row i32) (param $size i32) (result i32)
+    (local $free i32) (local $bit i32) (local $count i32)
+    (if (i32.eq (local.get $row) (local.get $size))
+      (then (return (i32.const 1))))
+    (local.set $free
+      (i32.and
+        (i32.xor (i32.const -1)
+          (i32.or (i32.or (local.get $cols) (local.get $diag1))
+                  (local.get $diag2)))
+        (i32.sub (i32.shl (i32.const 1) (local.get $size)) (i32.const 1))))
+    (block $done
+      (loop $try
+        (br_if $done (i32.eqz (local.get $free)))
+        (local.set $bit
+          (i32.and (local.get $free)
+                   (i32.sub (i32.const 0) (local.get $free))))
+        (local.set $free (i32.xor (local.get $free) (local.get $bit)))
+        (local.set $count (i32.add (local.get $count)
+          (call $solve
+            (i32.or (local.get $cols) (local.get $bit))
+            (i32.and
+              (i32.shl (i32.or (local.get $diag1) (local.get $bit))
+                       (i32.const 1))
+              (i32.const 0x3fffffff))
+            (i32.shr_u (i32.or (local.get $diag2) (local.get $bit))
+                       (i32.const 1))
+            (i32.add (local.get $row) (i32.const 1))
+            (local.get $size))))
+        (br $try)))
+    (local.get $count))
+  (func $kernel (result f64)
+    (f64.convert_i32_s
+      (call $solve (i32.const 0) (i32.const 0) (i32.const 0)
+                   (i32.const 0) (i32.const 8))))
+)WAT";
+}
+
+// crc: bitwise CRC-32 over an 8 KiB buffer (no lookup table).
+std::string
+crc()
+{
+    return R"WAT(
+  (func $init
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 8192)))
+      (i32.store8 (local.get $i)
+        (i32.mul (i32.add (local.get $i) (i32.const 37)) (i32.const 41)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l))))
+  (func $kernel (result f64)
+    (local $i i32) (local $b i32) (local $crc i32)
+    (local.set $crc (i32.const -1))
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (i32.const 8192)))
+      (local.set $crc
+        (i32.xor (local.get $crc) (i32.load8_u (local.get $i))))
+      (local.set $b (i32.const 0))
+      (block $x8 (loop $l8
+        (br_if $x8 (i32.ge_s (local.get $b) (i32.const 8)))
+        (local.set $crc
+          (i32.xor (i32.shr_u (local.get $crc) (i32.const 1))
+            (i32.and (i32.const 0xedb88320)
+              (i32.sub (i32.const 0)
+                       (i32.and (local.get $crc) (i32.const 1))))))
+        (local.set $b (i32.add (local.get $b) (i32.const 1)))
+        (br $l8)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l)))
+    (f64.convert_i32_u (i32.xor (local.get $crc) (i32.const -1))))
+)WAT";
+}
+
+// nw: Needleman-Wunsch DP over a 96x96 score grid (i32, select-max).
+std::string
+nw()
+{
+    constexpr int N = 96;
+    std::string score =
+        "(i32.sub (i32.const 2) (i32.mul (i32.const 3)"
+        " (i32.and (i32.add (local.get $i) (local.get $j)) (i32.const 1))))";
+    auto cell = [&](const std::string& i, const std::string& j) {
+        return "(i32.add (i32.const 0)"
+               " (i32.mul (i32.add (i32.mul " + i + " " + c32(N) + ") " +
+               j + ") (i32.const 4)))";
+    };
+    std::string im1 = "(i32.sub (local.get $i) (i32.const 1))";
+    std::string jm1 = "(i32.sub (local.get $j) (i32.const 1))";
+    return
+        "(func $init"
+        " (local $i i32) (local $j i32)" +
+        forUp("$i", c32(N),
+              "(i32.store " + cell(I, "(i32.const 0)") +
+              " (i32.mul (local.get $i) (i32.const -1)))"
+              "(i32.store " + cell("(i32.const 0)", I) +
+              " (i32.mul (local.get $i) (i32.const -1)))") + ")"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $d i32) (local $u i32)"
+        " (local $v i32) (local $m i32)" +
+        forFrom("$i", "(i32.const 1)", c32(N),
+            forFrom("$j", "(i32.const 1)", c32(N),
+                "(local.set $d (i32.add (i32.load " + cell(im1, jm1) +
+                ") " + score + "))"
+                "(local.set $u (i32.sub (i32.load " + cell(im1, J) +
+                ") (i32.const 1)))"
+                "(local.set $v (i32.sub (i32.load " + cell(I, jm1) +
+                ") (i32.const 1)))"
+                "(local.set $m (select (local.get $d) (local.get $u)"
+                " (i32.gt_s (local.get $d) (local.get $u))))"
+                "(local.set $m (select (local.get $m) (local.get $v)"
+                " (i32.gt_s (local.get $m) (local.get $v))))"
+                "(i32.store " + cell(I, J) + " (local.get $m))")) +
+        "(f64.convert_i32_s (i32.load " +
+        cell(c32(N - 1), c32(N - 1)) + ")))";
+}
+
+// lud: in-place LU decomposition, N=32 (Ostrich flavor of dense LA).
+std::string
+lud()
+{
+    constexpr int N = 32;
+    return
+        "(func $init"
+        " (local $i i32)"
+        " (call $fill (i32.const 0) " + c32(N * N) + " (i32.const 3))" +
+        forUp("$i", c32(N),
+              st(at2(0, I, I, N),
+                 "(f64.add " + ld(at2(0, I, I, N)) + " (f64.const 48))")) +
+        ")"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$k", c32(N),
+              forFrom("$j", K, c32(N),
+                      "(local.set $acc " + ld(at2(0, K, J, N)) + ")" +
+                      forFrom("$i", "(i32.const 0)", K,
+                              "(local.set $acc (f64.sub (local.get $acc)"
+                              " (f64.mul " + ld(at2(0, K, I, N)) + " " +
+                              ld(at2(0, I, J, N)) + ")))") +
+                      st(at2(0, K, J, N), "(local.get $acc)")) +
+              forFrom("$i", "(i32.add (local.get $k) (i32.const 1))",
+                      c32(N),
+                      "(local.set $acc " + ld(at2(0, I, K, N)) + ")" +
+                      forFrom("$j", "(i32.const 0)", K,
+                              "(local.set $acc (f64.sub (local.get $acc)"
+                              " (f64.mul " + ld(at2(0, I, J, N)) + " " +
+                              ld(at2(0, J, K, N)) + ")))") +
+                      st(at2(0, I, K, N),
+                         "(f64.div (local.get $acc) " +
+                         ld(at2(0, K, K, N)) + ")"))) +
+        "(call $fsum (i32.const 0) " + c32(N * N) + "))";
+}
+
+// hmm: Viterbi-style dynamic programming, 8 states x 256 steps.
+std::string
+hmm()
+{
+    constexpr int S = 8, TS = 256;
+    // trans at 0 (S*S f64), delta at V=16384, next at V2=20480
+    constexpr long long TR = 0, DL = 16384, NX = 20480;
+    return
+        "(func $init (call $fill " + c32(TR) + " " + c32(S * S) +
+        " (i32.const 5)) (call $fill " + c32(DL) + " " + c32(S) +
+        " (i32.const 6)))"
+        "(func $kernel (result f64)"
+        " (local $t i32) (local $s i32) (local $p i32)"
+        " (local $best f64) (local $cand f64)" +
+        forUp("$t", c32(TS),
+              forUp("$s", c32(S),
+                    "(local.set $best (f64.const -1e300))" +
+                    forUp("$p", c32(S),
+                          "(local.set $cand (f64.add (f64.load " +
+                          at1(DL, get("$p")) + ") " +
+                          ld(at2(TR, get("$p"), get("$s"), S)) + "))"
+                          "(if (f64.gt (local.get $cand) (local.get $best))"
+                          " (then (local.set $best (local.get $cand))))") +
+                    st(at1(NX, get("$s")),
+                       "(f64.add (local.get $best) (f64.const -0.01))")) +
+              forUp("$s", c32(S),
+                    st(at1(DL, get("$s")), ld(at1(NX, get("$s")))))) +
+        "(call $fsum " + c32(DL) + " " + c32(S) + "))";
+}
+
+// back-propagation: 2-layer network, rational sigmoid.
+std::string
+backprop()
+{
+    constexpr int IN = 16, HID = 64;
+    // w1 at 0 (IN*HID), in at V=32768, hid at 36864, w2 at 40960,
+    // deltas at 45056
+    constexpr long long W1 = 0, INV = 32768, HIDV = 36864, W2 = 40960,
+                        DH = 45056;
+    std::string sigmoid =
+        "(f64.div (local.get $acc)"
+        " (f64.add (f64.const 1) (f64.abs (local.get $acc))))";
+    std::string forward =
+        forUp("$j", c32(HID),
+              "(local.set $acc (f64.const 0))" +
+              forUp("$i", c32(IN),
+                    "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+                    ld(at2(W1, I, J, HID)) + " " + ld(at1(INV, I)) +
+                    ")))") +
+              st(at1(HIDV, J), sigmoid)) +
+        "(local.set $acc (f64.const 0))" +
+        forUp("$j", c32(HID),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at1(W2, J)) + " " + ld(at1(HIDV, J)) + ")))") +
+        "(local.set $outv " + sigmoid + ")";
+    std::string backward =
+        "(local.set $err (f64.sub (f64.const 0.5) (local.get $outv)))" +
+        forUp("$j", c32(HID),
+              st(at1(DH, J),
+                 "(f64.mul (local.get $err) " + ld(at1(W2, J)) + ")") +
+              st(at1(W2, J),
+                 "(f64.add " + ld(at1(W2, J)) +
+                 " (f64.mul (f64.const 0.3) (f64.mul (local.get $err) " +
+                 ld(at1(HIDV, J)) + ")))")) +
+        forUp("$j", c32(HID),
+              forUp("$i", c32(IN),
+                    st(at2(W1, I, J, HID),
+                       "(f64.add " + ld(at2(W1, I, J, HID)) +
+                       " (f64.mul (f64.const 0.3) (f64.mul (f64.load " +
+                       at1(DH, J) + ") " + ld(at1(INV, I)) + ")))")));
+    return
+        "(func $init (call $fill " + c32(W1) + " " + c32(IN * HID) +
+        " (i32.const 1)) (call $fill " + c32(INV) + " " + c32(IN) +
+        " (i32.const 2)) (call $fill " + c32(W2) + " " + c32(HID) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $e i32)"
+        " (local $acc f64) (local $outv f64) (local $err f64)" +
+        forUp("$e", "(i32.const 8)", forward + backward) +
+        "(call $fsum " + c32(W2) + " " + c32(HID) + "))";
+}
+
+// lavamd: particle-pair interactions with rational kernel, n=96.
+std::string
+lavamd()
+{
+    constexpr int NP = 96;
+    // pos (x,y,z interleaved) at 0; force accumulators at 16384
+    constexpr long long POS = 0, FRC = 16384;
+    auto coord = [&](const std::string& i, int c) {
+        return "(i32.add " + c32(POS + c * 8) +
+               " (i32.mul " + i + " (i32.const 24)))";
+    };
+    auto fcoord = [&](const std::string& i, int c) {
+        return "(i32.add " + c32(FRC + c * 8) +
+               " (i32.mul " + i + " (i32.const 24)))";
+    };
+    std::string pair =
+        "(local.set $dx (f64.sub " + ld(coord(I, 0)) + " " +
+        ld(coord(J, 0)) + "))"
+        "(local.set $dy (f64.sub " + ld(coord(I, 1)) + " " +
+        ld(coord(J, 1)) + "))"
+        "(local.set $dz (f64.sub " + ld(coord(I, 2)) + " " +
+        ld(coord(J, 2)) + "))"
+        "(local.set $r2 (f64.add (f64.add"
+        " (f64.mul (local.get $dx) (local.get $dx))"
+        " (f64.mul (local.get $dy) (local.get $dy)))"
+        " (f64.mul (local.get $dz) (local.get $dz))))"
+        "(local.set $w (f64.div (f64.const 1)"
+        " (f64.add (f64.const 1) (local.get $r2))))" +
+        st(fcoord(I, 0), "(f64.add " + ld(fcoord(I, 0)) +
+           " (f64.mul (local.get $w) (local.get $dx)))") +
+        st(fcoord(I, 1), "(f64.add " + ld(fcoord(I, 1)) +
+           " (f64.mul (local.get $w) (local.get $dy)))") +
+        st(fcoord(I, 2), "(f64.add " + ld(fcoord(I, 2)) +
+           " (f64.mul (local.get $w) (local.get $dz)))");
+    return
+        "(func $init (call $fill " + c32(POS) + " " + c32(NP * 3) +
+        " (i32.const 7)) (call $fill " + c32(FRC) + " " + c32(NP * 3) +
+        " (i32.const 0)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $dx f64) (local $dy f64)"
+        " (local $dz f64) (local $r2 f64) (local $w f64)" +
+        forUp("$i", c32(NP), forUp("$j", c32(NP), pair)) +
+        "(call $fsum " + c32(FRC) + " " + c32(NP * 3) + "))";
+}
+
+// fft: iterative radix-2 butterflies over 256 complex points
+// (pseudo-twiddles: rational values in place of sin/cos).
+std::string
+fft()
+{
+    return R"WAT(
+  (func $init
+    (call $fill (i32.const 0) (i32.const 256) (i32.const 11))
+    (call $fill (i32.const 2048) (i32.const 256) (i32.const 12)))
+  (func $kernel (result f64)
+    (local $len i32) (local $i i32) (local $j i32) (local $half i32)
+    (local $wr f64) (local $wi f64) (local $ur f64) (local $ui f64)
+    (local $vr f64) (local $vi f64) (local $tr f64) (local $ti f64)
+    (local $pa i32) (local $pb i32)
+    (local.set $len (i32.const 2))
+    (block $xlen (loop $llen
+      (br_if $xlen (i32.gt_s (local.get $len) (i32.const 256)))
+      (local.set $half (i32.div_s (local.get $len) (i32.const 2)))
+      (local.set $i (i32.const 0))
+      (block $xi (loop $li
+        (br_if $xi (i32.ge_s (local.get $i) (i32.const 256)))
+        (local.set $j (i32.const 0))
+        (block $xj (loop $lj
+          (br_if $xj (i32.ge_s (local.get $j) (local.get $half)))
+          ;; pseudo-twiddle: wr = 1 - 2j/len, wi = 2j/len (rational)
+          (local.set $wr (f64.sub (f64.const 1)
+            (f64.div
+              (f64.mul (f64.const 2) (f64.convert_i32_s (local.get $j)))
+              (f64.convert_i32_s (local.get $len)))))
+          (local.set $wi (f64.div
+            (f64.mul (f64.const 2) (f64.convert_i32_s (local.get $j)))
+            (f64.convert_i32_s (local.get $len))))
+          (local.set $pa (i32.add (local.get $i) (local.get $j)))
+          (local.set $pb (i32.add (local.get $pa) (local.get $half)))
+          (local.set $ur (f64.load
+            (i32.add (i32.const 0)
+                     (i32.mul (local.get $pa) (i32.const 8)))))
+          (local.set $ui (f64.load
+            (i32.add (i32.const 2048)
+                     (i32.mul (local.get $pa) (i32.const 8)))))
+          (local.set $vr (f64.load
+            (i32.add (i32.const 0)
+                     (i32.mul (local.get $pb) (i32.const 8)))))
+          (local.set $vi (f64.load
+            (i32.add (i32.const 2048)
+                     (i32.mul (local.get $pb) (i32.const 8)))))
+          (local.set $tr (f64.sub (f64.mul (local.get $vr) (local.get $wr))
+                                  (f64.mul (local.get $vi) (local.get $wi))))
+          (local.set $ti (f64.add (f64.mul (local.get $vr) (local.get $wi))
+                                  (f64.mul (local.get $vi) (local.get $wr))))
+          (f64.store
+            (i32.add (i32.const 0) (i32.mul (local.get $pa) (i32.const 8)))
+            (f64.add (local.get $ur) (local.get $tr)))
+          (f64.store
+            (i32.add (i32.const 2048)
+                     (i32.mul (local.get $pa) (i32.const 8)))
+            (f64.add (local.get $ui) (local.get $ti)))
+          (f64.store
+            (i32.add (i32.const 0) (i32.mul (local.get $pb) (i32.const 8)))
+            (f64.sub (local.get $ur) (local.get $tr)))
+          (f64.store
+            (i32.add (i32.const 2048)
+                     (i32.mul (local.get $pb) (i32.const 8)))
+            (f64.sub (local.get $ui) (local.get $ti)))
+          (local.set $j (i32.add (local.get $j) (i32.const 1)))
+          (br $lj)))
+        (local.set $i (i32.add (local.get $i) (local.get $len)))
+        (br $li)))
+      (local.set $len (i32.mul (local.get $len) (i32.const 2)))
+      (br $llen)))
+    (f64.add (call $fsum (i32.const 0) (i32.const 256))
+             (call $fsum (i32.const 2048) (i32.const 256))))
+)WAT";
+}
+
+} // namespace
+
+void
+registerOstrich(std::vector<BenchProgram>* out)
+{
+    out->push_back(make("lavamd", lavamd(), 8));
+    out->push_back(make("fft", fft(), 16));
+    out->push_back(make("crc", crc(), 16));
+    out->push_back(make("nw", nw(), 16));
+    out->push_back(make("lud", lud(), 8));
+    out->push_back(make("nqueens", nqueens(), 4));
+    out->push_back(make("hmm", hmm(), 16));
+    out->push_back(make("back-propagation", backprop(), 8));
+}
+
+} // namespace wizpp

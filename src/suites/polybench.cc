@@ -1,0 +1,1011 @@
+/**
+ * @file
+ * PolyBench/C kernels hand-ported to WAT (paper Section 5.1, all 29
+ * programs of Figures 3-7). Loop structure and memory-access patterns
+ * follow the original kernels; problem sizes are scaled so one kernel
+ * invocation runs in milliseconds on the compiled tier (DESIGN.md
+ * substitution S4). Every module exports run(n) -> f64 checksum.
+ */
+
+#include "suites/suites.h"
+
+#include "suites/watbuild.h"
+
+namespace wizpp {
+
+namespace {
+
+using namespace watbuild;
+
+// Memory layout: 8 pages (512 KiB). 2-D bases 64 KiB apart; vector
+// bases above 256 KiB.
+constexpr long long A0 = 0;
+constexpr long long B0 = 0x10000;
+constexpr long long C0 = 0x20000;
+constexpr long long D0 = 0x30000;
+constexpr long long V0 = 0x40000;  // vectors, spaced 0x4000 (2048 f64)
+constexpr long long V1 = 0x44000;
+constexpr long long V2 = 0x48000;
+constexpr long long V3 = 0x4c000;
+constexpr long long V4 = 0x50000;
+constexpr long long V5 = 0x54000;
+
+BenchProgram
+make(const std::string& name, const std::string& body, uint32_t defaultN)
+{
+    BenchProgram p;
+    p.suite = "polybench";
+    p.name = name;
+    p.wat = "(module (memory 8)\n" + std::string(kSuitePrelude) + body +
+            runDriver() + ")";
+    p.defaultN = defaultN;
+    return p;
+}
+
+std::string
+fill(long long base, int count, int seed)
+{
+    return "(call $fill " + c32(base) + " " + c32(count) + " " +
+           c32(seed) + ")";
+}
+
+std::string
+fsum(long long base, int count)
+{
+    return "(call $fsum " + c32(base) + " " + c32(count) + ")";
+}
+
+std::string I = get("$i"), J = get("$j"), K = get("$k"), T = get("$t");
+
+// ---- dense linear algebra, O(N^3), N = 24 ----
+
+constexpr int N3 = 24;
+
+std::string
+gemm()
+{
+    // C = 1.5*A*B + 1.2*C
+    std::string inner =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$k", c32(N3),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, K, N3)) + " " + ld(at2(B0, K, J, N3)) + ")))") +
+        st(at2(C0, I, J, N3),
+           "(f64.add (f64.mul (f64.const 1.2) " + ld(at2(C0, I, J, N3)) +
+           ") (f64.mul (f64.const 1.5) (local.get $acc)))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N3 * N3) +
+        " (i32.const 2)) (call $fill " + c32(C0) + " " + c32(N3 * N3) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3), forUp("$j", c32(N3), inner)) +
+        fsum(C0, N3 * N3) + ")";
+}
+
+std::string
+mm2()
+{
+    // tmp = A*B ; D = tmp*C
+    std::string p1 =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$k", c32(N3),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, K, N3)) + " " + ld(at2(B0, K, J, N3)) + ")))") +
+        st(at2(D0, I, J, N3), "(local.get $acc)");
+    std::string p2 =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$k", c32(N3),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(D0, I, K, N3)) + " " + ld(at2(C0, K, J, N3)) + ")))") +
+        st(at2(A0, I, J, N3), "(local.get $acc)");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N3 * N3) +
+        " (i32.const 2)) (call $fill " + c32(C0) + " " + c32(N3 * N3) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3), forUp("$j", c32(N3), p1)) +
+        forUp("$i", c32(N3), forUp("$j", c32(N3), p2)) +
+        fsum(A0, N3 * N3) + ")";
+}
+
+std::string
+mm3()
+{
+    // E=A*B ; F=C*D? — uses 4 matrices: E at D0, F reuses A0 after.
+    std::string mul = [](long long dst, long long a, long long b) {
+        return "(local.set $acc (f64.const 0))" +
+               forUp("$k", c32(N3),
+                     "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+                     ld(at2(a, get("$i"), get("$k"), N3)) + " " +
+                     ld(at2(b, get("$k"), get("$j"), N3)) + ")))") +
+               st(at2(dst, get("$i"), get("$j"), N3), "(local.get $acc)");
+    }(D0, A0, B0);
+    std::string mul2 = [](long long dst, long long a, long long b) {
+        return "(local.set $acc (f64.const 0))" +
+               forUp("$k", c32(N3),
+                     "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+                     ld(at2(a, get("$i"), get("$k"), N3)) + " " +
+                     ld(at2(b, get("$k"), get("$j"), N3)) + ")))") +
+               st(at2(dst, get("$i"), get("$j"), N3), "(local.get $acc)");
+    }(A0, D0, C0);
+    std::string mul3 = [](long long dst, long long a, long long b) {
+        return "(local.set $acc (f64.const 0))" +
+               forUp("$k", c32(N3),
+                     "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+                     ld(at2(a, get("$i"), get("$k"), N3)) + " " +
+                     ld(at2(b, get("$k"), get("$j"), N3)) + ")))") +
+               st(at2(dst, get("$i"), get("$j"), N3), "(local.get $acc)");
+    }(B0, A0, D0);
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N3 * N3) +
+        " (i32.const 2)) (call $fill " + c32(C0) + " " + c32(N3 * N3) +
+        " (i32.const 3)) (call $fill " + c32(D0) + " " + c32(N3 * N3) +
+        " (i32.const 4)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3), forUp("$j", c32(N3), mul)) +
+        forUp("$i", c32(N3), forUp("$j", c32(N3), mul2)) +
+        forUp("$i", c32(N3), forUp("$j", c32(N3), mul3)) +
+        fsum(B0, N3 * N3) + ")";
+}
+
+std::string
+syrk()
+{
+    // C = 1.5*A*A^T + 1.2*C, lower triangle
+    std::string inner =
+        "(local.set $acc (f64.mul (f64.const 1.2) " +
+        ld(at2(C0, I, J, N3)) + "))" +
+        forUp("$k", c32(N3),
+              "(local.set $acc (f64.add (local.get $acc)"
+              " (f64.mul (f64.const 1.5) (f64.mul " +
+              ld(at2(A0, I, K, N3)) + " " + ld(at2(A0, J, K, N3)) +
+              "))))") +
+        st(at2(C0, I, J, N3), "(local.get $acc)");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 1)) (call $fill " + c32(C0) + " " + c32(N3 * N3) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3),
+              forFrom("$j", "(i32.const 0)",
+                      "(i32.add (local.get $i) (i32.const 1))", inner)) +
+        fsum(C0, N3 * N3) + ")";
+}
+
+std::string
+syr2k()
+{
+    std::string inner =
+        "(local.set $acc (f64.mul (f64.const 1.2) " +
+        ld(at2(C0, I, J, N3)) + "))" +
+        forUp("$k", c32(N3),
+              "(local.set $acc (f64.add (local.get $acc)"
+              " (f64.add"
+              " (f64.mul " + ld(at2(A0, I, K, N3)) + " " +
+              ld(at2(B0, J, K, N3)) + ")"
+              " (f64.mul " + ld(at2(B0, I, K, N3)) + " " +
+              ld(at2(A0, J, K, N3)) + "))))") +
+        st(at2(C0, I, J, N3), "(local.get $acc)");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N3 * N3) +
+        " (i32.const 2)) (call $fill " + c32(C0) + " " + c32(N3 * N3) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3),
+              forFrom("$j", "(i32.const 0)",
+                      "(i32.add (local.get $i) (i32.const 1))", inner)) +
+        fsum(C0, N3 * N3) + ")";
+}
+
+std::string
+symm()
+{
+    // C = alpha*A*B + beta*C with symmetric A (simplified accumulation)
+    std::string inner =
+        "(local.set $acc (f64.const 0))" +
+        forFrom("$k", "(i32.const 0)", I,
+                "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+                ld(at2(A0, I, K, N3)) + " " + ld(at2(B0, K, J, N3)) +
+                ")))") +
+        st(at2(C0, I, J, N3),
+           "(f64.add (f64.mul (f64.const 1.2) " + ld(at2(C0, I, J, N3)) +
+           ") (f64.add (f64.mul (f64.const 1.5) (local.get $acc))"
+           " (f64.mul " + ld(at2(A0, I, I, N3)) + " " +
+           ld(at2(B0, I, J, N3)) + ")))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N3 * N3) +
+        " (i32.const 2)) (call $fill " + c32(C0) + " " + c32(N3 * N3) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3), forUp("$j", c32(N3), inner)) +
+        fsum(C0, N3 * N3) + ")";
+}
+
+std::string
+trmm()
+{
+    // B = 1.5 * A * B with A unit lower triangular
+    std::string inner =
+        "(local.set $acc " + ld(at2(B0, I, J, N3)) + ")" +
+        forFrom("$k", "(i32.add (local.get $i) (i32.const 1))", c32(N3),
+                "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+                ld(at2(A0, K, I, N3)) + " " + ld(at2(B0, K, J, N3)) +
+                ")))") +
+        st(at2(B0, I, J, N3), "(f64.mul (f64.const 1.5) (local.get $acc))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N3 * N3) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3), forUp("$j", c32(N3), inner)) +
+        fsum(B0, N3 * N3) + ")";
+}
+
+std::string
+doitgen()
+{
+    // sum[p] = sum_s A[r][q][s]*C4[s][p]; A[r][q][p] = sum[p]; NR=NQ=NP=16
+    constexpr int NP = 16;
+    auto a3 = [](const std::string& r, const std::string& q,
+                 const std::string& p) {
+        return "(i32.add " + c32(A0) +
+               " (i32.mul (i32.add (i32.mul (i32.add (i32.mul " + r + " " +
+               c32(NP) + ") " + q + ") " + c32(NP) + ") " + p +
+               ") (i32.const 8)))";
+    };
+    std::string inner =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$s", c32(NP),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(a3(I, J, get("$s"))) + " " +
+              ld(at2(C0, get("$s"), K, NP)) + ")))") +
+        st(at1(V0, K), "(local.get $acc)");
+    std::string writeBack =
+        forUp("$k", c32(NP), st(a3(I, J, K), ld(at1(V0, K))));
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(NP * NP * NP) +
+        " (i32.const 1)) (call $fill " + c32(C0) + " " + c32(NP * NP) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $s i32)"
+        " (local $acc f64)" +
+        forUp("$i", c32(NP),
+              forUp("$j", c32(NP),
+                    forUp("$k", c32(NP), inner) + writeBack)) +
+        fsum(A0, NP * NP * NP) + ")";
+}
+
+// ---- factorizations / solvers, O(N^3), N = 24 ----
+
+std::string
+cholesky()
+{
+    // SPD init: A = fill, A[i][i] += 32
+    std::string spd =
+        "(call $fill " + c32(A0) + " " + c32(N3 * N3) + " (i32.const 1))" +
+        forUp("$i", c32(N3),
+              st(at2(A0, I, I, N3),
+                 "(f64.add " + ld(at2(A0, I, I, N3)) +
+                 " (f64.const 32))"));
+    std::string jLoop =
+        "(local.set $acc " + ld(at2(A0, I, J, N3)) + ")" +
+        forFrom("$k", "(i32.const 0)", J,
+                "(local.set $acc (f64.sub (local.get $acc) (f64.mul " +
+                ld(at2(A0, I, K, N3)) + " " + ld(at2(A0, J, K, N3)) +
+                ")))") +
+        st(at2(A0, I, J, N3),
+           "(f64.div (local.get $acc) " + ld(at2(A0, J, J, N3)) + ")");
+    std::string diag =
+        "(local.set $acc " + ld(at2(A0, I, I, N3)) + ")" +
+        forFrom("$k", "(i32.const 0)", I,
+                "(local.set $acc (f64.sub (local.get $acc) (f64.mul " +
+                ld(at2(A0, I, K, N3)) + " " + ld(at2(A0, I, K, N3)) +
+                ")))") +
+        st(at2(A0, I, I, N3), "(f64.sqrt (f64.abs (local.get $acc)))");
+    return
+        "(func $init (local $i i32)" + spd + ")"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3),
+              forFrom("$j", "(i32.const 0)", I, jLoop) + diag) +
+        fsum(A0, N3 * N3) + ")";
+}
+
+std::string
+lu()
+{
+    std::string upper =
+        "(local.set $acc " + ld(at2(A0, I, J, N3)) + ")" +
+        forFrom("$k", "(i32.const 0)", I,
+                "(local.set $acc (f64.sub (local.get $acc) (f64.mul " +
+                ld(at2(A0, I, K, N3)) + " " + ld(at2(A0, K, J, N3)) +
+                ")))") +
+        st(at2(A0, I, J, N3), "(local.get $acc)");
+    std::string lower =
+        "(local.set $acc " + ld(at2(A0, I, J, N3)) + ")" +
+        forFrom("$k", "(i32.const 0)", J,
+                "(local.set $acc (f64.sub (local.get $acc) (f64.mul " +
+                ld(at2(A0, I, K, N3)) + " " + ld(at2(A0, K, J, N3)) +
+                ")))") +
+        st(at2(A0, I, J, N3),
+           "(f64.div (local.get $acc)"
+           " (f64.add " + ld(at2(A0, J, J, N3)) + " (f64.const 40)))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 5)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3),
+              forFrom("$j", "(i32.const 0)", I, lower) +
+              forFrom("$j", I, c32(N3), upper)) +
+        fsum(A0, N3 * N3) + ")";
+}
+
+std::string
+ludcmp()
+{
+    // LU + forward/backward substitution (b at V0, y at V1, x at V2)
+    std::string fwd =
+        "(local.set $acc " + ld(at1(V0, I)) + ")" +
+        forFrom("$j", "(i32.const 0)", I,
+                "(local.set $acc (f64.sub (local.get $acc) (f64.mul " +
+                ld(at2(A0, I, J, N3)) + " " + ld(at1(V1, J)) + ")))") +
+        st(at1(V1, I), "(local.get $acc)");
+    std::string bwd =
+        "(local.set $acc " + ld(at1(V1, I)) + ")" +
+        forFrom("$j", "(i32.add (local.get $i) (i32.const 1))", c32(N3),
+                "(local.set $acc (f64.sub (local.get $acc) (f64.mul " +
+                ld(at2(A0, I, J, N3)) + " " + ld(at1(V2, J)) + ")))") +
+        st(at1(V2, I),
+           "(f64.div (local.get $acc)"
+           " (f64.add " + ld(at2(A0, I, I, N3)) + " (f64.const 40)))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 5)) (call $fill " + c32(V0) + " " + c32(N3) +
+        " (i32.const 6)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$i", c32(N3),
+              forFrom("$j", "(i32.const 0)", I,
+                      "(local.set $acc " + ld(at2(A0, I, J, N3)) + ")" +
+                      forFrom("$k", "(i32.const 0)", J,
+                              "(local.set $acc (f64.sub (local.get $acc)"
+                              " (f64.mul " + ld(at2(A0, I, K, N3)) + " " +
+                              ld(at2(A0, K, J, N3)) + ")))") +
+                      st(at2(A0, I, J, N3), "(local.get $acc)")) +
+              forFrom("$j", I, c32(N3),
+                      "(local.set $acc " + ld(at2(A0, I, J, N3)) + ")" +
+                      forFrom("$k", "(i32.const 0)", I,
+                              "(local.set $acc (f64.sub (local.get $acc)"
+                              " (f64.mul " + ld(at2(A0, I, K, N3)) + " " +
+                              ld(at2(A0, K, J, N3)) + ")))") +
+                      st(at2(A0, I, J, N3), "(local.get $acc)"))) +
+        forUp("$i", c32(N3), fwd) +
+        forDown("$i", c32(N3), bwd) +
+        fsum(V2, N3) + ")";
+}
+
+std::string
+gramschmidt()
+{
+    // Modified Gram-Schmidt: A (N3 x N3) -> Q (in place), R at C0
+    std::string norm =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$i", c32(N3),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, K, N3)) + " " + ld(at2(A0, I, K, N3)) +
+              ")))") +
+        st(at2(C0, K, K, N3),
+           "(f64.sqrt (f64.add (local.get $acc) (f64.const 1e-9)))") +
+        forUp("$i", c32(N3),
+              st(at2(A0, I, K, N3),
+                 "(f64.div " + ld(at2(A0, I, K, N3)) + " " +
+                 ld(at2(C0, K, K, N3)) + ")"));
+    std::string proj =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$i", c32(N3),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, K, N3)) + " " + ld(at2(A0, I, J, N3)) +
+              ")))") +
+        st(at2(C0, K, J, N3), "(local.get $acc)") +
+        forUp("$i", c32(N3),
+              st(at2(A0, I, J, N3),
+                 "(f64.sub " + ld(at2(A0, I, J, N3)) + " (f64.mul " +
+                 ld(at2(A0, I, K, N3)) + " " + ld(at2(C0, K, J, N3)) +
+                 "))"));
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 7)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forUp("$k", c32(N3),
+              norm +
+              forFrom("$j", "(i32.add (local.get $k) (i32.const 1))",
+                      c32(N3), proj)) +
+        fsum(A0, N3 * N3) + ")";
+}
+
+std::string
+correlation(bool covarianceOnly)
+{
+    // means at V0, stddev at V1; corr/cov into C0
+    std::string means =
+        forUp("$j", c32(N3),
+              "(local.set $acc (f64.const 0))" +
+              forUp("$i", c32(N3),
+                    "(local.set $acc (f64.add (local.get $acc) " +
+                    ld(at2(A0, I, J, N3)) + "))") +
+              st(at1(V0, J),
+                 "(f64.div (local.get $acc) (f64.const 24))"));
+    std::string center =
+        forUp("$i", c32(N3),
+              forUp("$j", c32(N3),
+                    st(at2(A0, I, J, N3),
+                       "(f64.sub " + ld(at2(A0, I, J, N3)) + " " +
+                       ld(at1(V0, J)) + ")")));
+    std::string stddev =
+        forUp("$j", c32(N3),
+              "(local.set $acc (f64.const 0))" +
+              forUp("$i", c32(N3),
+                    "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+                    ld(at2(A0, I, J, N3)) + " " + ld(at2(A0, I, J, N3)) +
+                    ")))") +
+              st(at1(V1, J),
+                 "(f64.sqrt (f64.add (f64.div (local.get $acc)"
+                 " (f64.const 24)) (f64.const 0.1)))"));
+    std::string normalize =
+        forUp("$i", c32(N3),
+              forUp("$j", c32(N3),
+                    st(at2(A0, I, J, N3),
+                       "(f64.div " + ld(at2(A0, I, J, N3)) + " " +
+                       ld(at1(V1, J)) + ")")));
+    std::string product =
+        forUp("$i", c32(N3),
+              forUp("$j", c32(N3),
+                    "(local.set $acc (f64.const 0))" +
+                    forUp("$k", c32(N3),
+                          "(local.set $acc (f64.add (local.get $acc)"
+                          " (f64.mul " + ld(at2(A0, K, I, N3)) + " " +
+                          ld(at2(A0, K, J, N3)) + ")))") +
+                    st(at2(C0, I, J, N3), "(local.get $acc)")));
+    std::string body = means + center;
+    if (!covarianceOnly) body += stddev + normalize;
+    body += product;
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 9)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        body + fsum(C0, N3 * N3) + ")";
+}
+
+std::string
+floydWarshall()
+{
+    std::string inner =
+        st(at2(A0, I, J, N3),
+           "(f64.min " + ld(at2(A0, I, J, N3)) + " (f64.add " +
+           ld(at2(A0, I, K, N3)) + " " + ld(at2(A0, K, J, N3)) + "))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 11)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32)" +
+        forUp("$k", c32(N3),
+              forUp("$i", c32(N3), forUp("$j", c32(N3), inner))) +
+        fsum(A0, N3 * N3) + ")";
+}
+
+std::string
+nussinov()
+{
+    // Triangular DP with max over pairings (simplified base-pair score).
+    std::string pairScore =
+        "(f64.add " + ld(at2(A0, "(i32.add (local.get $i) (i32.const 1))",
+                             "(i32.sub (local.get $j) (i32.const 1))",
+                             N3)) +
+        " (f64.load " +
+        at1(V0, "(i32.rem_s (i32.add (local.get $i) (local.get $j))"
+                " (i32.const 4))") + "))";
+    std::string inner =
+        "(local.set $acc (f64.max " +
+        ld(at2(A0, "(i32.add (local.get $i) (i32.const 1))", J, N3)) + " " +
+        ld(at2(A0, I, "(i32.sub (local.get $j) (i32.const 1))", N3)) +
+        "))"
+        "(local.set $acc (f64.max (local.get $acc) " + pairScore + "))" +
+        forFrom("$k", "(i32.add (local.get $i) (i32.const 1))", J,
+                "(local.set $acc (f64.max (local.get $acc) (f64.add " +
+                ld(at2(A0, I, K, N3)) + " " +
+                ld(at2(A0, "(i32.add (local.get $k) (i32.const 1))", J,
+                       N3)) + ")))") +
+        st(at2(A0, I, J, N3), "(local.get $acc)");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N3 * N3) +
+        " (i32.const 13)) (call $fill " + c32(V0) + " (i32.const 4)"
+        " (i32.const 14)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $acc f64)" +
+        forDown("$i", c32(N3 - 1),
+                forFrom("$j", "(i32.add (local.get $i) (i32.const 2))",
+                        c32(N3), inner)) +
+        fsum(A0, N3 * N3) + ")";
+}
+
+// ---- O(N^2) kernels, N = 120 ----
+
+constexpr int N2 = 120;
+
+std::string
+gesummv()
+{
+    // y = 1.5*A*x + 1.2*B*x   (A at 0, B at 0x20000, x V0, y V1)
+    constexpr long long BB = 0x20000;
+    std::string inner =
+        "(local.set $acc (f64.const 0))"
+        "(local.set $tmp (f64.const 0))" +
+        forUp("$j", c32(N2),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, J, N2)) + " " + ld(at1(V0, J)) + ")))"
+              "(local.set $tmp (f64.add (local.get $tmp) (f64.mul " +
+              ld(at2(BB, I, J, N2)) + " " + ld(at1(V0, J)) + ")))") +
+        st(at1(V1, I),
+           "(f64.add (f64.mul (f64.const 1.5) (local.get $acc))"
+           " (f64.mul (f64.const 1.2) (local.get $tmp)))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N2 * N2) +
+        " (i32.const 1)) (call $fill " + c32(BB) + " " + c32(N2 * N2) +
+        " (i32.const 2)) (call $fill " + c32(V0) + " " + c32(N2) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $acc f64) (local $tmp f64)" +
+        forUp("$i", c32(N2), inner) + fsum(V1, N2) + ")";
+}
+
+std::string
+atax()
+{
+    // y = A^T (A x): tmp = A x (V1), y = A^T tmp (V2)
+    std::string p1 =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$j", c32(N2),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, J, N2)) + " " + ld(at1(V0, J)) + ")))") +
+        st(at1(V1, I), "(local.get $acc)");
+    std::string p2 =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$i", c32(N2),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, J, N2)) + " " + ld(at1(V1, I)) + ")))") +
+        st(at1(V2, J), "(local.get $acc)");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N2 * N2) +
+        " (i32.const 1)) (call $fill " + c32(V0) + " " + c32(N2) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $acc f64)" +
+        forUp("$i", c32(N2), p1) + forUp("$j", c32(N2), p2) +
+        fsum(V2, N2) + ")";
+}
+
+std::string
+bicg()
+{
+    // s = A^T r ; q = A p
+    std::string p1 =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$i", c32(N2),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, J, N2)) + " " + ld(at1(V0, I)) + ")))") +
+        st(at1(V2, J), "(local.get $acc)");
+    std::string p2 =
+        "(local.set $acc (f64.const 0))" +
+        forUp("$j", c32(N2),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, J, N2)) + " " + ld(at1(V1, J)) + ")))") +
+        st(at1(V3, I), "(local.get $acc)");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N2 * N2) +
+        " (i32.const 1)) (call $fill " + c32(V0) + " " + c32(N2) +
+        " (i32.const 2)) (call $fill " + c32(V1) + " " + c32(N2) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $acc f64)" +
+        forUp("$j", c32(N2), p1) + forUp("$i", c32(N2), p2) +
+        "(f64.add " + fsum(V2, N2) + " " + fsum(V3, N2) + "))";
+}
+
+std::string
+mvt()
+{
+    std::string p1 =
+        "(local.set $acc " + ld(at1(V0, I)) + ")" +
+        forUp("$j", c32(N2),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, I, J, N2)) + " " + ld(at1(V2, J)) + ")))") +
+        st(at1(V0, I), "(local.get $acc)");
+    std::string p2 =
+        "(local.set $acc " + ld(at1(V1, I)) + ")" +
+        forUp("$j", c32(N2),
+              "(local.set $acc (f64.add (local.get $acc) (f64.mul " +
+              ld(at2(A0, J, I, N2)) + " " + ld(at1(V3, J)) + ")))") +
+        st(at1(V1, I), "(local.get $acc)");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N2 * N2) +
+        " (i32.const 1)) (call $fill " + c32(V0) + " " + c32(N2) +
+        " (i32.const 2)) (call $fill " + c32(V1) + " " + c32(N2) +
+        " (i32.const 3)) (call $fill " + c32(V2) + " " + c32(N2) +
+        " (i32.const 4)) (call $fill " + c32(V3) + " " + c32(N2) +
+        " (i32.const 5)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $acc f64)" +
+        forUp("$i", c32(N2), p1) + forUp("$i", c32(N2), p2) +
+        "(f64.add " + fsum(V0, N2) + " " + fsum(V1, N2) + "))";
+}
+
+std::string
+gemver()
+{
+    // A += u1 v1^T + u2 v2^T ; x = 1.2*A^T*y + z ; w = 1.5*A*x
+    std::string rank2 =
+        forUp("$i", c32(N2),
+              forUp("$j", c32(N2),
+                    st(at2(A0, I, J, N2),
+                       "(f64.add " + ld(at2(A0, I, J, N2)) +
+                       " (f64.add (f64.mul " + ld(at1(V0, I)) + " " +
+                       ld(at1(V1, J)) + ") (f64.mul " + ld(at1(V2, I)) +
+                       " " + ld(at1(V3, J)) + ")))")));
+    std::string xUpd =
+        forUp("$i", c32(N2),
+              "(local.set $acc " + ld(at1(V4, I)) + ")" +
+              forUp("$j", c32(N2),
+                    "(local.set $acc (f64.add (local.get $acc)"
+                    " (f64.mul (f64.mul (f64.const 1.2) " +
+                    ld(at2(A0, J, I, N2)) + ") " + ld(at1(V5, J)) +
+                    ")))") +
+              st(at1(V4, I), "(local.get $acc)"));
+    std::string wUpd =
+        forUp("$i", c32(N2),
+              "(local.set $acc (f64.const 0))" +
+              forUp("$j", c32(N2),
+                    "(local.set $acc (f64.add (local.get $acc)"
+                    " (f64.mul (f64.mul (f64.const 1.5) " +
+                    ld(at2(A0, I, J, N2)) + ") " + ld(at1(V4, J)) +
+                    ")))") +
+              st(at1(V5, I), "(local.get $acc)"));
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N2 * N2) +
+        " (i32.const 1)) (call $fill " + c32(V0) + " " + c32(N2) +
+        " (i32.const 2)) (call $fill " + c32(V1) + " " + c32(N2) +
+        " (i32.const 3)) (call $fill " + c32(V2) + " " + c32(N2) +
+        " (i32.const 4)) (call $fill " + c32(V3) + " " + c32(N2) +
+        " (i32.const 5)) (call $fill " + c32(V4) + " " + c32(N2) +
+        " (i32.const 6)) (call $fill " + c32(V5) + " " + c32(N2) +
+        " (i32.const 7)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $acc f64)" +
+        rank2 + xUpd + wUpd + fsum(V5, N2) + ")";
+}
+
+std::string
+trisolv()
+{
+    std::string inner =
+        "(local.set $acc " + ld(at1(V0, I)) + ")" +
+        forFrom("$j", "(i32.const 0)", I,
+                "(local.set $acc (f64.sub (local.get $acc) (f64.mul " +
+                ld(at2(A0, I, J, N2)) + " " + ld(at1(V1, J)) + ")))") +
+        st(at1(V1, I),
+           "(f64.div (local.get $acc) (f64.add " + ld(at2(A0, I, I, N2)) +
+           " (f64.const 1.5)))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N2 * N2) +
+        " (i32.const 1)) (call $fill " + c32(V0) + " " + c32(N2) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $acc f64)" +
+        forUp("$i", c32(N2), inner) + fsum(V1, N2) + ")";
+}
+
+std::string
+durbin()
+{
+    // Levinson-Durbin recursion on r (V0); y at V1, z scratch V2.
+    std::string inner =
+        // alpha = -(r[k] + dot(r[k-1..0], y)) / beta
+        "(local.set $acc " + ld(at1(V0, K)) + ")" +
+        forFrom("$i", "(i32.const 0)", K,
+                "(local.set $acc (f64.add (local.get $acc) (f64.mul "
+                "(f64.load " +
+                at1(V0, "(i32.sub (i32.sub (local.get $k) (local.get $i))"
+                        " (i32.const 1))") + ") " + ld(at1(V1, I)) +
+                ")))") +
+        "(local.set $alpha (f64.div (f64.neg (local.get $acc))"
+        " (f64.add (local.get $beta) (f64.const 1.0))))"
+        "(local.set $beta (f64.mul (local.get $beta)"
+        " (f64.sub (f64.const 1.0)"
+        " (f64.mul (local.get $alpha) (local.get $alpha)))))" +
+        forFrom("$i", "(i32.const 0)", K,
+                st(at1(V2, I),
+                   "(f64.add " + ld(at1(V1, I)) +
+                   " (f64.mul (local.get $alpha) (f64.load " +
+                   at1(V1, "(i32.sub (i32.sub (local.get $k)"
+                           " (local.get $i)) (i32.const 1))") + ")))")) +
+        forFrom("$i", "(i32.const 0)", K,
+                st(at1(V1, I), ld(at1(V2, I)))) +
+        st(at1(V1, K), "(local.get $alpha)");
+    return
+        "(func $init (call $fill " + c32(V0) + " " + c32(N2) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $k i32) (local $acc f64)"
+        " (local $alpha f64) (local $beta f64)"
+        "(local.set $beta (f64.const 1))"
+        "(local.set $alpha (f64.neg " + ld(at1(V0, "(i32.const 0)")) + "))" +
+        st(at1(V1, "(i32.const 0)"), "(local.get $alpha)") +
+        forFrom("$k", "(i32.const 1)", c32(N2), inner) +
+        fsum(V1, N2) + ")";
+}
+
+// ---- stencils ----
+
+std::string
+jacobi1d()
+{
+    constexpr int N = 2000, TS = 20;
+    std::string sweepAB =
+        forFrom("$i", "(i32.const 1)", c32(N - 1),
+                st(at1(V1, I),
+                   "(f64.mul (f64.const 0.33333) (f64.add (f64.add "
+                   "(f64.load " +
+                   at1(V0, "(i32.sub (local.get $i) (i32.const 1))") +
+                   ") " + ld(at1(V0, I)) + ") (f64.load " +
+                   at1(V0, "(i32.add (local.get $i) (i32.const 1))") +
+                   ")))"));
+    std::string sweepBA =
+        forFrom("$i", "(i32.const 1)", c32(N - 1),
+                st(at1(V0, I),
+                   "(f64.mul (f64.const 0.33333) (f64.add (f64.add "
+                   "(f64.load " +
+                   at1(V1, "(i32.sub (local.get $i) (i32.const 1))") +
+                   ") " + ld(at1(V1, I)) + ") (f64.load " +
+                   at1(V1, "(i32.add (local.get $i) (i32.const 1))") +
+                   ")))"));
+    return
+        "(func $init (call $fill " + c32(V0) + " " + c32(N) +
+        " (i32.const 1)) (call $fill " + c32(V1) + " " + c32(N) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $t i32)" +
+        forUp("$t", c32(TS), sweepAB + sweepBA) + fsum(V0, N) + ")";
+}
+
+std::string
+jacobi2d()
+{
+    constexpr int N = 32, TS = 8;
+    auto stencil = [&](long long dst, long long src) {
+        return forFrom("$i", "(i32.const 1)", c32(N - 1),
+            forFrom("$j", "(i32.const 1)", c32(N - 1),
+                st(at2(dst, I, J, N),
+                   "(f64.mul (f64.const 0.2) (f64.add (f64.add (f64.add"
+                   " (f64.add " + ld(at2(src, I, J, N)) + " " +
+                   ld(at2(src, I, "(i32.sub (local.get $j) (i32.const 1))",
+                          N)) + ") " +
+                   ld(at2(src, I, "(i32.add (local.get $j) (i32.const 1))",
+                          N)) + ") " +
+                   ld(at2(src, "(i32.add (local.get $i) (i32.const 1))", J,
+                          N)) + ") " +
+                   ld(at2(src, "(i32.sub (local.get $i) (i32.const 1))", J,
+                          N)) + "))")));
+    };
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N * N) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N * N) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $t i32)" +
+        forUp("$t", c32(TS), stencil(B0, A0) + stencil(A0, B0)) +
+        fsum(A0, N * N) + ")";
+}
+
+std::string
+seidel2d()
+{
+    constexpr int N = 32, TS = 8;
+    std::string inner =
+        st(at2(A0, I, J, N),
+           "(f64.div (f64.add (f64.add (f64.add (f64.add " +
+           ld(at2(A0, "(i32.sub (local.get $i) (i32.const 1))", J, N)) +
+           " " + ld(at2(A0, I, "(i32.sub (local.get $j) (i32.const 1))",
+                        N)) + ") " +
+           ld(at2(A0, I, J, N)) + ") " +
+           ld(at2(A0, I, "(i32.add (local.get $j) (i32.const 1))", N)) +
+           ") " +
+           ld(at2(A0, "(i32.add (local.get $i) (i32.const 1))", J, N)) +
+           ") (f64.const 5))");
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N * N) +
+        " (i32.const 1)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $t i32)" +
+        forUp("$t", c32(TS),
+              forFrom("$i", "(i32.const 1)", c32(N - 1),
+                      forFrom("$j", "(i32.const 1)", c32(N - 1), inner))) +
+        fsum(A0, N * N) + ")";
+}
+
+std::string
+fdtd2d()
+{
+    constexpr int N = 32, TS = 8;
+    // ey at A0, ex at B0, hz at C0
+    std::string eyUpd =
+        forFrom("$i", "(i32.const 1)", c32(N),
+            forUp("$j", c32(N),
+                st(at2(A0, I, J, N),
+                   "(f64.sub " + ld(at2(A0, I, J, N)) +
+                   " (f64.mul (f64.const 0.5) (f64.sub " +
+                   ld(at2(C0, I, J, N)) + " " +
+                   ld(at2(C0, "(i32.sub (local.get $i) (i32.const 1))", J,
+                          N)) + ")))")));
+    std::string exUpd =
+        forUp("$i", c32(N),
+            forFrom("$j", "(i32.const 1)", c32(N),
+                st(at2(B0, I, J, N),
+                   "(f64.sub " + ld(at2(B0, I, J, N)) +
+                   " (f64.mul (f64.const 0.5) (f64.sub " +
+                   ld(at2(C0, I, J, N)) + " " +
+                   ld(at2(C0, I, "(i32.sub (local.get $j) (i32.const 1))",
+                          N)) + ")))")));
+    std::string hzUpd =
+        forUp("$i", c32(N - 1),
+            forUp("$j", c32(N - 1),
+                st(at2(C0, I, J, N),
+                   "(f64.sub " + ld(at2(C0, I, J, N)) +
+                   " (f64.mul (f64.const 0.7) (f64.add (f64.sub " +
+                   ld(at2(B0, I, "(i32.add (local.get $j) (i32.const 1))",
+                          N)) + " " + ld(at2(B0, I, J, N)) +
+                   ") (f64.sub " +
+                   ld(at2(A0, "(i32.add (local.get $i) (i32.const 1))", J,
+                          N)) + " " + ld(at2(A0, I, J, N)) + "))))")));
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N * N) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N * N) +
+        " (i32.const 2)) (call $fill " + c32(C0) + " " + c32(N * N) +
+        " (i32.const 3)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $t i32)" +
+        forUp("$t", c32(TS), eyUpd + exUpd + hzUpd) +
+        fsum(C0, N * N) + ")";
+}
+
+std::string
+adi()
+{
+    constexpr int N = 32, TS = 4;
+    // Simplified ADI: column sweep then row sweep of tridiagonal updates.
+    std::string colSweep =
+        forFrom("$i", "(i32.const 1)", c32(N - 1),
+            forFrom("$j", "(i32.const 1)", c32(N - 1),
+                st(at2(B0, I, J, N),
+                   "(f64.add (f64.mul (f64.const 0.25) " +
+                   ld(at2(A0, "(i32.sub (local.get $i) (i32.const 1))", J,
+                          N)) + ") (f64.add (f64.mul (f64.const 0.5) " +
+                   ld(at2(A0, I, J, N)) +
+                   ") (f64.mul (f64.const 0.25) " +
+                   ld(at2(A0, "(i32.add (local.get $i) (i32.const 1))", J,
+                          N)) + ")))")));
+    std::string rowSweep =
+        forFrom("$i", "(i32.const 1)", c32(N - 1),
+            forFrom("$j", "(i32.const 1)", c32(N - 1),
+                st(at2(A0, I, J, N),
+                   "(f64.add (f64.mul (f64.const 0.25) " +
+                   ld(at2(B0, I, "(i32.sub (local.get $j) (i32.const 1))",
+                          N)) + ") (f64.add (f64.mul (f64.const 0.5) " +
+                   ld(at2(B0, I, J, N)) +
+                   ") (f64.mul (f64.const 0.25) " +
+                   ld(at2(B0, I, "(i32.add (local.get $j) (i32.const 1))",
+                          N)) + ")))")));
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N * N) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N * N) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $t i32)" +
+        forUp("$t", c32(TS), colSweep + rowSweep) + fsum(A0, N * N) + ")";
+}
+
+std::string
+heat3d()
+{
+    constexpr int N = 12, TS = 6;
+    auto a3 = [&](long long base, const std::string& i,
+                  const std::string& j, const std::string& k) {
+        return "(i32.add " + c32(base) +
+               " (i32.mul (i32.add (i32.mul (i32.add (i32.mul " + i + " " +
+               c32(N) + ") " + j + ") " + c32(N) + ") " + k +
+               ") (i32.const 8)))";
+    };
+    std::string im1 = "(i32.sub (local.get $i) (i32.const 1))";
+    std::string ip1 = "(i32.add (local.get $i) (i32.const 1))";
+    std::string jm1 = "(i32.sub (local.get $j) (i32.const 1))";
+    std::string jp1 = "(i32.add (local.get $j) (i32.const 1))";
+    std::string km1 = "(i32.sub (local.get $k) (i32.const 1))";
+    std::string kp1 = "(i32.add (local.get $k) (i32.const 1))";
+    auto sweep = [&](long long dst, long long src) {
+        return forFrom("$i", "(i32.const 1)", c32(N - 1),
+            forFrom("$j", "(i32.const 1)", c32(N - 1),
+                forFrom("$k", "(i32.const 1)", c32(N - 1),
+                    st(a3(dst, I, J, K),
+                       "(f64.add " + ld(a3(src, I, J, K)) +
+                       " (f64.mul (f64.const 0.125) (f64.add (f64.add"
+                       " (f64.sub (f64.add " + ld(a3(src, im1, J, K)) +
+                       " " + ld(a3(src, ip1, J, K)) +
+                       ") (f64.mul (f64.const 2) " + ld(a3(src, I, J, K)) +
+                       ")) (f64.sub (f64.add " + ld(a3(src, I, jm1, K)) +
+                       " " + ld(a3(src, I, jp1, K)) +
+                       ") (f64.mul (f64.const 2) " + ld(a3(src, I, J, K)) +
+                       "))) (f64.sub (f64.add " + ld(a3(src, I, J, km1)) +
+                       " " + ld(a3(src, I, J, kp1)) +
+                       ") (f64.mul (f64.const 2) " + ld(a3(src, I, J, K)) +
+                       ")))))"))));
+    };
+    return
+        "(func $init (call $fill " + c32(A0) + " " + c32(N * N * N) +
+        " (i32.const 1)) (call $fill " + c32(B0) + " " + c32(N * N * N) +
+        " (i32.const 2)))"
+        "(func $kernel (result f64)"
+        " (local $i i32) (local $j i32) (local $k i32) (local $t i32)" +
+        forUp("$t", c32(TS), sweep(B0, A0) + sweep(A0, B0)) +
+        fsum(A0, N * N * N) + ")";
+}
+
+} // namespace
+
+void
+registerPolybench(std::vector<BenchProgram>* out)
+{
+    out->push_back(make("jacobi-1d", jacobi1d(), 4));
+    out->push_back(make("trisolv", trisolv(), 8));
+    out->push_back(make("gesummv", gesummv(), 8));
+    out->push_back(make("durbin", durbin(), 8));
+    out->push_back(make("bicg", bicg(), 8));
+    out->push_back(make("atax", atax(), 8));
+    out->push_back(make("mvt", mvt(), 8));
+    out->push_back(make("gemver", gemver(), 4));
+    out->push_back(make("trmm", trmm(), 4));
+    out->push_back(make("doitgen", doitgen(), 4));
+    out->push_back(make("syrk", syrk(), 4));
+    out->push_back(make("correlation", correlation(false), 4));
+    out->push_back(make("covariance", correlation(true), 4));
+    out->push_back(make("symm", symm(), 4));
+    out->push_back(make("gemm", gemm(), 4));
+    out->push_back(make("syr2k", syr2k(), 4));
+    out->push_back(make("gramschmidt", gramschmidt(), 4));
+    out->push_back(make("2mm", mm2(), 4));
+    out->push_back(make("fdtd-2d", fdtd2d(), 4));
+    out->push_back(make("nussinov", nussinov(), 4));
+    out->push_back(make("3mm", mm3(), 4));
+    out->push_back(make("jacobi-2d", jacobi2d(), 4));
+    out->push_back(make("adi", adi(), 4));
+    out->push_back(make("seidel-2d", seidel2d(), 4));
+    out->push_back(make("heat-3d", heat3d(), 4));
+    out->push_back(make("cholesky", cholesky(), 4));
+    out->push_back(make("ludcmp", ludcmp(), 4));
+    out->push_back(make("lu", lu(), 4));
+    out->push_back(make("floyd-warshall", floydWarshall(), 2));
+}
+
+} // namespace wizpp

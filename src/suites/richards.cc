@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The Richards benchmark (paper Section 6), hand-ported to WAT: an OS
+ * task scheduler with task control blocks in memory and task dispatch
+ * through call_indirect. Famously call-heavy and indirect-call-heavy —
+ * exactly what makes the JVMTI MethodEntry comparison interesting.
+ */
+
+#include "suites/suites.h"
+
+namespace wizpp {
+
+namespace {
+
+const char* kRichardsWat = R"WAT((module
+  (memory 1)
+  (type $task (func (param i32) (result i32)))
+  (table 4 funcref)
+  (elem (i32.const 0) $idle $worker $handler $device)
+
+  ;; TCB layout: 16 bytes per task: [pending, kind, work, aux]
+  (func $tcb (param $id i32) (result i32)
+    (i32.mul (local.get $id) (i32.const 16)))
+  (func $pending (param $id i32) (result i32)
+    (i32.load (call $tcb (local.get $id))))
+  (func $setPending (param $id i32) (param $v i32)
+    (i32.store (call $tcb (local.get $id)) (local.get $v)))
+  (func $send (param $to i32)
+    (call $setPending (local.get $to)
+      (i32.add (call $pending (local.get $to)) (i32.const 1))))
+  (func $take (param $id i32) (result i32)
+    (if (result i32) (i32.gt_s (call $pending (local.get $id)) (i32.const 0))
+      (then
+        (call $setPending (local.get $id)
+          (i32.sub (call $pending (local.get $id)) (i32.const 1)))
+        (i32.const 1))
+      (else (i32.const 0))))
+  (func $work (param $id i32) (result i32)
+    (i32.load offset=8 (call $tcb (local.get $id))))
+  (func $setWork (param $id i32) (param $v i32)
+    (i32.store offset=8 (call $tcb (local.get $id)) (local.get $v)))
+
+  ;; A small hash step, called once per processed packet.
+  (func $hashStep (param $x i32) (result i32)
+    (local $v i32)
+    (local.set $v (i32.mul (local.get $x) (i32.const 0x9e3779b9)))
+    (local.set $v (i32.xor (local.get $v)
+                           (i32.shr_u (local.get $v) (i32.const 15))))
+    (i32.add (local.get $v) (i32.const 0x7feb352d)))
+
+  (func $idle (param $id i32) (result i32)
+    ;; the idle task emits packets to the worker
+    (call $send (i32.const 1))
+    (call $setWork (local.get $id)
+      (call $hashStep (call $work (local.get $id))))
+    (call $work (local.get $id)))
+
+  (func $worker (param $id i32) (result i32)
+    (local $h i32) (local $k i32)
+    (if (i32.eqz (call $take (local.get $id)))
+      (then (return (i32.const 0))))
+    ;; process the packet: a few hash steps, then forward to handler
+    (local.set $h (call $work (local.get $id)))
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $k) (i32.const 4)))
+      (local.set $h (call $hashStep (local.get $h)))
+      (local.set $k (i32.add (local.get $k) (i32.const 1)))
+      (br $l)))
+    (call $setWork (local.get $id) (local.get $h))
+    (call $send (i32.const 2))
+    (local.get $h))
+
+  (func $handler (param $id i32) (result i32)
+    (if (i32.eqz (call $take (local.get $id)))
+      (then (return (i32.const 0))))
+    (call $setWork (local.get $id)
+      (call $hashStep (call $work (local.get $id))))
+    (call $send (i32.const 3))
+    (call $work (local.get $id)))
+
+  (func $device (param $id i32) (result i32)
+    (if (i32.eqz (call $take (local.get $id)))
+      (then (return (i32.const 0))))
+    (call $setWork (local.get $id)
+      (i32.add (call $work (local.get $id)) (i32.const 1)))
+    (call $work (local.get $id)))
+
+  (func $schedule (param $iters i32) (result i32)
+    (local $i i32) (local $cur i32) (local $acc i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (local.get $iters)))
+      (local.set $acc (i32.add (local.get $acc)
+        (call_indirect (type $task) (local.get $cur) (local.get $cur))))
+      (local.set $cur (i32.and (i32.add (local.get $cur) (i32.const 1))
+                               (i32.const 3)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l)))
+    (local.get $acc))
+
+  (func (export "run") (param $n i32) (result f64)
+    (local $r i32) (local $acc i32) (local $id i32)
+    ;; reset TCBs
+    (block $xz (loop $lz
+      (br_if $xz (i32.ge_s (local.get $id) (i32.const 4)))
+      (call $setPending (local.get $id) (i32.const 0))
+      (call $setWork (local.get $id)
+        (i32.add (local.get $id) (i32.const 17)))
+      (local.set $id (i32.add (local.get $id) (i32.const 1)))
+      (br $lz)))
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $r) (local.get $n)))
+      (local.set $acc (i32.add (local.get $acc)
+                               (call $schedule (i32.const 4000))))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $l)))
+    (f64.convert_i32_s (local.get $acc)))
+))WAT";
+
+} // namespace
+
+const BenchProgram&
+richardsProgram()
+{
+    static BenchProgram p = [] {
+        BenchProgram r;
+        r.suite = "misc";
+        r.name = "richards";
+        r.wat = kRichardsWat;
+        r.defaultN = 8;
+        return r;
+    }();
+    return p;
+}
+
+} // namespace wizpp

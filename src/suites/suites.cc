@@ -1,0 +1,74 @@
+#include "suites/suites.h"
+
+#include <mutex>
+
+namespace wizpp {
+
+const char* kSuitePrelude = R"WAT(
+  (func $at2 (param $base i32) (param $i i32) (param $j i32) (param $n i32)
+             (result i32)
+    (i32.add (local.get $base)
+      (i32.mul (i32.add (i32.mul (local.get $i) (local.get $n))
+                        (local.get $j))
+               (i32.const 8))))
+  (func $fill (param $base i32) (param $count i32) (param $seed i32)
+    (local $i i32)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (local.get $count)))
+      (f64.store
+        (i32.add (local.get $base) (i32.mul (local.get $i) (i32.const 8)))
+        (f64.div
+          (f64.convert_i32_s
+            (i32.rem_s
+              (i32.add (i32.mul (local.get $i) (i32.const 7919))
+                       (local.get $seed))
+              (i32.const 1024)))
+          (f64.const 1024)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l))))
+  (func $fsum (param $base i32) (param $count i32) (result f64)
+    (local $i i32) (local $acc f64)
+    (block $x (loop $l
+      (br_if $x (i32.ge_s (local.get $i) (local.get $count)))
+      (local.set $acc (f64.add (local.get $acc)
+        (f64.load (i32.add (local.get $base)
+                           (i32.mul (local.get $i) (i32.const 8))))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $l)))
+    (local.get $acc))
+)WAT";
+
+const std::vector<BenchProgram>&
+allPrograms()
+{
+    static std::vector<BenchProgram> programs;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        registerPolybench(&programs);
+        registerOstrich(&programs);
+        registerLibsodium(&programs);
+    });
+    return programs;
+}
+
+std::vector<const BenchProgram*>
+programsBySuite(const std::string& suite)
+{
+    std::vector<const BenchProgram*> out;
+    for (const auto& p : allPrograms()) {
+        if (p.suite == suite) out.push_back(&p);
+    }
+    return out;
+}
+
+const BenchProgram*
+findProgram(const std::string& name)
+{
+    for (const auto& p : allPrograms()) {
+        if (p.name == name) return &p;
+    }
+    if (name == "richards") return &richardsProgram();
+    return nullptr;
+}
+
+} // namespace wizpp

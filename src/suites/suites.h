@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Benchmark corpus (paper Section 5.1): PolyBench/C, Ostrich and
+ * Libsodium-style kernels hand-ported to WAT, plus the Richards
+ * benchmark used by the Section 6 JVMTI comparison.
+ *
+ * Every program follows one convention: it exports
+ *     run : (param $n i32) -> (result f64)
+ * where $n scales the repetition count and the result is a checksum
+ * (used by the cross-tier differential tests). Workload sizes are
+ * scaled so an uninstrumented compiled-tier run takes milliseconds;
+ * the paper's metric — relative execution time — is size-independent
+ * to first order (DESIGN.md substitution S4).
+ */
+
+#ifndef WIZPP_SUITES_SUITES_H
+#define WIZPP_SUITES_SUITES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wizpp {
+
+/** One benchmark program. */
+struct BenchProgram
+{
+    std::string suite;    ///< "polybench" | "ostrich" | "libsodium" | "misc"
+    std::string name;     ///< e.g. "gemm"
+    std::string wat;      ///< complete module source
+    std::string entry = "run";
+    uint32_t defaultN = 1;  ///< default repetition count for benches
+};
+
+/** All programs of all suites (built once, cached). */
+const std::vector<BenchProgram>& allPrograms();
+
+/** Programs of one suite. */
+std::vector<const BenchProgram*> programsBySuite(const std::string& suite);
+
+/** Finds a program by name across suites; null if absent. */
+const BenchProgram* findProgram(const std::string& name);
+
+/** The Richards benchmark (Section 6's JVMTI workload). */
+const BenchProgram& richardsProgram();
+
+// Suite registration (internal; one per translation unit).
+void registerPolybench(std::vector<BenchProgram>* out);
+void registerOstrich(std::vector<BenchProgram>* out);
+void registerLibsodium(std::vector<BenchProgram>* out);
+
+/**
+ * Shared WAT helper functions injected into suite modules:
+ * $at2 (2-D f64 indexing), $fill (pseudo-random f64 init),
+ * $fsum (f64 array checksum).
+ */
+extern const char* kSuitePrelude;
+
+} // namespace wizpp
+
+#endif // WIZPP_SUITES_SUITES_H

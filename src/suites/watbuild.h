@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tiny WAT-text building helpers shared by the suite translation
+ * units. These only assemble strings — every kernel is still plain WAT
+ * parsed by the normal frontend — but they keep 50 hand-ported kernels
+ * consistent and reviewable.
+ */
+
+#ifndef WIZPP_SUITES_WATBUILD_H
+#define WIZPP_SUITES_WATBUILD_H
+
+#include <string>
+
+namespace wizpp::watbuild {
+
+/** `(local.get $i)` */
+inline std::string
+get(const std::string& var)
+{
+    return "(local.get " + var + ")";
+}
+
+/** `(i32.const k)` */
+inline std::string
+c32(long long k)
+{
+    return "(i32.const " + std::to_string(k) + ")";
+}
+
+/** `(f64.const k)` */
+inline std::string
+cf64(const std::string& k)
+{
+    return "(f64.const " + k + ")";
+}
+
+/** Counted loop: for (var = 0; var < bound; var++) { body }. */
+inline std::string
+forUp(const std::string& var, const std::string& bound,
+      const std::string& body)
+{
+    std::string l = var.substr(1);
+    return "(local.set " + var + " (i32.const 0))"
+           "(block $x" + l + " (loop $l" + l +
+           " (br_if $x" + l + " (i32.ge_s " + get(var) + " " + bound + "))" +
+           body +
+           " (local.set " + var + " (i32.add " + get(var) +
+           " (i32.const 1)))"
+           " (br $l" + l + ")))";
+}
+
+/** for (var = start; var < bound; var++) { body }. */
+inline std::string
+forFrom(const std::string& var, const std::string& start,
+        const std::string& bound, const std::string& body)
+{
+    std::string l = var.substr(1);
+    return "(local.set " + var + " " + start + ")"
+           "(block $x" + l + " (loop $l" + l +
+           " (br_if $x" + l + " (i32.ge_s " + get(var) + " " + bound + "))" +
+           body +
+           " (local.set " + var + " (i32.add " + get(var) +
+           " (i32.const 1)))"
+           " (br $l" + l + ")))";
+}
+
+/** for (var = start-1; var >= 0; var--) { body }. */
+inline std::string
+forDown(const std::string& var, const std::string& start,
+        const std::string& body)
+{
+    std::string l = var.substr(1);
+    return "(local.set " + var + " (i32.sub " + start + " (i32.const 1)))"
+           "(block $x" + l + " (loop $l" + l +
+           " (br_if $x" + l + " (i32.lt_s " + get(var) + " (i32.const 0)))" +
+           body +
+           " (local.set " + var + " (i32.sub " + get(var) +
+           " (i32.const 1)))"
+           " (br $l" + l + ")))";
+}
+
+/** Address of a 2-D f64 element via the prelude's $at2. */
+inline std::string
+at2(long long base, const std::string& i, const std::string& j, int n)
+{
+    return "(call $at2 " + c32(base) + " " + i + " " + j + " " + c32(n) +
+           ")";
+}
+
+/** Address of a 1-D f64 element. */
+inline std::string
+at1(long long base, const std::string& i)
+{
+    return "(i32.add " + c32(base) + " (i32.mul " + i + " (i32.const 8)))";
+}
+
+/** `(f64.load addr)` */
+inline std::string
+ld(const std::string& addr)
+{
+    return "(f64.load " + addr + ")";
+}
+
+/** `(f64.store addr val)` */
+inline std::string
+st(const std::string& addr, const std::string& val)
+{
+    return "(f64.store " + addr + " " + val + ")";
+}
+
+/** Standard run driver: init + kernel, repeated $n times. */
+inline std::string
+runDriver()
+{
+    return R"WAT(
+  (func (export "run") (param $n i32) (result f64)
+    (local $r i32) (local $acc f64)
+    (block $xr (loop $lr
+      (br_if $xr (i32.ge_s (local.get $r) (local.get $n)))
+      (call $init)
+      (local.set $acc (f64.add (local.get $acc) (call $kernel)))
+      (local.set $r (i32.add (local.get $r) (i32.const 1)))
+      (br $lr)))
+    (local.get $acc))
+)WAT";
+}
+
+} // namespace wizpp::watbuild
+
+#endif // WIZPP_SUITES_WATBUILD_H

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * LEB128 variable-length integer encoding and decoding.
+ *
+ * WebAssembly's binary format encodes all integers as LEB128: unsigned
+ * (ULEB128) for counts and indices, signed (SLEB128) for constants.
+ * These helpers are shared by the binary decoder, the encoder, and the
+ * bytecode-rewriting baseline.
+ */
+
+#ifndef WIZPP_SUPPORT_LEB128_H
+#define WIZPP_SUPPORT_LEB128_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wizpp {
+
+/** Result of a LEB128 decode: the value and the number of bytes consumed. */
+template <typename T>
+struct LebResult
+{
+    T value = 0;
+    size_t length = 0;  ///< bytes consumed; 0 means malformed/truncated
+    bool ok() const { return length != 0; }
+};
+
+/**
+ * Decodes an unsigned LEB128 value of at most @p maxBits bits.
+ *
+ * @param data  start of the encoded bytes
+ * @param end   one past the last readable byte
+ * @return value and consumed length; length 0 on malformed input
+ */
+template <typename T, unsigned maxBits = sizeof(T) * 8>
+inline LebResult<T>
+decodeULEB(const uint8_t* data, const uint8_t* end)
+{
+    static_assert(!std::is_signed_v<T>, "use decodeSLEB for signed types");
+    LebResult<T> r;
+    T result = 0;
+    unsigned shift = 0;
+    const uint8_t* p = data;
+    while (p < end) {
+        uint8_t byte = *p++;
+        if (shift >= maxBits) return r;  // too many bytes
+        // The last byte may only use the remaining bits.
+        unsigned remaining = maxBits - shift;
+        if (remaining < 7 && (byte & 0x7f) >> remaining) return r;
+        result |= static_cast<T>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            r.value = result;
+            r.length = static_cast<size_t>(p - data);
+            return r;
+        }
+        shift += 7;
+    }
+    return r;  // truncated
+}
+
+/**
+ * Decodes a signed LEB128 value of at most @p maxBits bits.
+ */
+template <typename T, unsigned maxBits = sizeof(T) * 8>
+inline LebResult<T>
+decodeSLEB(const uint8_t* data, const uint8_t* end)
+{
+    static_assert(std::is_signed_v<T>, "use decodeULEB for unsigned types");
+    LebResult<T> r;
+    using U = std::make_unsigned_t<T>;
+    U result = 0;
+    unsigned shift = 0;
+    const uint8_t* p = data;
+    while (p < end) {
+        uint8_t byte = *p++;
+        if (shift >= maxBits + 7) return r;
+        result |= static_cast<U>(byte & 0x7f) << shift;
+        shift += 7;
+        if ((byte & 0x80) == 0) {
+            // Sign-extend from the last bit written.
+            if (shift < sizeof(T) * 8 && (byte & 0x40)) {
+                result |= ~U{0} << shift;
+            }
+            r.value = static_cast<T>(result);
+            r.length = static_cast<size_t>(p - data);
+            return r;
+        }
+    }
+    return r;  // truncated
+}
+
+/** Appends an unsigned LEB128 encoding of @p value to @p out. */
+template <typename T>
+inline void
+encodeULEB(std::vector<uint8_t>& out, T value)
+{
+    static_assert(!std::is_signed_v<T>);
+    do {
+        uint8_t byte = value & 0x7f;
+        value >>= 7;
+        if (value != 0) byte |= 0x80;
+        out.push_back(byte);
+    } while (value != 0);
+}
+
+/** Appends a signed LEB128 encoding of @p value to @p out. */
+template <typename T>
+inline void
+encodeSLEB(std::vector<uint8_t>& out, T value)
+{
+    static_assert(std::is_signed_v<T>);
+    bool more = true;
+    while (more) {
+        uint8_t byte = value & 0x7f;
+        value >>= 7;
+        bool signBit = (byte & 0x40) != 0;
+        if ((value == 0 && !signBit) || (value == -1 && signBit)) {
+            more = false;
+        } else {
+            byte |= 0x80;
+        }
+        out.push_back(byte);
+    }
+}
+
+/** Appends a 5-byte, padded ULEB128 (used for patchable section sizes). */
+inline void
+encodePaddedULEB32(std::vector<uint8_t>& out, uint32_t value)
+{
+    for (int i = 0; i < 4; i++) {
+        out.push_back(static_cast<uint8_t>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(value & 0x7f));
+}
+
+/** Returns the encoded size, in bytes, of a ULEB128 value. */
+template <typename T>
+inline size_t
+sizeULEB(T value)
+{
+    size_t n = 0;
+    do { n++; value >>= 7; } while (value != 0);
+    return n;
+}
+
+} // namespace wizpp
+
+#endif // WIZPP_SUPPORT_LEB128_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal error-carrying result type used by decoders, parsers and the
+ * validator. We avoid exceptions in the engine core (interpreter loops
+ * and probe dispatch are hot paths) and thread errors explicitly.
+ */
+
+#ifndef WIZPP_SUPPORT_RESULT_H
+#define WIZPP_SUPPORT_RESULT_H
+
+#include <string>
+#include <utility>
+
+namespace wizpp {
+
+/** An error message with an optional byte/character offset. */
+struct Error
+{
+    std::string message;
+    size_t offset = 0;
+
+    std::string toString() const
+    {
+        return message + " @ offset " + std::to_string(offset);
+    }
+};
+
+/** Either a value or an error. */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : _value(std::move(value)), _ok(true) {}
+    Result(Error error) : _error(std::move(error)), _ok(false) {}
+
+    bool ok() const { return _ok; }
+    explicit operator bool() const { return _ok; }
+
+    T& value() { return _value; }
+    const T& value() const { return _value; }
+    T take() { return std::move(_value); }
+
+    const Error& error() const { return _error; }
+
+  private:
+    T _value{};
+    Error _error{};
+    bool _ok;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_SUPPORT_RESULT_H

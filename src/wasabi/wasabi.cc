@@ -1,0 +1,207 @@
+#include "wasabi/wasabi.h"
+
+#include "support/leb128.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+/** Rewrites a function body, shifting call targets by @p shift and
+ *  injecting hook calls per @p kind. Adds a scratch local for branch
+ *  condition duplication (Wasm has no dup instruction — Wasabi adds
+ *  locals the same way). */
+std::vector<uint8_t>
+injectBody(const FuncDecl& f, uint32_t funcIndexAfterShift, uint32_t shift,
+           WasabiKind kind, uint32_t hookInstrIdx, uint32_t hookBranchIdx,
+           uint32_t scratchLocal, uint64_t* sites)
+{
+    std::vector<uint8_t> out;
+    out.reserve(f.code.size() * 4);
+    size_t pc = 0;
+    while (pc < f.code.size()) {
+        InstrView v;
+        decodeInstr(f.code, pc, &v);
+        bool isBranch = v.opcode == OP_IF || v.opcode == OP_BR_IF ||
+                        v.opcode == OP_BR_TABLE;
+        if (kind == WasabiKind::Hotness) {
+            // i32.const f ; i32.const pc ; call $hook_instr
+            out.push_back(OP_I32_CONST);
+            encodeSLEB(out, static_cast<int32_t>(funcIndexAfterShift));
+            out.push_back(OP_I32_CONST);
+            encodeSLEB(out, static_cast<int32_t>(pc));
+            out.push_back(OP_CALL);
+            encodeULEB(out, hookInstrIdx);
+            (*sites)++;
+        } else if (isBranch) {
+            // local.tee $scratch ; i32.const f ; i32.const pc ;
+            // local.get $scratch ; call $hook_branch
+            out.push_back(OP_LOCAL_TEE);
+            encodeULEB(out, scratchLocal);
+            out.push_back(OP_I32_CONST);
+            encodeSLEB(out, static_cast<int32_t>(funcIndexAfterShift));
+            out.push_back(OP_I32_CONST);
+            encodeSLEB(out, static_cast<int32_t>(pc));
+            out.push_back(OP_LOCAL_GET);
+            encodeULEB(out, scratchLocal);
+            out.push_back(OP_CALL);
+            encodeULEB(out, hookBranchIdx);
+            (*sites)++;
+        }
+        // Re-encode the instruction, adjusting call targets.
+        if (v.opcode == OP_CALL) {
+            out.push_back(OP_CALL);
+            encodeULEB(out, v.index + shift);
+        } else {
+            out.insert(out.end(), f.code.begin() + pc,
+                       f.code.begin() + pc + v.length);
+        }
+        pc += v.length;
+    }
+    return out;
+}
+
+} // namespace
+
+Result<WasabiModule>
+wasabiInstrument(const Module& in, WasabiKind kind)
+{
+    WasabiModule w;
+    Module& m = w.module;
+    m = in;
+
+    // Wasabi's hooks become the first imports, shifting every function
+    // index in the module.
+    const uint32_t shift = 2;
+    w.numHookImports = shift;
+
+    FuncType instrType;
+    instrType.params = {ValType::I32, ValType::I32};
+    FuncType branchType;
+    branchType.params = {ValType::I32, ValType::I32, ValType::I32};
+    uint32_t instrTypeIdx = m.internType(instrType);
+    uint32_t branchTypeIdx = m.internType(branchType);
+
+    std::vector<FuncDecl> newFuncs;
+    FuncDecl hookInstr;
+    hookInstr.index = 0;
+    hookInstr.typeIndex = instrTypeIdx;
+    hookInstr.imported = true;
+    hookInstr.importModule = "wasabi";
+    hookInstr.importName = "hook_instr";
+    newFuncs.push_back(hookInstr);
+    FuncDecl hookBranch;
+    hookBranch.index = 1;
+    hookBranch.typeIndex = branchTypeIdx;
+    hookBranch.imported = true;
+    hookBranch.importModule = "wasabi";
+    hookBranch.importName = "hook_branch";
+    newFuncs.push_back(hookBranch);
+
+    for (const FuncDecl& f : in.functions) {
+        if (f.imported) {
+            return Error{"wasabi baseline does not support instrumenting "
+                         "modules that already import functions", 0};
+        }
+        FuncDecl nf = f;
+        nf.index = f.index + shift;
+        // Scratch local for branch-condition duplication.
+        uint32_t scratchLocal = 0;
+        if (kind == WasabiKind::Branch) {
+            const FuncType& ft = in.types[f.typeIndex];
+            scratchLocal = static_cast<uint32_t>(ft.params.size() +
+                                                 f.locals.size());
+            nf.locals.push_back(ValType::I32);
+        }
+        nf.code = injectBody(f, nf.index, shift, kind, 0, 1, scratchLocal,
+                             &w.sitesInstrumented);
+        newFuncs.push_back(std::move(nf));
+    }
+    m.functions = std::move(newFuncs);
+
+    for (auto& e : m.exports) {
+        if (e.kind == ExternKind::Func) e.index += shift;
+    }
+    for (auto& seg : m.elems) {
+        for (auto& idx : seg.funcIndices) idx += shift;
+    }
+    if (m.start) *m.start += shift;
+
+    return w;
+}
+
+WasabiHost::WasabiHost()
+{
+    // Hooks registered by name, resolved per event — the
+    // dynamically-typed dispatch a JS engine performs. A Wasabi
+    // analysis receives a fresh JS location object per event and
+    // typically accumulates into objects keyed by "func:instr" strings
+    // (JS property keys); both are reproduced here.
+    _hooks["hook_instr"] = [this](const std::vector<Value>& args) {
+        instrEvents++;
+        LocationObject loc;
+        loc.props["func"] = args[0].i32();
+        loc.props["instr"] = args[1].i32();
+        std::string key = std::to_string(args[0].i32()) + ":" +
+                          std::to_string(args[1].i32());
+        _counts[key]++;
+        if (onInstr) onInstr(args[0].i32(), args[1].i32());
+    };
+    _hooks["hook_branch"] = [this](const std::vector<Value>& args) {
+        branchEvents++;
+        LocationObject loc;
+        loc.props["func"] = args[0].i32();
+        loc.props["instr"] = args[1].i32();
+        loc.props["condition"] = args[2].i32();
+        std::string key = std::to_string(args[0].i32()) + ":" +
+                          std::to_string(args[1].i32());
+        _counts[key]++;
+        if (onBranch) onBranch(args[0].i32(), args[1].i32(),
+                               args[2].i32());
+    };
+}
+
+void
+WasabiHost::dispatch(const std::string& hookName,
+                     const std::vector<Value>& boxedArgs)
+{
+    // The JS boundary in V8-hosted Wasabi resolves the low-level hook,
+    // re-boxes the arguments into a JS arguments object, and then
+    // resolves the user analysis callback on the analysis object —
+    // two dynamic property lookups and two boxing steps per event.
+    auto it = _hooks.find(hookName);
+    if (it == _hooks.end()) return;
+    std::vector<Value> argumentsObject(boxedArgs);
+    auto user = _hooks.find("analysis." + hookName);
+    if (user != _hooks.end()) {
+        user->second(argumentsObject);
+    } else {
+        it->second(argumentsObject);
+    }
+}
+
+void
+WasabiHost::bind(ImportMap* imports)
+{
+    HostFunc hi;
+    hi.type.params = {ValType::I32, ValType::I32};
+    hi.fn = [this](const std::vector<Value>& args, std::vector<Value>*) {
+        // Boxing: copy args into a fresh heap vector (JS boundary).
+        std::vector<Value> boxed(args);
+        dispatch("hook_instr", boxed);
+        return TrapReason::None;
+    };
+    imports->addFunc("wasabi", "hook_instr", hi);
+
+    HostFunc hb;
+    hb.type.params = {ValType::I32, ValType::I32, ValType::I32};
+    hb.fn = [this](const std::vector<Value>& args, std::vector<Value>*) {
+        std::vector<Value> boxed(args);
+        dispatch("hook_branch", boxed);
+        return TrapReason::None;
+    };
+    imports->addFunc("wasabi", "hook_branch", hb);
+}
+
+} // namespace wizpp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Wasabi-like dynamic-analysis baseline (paper Section 5.6).
+ *
+ * Wasabi statically injects trampolines into Wasm bytecode that call
+ * *imported hooks* implemented in JavaScript; the dominant cost is the
+ * Wasm→JS boundary (argument boxing, dynamically-typed dispatch).
+ *
+ * This reproduction keeps the architecture: a static injector that adds
+ * imported hook functions and rewrites every call site (imports shift
+ * the function index space), plus a host-side hook runtime that crosses
+ * a dynamically-typed boundary — arguments are boxed into heap vectors,
+ * hooks are resolved by name through string-keyed maps, and a per-event
+ * "location object" is materialized, mimicking Wasabi's JS analysis
+ * API. See DESIGN.md substitution S2.
+ */
+
+#ifndef WIZPP_WASABI_WASABI_H
+#define WIZPP_WASABI_WASABI_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/instance.h"
+#include "support/result.h"
+#include "wasm/module.h"
+
+namespace wizpp {
+
+/** Which events get hooks injected. */
+enum class WasabiKind : uint8_t {
+    Hotness,  ///< hook before every instruction
+    Branch,   ///< hook before if/br_if/br_table with the condition value
+};
+
+/** Result of the static injection pass. */
+struct WasabiModule
+{
+    Module module;
+    uint32_t numHookImports = 0;
+    uint64_t sitesInstrumented = 0;
+};
+
+/** Injects hook calls into @p in (imports shift all function indices). */
+Result<WasabiModule> wasabiInstrument(const Module& in, WasabiKind kind);
+
+/**
+ * The host-side "JS" analysis runtime. Register it with an engine's
+ * ImportMap before instantiating a wasabiInstrument()ed module.
+ */
+class WasabiHost
+{
+  public:
+    WasabiHost();
+
+    /** Installs the hook imports into @p imports. */
+    void bind(ImportMap* imports);
+
+    /** Analysis callback: every instruction (funcIdx, pc). */
+    std::function<void(uint32_t, uint32_t)> onInstr;
+
+    /** Analysis callback: branches (funcIdx, pc, condition/index). */
+    std::function<void(uint32_t, uint32_t, uint32_t)> onBranch;
+
+    uint64_t instrEvents = 0;
+    uint64_t branchEvents = 0;
+
+    /** Per-location counts keyed "func:instr", as a Wasabi JS analysis
+     *  accumulates into objects with string property keys. */
+    const std::map<std::string, uint64_t>& counts() const
+    {
+        return _counts;
+    }
+
+  private:
+    /** A Wasabi-style per-event location object. */
+    struct LocationObject
+    {
+        std::map<std::string, uint64_t> props;
+    };
+
+    /** Boxed dynamic dispatch: the JS-boundary cost model. */
+    void dispatch(const std::string& hookName,
+                  const std::vector<Value>& boxedArgs);
+
+    std::map<std::string,
+             std::function<void(const std::vector<Value>&)>> _hooks;
+    std::map<std::string, uint64_t> _counts;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_WASABI_WASABI_H

@@ -1,0 +1,640 @@
+#include "wasm/decoder.h"
+
+#include <cstring>
+
+#include "support/leb128.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+/** Section ids in the binary format. */
+enum SectionId : uint8_t {
+    SEC_CUSTOM = 0,
+    SEC_TYPE = 1,
+    SEC_IMPORT = 2,
+    SEC_FUNCTION = 3,
+    SEC_TABLE = 4,
+    SEC_MEMORY = 5,
+    SEC_GLOBAL = 6,
+    SEC_EXPORT = 7,
+    SEC_START = 8,
+    SEC_ELEMENT = 9,
+    SEC_CODE = 10,
+    SEC_DATA = 11,
+};
+
+/** Stateful cursor over the module bytes with error reporting. */
+class Cursor
+{
+  public:
+    Cursor(const uint8_t* data, size_t size) : _data(data), _size(size) {}
+
+    size_t pos() const { return _pos; }
+    bool atEnd() const { return _pos >= _size; }
+    bool failed() const { return _failed; }
+    const Error& error() const { return _error; }
+
+    void
+    fail(const std::string& msg)
+    {
+        if (!_failed) {
+            _failed = true;
+            _error = {msg, _pos};
+        }
+    }
+
+    uint8_t
+    readByte()
+    {
+        if (_pos >= _size) {
+            fail("unexpected end of input");
+            return 0;
+        }
+        return _data[_pos++];
+    }
+
+    uint32_t
+    readU32()
+    {
+        auto r = decodeULEB<uint32_t>(_data + _pos, _data + _size);
+        if (!r.ok()) {
+            fail("malformed u32 LEB");
+            return 0;
+        }
+        _pos += r.length;
+        return r.value;
+    }
+
+    int32_t
+    readI32()
+    {
+        auto r = decodeSLEB<int32_t>(_data + _pos, _data + _size);
+        if (!r.ok()) {
+            fail("malformed i32 LEB");
+            return 0;
+        }
+        _pos += r.length;
+        return r.value;
+    }
+
+    int64_t
+    readI64()
+    {
+        auto r = decodeSLEB<int64_t>(_data + _pos, _data + _size);
+        if (!r.ok()) {
+            fail("malformed i64 LEB");
+            return 0;
+        }
+        _pos += r.length;
+        return r.value;
+    }
+
+    uint32_t
+    readF32Bits()
+    {
+        if (_pos + 4 > _size) {
+            fail("truncated f32");
+            return 0;
+        }
+        uint32_t v;
+        std::memcpy(&v, _data + _pos, 4);
+        _pos += 4;
+        return v;
+    }
+
+    uint64_t
+    readF64Bits()
+    {
+        if (_pos + 8 > _size) {
+            fail("truncated f64");
+            return 0;
+        }
+        uint64_t v;
+        std::memcpy(&v, _data + _pos, 8);
+        _pos += 8;
+        return v;
+    }
+
+    std::string
+    readName()
+    {
+        uint32_t len = readU32();
+        if (_failed || _pos + len > _size) {
+            fail("truncated name");
+            return "";
+        }
+        std::string s(reinterpret_cast<const char*>(_data + _pos), len);
+        _pos += len;
+        return s;
+    }
+
+    std::vector<uint8_t>
+    readBytes(size_t n)
+    {
+        if (_pos + n > _size) {
+            fail("truncated byte range");
+            return {};
+        }
+        std::vector<uint8_t> v(_data + _pos, _data + _pos + n);
+        _pos += n;
+        return v;
+    }
+
+    ValType
+    readValType()
+    {
+        uint8_t b = readByte();
+        if (!isValType(b)) {
+            fail("invalid value type byte");
+            return ValType::I32;
+        }
+        return static_cast<ValType>(b);
+    }
+
+    Limits
+    readLimits()
+    {
+        Limits lim;
+        uint8_t flags = readByte();
+        lim.min = readU32();
+        if (flags & 1) {
+            lim.hasMax = true;
+            lim.max = readU32();
+            if (lim.max < lim.min) fail("limits max < min");
+        }
+        return lim;
+    }
+
+    InitExpr
+    readInitExpr()
+    {
+        InitExpr e;
+        uint8_t op = readByte();
+        switch (op) {
+          case OP_I32_CONST:
+            e.kind = InitExpr::Kind::I32Const;
+            e.bits = static_cast<uint32_t>(readI32());
+            break;
+          case OP_I64_CONST:
+            e.kind = InitExpr::Kind::I64Const;
+            e.bits = static_cast<uint64_t>(readI64());
+            break;
+          case OP_F32_CONST:
+            e.kind = InitExpr::Kind::F32Const;
+            e.bits = readF32Bits();
+            break;
+          case OP_F64_CONST:
+            e.kind = InitExpr::Kind::F64Const;
+            e.bits = readF64Bits();
+            break;
+          case OP_GLOBAL_GET:
+            e.kind = InitExpr::Kind::GlobalGet;
+            e.index = readU32();
+            break;
+          default:
+            fail("unsupported init expression opcode");
+            return e;
+        }
+        if (readByte() != OP_END) fail("init expression missing end");
+        return e;
+    }
+
+  private:
+    const uint8_t* _data;
+    size_t _size;
+    size_t _pos = 0;
+    bool _failed = false;
+    Error _error;
+};
+
+/** Decodes the "name" custom section to attach debug names. */
+void
+decodeNameSection(Cursor& c, size_t end, Module& m)
+{
+    while (!c.failed() && c.pos() < end) {
+        uint8_t subId = c.readByte();
+        uint32_t subLen = c.readU32();
+        size_t subEnd = c.pos() + subLen;
+        if (subId == 1) {  // function names
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                uint32_t idx = c.readU32();
+                std::string name = c.readName();
+                if (idx < m.functions.size()) m.functions[idx].name = name;
+            }
+        }
+        if (subEnd > end) return;
+        while (c.pos() < subEnd && !c.failed()) c.readByte();
+    }
+}
+
+} // namespace
+
+Result<Module>
+decodeModule(const std::vector<uint8_t>& bytes)
+{
+    Cursor c(bytes.data(), bytes.size());
+    Module m;
+
+    if (c.readByte() != 0x00 || c.readByte() != 'a' || c.readByte() != 's' ||
+        c.readByte() != 'm') {
+        return Error{"bad magic number", 0};
+    }
+    uint32_t version = 0;
+    for (int i = 0; i < 4; i++) version |= c.readByte() << (i * 8);
+    if (version != 1) return Error{"unsupported version", 4};
+
+    std::vector<uint32_t> funcTypeIndices;  // from the function section
+    int lastSection = -1;
+
+    while (!c.atEnd() && !c.failed()) {
+        uint8_t id = c.readByte();
+        uint32_t size = c.readU32();
+        size_t end = c.pos() + size;
+        if (end > bytes.size()) {
+            c.fail("section extends past end of module");
+            break;
+        }
+        if (id != SEC_CUSTOM) {
+            if (static_cast<int>(id) <= lastSection) {
+                c.fail("out-of-order section");
+                break;
+            }
+            lastSection = id;
+        }
+
+        switch (id) {
+          case SEC_CUSTOM: {
+            std::string name = c.readName();
+            if (name == "name") {
+                decodeNameSection(c, end, m);
+            }
+            break;
+          }
+          case SEC_TYPE: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                if (c.readByte() != 0x60) {
+                    c.fail("expected func type (0x60)");
+                    break;
+                }
+                FuncType ft;
+                uint32_t np = c.readU32();
+                for (uint32_t j = 0; j < np && !c.failed(); j++) {
+                    ft.params.push_back(c.readValType());
+                }
+                uint32_t nr = c.readU32();
+                for (uint32_t j = 0; j < nr && !c.failed(); j++) {
+                    ft.results.push_back(c.readValType());
+                }
+                m.types.push_back(std::move(ft));
+            }
+            break;
+          }
+          case SEC_IMPORT: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                std::string mod = c.readName();
+                std::string name = c.readName();
+                uint8_t kind = c.readByte();
+                switch (static_cast<ExternKind>(kind)) {
+                  case ExternKind::Func: {
+                    FuncDecl f;
+                    f.index = static_cast<uint32_t>(m.functions.size());
+                    f.typeIndex = c.readU32();
+                    f.imported = true;
+                    f.importModule = mod;
+                    f.importName = name;
+                    m.functions.push_back(std::move(f));
+                    break;
+                  }
+                  case ExternKind::Table: {
+                    TableDecl t;
+                    uint8_t et = c.readByte();
+                    if (et != 0x70) c.fail("table elem type must be funcref");
+                    t.limits = c.readLimits();
+                    t.imported = true;
+                    t.importModule = mod;
+                    t.importName = name;
+                    m.tables.push_back(std::move(t));
+                    break;
+                  }
+                  case ExternKind::Memory: {
+                    MemoryDecl md;
+                    md.limits = c.readLimits();
+                    md.imported = true;
+                    md.importModule = mod;
+                    md.importName = name;
+                    m.memories.push_back(std::move(md));
+                    break;
+                  }
+                  case ExternKind::Global: {
+                    GlobalDecl g;
+                    g.type = c.readValType();
+                    g.mut = c.readByte() != 0;
+                    g.imported = true;
+                    g.importModule = mod;
+                    g.importName = name;
+                    m.globals.push_back(std::move(g));
+                    break;
+                  }
+                  default:
+                    c.fail("invalid import kind");
+                }
+            }
+            break;
+          }
+          case SEC_FUNCTION: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                funcTypeIndices.push_back(c.readU32());
+            }
+            break;
+          }
+          case SEC_TABLE: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                TableDecl t;
+                uint8_t et = c.readByte();
+                if (et != 0x70) c.fail("table elem type must be funcref");
+                t.limits = c.readLimits();
+                m.tables.push_back(std::move(t));
+            }
+            break;
+          }
+          case SEC_MEMORY: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                MemoryDecl md;
+                md.limits = c.readLimits();
+                m.memories.push_back(std::move(md));
+            }
+            break;
+          }
+          case SEC_GLOBAL: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                GlobalDecl g;
+                g.type = c.readValType();
+                g.mut = c.readByte() != 0;
+                g.init = c.readInitExpr();
+                m.globals.push_back(std::move(g));
+            }
+            break;
+          }
+          case SEC_EXPORT: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                ExportDecl e;
+                e.name = c.readName();
+                e.kind = static_cast<ExternKind>(c.readByte());
+                e.index = c.readU32();
+                m.exports.push_back(std::move(e));
+            }
+            break;
+          }
+          case SEC_START: {
+            m.start = c.readU32();
+            break;
+          }
+          case SEC_ELEMENT: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                ElemSegment seg;
+                uint32_t flags = c.readU32();
+                if (flags != 0) {
+                    c.fail("only active funcref element segments supported");
+                    break;
+                }
+                seg.tableIndex = 0;
+                seg.offset = c.readInitExpr();
+                uint32_t n = c.readU32();
+                for (uint32_t j = 0; j < n && !c.failed(); j++) {
+                    seg.funcIndices.push_back(c.readU32());
+                }
+                m.elems.push_back(std::move(seg));
+            }
+            break;
+          }
+          case SEC_CODE: {
+            uint32_t count = c.readU32();
+            uint32_t numImports = m.numImportedFuncs();
+            if (count != funcTypeIndices.size()) {
+                c.fail("code count != function count");
+                break;
+            }
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                FuncDecl f;
+                f.index = numImports + i;
+                f.typeIndex = funcTypeIndices[i];
+                uint32_t bodySize = c.readU32();
+                size_t bodyEnd = c.pos() + bodySize;
+                uint32_t numLocalGroups = c.readU32();
+                for (uint32_t j = 0; j < numLocalGroups && !c.failed(); j++) {
+                    uint32_t n = c.readU32();
+                    ValType t = c.readValType();
+                    if (f.locals.size() + n > 65536) {
+                        c.fail("too many locals");
+                        break;
+                    }
+                    f.locals.insert(f.locals.end(), n, t);
+                }
+                if (c.failed()) break;
+                if (bodyEnd < c.pos() || bodyEnd > bytes.size()) {
+                    c.fail("bad function body size");
+                    break;
+                }
+                f.code = c.readBytes(bodyEnd - c.pos());
+                if (f.code.empty() || f.code.back() != OP_END) {
+                    c.fail("function body must end with end opcode");
+                    break;
+                }
+                m.functions.push_back(std::move(f));
+            }
+            break;
+          }
+          case SEC_DATA: {
+            uint32_t count = c.readU32();
+            for (uint32_t i = 0; i < count && !c.failed(); i++) {
+                DataSegment seg;
+                uint32_t flags = c.readU32();
+                if (flags != 0) {
+                    c.fail("only active data segments supported");
+                    break;
+                }
+                seg.memIndex = 0;
+                seg.offset = c.readInitExpr();
+                uint32_t n = c.readU32();
+                seg.bytes = c.readBytes(n);
+                m.datas.push_back(std::move(seg));
+            }
+            break;
+          }
+          default:
+            c.fail("unknown section id");
+        }
+
+        if (c.failed()) break;
+        if (c.pos() != end) {
+            // Custom sections may be partially consumed; skip the rest.
+            if (id == SEC_CUSTOM && c.pos() < end) {
+                while (c.pos() < end) c.readByte();
+            } else {
+                c.fail("section size mismatch");
+                break;
+            }
+        }
+    }
+
+    if (c.failed()) return c.error();
+
+    // Function section without code section (or vice versa) is malformed,
+    // unless both are absent.
+    uint32_t numLocalFuncs =
+        static_cast<uint32_t>(m.functions.size()) - m.numImportedFuncs();
+    if (numLocalFuncs != funcTypeIndices.size()) {
+        return Error{"function/code section mismatch", c.pos()};
+    }
+
+    return m;
+}
+
+bool
+decodeInstr(const std::vector<uint8_t>& code, size_t pc, InstrView* out)
+{
+    const uint8_t* base = code.data();
+    const uint8_t* end = base + code.size();
+    const uint8_t* p = base + pc;
+    if (p >= end) return false;
+
+    InstrView& v = *out;
+    v = InstrView{};
+    v.opcode = *p++;
+
+    auto readU32 = [&]() -> bool {
+        auto r = decodeULEB<uint32_t>(p, end);
+        if (!r.ok()) return false;
+        v.index = r.value;
+        p += r.length;
+        return true;
+    };
+
+    switch (v.opcode) {
+      case OP_BLOCK:
+      case OP_LOOP:
+      case OP_IF: {
+        // Block type: single byte (valtype or 0x40). We don't support
+        // multi-value (sleb type indices) in block types.
+        uint8_t bt = *p++;
+        if (bt != 0x40 && !isValType(bt)) return false;
+        v.index = bt;
+        break;
+      }
+      case OP_BR:
+      case OP_BR_IF:
+      case OP_CALL:
+      case OP_LOCAL_GET:
+      case OP_LOCAL_SET:
+      case OP_LOCAL_TEE:
+      case OP_GLOBAL_GET:
+      case OP_GLOBAL_SET:
+        if (!readU32()) return false;
+        break;
+      case OP_BR_TABLE: {
+        auto n = decodeULEB<uint32_t>(p, end);
+        if (!n.ok()) return false;
+        p += n.length;
+        for (uint32_t i = 0; i <= n.value; i++) {  // targets + default
+            auto t = decodeULEB<uint32_t>(p, end);
+            if (!t.ok()) return false;
+            p += t.length;
+            v.brTable.push_back(t.value);
+        }
+        break;
+      }
+      case OP_CALL_INDIRECT: {
+        if (!readU32()) return false;   // type index
+        if (p >= end || *p++ != 0x00) return false;  // table index byte
+        break;
+      }
+      case OP_MEMORY_SIZE:
+      case OP_MEMORY_GROW:
+        if (p >= end || *p++ != 0x00) return false;  // memory index byte
+        break;
+      case OP_I32_CONST: {
+        auto r = decodeSLEB<int32_t>(p, end);
+        if (!r.ok()) return false;
+        v.i64Const = r.value;
+        p += r.length;
+        break;
+      }
+      case OP_I64_CONST: {
+        auto r = decodeSLEB<int64_t>(p, end);
+        if (!r.ok()) return false;
+        v.i64Const = r.value;
+        p += r.length;
+        break;
+      }
+      case OP_F32_CONST: {
+        if (p + 4 > end) return false;
+        uint32_t bits;
+        std::memcpy(&bits, p, 4);
+        v.fBits = bits;
+        p += 4;
+        break;
+      }
+      case OP_F64_CONST: {
+        if (p + 8 > end) return false;
+        std::memcpy(&v.fBits, p, 8);
+        p += 8;
+        break;
+      }
+      case OP_PREFIX_FC: {
+        auto sub = decodeULEB<uint32_t>(p, end);
+        if (!sub.ok()) return false;
+        p += sub.length;
+        v.prefixOp = sub.value;
+        if (sub.value <= FC_I64_TRUNC_SAT_F64_U) {
+            // no further immediates
+        } else if (sub.value == FC_MEMORY_FILL) {
+            if (p >= end || *p++ != 0x00) return false;
+        } else if (sub.value == FC_MEMORY_COPY) {
+            if (p + 2 > end || p[0] != 0 || p[1] != 0) return false;
+            p += 2;
+        } else {
+            return false;
+        }
+        break;
+      }
+      default:
+        if (isLoadOpcode(v.opcode) || isStoreOpcode(v.opcode)) {
+            auto a = decodeULEB<uint32_t>(p, end);
+            if (!a.ok()) return false;
+            p += a.length;
+            v.align = a.value;
+            auto o = decodeULEB<uint32_t>(p, end);
+            if (!o.ok()) return false;
+            p += o.length;
+            v.memOffset = o.value;
+        } else if (opcodeName(v.opcode)[0] == '<') {
+            return false;  // illegal opcode
+        }
+        // All other opcodes have no immediates.
+        break;
+    }
+
+    v.length = static_cast<size_t>(p - (base + pc));
+    return true;
+}
+
+size_t
+instrLength(const std::vector<uint8_t>& code, size_t pc)
+{
+    InstrView v;
+    if (!decodeInstr(code, pc, &v)) return 0;
+    return v.length;
+}
+
+} // namespace wizpp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * WebAssembly binary-format decoder (core spec).
+ *
+ * Decodes a `.wasm` byte vector into a Module. Function bodies are kept
+ * as raw instruction bytes (the validator checks them and builds side
+ * tables; the engine makes its own mutable copy for bytecode
+ * overwriting).
+ */
+
+#ifndef WIZPP_WASM_DECODER_H
+#define WIZPP_WASM_DECODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/result.h"
+#include "wasm/module.h"
+
+namespace wizpp {
+
+/** Decodes a binary module. Returns the module or a decode error. */
+Result<Module> decodeModule(const std::vector<uint8_t>& bytes);
+
+/**
+ * Decodes the immediates of a single instruction starting at
+ * `code[pc]` and returns the length in bytes of the whole instruction
+ * (opcode + immediates), or 0 if malformed. Used by the rewriting
+ * baselines, the probe manager and the disassembler to walk bytecode.
+ */
+size_t instrLength(const std::vector<uint8_t>& code, size_t pc);
+
+/** Immediate views of a decoded instruction (filled on demand). */
+struct InstrView
+{
+    uint8_t opcode = 0;
+    uint32_t prefixOp = 0;     ///< second byte value for 0xFC-prefixed ops
+    size_t length = 0;         ///< total instruction length in bytes
+    uint32_t index = 0;        ///< local/global/func/type/label index
+    uint32_t align = 0;        ///< memarg alignment
+    uint32_t memOffset = 0;    ///< memarg offset
+    int64_t i64Const = 0;      ///< i32/i64 constant payload
+    uint64_t fBits = 0;        ///< f32/f64 constant raw bits
+    std::vector<uint32_t> brTable;  ///< br_table targets (incl. default last)
+};
+
+/**
+ * Decodes the instruction at `code[pc]` into an InstrView.
+ * Returns false if the bytes are malformed.
+ */
+bool decodeInstr(const std::vector<uint8_t>& code, size_t pc, InstrView* out);
+
+} // namespace wizpp
+
+#endif // WIZPP_WASM_DECODER_H

@@ -1,0 +1,125 @@
+#include "wasm/disasm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+std::string
+disassembleInstr(const std::vector<uint8_t>& code, uint32_t pc)
+{
+    InstrView v;
+    if (!decodeInstr(code, pc, &v)) return "<malformed>";
+    std::string s = opcodeName(v.opcode);
+    switch (v.opcode) {
+      case OP_BLOCK:
+      case OP_LOOP:
+      case OP_IF: {
+        ValType bt = static_cast<ValType>(v.index);
+        if (bt != ValType::Void) {
+            s += std::string(" (result ") + valTypeName(bt) + ")";
+        }
+        break;
+      }
+      case OP_BR:
+      case OP_BR_IF:
+      case OP_CALL:
+      case OP_LOCAL_GET:
+      case OP_LOCAL_SET:
+      case OP_LOCAL_TEE:
+      case OP_GLOBAL_GET:
+      case OP_GLOBAL_SET:
+        s += " " + std::to_string(v.index);
+        break;
+      case OP_CALL_INDIRECT:
+        s += " (type " + std::to_string(v.index) + ")";
+        break;
+      case OP_BR_TABLE:
+        for (uint32_t t : v.brTable) s += " " + std::to_string(t);
+        break;
+      case OP_I32_CONST:
+      case OP_I64_CONST:
+        s += " " + std::to_string(v.i64Const);
+        break;
+      case OP_F32_CONST: {
+        float f;
+        uint32_t bits = static_cast<uint32_t>(v.fBits);
+        std::memcpy(&f, &bits, 4);
+        s += " " + std::to_string(f);
+        break;
+      }
+      case OP_F64_CONST: {
+        double d;
+        std::memcpy(&d, &v.fBits, 8);
+        s += " " + std::to_string(d);
+        break;
+      }
+      case OP_PREFIX_FC: {
+        static const char* fcNames[] = {
+            "i32.trunc_sat_f32_s", "i32.trunc_sat_f32_u",
+            "i32.trunc_sat_f64_s", "i32.trunc_sat_f64_u",
+            "i64.trunc_sat_f32_s", "i64.trunc_sat_f32_u",
+            "i64.trunc_sat_f64_s", "i64.trunc_sat_f64_u",
+        };
+        if (v.prefixOp < 8) s = fcNames[v.prefixOp];
+        else if (v.prefixOp == FC_MEMORY_FILL) s = "memory.fill";
+        else if (v.prefixOp == FC_MEMORY_COPY) s = "memory.copy";
+        break;
+      }
+      default:
+        if (isLoadOpcode(v.opcode) || isStoreOpcode(v.opcode)) {
+            if (v.memOffset) s += " offset=" + std::to_string(v.memOffset);
+        }
+        break;
+    }
+    return s;
+}
+
+void
+disassembleFunction(const Module& m, uint32_t funcIndex, std::ostream& out,
+                    const std::vector<uint32_t>* probedPcs)
+{
+    const FuncDecl& f = m.functions[funcIndex];
+    const FuncType& ft = m.types[f.typeIndex];
+    out << "func";
+    if (!f.name.empty()) out << " $" << f.name;
+    out << " #" << funcIndex << " " << ft.toString() << "\n";
+    if (f.imported) {
+        out << "  <import " << f.importModule << "." << f.importName
+            << ">\n";
+        return;
+    }
+
+    int indent = 1;
+    size_t pc = 0;
+    while (pc < f.code.size()) {
+        InstrView v;
+        if (!decodeInstr(f.code, pc, &v)) {
+            out << "  <malformed at +" << pc << ">\n";
+            return;
+        }
+        bool closes = v.opcode == OP_END || v.opcode == OP_ELSE;
+        if (closes && indent > 1) indent--;
+        bool probed = probedPcs &&
+                      std::find(probedPcs->begin(), probedPcs->end(),
+                                static_cast<uint32_t>(pc)) !=
+                          probedPcs->end();
+        out << (probed ? "*" : " ");
+        char buf[16];
+        snprintf(buf, sizeof(buf), "%5zu  ", pc);
+        out << "+" << buf;
+        for (int i = 0; i < indent; i++) out << "  ";
+        out << disassembleInstr(f.code, static_cast<uint32_t>(pc)) << "\n";
+        if (v.opcode == OP_BLOCK || v.opcode == OP_LOOP ||
+            v.opcode == OP_IF || v.opcode == OP_ELSE) {
+            indent++;
+        }
+        pc += v.length;
+    }
+}
+
+} // namespace wizpp

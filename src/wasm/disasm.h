@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Bytecode disassembler: renders function bodies as one instruction
+ * per line with pc labels — used by monitors, the debugger and
+ * diagnostics. Probe-overwritten code can be disassembled against the
+ * pristine module bytes so instrumented locations are marked instead
+ * of breaking the listing.
+ */
+
+#ifndef WIZPP_WASM_DISASM_H
+#define WIZPP_WASM_DISASM_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wizpp {
+
+/** Renders one instruction ("i32.const 42", "br_table 0 1 2", ...). */
+std::string disassembleInstr(const std::vector<uint8_t>& code,
+                             uint32_t pc);
+
+/**
+ * Writes a full listing of @p func to @p out:
+ *   "  +12  i32.add"
+ * with nesting indentation for block/loop/if bodies. @p probedPcs, if
+ * non-null, marks instrumented locations with a '*'.
+ */
+void disassembleFunction(const Module& m, uint32_t funcIndex,
+                         std::ostream& out,
+                         const std::vector<uint32_t>* probedPcs = nullptr);
+
+} // namespace wizpp
+
+#endif // WIZPP_WASM_DISASM_H

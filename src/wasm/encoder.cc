@@ -1,0 +1,305 @@
+#include "wasm/encoder.h"
+
+#include "support/leb128.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+void
+encodeName(std::vector<uint8_t>& out, const std::string& s)
+{
+    encodeULEB(out, static_cast<uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+encodeLimits(std::vector<uint8_t>& out, const Limits& lim)
+{
+    out.push_back(lim.hasMax ? 1 : 0);
+    encodeULEB(out, lim.min);
+    if (lim.hasMax) encodeULEB(out, lim.max);
+}
+
+void
+encodeInitExpr(std::vector<uint8_t>& out, const InitExpr& e)
+{
+    switch (e.kind) {
+      case InitExpr::Kind::I32Const:
+        out.push_back(OP_I32_CONST);
+        encodeSLEB(out, static_cast<int32_t>(e.bits));
+        break;
+      case InitExpr::Kind::I64Const:
+        out.push_back(OP_I64_CONST);
+        encodeSLEB(out, static_cast<int64_t>(e.bits));
+        break;
+      case InitExpr::Kind::F32Const: {
+        out.push_back(OP_F32_CONST);
+        uint32_t bits = static_cast<uint32_t>(e.bits);
+        for (int i = 0; i < 4; i++) out.push_back((bits >> (i * 8)) & 0xff);
+        break;
+      }
+      case InitExpr::Kind::F64Const: {
+        out.push_back(OP_F64_CONST);
+        for (int i = 0; i < 8; i++) out.push_back((e.bits >> (i * 8)) & 0xff);
+        break;
+      }
+      case InitExpr::Kind::GlobalGet:
+        out.push_back(OP_GLOBAL_GET);
+        encodeULEB(out, e.index);
+        break;
+      default:
+        break;  // RefFunc/RefNull not used in encoded modules
+    }
+    out.push_back(OP_END);
+}
+
+/** Appends a section: id, size, payload. */
+void
+appendSection(std::vector<uint8_t>& out, uint8_t id,
+              const std::vector<uint8_t>& payload)
+{
+    if (payload.empty()) return;
+    out.push_back(id);
+    encodeULEB(out, static_cast<uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeModule(const Module& m)
+{
+    std::vector<uint8_t> out = {0x00, 'a', 's', 'm', 1, 0, 0, 0};
+    std::vector<uint8_t> sec;
+
+    // Type section.
+    if (!m.types.empty()) {
+        sec.clear();
+        encodeULEB(sec, static_cast<uint32_t>(m.types.size()));
+        for (const auto& ft : m.types) {
+            sec.push_back(0x60);
+            encodeULEB(sec, static_cast<uint32_t>(ft.params.size()));
+            for (ValType t : ft.params) {
+                sec.push_back(static_cast<uint8_t>(t));
+            }
+            encodeULEB(sec, static_cast<uint32_t>(ft.results.size()));
+            for (ValType t : ft.results) {
+                sec.push_back(static_cast<uint8_t>(t));
+            }
+        }
+        appendSection(out, 1, sec);
+    }
+
+    // Import section.
+    uint32_t numImports = 0;
+    sec.clear();
+    std::vector<uint8_t> imports;
+    for (const auto& f : m.functions) {
+        if (!f.imported) continue;
+        encodeName(imports, f.importModule);
+        encodeName(imports, f.importName);
+        imports.push_back(0x00);
+        encodeULEB(imports, f.typeIndex);
+        numImports++;
+    }
+    for (const auto& t : m.tables) {
+        if (!t.imported) continue;
+        encodeName(imports, t.importModule);
+        encodeName(imports, t.importName);
+        imports.push_back(0x01);
+        imports.push_back(0x70);
+        encodeLimits(imports, t.limits);
+        numImports++;
+    }
+    for (const auto& mem : m.memories) {
+        if (!mem.imported) continue;
+        encodeName(imports, mem.importModule);
+        encodeName(imports, mem.importName);
+        imports.push_back(0x02);
+        encodeLimits(imports, mem.limits);
+        numImports++;
+    }
+    for (const auto& g : m.globals) {
+        if (!g.imported) continue;
+        encodeName(imports, g.importModule);
+        encodeName(imports, g.importName);
+        imports.push_back(0x03);
+        imports.push_back(static_cast<uint8_t>(g.type));
+        imports.push_back(g.mut ? 1 : 0);
+        numImports++;
+    }
+    if (numImports) {
+        encodeULEB(sec, numImports);
+        sec.insert(sec.end(), imports.begin(), imports.end());
+        appendSection(out, 2, sec);
+    }
+
+    // Function section (type indices of local functions).
+    uint32_t numLocal = 0;
+    for (const auto& f : m.functions) {
+        if (!f.imported) numLocal++;
+    }
+    if (numLocal) {
+        sec.clear();
+        encodeULEB(sec, numLocal);
+        for (const auto& f : m.functions) {
+            if (!f.imported) encodeULEB(sec, f.typeIndex);
+        }
+        appendSection(out, 3, sec);
+    }
+
+    // Table section.
+    {
+        uint32_t n = 0;
+        for (const auto& t : m.tables) {
+            if (!t.imported) n++;
+        }
+        if (n) {
+            sec.clear();
+            encodeULEB(sec, n);
+            for (const auto& t : m.tables) {
+                if (t.imported) continue;
+                sec.push_back(0x70);
+                encodeLimits(sec, t.limits);
+            }
+            appendSection(out, 4, sec);
+        }
+    }
+
+    // Memory section.
+    {
+        uint32_t n = 0;
+        for (const auto& mem : m.memories) {
+            if (!mem.imported) n++;
+        }
+        if (n) {
+            sec.clear();
+            encodeULEB(sec, n);
+            for (const auto& mem : m.memories) {
+                if (!mem.imported) encodeLimits(sec, mem.limits);
+            }
+            appendSection(out, 5, sec);
+        }
+    }
+
+    // Global section.
+    {
+        uint32_t n = 0;
+        for (const auto& g : m.globals) {
+            if (!g.imported) n++;
+        }
+        if (n) {
+            sec.clear();
+            encodeULEB(sec, n);
+            for (const auto& g : m.globals) {
+                if (g.imported) continue;
+                sec.push_back(static_cast<uint8_t>(g.type));
+                sec.push_back(g.mut ? 1 : 0);
+                encodeInitExpr(sec, g.init);
+            }
+            appendSection(out, 6, sec);
+        }
+    }
+
+    // Export section.
+    if (!m.exports.empty()) {
+        sec.clear();
+        encodeULEB(sec, static_cast<uint32_t>(m.exports.size()));
+        for (const auto& e : m.exports) {
+            encodeName(sec, e.name);
+            sec.push_back(static_cast<uint8_t>(e.kind));
+            encodeULEB(sec, e.index);
+        }
+        appendSection(out, 7, sec);
+    }
+
+    // Start section.
+    if (m.start) {
+        sec.clear();
+        encodeULEB(sec, *m.start);
+        appendSection(out, 8, sec);
+    }
+
+    // Element section.
+    if (!m.elems.empty()) {
+        sec.clear();
+        encodeULEB(sec, static_cast<uint32_t>(m.elems.size()));
+        for (const auto& seg : m.elems) {
+            encodeULEB(sec, 0u);  // flags: active, table 0
+            encodeInitExpr(sec, seg.offset);
+            encodeULEB(sec, static_cast<uint32_t>(seg.funcIndices.size()));
+            for (uint32_t idx : seg.funcIndices) encodeULEB(sec, idx);
+        }
+        appendSection(out, 9, sec);
+    }
+
+    // Code section.
+    if (numLocal) {
+        sec.clear();
+        encodeULEB(sec, numLocal);
+        for (const auto& f : m.functions) {
+            if (f.imported) continue;
+            std::vector<uint8_t> body;
+            // Compress locals into runs of identical types.
+            std::vector<std::pair<uint32_t, ValType>> groups;
+            for (ValType t : f.locals) {
+                if (!groups.empty() && groups.back().second == t) {
+                    groups.back().first++;
+                } else {
+                    groups.push_back({1, t});
+                }
+            }
+            encodeULEB(body, static_cast<uint32_t>(groups.size()));
+            for (auto [n, t] : groups) {
+                encodeULEB(body, n);
+                body.push_back(static_cast<uint8_t>(t));
+            }
+            body.insert(body.end(), f.code.begin(), f.code.end());
+            encodeULEB(sec, static_cast<uint32_t>(body.size()));
+            sec.insert(sec.end(), body.begin(), body.end());
+        }
+        appendSection(out, 10, sec);
+    }
+
+    // Data section.
+    if (!m.datas.empty()) {
+        sec.clear();
+        encodeULEB(sec, static_cast<uint32_t>(m.datas.size()));
+        for (const auto& seg : m.datas) {
+            encodeULEB(sec, 0u);  // flags: active, memory 0
+            encodeInitExpr(sec, seg.offset);
+            encodeULEB(sec, static_cast<uint32_t>(seg.bytes.size()));
+            sec.insert(sec.end(), seg.bytes.begin(), seg.bytes.end());
+        }
+        appendSection(out, 11, sec);
+    }
+
+    // Name custom section (function names only).
+    {
+        std::vector<uint8_t> names;
+        uint32_t count = 0;
+        for (const auto& f : m.functions) {
+            if (!f.name.empty()) count++;
+        }
+        if (count) {
+            std::vector<uint8_t> sub;
+            encodeULEB(sub, count);
+            for (const auto& f : m.functions) {
+                if (f.name.empty()) continue;
+                encodeULEB(sub, f.index);
+                encodeName(sub, f.name);
+            }
+            encodeName(names, "name");
+            names.push_back(1);  // function-names subsection
+            encodeULEB(names, static_cast<uint32_t>(sub.size()));
+            names.insert(names.end(), sub.begin(), sub.end());
+            appendSection(out, 0, names);
+        }
+    }
+
+    return out;
+}
+
+} // namespace wizpp

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * WebAssembly binary-format encoder: Module → .wasm bytes.
+ *
+ * Used by the static-instrumentation baselines (bytecode rewriting and
+ * Wasabi-like injection) to materialize transformed modules, and by
+ * round-trip tests (decode ∘ encode = identity).
+ */
+
+#ifndef WIZPP_WASM_ENCODER_H
+#define WIZPP_WASM_ENCODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace wizpp {
+
+/** Encodes @p m into binary form. The module must be structurally valid. */
+std::vector<uint8_t> encodeModule(const Module& m);
+
+} // namespace wizpp
+
+#endif // WIZPP_WASM_ENCODER_H

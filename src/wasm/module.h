@@ -1,0 +1,188 @@
+/**
+ * @file
+ * In-memory representation of a decoded WebAssembly module.
+ *
+ * The module IR is pure data: no execution state lives here. The engine
+ * attaches per-function runtime state (mutable probe-code copies, side
+ * tables, compiled code) in its own parallel structures so that a module
+ * can be shared, re-instantiated, re-encoded, and rewritten without
+ * dragging engine internals along.
+ */
+
+#ifndef WIZPP_WASM_MODULE_H
+#define WIZPP_WASM_MODULE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/types.h"
+
+namespace wizpp {
+
+/** A constant initializer expression (for globals, element/data offsets). */
+struct InitExpr
+{
+    enum class Kind : uint8_t {
+        I32Const, I64Const, F32Const, F64Const, GlobalGet, RefFunc, RefNull,
+    };
+    Kind kind = Kind::I32Const;
+    uint64_t bits = 0;    ///< constant payload (raw bits)
+    uint32_t index = 0;   ///< global or function index for GlobalGet/RefFunc
+
+    static InitExpr i32(int32_t v)
+    {
+        return {Kind::I32Const, static_cast<uint32_t>(v), 0};
+    }
+    static InitExpr i64(int64_t v)
+    {
+        return {Kind::I64Const, static_cast<uint64_t>(v), 0};
+    }
+};
+
+/** A function: either an import stub or a local function with a body. */
+struct FuncDecl
+{
+    uint32_t index = 0;       ///< index in the module function space
+    uint32_t typeIndex = 0;   ///< index into Module::types
+    bool imported = false;
+    std::string importModule; ///< import source, if imported
+    std::string importName;
+
+    /** Declared local types (parameters are NOT included). */
+    std::vector<ValType> locals;
+
+    /**
+     * Body instruction bytes, ending with the terminal 0x0B `end`.
+     * Probe locations (pc) are byte offsets into this vector; offset 0 is
+     * the first instruction.
+     */
+    std::vector<uint8_t> code;
+
+    /** Debug name from the name section or WAT identifier (may be empty). */
+    std::string name;
+};
+
+/** A table declaration. */
+struct TableDecl
+{
+    ValType elemType = ValType::FuncRef;
+    Limits limits;
+    bool imported = false;
+    std::string importModule;
+    std::string importName;
+};
+
+/** A linear memory declaration. */
+struct MemoryDecl
+{
+    Limits limits;
+    bool imported = false;
+    std::string importModule;
+    std::string importName;
+};
+
+/** A global variable declaration. */
+struct GlobalDecl
+{
+    ValType type = ValType::I32;
+    bool mut = false;
+    InitExpr init;
+    bool imported = false;
+    std::string importModule;
+    std::string importName;
+    std::string name;
+};
+
+/** An export entry. */
+struct ExportDecl
+{
+    std::string name;
+    ExternKind kind = ExternKind::Func;
+    uint32_t index = 0;
+};
+
+/** An active element segment initializing a table with function indices. */
+struct ElemSegment
+{
+    uint32_t tableIndex = 0;
+    InitExpr offset;
+    std::vector<uint32_t> funcIndices;
+};
+
+/** An active data segment initializing linear memory. */
+struct DataSegment
+{
+    uint32_t memIndex = 0;
+    InitExpr offset;
+    std::vector<uint8_t> bytes;
+};
+
+/**
+ * A decoded WebAssembly module.
+ *
+ * Function, table, memory and global index spaces include imports first,
+ * as in the spec. Imported entries carry `imported = true`.
+ */
+struct Module
+{
+    std::vector<FuncType> types;
+    std::vector<FuncDecl> functions;
+    std::vector<TableDecl> tables;
+    std::vector<MemoryDecl> memories;
+    std::vector<GlobalDecl> globals;
+    std::vector<ExportDecl> exports;
+    std::vector<ElemSegment> elems;
+    std::vector<DataSegment> datas;
+    std::optional<uint32_t> start;
+    std::string name;
+
+    /** Number of imported functions (they occupy indices [0, n)). */
+    uint32_t numImportedFuncs() const
+    {
+        uint32_t n = 0;
+        for (const auto& f : functions) {
+            if (!f.imported) break;
+            n++;
+        }
+        return n;
+    }
+
+    /** Returns the signature of function @p index. */
+    const FuncType& funcType(uint32_t index) const
+    {
+        return types[functions[index].typeIndex];
+    }
+
+    /** Finds an export by name and kind; returns nullptr if absent. */
+    const ExportDecl* findExport(const std::string& name,
+                                 ExternKind kind) const
+    {
+        for (const auto& e : exports) {
+            if (e.kind == kind && e.name == name) return &e;
+        }
+        return nullptr;
+    }
+
+    /** Finds an exported function index by name; returns -1 if absent. */
+    int32_t findFuncExport(const std::string& name) const
+    {
+        const ExportDecl* e = findExport(name, ExternKind::Func);
+        return e ? static_cast<int32_t>(e->index) : -1;
+    }
+
+    /** Registers a function type, deduplicating; returns its index. */
+    uint32_t internType(const FuncType& ft)
+    {
+        for (size_t i = 0; i < types.size(); i++) {
+            if (types[i] == ft) return static_cast<uint32_t>(i);
+        }
+        types.push_back(ft);
+        return static_cast<uint32_t>(types.size() - 1);
+    }
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_WASM_MODULE_H

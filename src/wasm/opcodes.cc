@@ -1,0 +1,271 @@
+#include "wasm/opcodes.h"
+
+#include "wasm/types.h"
+
+namespace wizpp {
+
+namespace {
+
+const char* kNames[256] = {};
+
+struct NameTableInit
+{
+    NameTableInit()
+    {
+        for (auto& n : kNames) n = nullptr;
+        kNames[OP_UNREACHABLE] = "unreachable";
+        kNames[OP_NOP] = "nop";
+        kNames[OP_BLOCK] = "block";
+        kNames[OP_LOOP] = "loop";
+        kNames[OP_IF] = "if";
+        kNames[OP_ELSE] = "else";
+        kNames[OP_END] = "end";
+        kNames[OP_BR] = "br";
+        kNames[OP_BR_IF] = "br_if";
+        kNames[OP_BR_TABLE] = "br_table";
+        kNames[OP_RETURN] = "return";
+        kNames[OP_CALL] = "call";
+        kNames[OP_CALL_INDIRECT] = "call_indirect";
+        kNames[OP_DROP] = "drop";
+        kNames[OP_SELECT] = "select";
+        kNames[OP_LOCAL_GET] = "local.get";
+        kNames[OP_LOCAL_SET] = "local.set";
+        kNames[OP_LOCAL_TEE] = "local.tee";
+        kNames[OP_GLOBAL_GET] = "global.get";
+        kNames[OP_GLOBAL_SET] = "global.set";
+        kNames[OP_I32_LOAD] = "i32.load";
+        kNames[OP_I64_LOAD] = "i64.load";
+        kNames[OP_F32_LOAD] = "f32.load";
+        kNames[OP_F64_LOAD] = "f64.load";
+        kNames[OP_I32_LOAD8_S] = "i32.load8_s";
+        kNames[OP_I32_LOAD8_U] = "i32.load8_u";
+        kNames[OP_I32_LOAD16_S] = "i32.load16_s";
+        kNames[OP_I32_LOAD16_U] = "i32.load16_u";
+        kNames[OP_I64_LOAD8_S] = "i64.load8_s";
+        kNames[OP_I64_LOAD8_U] = "i64.load8_u";
+        kNames[OP_I64_LOAD16_S] = "i64.load16_s";
+        kNames[OP_I64_LOAD16_U] = "i64.load16_u";
+        kNames[OP_I64_LOAD32_S] = "i64.load32_s";
+        kNames[OP_I64_LOAD32_U] = "i64.load32_u";
+        kNames[OP_I32_STORE] = "i32.store";
+        kNames[OP_I64_STORE] = "i64.store";
+        kNames[OP_F32_STORE] = "f32.store";
+        kNames[OP_F64_STORE] = "f64.store";
+        kNames[OP_I32_STORE8] = "i32.store8";
+        kNames[OP_I32_STORE16] = "i32.store16";
+        kNames[OP_I64_STORE8] = "i64.store8";
+        kNames[OP_I64_STORE16] = "i64.store16";
+        kNames[OP_I64_STORE32] = "i64.store32";
+        kNames[OP_MEMORY_SIZE] = "memory.size";
+        kNames[OP_MEMORY_GROW] = "memory.grow";
+        kNames[OP_I32_CONST] = "i32.const";
+        kNames[OP_I64_CONST] = "i64.const";
+        kNames[OP_F32_CONST] = "f32.const";
+        kNames[OP_F64_CONST] = "f64.const";
+        kNames[OP_I32_EQZ] = "i32.eqz";
+        kNames[OP_I32_EQ] = "i32.eq";
+        kNames[OP_I32_NE] = "i32.ne";
+        kNames[OP_I32_LT_S] = "i32.lt_s";
+        kNames[OP_I32_LT_U] = "i32.lt_u";
+        kNames[OP_I32_GT_S] = "i32.gt_s";
+        kNames[OP_I32_GT_U] = "i32.gt_u";
+        kNames[OP_I32_LE_S] = "i32.le_s";
+        kNames[OP_I32_LE_U] = "i32.le_u";
+        kNames[OP_I32_GE_S] = "i32.ge_s";
+        kNames[OP_I32_GE_U] = "i32.ge_u";
+        kNames[OP_I64_EQZ] = "i64.eqz";
+        kNames[OP_I64_EQ] = "i64.eq";
+        kNames[OP_I64_NE] = "i64.ne";
+        kNames[OP_I64_LT_S] = "i64.lt_s";
+        kNames[OP_I64_LT_U] = "i64.lt_u";
+        kNames[OP_I64_GT_S] = "i64.gt_s";
+        kNames[OP_I64_GT_U] = "i64.gt_u";
+        kNames[OP_I64_LE_S] = "i64.le_s";
+        kNames[OP_I64_LE_U] = "i64.le_u";
+        kNames[OP_I64_GE_S] = "i64.ge_s";
+        kNames[OP_I64_GE_U] = "i64.ge_u";
+        kNames[OP_F32_EQ] = "f32.eq";
+        kNames[OP_F32_NE] = "f32.ne";
+        kNames[OP_F32_LT] = "f32.lt";
+        kNames[OP_F32_GT] = "f32.gt";
+        kNames[OP_F32_LE] = "f32.le";
+        kNames[OP_F32_GE] = "f32.ge";
+        kNames[OP_F64_EQ] = "f64.eq";
+        kNames[OP_F64_NE] = "f64.ne";
+        kNames[OP_F64_LT] = "f64.lt";
+        kNames[OP_F64_GT] = "f64.gt";
+        kNames[OP_F64_LE] = "f64.le";
+        kNames[OP_F64_GE] = "f64.ge";
+        kNames[OP_I32_CLZ] = "i32.clz";
+        kNames[OP_I32_CTZ] = "i32.ctz";
+        kNames[OP_I32_POPCNT] = "i32.popcnt";
+        kNames[OP_I32_ADD] = "i32.add";
+        kNames[OP_I32_SUB] = "i32.sub";
+        kNames[OP_I32_MUL] = "i32.mul";
+        kNames[OP_I32_DIV_S] = "i32.div_s";
+        kNames[OP_I32_DIV_U] = "i32.div_u";
+        kNames[OP_I32_REM_S] = "i32.rem_s";
+        kNames[OP_I32_REM_U] = "i32.rem_u";
+        kNames[OP_I32_AND] = "i32.and";
+        kNames[OP_I32_OR] = "i32.or";
+        kNames[OP_I32_XOR] = "i32.xor";
+        kNames[OP_I32_SHL] = "i32.shl";
+        kNames[OP_I32_SHR_S] = "i32.shr_s";
+        kNames[OP_I32_SHR_U] = "i32.shr_u";
+        kNames[OP_I32_ROTL] = "i32.rotl";
+        kNames[OP_I32_ROTR] = "i32.rotr";
+        kNames[OP_I64_CLZ] = "i64.clz";
+        kNames[OP_I64_CTZ] = "i64.ctz";
+        kNames[OP_I64_POPCNT] = "i64.popcnt";
+        kNames[OP_I64_ADD] = "i64.add";
+        kNames[OP_I64_SUB] = "i64.sub";
+        kNames[OP_I64_MUL] = "i64.mul";
+        kNames[OP_I64_DIV_S] = "i64.div_s";
+        kNames[OP_I64_DIV_U] = "i64.div_u";
+        kNames[OP_I64_REM_S] = "i64.rem_s";
+        kNames[OP_I64_REM_U] = "i64.rem_u";
+        kNames[OP_I64_AND] = "i64.and";
+        kNames[OP_I64_OR] = "i64.or";
+        kNames[OP_I64_XOR] = "i64.xor";
+        kNames[OP_I64_SHL] = "i64.shl";
+        kNames[OP_I64_SHR_S] = "i64.shr_s";
+        kNames[OP_I64_SHR_U] = "i64.shr_u";
+        kNames[OP_I64_ROTL] = "i64.rotl";
+        kNames[OP_I64_ROTR] = "i64.rotr";
+        kNames[OP_F32_ABS] = "f32.abs";
+        kNames[OP_F32_NEG] = "f32.neg";
+        kNames[OP_F32_CEIL] = "f32.ceil";
+        kNames[OP_F32_FLOOR] = "f32.floor";
+        kNames[OP_F32_TRUNC] = "f32.trunc";
+        kNames[OP_F32_NEAREST] = "f32.nearest";
+        kNames[OP_F32_SQRT] = "f32.sqrt";
+        kNames[OP_F32_ADD] = "f32.add";
+        kNames[OP_F32_SUB] = "f32.sub";
+        kNames[OP_F32_MUL] = "f32.mul";
+        kNames[OP_F32_DIV] = "f32.div";
+        kNames[OP_F32_MIN] = "f32.min";
+        kNames[OP_F32_MAX] = "f32.max";
+        kNames[OP_F32_COPYSIGN] = "f32.copysign";
+        kNames[OP_F64_ABS] = "f64.abs";
+        kNames[OP_F64_NEG] = "f64.neg";
+        kNames[OP_F64_CEIL] = "f64.ceil";
+        kNames[OP_F64_FLOOR] = "f64.floor";
+        kNames[OP_F64_TRUNC] = "f64.trunc";
+        kNames[OP_F64_NEAREST] = "f64.nearest";
+        kNames[OP_F64_SQRT] = "f64.sqrt";
+        kNames[OP_F64_ADD] = "f64.add";
+        kNames[OP_F64_SUB] = "f64.sub";
+        kNames[OP_F64_MUL] = "f64.mul";
+        kNames[OP_F64_DIV] = "f64.div";
+        kNames[OP_F64_MIN] = "f64.min";
+        kNames[OP_F64_MAX] = "f64.max";
+        kNames[OP_F64_COPYSIGN] = "f64.copysign";
+        kNames[OP_I32_WRAP_I64] = "i32.wrap_i64";
+        kNames[OP_I32_TRUNC_F32_S] = "i32.trunc_f32_s";
+        kNames[OP_I32_TRUNC_F32_U] = "i32.trunc_f32_u";
+        kNames[OP_I32_TRUNC_F64_S] = "i32.trunc_f64_s";
+        kNames[OP_I32_TRUNC_F64_U] = "i32.trunc_f64_u";
+        kNames[OP_I64_EXTEND_I32_S] = "i64.extend_i32_s";
+        kNames[OP_I64_EXTEND_I32_U] = "i64.extend_i32_u";
+        kNames[OP_I64_TRUNC_F32_S] = "i64.trunc_f32_s";
+        kNames[OP_I64_TRUNC_F32_U] = "i64.trunc_f32_u";
+        kNames[OP_I64_TRUNC_F64_S] = "i64.trunc_f64_s";
+        kNames[OP_I64_TRUNC_F64_U] = "i64.trunc_f64_u";
+        kNames[OP_F32_CONVERT_I32_S] = "f32.convert_i32_s";
+        kNames[OP_F32_CONVERT_I32_U] = "f32.convert_i32_u";
+        kNames[OP_F32_CONVERT_I64_S] = "f32.convert_i64_s";
+        kNames[OP_F32_CONVERT_I64_U] = "f32.convert_i64_u";
+        kNames[OP_F32_DEMOTE_F64] = "f32.demote_f64";
+        kNames[OP_F64_CONVERT_I32_S] = "f64.convert_i32_s";
+        kNames[OP_F64_CONVERT_I32_U] = "f64.convert_i32_u";
+        kNames[OP_F64_CONVERT_I64_S] = "f64.convert_i64_s";
+        kNames[OP_F64_CONVERT_I64_U] = "f64.convert_i64_u";
+        kNames[OP_F64_PROMOTE_F32] = "f64.promote_f32";
+        kNames[OP_I32_REINTERPRET_F32] = "i32.reinterpret_f32";
+        kNames[OP_I64_REINTERPRET_F64] = "i64.reinterpret_f64";
+        kNames[OP_F32_REINTERPRET_I32] = "f32.reinterpret_i32";
+        kNames[OP_F64_REINTERPRET_I64] = "f64.reinterpret_i64";
+        kNames[OP_I32_EXTEND8_S] = "i32.extend8_s";
+        kNames[OP_I32_EXTEND16_S] = "i32.extend16_s";
+        kNames[OP_I64_EXTEND8_S] = "i64.extend8_s";
+        kNames[OP_I64_EXTEND16_S] = "i64.extend16_s";
+        kNames[OP_I64_EXTEND32_S] = "i64.extend32_s";
+        kNames[OP_PREFIX_FC] = "<0xfc-prefix>";
+        kNames[OP_PROBE] = "<probe>";
+    }
+};
+
+NameTableInit nameTableInit;
+
+} // namespace
+
+const char*
+opcodeName(uint8_t op)
+{
+    const char* n = kNames[op];
+    return n ? n : "<illegal>";
+}
+
+bool
+isBranchOpcode(uint8_t op)
+{
+    return op == OP_BR || op == OP_BR_IF || op == OP_BR_TABLE ||
+           op == OP_IF;
+}
+
+bool
+isLoadOpcode(uint8_t op)
+{
+    return op >= OP_I32_LOAD && op <= OP_I64_LOAD32_U;
+}
+
+bool
+isStoreOpcode(uint8_t op)
+{
+    return op >= OP_I32_STORE && op <= OP_I64_STORE32;
+}
+
+const char*
+valTypeName(ValType t)
+{
+    switch (t) {
+      case ValType::I32: return "i32";
+      case ValType::I64: return "i64";
+      case ValType::F32: return "f32";
+      case ValType::F64: return "f64";
+      case ValType::FuncRef: return "funcref";
+      case ValType::Void: return "void";
+    }
+    return "<bad-type>";
+}
+
+const char*
+externKindName(ExternKind k)
+{
+    switch (k) {
+      case ExternKind::Func: return "func";
+      case ExternKind::Table: return "table";
+      case ExternKind::Memory: return "memory";
+      case ExternKind::Global: return "global";
+    }
+    return "<bad-kind>";
+}
+
+std::string
+FuncType::toString() const
+{
+    std::string s = "[";
+    for (size_t i = 0; i < params.size(); i++) {
+        if (i) s += " ";
+        s += valTypeName(params[i]);
+    }
+    s += "] -> [";
+    for (size_t i = 0; i < results.size(); i++) {
+        if (i) s += " ";
+        s += valTypeName(results[i]);
+    }
+    s += "]";
+    return s;
+}
+
+} // namespace wizpp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Control-flow side tables.
+ *
+ * Wasm's structured control flow means branch instructions carry label
+ * depths, not jump targets. Following the in-place interpreter design the
+ * paper builds on (Titzer, OOPSLA'22), validation precomputes a side table
+ * per function mapping each branch site to its resolved target pc and the
+ * operand-stack adjustment to perform, so the interpreter never re-scans
+ * bytecode to find `end`/`else`, and the JIT tier reuses the same
+ * information when resolving decoded jump indices.
+ */
+
+#ifndef WIZPP_WASM_SIDETABLE_H
+#define WIZPP_WASM_SIDETABLE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wizpp {
+
+/**
+ * Resolved branch information.
+ *
+ * Taking the branch copies the top @ref valCount operand values down to
+ * stack height @ref popTo (relative to the frame's operand-stack base),
+ * truncates the stack to popTo + valCount, and continues at
+ * @ref targetPc.
+ */
+struct SideTableEntry
+{
+    uint32_t targetPc = 0;
+    uint32_t valCount = 0;
+    uint32_t popTo = 0;
+};
+
+/** Per-function control-flow side table, keyed by branch-site pc. */
+struct SideTable
+{
+    /** br / br_if / if(false-edge) / else(skip-edge) entries. */
+    std::unordered_map<uint32_t, SideTableEntry> branches;
+
+    /** br_table entries: one per target, default last. */
+    std::unordered_map<uint32_t, std::vector<SideTableEntry>> brTables;
+
+    /** pcs of `loop` headers (used by monitors and tier-up heuristics). */
+    std::vector<uint32_t> loopHeaders;
+
+    /** pc of every instruction, in order (an instruction boundary map). */
+    std::vector<uint32_t> instrBoundaries;
+
+    /** Maximum operand-stack height of the function (frame sizing). */
+    uint32_t maxOperandHeight = 0;
+
+    /** True if @p pc starts an instruction. */
+    bool
+    isInstrBoundary(uint32_t pc) const
+    {
+        auto it = std::lower_bound(instrBoundaries.begin(),
+                                   instrBoundaries.end(), pc);
+        return it != instrBoundaries.end() && *it == pc;
+    }
+
+    const SideTableEntry&
+    branchAt(uint32_t pc) const
+    {
+        return branches.at(pc);
+    }
+
+    const std::vector<SideTableEntry>&
+    brTableAt(uint32_t pc) const
+    {
+        return brTables.at(pc);
+    }
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_WASM_SIDETABLE_H

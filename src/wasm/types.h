@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Core WebAssembly type definitions shared across the engine.
+ */
+
+#ifndef WIZPP_WASM_TYPES_H
+#define WIZPP_WASM_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wizpp {
+
+/** WebAssembly value types (core spec, MVP numeric types + funcref). */
+enum class ValType : uint8_t {
+    I32 = 0x7f,
+    I64 = 0x7e,
+    F32 = 0x7d,
+    F64 = 0x7c,
+    FuncRef = 0x70,
+    Void = 0x40,  ///< pseudo-type used for empty block types
+};
+
+/** Returns the canonical textual name of a value type ("i32", ...). */
+const char* valTypeName(ValType t);
+
+/** True if @p b is a valid value-type byte in the binary format. */
+inline bool
+isValType(uint8_t b)
+{
+    switch (static_cast<ValType>(b)) {
+      case ValType::I32:
+      case ValType::I64:
+      case ValType::F32:
+      case ValType::F64:
+      case ValType::FuncRef:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** A function signature: parameter and result types. */
+struct FuncType
+{
+    std::vector<ValType> params;
+    std::vector<ValType> results;
+
+    bool operator==(const FuncType& o) const = default;
+
+    /** Renders the signature as "[i32 i32] -> [f64]". */
+    std::string toString() const;
+};
+
+/** Limits for memories and tables. */
+struct Limits
+{
+    uint32_t min = 0;
+    uint32_t max = 0;
+    bool hasMax = false;
+
+    bool operator==(const Limits& o) const = default;
+};
+
+/** Import/export kinds, with the binary-format encodings. */
+enum class ExternKind : uint8_t {
+    Func = 0,
+    Table = 1,
+    Memory = 2,
+    Global = 3,
+};
+
+const char* externKindName(ExternKind k);
+
+/** Number of bytes in one Wasm linear-memory page. */
+constexpr uint32_t kPageSize = 65536;
+
+/** Hard cap on pages we will allocate (1 GiB) to bound test memory. */
+constexpr uint32_t kMaxPages = 16384;
+
+} // namespace wizpp
+
+#endif // WIZPP_WASM_TYPES_H

@@ -1,0 +1,723 @@
+#include "wasm/validator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+/** Value-stack entry: a concrete type or the polymorphic Unknown. */
+enum class VT : uint8_t { I32, I64, F32, F64, FuncRef, Unknown };
+
+VT
+fromValType(ValType t)
+{
+    switch (t) {
+      case ValType::I32: return VT::I32;
+      case ValType::I64: return VT::I64;
+      case ValType::F32: return VT::F32;
+      case ValType::F64: return VT::F64;
+      case ValType::FuncRef: return VT::FuncRef;
+      default: return VT::Unknown;
+    }
+}
+
+const char*
+vtName(VT t)
+{
+    switch (t) {
+      case VT::I32: return "i32";
+      case VT::I64: return "i64";
+      case VT::F32: return "f32";
+      case VT::F64: return "f64";
+      case VT::FuncRef: return "funcref";
+      case VT::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+/** A control frame on the validator's control stack. */
+struct Ctrl
+{
+    uint8_t opcode;          ///< OP_BLOCK/OP_LOOP/OP_IF/OP_ELSE, or 0=func
+    ValType resultType;      ///< Void or a single result
+    uint32_t height;         ///< value-stack height at entry
+    bool unreachable = false;
+    uint32_t loopTargetPc = 0;  ///< branch target for loops
+    uint32_t ifPc = 0;          ///< pc of `if`, for the false-edge fixup
+    bool sawElse = false;
+    /** Branch sites whose target is this frame's `end` (pc, br_table slot
+     *  or -1 for scalar branch sites). */
+    std::vector<std::pair<uint32_t, int>> endFixups;
+};
+
+class FuncValidator
+{
+  public:
+    FuncValidator(const Module& m, const FuncDecl& f)
+        : _m(m), _f(f), _sig(m.types[f.typeIndex])
+    {
+        for (ValType t : _sig.params) _locals.push_back(t);
+        for (ValType t : f.locals) _locals.push_back(t);
+    }
+
+    Result<SideTable>
+    run()
+    {
+        const auto& code = _f.code;
+        // Function-level implicit block.
+        Ctrl func{};
+        func.opcode = 0;
+        func.resultType = _sig.results.empty() ? ValType::Void
+                                               : _sig.results[0];
+        func.height = 0;
+        _ctrls.push_back(func);
+
+        size_t pc = 0;
+        while (pc < code.size() && !_failed) {
+            _table.instrBoundaries.push_back(static_cast<uint32_t>(pc));
+            InstrView v;
+            if (!decodeInstr(code, pc, &v)) {
+                fail(pc, "malformed instruction");
+                break;
+            }
+            check(pc, v);
+            pc += v.length;
+        }
+        if (_failed) return _error;
+        if (!_ctrls.empty()) {
+            return Error{"unterminated control structure", code.size()};
+        }
+        if (pc != code.size()) {
+            return Error{"trailing bytes after final end", pc};
+        }
+        return std::move(_table);
+    }
+
+  private:
+    void
+    fail(size_t pc, const std::string& msg)
+    {
+        if (!_failed) {
+            _failed = true;
+            _error = {"func #" + std::to_string(_f.index) + ": " + msg, pc};
+        }
+    }
+
+    Ctrl& top() { return _ctrls.back(); }
+
+    uint32_t height() const { return static_cast<uint32_t>(_vals.size()); }
+
+    void
+    push(VT t)
+    {
+        _vals.push_back(t);
+        if (_vals.size() > _table.maxOperandHeight) {
+            _table.maxOperandHeight = static_cast<uint32_t>(_vals.size());
+        }
+    }
+    void push(ValType t) { push(fromValType(t)); }
+
+    VT
+    pop(size_t pc)
+    {
+        if (_ctrls.empty()) return VT::Unknown;
+        Ctrl& c = top();
+        if (height() == c.height) {
+            if (c.unreachable) return VT::Unknown;
+            fail(pc, "value stack underflow");
+            return VT::Unknown;
+        }
+        VT t = _vals.back();
+        _vals.pop_back();
+        return t;
+    }
+
+    VT
+    popExpect(size_t pc, VT expect)
+    {
+        VT got = pop(pc);
+        if (got != expect && got != VT::Unknown && expect != VT::Unknown) {
+            fail(pc, std::string("type mismatch: expected ") +
+                     vtName(expect) + ", got " + vtName(got));
+        }
+        return got == VT::Unknown ? expect : got;
+    }
+
+    void popExpect(size_t pc, ValType t) { popExpect(pc, fromValType(t)); }
+
+    void
+    setUnreachable()
+    {
+        Ctrl& c = top();
+        _vals.resize(c.height);
+        c.unreachable = true;
+    }
+
+    /** Arity (0 or 1) carried by a branch to control frame @p c. */
+    uint32_t
+    labelArity(const Ctrl& c) const
+    {
+        if (c.opcode == OP_LOOP) return 0;  // loop labels target the header
+        return c.resultType == ValType::Void ? 0 : 1;
+    }
+
+    ValType
+    labelType(const Ctrl& c) const
+    {
+        if (c.opcode == OP_LOOP) return ValType::Void;
+        return c.resultType;
+    }
+
+    /** Registers a branch at @p pc targeting label depth @p depth. */
+    void
+    recordBranch(size_t pc, uint32_t depth, int tableSlot)
+    {
+        if (depth >= _ctrls.size()) {
+            fail(pc, "branch label out of range");
+            return;
+        }
+        Ctrl& c = _ctrls[_ctrls.size() - 1 - depth];
+        uint32_t arity = labelArity(c);
+        uint32_t popTo = std::min(c.height, height() >= arity
+                                                ? height() - arity
+                                                : c.height);
+        if (c.opcode == OP_LOOP) {
+            addEntry(pc, tableSlot,
+                     {c.loopTargetPc, arity, std::min(c.height, popTo)});
+        } else {
+            // Target pc is unknown until this frame's `end`; fix up later,
+            // but record stack adjustment now.
+            addEntry(pc, tableSlot, {0, arity, std::min(c.height, popTo)});
+            c.endFixups.push_back({static_cast<uint32_t>(pc), tableSlot});
+        }
+        // Type-check the carried values (without consuming them).
+        if (arity == 1 && !top().unreachable) {
+            if (height() == 0 ||
+                (height() > 0 && _vals.back() != VT::Unknown &&
+                 _vals.back() != fromValType(labelType(c)))) {
+                fail(pc, "branch value type mismatch");
+            }
+        }
+    }
+
+    void
+    addEntry(size_t pc, int tableSlot, SideTableEntry e)
+    {
+        if (tableSlot < 0) {
+            _table.branches[static_cast<uint32_t>(pc)] = e;
+        } else {
+            auto& vec = _table.brTables[static_cast<uint32_t>(pc)];
+            if (vec.size() <= static_cast<size_t>(tableSlot)) {
+                vec.resize(tableSlot + 1);
+            }
+            vec[tableSlot] = e;
+        }
+    }
+
+    void
+    patchEntry(uint32_t pc, int tableSlot, uint32_t targetPc)
+    {
+        if (tableSlot < 0) {
+            _table.branches[pc].targetPc = targetPc;
+        } else {
+            _table.brTables[pc][tableSlot].targetPc = targetPc;
+        }
+    }
+
+    void
+    checkMemory(size_t pc)
+    {
+        if (_m.memories.empty()) fail(pc, "no memory declared");
+    }
+
+    void
+    checkAlign(size_t pc, uint32_t align, uint32_t naturalLog2)
+    {
+        if (align > naturalLog2) fail(pc, "alignment too large");
+    }
+
+    void check(size_t pc, const InstrView& v);
+
+    const Module& _m;
+    const FuncDecl& _f;
+    const FuncType& _sig;
+    std::vector<ValType> _locals;
+    std::vector<VT> _vals;
+    std::vector<Ctrl> _ctrls;
+    SideTable _table;
+    bool _failed = false;
+    Error _error;
+};
+
+void
+FuncValidator::check(size_t pc, const InstrView& v)
+{
+    const auto& code = _f.code;
+    switch (v.opcode) {
+      case OP_UNREACHABLE:
+        setUnreachable();
+        break;
+      case OP_NOP:
+        break;
+
+      case OP_BLOCK:
+      case OP_LOOP:
+      case OP_IF: {
+        ValType bt = static_cast<ValType>(v.index);
+        if (v.opcode == OP_IF) popExpect(pc, VT::I32);
+        Ctrl c{};
+        c.opcode = v.opcode;
+        c.resultType = bt;
+        c.height = height();
+        if (v.opcode == OP_LOOP) {
+            c.loopTargetPc = static_cast<uint32_t>(pc + v.length);
+            _table.loopHeaders.push_back(c.loopTargetPc);
+        }
+        if (v.opcode == OP_IF) {
+            c.ifPc = static_cast<uint32_t>(pc);
+            // False edge: target patched at `else` or `end`.
+            addEntry(pc, -1, {0, 0, c.height});
+        }
+        _ctrls.push_back(c);
+        break;
+      }
+
+      case OP_ELSE: {
+        if (_ctrls.size() < 2 || top().opcode != OP_IF) {
+            fail(pc, "else without if");
+            break;
+        }
+        Ctrl& c = top();
+        // Check then-branch produced the result.
+        if (!c.unreachable) {
+            if (c.resultType != ValType::Void) {
+                popExpect(pc, c.resultType);
+            }
+            if (height() != c.height) {
+                fail(pc, "unbalanced then-branch");
+            }
+        }
+        // Runtime: falling into `else` from the then-branch jumps to end.
+        addEntry(pc, -1, {0, labelArity(c), c.height});
+        c.endFixups.push_back({static_cast<uint32_t>(pc), -1});
+        // Patch the if's false edge to the instruction after `else`.
+        patchEntry(c.ifPc, -1, static_cast<uint32_t>(pc + v.length));
+        c.sawElse = true;
+        c.unreachable = false;
+        _vals.resize(c.height);
+        c.opcode = OP_ELSE;
+        break;
+      }
+
+      case OP_END: {
+        if (_ctrls.empty()) {
+            fail(pc, "end without block");
+            break;
+        }
+        Ctrl c = top();
+        if (!c.unreachable) {
+            if (c.resultType != ValType::Void) {
+                popExpect(pc, c.resultType);
+            }
+            if (height() != c.height) {
+                fail(pc, "unbalanced block at end");
+            }
+        }
+        // An `if` with a result type but no else is invalid.
+        if (c.opcode == OP_IF && c.resultType != ValType::Void) {
+            fail(pc, "if with result type requires else");
+        }
+        // Patch a bare if's false edge to just after `end`.
+        if (c.opcode == OP_IF) {
+            patchEntry(c.ifPc, -1, static_cast<uint32_t>(pc + v.length));
+        }
+        // Patch all branches targeting this frame's end.
+        uint32_t target = (_ctrls.size() == 1)
+                              ? static_cast<uint32_t>(pc)  // function end
+                              : static_cast<uint32_t>(pc + v.length);
+        for (auto [bpc, slot] : c.endFixups) {
+            patchEntry(bpc, slot, target);
+        }
+        _ctrls.pop_back();
+        _vals.resize(c.height);
+        if (c.resultType != ValType::Void) push(c.resultType);
+        if (_ctrls.empty()) {
+            // Function end: result already checked above against the
+            // implicit frame's result type.
+            if (pc + v.length != code.size()) {
+                fail(pc, "code after function end");
+            }
+        }
+        break;
+      }
+
+      case OP_BR: {
+        recordBranch(pc, v.index, -1);
+        setUnreachable();
+        break;
+      }
+      case OP_BR_IF: {
+        popExpect(pc, VT::I32);
+        recordBranch(pc, v.index, -1);
+        break;
+      }
+      case OP_BR_TABLE: {
+        popExpect(pc, VT::I32);
+        for (size_t i = 0; i < v.brTable.size(); i++) {
+            recordBranch(pc, v.brTable[i], static_cast<int>(i));
+        }
+        setUnreachable();
+        break;
+      }
+      case OP_RETURN: {
+        if (!_sig.results.empty()) popExpect(pc, _sig.results[0]);
+        setUnreachable();
+        break;
+      }
+
+      case OP_CALL: {
+        if (v.index >= _m.functions.size()) {
+            fail(pc, "call to undefined function");
+            break;
+        }
+        const FuncType& ft = _m.funcType(v.index);
+        for (auto it = ft.params.rbegin(); it != ft.params.rend(); ++it) {
+            popExpect(pc, *it);
+        }
+        for (ValType t : ft.results) push(t);
+        break;
+      }
+      case OP_CALL_INDIRECT: {
+        if (_m.tables.empty()) {
+            fail(pc, "call_indirect without table");
+            break;
+        }
+        if (v.index >= _m.types.size()) {
+            fail(pc, "call_indirect type out of range");
+            break;
+        }
+        popExpect(pc, VT::I32);
+        const FuncType& ft = _m.types[v.index];
+        for (auto it = ft.params.rbegin(); it != ft.params.rend(); ++it) {
+            popExpect(pc, *it);
+        }
+        for (ValType t : ft.results) push(t);
+        break;
+      }
+
+      case OP_DROP:
+        pop(pc);
+        break;
+      case OP_SELECT: {
+        popExpect(pc, VT::I32);
+        VT a = pop(pc);
+        VT b = pop(pc);
+        if (a != b && a != VT::Unknown && b != VT::Unknown) {
+            fail(pc, "select operand types differ");
+        }
+        push(a == VT::Unknown ? b : a);
+        break;
+      }
+
+      case OP_LOCAL_GET:
+        if (v.index >= _locals.size()) {
+            fail(pc, "local index out of range");
+            break;
+        }
+        push(_locals[v.index]);
+        break;
+      case OP_LOCAL_SET:
+        if (v.index >= _locals.size()) {
+            fail(pc, "local index out of range");
+            break;
+        }
+        popExpect(pc, _locals[v.index]);
+        break;
+      case OP_LOCAL_TEE:
+        if (v.index >= _locals.size()) {
+            fail(pc, "local index out of range");
+            break;
+        }
+        popExpect(pc, _locals[v.index]);
+        push(_locals[v.index]);
+        break;
+      case OP_GLOBAL_GET:
+        if (v.index >= _m.globals.size()) {
+            fail(pc, "global index out of range");
+            break;
+        }
+        push(_m.globals[v.index].type);
+        break;
+      case OP_GLOBAL_SET:
+        if (v.index >= _m.globals.size()) {
+            fail(pc, "global index out of range");
+            break;
+        }
+        if (!_m.globals[v.index].mut) fail(pc, "global is immutable");
+        popExpect(pc, _m.globals[v.index].type);
+        break;
+
+      case OP_I32_CONST: push(VT::I32); break;
+      case OP_I64_CONST: push(VT::I64); break;
+      case OP_F32_CONST: push(VT::F32); break;
+      case OP_F64_CONST: push(VT::F64); break;
+
+      case OP_MEMORY_SIZE:
+        checkMemory(pc);
+        push(VT::I32);
+        break;
+      case OP_MEMORY_GROW:
+        checkMemory(pc);
+        popExpect(pc, VT::I32);
+        push(VT::I32);
+        break;
+
+      case OP_PREFIX_FC: {
+        switch (v.prefixOp) {
+          case FC_I32_TRUNC_SAT_F32_S:
+          case FC_I32_TRUNC_SAT_F32_U:
+            popExpect(pc, VT::F32);
+            push(VT::I32);
+            break;
+          case FC_I32_TRUNC_SAT_F64_S:
+          case FC_I32_TRUNC_SAT_F64_U:
+            popExpect(pc, VT::F64);
+            push(VT::I32);
+            break;
+          case FC_I64_TRUNC_SAT_F32_S:
+          case FC_I64_TRUNC_SAT_F32_U:
+            popExpect(pc, VT::F32);
+            push(VT::I64);
+            break;
+          case FC_I64_TRUNC_SAT_F64_S:
+          case FC_I64_TRUNC_SAT_F64_U:
+            popExpect(pc, VT::F64);
+            push(VT::I64);
+            break;
+          case FC_MEMORY_FILL:
+          case FC_MEMORY_COPY:
+            checkMemory(pc);
+            popExpect(pc, VT::I32);
+            popExpect(pc, VT::I32);
+            popExpect(pc, VT::I32);
+            break;
+          default:
+            fail(pc, "unsupported 0xfc opcode");
+        }
+        break;
+      }
+
+      default: {
+        uint8_t op = v.opcode;
+        // Memory accesses.
+        if (isLoadOpcode(op) || isStoreOpcode(op)) {
+            checkMemory(pc);
+            static const struct { uint8_t op; VT type; uint32_t logSize; }
+            memOps[] = {
+                {OP_I32_LOAD, VT::I32, 2},    {OP_I64_LOAD, VT::I64, 3},
+                {OP_F32_LOAD, VT::F32, 2},    {OP_F64_LOAD, VT::F64, 3},
+                {OP_I32_LOAD8_S, VT::I32, 0}, {OP_I32_LOAD8_U, VT::I32, 0},
+                {OP_I32_LOAD16_S, VT::I32, 1},{OP_I32_LOAD16_U, VT::I32, 1},
+                {OP_I64_LOAD8_S, VT::I64, 0}, {OP_I64_LOAD8_U, VT::I64, 0},
+                {OP_I64_LOAD16_S, VT::I64, 1},{OP_I64_LOAD16_U, VT::I64, 1},
+                {OP_I64_LOAD32_S, VT::I64, 2},{OP_I64_LOAD32_U, VT::I64, 2},
+                {OP_I32_STORE, VT::I32, 2},   {OP_I64_STORE, VT::I64, 3},
+                {OP_F32_STORE, VT::F32, 2},   {OP_F64_STORE, VT::F64, 3},
+                {OP_I32_STORE8, VT::I32, 0},  {OP_I32_STORE16, VT::I32, 1},
+                {OP_I64_STORE8, VT::I64, 0},  {OP_I64_STORE16, VT::I64, 1},
+                {OP_I64_STORE32, VT::I64, 2},
+            };
+            for (const auto& mo : memOps) {
+                if (mo.op != op) continue;
+                checkAlign(pc, v.align, mo.logSize);
+                if (isStoreOpcode(op)) {
+                    popExpect(pc, mo.type);
+                    popExpect(pc, VT::I32);
+                } else {
+                    popExpect(pc, VT::I32);
+                    push(mo.type);
+                }
+                return;
+            }
+            fail(pc, "unhandled memory opcode");
+            return;
+        }
+        // Numeric operations, grouped by opcode range.
+        auto unop = [&](VT t) { popExpect(pc, t); push(t); };
+        auto binop = [&](VT t) { popExpect(pc, t); popExpect(pc, t);
+                                 push(t); };
+        auto relop = [&](VT t) { popExpect(pc, t); popExpect(pc, t);
+                                 push(VT::I32); };
+        auto cvt = [&](VT from, VT to) { popExpect(pc, from); push(to); };
+
+        if (op == OP_I32_EQZ) { popExpect(pc, VT::I32); push(VT::I32); }
+        else if (op >= OP_I32_EQ && op <= OP_I32_GE_U) relop(VT::I32);
+        else if (op == OP_I64_EQZ) { popExpect(pc, VT::I64); push(VT::I32); }
+        else if (op >= OP_I64_EQ && op <= OP_I64_GE_U) relop(VT::I64);
+        else if (op >= OP_F32_EQ && op <= OP_F32_GE) relop(VT::F32);
+        else if (op >= OP_F64_EQ && op <= OP_F64_GE) relop(VT::F64);
+        else if (op >= OP_I32_CLZ && op <= OP_I32_POPCNT) unop(VT::I32);
+        else if (op >= OP_I32_ADD && op <= OP_I32_ROTR) binop(VT::I32);
+        else if (op >= OP_I64_CLZ && op <= OP_I64_POPCNT) unop(VT::I64);
+        else if (op >= OP_I64_ADD && op <= OP_I64_ROTR) binop(VT::I64);
+        else if (op >= OP_F32_ABS && op <= OP_F32_SQRT) unop(VT::F32);
+        else if (op >= OP_F32_ADD && op <= OP_F32_COPYSIGN) binop(VT::F32);
+        else if (op >= OP_F64_ABS && op <= OP_F64_SQRT) unop(VT::F64);
+        else if (op >= OP_F64_ADD && op <= OP_F64_COPYSIGN) binop(VT::F64);
+        else if (op == OP_I32_WRAP_I64) cvt(VT::I64, VT::I32);
+        else if (op == OP_I32_TRUNC_F32_S || op == OP_I32_TRUNC_F32_U)
+            cvt(VT::F32, VT::I32);
+        else if (op == OP_I32_TRUNC_F64_S || op == OP_I32_TRUNC_F64_U)
+            cvt(VT::F64, VT::I32);
+        else if (op == OP_I64_EXTEND_I32_S || op == OP_I64_EXTEND_I32_U)
+            cvt(VT::I32, VT::I64);
+        else if (op == OP_I64_TRUNC_F32_S || op == OP_I64_TRUNC_F32_U)
+            cvt(VT::F32, VT::I64);
+        else if (op == OP_I64_TRUNC_F64_S || op == OP_I64_TRUNC_F64_U)
+            cvt(VT::F64, VT::I64);
+        else if (op == OP_F32_CONVERT_I32_S || op == OP_F32_CONVERT_I32_U)
+            cvt(VT::I32, VT::F32);
+        else if (op == OP_F32_CONVERT_I64_S || op == OP_F32_CONVERT_I64_U)
+            cvt(VT::I64, VT::F32);
+        else if (op == OP_F32_DEMOTE_F64) cvt(VT::F64, VT::F32);
+        else if (op == OP_F64_CONVERT_I32_S || op == OP_F64_CONVERT_I32_U)
+            cvt(VT::I32, VT::F64);
+        else if (op == OP_F64_CONVERT_I64_S || op == OP_F64_CONVERT_I64_U)
+            cvt(VT::I64, VT::F64);
+        else if (op == OP_F64_PROMOTE_F32) cvt(VT::F32, VT::F64);
+        else if (op == OP_I32_REINTERPRET_F32) cvt(VT::F32, VT::I32);
+        else if (op == OP_I64_REINTERPRET_F64) cvt(VT::F64, VT::I64);
+        else if (op == OP_F32_REINTERPRET_I32) cvt(VT::I32, VT::F32);
+        else if (op == OP_F64_REINTERPRET_I64) cvt(VT::I64, VT::F64);
+        else if (op == OP_I32_EXTEND8_S || op == OP_I32_EXTEND16_S)
+            unop(VT::I32);
+        else if (op >= OP_I64_EXTEND8_S && op <= OP_I64_EXTEND32_S)
+            unop(VT::I64);
+        else fail(pc, std::string("illegal opcode ") + opcodeName(op));
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Result<SideTable>
+validateFunction(const Module& m, uint32_t funcIndex)
+{
+    if (funcIndex >= m.functions.size()) {
+        return Error{"function index out of range", 0};
+    }
+    const FuncDecl& f = m.functions[funcIndex];
+    if (f.imported) return SideTable{};
+    if (f.typeIndex >= m.types.size()) {
+        return Error{"function type index out of range", 0};
+    }
+    if (!m.types[f.typeIndex].results.empty() &&
+        m.types[f.typeIndex].results.size() > 1) {
+        return Error{"multi-value results not supported", 0};
+    }
+    FuncValidator fv(m, f);
+    return fv.run();
+}
+
+Result<ValidationInfo>
+validateModule(const Module& m)
+{
+    ValidationInfo info;
+
+    if (m.memories.size() > 1) return Error{"at most one memory", 0};
+    if (m.tables.size() > 1) return Error{"at most one table", 0};
+
+    for (const auto& f : m.functions) {
+        if (f.typeIndex >= m.types.size()) {
+            return Error{"function type index out of range", f.index};
+        }
+    }
+    for (const auto& g : m.globals) {
+        if (g.imported) continue;
+        switch (g.init.kind) {
+          case InitExpr::Kind::I32Const:
+            if (g.type != ValType::I32) {
+                return Error{"global init type mismatch", 0};
+            }
+            break;
+          case InitExpr::Kind::I64Const:
+            if (g.type != ValType::I64) {
+                return Error{"global init type mismatch", 0};
+            }
+            break;
+          case InitExpr::Kind::F32Const:
+            if (g.type != ValType::F32) {
+                return Error{"global init type mismatch", 0};
+            }
+            break;
+          case InitExpr::Kind::F64Const:
+            if (g.type != ValType::F64) {
+                return Error{"global init type mismatch", 0};
+            }
+            break;
+          case InitExpr::Kind::GlobalGet:
+            if (g.init.index >= m.globals.size() ||
+                !m.globals[g.init.index].imported) {
+                return Error{"global init references invalid global", 0};
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    for (const auto& e : m.exports) {
+        size_t limit = 0;
+        switch (e.kind) {
+          case ExternKind::Func: limit = m.functions.size(); break;
+          case ExternKind::Table: limit = m.tables.size(); break;
+          case ExternKind::Memory: limit = m.memories.size(); break;
+          case ExternKind::Global: limit = m.globals.size(); break;
+        }
+        if (e.index >= limit) return Error{"export index out of range", 0};
+    }
+    if (m.start) {
+        if (*m.start >= m.functions.size()) {
+            return Error{"start function out of range", 0};
+        }
+        const FuncType& ft = m.funcType(*m.start);
+        if (!ft.params.empty() || !ft.results.empty()) {
+            return Error{"start function must be [] -> []", 0};
+        }
+    }
+    for (const auto& seg : m.elems) {
+        if (seg.tableIndex >= m.tables.size()) {
+            return Error{"element segment table out of range", 0};
+        }
+        for (uint32_t idx : seg.funcIndices) {
+            if (idx >= m.functions.size()) {
+                return Error{"element segment function out of range", 0};
+            }
+        }
+    }
+    for (const auto& seg : m.datas) {
+        if (seg.memIndex >= m.memories.size()) {
+            return Error{"data segment memory out of range", 0};
+        }
+    }
+
+    for (const auto& f : m.functions) {
+        if (f.imported) {
+            info.sideTables.emplace_back();
+            info.maxOperandStack.push_back(0);
+            continue;
+        }
+        auto r = validateFunction(m, f.index);
+        if (!r.ok()) return r.error();
+        info.maxOperandStack.push_back(r.value().maxOperandHeight);
+        info.sideTables.push_back(r.take());
+    }
+    return info;
+}
+
+} // namespace wizpp

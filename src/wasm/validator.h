@@ -1,0 +1,39 @@
+/**
+ * @file
+ * WebAssembly module validator.
+ *
+ * Implements the standard stack-polymorphic function-body validation
+ * algorithm from the core spec, and simultaneously constructs each
+ * function's control-flow side table (see sidetable.h).
+ */
+
+#ifndef WIZPP_WASM_VALIDATOR_H
+#define WIZPP_WASM_VALIDATOR_H
+
+#include <vector>
+
+#include "support/result.h"
+#include "wasm/module.h"
+#include "wasm/sidetable.h"
+
+namespace wizpp {
+
+/** Validation output: one side table per function (empty for imports). */
+struct ValidationInfo
+{
+    std::vector<SideTable> sideTables;
+    std::vector<uint32_t> maxOperandStack;  ///< per-function max height
+};
+
+/**
+ * Validates all of @p m: section cross-references, types, and every
+ * function body. Returns side tables on success.
+ */
+Result<ValidationInfo> validateModule(const Module& m);
+
+/** Validates a single function body; exposed for targeted tests. */
+Result<SideTable> validateFunction(const Module& m, uint32_t funcIndex);
+
+} // namespace wizpp
+
+#endif // WIZPP_WASM_VALIDATOR_H

@@ -1,0 +1,1261 @@
+#include "wat/wat.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/leb128.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// S-expression representation
+// ---------------------------------------------------------------------
+
+struct Sexpr
+{
+    bool isList = false;
+    std::string atom;                 ///< valid when !isList
+    std::vector<Sexpr> items;         ///< valid when isList
+    size_t offset = 0;                ///< source offset for errors
+
+    bool isAtom() const { return !isList; }
+    bool
+    headIs(const char* s) const
+    {
+        return isList && !items.empty() && items[0].isAtom() &&
+               items[0].atom == s;
+    }
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string& src) : _src(src) {}
+
+    bool failed() const { return _failed; }
+    const Error& error() const { return _error; }
+
+    /** Parses the whole input as one (module ...) expression. */
+    std::optional<Sexpr>
+    parseTop()
+    {
+        skipSpace();
+        auto e = parseExpr();
+        if (!e) return std::nullopt;
+        skipSpace();
+        if (_pos != _src.size()) {
+            fail("trailing input after module");
+            return std::nullopt;
+        }
+        return e;
+    }
+
+  private:
+    void
+    fail(const std::string& msg)
+    {
+        if (!_failed) {
+            _failed = true;
+            _error = {msg, _pos};
+        }
+    }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _src.size()) {
+            char c = _src[_pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                _pos++;
+            } else if (c == ';' && _pos + 1 < _src.size() &&
+                       _src[_pos + 1] == ';') {
+                while (_pos < _src.size() && _src[_pos] != '\n') _pos++;
+            } else if (c == '(' && _pos + 1 < _src.size() &&
+                       _src[_pos + 1] == ';') {
+                int depth = 1;
+                _pos += 2;
+                while (_pos + 1 < _src.size() && depth > 0) {
+                    if (_src[_pos] == '(' && _src[_pos + 1] == ';') {
+                        depth++;
+                        _pos += 2;
+                    } else if (_src[_pos] == ';' && _src[_pos + 1] == ')') {
+                        depth--;
+                        _pos += 2;
+                    } else {
+                        _pos++;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    std::optional<Sexpr>
+    parseExpr()
+    {
+        skipSpace();
+        if (_pos >= _src.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        size_t start = _pos;
+        char c = _src[_pos];
+        if (c == '(') {
+            _pos++;
+            Sexpr list;
+            list.isList = true;
+            list.offset = start;
+            while (true) {
+                skipSpace();
+                if (_pos >= _src.size()) {
+                    fail("unterminated list");
+                    return std::nullopt;
+                }
+                if (_src[_pos] == ')') {
+                    _pos++;
+                    return list;
+                }
+                auto child = parseExpr();
+                if (!child) return std::nullopt;
+                list.items.push_back(std::move(*child));
+            }
+        }
+        if (c == ')') {
+            fail("unexpected ')'");
+            return std::nullopt;
+        }
+        if (c == '"') {
+            // Keep the quotes so the parser can tell strings from atoms.
+            _pos++;
+            std::string s = "\"";
+            while (_pos < _src.size() && _src[_pos] != '"') {
+                if (_src[_pos] == '\\' && _pos + 1 < _src.size()) {
+                    s += _src[_pos++];
+                }
+                s += _src[_pos++];
+            }
+            if (_pos >= _src.size()) {
+                fail("unterminated string");
+                return std::nullopt;
+            }
+            _pos++;  // closing quote
+            s += '"';
+            Sexpr a;
+            a.atom = std::move(s);
+            a.offset = start;
+            return a;
+        }
+        // Plain atom.
+        std::string s;
+        while (_pos < _src.size()) {
+            char d = _src[_pos];
+            if (d == ' ' || d == '\t' || d == '\n' || d == '\r' ||
+                d == '(' || d == ')' || d == ';' || d == '"') {
+                break;
+            }
+            s += d;
+            _pos++;
+        }
+        if (s.empty()) {
+            fail("empty atom");
+            return std::nullopt;
+        }
+        Sexpr a;
+        a.atom = std::move(s);
+        a.offset = start;
+        return a;
+    }
+
+    const std::string& _src;
+    size_t _pos = 0;
+    bool _failed = false;
+    Error _error;
+};
+
+/** Decodes a quoted WAT string literal into raw bytes. */
+std::vector<uint8_t>
+decodeString(const std::string& quoted)
+{
+    std::vector<uint8_t> out;
+    // quoted includes surrounding quotes
+    for (size_t i = 1; i + 1 < quoted.size(); i++) {
+        char c = quoted[i];
+        if (c != '\\') {
+            out.push_back(static_cast<uint8_t>(c));
+            continue;
+        }
+        char e = quoted[++i];
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case '\\': out.push_back('\\'); break;
+          case '"': out.push_back('"'); break;
+          case '\'': out.push_back('\''); break;
+          default: {
+            // \hh hex escape
+            auto hex = [](char h) -> int {
+                if (h >= '0' && h <= '9') return h - '0';
+                if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+                if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+                return -1;
+            };
+            int hi = hex(e);
+            int lo = (i + 1 < quoted.size()) ? hex(quoted[i + 1]) : -1;
+            if (hi >= 0 && lo >= 0) {
+                out.push_back(static_cast<uint8_t>(hi * 16 + lo));
+                i++;
+            }
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class WatParser
+{
+  public:
+    Result<Module>
+    parse(const Sexpr& top)
+    {
+        if (!top.headIs("module")) {
+            return Error{"expected (module ...)", top.offset};
+        }
+        // Pass 1: register all names and fixed index spaces.
+        for (size_t i = 1; i < top.items.size(); i++) {
+            if (!scanField(top.items[i])) return _error;
+        }
+        // Pass 2: parse contents (bodies, inits, exports).
+        for (size_t i = 1; i < top.items.size(); i++) {
+            if (!parseField(top.items[i])) return _error;
+        }
+        return std::move(_m);
+    }
+
+  private:
+    bool
+    fail(const Sexpr& at, const std::string& msg)
+    {
+        _error = {msg, at.offset};
+        return false;
+    }
+
+    static bool isName(const Sexpr& e)
+    {
+        return e.isAtom() && !e.atom.empty() && e.atom[0] == '$';
+    }
+    static bool isString(const Sexpr& e)
+    {
+        return e.isAtom() && !e.atom.empty() && e.atom[0] == '"';
+    }
+
+    static std::optional<ValType>
+    valType(const Sexpr& e)
+    {
+        if (!e.isAtom()) return std::nullopt;
+        if (e.atom == "i32") return ValType::I32;
+        if (e.atom == "i64") return ValType::I64;
+        if (e.atom == "f32") return ValType::F32;
+        if (e.atom == "f64") return ValType::F64;
+        if (e.atom == "funcref") return ValType::FuncRef;
+        return std::nullopt;
+    }
+
+    /** Parses an integer atom (decimal/hex, optional sign, '_' allowed). */
+    static std::optional<uint64_t>
+    parseIntAtom(const std::string& s0, bool* negative)
+    {
+        std::string s;
+        for (char c : s0) {
+            if (c != '_') s += c;
+        }
+        *negative = false;
+        size_t i = 0;
+        if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+            *negative = s[i] == '-';
+            i++;
+        }
+        if (i >= s.size()) return std::nullopt;
+        uint64_t v = 0;
+        if (s.size() - i > 2 && s[i] == '0' &&
+            (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+            for (size_t j = i + 2; j < s.size(); j++) {
+                char c = s[j];
+                int d;
+                if (c >= '0' && c <= '9') d = c - '0';
+                else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+                else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+                else return std::nullopt;
+                v = v * 16 + static_cast<uint64_t>(d);
+            }
+        } else {
+            for (size_t j = i; j < s.size(); j++) {
+                char c = s[j];
+                if (c < '0' || c > '9') return std::nullopt;
+                v = v * 10 + static_cast<uint64_t>(c - '0');
+            }
+        }
+        return v;
+    }
+
+    // ---- Pass 1: name registration ----
+
+    bool
+    scanField(const Sexpr& f)
+    {
+        if (!f.isList || f.items.empty() || !f.items[0].isAtom()) {
+            return fail(f, "expected module field");
+        }
+        const std::string& kind = f.items[0].atom;
+        if (kind == "type") {
+            size_t i = 1;
+            std::string name;
+            if (i < f.items.size() && isName(f.items[i])) {
+                name = f.items[i].atom;
+                i++;
+            }
+            if (i >= f.items.size() || !f.items[i].headIs("func")) {
+                return fail(f, "expected (func ...) in type");
+            }
+            FuncType ft;
+            if (!parseFuncSig(f.items[i], &ft, nullptr)) return false;
+            uint32_t idx = static_cast<uint32_t>(_m.types.size());
+            _m.types.push_back(std::move(ft));
+            if (!name.empty()) _typeNames[name] = idx;
+        } else if (kind == "import") {
+            // (import "m" "n" (func $f (param..) (result..)))
+            if (f.items.size() < 4 || !isString(f.items[1]) ||
+                !isString(f.items[2])) {
+                return fail(f, "malformed import");
+            }
+            const Sexpr& desc = f.items[3];
+            if (desc.headIs("func")) {
+                FuncDecl fd;
+                fd.imported = true;
+                fd.importModule = str(f.items[1]);
+                fd.importName = str(f.items[2]);
+                size_t i = 1;
+                if (i < desc.items.size() && isName(desc.items[i])) {
+                    _funcNames[desc.items[i].atom] =
+                        static_cast<uint32_t>(_m.functions.size());
+                    fd.name = desc.items[i].atom.substr(1);
+                    i++;
+                }
+                FuncType ft;
+                if (!parseFuncSigItems(desc, i, &ft, nullptr)) return false;
+                fd.typeIndex = _m.internType(ft);
+                fd.index = static_cast<uint32_t>(_m.functions.size());
+                if (_sawLocalFunc) {
+                    return fail(f, "imports must precede functions");
+                }
+                _m.functions.push_back(std::move(fd));
+            } else {
+                return fail(f, "only function imports supported");
+            }
+        } else if (kind == "func") {
+            _sawLocalFunc = true;
+            uint32_t idx = static_cast<uint32_t>(_m.functions.size());
+            FuncDecl fd;
+            fd.index = idx;
+            size_t i = 1;
+            if (i < f.items.size() && isName(f.items[i])) {
+                _funcNames[f.items[i].atom] = idx;
+                fd.name = f.items[i].atom.substr(1);
+            }
+            _m.functions.push_back(std::move(fd));
+        } else if (kind == "memory") {
+            size_t i = 1;
+            if (i < f.items.size() && isName(f.items[i])) i++;
+            // Inline export handled in pass 2.
+        } else if (kind == "global") {
+            size_t i = 1;
+            if (i < f.items.size() && isName(f.items[i])) {
+                _globalNames[f.items[i].atom] =
+                    static_cast<uint32_t>(_numGlobalsScanned);
+            }
+            _numGlobalsScanned++;
+        } else if (kind == "table") {
+            if (isName(f.items.size() > 1 ? f.items[1] : f.items[0])) {
+                // named table: ignore the name (single table)
+            }
+        }
+        return true;
+    }
+
+    // ---- Pass 2 ----
+
+    bool
+    parseField(const Sexpr& f)
+    {
+        const std::string& kind = f.items[0].atom;
+        if (kind == "func") return parseFunc(f);
+        if (kind == "memory") return parseMemory(f);
+        if (kind == "global") return parseGlobal(f);
+        if (kind == "table") return parseTable(f);
+        if (kind == "elem") return parseElem(f);
+        if (kind == "data") return parseData(f);
+        if (kind == "export") return parseExport(f);
+        if (kind == "start") return parseStart(f);
+        if (kind == "type" || kind == "import") return true;  // pass 1
+        return fail(f, "unknown module field: " + kind);
+    }
+
+    uint32_t
+    _numImports() const
+    {
+        uint32_t n = 0;
+        for (const auto& fd : _m.functions) {
+            if (fd.imported) n++;
+            else break;
+        }
+        return n;
+    }
+
+    static std::string
+    str(const Sexpr& e)
+    {
+        auto bytes = decodeString(e.atom);
+        return std::string(bytes.begin(), bytes.end());
+    }
+
+    /** Parses (func (param...) (result...)) signature lists. */
+    bool
+    parseFuncSig(const Sexpr& e, FuncType* ft,
+                 std::vector<std::string>* paramNames)
+    {
+        return parseFuncSigItems(e, 1, ft, paramNames);
+    }
+
+    bool
+    parseFuncSigItems(const Sexpr& e, size_t start, FuncType* ft,
+                      std::vector<std::string>* paramNames)
+    {
+        for (size_t i = start; i < e.items.size(); i++) {
+            const Sexpr& c = e.items[i];
+            if (c.headIs("param")) {
+                size_t j = 1;
+                if (j < c.items.size() && isName(c.items[j])) {
+                    auto t = valType(c.items[j + 1]);
+                    if (!t) return fail(c, "bad param type");
+                    if (paramNames) paramNames->push_back(c.items[j].atom);
+                    ft->params.push_back(*t);
+                } else {
+                    for (; j < c.items.size(); j++) {
+                        auto t = valType(c.items[j]);
+                        if (!t) return fail(c, "bad param type");
+                        if (paramNames) paramNames->push_back("");
+                        ft->params.push_back(*t);
+                    }
+                }
+            } else if (c.headIs("result")) {
+                for (size_t j = 1; j < c.items.size(); j++) {
+                    auto t = valType(c.items[j]);
+                    if (!t) return fail(c, "bad result type");
+                    ft->results.push_back(*t);
+                }
+            } else {
+                return fail(c, "unexpected item in signature");
+            }
+        }
+        return true;
+    }
+
+    bool
+    parseMemory(const Sexpr& f)
+    {
+        MemoryDecl md;
+        size_t i = 1;
+        if (i < f.items.size() && isName(f.items[i])) i++;
+        // Inline export.
+        while (i < f.items.size() && f.items[i].headIs("export")) {
+            ExportDecl e;
+            e.name = str(f.items[i].items[1]);
+            e.kind = ExternKind::Memory;
+            e.index = static_cast<uint32_t>(_m.memories.size());
+            _m.exports.push_back(e);
+            i++;
+        }
+        bool neg;
+        if (i >= f.items.size() || !f.items[i].isAtom()) {
+            return fail(f, "memory needs min pages");
+        }
+        auto mn = parseIntAtom(f.items[i].atom, &neg);
+        if (!mn) return fail(f, "bad memory min");
+        md.limits.min = static_cast<uint32_t>(*mn);
+        i++;
+        if (i < f.items.size() && f.items[i].isAtom()) {
+            auto mx = parseIntAtom(f.items[i].atom, &neg);
+            if (mx) {
+                md.limits.hasMax = true;
+                md.limits.max = static_cast<uint32_t>(*mx);
+            }
+        }
+        _m.memories.push_back(md);
+        return true;
+    }
+
+    bool
+    parseTable(const Sexpr& f)
+    {
+        TableDecl td;
+        size_t i = 1;
+        if (i < f.items.size() && isName(f.items[i])) i++;
+        bool neg;
+        if (i < f.items.size() && f.items[i].isAtom() &&
+            f.items[i].atom != "funcref") {
+            auto mn = parseIntAtom(f.items[i].atom, &neg);
+            if (!mn) return fail(f, "bad table min");
+            td.limits.min = static_cast<uint32_t>(*mn);
+            i++;
+            if (i < f.items.size() && f.items[i].isAtom() &&
+                f.items[i].atom != "funcref") {
+                auto mx = parseIntAtom(f.items[i].atom, &neg);
+                if (mx) {
+                    td.limits.hasMax = true;
+                    td.limits.max = static_cast<uint32_t>(*mx);
+                }
+                i++;
+            }
+        }
+        _m.tables.push_back(td);
+        return true;
+    }
+
+    bool
+    parseInitExpr(const Sexpr& e, InitExpr* out)
+    {
+        if (e.headIs("i32.const")) {
+            bool neg;
+            auto v = parseIntAtom(e.items[1].atom, &neg);
+            if (!v) return fail(e, "bad i32.const");
+            // Two's-complement negation on the unsigned value avoids
+            // signed-overflow UB for INT64_MIN.
+            int64_t sv = static_cast<int64_t>(neg ? ~*v + 1 : *v);
+            *out = InitExpr::i32(static_cast<int32_t>(sv));
+            return true;
+        }
+        if (e.headIs("i64.const")) {
+            bool neg;
+            auto v = parseIntAtom(e.items[1].atom, &neg);
+            if (!v) return fail(e, "bad i64.const");
+            // Two's-complement negation on the unsigned value avoids
+            // signed-overflow UB for INT64_MIN.
+            int64_t sv = static_cast<int64_t>(neg ? ~*v + 1 : *v);
+            *out = InitExpr::i64(sv);
+            return true;
+        }
+        if (e.headIs("f64.const")) {
+            double d = std::strtod(e.items[1].atom.c_str(), nullptr);
+            uint64_t bits;
+            std::memcpy(&bits, &d, 8);
+            *out = InitExpr{InitExpr::Kind::F64Const, bits, 0};
+            return true;
+        }
+        if (e.headIs("f32.const")) {
+            float d = std::strtof(e.items[1].atom.c_str(), nullptr);
+            uint32_t bits;
+            std::memcpy(&bits, &d, 4);
+            *out = InitExpr{InitExpr::Kind::F32Const, bits, 0};
+            return true;
+        }
+        if (e.headIs("global.get")) {
+            uint32_t idx;
+            if (!resolveGlobal(e.items[1], &idx)) return false;
+            *out = InitExpr{InitExpr::Kind::GlobalGet, 0, idx};
+            return true;
+        }
+        return fail(e, "unsupported init expr");
+    }
+
+    bool
+    parseGlobal(const Sexpr& f)
+    {
+        GlobalDecl g;
+        size_t i = 1;
+        if (i < f.items.size() && isName(f.items[i])) {
+            g.name = f.items[i].atom.substr(1);
+            i++;
+        }
+        while (i < f.items.size() && f.items[i].headIs("export")) {
+            ExportDecl e;
+            e.name = str(f.items[i].items[1]);
+            e.kind = ExternKind::Global;
+            e.index = static_cast<uint32_t>(_m.globals.size());
+            _m.exports.push_back(e);
+            i++;
+        }
+        if (i >= f.items.size()) return fail(f, "global needs a type");
+        const Sexpr& ty = f.items[i];
+        if (ty.headIs("mut")) {
+            g.mut = true;
+            auto t = valType(ty.items[1]);
+            if (!t) return fail(ty, "bad global type");
+            g.type = *t;
+        } else {
+            auto t = valType(ty);
+            if (!t) return fail(ty, "bad global type");
+            g.type = *t;
+        }
+        i++;
+        if (i >= f.items.size()) return fail(f, "global needs an init");
+        if (!parseInitExpr(f.items[i], &g.init)) return false;
+        _m.globals.push_back(std::move(g));
+        return true;
+    }
+
+    bool
+    parseElem(const Sexpr& f)
+    {
+        ElemSegment seg;
+        size_t i = 1;
+        if (i >= f.items.size() || !f.items[i].isList) {
+            return fail(f, "elem needs an offset expression");
+        }
+        if (!parseInitExpr(f.items[i], &seg.offset)) return false;
+        i++;
+        for (; i < f.items.size(); i++) {
+            uint32_t idx;
+            if (!resolveFunc(f.items[i], &idx)) return false;
+            seg.funcIndices.push_back(idx);
+        }
+        _m.elems.push_back(std::move(seg));
+        return true;
+    }
+
+    bool
+    parseData(const Sexpr& f)
+    {
+        DataSegment seg;
+        size_t i = 1;
+        if (i >= f.items.size() || !f.items[i].isList) {
+            return fail(f, "data needs an offset expression");
+        }
+        if (!parseInitExpr(f.items[i], &seg.offset)) return false;
+        i++;
+        for (; i < f.items.size(); i++) {
+            if (!isString(f.items[i])) return fail(f, "data needs strings");
+            auto bytes = decodeString(f.items[i].atom);
+            seg.bytes.insert(seg.bytes.end(), bytes.begin(), bytes.end());
+        }
+        _m.datas.push_back(std::move(seg));
+        return true;
+    }
+
+    bool
+    parseExport(const Sexpr& f)
+    {
+        if (f.items.size() != 3 || !isString(f.items[1]) ||
+            !f.items[2].isList) {
+            return fail(f, "malformed export");
+        }
+        ExportDecl e;
+        e.name = str(f.items[1]);
+        const Sexpr& d = f.items[2];
+        if (d.headIs("func")) {
+            e.kind = ExternKind::Func;
+            if (!resolveFunc(d.items[1], &e.index)) return false;
+        } else if (d.headIs("memory")) {
+            e.kind = ExternKind::Memory;
+            e.index = 0;
+        } else if (d.headIs("global")) {
+            e.kind = ExternKind::Global;
+            if (!resolveGlobal(d.items[1], &e.index)) return false;
+        } else if (d.headIs("table")) {
+            e.kind = ExternKind::Table;
+            e.index = 0;
+        } else {
+            return fail(f, "bad export kind");
+        }
+        _m.exports.push_back(std::move(e));
+        return true;
+    }
+
+    bool
+    parseStart(const Sexpr& f)
+    {
+        uint32_t idx;
+        if (!resolveFunc(f.items[1], &idx)) return false;
+        _m.start = idx;
+        return true;
+    }
+
+    bool
+    resolveFunc(const Sexpr& e, uint32_t* out)
+    {
+        if (isName(e)) {
+            auto it = _funcNames.find(e.atom);
+            if (it == _funcNames.end()) {
+                return fail(e, "unknown function " + e.atom);
+            }
+            *out = it->second;
+            return true;
+        }
+        bool neg;
+        auto v = parseIntAtom(e.atom, &neg);
+        if (!v) return fail(e, "bad function reference");
+        *out = static_cast<uint32_t>(*v);
+        return true;
+    }
+
+    bool
+    resolveGlobal(const Sexpr& e, uint32_t* out)
+    {
+        if (isName(e)) {
+            auto it = _globalNames.find(e.atom);
+            if (it == _globalNames.end()) {
+                return fail(e, "unknown global " + e.atom);
+            }
+            *out = it->second;
+            return true;
+        }
+        bool neg;
+        auto v = parseIntAtom(e.atom, &neg);
+        if (!v) return fail(e, "bad global reference");
+        *out = static_cast<uint32_t>(*v);
+        return true;
+    }
+
+    bool
+    resolveType(const Sexpr& e, uint32_t* out)
+    {
+        if (isName(e)) {
+            auto it = _typeNames.find(e.atom);
+            if (it == _typeNames.end()) {
+                return fail(e, "unknown type " + e.atom);
+            }
+            *out = it->second;
+            return true;
+        }
+        bool neg;
+        auto v = parseIntAtom(e.atom, &neg);
+        if (!v) return fail(e, "bad type reference");
+        *out = static_cast<uint32_t>(*v);
+        return true;
+    }
+
+    // ---- Function bodies ----
+
+    struct BodyCtx
+    {
+        std::vector<uint8_t> code;
+        std::map<std::string, uint32_t> localNames;
+        std::vector<std::string> labels;  ///< innermost last
+
+        void emit(uint8_t b) { code.push_back(b); }
+        void emitU32(uint32_t v) { encodeULEB(code, v); }
+        void emitI32(int32_t v) { encodeSLEB(code, v); }
+        void emitI64(int64_t v) { encodeSLEB(code, v); }
+    };
+
+    bool
+    parseFunc(const Sexpr& f)
+    {
+        uint32_t numImports = _numImports();
+        uint32_t funcIdx = numImports + _funcCursor;
+        _funcCursor++;
+        FuncDecl& fd = _m.functions[funcIdx];
+
+        size_t i = 1;
+        if (i < f.items.size() && isName(f.items[i])) i++;
+
+        // Inline exports.
+        while (i < f.items.size() && f.items[i].headIs("export")) {
+            ExportDecl e;
+            e.name = str(f.items[i].items[1]);
+            e.kind = ExternKind::Func;
+            e.index = funcIdx;
+            _m.exports.push_back(e);
+            i++;
+        }
+
+        BodyCtx ctx;
+        FuncType ft;
+        std::vector<std::string> paramNames;
+
+        // (type $t) reference and/or inline signature.
+        bool hasTypeRef = false;
+        uint32_t typeRef = 0;
+        if (i < f.items.size() && f.items[i].headIs("type")) {
+            if (!resolveType(f.items[i].items[1], &typeRef)) return false;
+            hasTypeRef = true;
+            i++;
+        }
+        while (i < f.items.size() &&
+               (f.items[i].headIs("param") || f.items[i].headIs("result"))) {
+            const Sexpr& c = f.items[i];
+            if (c.headIs("param")) {
+                size_t j = 1;
+                if (j < c.items.size() && isName(c.items[j])) {
+                    auto t = valType(c.items[j + 1]);
+                    if (!t) return fail(c, "bad param type");
+                    paramNames.push_back(c.items[j].atom);
+                    ft.params.push_back(*t);
+                } else {
+                    for (; j < c.items.size(); j++) {
+                        auto t = valType(c.items[j]);
+                        if (!t) return fail(c, "bad param type");
+                        paramNames.push_back("");
+                        ft.params.push_back(*t);
+                    }
+                }
+            } else {
+                for (size_t j = 1; j < c.items.size(); j++) {
+                    auto t = valType(c.items[j]);
+                    if (!t) return fail(c, "bad result type");
+                    ft.results.push_back(*t);
+                }
+            }
+            i++;
+        }
+        if (hasTypeRef) {
+            if (typeRef >= _m.types.size()) {
+                return fail(f, "type index out of range");
+            }
+            fd.typeIndex = typeRef;
+            ft = _m.types[typeRef];
+            // Named params may still have been given inline.
+        } else {
+            fd.typeIndex = _m.internType(ft);
+        }
+
+        for (size_t p = 0; p < paramNames.size(); p++) {
+            if (!paramNames[p].empty()) {
+                ctx.localNames[paramNames[p]] = static_cast<uint32_t>(p);
+            }
+        }
+
+        // Locals.
+        uint32_t localIdx = static_cast<uint32_t>(ft.params.size());
+        while (i < f.items.size() && f.items[i].headIs("local")) {
+            const Sexpr& c = f.items[i];
+            size_t j = 1;
+            if (j < c.items.size() && isName(c.items[j])) {
+                auto t = valType(c.items[j + 1]);
+                if (!t) return fail(c, "bad local type");
+                ctx.localNames[c.items[j].atom] = localIdx++;
+                fd.locals.push_back(*t);
+            } else {
+                for (; j < c.items.size(); j++) {
+                    auto t = valType(c.items[j]);
+                    if (!t) return fail(c, "bad local type");
+                    localIdx++;
+                    fd.locals.push_back(*t);
+                }
+            }
+            i++;
+        }
+
+        // Body instructions.
+        for (; i < f.items.size(); i++) {
+            if (!parseInstr(f.items[i], ctx)) return false;
+        }
+        ctx.emit(OP_END);
+        fd.code = std::move(ctx.code);
+        return true;
+    }
+
+    bool
+    resolveLocal(BodyCtx& ctx, const Sexpr& e, uint32_t* out)
+    {
+        if (isName(e)) {
+            auto it = ctx.localNames.find(e.atom);
+            if (it == ctx.localNames.end()) {
+                return fail(e, "unknown local " + e.atom);
+            }
+            *out = it->second;
+            return true;
+        }
+        bool neg;
+        auto v = parseIntAtom(e.atom, &neg);
+        if (!v) return fail(e, "bad local index");
+        *out = static_cast<uint32_t>(*v);
+        return true;
+    }
+
+    bool
+    resolveLabel(BodyCtx& ctx, const Sexpr& e, uint32_t* out)
+    {
+        if (isName(e)) {
+            for (size_t d = 0; d < ctx.labels.size(); d++) {
+                if (ctx.labels[ctx.labels.size() - 1 - d] == e.atom) {
+                    *out = static_cast<uint32_t>(d);
+                    return true;
+                }
+            }
+            return fail(e, "unknown label " + e.atom);
+        }
+        bool neg;
+        auto v = parseIntAtom(e.atom, &neg);
+        if (!v) return fail(e, "bad label");
+        *out = static_cast<uint32_t>(*v);
+        return true;
+    }
+
+    /** Parses a block type: optional (result t). Returns the byte. */
+    uint8_t
+    blockTypeByte(const Sexpr& parent, size_t* i)
+    {
+        if (*i < parent.items.size() && parent.items[*i].headIs("result")) {
+            auto t = valType(parent.items[*i].items[1]);
+            (*i)++;
+            if (t) return static_cast<uint8_t>(*t);
+        }
+        return 0x40;
+    }
+
+    /** Emits a memarg; returns true and advances *i past offset=/align=. */
+    void
+    parseMemArg(const Sexpr& parent, size_t* i, BodyCtx& ctx,
+                uint32_t naturalAlign)
+    {
+        uint32_t offset = 0;
+        uint32_t align = naturalAlign;
+        while (*i < parent.items.size() && parent.items[*i].isAtom()) {
+            const std::string& a = parent.items[*i].atom;
+            if (a.rfind("offset=", 0) == 0) {
+                bool neg;
+                auto v = parseIntAtom(a.substr(7), &neg);
+                if (v) offset = static_cast<uint32_t>(*v);
+                (*i)++;
+            } else if (a.rfind("align=", 0) == 0) {
+                bool neg;
+                auto v = parseIntAtom(a.substr(6), &neg);
+                if (v) {
+                    uint32_t bytes = static_cast<uint32_t>(*v);
+                    align = 0;
+                    while (bytes > 1) {
+                        bytes >>= 1;
+                        align++;
+                    }
+                }
+                (*i)++;
+            } else {
+                break;
+            }
+        }
+        ctx.emitU32(align);
+        ctx.emitU32(offset);
+    }
+
+    /**
+     * Parses one instruction, folded or flat. For folded lists, child
+     * operand expressions are emitted before the operator.
+     */
+    bool
+    parseInstr(const Sexpr& e, BodyCtx& ctx)
+    {
+        if (e.isAtom()) {
+            return fail(e, "flat instructions must be lists in this "
+                           "dialect: (" + e.atom + " ...)");
+        }
+        if (e.items.empty() || !e.items[0].isAtom()) {
+            return fail(e, "expected instruction");
+        }
+        const std::string& op = e.items[0].atom;
+
+        // --- Structured control ---
+        if (op == "block" || op == "loop") {
+            size_t i = 1;
+            std::string label;
+            if (i < e.items.size() && isName(e.items[i])) {
+                label = e.items[i].atom;
+                i++;
+            }
+            ctx.emit(op == "block" ? OP_BLOCK : OP_LOOP);
+            ctx.emit(blockTypeByte(e, &i));
+            ctx.labels.push_back(label);
+            for (; i < e.items.size(); i++) {
+                if (!parseInstr(e.items[i], ctx)) return false;
+            }
+            ctx.labels.pop_back();
+            ctx.emit(OP_END);
+            return true;
+        }
+        if (op == "if") {
+            size_t i = 1;
+            std::string label;
+            if (i < e.items.size() && isName(e.items[i])) {
+                label = e.items[i].atom;
+                i++;
+            }
+            uint8_t bt = blockTypeByte(e, &i);
+            // Condition expressions: everything before (then ...).
+            size_t thenIdx = i;
+            while (thenIdx < e.items.size() &&
+                   !e.items[thenIdx].headIs("then")) {
+                thenIdx++;
+            }
+            if (thenIdx >= e.items.size()) {
+                return fail(e, "if requires (then ...)");
+            }
+            for (size_t c = i; c < thenIdx; c++) {
+                if (!parseInstr(e.items[c], ctx)) return false;
+            }
+            ctx.emit(OP_IF);
+            ctx.emit(bt);
+            ctx.labels.push_back(label);
+            const Sexpr& thenE = e.items[thenIdx];
+            for (size_t c = 1; c < thenE.items.size(); c++) {
+                if (!parseInstr(thenE.items[c], ctx)) return false;
+            }
+            if (thenIdx + 1 < e.items.size()) {
+                const Sexpr& elseE = e.items[thenIdx + 1];
+                if (!elseE.headIs("else")) {
+                    return fail(elseE, "expected (else ...)");
+                }
+                ctx.emit(OP_ELSE);
+                for (size_t c = 1; c < elseE.items.size(); c++) {
+                    if (!parseInstr(elseE.items[c], ctx)) return false;
+                }
+            }
+            ctx.labels.pop_back();
+            ctx.emit(OP_END);
+            return true;
+        }
+
+        if (op == "call_indirect") {
+            // (call_indirect (type $t) operand-exprs...)
+            if (e.items.size() < 2 || !e.items[1].headIs("type")) {
+                return fail(e, "call_indirect needs (type $t) first");
+            }
+            uint32_t typeIdx;
+            if (!resolveType(e.items[1].items[1], &typeIdx)) return false;
+            for (size_t i = 2; i < e.items.size(); i++) {
+                if (!parseInstr(e.items[i], ctx)) return false;
+            }
+            ctx.emit(OP_CALL_INDIRECT);
+            ctx.emitU32(typeIdx);
+            ctx.emit(0x00);
+            return true;
+        }
+
+        // --- Folded operands: all list children are operand exprs ---
+        // (except for control ops handled above). Emit them first.
+        size_t firstOperand = e.items.size();
+        for (size_t i = 1; i < e.items.size(); i++) {
+            if (e.items[i].isList) {
+                firstOperand = i;
+                break;
+            }
+        }
+        for (size_t i = firstOperand; i < e.items.size(); i++) {
+            if (!parseInstr(e.items[i], ctx)) return false;
+        }
+
+        // --- Simple operators with immediates ---
+        auto simple = [&](uint8_t opcode) {
+            ctx.emit(opcode);
+            return true;
+        };
+
+        if (op == "unreachable") return simple(OP_UNREACHABLE);
+        if (op == "nop") return simple(OP_NOP);
+        if (op == "return") return simple(OP_RETURN);
+        if (op == "drop") return simple(OP_DROP);
+        if (op == "select") return simple(OP_SELECT);
+        if (op == "br" || op == "br_if") {
+            uint32_t depth;
+            if (!resolveLabel(ctx, e.items[1], &depth)) return false;
+            ctx.emit(op == "br" ? OP_BR : OP_BR_IF);
+            ctx.emitU32(depth);
+            return true;
+        }
+        if (op == "br_table") {
+            std::vector<uint32_t> targets;
+            for (size_t i = 1; i < firstOperand; i++) {
+                uint32_t depth;
+                if (!resolveLabel(ctx, e.items[i], &depth)) return false;
+                targets.push_back(depth);
+            }
+            if (targets.empty()) return fail(e, "br_table needs targets");
+            ctx.emit(OP_BR_TABLE);
+            ctx.emitU32(static_cast<uint32_t>(targets.size() - 1));
+            for (uint32_t t : targets) ctx.emitU32(t);
+            return true;
+        }
+        if (op == "call") {
+            uint32_t idx;
+            if (!resolveFunc(e.items[1], &idx)) return false;
+            ctx.emit(OP_CALL);
+            ctx.emitU32(idx);
+            return true;
+        }
+        if (op == "local.get" || op == "local.set" || op == "local.tee") {
+            uint32_t idx;
+            if (!resolveLocal(ctx, e.items[1], &idx)) return false;
+            ctx.emit(op == "local.get" ? OP_LOCAL_GET
+                     : op == "local.set" ? OP_LOCAL_SET : OP_LOCAL_TEE);
+            ctx.emitU32(idx);
+            return true;
+        }
+        if (op == "global.get" || op == "global.set") {
+            uint32_t idx;
+            if (!resolveGlobal(e.items[1], &idx)) return false;
+            ctx.emit(op == "global.get" ? OP_GLOBAL_GET : OP_GLOBAL_SET);
+            ctx.emitU32(idx);
+            return true;
+        }
+        if (op == "i32.const") {
+            bool neg;
+            auto v = parseIntAtom(e.items[1].atom, &neg);
+            if (!v) return fail(e, "bad i32.const");
+            // Two's-complement negation on the unsigned value avoids
+            // signed-overflow UB for INT64_MIN.
+            int64_t sv = static_cast<int64_t>(neg ? ~*v + 1 : *v);
+            ctx.emit(OP_I32_CONST);
+            ctx.emitI32(static_cast<int32_t>(sv));
+            return true;
+        }
+        if (op == "i64.const") {
+            bool neg;
+            auto v = parseIntAtom(e.items[1].atom, &neg);
+            if (!v) return fail(e, "bad i64.const");
+            // Two's-complement negation on the unsigned value avoids
+            // signed-overflow UB for INT64_MIN.
+            int64_t sv = static_cast<int64_t>(neg ? ~*v + 1 : *v);
+            ctx.emit(OP_I64_CONST);
+            ctx.emitI64(sv);
+            return true;
+        }
+        if (op == "f32.const") {
+            float d = std::strtof(e.items[1].atom.c_str(), nullptr);
+            uint32_t bits;
+            std::memcpy(&bits, &d, 4);
+            ctx.emit(OP_F32_CONST);
+            for (int b = 0; b < 4; b++) ctx.emit((bits >> (b * 8)) & 0xff);
+            return true;
+        }
+        if (op == "f64.const") {
+            double d = std::strtod(e.items[1].atom.c_str(), nullptr);
+            uint64_t bits;
+            std::memcpy(&bits, &d, 8);
+            ctx.emit(OP_F64_CONST);
+            for (int b = 0; b < 8; b++) ctx.emit((bits >> (b * 8)) & 0xff);
+            return true;
+        }
+        if (op == "memory.size") {
+            ctx.emit(OP_MEMORY_SIZE);
+            ctx.emit(0x00);
+            return true;
+        }
+        if (op == "memory.grow") {
+            ctx.emit(OP_MEMORY_GROW);
+            ctx.emit(0x00);
+            return true;
+        }
+        if (op == "memory.fill") {
+            ctx.emit(OP_PREFIX_FC);
+            ctx.emitU32(FC_MEMORY_FILL);
+            ctx.emit(0x00);
+            return true;
+        }
+        if (op == "memory.copy") {
+            ctx.emit(OP_PREFIX_FC);
+            ctx.emitU32(FC_MEMORY_COPY);
+            ctx.emit(0x00);
+            ctx.emit(0x00);
+            return true;
+        }
+
+        // Memory access instructions.
+        static const struct { const char* name; uint8_t op; uint32_t align; }
+        memOps[] = {
+            {"i32.load", OP_I32_LOAD, 2},
+            {"i64.load", OP_I64_LOAD, 3},
+            {"f32.load", OP_F32_LOAD, 2},
+            {"f64.load", OP_F64_LOAD, 3},
+            {"i32.load8_s", OP_I32_LOAD8_S, 0},
+            {"i32.load8_u", OP_I32_LOAD8_U, 0},
+            {"i32.load16_s", OP_I32_LOAD16_S, 1},
+            {"i32.load16_u", OP_I32_LOAD16_U, 1},
+            {"i64.load8_s", OP_I64_LOAD8_S, 0},
+            {"i64.load8_u", OP_I64_LOAD8_U, 0},
+            {"i64.load16_s", OP_I64_LOAD16_S, 1},
+            {"i64.load16_u", OP_I64_LOAD16_U, 1},
+            {"i64.load32_s", OP_I64_LOAD32_S, 2},
+            {"i64.load32_u", OP_I64_LOAD32_U, 2},
+            {"i32.store", OP_I32_STORE, 2},
+            {"i64.store", OP_I64_STORE, 3},
+            {"f32.store", OP_F32_STORE, 2},
+            {"f64.store", OP_F64_STORE, 3},
+            {"i32.store8", OP_I32_STORE8, 0},
+            {"i32.store16", OP_I32_STORE16, 1},
+            {"i64.store8", OP_I64_STORE8, 0},
+            {"i64.store16", OP_I64_STORE16, 1},
+            {"i64.store32", OP_I64_STORE32, 2},
+        };
+        for (const auto& mo : memOps) {
+            if (op == mo.name) {
+                ctx.emit(mo.op);
+                size_t i = 1;
+                parseMemArg(e, &i, ctx, mo.align);
+                return true;
+            }
+        }
+
+        // Saturating truncation (0xFC prefix).
+        static const struct { const char* name; uint32_t sub; }
+        fcOps[] = {
+            {"i32.trunc_sat_f32_s", FC_I32_TRUNC_SAT_F32_S},
+            {"i32.trunc_sat_f32_u", FC_I32_TRUNC_SAT_F32_U},
+            {"i32.trunc_sat_f64_s", FC_I32_TRUNC_SAT_F64_S},
+            {"i32.trunc_sat_f64_u", FC_I32_TRUNC_SAT_F64_U},
+            {"i64.trunc_sat_f32_s", FC_I64_TRUNC_SAT_F32_S},
+            {"i64.trunc_sat_f32_u", FC_I64_TRUNC_SAT_F32_U},
+            {"i64.trunc_sat_f64_s", FC_I64_TRUNC_SAT_F64_S},
+            {"i64.trunc_sat_f64_u", FC_I64_TRUNC_SAT_F64_U},
+        };
+        for (const auto& fo : fcOps) {
+            if (op == fo.name) {
+                ctx.emit(OP_PREFIX_FC);
+                ctx.emitU32(fo.sub);
+                return true;
+            }
+        }
+
+        // Plain numeric operators: look the mnemonic up by name.
+        for (int b = 0; b < 256; b++) {
+            const char* n = opcodeName(static_cast<uint8_t>(b));
+            if (n[0] != '<' && op == n) {
+                ctx.emit(static_cast<uint8_t>(b));
+                return true;
+            }
+        }
+        return fail(e, "unknown instruction: " + op);
+    }
+
+    Module _m;
+    std::map<std::string, uint32_t> _funcNames;
+    std::map<std::string, uint32_t> _globalNames;
+    std::map<std::string, uint32_t> _typeNames;
+    uint32_t _funcCursor = 0;
+    size_t _numGlobalsScanned = 0;
+    bool _sawLocalFunc = false;
+    Error _error;
+};
+
+} // namespace
+
+Result<Module>
+parseWat(const std::string& source)
+{
+    Lexer lex(source);
+    auto top = lex.parseTop();
+    if (!top) return lex.error();
+    WatParser p;
+    return p.parse(*top);
+}
+
+} // namespace wizpp

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * WAT (WebAssembly Text format) parser.
+ *
+ * Parses the pragmatic subset of WAT that the benchmark corpus and
+ * tests are written in: modules with types, imports (functions),
+ * functions (flat and folded instructions), memories, tables + element
+ * segments, globals, data segments, exports and start. Block types are
+ * limited to zero or one result (core MVP).
+ */
+
+#ifndef WIZPP_WAT_WAT_H
+#define WIZPP_WAT_WAT_H
+
+#include <string>
+
+#include "support/result.h"
+#include "wasm/module.h"
+
+namespace wizpp {
+
+/** Parses WAT source text into a Module. */
+Result<Module> parseWat(const std::string& source);
+
+} // namespace wizpp
+
+#endif // WIZPP_WAT_WAT_H

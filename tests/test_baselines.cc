@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Baseline tests: the static bytecode rewriter, the Wasabi-like
+ * injector, the DBT simulation and the JVMTI-like agent must all
+ * measure the same ground truth as the probe-based monitors, and must
+ * preserve program semantics.
+ */
+
+#include "dbt/dbt.h"
+#include "jvmti/jvmti.h"
+#include "monitors/monitors.h"
+#include "rewriter/rewriter.h"
+#include "suites/suites.h"
+#include "test_util.h"
+#include "wasabi/wasabi.h"
+#include "wasm/encoder.h"
+#include "wasm/decoder.h"
+
+namespace wizpp {
+namespace {
+
+using test::makeEngine;
+using test::mustParse;
+using test::run1;
+
+const char* kLoopWat = R"((module
+  (func (export "f") (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    (block $x (loop $t
+      (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+      (if (i32.and (local.get $i) (i32.const 1))
+        (then (local.set $acc (i32.add (local.get $acc) (i32.const 7)))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $t)))
+    (local.get $acc))
+))";
+
+std::unique_ptr<Engine>
+engineFromModule(Module m, EngineConfig cfg = {})
+{
+    auto eng = std::make_unique<Engine>(cfg);
+    auto lr = eng->loadModule(std::move(m));
+    EXPECT_TRUE(lr.ok()) << (lr.ok() ? "" : lr.error().toString());
+    auto ir = eng->instantiate();
+    EXPECT_TRUE(ir.ok()) << (ir.ok() ? "" : ir.error().toString());
+    return eng;
+}
+
+// ---- Bytecode rewriting ----
+
+TEST(Rewriter, PreservesSemantics)
+{
+    Module m = mustParse(kLoopWat);
+    auto rr = rewriteForCounting(m, RewriteKind::Hotness);
+    ASSERT_TRUE(rr.ok()) << rr.error().toString();
+    // The transformed module must still validate.
+    auto v = validateModule(rr.value().module);
+    ASSERT_TRUE(v.ok()) << v.error().toString();
+
+    auto plain = makeEngine(kLoopWat);
+    auto inst = engineFromModule(rr.value().module);
+    EXPECT_EQ(run1(*plain, "f", {Value::makeI32(20)}).i32(),
+              run1(*inst, "f", {Value::makeI32(20)}).i32());
+}
+
+TEST(Rewriter, HotnessCountsMatchProbeMonitor)
+{
+    Module m = mustParse(kLoopWat);
+    auto rr = rewriteForCounting(m, RewriteKind::Hotness);
+    ASSERT_TRUE(rr.ok());
+    auto inst = engineFromModule(rr.value().module);
+    run1(*inst, "f", {Value::makeI32(10)});
+    auto counts = readCounters(inst->instance().memory, rr.value());
+    uint64_t total = 0;
+    for (uint64_t c : counts) total += c;
+
+    auto probed = makeEngine(kLoopWat);
+    HotnessMonitor hot;
+    probed->attachMonitor(&hot);
+    run1(*probed, "f", {Value::makeI32(10)});
+    // The static rewriter and the probe-based monitor count the same
+    // dynamic instruction stream.
+    EXPECT_EQ(total, hot.totalCount());
+
+    // Per-site counts agree too.
+    for (size_t i = 0; i < rr.value().sites.size(); i++) {
+        auto [func, pc] = rr.value().sites[i];
+        EXPECT_EQ(counts[i], hot.countAt(func, pc))
+            << "site " << func << "+" << pc;
+    }
+}
+
+TEST(Rewriter, BranchCountsMatchProbeMonitor)
+{
+    Module m = mustParse(kLoopWat);
+    auto rr = rewriteForCounting(m, RewriteKind::Branch);
+    ASSERT_TRUE(rr.ok());
+    auto inst = engineFromModule(rr.value().module);
+    run1(*inst, "f", {Value::makeI32(10)});
+    auto counts = readCounters(inst->instance().memory, rr.value());
+    uint64_t total = 0;
+    for (uint64_t c : counts) total += c;
+
+    auto probed = makeEngine(kLoopWat);
+    BranchMonitor mon;
+    probed->attachMonitor(&mon);
+    run1(*probed, "f", {Value::makeI32(10)});
+    EXPECT_EQ(total, mon.totalFires());
+}
+
+TEST(Rewriter, RoundTripsThroughBinaryEncoding)
+{
+    Module m = mustParse(kLoopWat);
+    auto rr = rewriteForCounting(m, RewriteKind::Hotness);
+    ASSERT_TRUE(rr.ok());
+    // Encode the rewritten module to .wasm bytes and decode it back —
+    // the full static-instrumentation pipeline.
+    auto bytes = encodeModule(rr.value().module);
+    auto decoded = decodeModule(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().toString();
+    auto inst = engineFromModule(decoded.take());
+    EXPECT_EQ(run1(*inst, "f", {Value::makeI32(20)}).i32(), 70u);
+}
+
+TEST(Rewriter, WorksOnWholeCorpusProgram)
+{
+    const BenchProgram* p = findProgram("gemm");
+    ASSERT_NE(p, nullptr);
+    Module m = mustParse(p->wat);
+    auto rr = rewriteForCounting(m, RewriteKind::Hotness);
+    ASSERT_TRUE(rr.ok());
+    ASSERT_TRUE(validateModule(rr.value().module).ok());
+    auto plain = makeEngine(p->wat);
+    auto inst = engineFromModule(rr.value().module);
+    EXPECT_EQ(run1(*plain, "run", {Value::makeI32(1)}).bits,
+              run1(*inst, "run", {Value::makeI32(1)}).bits);
+}
+
+// ---- Wasabi-like injection ----
+
+TEST(Wasabi, HookEventsMatchGroundTruth)
+{
+    Module m = mustParse(kLoopWat);
+    auto wr = wasabiInstrument(m, WasabiKind::Hotness);
+    ASSERT_TRUE(wr.ok()) << wr.error().toString();
+    ASSERT_TRUE(validateModule(wr.value().module).ok());
+
+    WasabiHost host;
+    EngineConfig cfg;
+    auto eng = std::make_unique<Engine>(cfg);
+    host.bind(&eng->imports());
+    ASSERT_TRUE(eng->loadModule(std::move(wr.value().module)).ok());
+    ASSERT_TRUE(eng->instantiate().ok());
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(10)}).i32(), 35u);
+
+    auto probed = makeEngine(kLoopWat);
+    HotnessMonitor hot;
+    probed->attachMonitor(&hot);
+    run1(*probed, "f", {Value::makeI32(10)});
+    EXPECT_EQ(host.instrEvents, hot.totalCount());
+}
+
+TEST(Wasabi, BranchHooksSeeConditions)
+{
+    Module m = mustParse(kLoopWat);
+    auto wr = wasabiInstrument(m, WasabiKind::Branch);
+    ASSERT_TRUE(wr.ok());
+    ASSERT_TRUE(validateModule(wr.value().module).ok())
+        << validateModule(wr.value().module).error().toString();
+
+    WasabiHost host;
+    uint64_t taken = 0, notTaken = 0;
+    host.onBranch = [&](uint32_t, uint32_t, uint32_t cond) {
+        (cond ? taken : notTaken)++;
+    };
+    auto eng = std::make_unique<Engine>(EngineConfig{});
+    host.bind(&eng->imports());
+    ASSERT_TRUE(eng->loadModule(std::move(wr.value().module)).ok());
+    ASSERT_TRUE(eng->instantiate().ok());
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(10)}).i32(), 35u);
+
+    auto probed = makeEngine(kLoopWat);
+    BranchMonitor mon;
+    probed->attachMonitor(&mon);
+    run1(*probed, "f", {Value::makeI32(10)});
+    uint64_t pTaken = 0, pNot = 0;
+    for (const auto& s : mon.sites()) {
+        pTaken += s.probe->taken;
+        pNot += s.probe->notTaken;
+    }
+    EXPECT_EQ(taken, pTaken);
+    EXPECT_EQ(notTaken, pNot);
+}
+
+TEST(Wasabi, IndexShiftingIsSound)
+{
+    // Calls, exports, elem segments and start must survive the shift.
+    const char* wat = R"((module
+      (type $fn (func (param i32) (result i32)))
+      (table 1 funcref)
+      (elem (i32.const 0) $id)
+      (global $g (mut i32) (i32.const 0))
+      (func $id (param $x i32) (result i32) (local.get $x))
+      (func $setup (global.set $g (i32.const 9)))
+      (start $setup)
+      (func (export "f") (param $x i32) (result i32)
+        (i32.add (global.get $g)
+          (call_indirect (type $fn) (local.get $x) (i32.const 0))))
+    ))";
+    Module m = mustParse(wat);
+    auto wr = wasabiInstrument(m, WasabiKind::Hotness);
+    ASSERT_TRUE(wr.ok());
+    WasabiHost host;
+    auto eng = std::make_unique<Engine>(EngineConfig{});
+    host.bind(&eng->imports());
+    ASSERT_TRUE(eng->loadModule(std::move(wr.value().module)).ok());
+    ASSERT_TRUE(eng->instantiate().ok());
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(33)}).i32(), 42u);
+}
+
+// ---- DBT simulation ----
+
+TEST(Dbt, HotnessCountsMatchProbeMonitor)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = makeEngine(kLoopWat, cfg);
+    DbtInstrumenter dbt(*eng, DbtKind::Hotness);
+    EXPECT_GT(dbt.numBlocks(), 0u);
+    run1(*eng, "f", {Value::makeI32(10)});
+
+    auto probed = makeEngine(kLoopWat);
+    HotnessMonitor hot;
+    probed->attachMonitor(&hot);
+    run1(*probed, "f", {Value::makeI32(10)});
+    // Per-instruction counting via per-block clean calls covers the
+    // same dynamic stream.
+    EXPECT_EQ(dbt.instructionsCounted(), hot.totalCount());
+    EXPECT_GT(dbt.blocksExecuted(), 10u);
+}
+
+TEST(Dbt, BranchTalliesMatch)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = makeEngine(kLoopWat, cfg);
+    DbtInstrumenter dbt(*eng, DbtKind::Branch);
+    run1(*eng, "f", {Value::makeI32(10)});
+
+    auto probed = makeEngine(kLoopWat);
+    BranchMonitor mon;
+    probed->attachMonitor(&mon);
+    run1(*probed, "f", {Value::makeI32(10)});
+    EXPECT_EQ(dbt.branchesTallied(), mon.totalFires());
+}
+
+// ---- JVMTI-like agent ----
+
+TEST(Jvmti, MethodEntryCountsMatchEntryExitUtility)
+{
+    const BenchProgram& p = richardsProgram();
+    EngineConfig cfg;
+    auto agentEng = makeEngine(p.wat, cfg);
+    MethodEntryAgent agent(*agentEng);
+    run1(*agentEng, "run", {Value::makeI32(1)});
+    EXPECT_GT(agent.totalEntries(), 50000u);
+
+    // Ground truth: count function entries with plain pc-0 probes.
+    auto plainEng = makeEngine(p.wat, cfg);
+    uint64_t entries = 0;
+    for (uint32_t f = 0; f < plainEng->numFuncs(); f++) {
+        if (plainEng->funcState(f).decl->imported) continue;
+        plainEng->probes().insertLocal(0 + f, 0,
+            makeProbe([&entries](ProbeContext&) { entries++; }));
+    }
+    run1(*plainEng, "run", {Value::makeI32(1)});
+    EXPECT_EQ(agent.totalEntries(), entries);
+
+    // Per-method resolution worked.
+    EXPECT_FALSE(agent.entryCounts().empty());
+    EXPECT_GT(agent.entryCounts().count("hashStep"), 0u);
+}
+
+} // namespace
+} // namespace wizpp

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Engine-level tests: tiering and OSR statistics, global-probe
+ * interpreter-only mode transitions, resource limits, type checking at
+ * the call boundary, and the after-instruction library.
+ */
+
+#include "monitors/entryexit.h"
+#include "test_util.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+namespace {
+
+using test::makeEngine;
+using test::run1;
+
+const char* kLoopWat = R"((module
+  (func (export "f") (param $n i32) (result i32)
+    (local $i i32)
+    (block $x (loop $t
+      (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $t)))
+    (local.get $i))
+))";
+
+TEST(EngineTiering, InterpreterModeNeverCompiles)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    auto eng = makeEngine(kLoopWat, cfg);
+    run1(*eng, "f", {Value::makeI32(100000)});
+    EXPECT_EQ(eng->stats.functionsCompiled, 0u);
+}
+
+TEST(EngineTiering, JitModeCompilesEagerly)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = makeEngine(kLoopWat, cfg);
+    EXPECT_EQ(eng->stats.functionsCompiled, 1u);  // at instantiate
+}
+
+TEST(EngineTiering, TieredModeTiersUpOnCalls)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Tiered;
+    cfg.tierUpThreshold = 5;
+    cfg.osrAtLoopBackedge = false;
+    auto eng = makeEngine(kLoopWat, cfg);
+    // n = 0: no backedges, so only calls count toward the threshold.
+    for (int i = 0; i < 4; i++) run1(*eng, "f", {Value::makeI32(0)});
+    EXPECT_EQ(eng->stats.functionsCompiled, 0u);
+    run1(*eng, "f", {Value::makeI32(0)});
+    EXPECT_EQ(eng->stats.functionsCompiled, 1u);
+}
+
+TEST(EngineTiering, OsrCanBeDisabled)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Tiered;
+    cfg.tierUpThreshold = 10;
+    cfg.osrAtLoopBackedge = false;
+    auto eng = makeEngine(kLoopWat, cfg);
+    run1(*eng, "f", {Value::makeI32(100000)});
+    EXPECT_EQ(eng->stats.osrEntries, 0u);
+
+    EngineConfig cfg2 = cfg;
+    cfg2.osrAtLoopBackedge = true;
+    auto eng2 = makeEngine(kLoopWat, cfg2);
+    run1(*eng2, "f", {Value::makeI32(100000)});
+    EXPECT_EQ(eng2->stats.osrEntries, 1u);
+}
+
+TEST(EngineGlobalMode, EntersAndLeavesInterpreterOnly)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = makeEngine(kLoopWat, cfg);
+    auto p1 = std::make_shared<CountProbe>();
+    auto p2 = std::make_shared<CountProbe>();
+    eng->probes().insertGlobal(p1);
+    EXPECT_TRUE(eng->interpreterOnly());
+    uint64_t switches = eng->stats.dispatchTableSwitches;
+    // A second global probe must not switch tables again.
+    eng->probes().insertGlobal(p2);
+    EXPECT_EQ(eng->stats.dispatchTableSwitches, switches);
+    eng->probes().removeGlobal(p1.get());
+    EXPECT_TRUE(eng->interpreterOnly());
+    eng->probes().removeGlobal(p2.get());
+    EXPECT_FALSE(eng->interpreterOnly());
+    // Compiled code survived the excursion (no invalidations).
+    EXPECT_EQ(eng->stats.jitInvalidations, 0u);
+    run1(*eng, "f", {Value::makeI32(10)});
+    EXPECT_EQ(p1->count + p2->count, 0u);
+}
+
+TEST(EngineLimits, DeepRecursionTrapsAsStackOverflow)
+{
+    const char* wat = R"((module
+      (func $inf (export "inf") (param $n i32) (result i32)
+        (call $inf (i32.add (local.get $n) (i32.const 1))))
+    ))";
+    for (ExecMode mode : {ExecMode::Interpreter, ExecMode::Jit}) {
+        EngineConfig cfg;
+        cfg.mode = mode;
+        auto eng = makeEngine(wat, cfg);
+        auto r = eng->callExport("inf", {Value::makeI32(0)});
+        EXPECT_FALSE(r.ok());
+        EXPECT_EQ(eng->lastTrap(), TrapReason::StackOverflow);
+    }
+}
+
+TEST(EngineLimits, MemoryGrowRespectsLimits)
+{
+    auto eng = makeEngine(R"((module
+      (memory 1 3)
+      (func (export "grow") (param $d i32) (result i32)
+        (memory.grow (local.get $d)))
+      (func (export "size") (result i32) (memory.size))
+    ))");
+    EXPECT_EQ(run1(*eng, "size").i32(), 1u);
+    EXPECT_EQ(run1(*eng, "grow", {Value::makeI32(2)}).i32s(), 1);
+    EXPECT_EQ(run1(*eng, "size").i32(), 3u);
+    // Past the declared max: grow fails with -1.
+    EXPECT_EQ(run1(*eng, "grow", {Value::makeI32(1)}).i32s(), -1);
+    EXPECT_EQ(run1(*eng, "size").i32(), 3u);
+}
+
+TEST(EngineCalls, ArgumentTypeAndArityChecking)
+{
+    auto eng = makeEngine(kLoopWat);
+    EXPECT_FALSE(eng->callExport("f", {}).ok());
+    EXPECT_FALSE(eng->callExport("f", {Value::makeI64(int64_t{1})}).ok());
+    EXPECT_FALSE(eng->callExport("nope", {Value::makeI32(1)}).ok());
+    EXPECT_TRUE(eng->callExport("f", {Value::makeI32(1)}).ok());
+}
+
+TEST(EngineCalls, CanonicalTypesMatchAcrossDuplicates)
+{
+    // call_indirect through a *structurally equal* duplicate type must
+    // pass the signature check (canonicalization).
+    auto eng = makeEngine(R"((module
+      (type $t1 (func (param i32) (result i32)))
+      (type $t2 (func (param i32) (result i32)))
+      (table 1 funcref)
+      (elem (i32.const 0) $id)
+      (func $id (type $t1) (local.get 0))
+      (func (export "f") (param $x i32) (result i32)
+        (call_indirect (type $t2) (local.get $x) (i32.const 0)))
+    ))");
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(9)}).i32(), 9u);
+}
+
+TEST(EngineCalls, HostTrapPropagates)
+{
+    EngineConfig cfg;
+    auto eng = std::make_unique<Engine>(cfg);
+    HostFunc hf;
+    hf.type.params = {};
+    hf.fn = [](const std::vector<Value>&, std::vector<Value>*) {
+        return TrapReason::HostError;
+    };
+    eng->imports().addFunc("env", "die", hf);
+    auto lr = eng->loadModule(test::mustParse(R"((module
+      (import "env" "die" (func $die))
+      (func (export "f") (call $die))
+    ))"));
+    ASSERT_TRUE(lr.ok());
+    ASSERT_TRUE(eng->instantiate().ok());
+    auto r = eng->callExport("f", {});
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(eng->lastTrap(), TrapReason::HostError);
+}
+
+TEST(AfterInstruction, LibraryFiresExactlyOnceAfterward)
+{
+    auto eng = makeEngine(kLoopWat);
+    FuncState& fs = eng->funcState(0);
+    uint32_t pc = fs.sideTable.instrBoundaries[2];
+    std::vector<uint32_t> afterPcs;
+    bool armed = false;
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        if (armed) return;
+        armed = true;
+        runAfterCurrentInstruction(ctx.engine(),
+            [&afterPcs](ProbeContext& c2) {
+                afterPcs.push_back(c2.pc());
+            });
+    }));
+    run1(*eng, "f", {Value::makeI32(50)});
+    ASSERT_EQ(afterPcs.size(), 1u);
+    EXPECT_NE(afterPcs[0], pc);
+    EXPECT_FALSE(eng->interpreterOnly());
+}
+
+TEST(EngineReuse, ManySequentialCallsAreStable)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Tiered;
+    cfg.tierUpThreshold = 3;
+    auto eng = makeEngine(kLoopWat, cfg);
+    for (uint32_t i = 0; i < 200; i++) {
+        EXPECT_EQ(run1(*eng, "f", {Value::makeI32(i)}).i32(), i);
+    }
+}
+
+} // namespace
+} // namespace wizpp

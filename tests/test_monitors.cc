@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Monitor zoo tests (paper Section 3): each monitor's measurements are
+ * checked against exactly-known ground truth on small programs.
+ */
+
+#include <sstream>
+
+#include "monitors/debugger.h"
+#include "monitors/entryexit.h"
+#include "monitors/monitors.h"
+#include "test_util.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+namespace {
+
+using test::makeEngine;
+using test::run1;
+
+const char* kBranchyWat = R"((module
+  (func (export "f") (param $n i32) (result i32)
+    (local $i i32) (local $odd i32)
+    (block $x (loop $t
+      (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+      (if (i32.and (local.get $i) (i32.const 1))
+        (then (local.set $odd (i32.add (local.get $odd) (i32.const 1)))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $t)))
+    (local.get $odd))
+))";
+
+class MonitorModes : public ::testing::TestWithParam<ExecMode>
+{
+  protected:
+    EngineConfig
+    cfg() const
+    {
+        EngineConfig c;
+        c.mode = GetParam();
+        c.tierUpThreshold = 2;
+        return c;
+    }
+};
+
+TEST_P(MonitorModes, HotnessLocalAndGlobalAgree)
+{
+    uint64_t localTotal = 0, globalTotal = 0;
+    {
+        auto eng = makeEngine(kBranchyWat, cfg());
+        HotnessMonitor local(false);
+        eng->attachMonitor(&local);
+        run1(*eng, "f", {Value::makeI32(10)});
+        localTotal = local.totalCount();
+    }
+    {
+        auto eng = makeEngine(kBranchyWat, cfg());
+        HotnessMonitor global(true);
+        eng->attachMonitor(&global);
+        run1(*eng, "f", {Value::makeI32(10)});
+        globalTotal = global.totalCount();
+    }
+    EXPECT_GT(localTotal, 0u);
+    // Both implementations count the same dynamic instruction stream
+    // (Section 5.2: "the number of probe fires is the same").
+    EXPECT_EQ(localTotal, globalTotal);
+}
+
+TEST_P(MonitorModes, BranchMonitorCountsDirections)
+{
+    auto eng = makeEngine(kBranchyWat, cfg());
+    BranchMonitor mon;
+    eng->attachMonitor(&mon);
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(10)}).i32(), 5u);
+    uint64_t brIfTaken = 0, brIfNot = 0, ifTaken = 0, ifNot = 0;
+    for (const auto& s : mon.sites()) {
+        if (s.probe->opcode == OP_BR_IF) {
+            brIfTaken += s.probe->taken;
+            brIfNot += s.probe->notTaken;
+        } else if (s.probe->opcode == OP_IF) {
+            ifTaken += s.probe->taken;
+            ifNot += s.probe->notTaken;
+        }
+    }
+    // Loop exit: 10 not-taken, 1 taken. if: 5 odd (taken), 5 even.
+    EXPECT_EQ(brIfTaken, 1u);
+    EXPECT_EQ(brIfNot, 10u);
+    EXPECT_EQ(ifTaken, 5u);
+    EXPECT_EQ(ifNot, 5u);
+}
+
+TEST_P(MonitorModes, BranchMonitorGlobalVariantAgrees)
+{
+    auto engL = makeEngine(kBranchyWat, cfg());
+    BranchMonitor local(false);
+    engL->attachMonitor(&local);
+    run1(*engL, "f", {Value::makeI32(25)});
+
+    auto engG = makeEngine(kBranchyWat, cfg());
+    BranchMonitor global(true);
+    engG->attachMonitor(&global);
+    run1(*engG, "f", {Value::makeI32(25)});
+
+    EXPECT_GT(local.totalFires(), 0u);
+    EXPECT_EQ(local.totalFires(), global.totalFires());
+}
+
+TEST_P(MonitorModes, BranchMonitorBrTableHistogram)
+{
+    const char* wat = R"((module
+      (func (export "f") (param $n i32) (result i32)
+        (local $i i32) (local $acc i32)
+        (block $x (loop $t
+          (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+          (block $b2 (block $b1 (block $b0
+            (br_table $b0 $b1 $b2
+              (i32.rem_u (local.get $i) (i32.const 3))))
+            (local.set $acc (i32.add (local.get $acc) (i32.const 1))))
+          )
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $t)))
+        (local.get $acc))
+    ))";
+    auto eng = makeEngine(wat, cfg());
+    BranchMonitor mon;
+    eng->attachMonitor(&mon);
+    run1(*eng, "f", {Value::makeI32(9)});
+    const BranchMonitor::BranchProbe* bt = nullptr;
+    for (const auto& s : mon.sites()) {
+        if (s.probe->opcode == OP_BR_TABLE) bt = s.probe.get();
+    }
+    ASSERT_NE(bt, nullptr);
+    EXPECT_EQ(bt->fires, 9u);
+    ASSERT_GE(bt->dests.size(), 3u);
+    EXPECT_EQ(bt->dests[0], 3u);
+    EXPECT_EQ(bt->dests[1], 3u);
+    EXPECT_EQ(bt->dests[2], 3u);
+}
+
+TEST_P(MonitorModes, CoverageReachesOnlyExecutedPaths)
+{
+    const char* wat = R"((module
+      (func (export "f") (param $which i32) (result i32)
+        (if (result i32) (local.get $which)
+          (then (i32.const 11))
+          (else (i32.const 22))))
+      (func (export "dead") (result i32) (i32.const 99))
+    ))";
+    auto eng = makeEngine(wat, cfg());
+    CoverageMonitor mon;
+    eng->attachMonitor(&mon);
+    run1(*eng, "f", {Value::makeI32(1)});  // only the then-branch
+    double f0 = mon.covered(0);
+    EXPECT_GT(f0, 0.0);
+    EXPECT_LT(f0, 1.0);
+    EXPECT_EQ(mon.covered(1), 0.0);  // "dead" never ran
+    run1(*eng, "f", {Value::makeI32(0)});  // now the else-branch too
+    EXPECT_EQ(mon.covered(0), 1.0);
+    // Covered sites removed their probes: function 0 is probe-free.
+    EXPECT_EQ(eng->funcState(0).probeCount, 0u);
+    std::ostringstream report;
+    mon.report(report);
+    EXPECT_NE(report.str().find("coverage"), std::string::npos);
+}
+
+TEST_P(MonitorModes, LoopMonitorCountsIterations)
+{
+    auto eng = makeEngine(kBranchyWat, cfg());
+    LoopMonitor mon;
+    eng->attachMonitor(&mon);
+    run1(*eng, "f", {Value::makeI32(17)});
+    ASSERT_EQ(mon.sites().size(), 1u);
+    // The loop header is reached once on entry + once per backedge.
+    EXPECT_EQ(mon.sites()[0].probe->count, 18u);
+}
+
+TEST_P(MonitorModes, TraceMonitorPrintsEveryInstruction)
+{
+    auto eng = makeEngine(kBranchyWat, cfg());
+    std::ostringstream out;
+    TraceMonitor mon(out);
+    eng->attachMonitor(&mon);
+
+    HotnessMonitor hot;  // independent count of executed instructions
+    eng->attachMonitor(&hot);
+
+    run1(*eng, "f", {Value::makeI32(3)});
+    size_t lines = 0;
+    for (char c : out.str()) lines += c == '\n';
+    EXPECT_EQ(lines, mon.instructionsTraced);
+    EXPECT_EQ(hot.totalCount(), mon.instructionsTraced);
+    EXPECT_NE(out.str().find("local.get"), std::string::npos);
+}
+
+TEST_P(MonitorModes, MemoryMonitorSeesAddressesAndValues)
+{
+    const char* wat = R"((module
+      (memory 1)
+      (func (export "f") (result i32)
+        (i32.store (i32.const 100) (i32.const 1234))
+        (i32.store offset=4 (i32.const 100) (i32.const 5678))
+        (i32.add (i32.load (i32.const 100))
+                 (i32.load offset=4 (i32.const 100))))
+    ))";
+    auto eng = makeEngine(wat, cfg());
+    std::ostringstream out;
+    MemoryMonitor mon(out);
+    eng->attachMonitor(&mon);
+    EXPECT_EQ(run1(*eng, "f").i32(), 6912u);
+    EXPECT_EQ(mon.loads, 2u);
+    EXPECT_EQ(mon.stores, 2u);
+    EXPECT_NE(out.str().find("store i32.store @100 = i32:1234"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("@104"), std::string::npos);
+}
+
+const char* kCallGraphWat = R"((module
+  (type $fn (func (param i32) (result i32)))
+  (table 2 funcref)
+  (elem (i32.const 0) $double $triple)
+  (func $double (param $x i32) (result i32)
+    (i32.mul (local.get $x) (i32.const 2)))
+  (func $triple (param $x i32) (result i32)
+    (i32.mul (local.get $x) (i32.const 3)))
+  (func $apply (param $which i32) (param $x i32) (result i32)
+    (call_indirect (type $fn) (local.get $x) (local.get $which)))
+  (func (export "f") (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    (block $x (loop $t
+      (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+      (local.set $acc (i32.add (local.get $acc)
+        (call $apply (i32.and (local.get $i) (i32.const 1))
+                     (local.get $i))))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $t)))
+    (local.get $acc))
+))";
+
+TEST_P(MonitorModes, CallsMonitorBuildsDynamicCallGraph)
+{
+    auto eng = makeEngine(kCallGraphWat, cfg());
+    CallsMonitor mon;
+    eng->attachMonitor(&mon);
+    run1(*eng, "f", {Value::makeI32(10)});
+    auto graph = mon.callGraph();
+    // f(3) -> apply(2): 10 direct; apply -> double(0): 5; -> triple(1): 5.
+    EXPECT_EQ((graph[{3, 2}]), 10u);
+    EXPECT_EQ((graph[{2, 0}]), 5u);
+    EXPECT_EQ((graph[{2, 1}]), 5u);
+    std::ostringstream out;
+    mon.report(out);
+    EXPECT_NE(out.str().find("call_indirect"), std::string::npos);
+}
+
+TEST_P(MonitorModes, CallTreeMonitorBuildsContextTree)
+{
+    auto eng = makeEngine(kCallGraphWat, cfg());
+    CallTreeMonitor mon;
+    eng->attachMonitor(&mon);
+    run1(*eng, "f", {Value::makeI32(6)});
+    // Root -> f (1 call) -> apply (6) -> {double (3), triple (3)}.
+    const auto& root = mon.root();
+    ASSERT_EQ(root.children.size(), 1u);
+    const auto& fNode = *root.children.begin()->second;
+    EXPECT_EQ(fNode.funcIndex, 3u);
+    EXPECT_EQ(fNode.calls, 1u);
+    ASSERT_EQ(fNode.children.size(), 1u);
+    const auto& applyNode = *fNode.children.begin()->second;
+    EXPECT_EQ(applyNode.calls, 6u);
+    EXPECT_EQ(applyNode.children.size(), 2u);
+    for (const auto& [idx, child] : applyNode.children) {
+        EXPECT_EQ(child->calls, 3u);
+    }
+    std::ostringstream flame;
+    mon.writeFlameGraph(flame);
+    EXPECT_FALSE(flame.str().empty());
+}
+
+TEST_P(MonitorModes, FunctionEntryExitBalances)
+{
+    auto eng = makeEngine(kCallGraphWat, cfg());
+    uint64_t entries = 0, exits = 0;
+    FunctionEntryExit util(
+        *eng, [&](uint32_t, uint64_t) { entries++; },
+        [&](uint32_t, uint64_t) { exits++; });
+    util.instrumentAll();
+    run1(*eng, "f", {Value::makeI32(10)});
+    // 1 (f) + 10 (apply) + 10 (double/triple) = 21 activations.
+    EXPECT_EQ(entries, 21u);
+    EXPECT_EQ(exits, entries);
+    EXPECT_EQ(util.liveDepth(), 0u);
+}
+
+TEST_P(MonitorModes, FunctionEntryExitSeesBranchExits)
+{
+    // Exit via br to the function's outermost label, taken only
+    // sometimes: the utility must consult the branch condition.
+    const char* wat = R"((module
+      (func $g (param $x i32) (result i32)
+        (local $r i32)
+        (local.set $r (i32.const 1))
+        (block $out
+          (br_if $out (i32.eqz (local.get $x)))
+          (local.set $r (i32.const 2)))
+        (local.get $r))
+      (func (export "f") (result i32)
+        (i32.add (call $g (i32.const 0)) (call $g (i32.const 7))))
+    ))";
+    auto eng = makeEngine(wat, cfg());
+    uint64_t entries = 0, exits = 0;
+    FunctionEntryExit util(
+        *eng, [&](uint32_t, uint64_t) { entries++; },
+        [&](uint32_t, uint64_t) { exits++; });
+    util.instrumentAll();
+    EXPECT_EQ(run1(*eng, "f").i32(), 3u);
+    EXPECT_EQ(entries, 3u);
+    EXPECT_EQ(exits, 3u);
+}
+
+TEST_P(MonitorModes, DebuggerScriptedSession)
+{
+    std::istringstream script(
+        "break f 0\n"
+        "run\n"
+        "locals\n"
+        "stack\n"
+        "bt\n"
+        "set 0 5\n"
+        "step\n"
+        "continue\n");
+    std::ostringstream out;
+    auto eng = makeEngine(R"((module
+      (func (export "f") (param $n i32) (result i32)
+        (i32.mul (local.get $n) (i32.const 10)))
+    ))", cfg());
+    DebuggerMonitor dbg(script, out);
+    eng->attachMonitor(&dbg);
+    // The breakpoint fires at entry; `set 0 5` rewrites the argument.
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(3)}).i32(), 50u);
+    EXPECT_EQ(dbg.breakpointHits, 1u);
+    EXPECT_EQ(dbg.stepsTaken, 1u);
+    std::string o = out.str();
+    EXPECT_NE(o.find("breakpoint set at f+0"), std::string::npos);
+    EXPECT_NE(o.find("local[0] = i32:3"), std::string::npos);
+    EXPECT_NE(o.find("local[0] = i32:5"), std::string::npos);
+    EXPECT_NE(o.find("step at"), std::string::npos);
+}
+
+TEST_P(MonitorModes, DebuggerWatchpoint)
+{
+    std::istringstream script(
+        "watch 64\n"
+        "run\n"
+        "continue\n"
+        "continue\n");
+    std::ostringstream out;
+    auto eng = makeEngine(R"((module
+      (memory 1)
+      (func (export "f") (result i32)
+        (i32.store (i32.const 32) (i32.const 1))
+        (i32.store (i32.const 64) (i32.const 2))
+        (i32.load (i32.const 64)))
+    ))", cfg());
+    DebuggerMonitor dbg(script, out);
+    eng->attachMonitor(&dbg);
+    run1(*eng, "f");
+    EXPECT_EQ(dbg.watchpointHits, 2u);  // one store + one load at 64
+}
+
+TEST(MonitorRegistry, FactoryKnowsAllMonitors)
+{
+    std::ostringstream out;
+    for (const auto& name : monitorNames()) {
+        auto m = createMonitor(name, out);
+        ASSERT_NE(m, nullptr) << name;
+        EXPECT_FALSE(m->name().empty());
+    }
+    EXPECT_EQ(createMonitor("bogus", out), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, MonitorModes,
+    ::testing::Values(ExecMode::Interpreter, ExecMode::Jit,
+                      ExecMode::Tiered),
+    [](const ::testing::TestParamInfo<ExecMode>& info) {
+        return test::modeName(info.param);
+    });
+
+} // namespace
+} // namespace wizpp

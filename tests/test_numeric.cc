@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Spec-style numeric edge-case tests, executed in every tier: trap
+ * conditions, saturating truncation, NaN propagation of min/max, shift
+ * masking, sign extension, rotation, clz/ctz of zero, memory.fill and
+ * memory.copy (including overlap).
+ */
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace wizpp {
+namespace {
+
+using test::makeEngine;
+using test::run1;
+
+struct NumCase
+{
+    const char* name;
+    const char* expr;        ///< WAT expression producing the result
+    Value expected;
+    TrapReason trap = TrapReason::None;
+};
+
+class NumericEdge
+    : public ::testing::TestWithParam<std::tuple<ExecMode, NumCase>>
+{
+};
+
+TEST_P(NumericEdge, Evaluates)
+{
+    auto [mode, c] = GetParam();
+    const char* rt = nullptr;
+    switch (c.expected.type) {
+      case ValType::I32: rt = "i32"; break;
+      case ValType::I64: rt = "i64"; break;
+      case ValType::F32: rt = "f32"; break;
+      case ValType::F64: rt = "f64"; break;
+      default: FAIL();
+    }
+    std::string wat = std::string("(module (memory 1) ") +
+                      "(func (export \"f\") (result " + rt + ") " +
+                      c.expr + "))";
+    EngineConfig cfg;
+    cfg.mode = mode;
+    auto eng = makeEngine(wat, cfg);
+    auto r = eng->callExport("f", {});
+    if (c.trap != TrapReason::None) {
+        EXPECT_FALSE(r.ok()) << c.name;
+        EXPECT_EQ(eng->lastTrap(), c.trap) << c.name;
+        return;
+    }
+    ASSERT_TRUE(r.ok()) << c.name << ": "
+                        << (r.ok() ? "" : r.error().toString());
+    EXPECT_EQ(r.value()[0].bits, c.expected.bits)
+        << c.name << " got " << r.value()[0].toString() << " want "
+        << c.expected.toString();
+}
+
+float kF32Nan = std::nanf("");
+double kF64Nan = std::nan("");
+
+const NumCase kCases[] = {
+    // Integer division/remainder traps and edge values.
+    {"div_s_overflow",
+     "(i32.div_s (i32.const -2147483648) (i32.const -1))", Value{},
+     TrapReason::IntegerOverflow},
+    {"rem_s_min_negone",
+     "(i32.rem_s (i32.const -2147483648) (i32.const -1))",
+     Value::makeI32(0)},
+    {"div_u_by_zero", "(i32.div_u (i32.const 1) (i32.const 0))", Value{},
+     TrapReason::DivByZero},
+    {"i64_div_s_overflow",
+     "(i64.div_s (i64.const -9223372036854775808) (i64.const -1))",
+     Value::makeI64(int64_t{0}), TrapReason::IntegerOverflow},
+    {"i64_rem_u", "(i64.rem_u (i64.const 7) (i64.const 3))",
+     Value::makeI64(int64_t{1})},
+    // Shift masking.
+    {"shl_masked", "(i32.shl (i32.const 1) (i32.const 33))",
+     Value::makeI32(2)},
+    {"shr_s_masked", "(i32.shr_s (i32.const -8) (i32.const 35))",
+     Value::makeI32(-1)},
+    {"i64_shl_masked", "(i64.shl (i64.const 1) (i64.const 65))",
+     Value::makeI64(int64_t{2})},
+    // Rotation.
+    {"rotl_zero", "(i32.rotl (i32.const 0x12345678) (i32.const 0))",
+     Value::makeI32(0x12345678u)},
+    {"rotl_8", "(i32.rotl (i32.const 0x12345678) (i32.const 8))",
+     Value::makeI32(0x34567812u)},
+    {"rotr_4", "(i32.rotr (i32.const 0x12345678) (i32.const 4))",
+     Value::makeI32(0x81234567u)},
+    // clz/ctz/popcnt edges.
+    {"clz_zero", "(i32.clz (i32.const 0))", Value::makeI32(32u)},
+    {"ctz_zero", "(i32.ctz (i32.const 0))", Value::makeI32(32u)},
+    {"i64_clz_zero", "(i64.clz (i64.const 0))",
+     Value::makeI64(uint64_t{64})},
+    {"popcnt_all", "(i32.popcnt (i32.const -1))", Value::makeI32(32u)},
+    // Sign extension.
+    {"extend8_neg", "(i32.extend8_s (i32.const 0x80))",
+     Value::makeI32(-128)},
+    {"extend16_pos", "(i32.extend16_s (i32.const 0x7fff))",
+     Value::makeI32(32767)},
+    {"i64_extend32", "(i64.extend32_s (i64.const 0xffffffff))",
+     Value::makeI64(int64_t{-1})},
+    // Trapping truncation bounds.
+    {"trunc_f64_i32_max_ok",
+     "(i32.trunc_f64_s (f64.const 2147483647.0))",
+     Value::makeI32(2147483647)},
+    {"trunc_f64_i32_overflow",
+     "(i32.trunc_f64_s (f64.const 2147483648.0))", Value{},
+     TrapReason::IntegerOverflow},
+    {"trunc_f64_i32_nan", "(i32.trunc_f64_s (f64.const nan))", Value{},
+     TrapReason::InvalidConversion},
+    {"trunc_f32_u_neg", "(i32.trunc_f32_u (f32.const -1.5))", Value{},
+     TrapReason::IntegerOverflow},
+    {"trunc_frac_ok", "(i32.trunc_f64_u (f64.const 3.999))",
+     Value::makeI32(3u)},
+    // Saturating truncation.
+    {"sat_overflow", "(i32.trunc_sat_f64_s (f64.const 1e30))",
+     Value::makeI32(2147483647)},
+    {"sat_underflow", "(i32.trunc_sat_f64_s (f64.const -1e30))",
+     Value::makeI32(int32_t{-2147483647 - 1})},
+    {"sat_nan", "(i32.trunc_sat_f32_s (f32.const nan))",
+     Value::makeI32(0)},
+    {"sat_u64", "(i64.trunc_sat_f64_u (f64.const 1e30))",
+     Value::makeI64(uint64_t{0xffffffffffffffffull})},
+    // Float min/max NaN propagation and signed zero.
+    {"min_nan", "(f64.eq (f64.min (f64.const nan) (f64.const 1)) "
+     "(f64.min (f64.const nan) (f64.const 1)))", Value::makeI32(0u)},
+    {"max_zero_signs",
+     "(i64.reinterpret_f64 (f64.max (f64.const -0.0) (f64.const 0.0)))",
+     Value::makeI64(uint64_t{0})},
+    {"min_zero_signs",
+     "(i64.reinterpret_f64 (f64.min (f64.const -0.0) (f64.const 0.0)))",
+     Value::makeI64(uint64_t{0x8000000000000000ull})},
+    // Nearest: round half to even.
+    {"nearest_half_even", "(f64.nearest (f64.const 2.5))",
+     Value::makeF64(2.0)},
+    {"nearest_half_even2", "(f64.nearest (f64.const 3.5))",
+     Value::makeF64(4.0)},
+    {"nearest_neg", "(f64.nearest (f64.const -0.5))",
+     Value::makeF64(-0.0)},
+    // Copysign.
+    {"copysign", "(f32.copysign (f32.const 3.0) (f32.const -0.0))",
+     Value::makeF32(-3.0f)},
+    // Conversions.
+    {"convert_u_big", "(f64.convert_i32_u (i32.const -1))",
+     Value::makeF64(4294967295.0)},
+    {"convert_i64_u",
+     "(f64.convert_i64_u (i64.const -1))",
+     Value::makeF64(18446744073709551616.0)},
+    {"demote", "(f32.demote_f64 (f64.const 1.0000000001))",
+     Value::makeF32(1.0f)},
+    {"wrap", "(i32.wrap_i64 (i64.const 0x1ffffffff))",
+     Value::makeI32(0xffffffffu)},
+    // Memory fill/copy.
+    {"mem_fill_then_load",
+     "(memory.fill (i32.const 16) (i32.const 0xab) (i32.const 8)) "
+     "(i32.load8_u (i32.const 20))", Value::makeI32(0xabu)},
+    {"mem_copy_overlap",
+     "(i32.store (i32.const 0) (i32.const 0x04030201)) "
+     "(memory.copy (i32.const 1) (i32.const 0) (i32.const 3)) "
+     "(i32.load (i32.const 0))", Value::makeI32(0x03020101u)},
+    {"mem_fill_oob",
+     "(memory.fill (i32.const 65530) (i32.const 1) (i32.const 100)) "
+     "(i32.const 0)", Value{}, TrapReason::MemoryOutOfBounds},
+    // Load/store with offsets at the boundary.
+    {"load_offset_edge_ok",
+     "(i32.load offset=65532 (i32.const 0))", Value::makeI32(0u)},
+    {"load_offset_oob",
+     "(i32.load offset=65533 (i32.const 0))", Value{},
+     TrapReason::MemoryOutOfBounds},
+    {"store16_truncates",
+     "(i32.store16 (i32.const 8) (i32.const 0x12345678)) "
+     "(i32.load16_u (i32.const 8))", Value::makeI32(0x5678u)},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesAllCases, NumericEdge,
+    ::testing::Combine(
+        ::testing::Values(ExecMode::Interpreter, ExecMode::Jit),
+        ::testing::ValuesIn(kCases)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ExecMode, NumCase>>& info) {
+        return std::string(test::modeName(std::get<0>(info.param))) +
+               "_" + std::get<1>(info.param).name;
+    });
+
+} // namespace
+} // namespace wizpp

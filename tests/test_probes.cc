@@ -1,0 +1,603 @@
+/**
+ * @file
+ * Probe framework tests: bytecode overwriting, dispatch-table
+ * switching, the Section 2.4 consistency guarantees, intrinsification
+ * correctness, jit invalidation and frame deoptimization.
+ */
+
+#include "test_util.h"
+
+#include "probes/frameaccessor.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+namespace {
+
+using test::makeEngine;
+using test::run1;
+
+/** A counting loop: the probed instruction executes exactly n times. */
+const char* kLoopWat = R"((module
+  (func (export "f") (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    (block $x (loop $t
+      (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+      (local.set $acc (i32.add (local.get $acc) (i32.const 3)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $t)))
+    (local.get $acc))
+))";
+
+/** Finds the pc of the k-th occurrence of an opcode in a function. */
+uint32_t
+findOpcode(Engine& eng, uint32_t func, uint8_t opcode, int k = 0)
+{
+    FuncState& fs = eng.funcState(func);
+    for (uint32_t pc : fs.sideTable.instrBoundaries) {
+        if (fs.decl->code[pc] == opcode && k-- == 0) return pc;
+    }
+    ADD_FAILURE() << "opcode not found";
+    return 0;
+}
+
+class ProbeModes : public ::testing::TestWithParam<ExecMode>
+{
+  protected:
+    EngineConfig
+    cfg() const
+    {
+        EngineConfig c;
+        c.mode = GetParam();
+        c.tierUpThreshold = 2;
+        return c;
+    }
+};
+
+TEST_P(ProbeModes, CountProbeFiresExactly)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    // Probe the loop-body constant: executes once per iteration.
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    auto probe = std::make_shared<CountProbe>();
+    ASSERT_TRUE(eng->probes().insertLocal(0, pc, probe));
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(100)}).i32(), 300u);
+    EXPECT_EQ(probe->count, 100u);
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(50)}).i32(), 150u);
+    EXPECT_EQ(probe->count, 150u);
+}
+
+TEST_P(ProbeModes, BytecodeOverwriting)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    FuncState& fs = eng->funcState(0);
+    uint8_t orig = fs.code[pc];
+    EXPECT_NE(orig, OP_PROBE);
+
+    auto probe = std::make_shared<CountProbe>();
+    eng->probes().insertLocal(0, pc, probe);
+    // The engine's mutable copy is overwritten; the pristine module
+    // bytes are not (non-intrusiveness even for self-reading code).
+    EXPECT_EQ(fs.code[pc], OP_PROBE);
+    EXPECT_EQ(fs.decl->code[pc], orig);
+    EXPECT_EQ(eng->probes().originalByte(0, pc), orig);
+
+    // Removal restores the byte (O(1), probe-granular — unlike Pin's
+    // region-level clearing).
+    eng->probes().removeLocal(0, pc, probe.get());
+    EXPECT_EQ(fs.code[pc], orig);
+    EXPECT_EQ(eng->probes().numProbedSites(), 0u);
+}
+
+TEST_P(ProbeModes, InsertionOrderIsFiringOrder)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    std::vector<int> order;
+    for (int id = 0; id < 4; id++) {
+        eng->probes().insertLocal(0, pc, makeProbe(
+            [&order, id](ProbeContext&) { order.push_back(id); }));
+    }
+    run1(*eng, "f", {Value::makeI32(2)});
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; i++) EXPECT_EQ(order[i], i % 4);
+}
+
+TEST_P(ProbeModes, DeferredInsertOnSameEvent)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    auto q = std::make_shared<CountProbe>();
+    bool inserted = false;
+    eng->probes().insertLocal(0, pc, makeProbe(
+        [&](ProbeContext& ctx) {
+            if (!inserted) {
+                inserted = true;
+                ctx.engine().probes().insertLocal(0, pc, q);
+            }
+        }));
+    run1(*eng, "f", {Value::makeI32(10)});
+    // q was inserted during occurrence #1 of the event and must not
+    // fire until occurrence #2: exactly 9 fires.
+    EXPECT_EQ(q->count, 9u);
+}
+
+TEST_P(ProbeModes, DeferredRemovalOnSameEvent)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    auto q = std::make_shared<CountProbe>();
+    bool removed = false;
+    // p fires before q (insertion order) and removes q on the first
+    // occurrence; q must still fire on that occurrence.
+    eng->probes().insertLocal(0, pc, makeProbe(
+        [&](ProbeContext& ctx) {
+            if (!removed) {
+                removed = true;
+                ctx.engine().probes().removeLocal(0, pc, q.get());
+            }
+        }));
+    eng->probes().insertLocal(0, pc, q);
+    run1(*eng, "f", {Value::makeI32(10)});
+    EXPECT_EQ(q->count, 1u);
+}
+
+TEST_P(ProbeModes, SelfRemovingProbe)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    auto holder = std::make_shared<std::shared_ptr<Probe>>();
+    uint64_t fires = 0;
+    auto probe = makeProbe([&, holder](ProbeContext& ctx) {
+        fires++;
+        ctx.engine().probes().removeLocal(0, pc, holder->get());
+    });
+    *holder = probe;
+    eng->probes().insertLocal(0, pc, probe);
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(100)}).i32(), 300u);
+    EXPECT_EQ(fires, 1u);
+    EXPECT_EQ(eng->probes().numProbedSites(), 0u);
+}
+
+TEST_P(ProbeModes, GlobalProbeCountsEveryInstruction)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    auto probe = std::make_shared<CountProbe>();
+    eng->probes().insertGlobal(probe);
+    EXPECT_TRUE(eng->interpreterOnly());
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(10)}).i32(), 30u);
+    // Loop body: br_if+2 operands, 2 local.set groups (3 each),
+    // br = 10 per iteration; plus prologue/epilogue.
+    uint64_t perIter = 10;
+    EXPECT_GE(probe->count, perIter * 10);
+    uint64_t after = probe->count;
+
+    // Removing the global probe switches back to the normal dispatch
+    // table: zero further fires.
+    eng->probes().removeGlobal(probe.get());
+    EXPECT_FALSE(eng->interpreterOnly());
+    run1(*eng, "f", {Value::makeI32(10)});
+    EXPECT_EQ(probe->count, after);
+    EXPECT_GE(eng->stats.dispatchTableSwitches, 2u);
+}
+
+TEST_P(ProbeModes, GlobalAndLocalProbesCompose)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    std::vector<char> order;
+    eng->probes().insertGlobal(makeProbe([&](ProbeContext& ctx) {
+        if (ctx.pc() == pc) order.push_back('g');
+    }));
+    eng->probes().insertLocal(0, pc, makeProbe(
+        [&](ProbeContext&) { order.push_back('l'); }));
+    run1(*eng, "f", {Value::makeI32(3)});
+    // Global probes fire before local probes at the same instruction.
+    ASSERT_EQ(order.size(), 6u);
+    for (size_t i = 0; i < order.size(); i += 2) {
+        EXPECT_EQ(order[i], 'g');
+        EXPECT_EQ(order[i + 1], 'l');
+    }
+}
+
+TEST_P(ProbeModes, OneShotGlobalProbe)
+{
+    // The "after-instruction" building block (Section 2.6, strategy 3):
+    // insert a global probe, fire once, remove.
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    uint64_t afterFires = 0;
+    uint32_t afterPc = 0;
+    bool armed = false;
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        if (armed) return;
+        armed = true;
+        auto holder = std::make_shared<std::shared_ptr<Probe>>();
+        auto g = makeProbe([&, holder](ProbeContext& c2) {
+            afterFires++;
+            afterPc = c2.pc();
+            c2.engine().probes().removeGlobal(holder->get());
+            holder->reset();
+        });
+        *holder = g;
+        ctx.engine().probes().insertGlobal(g);
+    }));
+    run1(*eng, "f", {Value::makeI32(20)});
+    EXPECT_EQ(afterFires, 1u);
+    // It fired at the instruction *after* the probed one (the probed
+    // instruction itself: global probes inserted during its local probe
+    // firing take effect at the next dispatch, i.e. the next
+    // instruction).
+    EXPECT_NE(afterPc, pc);
+    EXPECT_FALSE(eng->interpreterOnly());
+}
+
+// ---- FrameAccessor ----
+
+const char* kCallWat = R"((module
+  (func $callee (param $x i32) (result i32)
+    (i32.add (local.get $x) (i32.const 1)))
+  (func (export "f") (param $a i32) (result i32)
+    (local $l i32)
+    (local.set $l (i32.const 77))
+    (call $callee (i32.mul (local.get $a) (i32.const 2))))
+))";
+
+TEST_P(ProbeModes, AccessorReadsLocalsAndOperands)
+{
+    auto eng = makeEngine(kCallWat, cfg());
+    // Probe the i32.add in the callee: operand stack holds [x, 1].
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_ADD);
+    bool checked = false;
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        auto acc = ctx.accessor();
+        ASSERT_TRUE(acc->valid());
+        EXPECT_EQ(acc->numLocals(), 1u);
+        EXPECT_EQ(acc->getLocal(0).i32(), 10u);
+        EXPECT_EQ(acc->numOperands(), 2u);
+        EXPECT_EQ(acc->getOperand(0).i32(), 1u);   // top: the constant
+        EXPECT_EQ(acc->getOperand(1).i32(), 10u);  // below: x
+        EXPECT_EQ(acc->pc(), pc);
+        checked = true;
+    }));
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(5)}).i32(), 11u);
+    EXPECT_TRUE(checked);
+}
+
+TEST_P(ProbeModes, AccessorWalksCallers)
+{
+    auto eng = makeEngine(kCallWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_ADD);
+    bool checked = false;
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        auto acc = ctx.accessor();
+        EXPECT_EQ(acc->depth(), 1u);
+        auto caller = acc->caller();
+        ASSERT_NE(caller, nullptr);
+        EXPECT_EQ(caller->func()->funcIndex, 1u);
+        EXPECT_EQ(caller->getLocal(1).i32(), 77u);  // $l
+        EXPECT_EQ(caller->caller(), nullptr);       // stack bottom
+        checked = true;
+    }));
+    run1(*eng, "f", {Value::makeI32(5)});
+    EXPECT_TRUE(checked);
+}
+
+TEST_P(ProbeModes, AccessorIdentityIsStablePerActivation)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    std::set<const FrameAccessor*> seen;
+    std::set<uint64_t> frameIds;
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        seen.insert(ctx.accessor().get());
+        frameIds.insert(ctx.accessor()->frameId());
+    }));
+    run1(*eng, "f", {Value::makeI32(10)});
+    // One activation: a single accessor object across all callbacks
+    // (the paper: identity is observable for cross-callback analyses).
+    EXPECT_EQ(seen.size(), 1u);
+    EXPECT_EQ(frameIds.size(), 1u);
+    run1(*eng, "f", {Value::makeI32(10)});
+    // A second activation gets a fresh identity.
+    EXPECT_EQ(frameIds.size(), 2u);
+}
+
+TEST_P(ProbeModes, DanglingAccessorIsInvalidated)
+{
+    auto eng = makeEngine(kCallWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_ADD);
+    std::shared_ptr<FrameAccessor> leaked;
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        leaked = ctx.accessor();  // monitor keeps it across callbacks
+    }));
+    run1(*eng, "f", {Value::makeI32(5)});
+    ASSERT_NE(leaked, nullptr);
+    // The frame was unwound; the accessor must be dead and safe.
+    EXPECT_FALSE(leaked->valid());
+    EXPECT_EQ(leaked->getLocal(0), Value{});
+    EXPECT_TRUE(leaked->misuseDetected());
+    EXPECT_FALSE(leaked->setLocal(0, Value::makeI32(1)));
+}
+
+TEST_P(ProbeModes, FrameModificationTakesEffectImmediately)
+{
+    auto eng = makeEngine(kCallWat, cfg());
+    // Probe the callee's first instruction and overwrite its argument:
+    // the paper's fix-and-continue scenario.
+    uint32_t pc = findOpcode(*eng, 0, OP_LOCAL_GET);
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        ASSERT_TRUE(ctx.accessor()->setLocal(0, Value::makeI32(41)));
+    }));
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(5)}).i32(), 42u);
+    if (GetParam() == ExecMode::Jit) {
+        // The modified frame was deoptimized to the interpreter.
+        EXPECT_GE(eng->stats.frameDeopts, 1u);
+    }
+}
+
+TEST_P(ProbeModes, OperandModificationTakesEffectImmediately)
+{
+    auto eng = makeEngine(kCallWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_ADD);
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        // Replace the top operand (the +1 constant) with +100.
+        ASSERT_TRUE(ctx.accessor()->setOperand(0, Value::makeI32(100)));
+    }));
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(5)}).i32(), 110u);
+}
+
+// ---- JIT interaction ----
+
+TEST(ProbeJit, IntrinsifiedCountMatchesGeneric)
+{
+    for (bool intrinsify : {false, true}) {
+        EngineConfig c;
+        c.mode = ExecMode::Jit;
+        c.intrinsifyCountProbe = intrinsify;
+        auto eng = makeEngine(kLoopWat, c);
+        uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+        auto probe = std::make_shared<CountProbe>();
+        eng->probes().insertLocal(0, pc, probe);
+        EXPECT_EQ(run1(*eng, "f", {Value::makeI32(1000)}).i32(), 3000u);
+        EXPECT_EQ(probe->count, 1000u) << "intrinsify=" << intrinsify;
+        EXPECT_GE(eng->stats.functionsCompiled, 1u);
+    }
+}
+
+class RecordingOperandProbe : public OperandProbe
+{
+  public:
+    void fireOperand(Value v) override { values.push_back(v); }
+    std::vector<Value> values;
+};
+
+TEST(ProbeJit, IntrinsifiedOperandProbeSeesTopOfStack)
+{
+    for (bool intrinsify : {false, true}) {
+        EngineConfig c;
+        c.mode = ExecMode::Jit;
+        c.intrinsifyOperandProbe = intrinsify;
+        auto eng = makeEngine(kLoopWat, c);
+        // Probe the br_if: top-of-stack is the loop-exit condition.
+        uint32_t pc = findOpcode(*eng, 0, OP_BR_IF);
+        auto probe = std::make_shared<RecordingOperandProbe>();
+        eng->probes().insertLocal(0, pc, probe);
+        run1(*eng, "f", {Value::makeI32(4)});
+        ASSERT_EQ(probe->values.size(), 5u);
+        for (int i = 0; i < 4; i++) {
+            EXPECT_EQ(probe->values[i].i32(), 0u);  // keep looping
+        }
+        EXPECT_EQ(probe->values[4].i32(), 1u);      // exit
+    }
+}
+
+TEST(ProbeJit, InsertionInvalidatesCompiledCode)
+{
+    EngineConfig c;
+    c.mode = ExecMode::Jit;
+    auto eng = makeEngine(kLoopWat, c);
+    uint32_t constPc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    uint32_t brPc = findOpcode(*eng, 0, OP_BR);
+
+    // From inside compiled code, a probe inserts another probe into the
+    // executing function: the code is invalidated and the live frame
+    // deopts to the interpreter, with no double-firing at the site.
+    auto late = std::make_shared<CountProbe>();
+    uint64_t pFires = 0;
+    eng->probes().insertLocal(0, constPc, makeProbe(
+        [&](ProbeContext& ctx) {
+            pFires++;
+            if (pFires == 5) {
+                ctx.engine().probes().insertLocal(0, brPc, late);
+            }
+        }));
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(100)}).i32(), 300u);
+    EXPECT_EQ(pFires, 100u);
+    // late was inserted during iteration 5, before that iteration's br.
+    EXPECT_EQ(late->count, 96u);
+    EXPECT_GE(eng->stats.jitInvalidations, 1u);
+    EXPECT_GE(eng->stats.frameDeopts, 1u);
+}
+
+TEST(ProbeJit, HotFunctionRecompilesAfterInvalidation)
+{
+    EngineConfig c;
+    c.mode = ExecMode::Jit;
+    auto eng = makeEngine(kLoopWat, c);
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    uint64_t before = eng->stats.functionsCompiled;
+    auto probe = std::make_shared<CountProbe>();
+    eng->probes().insertLocal(0, pc, probe);
+    // Next call re-enters the (re)compiled code with the probe baked in.
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(10)}).i32(), 30u);
+    EXPECT_EQ(probe->count, 10u);
+    EXPECT_GE(eng->stats.functionsCompiled, before + 1);
+}
+
+TEST(ProbeTiered, OsrIntoCompiledLoopKeepsCounts)
+{
+    EngineConfig c;
+    c.mode = ExecMode::Tiered;
+    c.tierUpThreshold = 8;
+    c.osrAtLoopBackedge = true;
+    auto eng = makeEngine(kLoopWat, c);
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    auto probe = std::make_shared<CountProbe>();
+    eng->probes().insertLocal(0, pc, probe);
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(5000)}).i32(), 15000u);
+    EXPECT_EQ(probe->count, 5000u);
+    EXPECT_GE(eng->stats.osrEntries, 1u);
+}
+
+TEST(ProbeTrap, UnwindInvalidatesAccessorsAndRecovers)
+{
+    const char* wat = R"((module
+      (func (export "boom") (param $n i32) (result i32)
+        (local $i i32)
+        (block $x (loop $t
+          (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $t)))
+        (i32.div_u (i32.const 1) (i32.const 0)))
+    ))";
+    EngineConfig c;
+    c.mode = ExecMode::Jit;
+    auto eng = makeEngine(wat, c);
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_DIV_U);
+    std::shared_ptr<FrameAccessor> leaked;
+    eng->probes().insertLocal(0, pc, makeProbe([&](ProbeContext& ctx) {
+        leaked = ctx.accessor();
+    }));
+    auto r = eng->callExport("boom", {Value::makeI32(3)});
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(eng->lastTrap(), TrapReason::DivByZero);
+    ASSERT_NE(leaked, nullptr);
+    EXPECT_FALSE(leaked->valid());
+}
+
+TEST(ProbeValidation, RejectsBadLocations)
+{
+    auto eng = makeEngine(kLoopWat);
+    auto p = std::make_shared<CountProbe>();
+    // Mid-instruction pc (1 is inside the first instruction's bytes
+    // only if instruction 0 is multi-byte; find a genuinely bad pc).
+    FuncState& fs = eng->funcState(0);
+    uint32_t bad = fs.sideTable.instrBoundaries[0] + 1;
+    bool isBoundary = fs.sideTable.isInstrBoundary(bad);
+    if (!isBoundary) {
+        EXPECT_FALSE(eng->probes().insertLocal(0, bad, p));
+    }
+    EXPECT_FALSE(eng->probes().insertLocal(99, 0, p));
+    EXPECT_FALSE(eng->probes().removeLocal(0, 0, p.get()));
+}
+
+TEST_P(ProbeModes, ProbesOnStructuralOpcodes)
+{
+    // block/loop/end are structural, but probes attach to them like any
+    // other instruction (the compiled tier emits the probe and elides
+    // the structural op).
+    auto eng = makeEngine(kLoopWat, cfg());
+    FuncState& fs = eng->funcState(0);
+    auto probeAtOp = [&](uint8_t op) {
+        uint32_t pc = findOpcode(*eng, 0, op, 0);
+        auto p = std::make_shared<CountProbe>();
+        EXPECT_TRUE(eng->probes().insertLocal(0, pc, p));
+        return p;
+    };
+    auto pBlock = probeAtOp(OP_BLOCK);
+    auto pLoop = probeAtOp(OP_LOOP);
+    // The loop's `end` is dead code here (the only exits are branches
+    // that jump past it) — its probe must never fire.
+    auto pDeadEnd = probeAtOp(OP_END);
+    // The function's final `end` executes exactly once per call.
+    uint32_t finalEnd = fs.sideTable.instrBoundaries.back();
+    auto pFinalEnd = std::make_shared<CountProbe>();
+    ASSERT_TRUE(eng->probes().insertLocal(0, finalEnd, pFinalEnd));
+    run1(*eng, "f", {Value::makeI32(7)});
+    EXPECT_EQ(pBlock->count, 1u);
+    EXPECT_EQ(pLoop->count, 1u);
+    EXPECT_EQ(pDeadEnd->count, 0u);
+    EXPECT_EQ(pFinalEnd->count, 1u);
+}
+
+TEST_P(ProbeModes, ProbeAtBranchTargetFires)
+{
+    // Branching *to* a probed location must fire its probes: the loop
+    // header is re-reached via the backedge every iteration.
+    auto eng = makeEngine(kLoopWat, cfg());
+    FuncState& fs = eng->funcState(0);
+    uint32_t headerPc = fs.sideTable.loopHeaders[0];
+    auto p = std::make_shared<CountProbe>();
+    ASSERT_TRUE(eng->probes().insertLocal(0, headerPc, p));
+    run1(*eng, "f", {Value::makeI32(10)});
+    // Entry + 10 backedges.
+    EXPECT_EQ(p->count, 11u);
+}
+
+TEST_P(ProbeModes, MultipleAnalysesComposeWithoutInterference)
+{
+    // The Section 2.4 headline: monitors compose deterministically.
+    // Run three analyses at overlapping locations plus a global probe,
+    // and check each one's counts are exactly what it would see alone.
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t constPc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    uint32_t brIfPc = findOpcode(*eng, 0, OP_BR_IF, 0);
+
+    auto count1 = std::make_shared<CountProbe>();
+    auto count2 = std::make_shared<CountProbe>();
+    auto branchProbe = std::make_shared<RecordingOperandProbe>();
+    auto globalCount = std::make_shared<CountProbe>();
+    eng->probes().insertLocal(0, constPc, count1);
+    eng->probes().insertLocal(0, brIfPc, branchProbe);
+    eng->probes().insertLocal(0, constPc, count2);
+    eng->probes().insertGlobal(globalCount);
+
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(25)}).i32(), 75u);
+    EXPECT_EQ(count1->count, 25u);
+    EXPECT_EQ(count2->count, 25u);
+    EXPECT_EQ(branchProbe->values.size(), 26u);
+    EXPECT_GT(globalCount->count, 25u * 8);
+
+    // Removing one analysis leaves the others untouched.
+    eng->probes().removeLocal(0, constPc, count1.get());
+    eng->probes().removeGlobal(globalCount.get());
+    run1(*eng, "f", {Value::makeI32(25)});
+    EXPECT_EQ(count1->count, 25u);
+    EXPECT_EQ(count2->count, 50u);
+    EXPECT_EQ(branchProbe->values.size(), 52u);
+}
+
+TEST_P(ProbeModes, ProbesOnEveryInstructionCountExactly)
+{
+    // Saturation: a CountProbe on every instruction; totals must equal
+    // the global probe's instruction count exactly.
+    auto eng = makeEngine(kLoopWat, cfg());
+    FuncState& fs = eng->funcState(0);
+    std::vector<std::shared_ptr<CountProbe>> probes;
+    for (uint32_t pc : fs.sideTable.instrBoundaries) {
+        auto p = std::make_shared<CountProbe>();
+        eng->probes().insertLocal(0, pc, p);
+        probes.push_back(p);
+    }
+    run1(*eng, "f", {Value::makeI32(13)});
+    uint64_t localTotal = 0;
+    for (const auto& p : probes) localTotal += p->count;
+
+    auto eng2 = makeEngine(kLoopWat, cfg());
+    auto g = std::make_shared<CountProbe>();
+    eng2->probes().insertGlobal(g);
+    run1(*eng2, "f", {Value::makeI32(13)});
+    EXPECT_EQ(localTotal, g->count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ProbeModes,
+    ::testing::Values(ExecMode::Interpreter, ExecMode::Jit,
+                      ExecMode::Tiered),
+    [](const ::testing::TestParamInfo<ExecMode>& info) {
+        return test::modeName(info.param);
+    });
+
+} // namespace
+} // namespace wizpp

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Property-based differential tests: randomly generated programs must
+ * (a) produce bit-identical results in every execution tier, and
+ * (b) produce the *same* results when instrumented — probes are
+ * non-intrusive by construction, so no monitor may perturb program
+ * results.
+ */
+
+#include <random>
+#include <sstream>
+
+#include "monitors/monitors.h"
+#include "probes/frameaccessor.h"
+#include "test_util.h"
+
+namespace wizpp {
+namespace {
+
+using test::mustParse;
+
+/** Generates random well-typed WAT expressions. */
+class ExprGen
+{
+  public:
+    explicit ExprGen(uint32_t seed) : _rng(seed) {}
+
+    /** A full module with one exported function of random body. */
+    std::string
+    module()
+    {
+        std::ostringstream out;
+        out << "(module (func (export \"f\") (param $a i32) "
+               "(param $b i32) (param $x f64) (result f64)\n";
+        out << "  (f64.add " << f64Expr(4) << "\n"
+            << "    (f64.convert_i32_s " << i32Expr(4) << ")))";
+        out << ")";
+        return out.str();
+    }
+
+  private:
+    uint32_t pick(uint32_t n) { return _rng() % n; }
+
+    std::string
+    i32Leaf()
+    {
+        switch (pick(3)) {
+          case 0: return "(local.get $a)";
+          case 1: return "(local.get $b)";
+          default:
+            return "(i32.const " +
+                   std::to_string(static_cast<int32_t>(_rng())) + ")";
+        }
+    }
+
+    std::string
+    i32Expr(int depth)
+    {
+        if (depth == 0) return i32Leaf();
+        switch (pick(12)) {
+          case 0:
+            return "(i32.add " + i32Expr(depth - 1) + " " +
+                   i32Expr(depth - 1) + ")";
+          case 1:
+            return "(i32.sub " + i32Expr(depth - 1) + " " +
+                   i32Expr(depth - 1) + ")";
+          case 2:
+            return "(i32.mul " + i32Expr(depth - 1) + " " +
+                   i32Expr(depth - 1) + ")";
+          case 3:
+            return "(i32.xor " + i32Expr(depth - 1) + " " +
+                   i32Expr(depth - 1) + ")";
+          case 4:
+            return "(i32.rotl " + i32Expr(depth - 1) + " " +
+                   i32Expr(depth - 1) + ")";
+          case 5:
+            // Division with a denominator forced nonzero.
+            return "(i32.div_u " + i32Expr(depth - 1) + " (i32.or " +
+                   i32Expr(depth - 1) + " (i32.const 16)))";
+          case 6:
+            return "(i32.shr_s " + i32Expr(depth - 1) + " " +
+                   i32Expr(depth - 1) + ")";
+          case 7:
+            return "(select " + i32Expr(depth - 1) + " " +
+                   i32Expr(depth - 1) + " " + i32Expr(depth - 1) + ")";
+          case 8:
+            return "(i32.lt_s " + i32Expr(depth - 1) + " " +
+                   i32Expr(depth - 1) + ")";
+          case 9:
+            return "(i32.wrap_i64 (i64.mul (i64.extend_i32_s " +
+                   i32Expr(depth - 1) + ") (i64.const 0x9e3779b9)))";
+          case 10:
+            return "(i32.trunc_sat_f64_s " + f64Expr(depth - 1) + ")";
+          default:
+            return "(i32.popcnt " + i32Expr(depth - 1) + ")";
+        }
+    }
+
+    std::string
+    f64Leaf()
+    {
+        switch (pick(2)) {
+          case 0: return "(local.get $x)";
+          default: {
+            double v = static_cast<double>(static_cast<int32_t>(_rng())) /
+                       65536.0;
+            std::ostringstream s;
+            s << "(f64.const " << v << ")";
+            return s.str();
+          }
+        }
+    }
+
+    std::string
+    f64Expr(int depth)
+    {
+        if (depth == 0) return f64Leaf();
+        switch (pick(8)) {
+          case 0:
+            return "(f64.add " + f64Expr(depth - 1) + " " +
+                   f64Expr(depth - 1) + ")";
+          case 1:
+            return "(f64.sub " + f64Expr(depth - 1) + " " +
+                   f64Expr(depth - 1) + ")";
+          case 2:
+            return "(f64.mul " + f64Expr(depth - 1) + " " +
+                   f64Expr(depth - 1) + ")";
+          case 3:
+            return "(f64.min " + f64Expr(depth - 1) + " " +
+                   f64Expr(depth - 1) + ")";
+          case 4:
+            return "(f64.abs " + f64Expr(depth - 1) + ")";
+          case 5:
+            return "(f64.floor " + f64Expr(depth - 1) + ")";
+          case 6:
+            return "(f64.convert_i32_u " + i32Expr(depth - 1) + ")";
+          default:
+            return "(select " + f64Expr(depth - 1) + " " +
+                   f64Expr(depth - 1) + " " + i32Expr(depth - 1) + ")";
+        }
+    }
+
+    std::mt19937 _rng;
+};
+
+class RandomPrograms : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(RandomPrograms, TiersAgreeBitExactly)
+{
+    ExprGen gen(GetParam());
+    std::string wat = gen.module();
+    Module m = mustParse(wat);
+    ASSERT_TRUE(validateModule(m).ok()) << wat;
+
+    std::vector<Value> args = {Value::makeI32(GetParam() * 7 + 3),
+                               Value::makeI32(-42),
+                               Value::makeF64(3.375)};
+    uint64_t expected = 0;
+    for (ExecMode mode :
+         {ExecMode::Interpreter, ExecMode::Jit, ExecMode::Tiered}) {
+        EngineConfig cfg;
+        cfg.mode = mode;
+        cfg.tierUpThreshold = 1;
+        auto eng = test::makeEngine(wat, cfg);
+        auto r = eng->callExport("f", args);
+        ASSERT_TRUE(r.ok()) << wat;
+        if (mode == ExecMode::Interpreter) {
+            expected = r.value()[0].bits;
+        } else {
+            EXPECT_EQ(r.value()[0].bits, expected) << wat;
+        }
+    }
+}
+
+TEST_P(RandomPrograms, MonitorsAreNonIntrusive)
+{
+    ExprGen gen(GetParam() + 1000);
+    std::string wat = gen.module();
+    std::vector<Value> args = {Value::makeI32(GetParam() * 13),
+                               Value::makeI32(99),
+                               Value::makeF64(-0.5)};
+
+    auto plain = test::makeEngine(wat);
+    auto r0 = plain->callExport("f", args);
+    ASSERT_TRUE(r0.ok());
+    uint64_t expected = r0.value()[0].bits;
+
+    // Every zoo monitor must leave the result bit-identical.
+    std::ostringstream sink;
+    for (const std::string& name :
+         {std::string("hotness"), std::string("hotness-global"),
+          std::string("branches"), std::string("coverage"),
+          std::string("loops"), std::string("calls"),
+          std::string("calltree"), std::string("trace-stack")}) {
+        auto eng = test::makeEngine(wat);
+        auto mon = createMonitor(name, sink);
+        ASSERT_NE(mon, nullptr);
+        eng->attachMonitor(mon.get());
+        auto r = eng->callExport("f", args);
+        ASSERT_TRUE(r.ok()) << name;
+        EXPECT_EQ(r.value()[0].bits, expected)
+            << "monitor '" << name << "' perturbed the program\n" << wat;
+    }
+}
+
+TEST_P(RandomPrograms, FrameReadsAreNonIntrusive)
+{
+    // A probe that aggressively reads every local and operand of every
+    // frame on every instruction must not change the result.
+    ExprGen gen(GetParam() + 2000);
+    std::string wat = gen.module();
+    std::vector<Value> args = {Value::makeI32(5), Value::makeI32(-7),
+                               Value::makeF64(1.25)};
+    auto plain = test::makeEngine(wat);
+    uint64_t expected = plain->callExport("f", args).value()[0].bits;
+
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = test::makeEngine(wat, cfg);
+    uint64_t touched = 0;
+    eng->probes().insertGlobal(makeProbe([&touched](ProbeContext& ctx) {
+        auto acc = ctx.accessor();
+        for (uint32_t i = 0; i < acc->numLocals(); i++) {
+            touched ^= acc->getLocal(i).bits;
+        }
+        for (uint32_t i = 0; i < acc->numOperands(); i++) {
+            touched ^= acc->getOperand(i).bits;
+        }
+    }));
+    auto r = eng->callExport("f", args);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value()[0].bits, expected);
+    EXPECT_NE(touched, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms, ::testing::Range(0u, 25u));
+
+} // namespace
+} // namespace wizpp

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * End-to-end smoke tests: WAT -> decode -> validate -> execute in every
+ * tier configuration.
+ */
+
+#include "test_util.h"
+
+namespace wizpp {
+namespace {
+
+using test::makeEngine;
+using test::run1;
+
+class SmokeAllModes : public ::testing::TestWithParam<ExecMode>
+{
+  protected:
+    EngineConfig
+    cfg() const
+    {
+        EngineConfig c;
+        c.mode = GetParam();
+        c.tierUpThreshold = 2;
+        return c;
+    }
+};
+
+TEST_P(SmokeAllModes, AddFunction)
+{
+    auto eng = makeEngine(R"((module
+      (func (export "add") (param $a i32) (param $b i32) (result i32)
+        (i32.add (local.get $a) (local.get $b)))
+    ))", cfg());
+    EXPECT_EQ(run1(*eng, "add", {Value::makeI32(2), Value::makeI32(40)})
+                  .i32(), 42u);
+    EXPECT_EQ(run1(*eng, "add", {Value::makeI32(-5), Value::makeI32(3)})
+                  .i32s(), -2);
+}
+
+TEST_P(SmokeAllModes, LoopSum)
+{
+    auto eng = makeEngine(R"((module
+      (func (export "sum") (param $n i32) (result i32)
+        (local $i i32) (local $acc i32)
+        (block $exit
+          (loop $top
+            (br_if $exit (i32.ge_u (local.get $i) (local.get $n)))
+            (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $top)))
+        (local.get $acc))
+    ))", cfg());
+    EXPECT_EQ(run1(*eng, "sum", {Value::makeI32(10)}).i32(), 45u);
+    EXPECT_EQ(run1(*eng, "sum", {Value::makeI32(0)}).i32(), 0u);
+    EXPECT_EQ(run1(*eng, "sum", {Value::makeI32(1000)}).i32(), 499500u);
+}
+
+TEST_P(SmokeAllModes, RecursiveFactorial)
+{
+    auto eng = makeEngine(R"((module
+      (func $fac (export "fac") (param $n i64) (result i64)
+        (if (result i64) (i64.le_u (local.get $n) (i64.const 1))
+          (then (i64.const 1))
+          (else (i64.mul (local.get $n)
+                  (call $fac (i64.sub (local.get $n) (i64.const 1)))))))
+    ))", cfg());
+    EXPECT_EQ(run1(*eng, "fac", {Value::makeI64(int64_t{10})}).i64(),
+              3628800u);
+    EXPECT_EQ(run1(*eng, "fac", {Value::makeI64(int64_t{1})}).i64(), 1u);
+}
+
+TEST_P(SmokeAllModes, MemoryRoundTrip)
+{
+    auto eng = makeEngine(R"((module
+      (memory (export "mem") 1)
+      (func (export "store") (param $addr i32) (param $v f64)
+        (f64.store (local.get $addr) (local.get $v)))
+      (func (export "load") (param $addr i32) (result f64)
+        (f64.load (local.get $addr)))
+    ))", cfg());
+    auto r = eng->callExport("store",
+        {Value::makeI32(64), Value::makeF64(3.25)});
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(run1(*eng, "load", {Value::makeI32(64)}).f64(), 3.25);
+}
+
+TEST_P(SmokeAllModes, CallIndirect)
+{
+    auto eng = makeEngine(R"((module
+      (type $binop (func (param i32 i32) (result i32)))
+      (table 4 funcref)
+      (elem (i32.const 0) $add $sub $mul)
+      (func $add (param i32 i32) (result i32)
+        (i32.add (local.get 0) (local.get 1)))
+      (func $sub (param i32 i32) (result i32)
+        (i32.sub (local.get 0) (local.get 1)))
+      (func $mul (param i32 i32) (result i32)
+        (i32.mul (local.get 0) (local.get 1)))
+      (func (export "dispatch") (param $op i32) (param $a i32) (param $b i32)
+            (result i32)
+        (call_indirect (type $binop)
+          (local.get $a) (local.get $b) (local.get $op)))
+    ))", cfg());
+    EXPECT_EQ(run1(*eng, "dispatch",
+        {Value::makeI32(0), Value::makeI32(7), Value::makeI32(5)}).i32(),
+        12u);
+    EXPECT_EQ(run1(*eng, "dispatch",
+        {Value::makeI32(1), Value::makeI32(7), Value::makeI32(5)}).i32(),
+        2u);
+    EXPECT_EQ(run1(*eng, "dispatch",
+        {Value::makeI32(2), Value::makeI32(7), Value::makeI32(5)}).i32(),
+        35u);
+    // Uninitialized table entry traps.
+    auto bad = eng->callExport("dispatch",
+        {Value::makeI32(3), Value::makeI32(1), Value::makeI32(1)});
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(eng->lastTrap(), TrapReason::UninitializedTableEntry);
+}
+
+TEST_P(SmokeAllModes, BrTable)
+{
+    auto eng = makeEngine(R"((module
+      (func (export "classify") (param $x i32) (result i32)
+        (block $b2
+          (block $b1
+            (block $b0
+              (br_table $b0 $b1 $b2 (local.get $x)))
+            (return (i32.const 100)))
+          (return (i32.const 200)))
+        (i32.const 300))
+    ))", cfg());
+    EXPECT_EQ(run1(*eng, "classify", {Value::makeI32(0)}).i32(), 100u);
+    EXPECT_EQ(run1(*eng, "classify", {Value::makeI32(1)}).i32(), 200u);
+    EXPECT_EQ(run1(*eng, "classify", {Value::makeI32(2)}).i32(), 300u);
+    EXPECT_EQ(run1(*eng, "classify", {Value::makeI32(99)}).i32(), 300u);
+}
+
+TEST_P(SmokeAllModes, GlobalsAndStart)
+{
+    auto eng = makeEngine(R"((module
+      (global $g (mut i32) (i32.const 10))
+      (func $init (global.set $g (i32.const 17)))
+      (start $init)
+      (func (export "get") (result i32) (global.get $g))
+    ))", cfg());
+    EXPECT_EQ(run1(*eng, "get").i32(), 17u);
+}
+
+TEST_P(SmokeAllModes, Traps)
+{
+    auto eng = makeEngine(R"((module
+      (memory 1)
+      (func (export "div") (param i32 i32) (result i32)
+        (i32.div_s (local.get 0) (local.get 1)))
+      (func (export "oob") (result i32) (i32.load (i32.const 0x10000000)))
+      (func (export "boom") (unreachable))
+    ))", cfg());
+    auto r1 = eng->callExport("div", {Value::makeI32(1), Value::makeI32(0)});
+    EXPECT_FALSE(r1.ok());
+    EXPECT_EQ(eng->lastTrap(), TrapReason::DivByZero);
+    auto r2 = eng->callExport("oob", {});
+    EXPECT_FALSE(r2.ok());
+    EXPECT_EQ(eng->lastTrap(), TrapReason::MemoryOutOfBounds);
+    auto r3 = eng->callExport("boom", {});
+    EXPECT_FALSE(r3.ok());
+    EXPECT_EQ(eng->lastTrap(), TrapReason::Unreachable);
+    // The engine recovers after traps.
+    EXPECT_EQ(run1(*eng, "div", {Value::makeI32(10), Value::makeI32(2)})
+                  .i32(), 5u);
+}
+
+TEST_P(SmokeAllModes, HostImport)
+{
+    EngineConfig c = cfg();
+    auto eng = std::make_unique<Engine>(c);
+    uint64_t hostCalls = 0;
+    HostFunc hf;
+    hf.type.params = {ValType::I32};
+    hf.type.results = {ValType::I32};
+    hf.fn = [&hostCalls](const std::vector<Value>& args,
+                         std::vector<Value>* results) {
+        hostCalls++;
+        results->push_back(Value::makeI32(args[0].i32() * 2));
+        return TrapReason::None;
+    };
+    eng->imports().addFunc("env", "twice", hf);
+    auto lr = eng->loadModule(test::mustParse(R"((module
+      (import "env" "twice" (func $twice (param i32) (result i32)))
+      (func (export "quad") (param $x i32) (result i32)
+        (call $twice (call $twice (local.get $x))))
+    ))"));
+    ASSERT_TRUE(lr.ok()) << lr.error().toString();
+    ASSERT_TRUE(eng->instantiate().ok());
+    EXPECT_EQ(run1(*eng, "quad", {Value::makeI32(5)}).i32(), 20u);
+    EXPECT_EQ(hostCalls, 2u);
+}
+
+TEST_P(SmokeAllModes, FloatKernels)
+{
+    auto eng = makeEngine(R"((module
+      (memory 1)
+      (func (export "dot") (param $n i32) (result f64)
+        (local $i i32) (local $acc f64)
+        ;; fill a[i] = i, b[i] = 2i, then dot product
+        (block $exit0
+          (loop $fill
+            (br_if $exit0 (i32.ge_u (local.get $i) (local.get $n)))
+            (f64.store (i32.mul (local.get $i) (i32.const 8))
+                       (f64.convert_i32_u (local.get $i)))
+            (f64.store (i32.add (i32.const 2048)
+                                (i32.mul (local.get $i) (i32.const 8)))
+                       (f64.mul (f64.convert_i32_u (local.get $i))
+                                (f64.const 2)))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $fill)))
+        (local.set $i (i32.const 0))
+        (block $exit
+          (loop $top
+            (br_if $exit (i32.ge_u (local.get $i) (local.get $n)))
+            (local.set $acc (f64.add (local.get $acc)
+              (f64.mul
+                (f64.load (i32.mul (local.get $i) (i32.const 8)))
+                (f64.load (i32.add (i32.const 2048)
+                            (i32.mul (local.get $i) (i32.const 8)))))))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $top)))
+        (local.get $acc))
+    ))", cfg());
+    // dot = sum 2*i^2 for i in [0,10) = 2*285 = 570
+    EXPECT_DOUBLE_EQ(run1(*eng, "dot", {Value::makeI32(10)}).f64(), 570.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SmokeAllModes,
+    ::testing::Values(ExecMode::Interpreter, ExecMode::Jit,
+                      ExecMode::Tiered),
+    [](const ::testing::TestParamInfo<ExecMode>& info) {
+        return test::modeName(info.param);
+    });
+
+} // namespace
+} // namespace wizpp

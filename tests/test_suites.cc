@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Corpus tests: every benchmark program of every suite parses,
+ * validates, and produces bit-identical checksums in the interpreter,
+ * the compiled tier, and tiered mode (differential cross-tier testing).
+ */
+
+#include "suites/suites.h"
+#include "test_util.h"
+
+namespace wizpp {
+namespace {
+
+using test::run1;
+
+class SuiteProgram
+    : public ::testing::TestWithParam<const BenchProgram*>
+{
+};
+
+TEST_P(SuiteProgram, ParsesAndValidates)
+{
+    const BenchProgram& p = *GetParam();
+    auto m = parseWat(p.wat);
+    ASSERT_TRUE(m.ok()) << p.name << ": " << m.error().toString();
+    auto v = validateModule(m.value());
+    ASSERT_TRUE(v.ok()) << p.name << ": " << v.error().toString();
+    EXPECT_GE(m.value().findFuncExport(p.entry), 0) << p.name;
+}
+
+TEST_P(SuiteProgram, CrossTierChecksumsAgree)
+{
+    const BenchProgram& p = *GetParam();
+    uint64_t bits[3];
+    ExecMode modes[3] = {ExecMode::Interpreter, ExecMode::Jit,
+                         ExecMode::Tiered};
+    for (int i = 0; i < 3; i++) {
+        EngineConfig cfg;
+        cfg.mode = modes[i];
+        cfg.tierUpThreshold = 1;
+        auto eng = test::makeEngine(p.wat, cfg);
+        Value v = run1(*eng, p.entry, {Value::makeI32(1)});
+        EXPECT_EQ(v.type, ValType::F64) << p.name;
+        bits[i] = v.bits;
+    }
+    EXPECT_EQ(bits[0], bits[1])
+        << p.name << ": interpreter vs jit disagree";
+    EXPECT_EQ(bits[0], bits[2])
+        << p.name << ": interpreter vs tiered disagree";
+}
+
+TEST_P(SuiteProgram, DeterministicAcrossRuns)
+{
+    const BenchProgram& p = *GetParam();
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = test::makeEngine(p.wat, cfg);
+    Value a = run1(*eng, p.entry, {Value::makeI32(1)});
+    Value b = run1(*eng, p.entry, {Value::makeI32(1)});
+    EXPECT_EQ(a.bits, b.bits) << p.name;
+}
+
+std::vector<const BenchProgram*>
+allProgramPointers()
+{
+    std::vector<const BenchProgram*> out;
+    for (const auto& p : allPrograms()) out.push_back(&p);
+    out.push_back(&richardsProgram());
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SuiteProgram, ::testing::ValuesIn(allProgramPointers()),
+    [](const ::testing::TestParamInfo<const BenchProgram*>& info) {
+        std::string n = info.param->suite + "_" + info.param->name;
+        for (char& c : n) {
+            if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+        }
+        return n;
+    });
+
+TEST(SuiteRegistry, CountsMatchThePaper)
+{
+    EXPECT_EQ(programsBySuite("polybench").size(), 29u);
+    EXPECT_EQ(programsBySuite("ostrich").size(), 8u);
+    EXPECT_GE(programsBySuite("libsodium").size(), 25u);
+    EXPECT_NE(findProgram("gemm"), nullptr);
+    EXPECT_NE(findProgram("richards"), nullptr);
+    EXPECT_EQ(findProgram("no-such-program"), nullptr);
+}
+
+TEST(SuiteRegistry, RichardsIsCallHeavy)
+{
+    // Richards should execute many function calls relative to its
+    // instruction count (the Section 6 premise).
+    const BenchProgram& p = richardsProgram();
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    auto eng = test::makeEngine(p.wat, cfg);
+    // Count call instructions executed with a probe on every call site.
+    uint64_t calls = 0;
+    for (uint32_t f = 0; f < eng->numFuncs(); f++) {
+        FuncState& fs = eng->funcState(f);
+        if (fs.decl->imported) continue;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            uint8_t op = fs.decl->code[pc];
+            if (op == 0x10 || op == 0x11) {  // call, call_indirect
+                eng->probes().insertLocal(f, pc,
+                    makeProbe([&calls](ProbeContext&) { calls++; }));
+            }
+        }
+    }
+    run1(*eng, "run", {Value::makeI32(1)});
+    EXPECT_GT(calls, 50000u);
+}
+
+} // namespace
+} // namespace wizpp

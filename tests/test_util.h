@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared test helpers: parse WAT, build an engine, run an export.
+ */
+
+#ifndef WIZPP_TESTS_TEST_UTIL_H
+#define WIZPP_TESTS_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "wat/wat.h"
+
+namespace wizpp::test {
+
+/** Parses WAT or fails the test. */
+inline Module
+mustParse(const std::string& wat)
+{
+    auto r = parseWat(wat);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().toString());
+    if (!r.ok()) return Module{};
+    return r.take();
+}
+
+/** Builds a ready-to-run engine from WAT source. */
+inline std::unique_ptr<Engine>
+makeEngine(const std::string& wat, EngineConfig cfg = {})
+{
+    auto eng = std::make_unique<Engine>(cfg);
+    auto lr = eng->loadModule(mustParse(wat));
+    EXPECT_TRUE(lr.ok()) << (lr.ok() ? "" : lr.error().toString());
+    auto ir = eng->instantiate();
+    EXPECT_TRUE(ir.ok()) << (ir.ok() ? "" : ir.error().toString());
+    return eng;
+}
+
+/** Calls an export and returns the single result or fails. */
+inline Value
+run1(Engine& eng, const std::string& name,
+     const std::vector<Value>& args = {})
+{
+    auto r = eng.callExport(name, args);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().toString());
+    if (!r.ok() || r.value().empty()) return Value{};
+    return r.value()[0];
+}
+
+/** Engine configs exercised by cross-tier parameterized tests. */
+inline std::vector<EngineConfig>
+allModes()
+{
+    EngineConfig interp;
+    interp.mode = ExecMode::Interpreter;
+    EngineConfig jit;
+    jit.mode = ExecMode::Jit;
+    EngineConfig tiered;
+    tiered.mode = ExecMode::Tiered;
+    tiered.tierUpThreshold = 2;
+    return {interp, jit, tiered};
+}
+
+inline const char*
+modeName(ExecMode m)
+{
+    switch (m) {
+      case ExecMode::Interpreter: return "Interpreter";
+      case ExecMode::Jit: return "Jit";
+      case ExecMode::Tiered: return "Tiered";
+    }
+    return "?";
+}
+
+} // namespace wizpp::test
+
+#endif // WIZPP_TESTS_TEST_UTIL_H

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * wizeng-style command-line runner (paper Section 3:
+ * `wizeng --monitors=MyMonitor module.wasm`).
+ *
+ * Usage:
+ *   wizeng [options] <module.wat|module.wasm|@program> [args...]
+ *     --monitors=m1,m2     attach monitors (see --help for names)
+ *     --mode=int|jit|tiered   execution mode (default jit)
+ *     --no-intrinsify      disable probe intrinsification
+ *     --invoke=<export>    entry point (default: "run", then "main")
+ *     --list-programs      list the built-in benchmark corpus
+ *   `@name` runs a built-in corpus program (e.g. @gemm, @richards).
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "engine/engine.h"
+#include "monitors/debugger.h"
+#include "monitors/monitors.h"
+#include "suites/suites.h"
+#include "wasm/decoder.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: wizeng [options] <module.wat|module.wasm|@program> "
+        "[i32 args...]\n"
+        "  --monitors=<names>   comma-separated; available:";
+    for (const auto& n : monitorNames()) std::cout << " " << n;
+    std::cout << " debugger\n"
+        "  --mode=int|jit|tiered  execution mode (default jit)\n"
+        "  --no-intrinsify        disable probe intrinsification\n"
+        "  --invoke=<export>      entry point (default run/main)\n"
+        "  --list-programs        list built-in corpus programs\n";
+}
+
+std::vector<std::string>
+split(const std::string& s, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep)) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    EngineConfig config;
+    config.mode = ExecMode::Jit;
+    std::vector<std::string> monitorList;
+    std::string entry;
+    std::string target;
+    std::vector<Value> args;
+    bool useDebugger = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--list-programs") {
+            for (const auto& p : allPrograms()) {
+                std::cout << p.suite << "/" << p.name << "\n";
+            }
+            std::cout << "misc/richards\n";
+            return 0;
+        } else if (a.rfind("--monitors=", 0) == 0) {
+            monitorList = split(a.substr(11), ',');
+        } else if (a.rfind("--mode=", 0) == 0) {
+            std::string m = a.substr(7);
+            if (m == "int") config.mode = ExecMode::Interpreter;
+            else if (m == "jit") config.mode = ExecMode::Jit;
+            else if (m == "tiered") config.mode = ExecMode::Tiered;
+            else {
+                std::cerr << "unknown mode " << m << "\n";
+                return 1;
+            }
+        } else if (a == "--no-intrinsify") {
+            config.intrinsifyCountProbe = false;
+            config.intrinsifyOperandProbe = false;
+        } else if (a.rfind("--invoke=", 0) == 0) {
+            entry = a.substr(9);
+        } else if (target.empty()) {
+            target = a;
+        } else {
+            args.push_back(Value::makeI32(
+                static_cast<int32_t>(strtol(a.c_str(), nullptr, 0))));
+        }
+    }
+    if (target.empty()) {
+        usage();
+        return 1;
+    }
+
+    // Resolve the module: corpus program, .wat file, or .wasm file.
+    Module module;
+    uint32_t defaultN = 1;
+    if (target[0] == '@') {
+        const BenchProgram* p = findProgram(target.substr(1));
+        if (!p) {
+            std::cerr << "unknown program " << target << "\n";
+            return 1;
+        }
+        auto r = parseWat(p->wat);
+        if (!r.ok()) {
+            std::cerr << r.error().toString() << "\n";
+            return 1;
+        }
+        module = r.take();
+        if (entry.empty()) entry = p->entry;
+        defaultN = p->defaultN;
+    } else {
+        std::ifstream in(target, std::ios::binary);
+        if (!in) {
+            std::cerr << "cannot open " << target << "\n";
+            return 1;
+        }
+        std::vector<uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        if (bytes.size() >= 4 && bytes[0] == 0x00 && bytes[1] == 'a') {
+            auto r = decodeModule(bytes);
+            if (!r.ok()) {
+                std::cerr << "decode: " << r.error().toString() << "\n";
+                return 1;
+            }
+            module = r.take();
+        } else {
+            auto r = parseWat(std::string(bytes.begin(), bytes.end()));
+            if (!r.ok()) {
+                std::cerr << "parse: " << r.error().toString() << "\n";
+                return 1;
+            }
+            module = r.take();
+        }
+    }
+
+    Engine engine(config);
+    auto lr = engine.loadModule(std::move(module));
+    if (!lr.ok()) {
+        std::cerr << "load: " << lr.error().toString() << "\n";
+        return 1;
+    }
+
+    std::vector<std::unique_ptr<Monitor>> monitors;
+    for (const auto& name : monitorList) {
+        if (name == "debugger") {
+            useDebugger = true;
+            continue;
+        }
+        auto m = createMonitor(name, std::cout);
+        if (!m) {
+            std::cerr << "unknown monitor " << name << "\n";
+            return 1;
+        }
+        engine.attachMonitor(m.get());
+        monitors.push_back(std::move(m));
+    }
+    std::unique_ptr<DebuggerMonitor> debugger;
+    if (useDebugger) {
+        debugger = std::make_unique<DebuggerMonitor>(std::cin, std::cout);
+        engine.attachMonitor(debugger.get());
+    }
+
+    auto ir = engine.instantiate();
+    if (!ir.ok()) {
+        std::cerr << "instantiate: " << ir.error().toString() << "\n";
+        return 1;
+    }
+
+    // Pick the entry point.
+    if (entry.empty()) {
+        entry = engine.module().findFuncExport("run") >= 0 ? "run"
+                                                           : "main";
+    }
+    int32_t idx = engine.module().findFuncExport(entry);
+    if (idx < 0) {
+        std::cerr << "no exported function '" << entry << "'\n";
+        return 1;
+    }
+    // Default argument for corpus-style run(n) entry points.
+    const FuncType& sig = engine.module().funcType(idx);
+    while (args.size() < sig.params.size()) {
+        args.push_back(Value::makeI32(defaultN));
+    }
+
+    auto result = engine.callExport(entry, args);
+    if (!result.ok()) {
+        std::cerr << "error: " << result.error().toString() << "\n";
+        return 42;
+    }
+    for (const Value& v : result.value()) {
+        std::cout << v.toString() << "\n";
+    }
+    for (const auto& m : monitors) m->report(std::cout);
+    return 0;
+}
