@@ -39,6 +39,7 @@ int
 main()
 {
     std::vector<std::string> csv;
+    JsonReport json("ablation_engine");
 
     printf("=== A1/A2: intrinsification flags (compiled tier) ===\n");
     printf("%-12s %12s %12s | %12s %12s\n", "program", "count:on",
@@ -65,6 +66,14 @@ main()
                       std::to_string(cntOff.seconds / base.seconds) + "," +
                       std::to_string(opOn.seconds / base.seconds) + "," +
                       std::to_string(opOff.seconds / base.seconds));
+        json.put(std::string(name) + ".count_intrins",
+                 cntOn.seconds / base.seconds);
+        json.put(std::string(name) + ".count_generic",
+                 cntOff.seconds / base.seconds);
+        json.put(std::string(name) + ".operand_intrins",
+                 opOn.seconds / base.seconds);
+        json.put(std::string(name) + ".operand_generic",
+                 opOff.seconds / base.seconds);
     }
 
     printf("\n=== A3: OSR at loop backedges (Tiered, uninstrumented) "
@@ -95,6 +104,8 @@ main()
         printf("%-12s %12.2f %12.2f\n", name, on * 1e3, off * 1e3);
         csv.push_back(std::string("osr,") + name + "," +
                       std::to_string(on) + "," + std::to_string(off));
+        json.put(std::string(name) + ".osr_on_s", on);
+        json.put(std::string(name) + ".osr_off_s", off);
     }
 
     printf("\n=== A4: tier-up threshold sweep (Tiered, gemm) ===\n");
@@ -113,6 +124,9 @@ main()
         printf("%-12u %12.2f\n", threshold, best * 1e3);
         csv.push_back("threshold,gemm," + std::to_string(threshold) +
                       "," + std::to_string(best));
+        json.put("gemm.tierup_threshold" + std::to_string(threshold) +
+                     "_s",
+                 best);
     }
 
     printf("\n=== A5: global-probe excursion keeps compiled code "
@@ -127,8 +141,12 @@ main()
                100.0 * (with - without) / without);
         csv.push_back("excursion,gemm," + std::to_string(without) + "," +
                       std::to_string(with));
+        json.put("gemm.excursion_without_s", without);
+        json.put("gemm.excursion_with_s", with);
     }
 
     writeCsv("ablation.csv", "study,program,a,b,c,d", csv);
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;
 }

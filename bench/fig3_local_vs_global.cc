@@ -25,6 +25,7 @@ main()
            "br-global", "hot fires", "br fires");
 
     std::vector<std::string> csv;
+    JsonReport json("fig3_local_vs_global");
     std::vector<double> hl, hg, bl, bg;
     for (const BenchProgram* p : selectPrograms("polybench")) {
         uint32_t n = p->defaultN;
@@ -58,6 +59,11 @@ main()
                       std::to_string(rBG) + "," +
                       std::to_string(hotL.probeFires) + "," +
                       std::to_string(brL.probeFires));
+        json.put(p->name + ".uninstr_s", base.seconds);
+        json.put(p->name + ".hotness_local", rHL);
+        json.put(p->name + ".hotness_global", rHG);
+        json.put(p->name + ".branch_local", rBL);
+        json.put(p->name + ".branch_global", rBG);
     }
     writeCsv("fig3.csv",
              "program,uninstr_s,hotness_local,hotness_global,"
@@ -84,5 +90,12 @@ main()
     printf("  branch:  local %.1f-%.1fx (geomean %.1fx), global "
            "%.1f-%.1fx (geomean %.1fx)\n", blLo, blHi, geomean(bl), bgLo,
            bgHi, geomean(bg));
+
+    json.putRange("hotness_local", hl);
+    json.putRange("hotness_global", hg);
+    json.putRange("branch_local", bl);
+    json.putRange("branch_global", bg);
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;
 }

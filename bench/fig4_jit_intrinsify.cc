@@ -26,6 +26,7 @@ main()
            "br-generic", "probe fires");
 
     std::vector<std::string> csv;
+    JsonReport json("fig4_jit_intrinsify");
     std::vector<double> hi, hn, bi, bn;
     for (const BenchProgram* p : selectPrograms("polybench")) {
         uint32_t n = p->defaultN;
@@ -56,6 +57,11 @@ main()
                       "," + std::to_string(rBI) + "," +
                       std::to_string(rBN) + "," +
                       std::to_string(hotI.probeFires));
+        json.put(p->name + ".uninstr_s", base.seconds);
+        json.put(p->name + ".hotness_intrins", rHI);
+        json.put(p->name + ".hotness_generic", rHN);
+        json.put(p->name + ".branch_intrins", rBI);
+        json.put(p->name + ".branch_generic", rBN);
     }
     writeCsv("fig4.csv",
              "program,uninstr_s,hotness_intrins,hotness_generic,"
@@ -82,5 +88,12 @@ main()
     printf("  branch:  generic %.1f-%.1fx (geomean %.1fx), intrinsified "
            "%.1f-%.1fx (geomean %.1fx)\n", bnLo, bnHi, geomean(bn), biLo,
            biHi, geomean(bi));
+
+    json.putRange("hotness_intrins", hi);
+    json.putRange("hotness_generic", hn);
+    json.putRange("branch_intrins", bi);
+    json.putRange("branch_generic", bn);
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;
 }

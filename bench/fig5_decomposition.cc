@@ -66,11 +66,18 @@ main()
            "saved%");
 
     std::vector<std::string> csv;
+    JsonReport json("fig5_decomposition");
     for (const BenchProgram* p : selectPrograms("polybench")) {
         uint32_t n = p->defaultN;
         Decomp h = decompose(*p, Tool::HotnessEmpty, Tool::HotnessLocal,
                              n);
         Decomp b = decompose(*p, Tool::BranchEmpty, Tool::BranchLocal, n);
+        json.put(p->name + ".hot_dispatch_pct", h.dispatchPct);
+        json.put(p->name + ".hot_mcode_pct", h.mcodePct);
+        json.put(p->name + ".hot_saved_pct", h.savedPct);
+        json.put(p->name + ".br_dispatch_pct", b.dispatchPct);
+        json.put(p->name + ".br_mcode_pct", b.mcodePct);
+        json.put(p->name + ".br_saved_pct", b.savedPct);
         printf("%-16s | %7.1f%% %7.1f%% %5.1f%% %5.1f%% | %7.1f%% %7.1f%% "
                "%5.1f%% %5.1f%%\n",
                p->name.c_str(), h.programPct, h.dispatchPct, h.mcodePct,
@@ -94,5 +101,7 @@ main()
            "hotness is dominated by probe dispatch; non-intrinsified "
            "branch M-code includes FrameAccessor construction; "
            "intrinsification removes most of both.\n");
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;
 }

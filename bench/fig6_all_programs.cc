@@ -120,12 +120,27 @@ main()
     printOne("branch", false);
 
     std::vector<std::string> csv;
+    JsonReport json("fig6_all_programs");
     for (const Row& r : rows) {
         std::string line = r.p->suite + "," + r.p->name + "," +
                            std::to_string(r.execSeconds);
-        for (int i = 0; i < 6; i++) line += "," + std::to_string(r.hot[i]);
-        for (int i = 0; i < 6; i++) line += "," + std::to_string(r.br[i]);
+        // Two appends, not `"," + std::to_string(x)`: the temporary
+        // trips GCC 12's -Wrestrict false positive (PR105651) at -O3.
+        for (int i = 0; i < 6; i++) {
+            line += ',';
+            line += std::to_string(r.hot[i]);
+        }
+        for (int i = 0; i < 6; i++) {
+            line += ',';
+            line += std::to_string(r.br[i]);
+        }
         csv.push_back(line);
+        const std::string id = r.p->suite + "/" + r.p->name;
+        json.put(id + ".exec_s", r.execSeconds);
+        for (int i = 0; i < 6; i++) {
+            json.put(id + ".hot_" + configs[i], r.hot[i]);
+            json.put(id + ".br_" + configs[i], r.br[i]);
+        }
     }
     writeCsv("fig6.csv",
              "suite,program,exec_s,"
@@ -137,5 +152,7 @@ main()
     printf("\nExpected shape (paper Section 5.8): wasabi >> native-DBT "
            ">> jit > rewrite >= jit-intr; interpreter relative overheads "
            "are the lowest because the baseline is slow.\n");
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;
 }

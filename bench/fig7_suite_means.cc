@@ -121,6 +121,7 @@ main()
            "time%s ===\n", fromCsv ? " (from results/fig6.csv)" : "");
 
     std::vector<std::string> csv;
+    JsonReport json("fig7_suite_means");
     for (bool hot : {true, false}) {
         printf("\n--- %s monitor ---\n", hot ? "hotness" : "branch");
         printf("%-12s", "suite");
@@ -141,7 +142,13 @@ main()
             for (int i = 0; i < 6; i++) {
                 double g = geomean(vals[i]);
                 printf(" %10s", fmtRatio(g).c_str());
-                line += "," + std::to_string(g);
+                // Two appends: `"," + std::to_string(g)` trips GCC
+                // 12's -Wrestrict false positive (PR105651) at -O3.
+                line += ',';
+                line += std::to_string(g);
+                json.put(std::string(hot ? "hotness" : "branch") + "." +
+                             suite + "." + configs[i],
+                         g);
             }
             printf("\n");
             csv.push_back(line);
@@ -154,5 +161,7 @@ main()
            "static bytecode rewriting; both beat the generic JIT; "
            "wasabi is orders of magnitude slower; native DBT sits "
            "between wasabi and the JIT.\n");
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;
 }

@@ -154,7 +154,10 @@ reps()
 bool
 fastMode()
 {
-    return std::getenv("WIZPP_BENCH_FAST") != nullptr;
+    // Presence alone is not enough: WIZPP_BENCH_FAST=0 must mean off,
+    // or a full-trajectory run silently measures the subset.
+    const char* e = std::getenv("WIZPP_BENCH_FAST");
+    return e && *e && std::string(e) != "0";
 }
 
 std::vector<const BenchProgram*>
@@ -329,6 +332,71 @@ measureDbt(const BenchProgram& p, DbtKind kind, uint32_t n)
         best.probeFires = dbt.blocksExecuted();
     }
     return best;
+}
+
+JsonReport::JsonReport(std::string name) : _name(std::move(name))
+{
+    put("reps", static_cast<uint64_t>(reps()));
+    put("fast_mode", static_cast<uint64_t>(fastMode() ? 1 : 0));
+}
+
+void
+JsonReport::put(const std::string& key, double value)
+{
+    char buf[64];
+    // %.17g round-trips doubles; non-finite values are not valid JSON,
+    // so degrade them to null.
+    if (std::isfinite(value)) snprintf(buf, sizeof(buf), "%.17g", value);
+    else snprintf(buf, sizeof(buf), "null");
+    _entries.emplace_back(key, buf);
+}
+
+void
+JsonReport::put(const std::string& key, uint64_t value)
+{
+    _entries.emplace_back(key, std::to_string(value));
+}
+
+void
+JsonReport::putRange(const std::string& prefix,
+                     const std::vector<double>& xs)
+{
+    if (xs.empty()) return;
+    double lo = xs[0], hi = xs[0];
+    for (double x : xs) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    put(prefix + ".min", lo);
+    put(prefix + ".max", hi);
+    put(prefix + ".geomean", geomean(xs));
+}
+
+std::string
+JsonReport::write() const
+{
+    const char* dir = std::getenv("WIZPP_BENCH_JSON_DIR");
+    std::filesystem::path path(dir ? dir : ".");
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    path /= "BENCH_" + _name + ".json";
+
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << _name << "\",\n  \"metrics\": {";
+    bool first = true;
+    for (const auto& [key, value] : _entries) {
+        if (!first) out << ",";
+        first = false;
+        out << "\n    \"" << key << "\": " << value;
+    }
+    out << "\n  }\n}\n";
+    out.flush();
+    if (ec || !out.good()) {
+        fprintf(stderr, "JsonReport: FAILED to write %s\n",
+                path.string().c_str());
+        return {};
+    }
+    return path.string();
 }
 
 std::string

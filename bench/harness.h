@@ -95,6 +95,35 @@ Measurement measureDbt(const BenchProgram& p, DbtKind kind, uint32_t n);
 /** Formats a ratio as "12.34x". */
 std::string fmtRatio(double r);
 
+/**
+ * Machine-readable result sink. Accumulates flat key/value metrics and
+ * writes them as `BENCH_<name>.json` into `WIZPP_BENCH_JSON_DIR`
+ * (default: the current directory). The flat namespace keeps the
+ * cross-PR trajectory diffable: per-program keys are
+ * "<program>.<metric>", summary keys are "<group>.<stat>".
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name);
+
+    void put(const std::string& key, double value);
+    void put(const std::string& key, uint64_t value);
+    /** Emits <prefix>.min, <prefix>.max and <prefix>.geomean. */
+    void putRange(const std::string& prefix,
+                  const std::vector<double>& xs);
+
+    /**
+     * Writes BENCH_<name>.json; returns the path written, or an empty
+     * string (after a note on stderr) if the file could not be written.
+     */
+    std::string write() const;
+
+  private:
+    std::string _name;
+    std::vector<std::pair<std::string, std::string>> _entries;
+};
+
 /** Writes a CSV file under results/ (created if needed). */
 void writeCsv(const std::string& filename, const std::string& header,
               const std::vector<std::string>& rows);

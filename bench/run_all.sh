@@ -1,0 +1,58 @@
+#!/bin/sh
+# Runs every paper-reproduction benchmark and collects machine-readable
+# results.
+#
+# Usage: bench/run_all.sh <build-dir> [out-dir]
+#
+# Each fig*/sec*/ablation executable writes BENCH_<name>.json (flat
+# metrics; see bench::JsonReport) plus results/<name>.csv. The
+# google-benchmark microbenchmark emits its native JSON format. Output
+# lands in <out-dir> (default: the current directory).
+#
+# Knobs (see bench/harness.h):
+#   WIZPP_BENCH_REPS  repetitions per measurement (min-of-k; default 2)
+#   WIZPP_BENCH_FAST  set to run a representative subset per suite
+set -eu
+
+BUILD_DIR=${1:?usage: bench/run_all.sh <build-dir> [out-dir]}
+OUT_DIR=${2:-$(pwd)}
+mkdir -p "$OUT_DIR"
+[ -d "$BUILD_DIR" ] || {
+    echo "run_all: build dir $BUILD_DIR not found" >&2
+    exit 1
+}
+# Absolutize both before the cd below so relative arguments work.
+BUILD_DIR=$(CDPATH= cd -- "$BUILD_DIR" && pwd)
+OUT_DIR=$(CDPATH= cd -- "$OUT_DIR" && pwd)
+
+export WIZPP_BENCH_JSON_DIR="$OUT_DIR"
+cd "$OUT_DIR"
+
+# fig6 must precede fig7: fig7 reuses results/fig6.csv when present.
+BENCHES="fig3_local_vs_global fig4_jit_intrinsify fig5_decomposition \
+fig6_all_programs fig7_suite_means sec54_interp_vs_jit \
+sec6_jvmti_calls ablation_engine"
+
+status=0
+for b in $BENCHES; do
+    exe="$BUILD_DIR/$b"
+    if [ ! -x "$exe" ]; then
+        echo "run_all: missing $exe (build the bench targets first)" >&2
+        status=1
+        continue
+    fi
+    echo "--- $b ---"
+    "$exe" || { echo "run_all: $b FAILED" >&2; status=1; }
+done
+
+if [ -x "$BUILD_DIR/micro_zero_overhead" ]; then
+    echo "--- micro_zero_overhead ---"
+    "$BUILD_DIR/micro_zero_overhead" \
+        --benchmark_out="$OUT_DIR/BENCH_micro_zero_overhead.json" \
+        --benchmark_out_format=json \
+        || { echo "run_all: micro_zero_overhead FAILED" >&2; status=1; }
+fi
+
+echo
+echo "run_all: wrote $(ls "$OUT_DIR"/BENCH_*.json 2>/dev/null | wc -l) BENCH_*.json file(s) to $OUT_DIR"
+exit $status

@@ -79,5 +79,17 @@ main()
            "%.1f ms\n", absBI * 1e3 / count, absBJ * 1e3 / count);
     printf("  mean absolute overhead, hotness: interp %.1f ms vs jit "
            "%.1f ms\n", absHI * 1e3 / count, absHJ * 1e3 / count);
+
+    JsonReport json("sec54_interp_vs_jit");
+    json.putRange("hotness_interp_rel", relHI);
+    json.putRange("hotness_jit_rel", relHJ);
+    json.putRange("branch_interp_rel", relBI);
+    json.putRange("branch_jit_rel", relBJ);
+    json.put("mean_abs_overhead_s.hotness_interp", absHI / count);
+    json.put("mean_abs_overhead_s.hotness_jit", absHJ / count);
+    json.put("mean_abs_overhead_s.branch_interp", absBI / count);
+    json.put("mean_abs_overhead_s.branch_jit", absBJ / count);
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;
 }

@@ -88,6 +88,7 @@ main()
     double bj = timeRichards(m, Agent::Jvmti, 0);
 
     std::vector<std::string> csv;
+    JsonReport json("sec6_jvmti_calls");
     for (uint32_t n : {4u, 8u, 16u, 32u}) {
         double tu = timeRichards(m, Agent::None, n);
         double tc = timeRichards(m, Agent::Calls, n);
@@ -101,11 +102,15 @@ main()
                       std::to_string(tc) + "," + std::to_string(tj) +
                       "," + std::to_string(relCalls) + "," +
                       std::to_string(relJvmti));
+        json.put("loops" + std::to_string(n) + ".calls_rel", relCalls);
+        json.put("loops" + std::to_string(n) + ".jvmti_rel", relJvmti);
     }
     writeCsv("sec6_jvmti.csv",
              "loops,uninstr_s,calls_s,jvmti_s,calls_rel,jvmti_rel", csv);
     printf("\nExpected shape (paper Section 6: JVMTI 50-100x vs Wizard "
            "Calls 2.5-3x): the generic event pipe costs a large factor "
            "more than direct probes.\n");
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;
 }

@@ -29,7 +29,7 @@ class Monitor
     virtual void onAttach(Engine& engine) = 0;
 
     /** Emits the post-execution report. */
-    virtual void report(std::ostream& out) {}
+    virtual void report(std::ostream&) {}
 
     /** The monitor's flag name (wizeng --monitors=<name> equivalent). */
     virtual std::string name() const = 0;

@@ -85,7 +85,7 @@ CoverageMonitor::onAttach(Engine& engine)
             uint32_t pc = pcs[i];
             auto holder = std::make_shared<std::shared_ptr<Probe>>();
             auto probe = makeProbe(
-                [this, f, i, pc, holder](ProbeContext& ctx) {
+                [this, f, i, pc, holder](ProbeContext&) {
                     _bits[f][i] = true;
                     // Self-removal: covered locations return to zero
                     // overhead (dynamic probe removal, Section 3).
@@ -455,7 +455,7 @@ CallTreeMonitor::onAttach(Engine& engine)
     auto util = std::make_shared<FunctionEntryExit>(
         engine,
         [this](uint32_t f, uint64_t id) { onEntry(f, id); },
-        [this](uint32_t f, uint64_t id) { onExit(id); });
+        [this](uint32_t, uint64_t id) { onExit(id); });
     util->instrumentAll();
     _entryExit = util;
 }
@@ -474,7 +474,7 @@ CallTreeMonitor::onEntry(uint32_t funcIndex, uint64_t frameId)
 }
 
 void
-CallTreeMonitor::onExit(uint64_t frameId)
+CallTreeMonitor::onExit(uint64_t)
 {
     if (_stack.empty()) return;
     Activation a = _stack.back();

@@ -84,7 +84,7 @@ class Probe
 class CountProbe : public Probe
 {
   public:
-    void fire(ProbeContext& ctx) override { count++; }
+    void fire(ProbeContext&) override { count++; }
     bool isCountProbe() const override { return true; }
 
     uint64_t count = 0;
@@ -109,7 +109,7 @@ class OperandProbe : public Probe
 class EmptyProbe : public Probe
 {
   public:
-    void fire(ProbeContext& ctx) override {}
+    void fire(ProbeContext&) override {}
 };
 
 /** An empty probe that still counts as an operand probe (T_PD for branch). */

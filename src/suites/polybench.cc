@@ -43,13 +43,6 @@ make(const std::string& name, const std::string& body, uint32_t defaultN)
 }
 
 std::string
-fill(long long base, int count, int seed)
-{
-    return "(call $fill " + c32(base) + " " + c32(count) + " " +
-           c32(seed) + ")";
-}
-
-std::string
 fsum(long long base, int count)
 {
     return "(call $fsum " + c32(base) + " " + c32(count) + ")";

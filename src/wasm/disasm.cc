@@ -39,7 +39,12 @@ disassembleInstr(const std::vector<uint8_t>& code, uint32_t pc)
         s += " (type " + std::to_string(v.index) + ")";
         break;
       case OP_BR_TABLE:
-        for (uint32_t t : v.brTable) s += " " + std::to_string(t);
+        // Two appends, not `" " + std::to_string(t)`: the temporary
+        // trips GCC 12's -Wrestrict false positive (PR105651) at -O3.
+        for (uint32_t t : v.brTable) {
+            s += ' ';
+            s += std::to_string(t);
+        }
         break;
       case OP_I32_CONST:
       case OP_I64_CONST:
@@ -109,7 +114,7 @@ disassembleFunction(const Module& m, uint32_t funcIndex, std::ostream& out,
                                 static_cast<uint32_t>(pc)) !=
                           probedPcs->end();
         out << (probed ? "*" : " ");
-        char buf[16];
+        char buf[32];
         snprintf(buf, sizeof(buf), "%5zu  ", pc);
         out << "+" << buf;
         for (int i = 0; i < indent; i++) out << "  ";

@@ -1093,7 +1093,7 @@ class WatParser
             return true;
         }
         if (op == "local.get" || op == "local.set" || op == "local.tee") {
-            uint32_t idx;
+            uint32_t idx = 0;
             if (!resolveLocal(ctx, e.items[1], &idx)) return false;
             ctx.emit(op == "local.get" ? OP_LOCAL_GET
                      : op == "local.set" ? OP_LOCAL_SET : OP_LOCAL_TEE);

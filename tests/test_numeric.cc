@@ -6,8 +6,6 @@
  * memory.copy (including overlap).
  */
 
-#include <cmath>
-
 #include "test_util.h"
 
 namespace wizpp {
@@ -58,9 +56,6 @@ TEST_P(NumericEdge, Evaluates)
         << c.name << " got " << r.value()[0].toString() << " want "
         << c.expected.toString();
 }
-
-float kF32Nan = std::nanf("");
-double kF64Nan = std::nan("");
 
 const NumCase kCases[] = {
     // Integer division/remainder traps and edge values.

@@ -151,6 +151,8 @@ TEST_P(ProbeModes, SelfRemovingProbe)
     auto probe = makeProbe([&, holder](ProbeContext& ctx) {
         fires++;
         ctx.engine().probes().removeLocal(0, pc, holder->get());
+        // Break the probe->lambda->holder->probe ownership cycle.
+        holder->reset();
     });
     *holder = probe;
     eng->probes().insertLocal(0, pc, probe);
