@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Trace-recording overhead: full execution-trace capture (TraceRecorder
+ * — entry/exit, branch directions, br_table arms, memory grows) versus
+ * the uninstrumented baseline, in the interpreter and JIT tiers.
+ *
+ * This extends the paper's relative-execution-time methodology to the
+ * trace subsystem so its cost joins the cross-PR perf trajectory:
+ * tracing is the heaviest probe client in the tree (probes at every
+ * function entry, every exit path and every conditional branch), so its
+ * ratio is a stress ceiling for the monitor zoo.
+ *
+ * Emits BENCH_trace_overhead.json and results/trace_overhead.csv.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "trace/recorder.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+double
+now()
+{
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count()) *
+           1e-9;
+}
+
+struct TracedRun
+{
+    double seconds = 0;
+    uint64_t events = 0;
+    uint64_t bytes = 0;
+};
+
+/** One traced run, timed like harness runWizard (load → run). */
+TracedRun
+runTraced(const Module& m, const BenchProgram& p, ExecMode mode,
+          uint32_t n)
+{
+    EngineConfig cfg;
+    cfg.mode = mode;
+    double t0 = now();
+    Engine eng(cfg);
+    if (!eng.loadModule(m).ok()) {
+        std::cerr << "trace_overhead: load failed: " << p.name << "\n";
+        exit(1);
+    }
+    TraceRecorder rec;
+    eng.attachMonitor(&rec);
+    if (!eng.instantiate().ok()) {
+        std::cerr << "trace_overhead: instantiate failed: " << p.name
+                  << "\n";
+        exit(1);
+    }
+    std::vector<Value> args{Value::makeI32(n)};
+    rec.setInvocation(p.entry, args);
+    auto r = eng.callExport(p.entry, args);
+    if (!r.ok()) {
+        std::cerr << "trace_overhead: run failed: " << p.name << "\n";
+        exit(1);
+    }
+    rec.finish(TrapReason::None, r.value());
+    TracedRun out;
+    out.seconds = now() - t0;
+    out.events = rec.eventCount();
+    out.bytes = rec.bytes().size();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    // One representative per suite plus richards: tracing is heavy, so
+    // the stress picture matters more than corpus breadth here.
+    std::vector<const BenchProgram*> programs;
+    for (const char* suite : {"polybench", "ostrich", "libsodium"}) {
+        auto ps = programsBySuite(suite);
+        if (!ps.empty()) programs.push_back(ps.front());
+    }
+    programs.push_back(&richardsProgram());
+
+    struct ModeRow
+    {
+        ExecMode mode;
+        const char* name;
+    };
+    const ModeRow modes[] = {{ExecMode::Interpreter, "int"},
+                             {ExecMode::Jit, "jit"}};
+
+    JsonReport report("trace_overhead");
+    std::vector<std::string> csv;
+    std::vector<double> intRatios, jitRatios;
+
+    std::cout << "=== trace recording overhead (n=1, reps=" << reps()
+              << ") ===\n";
+    for (const BenchProgram* p : programs) {
+        auto parsed = parseWat(p->wat);
+        if (!parsed.ok()) {
+            std::cerr << "trace_overhead: parse failed: " << p->name
+                      << "\n";
+            return 1;
+        }
+        Module m = parsed.take();
+
+        for (const ModeRow& mr : modes) {
+            Measurement base =
+                measureWizard(*p, mr.mode, Tool::None, true, 1);
+            TracedRun traced;
+            for (int i = 0; i < reps(); i++) {
+                TracedRun t = runTraced(m, *p, mr.mode, 1);
+                if (i == 0 || t.seconds < traced.seconds) traced = t;
+            }
+            double ratio = traced.seconds / base.seconds;
+            (mr.mode == ExecMode::Interpreter ? intRatios : jitRatios)
+                .push_back(ratio);
+
+            std::string key = p->name + std::string(".") + mr.name;
+            report.put(key + ".base_s", base.seconds);
+            report.put(key + ".traced_s", traced.seconds);
+            report.put(key + ".ratio", ratio);
+            if (mr.mode == ExecMode::Interpreter) {
+                report.put(p->name + std::string(".events"),
+                           traced.events);
+                report.put(p->name + std::string(".bytes"),
+                           traced.bytes);
+            }
+            csv.push_back(p->name + "," + mr.name + "," +
+                          std::to_string(base.seconds) + "," +
+                          std::to_string(traced.seconds) + "," +
+                          std::to_string(ratio) + "," +
+                          std::to_string(traced.events) + "," +
+                          std::to_string(traced.bytes));
+            std::cout << "  " << p->name << " [" << mr.name
+                      << "]: " << fmtRatio(ratio) << " ("
+                      << traced.events << " events, " << traced.bytes
+                      << " bytes)\n";
+        }
+    }
+
+    report.putRange("int.ratio", intRatios);
+    report.putRange("jit.ratio", jitRatios);
+    std::string path = report.write();
+    writeCsv("trace_overhead.csv",
+             "program,mode,base_s,traced_s,ratio,events,bytes", csv);
+    if (!path.empty()) std::cout << "wrote " << path << "\n";
+    return 0;
+}

@@ -1,0 +1,148 @@
+#include "trace/format.h"
+
+#include "wasm/module.h"
+
+namespace wizpp {
+
+const char*
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::FuncEntry: return "func_entry";
+      case TraceKind::FuncExit: return "func_exit";
+      case TraceKind::Branch: return "branch";
+      case TraceKind::BrTable: return "br_table";
+      case TraceKind::MemGrow: return "mem_grow";
+      case TraceKind::ProbeFire: return "probe_fire";
+      case TraceKind::Trap: return "trap";
+      case TraceKind::Result: return "result";
+      case TraceKind::End: return "end";
+    }
+    return "?";
+}
+
+uint64_t
+fnv1a64(const uint8_t* data, size_t size, uint64_t seed)
+{
+    uint64_t h = seed ? seed : 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < size; i++) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+moduleFingerprint(const Module& m)
+{
+    // Hash the executable content only: function count, signature
+    // indices and pristine body bytes. Names, exports and debug info do
+    // not affect what a trace can observe.
+    std::vector<uint8_t> head;
+    encodeULEB(head, static_cast<uint32_t>(m.functions.size()));
+    uint64_t h = fnv1a64(head.data(), head.size());
+    for (const FuncDecl& f : m.functions) {
+        std::vector<uint8_t> meta;
+        encodeULEB(meta, f.typeIndex);
+        encodeULEB(meta, static_cast<uint32_t>(f.code.size()));
+        h = fnv1a64(meta.data(), meta.size(), h);
+        h = fnv1a64(f.code.data(), f.code.size(), h);
+    }
+    return h;
+}
+
+void
+TraceWriter::setHeader(uint64_t fingerprint, const std::string& entry,
+                       const std::vector<Value>& args)
+{
+    _header.assign(kTraceMagic, kTraceMagic + 4);
+    encodeULEB(_header, kTraceVersion);
+    appendFixed64(_header, fingerprint);
+    encodeULEB(_header, static_cast<uint32_t>(entry.size()));
+    _header.insert(_header.end(), entry.begin(), entry.end());
+    encodeULEB(_header, static_cast<uint32_t>(args.size()));
+    for (const Value& v : args) {
+        _header.push_back(static_cast<uint8_t>(v.type));
+        encodeULEB(_header, v.bits);
+    }
+}
+
+void
+TraceWriter::funcEntry(uint32_t funcIndex)
+{
+    kind(TraceKind::FuncEntry);
+    u32(funcIndex);
+}
+
+void
+TraceWriter::funcExit(uint32_t funcIndex)
+{
+    kind(TraceKind::FuncExit);
+    u32(funcIndex);
+}
+
+void
+TraceWriter::branch(uint32_t funcIndex, uint32_t pc, bool taken)
+{
+    kind(TraceKind::Branch);
+    u32(funcIndex);
+    u32(pc);
+    _body.push_back(taken ? 1 : 0);
+}
+
+void
+TraceWriter::brTable(uint32_t funcIndex, uint32_t pc, uint32_t arm)
+{
+    kind(TraceKind::BrTable);
+    u32(funcIndex);
+    u32(pc);
+    u32(arm);
+}
+
+void
+TraceWriter::memGrow(uint32_t deltaPages, uint32_t pagesBefore)
+{
+    kind(TraceKind::MemGrow);
+    u32(deltaPages);
+    u32(pagesBefore);
+}
+
+void
+TraceWriter::probeFire(uint32_t funcIndex, uint32_t pc)
+{
+    kind(TraceKind::ProbeFire);
+    u32(funcIndex);
+    u32(pc);
+}
+
+void
+TraceWriter::trap(TrapReason reason)
+{
+    kind(TraceKind::Trap);
+    u32(static_cast<uint32_t>(reason));
+}
+
+void
+TraceWriter::result(const std::vector<Value>& values)
+{
+    kind(TraceKind::Result);
+    u32(static_cast<uint32_t>(values.size()));
+    for (const Value& v : values) {
+        _body.push_back(static_cast<uint8_t>(v.type));
+        u64(v.bits);
+    }
+}
+
+void
+TraceWriter::end()
+{
+    if (_header.empty()) setHeader(0, "", {});
+    _final = _header;
+    _final.insert(_final.end(), _body.begin(), _body.end());
+    uint64_t checksum = fnv1a64(_final.data(), _final.size());
+    _final.push_back(static_cast<uint8_t>(TraceKind::End));
+    encodeULEB(_final, _events);
+    appendFixed64(_final, checksum);
+}
+
+} // namespace wizpp

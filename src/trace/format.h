@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Structured execution-trace format (the "what did this run do?"
+ * subsystem): a compact, versioned, LEB128-framed binary event stream.
+ *
+ * A trace is a determinism certificate for one invocation: it captures
+ * the control-flow and engine-event skeleton of a run — function
+ * entries/exits, directions of conditional branches, br_table arm
+ * selections, memory grows, user probe firings, and the final trap or
+ * result — all recorded purely through the probe API (no engine-core
+ * hooks). Two runs of the same module with the same entry and arguments
+ * must produce byte-identical traces, in *any* execution tier; comparing
+ * an interpreter-recorded trace against a JIT-recorded one is therefore
+ * a cross-tier divergence oracle (see replay.h).
+ *
+ * Layout (all integers ULEB128 unless noted):
+ *
+ *   header:
+ *     magic      4 bytes "WZTR"
+ *     version    u32                  (kTraceVersion)
+ *     fprint     8 bytes LE           (module fingerprint, FNV-1a 64)
+ *     entry      u32 length + bytes   (invoked export name)
+ *     argc       u32; per arg: 1 type byte + u64 raw bits
+ *   events: 1 kind byte + payload each (see TraceKind)
+ *   trailer:
+ *     End        u64 event count, 8 bytes LE FNV-1a 64 of everything
+ *                before the End kind byte
+ *
+ * Deliberately excluded from the stream: the execution mode, wall-clock
+ * times, and anything else tier- or host-dependent — byte-identity
+ * across tiers is the whole point.
+ */
+
+#ifndef WIZPP_TRACE_FORMAT_H
+#define WIZPP_TRACE_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/trap.h"
+#include "runtime/value.h"
+#include "support/leb128.h"
+
+namespace wizpp {
+
+struct Module;
+
+/** Trace format version (bump on any layout change). */
+constexpr uint32_t kTraceVersion = 1;
+
+/** Header magic: "WZTR". */
+constexpr uint8_t kTraceMagic[4] = {'W', 'Z', 'T', 'R'};
+
+/** Event kinds (the byte that frames each record). */
+enum class TraceKind : uint8_t {
+    FuncEntry = 0x01,  ///< funcIndex
+    FuncExit  = 0x02,  ///< funcIndex
+    Branch    = 0x03,  ///< funcIndex, pc, taken (1 byte)
+    BrTable   = 0x04,  ///< funcIndex, pc, resolved arm index
+    MemGrow   = 0x05,  ///< delta pages, pages before the grow
+    ProbeFire = 0x06,  ///< funcIndex, pc (a user-registered probe point)
+    Trap      = 0x07,  ///< TrapReason
+    Result    = 0x08,  ///< count; per value: 1 type byte + u64 raw bits
+    End       = 0x09,  ///< trailer: event count + stream checksum
+};
+
+/** Canonical display name of an event kind. */
+const char* traceKindName(TraceKind k);
+
+/**
+ * Content fingerprint of a module: function count plus every function's
+ * signature index and pristine body bytes. Replay verification refuses
+ * to run a trace against a module with a different fingerprint.
+ */
+uint64_t moduleFingerprint(const Module& m);
+
+/** FNV-1a 64 over a byte range (the trace checksum function). */
+uint64_t fnv1a64(const uint8_t* data, size_t size, uint64_t seed = 0);
+
+/**
+ * Append-only encoder for the trace byte stream. The recorder owns one.
+ * Header and event body are buffered separately — events may stream in
+ * before the invocation (entry, args) is known, e.g. from a start
+ * function — and end() assembles header + body + trailer.
+ */
+class TraceWriter
+{
+  public:
+    /** Stamps magic, version, fingerprint, entry and args. */
+    void setHeader(uint64_t fingerprint, const std::string& entry,
+                   const std::vector<Value>& args);
+
+    void funcEntry(uint32_t funcIndex);
+    void funcExit(uint32_t funcIndex);
+    void branch(uint32_t funcIndex, uint32_t pc, bool taken);
+    void brTable(uint32_t funcIndex, uint32_t pc, uint32_t arm);
+    void memGrow(uint32_t deltaPages, uint32_t pagesBefore);
+    void probeFire(uint32_t funcIndex, uint32_t pc);
+    void trap(TrapReason reason);
+    void result(const std::vector<Value>& values);
+
+    /**
+     * Assembles header + events + End trailer (event count, checksum)
+     * into the final stream returned by bytes().
+     */
+    void end();
+
+    uint64_t eventCount() const { return _events; }
+
+    /** The assembled stream; only valid after end(). */
+    const std::vector<uint8_t>& bytes() const { return _final; }
+
+  private:
+    void kind(TraceKind k)
+    {
+        _body.push_back(static_cast<uint8_t>(k));
+        _events++;
+    }
+
+    void u32(uint32_t v) { encodeULEB(_body, v); }
+    void u64(uint64_t v) { encodeULEB(_body, v); }
+
+    static void appendFixed64(std::vector<uint8_t>& out, uint64_t v)
+    {
+        for (int i = 0; i < 8; i++) {
+            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+        }
+    }
+
+    std::vector<uint8_t> _header;
+    std::vector<uint8_t> _body;
+    std::vector<uint8_t> _final;
+    uint64_t _events = 0;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_TRACE_FORMAT_H

@@ -1,0 +1,277 @@
+#include "trace/reader.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace wizpp {
+
+namespace {
+
+/** Cursor over the trace bytes with positioned-error helpers. */
+struct Cursor
+{
+    const uint8_t* p;
+    const uint8_t* end;
+    const uint8_t* base;
+
+    size_t offset() const { return static_cast<size_t>(p - base); }
+    bool atEnd() const { return p >= end; }
+
+    bool
+    u32(uint32_t* out)
+    {
+        auto r = decodeULEB<uint32_t>(p, end);
+        if (!r.ok()) return false;
+        *out = r.value;
+        p += r.length;
+        return true;
+    }
+
+    bool
+    u64(uint64_t* out)
+    {
+        auto r = decodeULEB<uint64_t>(p, end);
+        if (!r.ok()) return false;
+        *out = r.value;
+        p += r.length;
+        return true;
+    }
+
+    bool
+    byte(uint8_t* out)
+    {
+        if (atEnd()) return false;
+        *out = *p++;
+        return true;
+    }
+
+    bool
+    fixed64(uint64_t* out)
+    {
+        if (end - p < 8) return false;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; i++) {
+            v |= static_cast<uint64_t>(*p++) << (8 * i);
+        }
+        *out = v;
+        return true;
+    }
+};
+
+bool
+isValType(uint8_t b)
+{
+    switch (static_cast<ValType>(b)) {
+      case ValType::I32:
+      case ValType::I64:
+      case ValType::F32:
+      case ValType::F64:
+      case ValType::FuncRef:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readValues(Cursor& c, std::vector<Value>* out)
+{
+    uint32_t count = 0;
+    if (!c.u32(&count)) return false;
+    // Each value takes at least 2 bytes (type byte + 1 LEB byte), so a
+    // count beyond half the remaining bytes is malformed; checking
+    // before the reserve keeps hostile counts from allocating.
+    if (count > static_cast<size_t>(c.end - c.p) / 2) return false;
+    out->clear();
+    out->reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+        uint8_t t = 0;
+        uint64_t bits = 0;
+        if (!c.byte(&t) || !isValType(t) || !c.u64(&bits)) return false;
+        out->push_back({static_cast<ValType>(t), bits});
+    }
+    return true;
+}
+
+Error
+errAt(const Cursor& c, const std::string& msg)
+{
+    return Error{"trace: " + msg, c.offset()};
+}
+
+} // namespace
+
+std::string
+TraceEvent::toString() const
+{
+    std::ostringstream out;
+    out << traceKindName(kind);
+    switch (kind) {
+      case TraceKind::FuncEntry:
+      case TraceKind::FuncExit:
+        out << " f=" << func;
+        break;
+      case TraceKind::Branch:
+        out << " f=" << func << " pc=" << pc
+            << (a ? " taken" : " not-taken");
+        break;
+      case TraceKind::BrTable:
+        out << " f=" << func << " pc=" << pc << " arm=" << a;
+        break;
+      case TraceKind::MemGrow:
+        out << " delta=" << a << " before=" << b;
+        break;
+      case TraceKind::ProbeFire:
+        out << " f=" << func << " pc=" << pc;
+        break;
+      case TraceKind::Trap:
+        out << " "
+            << trapReasonName(static_cast<TrapReason>(a));
+        break;
+      case TraceKind::Result:
+        for (const Value& v : values) out << " " << v.toString();
+        break;
+      case TraceKind::End:
+        break;
+    }
+    return out.str();
+}
+
+TrapReason
+Trace::trapReason() const
+{
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+        if (it->kind == TraceKind::Trap) {
+            return static_cast<TrapReason>(it->a);
+        }
+    }
+    return TrapReason::None;
+}
+
+std::vector<Value>
+Trace::results() const
+{
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+        if (it->kind == TraceKind::Result) return it->values;
+    }
+    return {};
+}
+
+Result<Trace>
+readTrace(const std::vector<uint8_t>& bytes)
+{
+    Cursor c{bytes.data(), bytes.data() + bytes.size(), bytes.data()};
+    Trace t;
+
+    if (bytes.size() < 4 || std::memcmp(bytes.data(), kTraceMagic, 4)) {
+        return errAt(c, "bad magic (not a WZTR trace)");
+    }
+    c.p += 4;
+    if (!c.u32(&t.version)) return errAt(c, "truncated version");
+    if (t.version != kTraceVersion) {
+        return errAt(c, "unsupported version " +
+                     std::to_string(t.version));
+    }
+    if (!c.fixed64(&t.fingerprint)) {
+        return errAt(c, "truncated fingerprint");
+    }
+    uint32_t entryLen = 0;
+    if (!c.u32(&entryLen) ||
+        static_cast<size_t>(c.end - c.p) < entryLen) {
+        return errAt(c, "truncated entry name");
+    }
+    t.entry.assign(reinterpret_cast<const char*>(c.p), entryLen);
+    c.p += entryLen;
+    if (!readValues(c, &t.args)) return errAt(c, "malformed args");
+
+    bool sawEnd = false;
+    while (!c.atEnd()) {
+        size_t kindOffset = c.offset();
+        uint8_t k = 0;
+        c.byte(&k);
+        TraceEvent e;
+        e.kind = static_cast<TraceKind>(k);
+        bool ok = true;
+        switch (e.kind) {
+          case TraceKind::FuncEntry:
+          case TraceKind::FuncExit:
+            ok = c.u32(&e.func);
+            break;
+          case TraceKind::Branch: {
+            uint8_t taken = 0;
+            ok = c.u32(&e.func) && c.u32(&e.pc) && c.byte(&taken) &&
+                 taken <= 1;
+            e.a = taken;
+            break;
+          }
+          case TraceKind::BrTable: {
+            uint32_t arm = 0;
+            ok = c.u32(&e.func) && c.u32(&e.pc) && c.u32(&arm);
+            e.a = arm;
+            break;
+          }
+          case TraceKind::MemGrow: {
+            uint32_t delta = 0, before = 0;
+            ok = c.u32(&delta) && c.u32(&before);
+            e.a = delta;
+            e.b = before;
+            break;
+          }
+          case TraceKind::ProbeFire:
+            ok = c.u32(&e.func) && c.u32(&e.pc);
+            break;
+          case TraceKind::Trap: {
+            uint32_t reason = 0;
+            ok = c.u32(&reason) &&
+                 reason <= static_cast<uint32_t>(TrapReason::HostError);
+            e.a = reason;
+            break;
+          }
+          case TraceKind::Result:
+            ok = readValues(c, &e.values);
+            break;
+          case TraceKind::End: {
+            uint64_t count = 0;
+            if (!c.u64(&count) || !c.fixed64(&t.checksum)) {
+                return errAt(c, "truncated trailer");
+            }
+            if (count != t.events.size()) {
+                return errAt(c, "event count mismatch: trailer says " +
+                             std::to_string(count) + ", stream has " +
+                             std::to_string(t.events.size()));
+            }
+            uint64_t actual = fnv1a64(bytes.data(), kindOffset);
+            if (actual != t.checksum) {
+                return errAt(c, "checksum mismatch");
+            }
+            if (!c.atEnd()) {
+                return errAt(c, "trailing bytes after End");
+            }
+            sawEnd = true;
+            continue;
+          }
+          default:
+            return errAt(c, "unknown event kind " + std::to_string(k));
+        }
+        if (!ok) {
+            return errAt(c, std::string("malformed ") +
+                         traceKindName(e.kind) + " event");
+        }
+        t.events.push_back(std::move(e));
+    }
+    if (!sawEnd) return errAt(c, "missing End trailer");
+    return t;
+}
+
+Result<Trace>
+readTraceFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Error{"trace: cannot open " + path, 0};
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    return readTrace(bytes);
+}
+
+} // namespace wizpp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TraceReader: parses and validates the binary trace format produced by
+ * TraceWriter/TraceRecorder back into structured events.
+ *
+ * Parsing is strict: bad magic, unknown version, unknown event kinds,
+ * truncation, a missing End trailer, an event-count mismatch or a
+ * checksum mismatch are all hard errors. The sidecar analyses
+ * (sidecar.h) and the replay verifier (replay.h) both build on this.
+ */
+
+#ifndef WIZPP_TRACE_READER_H
+#define WIZPP_TRACE_READER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+#include "trace/format.h"
+
+namespace wizpp {
+
+/** One decoded trace event. Field use depends on kind (see TraceKind). */
+struct TraceEvent
+{
+    TraceKind kind = TraceKind::End;
+    uint32_t func = 0;   ///< FuncEntry/FuncExit/Branch/BrTable/ProbeFire
+    uint32_t pc = 0;     ///< Branch/BrTable/ProbeFire
+    uint64_t a = 0;      ///< Branch: taken; BrTable: arm; MemGrow: delta;
+                         ///< Trap: reason
+    uint64_t b = 0;      ///< MemGrow: pages before the grow
+    std::vector<Value> values;  ///< Result payload
+
+    /** Renders "branch f=3 pc=17 taken" style (divergence reports). */
+    std::string toString() const;
+};
+
+/** A fully parsed and validated trace. */
+struct Trace
+{
+    uint32_t version = 0;
+    uint64_t fingerprint = 0;
+    std::string entry;
+    std::vector<Value> args;
+    std::vector<TraceEvent> events;  ///< excludes the End trailer
+    uint64_t checksum = 0;
+
+    /** The trap event's reason, or TrapReason::None if the run finished. */
+    TrapReason trapReason() const;
+
+    /** The recorded final results (empty if the run trapped). */
+    std::vector<Value> results() const;
+};
+
+/** Parses @p bytes; returns the trace or a positioned parse error. */
+Result<Trace> readTrace(const std::vector<uint8_t>& bytes);
+
+/** Reads a whole file and parses it. */
+Result<Trace> readTraceFile(const std::string& path);
+
+} // namespace wizpp
+
+#endif // WIZPP_TRACE_READER_H

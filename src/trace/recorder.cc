@@ -1,0 +1,206 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "engine/engine.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+/**
+ * Records the direction of an if/br_if from the condition on top of the
+ * operand stack. An OperandProbe so the compiled tier can pass the
+ * value directly (intrinsified) when it is the only probe at the site.
+ */
+class TraceRecorder::BranchProbe : public OperandProbe
+{
+  public:
+    BranchProbe(TraceWriter& w, uint32_t func, uint32_t pc)
+        : _w(w), _func(func), _pc(pc)
+    {}
+
+    void
+    fireOperand(Value tos) override
+    {
+        _w.branch(_func, _pc, tos.i32() != 0);
+    }
+
+  private:
+    TraceWriter& _w;
+    uint32_t _func, _pc;
+};
+
+/** Records the resolved arm (clamped to the default) of a br_table. */
+class TraceRecorder::BrTableProbe : public OperandProbe
+{
+  public:
+    BrTableProbe(TraceWriter& w, uint32_t func, uint32_t pc,
+                 uint32_t numArms)
+        : _w(w), _func(func), _pc(pc), _numArms(numArms)
+    {}
+
+    void
+    fireOperand(Value tos) override
+    {
+        _w.brTable(_func, _pc, std::min(tos.i32(), _numArms - 1));
+    }
+
+  private:
+    TraceWriter& _w;
+    uint32_t _func, _pc;
+    uint32_t _numArms;  ///< targets including the default (last)
+};
+
+/** Records delta and pre-grow size at memory.grow sites. */
+class TraceRecorder::MemGrowProbe : public OperandProbe
+{
+  public:
+    MemGrowProbe(TraceWriter& w, Engine& engine) : _w(w), _engine(engine)
+    {}
+
+    void
+    fireOperand(Value tos) override
+    {
+        _w.memGrow(tos.i32(), _engine.instance().memory.pages());
+    }
+
+  private:
+    TraceWriter& _w;
+    Engine& _engine;
+};
+
+/** A user-registered probe point: one ProbeFire event per execution. */
+class TraceRecorder::PointProbe : public Probe
+{
+  public:
+    PointProbe(TraceWriter& w, uint32_t func, uint32_t pc)
+        : _w(w), _func(func), _pc(pc)
+    {}
+
+    void fire(ProbeContext&) override { _w.probeFire(_func, _pc); }
+
+  private:
+    TraceWriter& _w;
+    uint32_t _func, _pc;
+};
+
+void
+TraceRecorder::onAttach(Engine& engine)
+{
+    _engine = &engine;
+
+    // Phase 1: entry/exit instrumentation. Installed before the branch
+    // probes so that at a shared site (e.g. a br_if that exits the
+    // function) the FuncExit event precedes the Branch event — probe
+    // insertion order is firing order, in every tier.
+    _entryExit = std::make_unique<FunctionEntryExit>(
+        engine,
+        [this](uint32_t funcIndex, uint64_t) {
+            _writer.funcEntry(funcIndex);
+        },
+        [this](uint32_t funcIndex, uint64_t) {
+            _writer.funcExit(funcIndex);
+        });
+    _entryExit->instrumentAll();
+
+    // Phase 2: branch, br_table and memory.grow sites, in (func, pc)
+    // order so record and replay instrument identically.
+    instrumentSites();
+}
+
+void
+TraceRecorder::instrumentSites()
+{
+    Engine& eng = *_engine;
+    for (uint32_t f = 0; f < eng.numFuncs(); f++) {
+        FuncState& fs = eng.funcState(f);
+        if (fs.decl->imported) continue;
+        const std::vector<uint8_t>& code = fs.decl->code;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            std::shared_ptr<Probe> probe;
+            switch (code[pc]) {
+              case OP_IF:
+              case OP_BR_IF:
+                probe = std::make_shared<BranchProbe>(_writer, f, pc);
+                break;
+              case OP_BR_TABLE: {
+                auto it = fs.sideTable.brTables.find(pc);
+                if (it == fs.sideTable.brTables.end()) continue;
+                probe = std::make_shared<BrTableProbe>(
+                    _writer, f, pc,
+                    static_cast<uint32_t>(it->second.size()));
+                break;
+              }
+              case OP_MEMORY_GROW:
+                probe = std::make_shared<MemGrowProbe>(_writer, eng);
+                break;
+              default:
+                continue;
+            }
+            eng.probes().insertLocal(f, pc, probe);
+            _probes.push_back(std::move(probe));
+        }
+    }
+}
+
+bool
+TraceRecorder::addProbePoint(uint32_t funcIndex, uint32_t pc)
+{
+    if (!_engine) return false;
+    uint64_t site = (static_cast<uint64_t>(funcIndex) << 32) | pc;
+    if (std::find(_points.begin(), _points.end(), site) != _points.end()) {
+        return true;  // already registered
+    }
+    auto probe = std::make_shared<PointProbe>(_writer, funcIndex, pc);
+    if (!_engine->probes().insertLocal(funcIndex, pc, probe)) {
+        return false;
+    }
+    _points.push_back(site);
+    _probes.push_back(std::move(probe));
+    return true;
+}
+
+void
+TraceRecorder::setInvocation(const std::string& entry,
+                             const std::vector<Value>& args)
+{
+    _writer.setHeader(
+        _engine ? moduleFingerprint(_engine->module()) : 0, entry, args);
+}
+
+void
+TraceRecorder::finish(TrapReason trap, const std::vector<Value>& results)
+{
+    if (_finished) return;
+    if (trap != TrapReason::None) {
+        // Activations discarded by the unwind get no FuncExit events;
+        // the Trap event is the terminator.
+        _writer.trap(trap);
+    } else {
+        _writer.result(results);
+    }
+    _writer.end();
+    _finished = true;
+}
+
+bool
+TraceRecorder::writeFile(const std::string& path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    const std::vector<uint8_t>& b = _writer.bytes();
+    out.write(reinterpret_cast<const char*>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+    return static_cast<bool>(out);
+}
+
+void
+TraceRecorder::report(std::ostream& out)
+{
+    out << "tracer: " << _writer.eventCount() << " event(s), "
+        << _writer.bytes().size() << " byte(s)\n";
+}
+
+} // namespace wizpp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * TraceRecorder: a monitor that records the structured execution trace
+ * of one invocation (format.h) purely through the probe API — function
+ * entry/exit via the FunctionEntryExit library, branch directions and
+ * br_table arm selections via OperandProbes, memory grows via an
+ * OperandProbe on memory.grow sites, and user-registered probe points.
+ *
+ * No engine-core hook is involved anywhere on the recording path: the
+ * recorder is a client of ProbeManager and FrameAccessor exactly like
+ * any other monitor, which is the paper's completeness claim (probes
+ * suffice to build every dynamic-analysis tool) exercised on a
+ * record/replay tool.
+ *
+ * Lifecycle: attach (after loadModule, like any monitor), optionally
+ * addProbePoint(), setInvocation() with the entry/args about to run,
+ * execute, then finish() with the outcome. bytes() then holds the
+ * complete trace. One recorder records one invocation.
+ */
+
+#ifndef WIZPP_TRACE_RECORDER_H
+#define WIZPP_TRACE_RECORDER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitors/entryexit.h"
+#include "monitors/monitor.h"
+#include "probes/probe.h"
+#include "trace/format.h"
+
+namespace wizpp {
+
+class TraceRecorder : public Monitor
+{
+  public:
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "tracer"; }
+
+    /**
+     * Registers a probe point: a local probe at (funcIndex, pc) that
+     * emits a ProbeFire event every time the location executes. Points
+     * are deduplicated per site. Must be called after attach, before
+     * execution. Returns false on an invalid location.
+     */
+    bool addProbePoint(uint32_t funcIndex, uint32_t pc);
+
+    /** Stamps the header with what is about to be invoked. */
+    void setInvocation(const std::string& entry,
+                       const std::vector<Value>& args);
+
+    /**
+     * Seals the trace with the run's outcome: a Trap event if
+     * @p trap != None, otherwise a Result event with @p results.
+     */
+    void finish(TrapReason trap, const std::vector<Value>& results);
+
+    /** The complete trace stream; valid after finish(). */
+    const std::vector<uint8_t>& bytes() const { return _writer.bytes(); }
+
+    /** Writes bytes() to a file; false on I/O failure. */
+    bool writeFile(const std::string& path) const;
+
+    uint64_t eventCount() const { return _writer.eventCount(); }
+    bool finished() const { return _finished; }
+
+  private:
+    class BranchProbe;
+    class BrTableProbe;
+    class MemGrowProbe;
+    class PointProbe;
+
+    void instrumentSites();
+
+    Engine* _engine = nullptr;
+    TraceWriter _writer;
+    bool _finished = false;
+    std::unique_ptr<FunctionEntryExit> _entryExit;
+    std::vector<std::shared_ptr<Probe>> _probes;
+    std::vector<uint64_t> _points;  ///< registered probe-point sites
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_TRACE_RECORDER_H

@@ -1,0 +1,128 @@
+#include "trace/replay.h"
+
+#include <algorithm>
+
+#include "trace/recorder.h"
+
+namespace wizpp {
+
+std::vector<uint8_t>
+recordTrace(Module module, const EngineConfig& config,
+            const std::string& entry, const std::vector<Value>& args,
+            const std::vector<std::pair<uint32_t, uint32_t>>& probePoints)
+{
+    Engine engine(config);
+    auto lr = engine.loadModule(std::move(module));
+    if (!lr.ok()) return {};
+
+    TraceRecorder recorder;
+    engine.attachMonitor(&recorder);
+    for (const auto& [f, pc] : probePoints) {
+        recorder.addProbePoint(f, pc);
+    }
+
+    auto ir = engine.instantiate();
+    if (!ir.ok()) return {};
+
+    recorder.setInvocation(entry, args);
+    auto r = engine.callExport(entry, args);
+    if (!r.ok() && engine.lastTrap() == TrapReason::None) {
+        // Invocation error (no such export, bad arity) — the program
+        // never ran, so there is no outcome to seal into a trace.
+        return {};
+    }
+    recorder.finish(r.ok() ? TrapReason::None : engine.lastTrap(),
+                    r.ok() ? r.value() : std::vector<Value>{});
+    return recorder.bytes();
+}
+
+namespace {
+
+/** Renders the first event-level difference between two parsed traces. */
+void
+describeDivergence(const Trace& golden, const Trace& replay,
+                   ReplayOutcome* out)
+{
+    size_t n = std::min(golden.events.size(), replay.events.size());
+    for (size_t i = 0; i < n; i++) {
+        std::string g = golden.events[i].toString();
+        std::string r = replay.events[i].toString();
+        if (g != r) {
+            out->eventIndex = i;
+            out->goldenEvent = g;
+            out->replayEvent = r;
+            return;
+        }
+    }
+    out->eventIndex = n;
+    out->goldenEvent =
+        n < golden.events.size() ? golden.events[n].toString() : "<none>";
+    out->replayEvent =
+        n < replay.events.size() ? replay.events[n].toString() : "<none>";
+}
+
+} // namespace
+
+ReplayOutcome
+replayVerify(const std::vector<uint8_t>& golden, Module module,
+             const EngineConfig& config)
+{
+    ReplayOutcome out;
+
+    auto parsed = readTrace(golden);
+    if (!parsed.ok()) {
+        out.message = "golden trace unreadable: " +
+                      parsed.error().toString();
+        return out;
+    }
+    const Trace& g = parsed.value();
+
+    uint64_t fp = moduleFingerprint(module);
+    if (fp != g.fingerprint) {
+        out.message = "module fingerprint mismatch (trace was recorded "
+                      "from a different module)";
+        return out;
+    }
+
+    // Probe points are replayed from the golden stream: the distinct
+    // set of sites that fired. A site that never fired inserts nothing,
+    // which a deterministic replay reproduces vacuously.
+    std::vector<std::pair<uint32_t, uint32_t>> points;
+    for (const TraceEvent& e : g.events) {
+        if (e.kind != TraceKind::ProbeFire) continue;
+        std::pair<uint32_t, uint32_t> p{e.func, e.pc};
+        if (std::find(points.begin(), points.end(), p) == points.end()) {
+            points.push_back(p);
+        }
+    }
+
+    std::vector<uint8_t> fresh =
+        recordTrace(std::move(module), config, g.entry, g.args, points);
+    if (fresh.empty()) {
+        out.message = "replay failed to load, instantiate or invoke "
+                      "the recorded entry '" + g.entry + "'";
+        return out;
+    }
+    out.ran = true;
+
+    if (fresh == golden) {
+        out.ok = true;
+        out.message = "replay-check PASS: " +
+                      std::to_string(g.events.size()) + " event(s), " +
+                      std::to_string(golden.size()) +
+                      " byte(s) identical";
+        return out;
+    }
+
+    auto freshParsed = readTrace(fresh);
+    if (freshParsed.ok()) {
+        describeDivergence(g, freshParsed.value(), &out);
+    }
+    out.message = "replay-check FAIL: divergence at event " +
+                  std::to_string(out.eventIndex) + ": recorded {" +
+                  out.goldenEvent + "} vs replayed {" + out.replayEvent +
+                  "}";
+    return out;
+}
+
+} // namespace wizpp

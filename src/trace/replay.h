@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ReplayVerifier: re-executes a recorded invocation and checks that the
+ * fresh trace is byte-identical to the golden one — a determinism
+ * certificate for the engine.
+ *
+ * Because the trace format deliberately contains nothing tier-dependent
+ * (format.h), the replay may run in a *different* execution tier than
+ * the recording: record under ExecMode::Interpreter, verify under Jit
+ * or Tiered, and any divergence in control flow, memory growth, probe
+ * firing order or final result between the tiers is caught as a byte
+ * mismatch and reported as the first diverging event.
+ */
+
+#ifndef WIZPP_TRACE_REPLAY_H
+#define WIZPP_TRACE_REPLAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "trace/reader.h"
+
+namespace wizpp {
+
+/** Outcome of a replay verification. */
+struct ReplayOutcome
+{
+    bool ok = false;       ///< traces are byte-identical
+    bool ran = false;      ///< the replay executed (false: setup error)
+    std::string message;   ///< one-line verdict
+
+    /** On divergence: index of the first differing event and both
+     *  renderings ("<none>" when one stream ended early). */
+    size_t eventIndex = 0;
+    std::string goldenEvent;
+    std::string replayEvent;
+};
+
+/**
+ * Replays @p golden against @p module under @p config and compares.
+ * The entry, arguments and probe points are taken from the golden
+ * trace itself; the module must have the recorded fingerprint.
+ */
+ReplayOutcome replayVerify(const std::vector<uint8_t>& golden,
+                           Module module, const EngineConfig& config);
+
+/**
+ * Records one invocation of @p entry(@p args) on a fresh engine built
+ * from @p module under @p config and returns the trace bytes. Probe
+ * points (func, pc pairs) are installed before execution. This is the
+ * primitive both replayVerify and `wizeng --trace` build on.
+ */
+std::vector<uint8_t> recordTrace(
+    Module module, const EngineConfig& config, const std::string& entry,
+    const std::vector<Value>& args,
+    const std::vector<std::pair<uint32_t, uint32_t>>& probePoints = {});
+
+} // namespace wizpp
+
+#endif // WIZPP_TRACE_REPLAY_H

@@ -1,0 +1,150 @@
+#include "trace/sidecar.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+namespace wizpp {
+
+TraceAnalysis
+analyzeTrace(const Trace& trace)
+{
+    TraceAnalysis a;
+    a.runs = 1;
+    a.events = trace.events.size();
+    for (const TraceEvent& e : trace.events) {
+        uint64_t key = TraceAnalysis::siteKey(e.func, e.pc);
+        switch (e.kind) {
+          case TraceKind::FuncEntry:
+            a.funcEntries[e.func]++;
+            break;
+          case TraceKind::Branch:
+            if (e.a) a.branches[key].taken++;
+            else a.branches[key].notTaken++;
+            break;
+          case TraceKind::BrTable:
+            a.tables[key][static_cast<uint32_t>(e.a)]++;
+            break;
+          case TraceKind::MemGrow:
+            a.memGrows++;
+            break;
+          case TraceKind::ProbeFire:
+            a.probeFires[key]++;
+            break;
+          case TraceKind::Trap:
+            a.trappedRuns++;
+            break;
+          default:
+            break;
+        }
+    }
+    return a;
+}
+
+void
+TraceAnalysis::merge(const TraceAnalysis& other)
+{
+    runs += other.runs;
+    events += other.events;
+    memGrows += other.memGrows;
+    trappedRuns += other.trappedRuns;
+    for (const auto& [f, n] : other.funcEntries) funcEntries[f] += n;
+    for (const auto& [k, bc] : other.branches) {
+        branches[k].taken += bc.taken;
+        branches[k].notTaken += bc.notTaken;
+    }
+    for (const auto& [k, arms] : other.tables) {
+        for (const auto& [arm, n] : arms) tables[k][arm] += n;
+    }
+    for (const auto& [k, n] : other.probeFires) probeFires[k] += n;
+}
+
+std::set<uint32_t>
+TraceAnalysis::coveredFuncs() const
+{
+    std::set<uint32_t> out;
+    for (const auto& [f, n] : funcEntries) {
+        if (n) out.insert(f);
+    }
+    return out;
+}
+
+void
+writeCoverageReport(std::ostream& out, const TraceAnalysis& a)
+{
+    size_t bothWays = 0;
+    for (const auto& [k, bc] : a.branches) {
+        if (bc.bothWays()) bothWays++;
+    }
+    out << "=== trace coverage (" << a.runs << " run(s), " << a.events
+        << " event(s)) ===\n";
+    out << "functions entered: " << a.coveredFuncs().size() << "\n";
+    out << "branch sites seen: " << a.branches.size() << " ("
+        << bothWays << " exercised both ways)\n";
+    out << "br_table sites seen: " << a.tables.size() << "\n";
+    if (a.trappedRuns) out << "trapped runs: " << a.trappedRuns << "\n";
+
+    for (const auto& [f, n] : a.funcEntries) {
+        out << "  func " << f << ": " << n << " entr"
+            << (n == 1 ? "y" : "ies") << "\n";
+    }
+    for (const auto& [k, bc] : a.branches) {
+        if (bc.bothWays()) continue;
+        out << "  one-sided branch: func " << TraceAnalysis::siteFunc(k)
+            << " pc " << TraceAnalysis::sitePc(k) << " ("
+            << (bc.taken ? "always taken" : "never taken") << ", "
+            << bc.total() << " fire(s))\n";
+    }
+}
+
+namespace {
+
+template <typename K>
+std::vector<std::pair<K, uint64_t>>
+topOf(const std::map<K, uint64_t>& counts, size_t topN)
+{
+    std::vector<std::pair<K, uint64_t>> v(counts.begin(), counts.end());
+    std::stable_sort(v.begin(), v.end(), [](const auto& x, const auto& y) {
+        return x.second > y.second;
+    });
+    if (v.size() > topN) v.resize(topN);
+    return v;
+}
+
+} // namespace
+
+void
+writeProfileReport(std::ostream& out, const TraceAnalysis& a,
+                   size_t topN)
+{
+    out << "=== hot-path profile (" << a.runs << " run(s)) ===\n";
+
+    out << "hottest functions (by entries):\n";
+    for (const auto& [f, n] : topOf(a.funcEntries, topN)) {
+        out << "  func " << f << ": " << n << "\n";
+    }
+
+    std::map<uint64_t, uint64_t> siteTotals;
+    for (const auto& [k, bc] : a.branches) siteTotals[k] = bc.total();
+    for (const auto& [k, arms] : a.tables) {
+        uint64_t total = 0;
+        for (const auto& [arm, n] : arms) total += n;
+        siteTotals[k] += total;
+    }
+    out << "hottest branch sites (by executions):\n";
+    for (const auto& [k, n] : topOf(siteTotals, topN)) {
+        out << "  func " << TraceAnalysis::siteFunc(k) << " pc "
+            << TraceAnalysis::sitePc(k) << ": " << n << "\n";
+    }
+
+    if (!a.probeFires.empty()) {
+        out << "probe points (by fires):\n";
+        for (const auto& [k, n] : topOf(a.probeFires, topN)) {
+            out << "  func " << TraceAnalysis::siteFunc(k) << " pc "
+                << TraceAnalysis::sitePc(k) << ": " << n << "\n";
+        }
+    }
+    if (a.memGrows) out << "memory grows: " << a.memGrows << "\n";
+}
+
+} // namespace wizpp

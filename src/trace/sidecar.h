@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sidecar analyses over saved traces — no execution required.
+ *
+ * Once a run is captured as a trace, tools that would classically each
+ * need their own instrumented run become pure stream folds (the
+ * drcov-style model: record once, analyze offline, merge across runs):
+ *
+ *  - TraceAnalysis: per-trace tallies of function entries, branch
+ *    directions, br_table arms, memory grows and probe fires.
+ *  - merge(): drcov-style union across runs, e.g. accumulating
+ *    coverage over a whole corpus of inputs.
+ *  - writeCoverageReport(): which functions and branch directions were
+ *    ever exercised (and which branch sites are still one-sided).
+ *  - writeProfileReport(): hot-path histogram — hottest functions by
+ *    entry count and hottest branch sites by execution count.
+ */
+
+#ifndef WIZPP_TRACE_SIDECAR_H
+#define WIZPP_TRACE_SIDECAR_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+
+#include "trace/reader.h"
+
+namespace wizpp {
+
+/** Aggregated view of one or more traces. */
+struct TraceAnalysis
+{
+    /** Per-site direction counts for if/br_if. */
+    struct BranchCounts
+    {
+        uint64_t taken = 0;
+        uint64_t notTaken = 0;
+        uint64_t total() const { return taken + notTaken; }
+        bool bothWays() const { return taken && notTaken; }
+    };
+
+    uint64_t runs = 0;        ///< traces folded in
+    uint64_t events = 0;      ///< total events folded in
+    uint64_t memGrows = 0;
+    uint64_t trappedRuns = 0;
+
+    std::map<uint32_t, uint64_t> funcEntries;  ///< func → entry count
+    std::map<uint64_t, BranchCounts> branches; ///< site key → directions
+    std::map<uint64_t, std::map<uint32_t, uint64_t>> tables;
+                                               ///< site key → arm counts
+    std::map<uint64_t, uint64_t> probeFires;   ///< site key → fire count
+
+    static uint64_t siteKey(uint32_t func, uint32_t pc)
+    {
+        return (static_cast<uint64_t>(func) << 32) | pc;
+    }
+    static uint32_t siteFunc(uint64_t key)
+    {
+        return static_cast<uint32_t>(key >> 32);
+    }
+    static uint32_t sitePc(uint64_t key)
+    {
+        return static_cast<uint32_t>(key);
+    }
+
+    /** Folds another analysis in (coverage/profile merge across runs). */
+    void merge(const TraceAnalysis& other);
+
+    /** Functions ever entered. */
+    std::set<uint32_t> coveredFuncs() const;
+};
+
+/** Tallies one parsed trace. */
+TraceAnalysis analyzeTrace(const Trace& trace);
+
+/** Merged coverage report (functions, branch sites, one-sided sites). */
+void writeCoverageReport(std::ostream& out, const TraceAnalysis& a);
+
+/** Hot-path histogram: top-N functions and branch sites. */
+void writeProfileReport(std::ostream& out, const TraceAnalysis& a,
+                        size_t topN = 10);
+
+} // namespace wizpp
+
+#endif // WIZPP_TRACE_SIDECAR_H

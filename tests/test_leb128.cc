@@ -1,0 +1,180 @@
+/**
+ * @file
+ * LEB128 round-trip and malformed-input tests for support/leb128.h —
+ * the encoding the binary module format and the trace subsystem both
+ * depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/leb128.h"
+
+using namespace wizpp;
+
+namespace {
+
+template <typename T>
+std::vector<uint8_t>
+encU(T v)
+{
+    std::vector<uint8_t> out;
+    encodeULEB(out, v);
+    return out;
+}
+
+template <typename T>
+std::vector<uint8_t>
+encS(T v)
+{
+    std::vector<uint8_t> out;
+    encodeSLEB(out, v);
+    return out;
+}
+
+} // namespace
+
+TEST(Leb128, U32RoundTripBoundaries)
+{
+    const uint32_t cases[] = {0,       1,          63,        64,
+                              127,     128,        255,       256,
+                              16383,   16384,      624485,    0x7fffffffu,
+                              0x80000000u, std::numeric_limits<uint32_t>::max()};
+    for (uint32_t v : cases) {
+        std::vector<uint8_t> b = encU(v);
+        EXPECT_EQ(b.size(), sizeULEB(v)) << v;
+        auto r = decodeULEB<uint32_t>(b.data(), b.data() + b.size());
+        ASSERT_TRUE(r.ok()) << v;
+        EXPECT_EQ(r.value, v);
+        EXPECT_EQ(r.length, b.size());
+    }
+}
+
+TEST(Leb128, U64RoundTripBoundaries)
+{
+    const uint64_t cases[] = {0,
+                              127,
+                              128,
+                              (1ull << 32) - 1,
+                              1ull << 32,
+                              (1ull << 56) + 12345,
+                              std::numeric_limits<uint64_t>::max()};
+    for (uint64_t v : cases) {
+        std::vector<uint8_t> b = encU(v);
+        EXPECT_EQ(b.size(), sizeULEB(v)) << v;
+        auto r = decodeULEB<uint64_t>(b.data(), b.data() + b.size());
+        ASSERT_TRUE(r.ok()) << v;
+        EXPECT_EQ(r.value, v);
+        EXPECT_EQ(r.length, b.size());
+    }
+}
+
+TEST(Leb128, S32RoundTripBoundaries)
+{
+    const int32_t cases[] = {0,    1,    -1,   63,   64,   -64,  -65,
+                             127,  128,  -128, 8191, -8192,
+                             std::numeric_limits<int32_t>::max(),
+                             std::numeric_limits<int32_t>::min()};
+    for (int32_t v : cases) {
+        std::vector<uint8_t> b = encS(v);
+        auto r = decodeSLEB<int32_t>(b.data(), b.data() + b.size());
+        ASSERT_TRUE(r.ok()) << v;
+        EXPECT_EQ(r.value, v);
+        EXPECT_EQ(r.length, b.size());
+    }
+}
+
+TEST(Leb128, S64RoundTripBoundaries)
+{
+    const int64_t cases[] = {0,
+                             -1,
+                             (1ll << 32),
+                             -(1ll << 32) - 1,
+                             std::numeric_limits<int64_t>::max(),
+                             std::numeric_limits<int64_t>::min()};
+    for (int64_t v : cases) {
+        std::vector<uint8_t> b = encS(v);
+        auto r = decodeSLEB<int64_t>(b.data(), b.data() + b.size());
+        ASSERT_TRUE(r.ok()) << v;
+        EXPECT_EQ(r.value, v);
+        EXPECT_EQ(r.length, b.size());
+    }
+}
+
+TEST(Leb128, S33RoundTripBoundaries)
+{
+    // s33 is the block-type encoding: a 33-bit signed value decoded
+    // into an int64. Boundary values of the 33-bit range.
+    const int64_t cases[] = {0,
+                             -1,
+                             (1ll << 32) - 1,   //  2^32-1 (max s33)
+                             -(1ll << 32),      // -2^32   (min s33)
+                             0x40,              // needs the sign-extend path
+                             -0x41};
+    for (int64_t v : cases) {
+        std::vector<uint8_t> b = encS(v);
+        auto r = decodeSLEB<int64_t, 33>(b.data(), b.data() + b.size());
+        ASSERT_TRUE(r.ok()) << v;
+        EXPECT_EQ(r.value, v) << v;
+        EXPECT_EQ(r.length, b.size());
+    }
+}
+
+TEST(Leb128, TruncatedInputFails)
+{
+    // A continuation bit with no following byte.
+    const uint8_t bytes[] = {0x80};
+    EXPECT_FALSE(decodeULEB<uint32_t>(bytes, bytes + 1).ok());
+    EXPECT_FALSE(decodeSLEB<int32_t>(bytes, bytes + 1).ok());
+    EXPECT_FALSE(decodeULEB<uint32_t>(bytes, bytes).ok());  // empty
+}
+
+TEST(Leb128, OverlongU32Fails)
+{
+    // Six continuation bytes exceed the 32-bit budget (ceil(32/7) = 5).
+    const uint8_t bytes[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+    EXPECT_FALSE(
+        decodeULEB<uint32_t>(bytes, bytes + sizeof(bytes)).ok());
+}
+
+TEST(Leb128, U32FifthByteExcessBitsFail)
+{
+    // The 5th byte may only contribute 4 bits; 0x10 sets bit 32.
+    const uint8_t bad[] = {0x80, 0x80, 0x80, 0x80, 0x10};
+    EXPECT_FALSE(decodeULEB<uint32_t>(bad, bad + sizeof(bad)).ok());
+    // 0x0f keeps the value inside 32 bits and must succeed.
+    const uint8_t good[] = {0x80, 0x80, 0x80, 0x80, 0x0f};
+    auto r = decodeULEB<uint32_t>(good, good + sizeof(good));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, 0xf0000000u);
+}
+
+TEST(Leb128, PaddedU32MatchesCompactValue)
+{
+    const uint32_t cases[] = {0, 1, 624485,
+                              std::numeric_limits<uint32_t>::max()};
+    for (uint32_t v : cases) {
+        std::vector<uint8_t> b;
+        encodePaddedULEB32(b, v);
+        ASSERT_EQ(b.size(), 5u);
+        auto r = decodeULEB<uint32_t>(b.data(), b.data() + b.size());
+        ASSERT_TRUE(r.ok()) << v;
+        EXPECT_EQ(r.value, v);
+        EXPECT_EQ(r.length, 5u);
+    }
+}
+
+TEST(Leb128, DecodeStopsAtTerminatorNotBufferEnd)
+{
+    // Trailing garbage after a terminated value must not be consumed.
+    std::vector<uint8_t> b = encU<uint32_t>(624485);
+    size_t len = b.size();
+    b.push_back(0xff);
+    auto r = decodeULEB<uint32_t>(b.data(), b.data() + b.size());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, 624485u);
+    EXPECT_EQ(r.length, len);
+}

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Trace subsystem tests: format round-trips, recorder determinism,
+ * cross-tier replay verification (the record-under-interpreter /
+ * verify-under-JIT divergence oracle) over the whole benchmark corpus,
+ * trap and memory.grow capture, probe points, reader strictness, and
+ * the execution-free sidecar analyses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "suites/suites.h"
+#include "test_util.h"
+#include "trace/reader.h"
+#include "trace/recorder.h"
+#include "trace/replay.h"
+#include "trace/sidecar.h"
+
+using namespace wizpp;
+using wizpp::test::mustParse;
+
+namespace {
+
+EngineConfig
+modeConfig(ExecMode mode)
+{
+    EngineConfig cfg;
+    cfg.mode = mode;
+    if (mode == ExecMode::Tiered) cfg.tierUpThreshold = 2;
+    return cfg;
+}
+
+std::vector<uint8_t>
+record(const std::string& wat, ExecMode mode, const std::string& entry,
+       const std::vector<Value>& args)
+{
+    return recordTrace(mustParse(wat), modeConfig(mode), entry, args);
+}
+
+Trace
+mustRead(const std::vector<uint8_t>& bytes)
+{
+    auto r = readTrace(bytes);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().toString());
+    return r.ok() ? r.take() : Trace{};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Corpus-wide determinism certificate and cross-tier oracle
+// (the PR's acceptance criterion).
+// ---------------------------------------------------------------------
+
+class TraceCorpus : public ::testing::TestWithParam<const BenchProgram*>
+{};
+
+TEST_P(TraceCorpus, RecordReplayByteIdenticalAcrossTiers)
+{
+    const BenchProgram& p = *GetParam();
+    std::vector<Value> args{Value::makeI32(1)};
+
+    // Record twice under the interpreter: byte-identical.
+    std::vector<uint8_t> a =
+        record(p.wat, ExecMode::Interpreter, p.entry, args);
+    std::vector<uint8_t> b =
+        record(p.wat, ExecMode::Interpreter, p.entry, args);
+    ASSERT_FALSE(a.empty()) << p.name;
+    EXPECT_EQ(a, b) << p.name << ": interpreter re-record diverged";
+
+    // Cross-tier: verify the interpreter-recorded trace under the JIT
+    // and the tiered engine.
+    ReplayOutcome jit = replayVerify(
+        a, mustParse(p.wat), modeConfig(ExecMode::Jit));
+    EXPECT_TRUE(jit.ok) << p.name << ": " << jit.message;
+    ReplayOutcome tiered = replayVerify(
+        a, mustParse(p.wat), modeConfig(ExecMode::Tiered));
+    EXPECT_TRUE(tiered.ok) << p.name << ": " << tiered.message;
+}
+
+TEST_P(TraceCorpus, RecordedResultMatchesDirectRun)
+{
+    const BenchProgram& p = *GetParam();
+    std::vector<Value> args{Value::makeI32(1)};
+    Trace t = mustRead(record(p.wat, ExecMode::Jit, p.entry, args));
+    EXPECT_EQ(t.trapReason(), TrapReason::None) << p.name;
+
+    auto eng = test::makeEngine(p.wat, modeConfig(ExecMode::Jit));
+    Value direct = test::run1(*eng, p.entry, args);
+    ASSERT_EQ(t.results().size(), 1u) << p.name;
+    EXPECT_EQ(t.results()[0], direct) << p.name;
+}
+
+namespace {
+
+std::vector<const BenchProgram*>
+allProgramPointers()
+{
+    std::vector<const BenchProgram*> out;
+    for (const auto& p : allPrograms()) out.push_back(&p);
+    out.push_back(&richardsProgram());
+    return out;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TraceCorpus, ::testing::ValuesIn(allProgramPointers()),
+    [](const ::testing::TestParamInfo<const BenchProgram*>& info) {
+        std::string n = info.param->suite + "_" + info.param->name;
+        for (char& c : n) {
+            if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+        }
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// Format and reader
+// ---------------------------------------------------------------------
+
+TEST(TraceFormat, WriterReaderRoundTrip)
+{
+    TraceWriter w;
+    w.setHeader(0xabcdef1234ull, "run",
+                {Value::makeI32(7), Value::makeF64(1.5)});
+    w.funcEntry(3);
+    w.branch(3, 17, true);
+    w.branch(3, 21, false);
+    w.brTable(3, 40, 2);
+    w.memGrow(4, 1);
+    w.probeFire(3, 99);
+    w.funcExit(3);
+    w.result({Value::makeI64(int64_t{-5})});
+    w.end();
+
+    Trace t = mustRead(w.bytes());
+    EXPECT_EQ(t.version, kTraceVersion);
+    EXPECT_EQ(t.fingerprint, 0xabcdef1234ull);
+    EXPECT_EQ(t.entry, "run");
+    ASSERT_EQ(t.args.size(), 2u);
+    EXPECT_EQ(t.args[0], Value::makeI32(7));
+    EXPECT_EQ(t.args[1], Value::makeF64(1.5));
+
+    ASSERT_EQ(t.events.size(), 8u);
+    EXPECT_EQ(t.events[0].kind, TraceKind::FuncEntry);
+    EXPECT_EQ(t.events[0].func, 3u);
+    EXPECT_EQ(t.events[1].kind, TraceKind::Branch);
+    EXPECT_EQ(t.events[1].pc, 17u);
+    EXPECT_EQ(t.events[1].a, 1u);
+    EXPECT_EQ(t.events[2].a, 0u);
+    EXPECT_EQ(t.events[3].kind, TraceKind::BrTable);
+    EXPECT_EQ(t.events[3].a, 2u);
+    EXPECT_EQ(t.events[4].kind, TraceKind::MemGrow);
+    EXPECT_EQ(t.events[4].a, 4u);
+    EXPECT_EQ(t.events[4].b, 1u);
+    EXPECT_EQ(t.events[5].kind, TraceKind::ProbeFire);
+    EXPECT_EQ(t.events[6].kind, TraceKind::FuncExit);
+    EXPECT_EQ(t.events[7].kind, TraceKind::Result);
+    ASSERT_EQ(t.events[7].values.size(), 1u);
+    EXPECT_EQ(t.events[7].values[0], Value::makeI64(int64_t{-5}));
+    EXPECT_EQ(t.results()[0], Value::makeI64(int64_t{-5}));
+    EXPECT_EQ(t.trapReason(), TrapReason::None);
+}
+
+TEST(TraceFormat, ReaderRejectsCorruption)
+{
+    TraceWriter w;
+    w.setHeader(1, "run", {});
+    w.funcEntry(0);
+    w.funcExit(0);
+    w.result({});
+    w.end();
+    std::vector<uint8_t> good = w.bytes();
+    ASSERT_TRUE(readTrace(good).ok());
+
+    std::vector<uint8_t> badMagic = good;
+    badMagic[0] = 'X';
+    EXPECT_FALSE(readTrace(badMagic).ok());
+
+    std::vector<uint8_t> badVersion = good;
+    badVersion[4] = 0x7e;  // version 126
+    EXPECT_FALSE(readTrace(badVersion).ok());
+
+    std::vector<uint8_t> truncated(good.begin(), good.end() - 5);
+    EXPECT_FALSE(readTrace(truncated).ok());
+
+    // Flipping an event payload bit breaks the checksum.
+    std::vector<uint8_t> flipped = good;
+    flipped[good.size() - 12] ^= 0x01;
+    EXPECT_FALSE(readTrace(flipped).ok());
+
+    std::vector<uint8_t> trailing = good;
+    trailing.push_back(0x00);
+    EXPECT_FALSE(readTrace(trailing).ok());
+
+    EXPECT_FALSE(readTrace({}).ok());
+}
+
+TEST(TraceFormat, ReaderRejectsHostileValueCountWithoutAllocating)
+{
+    // A header whose argc claims 2^32-1 values must be a graceful
+    // parse error, not a multi-gigabyte reserve.
+    std::vector<uint8_t> bytes(kTraceMagic, kTraceMagic + 4);
+    encodeULEB(bytes, kTraceVersion);
+    for (int i = 0; i < 8; i++) bytes.push_back(0);  // fingerprint
+    encodeULEB(bytes, 3u);  // entry length
+    bytes.insert(bytes.end(), {'r', 'u', 'n'});
+    encodeULEB(bytes, 0xffffffffu);  // hostile argc
+    auto r = readTrace(bytes);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("args"), std::string::npos);
+}
+
+TEST(TraceFormat, FingerprintIgnoresNamesButNotCode)
+{
+    Module a = mustParse("(module (func (export \"run\") (result i32) "
+                         "(i32.const 1)))");
+    Module b = mustParse("(module (func (export \"other\") (result i32) "
+                         "(i32.const 1)))");
+    Module c = mustParse("(module (func (export \"run\") (result i32) "
+                         "(i32.const 2)))");
+    EXPECT_EQ(moduleFingerprint(a), moduleFingerprint(b));
+    EXPECT_NE(moduleFingerprint(a), moduleFingerprint(c));
+}
+
+// ---------------------------------------------------------------------
+// Event capture specifics
+// ---------------------------------------------------------------------
+
+TEST(TraceRecord, TrapEndsTheTrace)
+{
+    const char* wat = "(module (func (export \"run\") (unreachable)))";
+    std::vector<uint8_t> bytes =
+        record(wat, ExecMode::Interpreter, "run", {});
+    Trace t = mustRead(bytes);
+    EXPECT_EQ(t.trapReason(), TrapReason::Unreachable);
+    ASSERT_FALSE(t.events.empty());
+    EXPECT_EQ(t.events.back().kind, TraceKind::Trap);
+    EXPECT_TRUE(t.results().empty());
+
+    // A trapping trace replays byte-identically too, across tiers.
+    ReplayOutcome o =
+        replayVerify(bytes, mustParse(wat), modeConfig(ExecMode::Jit));
+    EXPECT_TRUE(o.ok) << o.message;
+}
+
+TEST(TraceRecord, MemoryGrowCaptured)
+{
+    const char* wat = R"((module (memory 1)
+      (func (export "run") (result i32)
+        (drop (memory.grow (i32.const 2)))
+        (drop (memory.grow (i32.const 3)))
+        (memory.size))))";
+    Trace t = mustRead(record(wat, ExecMode::Interpreter, "run", {}));
+    std::vector<const TraceEvent*> grows;
+    for (const TraceEvent& e : t.events) {
+        if (e.kind == TraceKind::MemGrow) grows.push_back(&e);
+    }
+    ASSERT_EQ(grows.size(), 2u);
+    EXPECT_EQ(grows[0]->a, 2u);  // delta
+    EXPECT_EQ(grows[0]->b, 1u);  // pages before
+    EXPECT_EQ(grows[1]->a, 3u);
+    EXPECT_EQ(grows[1]->b, 3u);
+    EXPECT_EQ(t.results()[0], Value::makeI32(6));
+}
+
+TEST(TraceRecord, BranchDirectionsAndBrTableArms)
+{
+    // run(n): a br_table over n plus an if on n > 1.
+    const char* wat = R"((module
+      (func (export "run") (param $n i32) (result i32)
+        (local $r i32)
+        (block $b2 (block $b1 (block $b0
+          (br_table $b0 $b1 $b2 (local.get $n)))
+          (local.set $r (i32.const 10)) (br $b2))
+          (local.set $r (i32.const 20)))
+        (if (i32.gt_u (local.get $n) (i32.const 1))
+          (then (local.set $r (i32.const 30))))
+        (local.get $r))))";
+    Trace t0 = mustRead(record(wat, ExecMode::Interpreter, "run",
+                               {Value::makeI32(0)}));
+    Trace t5 = mustRead(record(wat, ExecMode::Interpreter, "run",
+                               {Value::makeI32(5)}));
+
+    auto armOf = [](const Trace& t) -> uint64_t {
+        for (const TraceEvent& e : t.events) {
+            if (e.kind == TraceKind::BrTable) return e.a;
+        }
+        return ~0ull;
+    };
+    auto branchTaken = [](const Trace& t) -> uint64_t {
+        for (const TraceEvent& e : t.events) {
+            if (e.kind == TraceKind::Branch) return e.a;
+        }
+        return ~0ull;
+    };
+    EXPECT_EQ(armOf(t0), 0u);
+    EXPECT_EQ(armOf(t5), 2u);  // out-of-range index clamps to default
+    EXPECT_EQ(branchTaken(t0), 0u);
+    EXPECT_EQ(branchTaken(t5), 1u);
+    EXPECT_EQ(t0.results()[0], Value::makeI32(10));
+    EXPECT_EQ(t5.results()[0], Value::makeI32(30));
+}
+
+TEST(TraceRecord, EntryExitEventsAreWellNested)
+{
+    const BenchProgram& p = richardsProgram();
+    Trace t = mustRead(record(p.wat, ExecMode::Interpreter, p.entry,
+                              {Value::makeI32(1)}));
+    int64_t depth = 0;
+    uint64_t entries = 0;
+    std::vector<uint32_t> stack;
+    for (const TraceEvent& e : t.events) {
+        if (e.kind == TraceKind::FuncEntry) {
+            depth++;
+            entries++;
+            stack.push_back(e.func);
+        } else if (e.kind == TraceKind::FuncExit) {
+            depth--;
+            ASSERT_FALSE(stack.empty());
+            EXPECT_EQ(stack.back(), e.func);
+            stack.pop_back();
+        }
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0) << "unbalanced entry/exit stream";
+    EXPECT_GT(entries, 1000u) << "richards should be call-heavy";
+}
+
+TEST(TraceRecord, ProbePointsRecordAndReplay)
+{
+    const char* wat = R"((module
+      (func (export "run") (param $n i32) (result i32)
+        (local $i i32)
+        (block $x (loop $l
+          (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $l)))
+        (local.get $i))))";
+
+    Module m = mustParse(wat);
+    Engine eng(modeConfig(ExecMode::Interpreter));
+    ASSERT_TRUE(eng.loadModule(mustParse(wat)).ok());
+    TraceRecorder rec;
+    eng.attachMonitor(&rec);
+    // Probe the loop header of func 0.
+    ASSERT_FALSE(eng.funcState(0).sideTable.loopHeaders.empty());
+    uint32_t loopPc = eng.funcState(0).sideTable.loopHeaders[0];
+    ASSERT_TRUE(rec.addProbePoint(0, loopPc));
+    EXPECT_TRUE(rec.addProbePoint(0, loopPc));  // dedup is idempotent
+    EXPECT_FALSE(rec.addProbePoint(99, 0));     // invalid location
+    ASSERT_TRUE(eng.instantiate().ok());
+
+    std::vector<Value> args{Value::makeI32(5)};
+    rec.setInvocation("run", args);
+    auto r = eng.callExport("run", args);
+    ASSERT_TRUE(r.ok());
+    rec.finish(TrapReason::None, r.value());
+
+    Trace t = mustRead(rec.bytes());
+    uint64_t fires = 0;
+    for (const TraceEvent& e : t.events) {
+        if (e.kind == TraceKind::ProbeFire) {
+            EXPECT_EQ(e.func, 0u);
+            EXPECT_EQ(e.pc, loopPc);
+            fires++;
+        }
+    }
+    EXPECT_EQ(fires, 6u);  // loop header runs n+1 times
+
+    // replayVerify re-installs the probe points it finds in the stream.
+    ReplayOutcome o = replayVerify(rec.bytes(), std::move(m),
+                                   modeConfig(ExecMode::Jit));
+    EXPECT_TRUE(o.ok) << o.message;
+}
+
+// ---------------------------------------------------------------------
+// Replay verification failure modes
+// ---------------------------------------------------------------------
+
+TEST(TraceReplay, InvocationErrorProducesNoTrace)
+{
+    // Calling a nonexistent export never runs the program, so there is
+    // no outcome to seal into a "successful" trace.
+    const char* wat = "(module (func (export \"run\") (result i32) "
+                      "(i32.const 1)))";
+    EXPECT_TRUE(recordTrace(mustParse(wat),
+                            modeConfig(ExecMode::Interpreter),
+                            "nonexistent", {})
+                    .empty());
+}
+
+TEST(TraceReplay, FingerprintMismatchRefusesToRun)
+{
+    std::vector<uint8_t> bytes =
+        record(findProgram("gemm")->wat, ExecMode::Interpreter, "run",
+               {Value::makeI32(1)});
+    ReplayOutcome o =
+        replayVerify(bytes, mustParse(findProgram("trisolv")->wat),
+                     modeConfig(ExecMode::Jit));
+    EXPECT_FALSE(o.ok);
+    EXPECT_FALSE(o.ran);
+    EXPECT_NE(o.message.find("fingerprint"), std::string::npos);
+}
+
+TEST(TraceReplay, DivergenceIsLocalizedToTheFirstEvent)
+{
+    // Tamper with the recorded direction of the first branch event and
+    // re-seal the trace; the verifier must point at that event.
+    const char* wat = R"((module
+      (func (export "run") (param $n i32) (result i32)
+        (if (result i32) (local.get $n)
+          (then (i32.const 1)) (else (i32.const 2))))))";
+    std::vector<Value> args{Value::makeI32(1)};
+    std::vector<uint8_t> bytes =
+        record(wat, ExecMode::Interpreter, "run", args);
+    Trace t = mustRead(bytes);
+
+    TraceWriter forged;
+    forged.setHeader(t.fingerprint, t.entry, t.args);
+    bool flipped = false;
+    for (const TraceEvent& e : t.events) {
+        switch (e.kind) {
+          case TraceKind::FuncEntry: forged.funcEntry(e.func); break;
+          case TraceKind::FuncExit: forged.funcExit(e.func); break;
+          case TraceKind::Branch:
+            forged.branch(e.func, e.pc, flipped ? e.a != 0 : e.a == 0);
+            flipped = true;
+            break;
+          case TraceKind::Result: forged.result(e.values); break;
+          default: break;
+        }
+    }
+    forged.end();
+    ASSERT_TRUE(flipped);
+
+    ReplayOutcome o = replayVerify(forged.bytes(), mustParse(wat),
+                                   modeConfig(ExecMode::Interpreter));
+    EXPECT_FALSE(o.ok);
+    EXPECT_TRUE(o.ran);
+    EXPECT_NE(o.message.find("divergence"), std::string::npos);
+    EXPECT_NE(o.goldenEvent.find("branch"), std::string::npos)
+        << o.message;
+}
+
+// ---------------------------------------------------------------------
+// Sidecar analyses (execution-free)
+// ---------------------------------------------------------------------
+
+TEST(TraceSidecar, CoverageMergesAcrossRuns)
+{
+    const char* wat = R"((module
+      (func $a (result i32) (i32.const 1))
+      (func $b (result i32) (i32.const 2))
+      (func (export "run") (param $n i32) (result i32)
+        (if (result i32) (local.get $n)
+          (then (call $a)) (else (call $b))))))";
+
+    Trace t0 = mustRead(record(wat, ExecMode::Interpreter, "run",
+                               {Value::makeI32(0)}));
+    Trace t1 = mustRead(record(wat, ExecMode::Interpreter, "run",
+                               {Value::makeI32(1)}));
+    TraceAnalysis a0 = analyzeTrace(t0);
+    TraceAnalysis a1 = analyzeTrace(t1);
+
+    // Each run covers the entry function plus one callee, one-sidedly.
+    EXPECT_EQ(a0.coveredFuncs().size(), 2u);
+    EXPECT_EQ(a1.coveredFuncs().size(), 2u);
+    ASSERT_EQ(a0.branches.size(), 1u);
+    EXPECT_FALSE(a0.branches.begin()->second.bothWays());
+
+    // The drcov-style merge covers everything, both ways.
+    TraceAnalysis merged = a0;
+    merged.merge(a1);
+    EXPECT_EQ(merged.runs, 2u);
+    EXPECT_EQ(merged.coveredFuncs().size(), 3u);
+    ASSERT_EQ(merged.branches.size(), 1u);
+    EXPECT_TRUE(merged.branches.begin()->second.bothWays());
+    EXPECT_EQ(merged.branches.begin()->second.total(), 2u);
+
+    std::ostringstream cov;
+    writeCoverageReport(cov, merged);
+    EXPECT_NE(cov.str().find("functions entered: 3"), std::string::npos)
+        << cov.str();
+    EXPECT_NE(cov.str().find("1 exercised both ways"), std::string::npos)
+        << cov.str();
+}
+
+TEST(TraceSidecar, ProfileHistogramCountsEntries)
+{
+    const BenchProgram& p = richardsProgram();
+    Trace t = mustRead(record(p.wat, ExecMode::Jit, p.entry,
+                              {Value::makeI32(1)}));
+    TraceAnalysis a = analyzeTrace(t);
+
+    uint64_t entryEvents = 0;
+    for (const TraceEvent& e : t.events) {
+        if (e.kind == TraceKind::FuncEntry) entryEvents++;
+    }
+    uint64_t histogramTotal = 0;
+    for (const auto& [f, n] : a.funcEntries) histogramTotal += n;
+    EXPECT_EQ(histogramTotal, entryEvents);
+    EXPECT_GT(histogramTotal, 0u);
+
+    std::ostringstream prof;
+    writeProfileReport(prof, a, 5);
+    EXPECT_NE(prof.str().find("hottest functions"), std::string::npos);
+}

@@ -10,6 +10,11 @@
  *     --no-intrinsify      disable probe intrinsification
  *     --invoke=<export>    entry point (default: "run", then "main")
  *     --list-programs      list the built-in benchmark corpus
+ *     --trace=<file>       record the execution trace to <file>
+ *     --replay-check=<file>  re-run and verify against a recorded trace
+ *     --trace-report=<f1[,f2...]>  offline coverage + profile report
+ *                          over saved traces (no module needed)
+ *     --emit-wasm=<file>   encode the module to binary and exit
  *   `@name` runs a built-in corpus program (e.g. @gemm, @richards).
  */
 
@@ -23,7 +28,12 @@
 #include "monitors/debugger.h"
 #include "monitors/monitors.h"
 #include "suites/suites.h"
+#include "trace/reader.h"
+#include "trace/recorder.h"
+#include "trace/replay.h"
+#include "trace/sidecar.h"
 #include "wasm/decoder.h"
+#include "wasm/encoder.h"
 #include "wat/wat.h"
 
 using namespace wizpp;
@@ -42,7 +52,29 @@ usage()
         "  --mode=int|jit|tiered  execution mode (default jit)\n"
         "  --no-intrinsify        disable probe intrinsification\n"
         "  --invoke=<export>      entry point (default run/main)\n"
-        "  --list-programs        list built-in corpus programs\n";
+        "  --list-programs        list built-in corpus programs\n"
+        "  --trace=<file>         record the execution trace to <file>\n"
+        "  --replay-check=<file>  re-run and verify against a trace\n"
+        "  --trace-report=<f1[,f2...]>  coverage + profile over traces\n"
+        "  --emit-wasm=<file>     encode the module to binary and exit\n";
+}
+
+/** Offline sidecar mode: merge and report saved traces; no execution. */
+int
+traceReport(const std::vector<std::string>& files)
+{
+    TraceAnalysis merged;
+    for (const std::string& f : files) {
+        auto r = readTraceFile(f);
+        if (!r.ok()) {
+            std::cerr << f << ": " << r.error().toString() << "\n";
+            return 1;
+        }
+        merged.merge(analyzeTrace(r.value()));
+    }
+    writeCoverageReport(std::cout, merged);
+    writeProfileReport(std::cout, merged);
+    return 0;
 }
 
 std::vector<std::string>
@@ -69,6 +101,9 @@ main(int argc, char** argv)
     std::string target;
     std::vector<Value> args;
     bool useDebugger = false;
+    std::string traceFile;
+    std::string replayFile;
+    std::string emitWasmFile;
 
     for (int i = 1; i < argc; i++) {
         std::string a = argv[i];
@@ -97,6 +132,14 @@ main(int argc, char** argv)
             config.intrinsifyOperandProbe = false;
         } else if (a.rfind("--invoke=", 0) == 0) {
             entry = a.substr(9);
+        } else if (a.rfind("--trace=", 0) == 0) {
+            traceFile = a.substr(8);
+        } else if (a.rfind("--replay-check=", 0) == 0) {
+            replayFile = a.substr(15);
+        } else if (a.rfind("--trace-report=", 0) == 0) {
+            return traceReport(split(a.substr(15), ','));
+        } else if (a.rfind("--emit-wasm=", 0) == 0) {
+            emitWasmFile = a.substr(12);
         } else if (target.empty()) {
             target = a;
         } else {
@@ -107,6 +150,19 @@ main(int argc, char** argv)
     if (target.empty()) {
         usage();
         return 1;
+    }
+    // --replay-check and --emit-wasm replace normal execution; flags
+    // that only affect a normal run would be silently ignored.
+    if (!replayFile.empty() || !emitWasmFile.empty()) {
+        if (!replayFile.empty() && !emitWasmFile.empty()) {
+            std::cerr << "--replay-check and --emit-wasm conflict\n";
+            return 1;
+        }
+        if (!traceFile.empty() || !monitorList.empty()) {
+            std::cerr << "--trace/--monitors cannot be combined with "
+                         "--replay-check or --emit-wasm\n";
+            return 1;
+        }
     }
 
     // Resolve the module: corpus program, .wat file, or .wasm file.
@@ -152,6 +208,35 @@ main(int argc, char** argv)
         }
     }
 
+    if (!emitWasmFile.empty()) {
+        std::vector<uint8_t> bytes = encodeModule(module);
+        std::ofstream out(emitWasmFile,
+                          std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            std::cerr << "cannot write " << emitWasmFile << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << bytes.size() << " bytes to "
+                  << emitWasmFile << "\n";
+        return 0;
+    }
+
+    if (!replayFile.empty()) {
+        std::ifstream in(replayFile, std::ios::binary);
+        if (!in) {
+            std::cerr << "cannot open " << replayFile << "\n";
+            return 1;
+        }
+        std::vector<uint8_t> golden(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        ReplayOutcome o = replayVerify(golden, std::move(module), config);
+        std::cout << o.message << "\n";
+        return o.ok ? 0 : 1;
+    }
+
     Engine engine(config);
     auto lr = engine.loadModule(std::move(module));
     if (!lr.ok()) {
@@ -178,6 +263,11 @@ main(int argc, char** argv)
         debugger = std::make_unique<DebuggerMonitor>(std::cin, std::cout);
         engine.attachMonitor(debugger.get());
     }
+    std::unique_ptr<TraceRecorder> recorder;
+    if (!traceFile.empty()) {
+        recorder = std::make_unique<TraceRecorder>();
+        engine.attachMonitor(recorder.get());
+    }
 
     auto ir = engine.instantiate();
     if (!ir.ok()) {
@@ -201,7 +291,27 @@ main(int argc, char** argv)
         args.push_back(Value::makeI32(defaultN));
     }
 
+    if (recorder) recorder->setInvocation(entry, args);
     auto result = engine.callExport(entry, args);
+    if (recorder && !result.ok() &&
+        engine.lastTrap() == TrapReason::None) {
+        // Invocation error, not a program outcome: nothing to record.
+        recorder = nullptr;
+    }
+    if (recorder) {
+        // A trapping run is still a complete trace (it ends in a Trap
+        // event), so the file is written on both paths.
+        recorder->finish(
+            result.ok() ? TrapReason::None : engine.lastTrap(),
+            result.ok() ? result.value() : std::vector<Value>{});
+        if (!recorder->writeFile(traceFile)) {
+            std::cerr << "cannot write trace to " << traceFile << "\n";
+            return 1;
+        }
+        std::cout << "trace: " << recorder->eventCount()
+                  << " event(s), " << recorder->bytes().size()
+                  << " byte(s) -> " << traceFile << "\n";
+    }
     if (!result.ok()) {
         std::cerr << "error: " << result.error().toString() << "\n";
         return 42;
