@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Monitor scalability: attach-time and steady-state probe overhead as
+ * the number of instrumented sites grows (the ROADMAP "Monitor
+ * scalability" item; no direct paper figure — see docs/BENCHMARKS.md).
+ *
+ * A synthetic module with >10k instruction sites spread over many
+ * worker functions is instrumented at S = 10/100/1k/10k sites and
+ * measured three ways:
+ *
+ *  - attach time: one-by-one insertLocal() vs one insertBatch() call
+ *    (the batch pays one epoch bump and one list build per site);
+ *  - steady-state per-fire cost in the interpreter (fused single-probe
+ *    sites resolve through the dense per-function site index);
+ *  - steady-state per-fire cost in the compiled tier (single
+ *    CountProbes intrinsify to inline increments; 2-probe fused sites
+ *    take the one-virtual-call generic path).
+ *
+ * Unlike the fig* benches this intentionally times the steady state
+ * only (attach cost is reported separately), because attach scaling is
+ * exactly what is under test.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "suites/watbuild.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+constexpr uint32_t kWorkers = 110;
+constexpr uint32_t kGroups = 25;  // 4 sites per group in each loop body
+
+/** One worker: a counted loop over a chain of add groups. */
+std::string
+workerWat(uint32_t k)
+{
+    using namespace wizpp::watbuild;
+    std::string body;
+    for (uint32_t g = 0; g < kGroups; g++) {
+        body += "(local.set $a (i32.add (local.get $a) (i32.const 1)))";
+    }
+    return "(func (export \"w" + std::to_string(k) +
+           "\") (param $n i32) (result i32)"
+           "(local $i i32) (local $a i32)" +
+           forUp("$i", get("$n"), body) + "(local.get $a))";
+}
+
+std::string
+moduleWat()
+{
+    std::string m = "(module ";
+    for (uint32_t k = 0; k < kWorkers; k++) m += workerWat(k);
+    m += ")";
+    return m;
+}
+
+std::unique_ptr<Engine>
+makeEngine(const Module& module, ExecMode mode, bool instantiate = true)
+{
+    EngineConfig cfg;
+    cfg.mode = mode;
+    auto eng = std::make_unique<Engine>(cfg);
+    Module copy = module;
+    auto lr = eng->loadModule(std::move(copy));
+    if (!lr.ok()) { std::fprintf(stderr, "load failed\n"); std::abort(); }
+    if (instantiate) {
+        auto ir = eng->instantiate();
+        if (!ir.ok()) { std::fprintf(stderr, "inst failed\n"); std::abort(); }
+    }
+    return eng;
+}
+
+/** Probes for the first @p s instrumentable sites, worker by worker:
+    one CountProbe per site plus (probesPerSite - 1) empty fusion
+    fillers. */
+std::vector<ProbeManager::SiteProbe>
+selectSites(Engine& eng, size_t s, int probesPerSite)
+{
+    std::vector<ProbeManager::SiteProbe> sites;
+    size_t distinct = 0;
+    for (uint32_t f = 0; f < eng.numFuncs() && distinct < s; f++) {
+        for (uint32_t pc : eng.funcState(f).sideTable.instrBoundaries) {
+            if (distinct >= s) break;
+            distinct++;
+            sites.push_back({f, pc, std::make_shared<CountProbe>()});
+            for (int extra = 1; extra < probesPerSite; extra++) {
+                sites.push_back({f, pc, std::make_shared<EmptyProbe>()});
+            }
+        }
+    }
+    return sites;
+}
+
+/** Workers touched by the first @p s sites (they hold ~113 sites each). */
+uint32_t
+workersFor(Engine& eng, size_t s)
+{
+    size_t seen = 0;
+    for (uint32_t f = 0; f < eng.numFuncs(); f++) {
+        seen += eng.funcState(f).sideTable.instrBoundaries.size();
+        if (seen >= s) return f + 1;
+    }
+    return eng.numFuncs();
+}
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Calls w0..w<k-1> with n iterations each; returns wall seconds. */
+double
+runWorkers(Engine& eng, uint32_t k, uint32_t n)
+{
+    double t0 = now();
+    for (uint32_t f = 0; f < k; f++) {
+        auto r = eng.callFunction(f, {Value::makeI32(static_cast<int32_t>(n))});
+        if (!r.ok()) { std::fprintf(stderr, "run failed\n"); std::abort(); }
+    }
+    return now() - t0;
+}
+
+struct SteadyState
+{
+    double relTime = 0;    ///< instrumented / uninstrumented
+    double perFireNs = 0;  ///< (Ti - Tu) / probe fires
+};
+
+/**
+ * Steady-state overhead at @p s sites with @p probesPerSite probes
+ * fused per site: min-of-reps instrumented and uninstrumented timings
+ * over the same worker calls (engines pre-instantiated and warmed, so
+ * attach and compile time stay out of the timed region).
+ */
+SteadyState
+steadyState(const Module& module, ExecMode mode, size_t s,
+            int probesPerSite, uint32_t n)
+{
+    auto base = makeEngine(module, mode);
+    auto inst = makeEngine(module, mode);
+    auto sites = selectSites(*inst, s, probesPerSite);
+    // Count fires through the probes' own counters: the manager's
+    // localFireCount misses the compiled tier's intrinsified counter
+    // increments, which never reach fireSite. Every probe at a site
+    // fires equally often, so member fires = counter sum x fan-out.
+    std::vector<std::shared_ptr<CountProbe>> counters;
+    for (const auto& sp : sites) {
+        if (auto c = std::dynamic_pointer_cast<CountProbe>(sp.probe)) {
+            counters.push_back(std::move(c));
+        }
+    }
+    auto countSum = [&counters] {
+        uint64_t t = 0;
+        for (const auto& c : counters) t += c->count;
+        return t;
+    };
+    inst->probes().insertBatch(sites);
+    uint32_t k = workersFor(*inst, s);
+
+    runWorkers(*base, k, n);  // warm-up (and tier-up in Jit mode)
+    runWorkers(*inst, k, n);
+    uint64_t fires0 = countSum();
+    double tu = 1e100, ti = 1e100;
+    for (int i = 0; i < reps(); i++) {
+        tu = std::min(tu, runWorkers(*base, k, n));
+        ti = std::min(ti, runWorkers(*inst, k, n));
+    }
+    uint64_t fires = (countSum() - fires0) *
+                     static_cast<uint64_t>(probesPerSite) /
+                     static_cast<uint64_t>(reps());
+
+    SteadyState out;
+    out.relTime = ti / tu;
+    out.perFireNs = fires ? (ti - tu) * 1e9 / static_cast<double>(fires) : 0;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    printf("=== Monitor scaling: attach time and per-fire overhead vs "
+           "site count ===\n");
+    auto parsed = parseWat(moduleWat());
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "module parse failed\n");
+        return 1;
+    }
+    Module module = parsed.take();
+
+    JsonReport json("monitor_scaling");
+    std::vector<std::string> csv;
+
+    {
+        auto probe = makeEngine(module, ExecMode::Interpreter, false);
+        size_t total = 0;
+        for (uint32_t f = 0; f < probe->numFuncs(); f++) {
+            total += probe->funcState(f).sideTable.instrBoundaries.size();
+        }
+        json.put("module.funcs", static_cast<uint64_t>(probe->numFuncs()));
+        json.put("module.sites_total", static_cast<uint64_t>(total));
+        printf("module: %zu funcs, %zu instrumentable sites\n",
+               static_cast<size_t>(probe->numFuncs()), total);
+    }
+
+    std::vector<size_t> siteCounts =
+        fastMode() ? std::vector<size_t>{10, 1000}
+                   : std::vector<size_t>{10, 100, 1000, 10000};
+    const uint64_t firesTarget = fastMode() ? 500000 : 2000000;
+
+    printf("%8s | %12s %12s %8s | %9s %11s | %9s %11s | %12s %12s\n",
+           "sites", "attach-1x(us)", "attach-bat(us)", "speedup",
+           "int-rel", "int(ns/fire)", "jit-rel", "jit(ns/fire)",
+           "fused2-int", "fused2-jit");
+
+    for (size_t s : siteCounts) {
+        // --- Attach time: one-by-one vs batch (pre-instantiation, so
+        // no compiled code is being invalidated in either variant).
+        // Measured once with a single probe per site and once with 4
+        // fused probes per site: one-by-one insertion rebuilds a shared
+        // site's list and fusion k times, the batch exactly once. ---
+        double tSingle = 1e100, tBatch = 1e100;
+        double tSingle4 = 1e100, tBatch4 = 1e100;
+        for (int i = 0; i < reps(); i++) {
+            for (int per : {1, 4}) {
+                double& sMin = per == 1 ? tSingle : tSingle4;
+                double& bMin = per == 1 ? tBatch : tBatch4;
+                {
+                    auto eng =
+                        makeEngine(module, ExecMode::Interpreter, false);
+                    auto sites = selectSites(*eng, s, per);
+                    double t0 = now();
+                    for (auto& sp : sites) {
+                        eng->probes().insertLocal(sp.funcIndex, sp.pc,
+                                                  std::move(sp.probe));
+                    }
+                    sMin = std::min(sMin, now() - t0);
+                }
+                {
+                    auto eng =
+                        makeEngine(module, ExecMode::Interpreter, false);
+                    auto sites = selectSites(*eng, s, per);
+                    double t0 = now();
+                    eng->probes().insertBatch(sites);
+                    bMin = std::min(bMin, now() - t0);
+                }
+            }
+        }
+
+        // --- Steady state: single CountProbe per site (intrinsifiable
+        // in the compiled tier) and 2-probe fused sites (generic,
+        // exactly one virtual call per site). ---
+        uint32_t n = static_cast<uint32_t>(
+            std::max<uint64_t>(1, firesTarget / s));
+        SteadyState i1 = steadyState(module, ExecMode::Interpreter, s, 1, n);
+        SteadyState j1 = steadyState(module, ExecMode::Jit, s, 1, n);
+        SteadyState i2 = steadyState(module, ExecMode::Interpreter, s, 2, n);
+        SteadyState j2 = steadyState(module, ExecMode::Jit, s, 2, n);
+
+        double speedup = tBatch > 0 ? tSingle / tBatch : 0;
+        printf("%8zu | %12.1f %12.1f %8.2f | %9.2f %11.2f | %9.2f %11.2f "
+               "| %12.2f %12.2f\n",
+               s, tSingle * 1e6, tBatch * 1e6, speedup, i1.relTime,
+               i1.perFireNs, j1.relTime, j1.perFireNs, i2.perFireNs,
+               j2.perFireNs);
+
+        std::string key = std::to_string(s);
+        json.put("attach_single_us." + key, tSingle * 1e6);
+        json.put("attach_batch_us." + key, tBatch * 1e6);
+        json.put("attach_speedup." + key, speedup);
+        json.put("attach4_single_us." + key, tSingle4 * 1e6);
+        json.put("attach4_batch_us." + key, tBatch4 * 1e6);
+        json.put("attach4_speedup." + key,
+                 tBatch4 > 0 ? tSingle4 / tBatch4 : 0);
+        json.put("int.rel_time." + key, i1.relTime);
+        json.put("int.perfire_ns." + key, i1.perFireNs);
+        json.put("jit.rel_time." + key, j1.relTime);
+        json.put("jit.perfire_ns." + key, j1.perFireNs);
+        json.put("int.fused2_perfire_ns." + key, i2.perFireNs);
+        json.put("jit.fused2_perfire_ns." + key, j2.perFireNs);
+        csv.push_back(key + "," + std::to_string(tSingle * 1e6) + "," +
+                      std::to_string(tBatch * 1e6) + "," +
+                      std::to_string(i1.relTime) + "," +
+                      std::to_string(i1.perFireNs) + "," +
+                      std::to_string(j1.relTime) + "," +
+                      std::to_string(j1.perFireNs) + "," +
+                      std::to_string(i2.perFireNs) + "," +
+                      std::to_string(j2.perFireNs));
+    }
+
+    writeCsv("monitor_scaling.csv",
+             "sites,attach_single_us,attach_batch_us,int_rel,"
+             "int_perfire_ns,jit_rel,jit_perfire_ns,int_fused2_perfire_ns,"
+             "jit_fused2_perfire_ns",
+             csv);
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
+    return 0;
+}

@@ -1,0 +1,89 @@
+#!/bin/sh
+# Documentation checks (registered as the CI "docs" job and as the
+# ctest case docs.check):
+#
+#   1. Every intra-repo markdown link in tracked *.md files resolves
+#      to an existing file (anchors are stripped; external http(s)/
+#      mailto links are skipped).
+#   2. Every ```cpp snippet in docs/PROBES.md is a complete translation
+#      unit that compiles against src/ (extract-and-compile with
+#      -fsyntax-only, so the snippets in the subsystem guide cannot
+#      rot).
+#
+# Usage: scripts/check_docs.sh   (from anywhere; cd's to the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+status=0
+
+# ---------------------------------------------------------- link check
+MDFILES=$(find . \( -path ./build -o -path ./build-asan -o -path ./.git \) \
+               -prune -o -name '*.md' -print | sort)
+
+for md in $MDFILES; do
+    dir=$(dirname "$md")
+    # Pull out [text](target) destinations, one per line, skipping
+    # fenced code blocks, inline code spans, and image links (the
+    # paper extraction in PAPERS.md references images we do not ship).
+    links=$(awk '
+        /^```/ { fence = !fence; next }
+        fence  { next }
+        {
+            line = $0
+            gsub(/`[^`]*`/, "", line)
+            while (match(line, /\[[^]]*\]\([^)]+\)/)) {
+                m = substr(line, RSTART, RLENGTH)
+                pre = RSTART > 1 ? substr(line, RSTART - 1, 1) : ""
+                line = substr(line, RSTART + RLENGTH)
+                sub(/^\[[^]]*\]\(/, "", m)
+                sub(/\)$/, "", m)
+                if (pre != "!") print m
+            }
+        }
+    ' "$md")
+    [ -n "$links" ] || continue
+    for target in $links; do
+        case $target in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "check_docs: broken link in $md -> $target" >&2
+            status=1
+        fi
+    done
+done
+
+# --------------------------------------------- snippet extract+compile
+CXX=${CXX:-c++}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+awk -v out="$tmp" '
+    /^```cpp$/ { n++; f = sprintf("%s/snippet_%02d.cc", out, n); next }
+    /^```/     { f = "" }
+    f          { print > f }
+' docs/PROBES.md
+
+count=0
+for cc in "$tmp"/snippet_*.cc; do
+    [ -e "$cc" ] || break
+    count=$((count + 1))
+    if ! "$CXX" -std=c++20 -Wall -fsyntax-only -Isrc "$cc"; then
+        echo "check_docs: snippet $(basename "$cc") from docs/PROBES.md" \
+             "does not compile" >&2
+        status=1
+    fi
+done
+
+if [ "$count" -eq 0 ]; then
+    echo "check_docs: no \`\`\`cpp snippets found in docs/PROBES.md" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "check_docs: OK ($(echo "$MDFILES" | wc -l | tr -d ' ') markdown" \
+         "files link-checked, $count snippets compiled)"
+fi
+exit $status

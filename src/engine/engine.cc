@@ -267,6 +267,23 @@ Engine::onLocalProbesChanged(uint32_t funcIndex)
 }
 
 void
+Engine::onProbesBatchChanged(const std::vector<uint32_t>& funcIndices)
+{
+    // One epoch bump for the whole batch; per-function invalidation is
+    // still required (each function's compiled code was specialized to
+    // its old instrumentation, Section 4.5).
+    instrumentationEpoch++;
+    for (uint32_t funcIndex : funcIndices) {
+        FuncState& fs = _funcs[funcIndex];
+        if (fs.jit) {
+            fs.jitEpoch++;
+            _retiredJit.push_back(std::move(fs.jit));
+            stats.jitInvalidations++;
+        }
+    }
+}
+
+void
 Engine::onGlobalProbesChanged()
 {
     instrumentationEpoch++;

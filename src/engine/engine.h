@@ -158,6 +158,14 @@ class Engine
     /** ProbeManager hook: probes changed in @p funcIndex (Section 4.5). */
     void onLocalProbesChanged(uint32_t funcIndex);
 
+    /**
+     * ProbeManager hook for batch insertion: probes changed in every
+     * function of @p funcIndices (sorted, unique). Semantically one
+     * onLocalProbesChanged per function, but the instrumentation epoch
+     * is bumped exactly once for the whole batch.
+     */
+    void onProbesBatchChanged(const std::vector<uint32_t>& funcIndices);
+
     /** ProbeManager hook: global probe count went 0↔nonzero. */
     void onGlobalProbesChanged();
 

@@ -999,17 +999,28 @@ h_illegal(Interp& I)
 
 /**
  * Local probe handler: the interpreter tripped over an OP_PROBE byte
- * written by bytecode overwriting. Fires the probes at this location
- * and then executes the saved original instruction.
+ * written by bytecode overwriting. Resolves the site through the dense
+ * per-function index (two array loads, no hashing), makes exactly one
+ * virtual call — the site's fused firing entry — and then executes the
+ * saved original instruction.
  */
 void
 h_probe(Interp& I)
 {
     uint32_t pc = I.pc;
     ProbeManager& pm = I.eng.probes();
-    // One lookup fetches both the snapshot and the original byte; the
-    // snapshot stays valid even if probes remove this site mid-fire.
+    // One dense lookup fetches the firing entry and the original byte.
+    // The shared_ptr snapshot keeps the entry alive even if the firing
+    // probes re-fuse or remove this very site mid-fire.
     ProbeManager::SiteView site = pm.siteFor(I.fs->funcIndex, pc);
+    if (!site.fired) {
+        // The site vanished between opcode fetch and lookup — a global
+        // probe firing at this instruction removed its local probes.
+        // The code byte was restored with the site, so re-dispatch the
+        // (now original) instruction.
+        gNormalTable[I.code[pc]](I);
+        return;
+    }
     if (I.frame->skipProbeOncePc == pc) {
         // Resuming after a deopt at this site: probes already fired in
         // the compiled tier.
@@ -1018,12 +1029,20 @@ h_probe(Interp& I)
         return;
     }
     I.sync();
-    pm.fireList(*site.probes, I.frame, I.fs, pc);
-    // Probes may have inserted/removed global probes (table switch) —
-    // refresh the cached dispatch pointer.
-    I.dispatch = I.eng.dispatchTable();
-    // Frame modifications are already visible (shared value array);
-    // the interpreter needs no deoptimization.
+    uint64_t epoch = I.eng.instrumentationEpoch;
+    pm.fireSite(site, I.frame, I.fs, pc);
+    // Invariant: every instrumentation change — probe insert/remove
+    // (single or batch), deopt request — bumps instrumentationEpoch,
+    // and the dispatch table is only ever swapped under such a bump
+    // (onGlobalProbesChanged). So an unchanged epoch proves the cached
+    // dispatch pointer is still current; on a bump, re-read it, because
+    // the fired M-code may have toggled global probes this occurrence.
+    if (I.eng.instrumentationEpoch != epoch) {
+        I.dispatch = I.eng.dispatchTable();
+    }
+    // Frame modifications are already visible to the interpreter (it
+    // reads the shared value array), so it never deoptimizes; clear any
+    // request the M-code raised so the driver does not bounce the frame.
     I.frame->deoptRequested = false;
     gNormalTable[site.originalByte](I);
 }
@@ -1048,8 +1067,15 @@ h_global_stub(Interp& I)
         return;
     }
     I.sync();
+    uint64_t epoch = I.eng.instrumentationEpoch;
     I.eng.probes().fireGlobal(I.frame, I.fs, I.pc);
-    I.dispatch = I.eng.dispatchTable();
+    // Same invariant as h_probe: dispatch-table swaps always ride an
+    // instrumentationEpoch bump, so the cached pointer is only re-read
+    // when the epoch moved (e.g. the last global probe removed itself
+    // and the engine switched back to the normal table).
+    if (I.eng.instrumentationEpoch != epoch) {
+        I.dispatch = I.eng.dispatchTable();
+    }
     I.frame->deoptRequested = false;
     gNormalTable[op](I);
 }

@@ -45,13 +45,19 @@ translateFunction(Engine& eng, FuncState& fs)
         uint8_t rawByte = fs.code[pc];
         uint8_t op = rawByte;
         if (rawByte == OP_PROBE) {
-            op = pm.originalByte(fs.funcIndex, pc);
-            ProbeListRef probes = pm.probesAt(fs.funcIndex, pc);
+            // The site's fused firing entry IS the probe itself whenever
+            // exactly one probe is attached (ProbeManager never wraps a
+            // single member in a FusedProbe), so a site that was fused
+            // and shrank back to one probe intrinsifies identically to a
+            // probe that was always alone. Multi-member sites take the
+            // generic path: one kJProbeGeneric, one virtual call.
+            ProbeManager::SiteView site = pm.siteFor(fs.funcIndex, pc);
+            op = site.originalByte;
             JInst pi;
             pi.pc = pc;
             pi.op = kJProbeGeneric;
-            if (probes && probes->size() == 1) {
-                Probe* p = (*probes)[0].get();
+            if (site.memberCount == 1) {
+                Probe* p = site.fired.get();
                 if (cfg.intrinsifyCountProbe && p->isCountProbe() &&
                     typeid(*p) == typeid(CountProbe)) {
                     pi.op = kJProbeCount;

@@ -23,13 +23,26 @@ FunctionEntryExit::~FunctionEntryExit()
 void
 FunctionEntryExit::instrumentAll()
 {
+    // One batch across the whole module: attach-time stays linear in
+    // the number of entry/exit sites, with a single epoch bump.
+    std::vector<ProbeManager::SiteProbe> batch;
     for (uint32_t i = 0; i < _engine.numFuncs(); i++) {
-        if (!_engine.funcState(i).decl->imported) instrument(i);
+        if (!_engine.funcState(i).decl->imported) collect(i, batch);
     }
+    _engine.probes().insertBatch(batch);
 }
 
 void
 FunctionEntryExit::instrument(uint32_t funcIndex)
+{
+    std::vector<ProbeManager::SiteProbe> batch;
+    collect(funcIndex, batch);
+    _engine.probes().insertBatch(batch);
+}
+
+void
+FunctionEntryExit::collect(uint32_t funcIndex,
+                           std::vector<ProbeManager::SiteProbe>& batch)
 {
     FuncState& fs = _engine.funcState(funcIndex);
     const SideTable& st = fs.sideTable;
@@ -42,8 +55,8 @@ FunctionEntryExit::instrument(uint32_t funcIndex)
     auto entry = makeProbe([this](ProbeContext& ctx) {
         handleEntry(ctx);
     });
-    _engine.probes().insertLocal(funcIndex, 0, entry);
-    _installed.push_back({funcIndex, 0, entry});
+    batch.push_back({funcIndex, 0, entry});
+    _installed.push_back({funcIndex, 0, std::move(entry)});
 
     // Exit probes on returns, the final end, and exit-targeting branches.
     for (uint32_t pc : st.instrBoundaries) {
@@ -68,8 +81,8 @@ FunctionEntryExit::instrument(uint32_t funcIndex)
         auto exitProbe = makeProbe([this, op](ProbeContext& ctx) {
             handleMaybeExit(ctx, op);
         });
-        _engine.probes().insertLocal(funcIndex, pc, exitProbe);
-        _installed.push_back({funcIndex, pc, exitProbe});
+        batch.push_back({funcIndex, pc, exitProbe});
+        _installed.push_back({funcIndex, pc, std::move(exitProbe)});
     }
 }
 
@@ -129,17 +142,13 @@ void
 runAfterCurrentInstruction(Engine& engine,
                            std::function<void(ProbeContext&)> callback)
 {
-    auto holder = std::make_shared<std::shared_ptr<Probe>>();
-    auto probe = makeProbe(
-        [&engine, holder, cb = std::move(callback)](ProbeContext& ctx) {
+    engine.probes().insertGlobal(makeProbe(
+        [cb = std::move(callback)](ProbeContext& ctx) {
             cb(ctx);
-            // One-shot: remove ourselves. Deferred-removal consistency
+            // One-shot: O(1) self-removal. Deferred-removal consistency
             // means this firing still completes safely.
-            engine.probes().removeGlobal(holder->get());
-            holder->reset();
-        });
-    *holder = probe;
-    engine.probes().insertGlobal(probe);
+            ctx.removeSelf();
+        }));
 }
 
 } // namespace wizpp

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "probes/probe.h"
+#include "probes/probemanager.h"
 
 namespace wizpp {
 
@@ -45,10 +46,14 @@ class FunctionEntryExit
     FunctionEntryExit(Engine& engine, EntryFn onEntry, ExitFn onExit);
     ~FunctionEntryExit();
 
-    /** Instruments one function. */
+    /** Instruments one function (a single-function batch insertion). */
     void instrument(uint32_t funcIndex);
 
-    /** Instruments every non-imported function. */
+    /**
+     * Instruments every non-imported function with one batch insertion
+     * across the whole module: one epoch bump, one probe-list build per
+     * entry/exit site.
+     */
     void instrumentAll();
 
     /** Flushes activations discarded by a trap unwind. */
@@ -64,6 +69,8 @@ class FunctionEntryExit
         uint64_t frameId;
     };
 
+    void collect(uint32_t funcIndex,
+                 std::vector<ProbeManager::SiteProbe>& batch);
     void handleEntry(ProbeContext& ctx);
     void handleMaybeExit(ProbeContext& ctx, uint8_t opcode);
 

@@ -5,6 +5,10 @@
  * post-execution report. Monitor code (M-code) executes in the engine's
  * state space, never the program's, so monitors are non-intrusive by
  * construction.
+ *
+ * See docs/ARCHITECTURE.md for how monitors sit on top of the probe
+ * subsystem, and docs/PROBES.md for the attachment patterns (batch
+ * insertion, fusion at shared sites, one-shot self-removal).
  */
 
 #ifndef WIZPP_MONITORS_MONITOR_H
@@ -17,18 +21,37 @@ namespace wizpp {
 
 class Engine;
 
+/**
+ * Base class of all monitors.
+ *
+ * Lifecycle contract: construct → Engine::attachMonitor() (which calls
+ * onAttach) → program execution (probes fire) → report(). The engine
+ * never takes ownership; a monitor must outlive every probe it
+ * registered (probes are shared_ptr-held by the ProbeManager, but
+ * their callbacks typically capture `this`).
+ *
+ * Thread-safety: the engine is single-threaded; all hooks run on the
+ * execution thread.
+ */
 class Monitor
 {
   public:
     virtual ~Monitor() = default;
 
     /**
-     * Called when the monitor is attached to an engine (after the module
-     * is loaded, before execution). This is where probes are registered.
+     * Called when the monitor is attached to an engine (after the
+     * module is loaded, before execution). This is where probes are
+     * registered — use ProbeManager::insertBatch() for module-wide
+     * instrumentation so each site's probe list is built once and the
+     * engine pays a single instrumentation-epoch bump (see
+     * docs/PROBES.md).
      */
     virtual void onAttach(Engine& engine) = 0;
 
-    /** Emits the post-execution report. */
+    /**
+     * Emits the post-execution report. May be called at any point
+     * between runs; must not mutate instrumentation.
+     */
     virtual void report(std::ostream&) {}
 
     /** The monitor's flag name (wizeng --monitors=<name> equivalent). */

@@ -75,6 +75,10 @@ void
 CoverageMonitor::onAttach(Engine& engine)
 {
     _engine = &engine;
+    // One batch for the whole module: each site's probe list is built
+    // once and the engine pays a single epoch bump, instead of O(sites)
+    // copy-on-write churn.
+    std::vector<ProbeManager::SiteProbe> batch;
     for (uint32_t f = 0; f < engine.numFuncs(); f++) {
         FuncState& fs = engine.funcState(f);
         if (fs.decl->imported) continue;
@@ -82,20 +86,17 @@ CoverageMonitor::onAttach(Engine& engine)
         _pcs[f] = pcs;
         _bits[f] = std::vector<bool>(pcs.size(), false);
         for (size_t i = 0; i < pcs.size(); i++) {
-            uint32_t pc = pcs[i];
-            auto holder = std::make_shared<std::shared_ptr<Probe>>();
-            auto probe = makeProbe(
-                [this, f, i, pc, holder](ProbeContext&) {
+            // One-shot: mark the bit, then O(1) self-removal so covered
+            // locations return to zero overhead (dynamic probe removal,
+            // Section 3) — no holder shared_ptr, no site lookup.
+            batch.push_back({f, pcs[i], makeProbe(
+                [this, f, i](ProbeContext& ctx) {
                     _bits[f][i] = true;
-                    // Self-removal: covered locations return to zero
-                    // overhead (dynamic probe removal, Section 3).
-                    _engine->probes().removeLocal(f, pc, holder->get());
-                    holder->reset();
-                });
-            *holder = probe;
-            engine.probes().insertLocal(f, pc, probe);
+                    ctx.removeSelf();
+                })});
         }
     }
+    engine.probes().insertBatch(batch);
 }
 
 double
@@ -143,15 +144,17 @@ void
 LoopMonitor::onAttach(Engine& engine)
 {
     _engine = &engine;
+    std::vector<ProbeManager::SiteProbe> batch;
     for (uint32_t f = 0; f < engine.numFuncs(); f++) {
         FuncState& fs = engine.funcState(f);
         if (fs.decl->imported) continue;
         for (uint32_t headerPc : fs.sideTable.loopHeaders) {
             auto probe = std::make_shared<CountProbe>();
-            engine.probes().insertLocal(f, headerPc, probe);
-            _sites.push_back({f, headerPc, probe});
+            batch.push_back({f, headerPc, probe});
+            _sites.push_back({f, headerPc, std::move(probe)});
         }
     }
+    engine.probes().insertBatch(batch);
 }
 
 void
@@ -181,15 +184,17 @@ HotnessMonitor::onAttach(Engine& engine)
         engine.probes().insertGlobal(_globalProbe);
         return;
     }
+    std::vector<ProbeManager::SiteProbe> batch;
     for (uint32_t f = 0; f < engine.numFuncs(); f++) {
         FuncState& fs = engine.funcState(f);
         if (fs.decl->imported) continue;
         for (uint32_t pc : fs.sideTable.instrBoundaries) {
             auto probe = std::make_shared<CountProbe>();
-            engine.probes().insertLocal(f, pc, probe);
-            _counters[locKey(f, pc)] = probe;
+            batch.push_back({f, pc, probe});
+            _counters[locKey(f, pc)] = std::move(probe);
         }
     }
+    engine.probes().insertBatch(batch);
 }
 
 uint64_t
@@ -274,13 +279,15 @@ BranchMonitor::onAttach(Engine& engine)
         return;
     }
 
+    std::vector<ProbeManager::SiteProbe> batch;
     for (uint32_t f = 0; f < engine.numFuncs(); f++) {
         branchPcs(f, [&](uint32_t pc, uint8_t op) {
             auto probe = std::make_shared<BranchProbe>(op);
-            engine.probes().insertLocal(f, pc, probe);
-            _sites.push_back({f, pc, probe});
+            batch.push_back({f, pc, probe});
+            _sites.push_back({f, pc, std::move(probe)});
         });
     }
+    engine.probes().insertBatch(batch);
 }
 
 uint64_t
@@ -326,6 +333,7 @@ BranchMonitor::report(std::ostream& out)
 void
 MemoryMonitor::onAttach(Engine& engine)
 {
+    std::vector<ProbeManager::SiteProbe> batch;
     for (uint32_t f = 0; f < engine.numFuncs(); f++) {
         FuncState& fs = engine.funcState(f);
         if (fs.decl->imported) continue;
@@ -355,10 +363,11 @@ MemoryMonitor::onAttach(Engine& engine)
                              << "\n";
                     }
                 });
-            engine.probes().insertLocal(f, pc, probe);
-            _probes.push_back(probe);
+            batch.push_back({f, pc, probe});
+            _probes.push_back(std::move(probe));
         }
     }
+    engine.probes().insertBatch(batch);
 }
 
 // ---------------------------------------------------------------------
@@ -369,6 +378,7 @@ void
 CallsMonitor::onAttach(Engine& engine)
 {
     _engine = &engine;
+    std::vector<ProbeManager::SiteProbe> batch;
     for (uint32_t f = 0; f < engine.numFuncs(); f++) {
         FuncState& fs = engine.funcState(f);
         if (fs.decl->imported) continue;
@@ -402,10 +412,11 @@ CallsMonitor::onAttach(Engine& engine)
                         }
                     }
                 });
-            engine.probes().insertLocal(f, pc, probe);
-            _probes.push_back(probe);
+            batch.push_back({f, pc, probe});
+            _probes.push_back(std::move(probe));
         }
     }
+    engine.probes().insertBatch(batch);
 }
 
 std::map<std::pair<uint32_t, uint32_t>, uint64_t>

@@ -13,6 +13,11 @@
  * compiled tier can intrinsify (Section 4.4): a CountProbe compiles to
  * an inline counter increment, and an OperandProbe to a direct call that
  * receives the top-of-stack value without materializing a FrameAccessor.
+ *
+ * FusedProbe is the engine's pre-composition of all probes sharing one
+ * site: the interpreter's probe handler makes exactly one virtual call
+ * per instrumented site regardless of how many monitors attached there.
+ * See docs/PROBES.md for the full lifecycle and fusion semantics.
  */
 
 #ifndef WIZPP_PROBES_PROBE_H
@@ -20,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "runtime/value.h"
 
@@ -27,6 +33,7 @@ namespace wizpp {
 
 class Engine;
 class FrameAccessor;
+class Probe;
 struct Frame;
 struct FuncState;
 
@@ -34,6 +41,10 @@ struct FuncState;
  * Everything a firing probe can reach. The location triple
  * (module, function, pc) is immediately available; frame state is
  * reached through the lazily-allocated FrameAccessor (Section 2.3).
+ *
+ * A ProbeContext is only valid for the duration of the firing that
+ * created it; probes must not retain it across callbacks (retain the
+ * FrameAccessor instead, which is invalidated safely on unwind).
  */
 class ProbeContext
 {
@@ -42,37 +53,86 @@ class ProbeContext
         : _engine(engine), _frame(frame), _fs(fs), _pc(pc)
     {}
 
+    /// The engine this probe fired in (entry point to the full M-API).
     Engine& engine() const { return _engine; }
+
+    /// Per-function engine state of the probed function.
     FuncState* func() const { return _fs; }
+
+    /// Index of the probed function in the module's function space.
     uint32_t funcIndex() const;
+
+    /// Bytecode offset of the probed instruction.
     uint32_t pc() const { return _pc; }
 
     /**
      * Returns the FrameAccessor for the probed frame, allocating it on
-     * first request and caching it in the frame's accessor slot.
+     * first request and caching it in the frame's accessor slot. The
+     * accessor may outlive this context; it is invalidated when the
+     * frame returns or unwinds.
      */
     std::shared_ptr<FrameAccessor> accessor() const;
 
-    /** Raw frame pointer; internal use by the accessor machinery. */
+    /// Raw frame pointer; internal use by the accessor machinery.
     Frame* frame() const { return _frame; }
 
+    /**
+     * Detaches the currently-firing probe from the event that fired it:
+     * the local site (funcIndex, pc) for a local probe, the global list
+     * for a global probe. O(1) — no site lookup, no holder shared_ptr
+     * dance — which makes one-shot probes (coverage bits, run-once
+     * hooks) cheap at any site count.
+     *
+     * Deferred-removal consistency (Section 2.4) still applies: the
+     * in-flight firing completes from its immutable snapshot, so other
+     * probes fused at the same site are unaffected this occurrence.
+     * Returns false if called outside a firing (no current probe).
+     */
+    bool removeSelf() const;
+
+    /// The probe whose fire() is currently on the stack, if any.
+    Probe* firing() const { return _firing; }
+
   private:
+    friend class ProbeManager;
+    friend class FusedProbe;
+
+    // -- Firing bookkeeping. Only the ProbeManager and FusedProbe may
+    // update these: removeSelf() correctness depends on them tracking
+    // the actually-firing probe, so they are compiler-enforced
+    // internals rather than part of the M-code API. --
+
+    /// Marks @p p as the currently-firing probe.
+    void setFiring(Probe* p) const { _firing = p; }
+
+    /// Marks this firing as a global-probe firing.
+    void setGlobalFiring(bool g) const { _globalFiring = g; }
+
     Engine& _engine;
     Frame* _frame;
     FuncState* _fs;
     uint32_t _pc;
+    mutable Probe* _firing = nullptr;
+    mutable bool _globalFiring = false;
 };
 
-/** Base class of all probes. */
+/**
+ * Base class of all probes.
+ *
+ * Thread-safety: the engine is single-threaded; probes fire on the
+ * execution thread and may freely call back into the probe API
+ * (insert/remove/removeSelf) — the Section 2.4 deferred
+ * insertion/removal guarantees make that safe mid-firing.
+ */
 class Probe
 {
   public:
     virtual ~Probe() = default;
 
-    /** Called just before the probed event. */
+    /// Called just before the probed event.
     virtual void fire(ProbeContext& ctx) = 0;
 
-    /** Kind discriminators used by the compiled tier for intrinsification. */
+    /// Kind discriminators used by the compiled tier for intrinsification.
     virtual bool isCountProbe() const { return false; }
     virtual bool isOperandProbe() const { return false; }
 };
@@ -101,7 +161,7 @@ class OperandProbe : public Probe
     void fire(ProbeContext& ctx) override;
     bool isOperandProbe() const override { return true; }
 
-    /** Receives the value on top of the operand stack. */
+    /// Receives the value on top of the operand stack.
     virtual void fireOperand(Value topOfStack) = 0;
 };
 
@@ -117,6 +177,51 @@ class EmptyOperandProbe : public OperandProbe
 {
   public:
     void fireOperand(Value) override {}
+};
+
+/**
+ * Pre-composed firing entry for a site shared by several probes.
+ *
+ * The ProbeManager rebuilds the fusion whenever the site's membership
+ * changes (copy-on-write: the member list is immutable once built), so
+ * the interpreter and the compiled tier's generic probe path make
+ * exactly one virtual call per instrumented site. A firing that holds a
+ * FusedProbe snapshot keeps iterating its own members even if M-code
+ * re-fuses the site mid-fire — which is precisely the deferred
+ * insertion/removal guarantee of Section 2.4.
+ *
+ * Sites with a single probe are never fused: the member itself is the
+ * firing entry, so single-probe sites keep their intrinsification
+ * eligibility in the compiled tier and their exact pre-fusion cost.
+ */
+class FusedProbe : public Probe
+{
+  public:
+    explicit FusedProbe(std::vector<std::shared_ptr<Probe>> members)
+        : _members(std::move(members))
+    {}
+
+    /// Fires every member in insertion order (one nested virtual call
+    /// each), tracking the current member so removeSelf() works inside
+    /// a fused firing.
+    void
+    fire(ProbeContext& ctx) override
+    {
+        for (const auto& m : _members) {
+            ctx.setFiring(m.get());
+            m->fire(ctx);
+        }
+        ctx.setFiring(this);
+    }
+
+    /// The fused members, in firing (= insertion) order.
+    const std::vector<std::shared_ptr<Probe>>& members() const
+    {
+        return _members;
+    }
+
+  private:
+    const std::vector<std::shared_ptr<Probe>> _members;
 };
 
 /** Adapter wrapping a lambda as a probe. */

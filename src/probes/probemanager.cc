@@ -1,5 +1,7 @@
 #include "probes/probemanager.h"
 
+#include <algorithm>
+
 #include "engine/engine.h"
 #include "wasm/opcodes.h"
 
@@ -16,45 +18,180 @@ cloneList(const ProbeListRef& ref)
 
 } // namespace
 
+// ---------------------------------------------------------------------
+// Dense site tables
+// ---------------------------------------------------------------------
+
+FuncState*
+ProbeManager::validSite(uint32_t funcIndex, uint32_t pc) const
+{
+    if (funcIndex >= _engine.numFuncs()) return nullptr;
+    FuncState& fs = _engine.funcState(funcIndex);
+    if (fs.decl->imported) return nullptr;
+    if (!fs.sideTable.isInstrBoundary(pc)) return nullptr;
+    return &fs;
+}
+
+ProbeManager::LocalSite*
+ProbeManager::findSite(uint32_t funcIndex, uint32_t pc)
+{
+    if (funcIndex >= _funcSites.size()) return nullptr;
+    FuncSites& f = _funcSites[funcIndex];
+    if (pc >= f.pcToSite.size()) return nullptr;
+    uint32_t slot = f.pcToSite[pc];
+    return slot == kNoSite ? nullptr : &f.slots[slot];
+}
+
+const ProbeManager::LocalSite*
+ProbeManager::findSite(uint32_t funcIndex, uint32_t pc) const
+{
+    return const_cast<ProbeManager*>(this)->findSite(funcIndex, pc);
+}
+
+ProbeManager::LocalSite&
+ProbeManager::ensureSite(FuncState& fs, uint32_t pc)
+{
+    uint32_t funcIndex = fs.funcIndex;
+    if (funcIndex >= _funcSites.size()) {
+        _funcSites.resize(_engine.numFuncs());
+    }
+    FuncSites& f = _funcSites[funcIndex];
+    if (f.pcToSite.empty()) {
+        // First probe in this function: build the dense pc index once.
+        f.pcToSite.assign(fs.code.size(), kNoSite);
+    }
+    uint32_t slot = f.pcToSite[pc];
+    if (slot != kNoSite) return f.slots[slot];
+
+    // New site: take a recycled slot or append, and overwrite the
+    // bytecode (Section 4.2).
+    if (!f.freeSlots.empty()) {
+        slot = f.freeSlots.back();
+        f.freeSlots.pop_back();
+    } else {
+        slot = static_cast<uint32_t>(f.slots.size());
+        f.slots.emplace_back();
+    }
+    f.pcToSite[pc] = slot;
+    LocalSite& site = f.slots[slot];
+    site.originalByte = fs.code[pc];
+    site.members = std::make_shared<const ProbeList>();
+    site.fused = nullptr;
+    fs.code[pc] = OP_PROBE;
+    _numSites++;
+    return site;
+}
+
+void
+ProbeManager::releaseSite(FuncState& fs, uint32_t pc)
+{
+    FuncSites& f = _funcSites[fs.funcIndex];
+    uint32_t slot = f.pcToSite[pc];
+    if (slot == kNoSite) return;
+    fs.code[pc] = f.slots[slot].originalByte;
+    f.slots[slot] = LocalSite{};
+    f.pcToSite[pc] = kNoSite;
+    f.freeSlots.push_back(slot);
+    _numSites--;
+}
+
+void
+ProbeManager::rebuildFused(LocalSite& site)
+{
+    // Single-member sites fire the member directly, keeping their
+    // compiled-tier intrinsification eligibility; larger sites get a
+    // fresh immutable FusedProbe (in-flight firings hold the old one).
+    const ProbeList& m = *site.members;
+    if (m.size() == 1) {
+        site.fused = m[0];
+    } else {
+        site.fused = std::make_shared<FusedProbe>(m);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Local probe insertion and removal
+// ---------------------------------------------------------------------
+
 bool
 ProbeManager::insertLocal(uint32_t funcIndex, uint32_t pc,
                           std::shared_ptr<Probe> probe)
 {
-    if (funcIndex >= _engine.numFuncs()) return false;
-    FuncState& fs = _engine.funcState(funcIndex);
-    if (fs.decl->imported) return false;
-    if (!fs.sideTable.isInstrBoundary(pc)) return false;
+    FuncState* fs = validSite(funcIndex, pc);
+    if (!fs) return false;
 
-    uint64_t k = key(funcIndex, pc);
-    auto it = _sites.find(k);
-    if (it == _sites.end()) {
-        // First probe here: overwrite the bytecode (Section 4.2).
-        LocalSite site;
-        site.originalByte = fs.code[pc];
-        ProbeList list;
-        list.push_back(std::move(probe));
-        site.probes = std::make_shared<const ProbeList>(std::move(list));
-        _sites.emplace(k, std::move(site));
-        fs.code[pc] = OP_PROBE;
-    } else {
-        ProbeList list = cloneList(it->second.probes);
-        list.push_back(std::move(probe));
-        it->second.probes =
-            std::make_shared<const ProbeList>(std::move(list));
-    }
-    fs.probeCount++;
+    LocalSite& site = ensureSite(*fs, pc);
+    ProbeList list = cloneList(site.members);
+    list.push_back(std::move(probe));
+    site.members = std::make_shared<const ProbeList>(std::move(list));
+    rebuildFused(site);
+    fs->probeCount++;
     _engine.onLocalProbesChanged(funcIndex);
     return true;
+}
+
+size_t
+ProbeManager::insertBatch(std::span<SiteProbe> batch)
+{
+    // Group by site; stable so duplicates at one site keep their
+    // relative order (insertion order is firing order). Monitors that
+    // walk functions in order produce already-sorted batches — skip the
+    // sort for those.
+    auto siteLess = [](const SiteProbe& a, const SiteProbe& b) {
+        if (a.funcIndex != b.funcIndex) return a.funcIndex < b.funcIndex;
+        return a.pc < b.pc;
+    };
+    if (!std::is_sorted(batch.begin(), batch.end(), siteLess)) {
+        std::stable_sort(batch.begin(), batch.end(), siteLess);
+    }
+
+    size_t inserted = 0;
+    std::vector<uint32_t> touchedFuncs;
+    for (size_t i = 0; i < batch.size();) {
+        uint32_t funcIndex = batch[i].funcIndex;
+        uint32_t pc = batch[i].pc;
+        size_t j = i;
+        while (j < batch.size() && batch[j].funcIndex == funcIndex &&
+               batch[j].pc == pc) {
+            j++;
+        }
+        FuncState* fs = validSite(funcIndex, pc);
+        if (!fs) {
+            i = j;  // skip the whole invalid-site group
+            continue;
+        }
+
+        // Build this site's new member list exactly once for the whole
+        // group, then swap in one new fused firing entry.
+        LocalSite& site = ensureSite(*fs, pc);
+        ProbeList list = cloneList(site.members);
+        list.reserve(list.size() + (j - i));
+        for (size_t k = i; k < j; k++) {
+            list.push_back(std::move(batch[k].probe));
+        }
+        site.members = std::make_shared<const ProbeList>(std::move(list));
+        rebuildFused(site);
+        fs->probeCount += static_cast<uint32_t>(j - i);
+        inserted += j - i;
+        if (touchedFuncs.empty() || touchedFuncs.back() != funcIndex) {
+            touchedFuncs.push_back(funcIndex);  // batch is func-sorted
+        }
+        i = j;
+    }
+
+    // One epoch bump and one compiled-code invalidation per touched
+    // function for the entire batch.
+    if (inserted) _engine.onProbesBatchChanged(touchedFuncs);
+    return inserted;
 }
 
 bool
 ProbeManager::removeLocal(uint32_t funcIndex, uint32_t pc,
                           const Probe* probe)
 {
-    uint64_t k = key(funcIndex, pc);
-    auto it = _sites.find(k);
-    if (it == _sites.end()) return false;
-    ProbeList list = cloneList(it->second.probes);
+    LocalSite* site = findSite(funcIndex, pc);
+    if (!site) return false;
+    ProbeList list = cloneList(site->members);
     bool found = false;
     for (auto li = list.begin(); li != list.end(); ++li) {
         if (li->get() == probe) {
@@ -67,12 +204,10 @@ ProbeManager::removeLocal(uint32_t funcIndex, uint32_t pc,
 
     FuncState& fs = _engine.funcState(funcIndex);
     if (list.empty()) {
-        // Last probe removed: restore the original bytecode.
-        fs.code[pc] = it->second.originalByte;
-        _sites.erase(it);
+        releaseSite(fs, pc);
     } else {
-        it->second.probes =
-            std::make_shared<const ProbeList>(std::move(list));
+        site->members = std::make_shared<const ProbeList>(std::move(list));
+        rebuildFused(*site);
     }
     fs.probeCount--;
     _engine.onLocalProbesChanged(funcIndex);
@@ -82,33 +217,35 @@ ProbeManager::removeLocal(uint32_t funcIndex, uint32_t pc,
 void
 ProbeManager::removeAllLocal(uint32_t funcIndex, uint32_t pc)
 {
-    uint64_t k = key(funcIndex, pc);
-    auto it = _sites.find(k);
-    if (it == _sites.end()) return;
+    LocalSite* site = findSite(funcIndex, pc);
+    if (!site) return;
     FuncState& fs = _engine.funcState(funcIndex);
-    fs.probeCount -= static_cast<uint32_t>(it->second.probes->size());
-    fs.code[pc] = it->second.originalByte;
-    _sites.erase(it);
+    fs.probeCount -= static_cast<uint32_t>(site->members->size());
+    releaseSite(fs, pc);
     _engine.onLocalProbesChanged(funcIndex);
 }
 
 ProbeListRef
 ProbeManager::probesAt(uint32_t funcIndex, uint32_t pc) const
 {
-    auto it = _sites.find(key(funcIndex, pc));
-    return it == _sites.end() ? nullptr : it->second.probes;
+    const LocalSite* site = findSite(funcIndex, pc);
+    return site ? site->members : nullptr;
 }
 
 uint8_t
 ProbeManager::originalByte(uint32_t funcIndex, uint32_t pc) const
 {
-    auto it = _sites.find(key(funcIndex, pc));
-    if (it == _sites.end()) {
+    const LocalSite* site = findSite(funcIndex, pc);
+    if (!site) {
         // Not probed: the live byte is the original.
         return _engine.funcState(funcIndex).code[pc];
     }
-    return it->second.originalByte;
+    return site->originalByte;
 }
+
+// ---------------------------------------------------------------------
+// Global probes
+// ---------------------------------------------------------------------
 
 void
 ProbeManager::insertGlobal(std::shared_ptr<Probe> probe)
@@ -137,26 +274,30 @@ ProbeManager::removeGlobal(const Probe* probe)
     return true;
 }
 
+// ---------------------------------------------------------------------
+// Firing
+// ---------------------------------------------------------------------
+
 void
 ProbeManager::fireLocal(Frame* frame, FuncState* fs, uint32_t pc)
 {
-    // Snapshot semantics give all three consistency guarantees: the
-    // list reference is immutable; concurrent inserts/removals replace
-    // the map entry with a new list without disturbing this iteration.
-    ProbeListRef list = probesAt(fs->funcIndex, pc);
-    if (!list) return;
-    fireList(*list, frame, fs, pc);
+    SiteView site = siteFor(fs->funcIndex, pc);
+    if (!site.fired) return;
+    fireSite(site, frame, fs, pc);
 }
 
 void
-ProbeManager::fireList(const ProbeList& list, Frame* frame, FuncState* fs,
+ProbeManager::fireSite(const SiteView& site, Frame* frame, FuncState* fs,
                        uint32_t pc)
 {
+    if (!site.fired) return;
+    // The snapshot (site.fired) is immutable: inserts/removals by the
+    // firing probes swap the site's entry without disturbing this call
+    // — all three Section 2.4 guarantees fall out of that.
+    localFireCount += site.memberCount;
     ProbeContext ctx(_engine, frame, fs, pc);
-    for (const auto& p : list) {
-        localFireCount++;
-        p->fire(ctx);
-    }
+    ctx.setFiring(site.fired.get());
+    site.fired->fire(ctx);
 }
 
 void
@@ -164,10 +305,25 @@ ProbeManager::fireGlobal(Frame* frame, FuncState* fs, uint32_t pc)
 {
     ProbeListRef list = _globals;
     ProbeContext ctx(_engine, frame, fs, pc);
+    ctx.setGlobalFiring(true);
     for (const auto& p : *list) {
         globalFireCount++;
+        ctx.setFiring(p.get());
         p->fire(ctx);
     }
+}
+
+// ---------------------------------------------------------------------
+// ProbeContext::removeSelf
+// ---------------------------------------------------------------------
+
+bool
+ProbeContext::removeSelf() const
+{
+    if (!_firing) return false;
+    ProbeManager& pm = _engine.probes();
+    if (_globalFiring) return pm.removeGlobal(_firing);
+    return pm.removeLocal(funcIndex(), _pc, _firing);
 }
 
 } // namespace wizpp

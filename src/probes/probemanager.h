@@ -21,6 +21,18 @@
  * between zero and nonzero global probes swaps the interpreter's
  * dispatch table and enters/leaves interpreter-only execution without
  * discarding compiled code.
+ *
+ * Scale machinery (see docs/PROBES.md):
+ *
+ *  - Sites live in per-function dense tables: a pc-indexed slot vector
+ *    resolved at attach time, so the per-fire site lookup is two array
+ *    loads instead of a hash probe.
+ *  - All probes at one site are pre-composed into a single firing entry
+ *    (the probe itself for one member, a FusedProbe otherwise), so the
+ *    hot path makes exactly one virtual call per instrumented site.
+ *  - insertBatch() attaches whole monitors' worth of probes with one
+ *    list build per site and a single instrumentation-epoch bump,
+ *    instead of O(sites) copy-on-write churn.
  */
 
 #ifndef WIZPP_PROBES_PROBEMANAGER_H
@@ -28,7 +40,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "probes/probe.h"
@@ -53,56 +65,110 @@ class ProbeManager
     /**
      * Attaches @p probe before the instruction at (funcIndex, pc).
      * pc must be an instruction boundary of a non-imported function.
+     * Firing order at a shared site is insertion order. Bumps the
+     * instrumentation epoch and invalidates the function's compiled
+     * code; prefer insertBatch() when attaching many probes at once.
      * Returns false on an invalid location.
      */
     bool insertLocal(uint32_t funcIndex, uint32_t pc,
                      std::shared_ptr<Probe> probe);
 
+    /** One (site, probe) pair of a batch insertion. */
+    struct SiteProbe
+    {
+        uint32_t funcIndex = 0;
+        uint32_t pc = 0;
+        std::shared_ptr<Probe> probe;
+    };
+
     /**
-     * Detaches one occurrence of @p probe from (funcIndex, pc).
-     * Returns false if it was not attached there.
+     * Attaches every valid entry of @p batch, equivalent to calling
+     * insertLocal() on each in order but paying the heavy costs once:
+     * the batch is stable-sorted by site (preserving relative insertion
+     * order of duplicates at the same site), each touched site's member
+     * list and fused firing entry are rebuilt exactly once, and the
+     * whole batch performs a single instrumentation-epoch bump with one
+     * compiled-code invalidation per touched function.
+     *
+     * Entries with an invalid location (imported function, out-of-range
+     * index, non-boundary pc) are skipped. The span is reordered in
+     * place (sorted by site). Returns the number of probes attached.
+     *
+     * Safe to call from inside a firing probe: sites touched by the
+     * batch follow the Section 2.4 deferred-insertion rule — a probe
+     * added to the currently-firing site joins at the event's next
+     * occurrence.
+     */
+    size_t insertBatch(std::span<SiteProbe> batch);
+
+    /**
+     * Detaches one occurrence of @p probe from (funcIndex, pc). The
+     * site's fused firing entry is rebuilt (in-flight firings keep
+     * their snapshot — deferred removal); removing the last probe
+     * restores the original bytecode byte. Returns false if @p probe
+     * was not attached there. Prefer ProbeContext::removeSelf() for
+     * self-removal from inside a fire: same semantics, no lookup.
      */
     bool removeLocal(uint32_t funcIndex, uint32_t pc, const Probe* probe);
 
-    /** Removes all probes at a location. */
+    /** Removes all probes at a location (restores the original byte). */
     void removeAllLocal(uint32_t funcIndex, uint32_t pc);
 
-    /** The probes at a location (null if none). */
+    /**
+     * The insertion-ordered probes at a location (null if none). This
+     * is the management view; the firing entry is siteFor().fired.
+     */
     ProbeListRef probesAt(uint32_t funcIndex, uint32_t pc) const;
 
-    /** One probed location: probe-list snapshot + saved opcode. */
+    /**
+     * One probed location, as the hot path consumes it: the single
+     * firing entry (the lone probe, or the FusedProbe composing all
+     * members), the member count for fire accounting, and the saved
+     * original opcode byte.
+     */
     struct SiteView
     {
-        ProbeListRef probes;
+        std::shared_ptr<Probe> fired;  ///< null if the site is unprobed
+        uint32_t memberCount = 0;
         uint8_t originalByte = 0;
     };
 
     /**
-     * Single-lookup access for the interpreter's probe handler: the
-     * snapshot and original byte together (the hot path of
-     * Section 4.2). The snapshot keeps the list alive across COW
-     * mutations performed by the firing probes themselves.
+     * Site lookup for the probe handlers (the hot path of Section 4.2):
+     * two dense array loads — funcIndex into the per-function tables,
+     * pc into that function's slot index — no hashing. The returned
+     * shared_ptr keeps the firing entry alive across any re-fusion the
+     * firing probes themselves perform (deferred insert/removal).
      */
     SiteView
     siteFor(uint32_t funcIndex, uint32_t pc) const
     {
-        auto it = _sites.find(key(funcIndex, pc));
-        if (it == _sites.end()) return {};
-        return {it->second.probes, it->second.originalByte};
+        if (funcIndex >= _funcSites.size()) return {};
+        const FuncSites& f = _funcSites[funcIndex];
+        if (pc >= f.pcToSite.size()) return {};
+        uint32_t slot = f.pcToSite[pc];
+        if (slot == kNoSite) return {};
+        const LocalSite& site = f.slots[slot];
+        return {site.fused, static_cast<uint32_t>(site.members->size()),
+                site.originalByte};
     }
 
     /** The original (pre-overwrite) opcode byte at a probed location. */
     uint8_t originalByte(uint32_t funcIndex, uint32_t pc) const;
 
     /** Total number of probed locations (for tests/telemetry). */
-    size_t numProbedSites() const { return _sites.size(); }
+    size_t numProbedSites() const { return _numSites; }
 
     // ---- Global probes ----
 
-    /** Attaches a probe firing before every instruction executed. */
+    /**
+     * Attaches a probe firing before every instruction executed.
+     * Toggling 0↔nonzero global probes swaps the interpreter dispatch
+     * table and pins execution to the interpreter (Section 4.1).
+     */
     void insertGlobal(std::shared_ptr<Probe> probe);
 
-    /** Detaches one occurrence of a global probe. */
+    /** Detaches one occurrence of a global probe (deferred-removal). */
     bool removeGlobal(const Probe* probe);
 
     bool hasGlobalProbes() const { return !_globals->empty(); }
@@ -110,13 +176,19 @@ class ProbeManager
     // ---- Firing (engine internal) ----
 
     /**
-     * Fires all local probes at (fs, pc) against @p frame. The engine
-     * must have checkpointed the frame (pc, sp) before calling.
+     * Fires all local probes at (fs, pc) against @p frame, resolving
+     * the site itself. The engine must have checkpointed the frame
+     * (pc, sp) before calling. Used by the compiled tier's generic
+     * probe path; the interpreter resolves via siteFor() and calls
+     * fireSite() directly.
      */
     void fireLocal(Frame* frame, FuncState* fs, uint32_t pc);
 
-    /** Fires a pre-looked-up snapshot (interpreter hot path). */
-    void fireList(const ProbeList& list, Frame* frame, FuncState* fs,
+    /**
+     * Fires a pre-resolved site snapshot: exactly one virtual call
+     * (site.fired->fire). No-op if the view is empty.
+     */
+    void fireSite(const SiteView& site, Frame* frame, FuncState* fs,
                   uint32_t pc);
 
     /** Fires all global probes. */
@@ -127,20 +199,46 @@ class ProbeManager
     uint64_t globalFireCount = 0;
 
   private:
+    static constexpr uint32_t kNoSite = 0xffffffffu;
+
+    /** One probed location: fused firing entry + members + saved byte. */
     struct LocalSite
     {
-        ProbeListRef probes;
+        std::shared_ptr<Probe> fused;
+        ProbeListRef members;
         uint8_t originalByte = 0;
     };
 
-    static uint64_t
-    key(uint32_t funcIndex, uint32_t pc)
+    /** Per-function dense site tables (resolved at attach time). */
+    struct FuncSites
     {
-        return (static_cast<uint64_t>(funcIndex) << 32) | pc;
-    }
+        /** pc -> slot index (kNoSite when unprobed); sized lazily to
+            the function's code size on first attach. */
+        std::vector<uint32_t> pcToSite;
+        std::vector<LocalSite> slots;
+        std::vector<uint32_t> freeSlots;  ///< recycled slot indices
+    };
+
+    /** Validates a location; returns the FuncState or null. */
+    FuncState* validSite(uint32_t funcIndex, uint32_t pc) const;
+
+    /** Finds the live site slot, or null. */
+    LocalSite* findSite(uint32_t funcIndex, uint32_t pc);
+    const LocalSite* findSite(uint32_t funcIndex, uint32_t pc) const;
+
+    /** Creates (or returns) the slot for a validated site, overwriting
+        the bytecode on first use. */
+    LocalSite& ensureSite(FuncState& fs, uint32_t pc);
+
+    /** Drops a site slot and restores its original bytecode byte. */
+    void releaseSite(FuncState& fs, uint32_t pc);
+
+    /** Rebuilds the single firing entry after a membership change. */
+    static void rebuildFused(LocalSite& site);
 
     Engine& _engine;
-    std::unordered_map<uint64_t, LocalSite> _sites;
+    std::vector<FuncSites> _funcSites;  ///< indexed by funcIndex
+    size_t _numSites = 0;
     ProbeListRef _globals = std::make_shared<const ProbeList>();
 };
 

@@ -114,6 +114,10 @@ void
 TraceRecorder::instrumentSites()
 {
     Engine& eng = *_engine;
+    // Collected into one batch insertion: (func, pc)-sorted order is
+    // what insertBatch groups by anyway, so record and replay
+    // instrument identically with a single epoch bump.
+    std::vector<ProbeManager::SiteProbe> batch;
     for (uint32_t f = 0; f < eng.numFuncs(); f++) {
         FuncState& fs = eng.funcState(f);
         if (fs.decl->imported) continue;
@@ -139,10 +143,11 @@ TraceRecorder::instrumentSites()
               default:
                 continue;
             }
-            eng.probes().insertLocal(f, pc, probe);
+            batch.push_back({f, pc, probe});
             _probes.push_back(std::move(probe));
         }
     }
+    eng.probes().insertBatch(batch);
 }
 
 bool

@@ -367,6 +367,59 @@ TEST_P(MonitorModes, DebuggerWatchpoint)
     EXPECT_EQ(dbg.watchpointHits, 2u);  // one store + one load at 64
 }
 
+TEST_P(MonitorModes, StackedMonitorsFuseAndStayIndependent)
+{
+    // Hotness probes every instruction, branches probes every branch,
+    // coverage one-shots every instruction: every branch site carries
+    // three fused probes. Each monitor must read exactly what it would
+    // read alone, and coverage's O(1) self-removals must shrink — not
+    // disturb — the shared fused sites.
+    auto eng = makeEngine(kBranchyWat, cfg());
+    HotnessMonitor hotness;
+    BranchMonitor branches;
+    CoverageMonitor coverage;
+    eng->attachMonitor(&hotness);
+    eng->attachMonitor(&branches);
+    eng->attachMonitor(&coverage);
+
+    auto engAlone = makeEngine(kBranchyWat, cfg());
+    HotnessMonitor hotnessAlone;
+    engAlone->attachMonitor(&hotnessAlone);
+
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(10)}).i32(), 5u);
+    EXPECT_EQ(run1(*engAlone, "f", {Value::makeI32(10)}).i32(), 5u);
+
+    EXPECT_EQ(hotness.totalCount(), hotnessAlone.totalCount());
+    EXPECT_GT(branches.totalFires(), 0u);
+    // Everything but the loop's dead `end` is covered.
+    EXPECT_GT(coverage.covered(0), 0.9);
+
+    // Coverage removed itself everywhere; hotness and branch probes
+    // remain attached and keep counting on a second run.
+    uint64_t afterFirst = hotness.totalCount();
+    run1(*eng, "f", {Value::makeI32(10)});
+    EXPECT_EQ(hotness.totalCount(), 2 * afterFirst);
+}
+
+TEST_P(MonitorModes, CoverageSelfRemovalShrinksSitesExactly)
+{
+    auto eng = makeEngine(kBranchyWat, cfg());
+    CoverageMonitor mon;
+    eng->attachMonitor(&mon);
+    size_t allSites =
+        eng->funcState(0).sideTable.instrBoundaries.size();
+    EXPECT_EQ(eng->probes().numProbedSites(), allSites);
+    run1(*eng, "f", {Value::makeI32(9)});
+    // Every covered one-shot fired once and removed itself in O(1):
+    // the probed-site count drops to exactly the never-executed
+    // locations (e.g. the loop's dead `end`).
+    size_t covered = static_cast<size_t>(
+        mon.covered(0) * static_cast<double>(allSites) + 0.5);
+    EXPECT_GT(covered, 0u);
+    EXPECT_EQ(eng->probes().numProbedSites(), allSites - covered);
+    EXPECT_EQ(eng->funcState(0).probeCount, allSites - covered);
+}
+
 TEST(MonitorRegistry, FactoryKnowsAllMonitors)
 {
     std::ostringstream out;

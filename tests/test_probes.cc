@@ -593,6 +593,212 @@ TEST_P(ProbeModes, ProbesOnEveryInstructionCountExactly)
     EXPECT_EQ(localTotal, g->count);
 }
 
+// ---- Batch insertion and probe fusion ----
+
+TEST_P(ProbeModes, BatchInsertAcrossFunctionsSingleEpochBump)
+{
+    auto eng = makeEngine(kCallWat, cfg());
+    uint32_t addPc = findOpcode(*eng, 0, OP_I32_ADD);      // callee
+    uint32_t mulPc = findOpcode(*eng, 1, OP_I32_MUL);      // caller
+    auto p0 = std::make_shared<CountProbe>();
+    auto p1 = std::make_shared<CountProbe>();
+
+    // Deliberately unsorted: insertBatch groups by site itself.
+    std::vector<ProbeManager::SiteProbe> batch = {
+        {1, mulPc, p1},
+        {0, addPc, p0},
+    };
+    uint64_t epochBefore = eng->instrumentationEpoch;
+    EXPECT_EQ(eng->probes().insertBatch(batch), 2u);
+    // The whole batch is one instrumentation change, not O(sites).
+    EXPECT_EQ(eng->instrumentationEpoch, epochBefore + 1);
+    EXPECT_EQ(eng->probes().numProbedSites(), 2u);
+
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(5)}).i32(), 11u);
+    EXPECT_EQ(p0->count, 1u);
+    EXPECT_EQ(p1->count, 1u);
+}
+
+TEST_P(ProbeModes, BatchDuplicateSitesFuseInBatchOrder)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    std::vector<int> order;
+    std::vector<ProbeManager::SiteProbe> batch;
+    for (int id = 0; id < 3; id++) {
+        batch.push_back({0, pc, makeProbe(
+            [&order, id](ProbeContext&) { order.push_back(id); })});
+    }
+    EXPECT_EQ(eng->probes().insertBatch(batch), 3u);
+    // Three probes, one site, one fused firing entry.
+    EXPECT_EQ(eng->probes().numProbedSites(), 1u);
+    ASSERT_NE(eng->probes().probesAt(0, pc), nullptr);
+    EXPECT_EQ(eng->probes().probesAt(0, pc)->size(), 3u);
+
+    run1(*eng, "f", {Value::makeI32(2)});
+    // Duplicates at one site keep their relative batch order.
+    ASSERT_EQ(order.size(), 6u);
+    for (int i = 0; i < 6; i++) EXPECT_EQ(order[i], i % 3);
+}
+
+TEST_P(ProbeModes, FusionComposesBatchAndSingleInserts)
+{
+    // A fused site built by a batch, then grown by insertLocal: firing
+    // order stays global insertion order across both APIs.
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    std::vector<int> order;
+    auto rec = [&order](int id) {
+        return makeProbe([&order, id](ProbeContext&) {
+            order.push_back(id);
+        });
+    };
+    std::vector<ProbeManager::SiteProbe> batch = {
+        {0, pc, rec(0)}, {0, pc, rec(1)}, {0, pc, rec(2)}};
+    eng->probes().insertBatch(batch);
+    eng->probes().insertLocal(0, pc, rec(3));
+    eng->probes().insertLocal(0, pc, rec(4));
+
+    run1(*eng, "f", {Value::makeI32(2)});
+    ASSERT_EQ(order.size(), 10u);
+    for (int i = 0; i < 10; i++) EXPECT_EQ(order[i], i % 5);
+}
+
+TEST_P(ProbeModes, SelfRemovalInsideFusedFire)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    auto before = std::make_shared<CountProbe>();
+    uint64_t oneShotFires = 0;
+    auto after = std::make_shared<CountProbe>();
+    std::vector<ProbeManager::SiteProbe> batch = {
+        {0, pc, before},
+        {0, pc, makeProbe([&oneShotFires](ProbeContext& ctx) {
+             oneShotFires++;
+             EXPECT_TRUE(ctx.removeSelf());
+         })},
+        {0, pc, after},
+    };
+    eng->probes().insertBatch(batch);
+
+    run1(*eng, "f", {Value::makeI32(10)});
+    // The one-shot fired exactly once (deferred removal let its first
+    // occurrence complete) and its neighbors in the fusion were
+    // untouched before and after the re-fusion.
+    EXPECT_EQ(oneShotFires, 1u);
+    EXPECT_EQ(before->count, 10u);
+    EXPECT_EQ(after->count, 10u);
+    EXPECT_EQ(eng->probes().probesAt(0, pc)->size(), 2u);
+}
+
+TEST_P(ProbeModes, RemoveSelfCollapsesSiteToIntrinsifiableSingle)
+{
+    // A site fused as {CountProbe, one-shot} must behave — after the
+    // one-shot removes itself — exactly like a site that always had
+    // the single CountProbe, including compiled-tier re-specialization.
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    auto counter = std::make_shared<CountProbe>();
+    std::vector<ProbeManager::SiteProbe> batch = {
+        {0, pc, counter},
+        {0, pc, makeProbe([](ProbeContext& ctx) { ctx.removeSelf(); })},
+    };
+    eng->probes().insertBatch(batch);
+
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(100)}).i32(), 300u);
+    EXPECT_EQ(counter->count, 100u);
+    EXPECT_EQ(eng->probes().probesAt(0, pc)->size(), 1u);
+    // Second run: single-member site, intrinsified where enabled.
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(50)}).i32(), 150u);
+    EXPECT_EQ(counter->count, 150u);
+}
+
+TEST_P(ProbeModes, BatchInsertDuringExecutionIsDeferredOneEpoch)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint32_t constPc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    uint32_t brPc = findOpcode(*eng, 0, OP_BR);
+    auto sameSite = std::make_shared<CountProbe>();
+    auto otherSite = std::make_shared<CountProbe>();
+    uint64_t epochDelta = 0;
+    bool inserted = false;
+    eng->probes().insertLocal(0, constPc, makeProbe(
+        [&](ProbeContext& ctx) {
+            if (inserted) return;
+            inserted = true;
+            // Insert at the firing site AND another site, mid-fire.
+            std::vector<ProbeManager::SiteProbe> batch = {
+                {0, constPc, sameSite},
+                {0, brPc, otherSite},
+            };
+            uint64_t e0 = ctx.engine().instrumentationEpoch;
+            ctx.engine().probes().insertBatch(batch);
+            epochDelta = ctx.engine().instrumentationEpoch - e0;
+        }));
+
+    EXPECT_EQ(run1(*eng, "f", {Value::makeI32(10)}).i32(), 30u);
+    // Mid-execution batch: still exactly one epoch bump.
+    EXPECT_EQ(epochDelta, 1u);
+    // Deferred insertion at the firing site: occurrence #1 is missed.
+    EXPECT_EQ(sameSite->count, 9u);
+    // The other site was not mid-fire; it catches its iteration-1 br
+    // only if the br had not executed yet this iteration — the br
+    // follows the const, so it fires on iterations 1..10.
+    EXPECT_EQ(otherSite->count, 10u);
+    if (GetParam() == ExecMode::Jit) {
+        // The executing function's code was invalidated by the batch.
+        EXPECT_GE(eng->stats.jitInvalidations, 1u);
+        EXPECT_GE(eng->stats.frameDeopts, 1u);
+    }
+}
+
+TEST(ProbeBatch, InvalidEntriesAreSkippedValidOnesLand)
+{
+    auto eng = makeEngine(kLoopWat);
+    uint32_t pc = findOpcode(*eng, 0, OP_I32_CONST, 0);
+    FuncState& fs = eng->funcState(0);
+    uint32_t nonBoundary = fs.sideTable.instrBoundaries[0] + 1;
+    auto good = std::make_shared<CountProbe>();
+    std::vector<ProbeManager::SiteProbe> batch = {
+        {99, 0, std::make_shared<CountProbe>()},   // bad func index
+        {0, pc, good},                             // valid
+    };
+    if (!fs.sideTable.isInstrBoundary(nonBoundary)) {
+        batch.push_back({0, nonBoundary, std::make_shared<CountProbe>()});
+    }
+    size_t expected = 1;
+    EXPECT_EQ(eng->probes().insertBatch(batch), expected);
+    EXPECT_EQ(eng->probes().numProbedSites(), 1u);
+    run1(*eng, "f", {Value::makeI32(7)});
+    EXPECT_EQ(good->count, 7u);
+}
+
+TEST(ProbeBatch, EmptyBatchIsANoOp)
+{
+    auto eng = makeEngine(kLoopWat);
+    uint64_t epoch = eng->instrumentationEpoch;
+    std::vector<ProbeManager::SiteProbe> batch;
+    EXPECT_EQ(eng->probes().insertBatch(batch), 0u);
+    EXPECT_EQ(eng->instrumentationEpoch, epoch);
+    EXPECT_EQ(eng->probes().numProbedSites(), 0u);
+}
+
+TEST_P(ProbeModes, RemoveSelfOnGlobalProbe)
+{
+    auto eng = makeEngine(kLoopWat, cfg());
+    uint64_t fires = 0;
+    eng->probes().insertGlobal(makeProbe([&fires](ProbeContext& ctx) {
+        fires++;
+        EXPECT_TRUE(ctx.removeSelf());
+    }));
+    EXPECT_TRUE(eng->interpreterOnly());
+    run1(*eng, "f", {Value::makeI32(10)});
+    // One-shot global: fired at exactly one instruction, and the
+    // dispatch table switched back.
+    EXPECT_EQ(fires, 1u);
+    EXPECT_FALSE(eng->interpreterOnly());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Modes, ProbeModes,
     ::testing::Values(ExecMode::Interpreter, ExecMode::Jit,
