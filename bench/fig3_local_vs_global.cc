@@ -26,7 +26,7 @@ main()
 
     std::vector<std::string> csv;
     JsonReport json("fig3_local_vs_global");
-    std::vector<double> hl, hg, bl, bg;
+    std::vector<double> hl, hg, bl, bg, base_s;
     for (const BenchProgram* p : selectPrograms("polybench")) {
         uint32_t n = p->defaultN;
         auto base = measureWizard(*p, ExecMode::Interpreter, Tool::None,
@@ -47,6 +47,7 @@ main()
         hg.push_back(rHG);
         bl.push_back(rBL);
         bg.push_back(rBG);
+        base_s.push_back(base.seconds);
         printf("%-16s %12.2f | %11s %11s | %11s %11s | %14llu %14llu\n",
                p->name.c_str(), base.seconds * 1e3, fmtRatio(rHL).c_str(),
                fmtRatio(rHG).c_str(), fmtRatio(rBL).c_str(),
@@ -95,6 +96,8 @@ main()
     json.putRange("hotness_global", hg);
     json.putRange("branch_local", bl);
     json.putRange("branch_global", bg);
+    // Absolute interpreter-tier baseline (tracks dispatch tuning).
+    json.putRange("uninstr_s", base_s);
     const std::string jsonPath = json.write();
     if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;

@@ -10,6 +10,9 @@
  *
  *  - attach time: one-by-one insertLocal() vs one insertBatch() call
  *    (the batch pays one epoch bump and one list build per site);
+ *  - detach time: one-by-one removeLocal() vs one removeBatch() call
+ *    (same asymmetry on the way out — FunctionEntryExit's destructor
+ *    is the shipped consumer);
  *  - steady-state per-fire cost in the interpreter (fused single-probe
  *    sites resolve through the dense per-function site index);
  *  - steady-state per-fire cost in the compiled tier (single
@@ -222,8 +225,10 @@ main()
                    : std::vector<size_t>{10, 100, 1000, 10000};
     const uint64_t firesTarget = fastMode() ? 500000 : 2000000;
 
-    printf("%8s | %12s %12s %8s | %9s %11s | %9s %11s | %12s %12s\n",
+    printf("%8s | %12s %12s %8s | %12s %12s %8s | %9s %11s | %9s %11s "
+           "| %12s %12s\n",
            "sites", "attach-1x(us)", "attach-bat(us)", "speedup",
+           "detach-1x(us)", "detach-bat(us)", "speedup",
            "int-rel", "int(ns/fire)", "jit-rel", "jit(ns/fire)",
            "fused2-int", "fused2-jit");
 
@@ -235,28 +240,47 @@ main()
         // site's list and fusion k times, the batch exactly once. ---
         double tSingle = 1e100, tBatch = 1e100;
         double tSingle4 = 1e100, tBatch4 = 1e100;
+        double tDetSingle = 1e100, tDetBatch = 1e100;
+        double tDetSingle4 = 1e100, tDetBatch4 = 1e100;
         for (int i = 0; i < reps(); i++) {
             for (int per : {1, 4}) {
                 double& sMin = per == 1 ? tSingle : tSingle4;
                 double& bMin = per == 1 ? tBatch : tBatch4;
+                double& dsMin = per == 1 ? tDetSingle : tDetSingle4;
+                double& dbMin = per == 1 ? tDetBatch : tDetBatch4;
                 {
                     auto eng =
                         makeEngine(module, ExecMode::Interpreter, false);
                     auto sites = selectSites(*eng, s, per);
+                    // Keep (site, probe) pairs for the detach pass:
+                    // insertBatch consumes the span's probe refs.
+                    auto installed = sites;
                     double t0 = now();
                     for (auto& sp : sites) {
                         eng->probes().insertLocal(sp.funcIndex, sp.pc,
                                                   std::move(sp.probe));
                     }
                     sMin = std::min(sMin, now() - t0);
+                    // One-by-one detach: at shared sites each removal
+                    // rebuilds the member list and fused entry again.
+                    t0 = now();
+                    for (const auto& sp : installed) {
+                        eng->probes().removeLocal(sp.funcIndex, sp.pc,
+                                                  sp.probe.get());
+                    }
+                    dsMin = std::min(dsMin, now() - t0);
                 }
                 {
                     auto eng =
                         makeEngine(module, ExecMode::Interpreter, false);
                     auto sites = selectSites(*eng, s, per);
+                    auto installed = sites;
                     double t0 = now();
                     eng->probes().insertBatch(sites);
                     bMin = std::min(bMin, now() - t0);
+                    t0 = now();
+                    eng->probes().removeBatch(installed);
+                    dbMin = std::min(dbMin, now() - t0);
                 }
             }
         }
@@ -272,16 +296,24 @@ main()
         SteadyState j2 = steadyState(module, ExecMode::Jit, s, 2, n);
 
         double speedup = tBatch > 0 ? tSingle / tBatch : 0;
-        printf("%8zu | %12.1f %12.1f %8.2f | %9.2f %11.2f | %9.2f %11.2f "
-               "| %12.2f %12.2f\n",
-               s, tSingle * 1e6, tBatch * 1e6, speedup, i1.relTime,
-               i1.perFireNs, j1.relTime, j1.perFireNs, i2.perFireNs,
-               j2.perFireNs);
+        double detSpeedup = tDetBatch > 0 ? tDetSingle / tDetBatch : 0;
+        printf("%8zu | %12.1f %12.1f %8.2f | %12.1f %12.1f %8.2f "
+               "| %9.2f %11.2f | %9.2f %11.2f | %12.2f %12.2f\n",
+               s, tSingle * 1e6, tBatch * 1e6, speedup, tDetSingle * 1e6,
+               tDetBatch * 1e6, detSpeedup, i1.relTime, i1.perFireNs,
+               j1.relTime, j1.perFireNs, i2.perFireNs, j2.perFireNs);
 
         std::string key = std::to_string(s);
         json.put("attach_single_us." + key, tSingle * 1e6);
         json.put("attach_batch_us." + key, tBatch * 1e6);
         json.put("attach_speedup." + key, speedup);
+        json.put("detach_single_us." + key, tDetSingle * 1e6);
+        json.put("detach_batch_us." + key, tDetBatch * 1e6);
+        json.put("detach_speedup." + key, detSpeedup);
+        json.put("detach4_single_us." + key, tDetSingle4 * 1e6);
+        json.put("detach4_batch_us." + key, tDetBatch4 * 1e6);
+        json.put("detach4_speedup." + key,
+                 tDetBatch4 > 0 ? tDetSingle4 / tDetBatch4 : 0);
         json.put("attach4_single_us." + key, tSingle4 * 1e6);
         json.put("attach4_batch_us." + key, tBatch4 * 1e6);
         json.put("attach4_speedup." + key,
@@ -294,6 +326,8 @@ main()
         json.put("jit.fused2_perfire_ns." + key, j2.perFireNs);
         csv.push_back(key + "," + std::to_string(tSingle * 1e6) + "," +
                       std::to_string(tBatch * 1e6) + "," +
+                      std::to_string(tDetSingle * 1e6) + "," +
+                      std::to_string(tDetBatch * 1e6) + "," +
                       std::to_string(i1.relTime) + "," +
                       std::to_string(i1.perFireNs) + "," +
                       std::to_string(j1.relTime) + "," +
@@ -303,7 +337,8 @@ main()
     }
 
     writeCsv("monitor_scaling.csv",
-             "sites,attach_single_us,attach_batch_us,int_rel,"
+             "sites,attach_single_us,attach_batch_us,detach_single_us,"
+             "detach_batch_us,int_rel,"
              "int_perfire_ns,jit_rel,jit_perfire_ns,int_fused2_perfire_ns,"
              "jit_fused2_perfire_ns",
              csv);

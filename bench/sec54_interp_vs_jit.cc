@@ -4,6 +4,12 @@
  * in the interpreter (its baseline is slow), but *absolute* overheads
  * are comparable between the two tiers (paper: mean branch-monitor
  * overhead 2.6s interpreter vs 2.3s JIT).
+ *
+ * Also tracks the interpreter tier itself: absolute uninstrumented
+ * interpreter times per program (`interp_base_s.*`) and a dispatch
+ * backend comparison (threaded / switch vs the reference table
+ * backend; see docs/INTERPRETER.md). `dispatch.threaded_speedup.*`
+ * is the CI perf gate's canary for the threaded-dispatch gains.
  */
 
 #include <cstdio>
@@ -13,6 +19,25 @@
 
 using namespace wizpp;
 using namespace wizpp::bench;
+
+namespace {
+
+/** Min-of-reps uninstrumented interpreter run under @p backend. */
+double
+interpTime(const BenchProgram& p, DispatchBackend backend, uint32_t n)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    cfg.dispatch = backend;
+    double best = 1e100;
+    for (int i = 0; i < reps(); i++) {
+        best = std::min(
+            best, runWizardWithConfig(p, cfg, Tool::None, n).seconds);
+    }
+    return best;
+}
+
+} // namespace
 
 int
 main()
@@ -24,13 +49,17 @@ main()
            "rel", "rel", "abs-ovh(ms)", "rel", "rel", "abs-ovh(ms)");
 
     std::vector<double> relHI, relHJ, relBI, relBJ;
+    std::vector<double> interpBase;
     double absHI = 0, absHJ = 0, absBI = 0, absBJ = 0;
     std::vector<std::string> csv;
     int count = 0;
+    JsonReport json("sec54_interp_vs_jit");
     for (const BenchProgram* p : selectPrograms("polybench")) {
         uint32_t n = p->defaultN;
         auto iBase = measureWizard(*p, ExecMode::Interpreter, Tool::None,
                                    true, n);
+        interpBase.push_back(iBase.seconds);
+        json.put(p->name + ".interp_base_s", iBase.seconds);
         auto jBase = measureWizard(*p, ExecMode::Jit, Tool::None, true, n);
         auto hi = measureWizard(*p, ExecMode::Interpreter,
                                 Tool::HotnessLocal, true, n);
@@ -80,7 +109,35 @@ main()
     printf("  mean absolute overhead, hotness: interp %.1f ms vs jit "
            "%.1f ms\n", absHI * 1e3 / count, absHJ * 1e3 / count);
 
-    JsonReport json("sec54_interp_vs_jit");
+    // --- Interpreter dispatch backends (uninstrumented interp tier) ---
+    printf("\nDispatch backends (uninstrumented interpreter time):\n");
+    printf("%-16s | %10s %10s %10s | %9s %9s\n", "program", "table(ms)",
+           "switch(ms)", "thread(ms)", "thr-spdup", "sw-spdup");
+    std::vector<double> thrSpeedup, swSpeedup;
+    for (const BenchProgram* p : selectPrograms("polybench")) {
+        uint32_t n = p->defaultN;
+        double tTab = interpTime(*p, DispatchBackend::Table, n);
+        double tSw = interpTime(*p, DispatchBackend::Switch, n);
+        double tThr = interpTime(*p, DispatchBackend::Threaded, n);
+        thrSpeedup.push_back(tTab / tThr);
+        swSpeedup.push_back(tTab / tSw);
+        printf("%-16s | %10.2f %10.2f %10.2f | %9.2f %9.2f\n",
+               p->name.c_str(), tTab * 1e3, tSw * 1e3, tThr * 1e3,
+               tTab / tThr, tTab / tSw);
+        json.put(p->name + ".dispatch_table_s", tTab);
+        json.put(p->name + ".dispatch_switch_s", tSw);
+        json.put(p->name + ".dispatch_threaded_s", tThr);
+        // Per-program speedups: the fast-mode CI gate can only use
+        // per-program keys (summary stats aggregate over the subset).
+        json.put(p->name + ".dispatch_threaded_speedup", tTab / tThr);
+        json.put(p->name + ".dispatch_switch_speedup", tTab / tSw);
+    }
+    printf("  threaded speedup vs table: geomean %.2fx; switch: "
+           "%.2fx\n", geomean(thrSpeedup), geomean(swSpeedup));
+
+    json.putRange("interp_base_s", interpBase);
+    json.putRange("dispatch.threaded_speedup", thrSpeedup);
+    json.putRange("dispatch.switch_speedup", swSpeedup);
     json.putRange("hotness_interp_rel", relHI);
     json.putRange("hotness_jit_rel", relHJ);
     json.putRange("branch_interp_rel", relBI);

@@ -21,7 +21,7 @@ Engine::Engine(EngineConfig config) : _config(config)
 {
     _values.resize(_config.valueStackSize);
     _frames.reserve(_config.maxFrames);
-    _dispatch = interpNormalTable();
+    _dispatch = interpDispatchTable(DispatchMode::Normal);
 }
 
 Engine::~Engine() = default;
@@ -70,6 +70,14 @@ Engine::loadModule(Module m)
             fs.maxOperand = info.maxOperandStack[i];
         }
         _funcs.push_back(std::move(fs));
+    }
+    // Build the dense per-pc branch slots the interpreter's branch
+    // handlers index directly (after the moves above: the slots point
+    // into the side tables' node-stable maps).
+    for (FuncState& fs : _funcs) {
+        if (!fs.decl->imported) {
+            fs.sideTable.finalize(static_cast<uint32_t>(fs.code.size()));
+        }
     }
     _loaded = true;
     return true;
@@ -290,7 +298,8 @@ Engine::onGlobalProbesChanged()
     bool enable = _probes.hasGlobalProbes();
     if (enable == _interpreterOnly) return;
     _interpreterOnly = enable;
-    _dispatch = enable ? interpProbedTable() : interpNormalTable();
+    _dispatchMode = enable ? DispatchMode::Probed : DispatchMode::Normal;
+    _dispatch = interpDispatchTable(_dispatchMode);
     stats.dispatchTableSwitches++;
 }
 

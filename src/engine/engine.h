@@ -40,10 +40,48 @@ enum class ExecMode : uint8_t {
     Tiered,       ///< interpret first, tier up hot functions dynamically
 };
 
+/**
+ * Interpreter dispatch backend (see docs/INTERPRETER.md). All three
+ * are always compiled and behaviorally identical; they differ only in
+ * how the main loop reaches the next handler.
+ */
+enum class DispatchBackend : uint8_t {
+    Table,     ///< indirect call through a 256-entry handler table
+    Switch,    ///< portable switch-based loop
+    Threaded,  ///< computed-goto (labels-as-values) threaded dispatch
+};
+
+/**
+ * Interpreter dispatch mode: Normal maps each opcode to its handler
+ * (OP_PROBE to the local-probe handler); Probed routes *every* opcode
+ * through the global-probe stub first (Section 4.1 dispatch-table
+ * switching). Every backend keeps one jump table per mode.
+ */
+enum class DispatchMode : uint8_t { Normal, Probed };
+
+/** The build-time default backend (CMake option WIZPP_DISPATCH). */
+DispatchBackend defaultDispatchBackend();
+
+/** True if this build supports computed-goto threaded dispatch. */
+bool threadedDispatchSupported();
+
+/** Lowercase backend name ("table", "switch", "threaded"). */
+const char* dispatchBackendName(DispatchBackend b);
+
+/** Parses a backend name; returns false on an unknown name. */
+bool parseDispatchBackend(const std::string& name, DispatchBackend* out);
+
 /** Engine tuning knobs (cf. Wizard's src/engine/Tuning.v3). */
 struct EngineConfig
 {
     ExecMode mode = ExecMode::Jit;
+
+    /**
+     * Interpreter dispatch backend. Defaults to the build's configured
+     * backend (WIZPP_DISPATCH, normally threaded on GCC/Clang); tests
+     * and benchmarks override it per engine to compare backends.
+     */
+    DispatchBackend dispatch = defaultDispatchBackend();
 
     /** Intrinsify CountProbes to inline counter increments (Section 4.4). */
     bool intrinsifyCountProbe = true;
@@ -152,6 +190,9 @@ class Engine
     /** Active interpreter dispatch table (swapped for global probes). */
     const void* dispatchTable() const { return _dispatch; }
 
+    /** Active dispatch mode (Probed while global probes are attached). */
+    DispatchMode dispatchMode() const { return _dispatchMode; }
+
     /** Marks @p frame for deoptimization to the interpreter. */
     void requestDeopt(Frame* frame);
 
@@ -229,6 +270,7 @@ class Engine
     uint64_t _nextFrameId = 1;
 
     const void* _dispatch = nullptr;
+    DispatchMode _dispatchMode = DispatchMode::Normal;
     bool _interpreterOnly = false;
     bool _loaded = false;
     bool _instantiated = false;

@@ -1,7 +1,9 @@
 #include "interp/interpreter.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <mutex>
 
 #include "jit/jitcode.h"
 #include "probes/frameaccessor.h"
@@ -22,18 +24,28 @@ struct Interp
     const uint8_t* code = nullptr;
     uint32_t pc = 0;
     uint32_t sp = 0;           ///< absolute index into the value array
+    uint32_t codeSize = 0;     ///< cached fs->code.size()
+    uint32_t localsBase = 0;   ///< cached frame->localsBase
+    uint32_t stackStart = 0;   ///< cached frame->stackStart
+    /** Cached dense branch indexes (fs->sideTable.*Slots.data()). */
+    const SideTableEntry* const* branchSlots = nullptr;
+    const std::vector<SideTableEntry>* const* brTableSlots = nullptr;
     Frame* frame = nullptr;
     FuncState* fs = nullptr;
     Instance* inst = nullptr;
     const void* dispatch = nullptr;
     Signal signal = Signal::Done;
     bool exit = false;
+    /** cfg.mode == Tiered, hoisted out of the per-backedge OSR check
+        (the only mode in which backedges can ever tier up). */
+    bool osrCandidate = false;
 
     explicit Interp(Engine& e) : eng(e)
     {
         vals = e.values().data();
         inst = &e.instance();
         dispatch = e.dispatchTable();
+        osrCandidate = e.config().mode == ExecMode::Tiered;
     }
 
     void
@@ -42,8 +54,13 @@ struct Interp
         frame = &eng.frames().back();
         fs = frame->fs;
         code = fs->code.data();
+        codeSize = static_cast<uint32_t>(fs->code.size());
         pc = frame->pc;
         sp = frame->sp;
+        localsBase = frame->localsBase;
+        stackStart = frame->stackStart;
+        branchSlots = fs->sideTable.branchSlots.data();
+        brTableSlots = fs->sideTable.brTableSlots.data();
     }
 
     void
@@ -70,11 +87,19 @@ doTrap(Interp& I, TrapReason r)
     I.exit = true;
 }
 
+// Immediate readers. The code was validated at load time, so the
+// encodings are known well-formed; the hot single-byte case skips the
+// checked decoder entirely.
+
 inline uint32_t
 readU32Imm(Interp& I, uint32_t at, size_t* len)
 {
-    auto r = decodeULEB<uint32_t>(I.code + at,
-                                  I.code + I.fs->code.size());
+    uint8_t b = I.code[at];
+    if (__builtin_expect(b < 0x80, 1)) {
+        *len = 1;
+        return b;
+    }
+    auto r = decodeULEB<uint32_t>(I.code + at, I.code + I.codeSize);
     *len = r.length;
     return r.value;
 }
@@ -87,7 +112,7 @@ readU32Imm(Interp& I, uint32_t at, size_t* len)
 inline void
 applyBranch(Interp& I, const SideTableEntry& e)
 {
-    uint32_t dst = I.frame->stackStart + e.popTo;
+    uint32_t dst = I.stackStart + e.popTo;
     uint32_t srcBase = I.sp - e.valCount;
     for (uint32_t i = 0; i < e.valCount; i++) {
         I.vals[dst + i] = I.vals[srcBase + i];
@@ -103,10 +128,10 @@ applyBranch(Interp& I, const SideTableEntry& e)
 inline void
 maybeOsr(Interp& I, uint32_t targetPc, uint32_t fromPc)
 {
-    if (targetPc > fromPc) return;  // not a backedge
+    if (targetPc > fromPc || !I.osrCandidate) return;  // not a backedge
     Engine& eng = I.eng;
     const EngineConfig& cfg = eng.config();
-    if (cfg.mode != ExecMode::Tiered || eng.interpreterOnly()) return;
+    if (eng.interpreterOnly()) return;
     FuncState* fs = I.fs;
     if (!fs->jit) {
         if (++fs->hotness < cfg.tierUpThreshold) return;
@@ -149,6 +174,10 @@ h_loop(Interp& I)
     I.pc += 2;
 }
 
+// Branch handlers resolve their side-table entry through the dense
+// per-pc slots built by SideTable::finalize() — one array load per
+// executed branch instead of a hash lookup.
+
 void
 h_if(Interp& I)
 {
@@ -156,7 +185,7 @@ h_if(Interp& I)
     if (cond) {
         I.pc += 2;
     } else {
-        applyBranch(I, I.fs->sideTable.branchAt(I.pc));
+        applyBranch(I, (*I.branchSlots[I.pc]));
     }
 }
 
@@ -164,14 +193,14 @@ void
 h_else(Interp& I)
 {
     // Reached only by falling out of a then-branch: skip to after `end`.
-    applyBranch(I, I.fs->sideTable.branchAt(I.pc));
+    applyBranch(I, (*I.branchSlots[I.pc]));
 }
 
 void
 h_br(Interp& I)
 {
     uint32_t from = I.pc;
-    applyBranch(I, I.fs->sideTable.branchAt(I.pc));
+    applyBranch(I, (*I.branchSlots[I.pc]));
     maybeOsr(I, I.pc, from);
 }
 
@@ -181,7 +210,7 @@ h_br_if(Interp& I)
     uint32_t cond = I.vals[--I.sp].i32();
     if (cond) {
         uint32_t from = I.pc;
-        applyBranch(I, I.fs->sideTable.branchAt(I.pc));
+        applyBranch(I, (*I.branchSlots[I.pc]));
         maybeOsr(I, I.pc, from);
     } else {
         size_t len;
@@ -194,7 +223,7 @@ void
 h_br_table(Interp& I)
 {
     uint32_t idx = I.vals[--I.sp].i32();
-    const auto& entries = I.fs->sideTable.brTableAt(I.pc);
+    const auto& entries = *I.brTableSlots[I.pc];
     uint32_t n = static_cast<uint32_t>(entries.size()) - 1;  // last=default
     const SideTableEntry& e = entries[idx < n ? idx : n];
     uint32_t from = I.pc;
@@ -253,7 +282,7 @@ h_return(Interp& I)
 void
 h_end(Interp& I)
 {
-    if (I.pc + 1 == I.fs->code.size()) {
+    if (I.pc + 1 == I.codeSize) {
         doReturn(I);
     } else {
         I.pc += 1;
@@ -406,7 +435,7 @@ h_local_get(Interp& I)
 {
     size_t len;
     uint32_t idx = readU32Imm(I, I.pc + 1, &len);
-    I.vals[I.sp++] = I.vals[I.frame->localsBase + idx];
+    I.vals[I.sp++] = I.vals[I.localsBase + idx];
     I.pc += 1 + static_cast<uint32_t>(len);
 }
 
@@ -415,7 +444,7 @@ h_local_set(Interp& I)
 {
     size_t len;
     uint32_t idx = readU32Imm(I, I.pc + 1, &len);
-    I.vals[I.frame->localsBase + idx] = I.vals[--I.sp];
+    I.vals[I.localsBase + idx] = I.vals[--I.sp];
     I.pc += 1 + static_cast<uint32_t>(len);
 }
 
@@ -424,7 +453,7 @@ h_local_tee(Interp& I)
 {
     size_t len;
     uint32_t idx = readU32Imm(I, I.pc + 1, &len);
-    I.vals[I.frame->localsBase + idx] = I.vals[I.sp - 1];
+    I.vals[I.localsBase + idx] = I.vals[I.sp - 1];
     I.pc += 1 + static_cast<uint32_t>(len);
 }
 
@@ -455,7 +484,12 @@ inline uint32_t
 readMemArg(Interp& I, uint32_t* offset)
 {
     const uint8_t* base = I.code + I.pc + 1;
-    const uint8_t* end = I.code + I.fs->code.size();
+    // Fast path: both align and offset fit in one LEB byte each.
+    if (__builtin_expect((base[0] | base[1]) < 0x80, 1)) {
+        *offset = base[1];
+        return 3;
+    }
+    const uint8_t* end = I.code + I.codeSize;
     auto a = decodeULEB<uint32_t>(base, end);
     auto o = decodeULEB<uint32_t>(base + a.length, end);
     *offset = o.value;
@@ -541,8 +575,15 @@ h_memory_grow(Interp& I)
 void
 h_i32_const(Interp& I)
 {
-    auto r = decodeSLEB<int32_t>(I.code + I.pc + 1,
-                                 I.code + I.fs->code.size());
+    uint8_t b = I.code[I.pc + 1];
+    if (__builtin_expect(b < 0x80, 1)) {
+        // Single-byte SLEB: sign-extend from bit 6.
+        int32_t v = static_cast<int32_t>(b << 25) >> 25;
+        I.vals[I.sp++] = Value::makeI32(v);
+        I.pc += 2;
+        return;
+    }
+    auto r = decodeSLEB<int32_t>(I.code + I.pc + 1, I.code + I.codeSize);
     I.vals[I.sp++] = Value::makeI32(r.value);
     I.pc += 1 + static_cast<uint32_t>(r.length);
 }
@@ -550,8 +591,15 @@ h_i32_const(Interp& I)
 void
 h_i64_const(Interp& I)
 {
-    auto r = decodeSLEB<int64_t>(I.code + I.pc + 1,
-                                 I.code + I.fs->code.size());
+    uint8_t b = I.code[I.pc + 1];
+    if (__builtin_expect(b < 0x80, 1)) {
+        int64_t v = static_cast<int64_t>(
+            static_cast<int32_t>(b << 25) >> 25);
+        I.vals[I.sp++] = Value::makeI64(v);
+        I.pc += 2;
+        return;
+    }
+    auto r = decodeSLEB<int64_t>(I.code + I.pc + 1, I.code + I.codeSize);
     I.vals[I.sp++] = Value::makeI64(r.value);
     I.pc += 1 + static_cast<uint32_t>(r.length);
 }
@@ -917,7 +965,7 @@ void
 h_prefix_fc(Interp& I)
 {
     auto sub = decodeULEB<uint32_t>(I.code + I.pc + 1,
-                                    I.code + I.fs->code.size());
+                                    I.code + I.codeSize);
     uint32_t len = 1 + static_cast<uint32_t>(sub.length);
     switch (sub.value) {
       case FC_I32_TRUNC_SAT_F32_S:
@@ -998,90 +1046,315 @@ h_illegal(Interp& I)
 // ---------------------------------------------------------------------
 
 /**
- * Local probe handler: the interpreter tripped over an OP_PROBE byte
- * written by bytecode overwriting. Resolves the site through the dense
- * per-function index (two array loads, no hashing), makes exactly one
- * virtual call — the site's fused firing entry — and then executes the
- * saved original instruction.
+ * Probe-path outcome: the byte to execute next (the instruction the
+ * probed site covers) and the — possibly epoch-refreshed — dispatch
+ * table pointer the loop should continue with.
  */
-void
-h_probe(Interp& I)
+struct ProbeStep
 {
-    uint32_t pc = I.pc;
-    ProbeManager& pm = I.eng.probes();
+    uint8_t op;
+    const void* dispatch;
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+#define WIZPP_NOINLINE __attribute__((noinline))
+#else
+#define WIZPP_NOINLINE
+#endif
+
+/**
+ * Out-of-line core of the local-probe handler: the interpreter tripped
+ * over an OP_PROBE byte written by bytecode overwriting. Resolves the
+ * site through the dense per-function index (two array loads, no
+ * hashing), makes exactly one virtual call — the site's fused firing
+ * entry — and reports the saved original instruction byte to execute.
+ *
+ * The caller must have checkpointed frame->pc/sp. Deliberately takes
+ * no pointer into the caller's loop state: the threaded backend's
+ * Interp stays register-allocatable because its address never escapes.
+ */
+WIZPP_NOINLINE ProbeStep
+probeStep(Engine& eng, Frame* frame, FuncState* fs, uint32_t pc,
+          const void* dispatch)
+{
+    ProbeManager& pm = eng.probes();
     // One dense lookup fetches the firing entry and the original byte.
     // The shared_ptr snapshot keeps the entry alive even if the firing
     // probes re-fuse or remove this very site mid-fire.
-    ProbeManager::SiteView site = pm.siteFor(I.fs->funcIndex, pc);
+    ProbeManager::SiteView site = pm.siteFor(fs->funcIndex, pc);
     if (!site.fired) {
         // The site vanished between opcode fetch and lookup — a global
         // probe firing at this instruction removed its local probes.
         // The code byte was restored with the site, so re-dispatch the
         // (now original) instruction.
-        gNormalTable[I.code[pc]](I);
-        return;
+        return {fs->code[pc], dispatch};
     }
-    if (I.frame->skipProbeOncePc == pc) {
+    if (frame->skipProbeOncePc == pc) {
         // Resuming after a deopt at this site: probes already fired in
         // the compiled tier.
-        I.frame->skipProbeOncePc = kNoPc;
-        gNormalTable[site.originalByte](I);
-        return;
+        frame->skipProbeOncePc = kNoPc;
+        return {site.originalByte, dispatch};
     }
-    I.sync();
-    uint64_t epoch = I.eng.instrumentationEpoch;
-    pm.fireSite(site, I.frame, I.fs, pc);
-    // Invariant: every instrumentation change — probe insert/remove
-    // (single or batch), deopt request — bumps instrumentationEpoch,
-    // and the dispatch table is only ever swapped under such a bump
-    // (onGlobalProbesChanged). So an unchanged epoch proves the cached
-    // dispatch pointer is still current; on a bump, re-read it, because
-    // the fired M-code may have toggled global probes this occurrence.
-    if (I.eng.instrumentationEpoch != epoch) {
-        I.dispatch = I.eng.dispatchTable();
+    uint64_t epoch = eng.instrumentationEpoch;
+    pm.fireSite(site, frame, fs, pc);
+    // Epoch-gated refresh of the cached dispatch pointer (the fired
+    // M-code may have toggled global probes); the invariant making
+    // this sufficient is documented in docs/INTERPRETER.md.
+    if (eng.instrumentationEpoch != epoch) {
+        dispatch = eng.dispatchTable();
     }
     // Frame modifications are already visible to the interpreter (it
     // reads the shared value array), so it never deoptimizes; clear any
     // request the M-code raised so the driver does not bounce the frame.
-    I.frame->deoptRequested = false;
-    gNormalTable[site.originalByte](I);
+    frame->deoptRequested = false;
+    return {site.originalByte, dispatch};
 }
 
 /**
- * Global-probe stub: every entry of the instrumented dispatch table
- * points here. Fires global probes, then dispatches the instruction
- * through the normal table (which handles OP_PROBE bytes, so local
- * probes still fire after global ones).
+ * Out-of-line core of the global-probe stub: fires global probes and
+ * reports the live opcode byte, which the caller dispatches through
+ * the *normal* table/labels (so OP_PROBE bytes still reach the local
+ * probes after global ones). Same no-escape contract as probeStep.
  */
-void
-h_global_stub(Interp& I)
+WIZPP_NOINLINE ProbeStep
+globalStep(Engine& eng, Frame* frame, FuncState* fs, uint32_t pc,
+           const void* dispatch)
 {
     // Read the opcode before firing: probes inserted at this very
     // location during the firing are deferred to its next occurrence.
-    uint8_t op = I.code[I.pc];
-    if (I.frame->skipProbeOncePc == I.pc) {
+    uint8_t op = fs->code[pc];
+    if (frame->skipProbeOncePc == pc) {
         // Deopt resume: this instruction's probes (global and local)
         // already fired before the frame left the compiled tier.
-        if (op != OP_PROBE) I.frame->skipProbeOncePc = kNoPc;
-        gNormalTable[op](I);  // h_probe consumes the flag for locals
-        return;
+        if (op != OP_PROBE) frame->skipProbeOncePc = kNoPc;
+        return {op, dispatch};  // probeStep consumes the flag for locals
     }
+    uint64_t epoch = eng.instrumentationEpoch;
+    eng.probes().fireGlobal(frame, fs, pc);
+    // Epoch-gated refresh, same as probeStep (docs/INTERPRETER.md);
+    // the common case here is the last global probe removing itself.
+    if (eng.instrumentationEpoch != epoch) {
+        dispatch = eng.dispatchTable();
+    }
+    frame->deoptRequested = false;
+    return {op, dispatch};
+}
+
+/** Local probe handler (table/switch backends). */
+void
+h_probe(Interp& I)
+{
     I.sync();
-    uint64_t epoch = I.eng.instrumentationEpoch;
-    I.eng.probes().fireGlobal(I.frame, I.fs, I.pc);
-    // Same invariant as h_probe: dispatch-table swaps always ride an
-    // instrumentationEpoch bump, so the cached pointer is only re-read
-    // when the epoch moved (e.g. the last global probe removed itself
-    // and the engine switched back to the normal table).
-    if (I.eng.instrumentationEpoch != epoch) {
-        I.dispatch = I.eng.dispatchTable();
-    }
-    I.frame->deoptRequested = false;
-    gNormalTable[op](I);
+    ProbeStep s = probeStep(I.eng, I.frame, I.fs, I.pc, I.dispatch);
+    I.dispatch = s.dispatch;
+    gNormalTable[s.op](I);
+}
+
+/** Global-probe stub (table/switch backends): every entry of the
+    instrumented dispatch table points here. */
+void
+h_global_stub(Interp& I)
+{
+    I.sync();
+    ProbeStep s = globalStep(I.eng, I.frame, I.fs, I.pc, I.dispatch);
+    I.dispatch = s.dispatch;
+    gNormalTable[s.op](I);
 }
 
 // ---------------------------------------------------------------------
-// Dispatch table construction
+// Opcode -> handler map (single source of truth for all backends)
+// ---------------------------------------------------------------------
+
+/**
+ * X(OPCODE, name) for every opcode whose handler is h_<name>. Every
+ * dispatch backend is generated from this one list, so the three
+ * backends cannot drift apart. OP_PROBE is intentionally absent: its
+ * handler may swap the dispatch table mid-loop, so each backend wires
+ * it (and the global-probe stub) explicitly.
+ */
+#define WIZPP_FOR_EACH_OPCODE(X)                                        \
+    X(OP_UNREACHABLE, unreachable)                                      \
+    X(OP_NOP, nop)                                                      \
+    X(OP_BLOCK, block)                                                  \
+    X(OP_LOOP, loop)                                                    \
+    X(OP_IF, if)                                                        \
+    X(OP_ELSE, else)                                                    \
+    X(OP_END, end)                                                      \
+    X(OP_BR, br)                                                        \
+    X(OP_BR_IF, br_if)                                                  \
+    X(OP_BR_TABLE, br_table)                                            \
+    X(OP_RETURN, return)                                                \
+    X(OP_CALL, call)                                                    \
+    X(OP_CALL_INDIRECT, call_indirect)                                  \
+    X(OP_DROP, drop)                                                    \
+    X(OP_SELECT, select)                                                \
+    X(OP_LOCAL_GET, local_get)                                          \
+    X(OP_LOCAL_SET, local_set)                                          \
+    X(OP_LOCAL_TEE, local_tee)                                          \
+    X(OP_GLOBAL_GET, global_get)                                        \
+    X(OP_GLOBAL_SET, global_set)                                        \
+    X(OP_I32_LOAD, i32_load)                                            \
+    X(OP_I64_LOAD, i64_load)                                            \
+    X(OP_F32_LOAD, f32_load)                                            \
+    X(OP_F64_LOAD, f64_load)                                            \
+    X(OP_I32_LOAD8_S, i32_load8_s)                                      \
+    X(OP_I32_LOAD8_U, i32_load8_u)                                      \
+    X(OP_I32_LOAD16_S, i32_load16_s)                                    \
+    X(OP_I32_LOAD16_U, i32_load16_u)                                    \
+    X(OP_I64_LOAD8_S, i64_load8_s)                                      \
+    X(OP_I64_LOAD8_U, i64_load8_u)                                      \
+    X(OP_I64_LOAD16_S, i64_load16_s)                                    \
+    X(OP_I64_LOAD16_U, i64_load16_u)                                    \
+    X(OP_I64_LOAD32_S, i64_load32_s)                                    \
+    X(OP_I64_LOAD32_U, i64_load32_u)                                    \
+    X(OP_I32_STORE, i32_store)                                          \
+    X(OP_I64_STORE, i64_store)                                          \
+    X(OP_F32_STORE, f32_store)                                          \
+    X(OP_F64_STORE, f64_store)                                          \
+    X(OP_I32_STORE8, i32_store8)                                        \
+    X(OP_I32_STORE16, i32_store16)                                      \
+    X(OP_I64_STORE8, i64_store8)                                        \
+    X(OP_I64_STORE16, i64_store16)                                      \
+    X(OP_I64_STORE32, i64_store32)                                      \
+    X(OP_MEMORY_SIZE, memory_size)                                      \
+    X(OP_MEMORY_GROW, memory_grow)                                      \
+    X(OP_I32_CONST, i32_const)                                          \
+    X(OP_I64_CONST, i64_const)                                          \
+    X(OP_F32_CONST, f32_const)                                          \
+    X(OP_F64_CONST, f64_const)                                          \
+    X(OP_I32_EQZ, i32_eqz)                                              \
+    X(OP_I32_EQ, i32_eq)                                                \
+    X(OP_I32_NE, i32_ne)                                                \
+    X(OP_I32_LT_S, i32_lt_s)                                            \
+    X(OP_I32_LT_U, i32_lt_u)                                            \
+    X(OP_I32_GT_S, i32_gt_s)                                            \
+    X(OP_I32_GT_U, i32_gt_u)                                            \
+    X(OP_I32_LE_S, i32_le_s)                                            \
+    X(OP_I32_LE_U, i32_le_u)                                            \
+    X(OP_I32_GE_S, i32_ge_s)                                            \
+    X(OP_I32_GE_U, i32_ge_u)                                            \
+    X(OP_I64_EQZ, i64_eqz)                                              \
+    X(OP_I64_EQ, i64_eq)                                                \
+    X(OP_I64_NE, i64_ne)                                                \
+    X(OP_I64_LT_S, i64_lt_s)                                            \
+    X(OP_I64_LT_U, i64_lt_u)                                            \
+    X(OP_I64_GT_S, i64_gt_s)                                            \
+    X(OP_I64_GT_U, i64_gt_u)                                            \
+    X(OP_I64_LE_S, i64_le_s)                                            \
+    X(OP_I64_LE_U, i64_le_u)                                            \
+    X(OP_I64_GE_S, i64_ge_s)                                            \
+    X(OP_I64_GE_U, i64_ge_u)                                            \
+    X(OP_F32_EQ, f32_eq)                                                \
+    X(OP_F32_NE, f32_ne)                                                \
+    X(OP_F32_LT, f32_lt)                                                \
+    X(OP_F32_GT, f32_gt)                                                \
+    X(OP_F32_LE, f32_le)                                                \
+    X(OP_F32_GE, f32_ge)                                                \
+    X(OP_F64_EQ, f64_eq)                                                \
+    X(OP_F64_NE, f64_ne)                                                \
+    X(OP_F64_LT, f64_lt)                                                \
+    X(OP_F64_GT, f64_gt)                                                \
+    X(OP_F64_LE, f64_le)                                                \
+    X(OP_F64_GE, f64_ge)                                                \
+    X(OP_I32_CLZ, i32_clz)                                              \
+    X(OP_I32_CTZ, i32_ctz)                                              \
+    X(OP_I32_POPCNT, i32_popcnt)                                        \
+    X(OP_I32_ADD, i32_add)                                              \
+    X(OP_I32_SUB, i32_sub)                                              \
+    X(OP_I32_MUL, i32_mul)                                              \
+    X(OP_I32_DIV_S, i32_div_s)                                          \
+    X(OP_I32_DIV_U, i32_div_u)                                          \
+    X(OP_I32_REM_S, i32_rem_s)                                          \
+    X(OP_I32_REM_U, i32_rem_u)                                          \
+    X(OP_I32_AND, i32_and)                                              \
+    X(OP_I32_OR, i32_or)                                                \
+    X(OP_I32_XOR, i32_xor)                                              \
+    X(OP_I32_SHL, i32_shl)                                              \
+    X(OP_I32_SHR_S, i32_shr_s)                                          \
+    X(OP_I32_SHR_U, i32_shr_u)                                          \
+    X(OP_I32_ROTL, i32_rotl)                                            \
+    X(OP_I32_ROTR, i32_rotr)                                            \
+    X(OP_I64_CLZ, i64_clz)                                              \
+    X(OP_I64_CTZ, i64_ctz)                                              \
+    X(OP_I64_POPCNT, i64_popcnt)                                        \
+    X(OP_I64_ADD, i64_add)                                              \
+    X(OP_I64_SUB, i64_sub)                                              \
+    X(OP_I64_MUL, i64_mul)                                              \
+    X(OP_I64_DIV_S, i64_div_s)                                          \
+    X(OP_I64_DIV_U, i64_div_u)                                          \
+    X(OP_I64_REM_S, i64_rem_s)                                          \
+    X(OP_I64_REM_U, i64_rem_u)                                          \
+    X(OP_I64_AND, i64_and)                                              \
+    X(OP_I64_OR, i64_or)                                                \
+    X(OP_I64_XOR, i64_xor)                                              \
+    X(OP_I64_SHL, i64_shl)                                              \
+    X(OP_I64_SHR_S, i64_shr_s)                                          \
+    X(OP_I64_SHR_U, i64_shr_u)                                          \
+    X(OP_I64_ROTL, i64_rotl)                                            \
+    X(OP_I64_ROTR, i64_rotr)                                            \
+    X(OP_F32_ABS, f32_abs)                                              \
+    X(OP_F32_NEG, f32_neg)                                              \
+    X(OP_F32_CEIL, f32_ceil)                                            \
+    X(OP_F32_FLOOR, f32_floor)                                          \
+    X(OP_F32_TRUNC, f32_trunc)                                          \
+    X(OP_F32_NEAREST, f32_nearest)                                      \
+    X(OP_F32_SQRT, f32_sqrt)                                            \
+    X(OP_F32_ADD, f32_add)                                              \
+    X(OP_F32_SUB, f32_sub)                                              \
+    X(OP_F32_MUL, f32_mul)                                              \
+    X(OP_F32_DIV, f32_div)                                              \
+    X(OP_F32_MIN, f32_min)                                              \
+    X(OP_F32_MAX, f32_max)                                              \
+    X(OP_F32_COPYSIGN, f32_copysign)                                    \
+    X(OP_F64_ABS, f64_abs)                                              \
+    X(OP_F64_NEG, f64_neg)                                              \
+    X(OP_F64_CEIL, f64_ceil)                                            \
+    X(OP_F64_FLOOR, f64_floor)                                          \
+    X(OP_F64_TRUNC, f64_trunc)                                          \
+    X(OP_F64_NEAREST, f64_nearest)                                      \
+    X(OP_F64_SQRT, f64_sqrt)                                            \
+    X(OP_F64_ADD, f64_add)                                              \
+    X(OP_F64_SUB, f64_sub)                                              \
+    X(OP_F64_MUL, f64_mul)                                              \
+    X(OP_F64_DIV, f64_div)                                              \
+    X(OP_F64_MIN, f64_min)                                              \
+    X(OP_F64_MAX, f64_max)                                              \
+    X(OP_F64_COPYSIGN, f64_copysign)                                    \
+    X(OP_I32_WRAP_I64, i32_wrap_i64)                                    \
+    X(OP_I32_TRUNC_F32_S, i32_trunc_f32_s)                              \
+    X(OP_I32_TRUNC_F32_U, i32_trunc_f32_u)                              \
+    X(OP_I32_TRUNC_F64_S, i32_trunc_f64_s)                              \
+    X(OP_I32_TRUNC_F64_U, i32_trunc_f64_u)                              \
+    X(OP_I64_EXTEND_I32_S, i64_extend_i32_s)                            \
+    X(OP_I64_EXTEND_I32_U, i64_extend_i32_u)                            \
+    X(OP_I64_TRUNC_F32_S, i64_trunc_f32_s)                              \
+    X(OP_I64_TRUNC_F32_U, i64_trunc_f32_u)                              \
+    X(OP_I64_TRUNC_F64_S, i64_trunc_f64_s)                              \
+    X(OP_I64_TRUNC_F64_U, i64_trunc_f64_u)                              \
+    X(OP_F32_CONVERT_I32_S, f32_convert_i32_s)                          \
+    X(OP_F32_CONVERT_I32_U, f32_convert_i32_u)                          \
+    X(OP_F32_CONVERT_I64_S, f32_convert_i64_s)                          \
+    X(OP_F32_CONVERT_I64_U, f32_convert_i64_u)                          \
+    X(OP_F32_DEMOTE_F64, f32_demote_f64)                                \
+    X(OP_F64_CONVERT_I32_S, f64_convert_i32_s)                          \
+    X(OP_F64_CONVERT_I32_U, f64_convert_i32_u)                          \
+    X(OP_F64_CONVERT_I64_S, f64_convert_i64_s)                          \
+    X(OP_F64_CONVERT_I64_U, f64_convert_i64_u)                          \
+    X(OP_F64_PROMOTE_F32, f64_promote_f32)                              \
+    X(OP_I32_REINTERPRET_F32, i32_reinterpret_f32)                      \
+    X(OP_I64_REINTERPRET_F64, i64_reinterpret_f64)                      \
+    X(OP_F32_REINTERPRET_I32, f32_reinterpret_i32)                      \
+    X(OP_F64_REINTERPRET_I64, f64_reinterpret_i64)                      \
+    X(OP_I32_EXTEND8_S, i32_extend8_s)                                  \
+    X(OP_I32_EXTEND16_S, i32_extend16_s)                                \
+    X(OP_I64_EXTEND8_S, i64_extend8_s)                                  \
+    X(OP_I64_EXTEND16_S, i64_extend16_s)                                \
+    X(OP_I64_EXTEND32_S, i64_extend32_s)                                \
+    X(OP_PREFIX_FC, prefix_fc)
+
+// ---------------------------------------------------------------------
+// Dispatch table construction (the reference `table` backend's tables;
+// the probe handlers also re-dispatch overwritten bytes through them)
 // ---------------------------------------------------------------------
 
 struct TableInit
@@ -1090,209 +1363,33 @@ struct TableInit
     {
         for (auto& h : gNormalTable) h = h_illegal;
         for (auto& h : gProbedTable) h = h_global_stub;
-
-        auto set = [&](uint8_t op, OpHandler h) { gNormalTable[op] = h; };
-
-        set(OP_UNREACHABLE, h_unreachable);
-        set(OP_NOP, h_nop);
-        set(OP_BLOCK, h_block);
-        set(OP_LOOP, h_loop);
-        set(OP_IF, h_if);
-        set(OP_ELSE, h_else);
-        set(OP_END, h_end);
-        set(OP_BR, h_br);
-        set(OP_BR_IF, h_br_if);
-        set(OP_BR_TABLE, h_br_table);
-        set(OP_RETURN, h_return);
-        set(OP_CALL, h_call);
-        set(OP_CALL_INDIRECT, h_call_indirect);
-        set(OP_DROP, h_drop);
-        set(OP_SELECT, h_select);
-        set(OP_LOCAL_GET, h_local_get);
-        set(OP_LOCAL_SET, h_local_set);
-        set(OP_LOCAL_TEE, h_local_tee);
-        set(OP_GLOBAL_GET, h_global_get);
-        set(OP_GLOBAL_SET, h_global_set);
-        set(OP_I32_LOAD, h_i32_load);
-        set(OP_I64_LOAD, h_i64_load);
-        set(OP_F32_LOAD, h_f32_load);
-        set(OP_F64_LOAD, h_f64_load);
-        set(OP_I32_LOAD8_S, h_i32_load8_s);
-        set(OP_I32_LOAD8_U, h_i32_load8_u);
-        set(OP_I32_LOAD16_S, h_i32_load16_s);
-        set(OP_I32_LOAD16_U, h_i32_load16_u);
-        set(OP_I64_LOAD8_S, h_i64_load8_s);
-        set(OP_I64_LOAD8_U, h_i64_load8_u);
-        set(OP_I64_LOAD16_S, h_i64_load16_s);
-        set(OP_I64_LOAD16_U, h_i64_load16_u);
-        set(OP_I64_LOAD32_S, h_i64_load32_s);
-        set(OP_I64_LOAD32_U, h_i64_load32_u);
-        set(OP_I32_STORE, h_i32_store);
-        set(OP_I64_STORE, h_i64_store);
-        set(OP_F32_STORE, h_f32_store);
-        set(OP_F64_STORE, h_f64_store);
-        set(OP_I32_STORE8, h_i32_store8);
-        set(OP_I32_STORE16, h_i32_store16);
-        set(OP_I64_STORE8, h_i64_store8);
-        set(OP_I64_STORE16, h_i64_store16);
-        set(OP_I64_STORE32, h_i64_store32);
-        set(OP_MEMORY_SIZE, h_memory_size);
-        set(OP_MEMORY_GROW, h_memory_grow);
-        set(OP_I32_CONST, h_i32_const);
-        set(OP_I64_CONST, h_i64_const);
-        set(OP_F32_CONST, h_f32_const);
-        set(OP_F64_CONST, h_f64_const);
-        set(OP_I32_EQZ, h_i32_eqz);
-        set(OP_I32_EQ, h_i32_eq);
-        set(OP_I32_NE, h_i32_ne);
-        set(OP_I32_LT_S, h_i32_lt_s);
-        set(OP_I32_LT_U, h_i32_lt_u);
-        set(OP_I32_GT_S, h_i32_gt_s);
-        set(OP_I32_GT_U, h_i32_gt_u);
-        set(OP_I32_LE_S, h_i32_le_s);
-        set(OP_I32_LE_U, h_i32_le_u);
-        set(OP_I32_GE_S, h_i32_ge_s);
-        set(OP_I32_GE_U, h_i32_ge_u);
-        set(OP_I64_EQZ, h_i64_eqz);
-        set(OP_I64_EQ, h_i64_eq);
-        set(OP_I64_NE, h_i64_ne);
-        set(OP_I64_LT_S, h_i64_lt_s);
-        set(OP_I64_LT_U, h_i64_lt_u);
-        set(OP_I64_GT_S, h_i64_gt_s);
-        set(OP_I64_GT_U, h_i64_gt_u);
-        set(OP_I64_LE_S, h_i64_le_s);
-        set(OP_I64_LE_U, h_i64_le_u);
-        set(OP_I64_GE_S, h_i64_ge_s);
-        set(OP_I64_GE_U, h_i64_ge_u);
-        set(OP_F32_EQ, h_f32_eq);
-        set(OP_F32_NE, h_f32_ne);
-        set(OP_F32_LT, h_f32_lt);
-        set(OP_F32_GT, h_f32_gt);
-        set(OP_F32_LE, h_f32_le);
-        set(OP_F32_GE, h_f32_ge);
-        set(OP_F64_EQ, h_f64_eq);
-        set(OP_F64_NE, h_f64_ne);
-        set(OP_F64_LT, h_f64_lt);
-        set(OP_F64_GT, h_f64_gt);
-        set(OP_F64_LE, h_f64_le);
-        set(OP_F64_GE, h_f64_ge);
-        set(OP_I32_CLZ, h_i32_clz);
-        set(OP_I32_CTZ, h_i32_ctz);
-        set(OP_I32_POPCNT, h_i32_popcnt);
-        set(OP_I32_ADD, h_i32_add);
-        set(OP_I32_SUB, h_i32_sub);
-        set(OP_I32_MUL, h_i32_mul);
-        set(OP_I32_DIV_S, h_i32_div_s);
-        set(OP_I32_DIV_U, h_i32_div_u);
-        set(OP_I32_REM_S, h_i32_rem_s);
-        set(OP_I32_REM_U, h_i32_rem_u);
-        set(OP_I32_AND, h_i32_and);
-        set(OP_I32_OR, h_i32_or);
-        set(OP_I32_XOR, h_i32_xor);
-        set(OP_I32_SHL, h_i32_shl);
-        set(OP_I32_SHR_S, h_i32_shr_s);
-        set(OP_I32_SHR_U, h_i32_shr_u);
-        set(OP_I32_ROTL, h_i32_rotl);
-        set(OP_I32_ROTR, h_i32_rotr);
-        set(OP_I64_CLZ, h_i64_clz);
-        set(OP_I64_CTZ, h_i64_ctz);
-        set(OP_I64_POPCNT, h_i64_popcnt);
-        set(OP_I64_ADD, h_i64_add);
-        set(OP_I64_SUB, h_i64_sub);
-        set(OP_I64_MUL, h_i64_mul);
-        set(OP_I64_DIV_S, h_i64_div_s);
-        set(OP_I64_DIV_U, h_i64_div_u);
-        set(OP_I64_REM_S, h_i64_rem_s);
-        set(OP_I64_REM_U, h_i64_rem_u);
-        set(OP_I64_AND, h_i64_and);
-        set(OP_I64_OR, h_i64_or);
-        set(OP_I64_XOR, h_i64_xor);
-        set(OP_I64_SHL, h_i64_shl);
-        set(OP_I64_SHR_S, h_i64_shr_s);
-        set(OP_I64_SHR_U, h_i64_shr_u);
-        set(OP_I64_ROTL, h_i64_rotl);
-        set(OP_I64_ROTR, h_i64_rotr);
-        set(OP_F32_ABS, h_f32_abs);
-        set(OP_F32_NEG, h_f32_neg);
-        set(OP_F32_CEIL, h_f32_ceil);
-        set(OP_F32_FLOOR, h_f32_floor);
-        set(OP_F32_TRUNC, h_f32_trunc);
-        set(OP_F32_NEAREST, h_f32_nearest);
-        set(OP_F32_SQRT, h_f32_sqrt);
-        set(OP_F32_ADD, h_f32_add);
-        set(OP_F32_SUB, h_f32_sub);
-        set(OP_F32_MUL, h_f32_mul);
-        set(OP_F32_DIV, h_f32_div);
-        set(OP_F32_MIN, h_f32_min);
-        set(OP_F32_MAX, h_f32_max);
-        set(OP_F32_COPYSIGN, h_f32_copysign);
-        set(OP_F64_ABS, h_f64_abs);
-        set(OP_F64_NEG, h_f64_neg);
-        set(OP_F64_CEIL, h_f64_ceil);
-        set(OP_F64_FLOOR, h_f64_floor);
-        set(OP_F64_TRUNC, h_f64_trunc);
-        set(OP_F64_NEAREST, h_f64_nearest);
-        set(OP_F64_SQRT, h_f64_sqrt);
-        set(OP_F64_ADD, h_f64_add);
-        set(OP_F64_SUB, h_f64_sub);
-        set(OP_F64_MUL, h_f64_mul);
-        set(OP_F64_DIV, h_f64_div);
-        set(OP_F64_MIN, h_f64_min);
-        set(OP_F64_MAX, h_f64_max);
-        set(OP_F64_COPYSIGN, h_f64_copysign);
-        set(OP_I32_WRAP_I64, h_i32_wrap_i64);
-        set(OP_I32_TRUNC_F32_S, h_i32_trunc_f32_s);
-        set(OP_I32_TRUNC_F32_U, h_i32_trunc_f32_u);
-        set(OP_I32_TRUNC_F64_S, h_i32_trunc_f64_s);
-        set(OP_I32_TRUNC_F64_U, h_i32_trunc_f64_u);
-        set(OP_I64_EXTEND_I32_S, h_i64_extend_i32_s);
-        set(OP_I64_EXTEND_I32_U, h_i64_extend_i32_u);
-        set(OP_I64_TRUNC_F32_S, h_i64_trunc_f32_s);
-        set(OP_I64_TRUNC_F32_U, h_i64_trunc_f32_u);
-        set(OP_I64_TRUNC_F64_S, h_i64_trunc_f64_s);
-        set(OP_I64_TRUNC_F64_U, h_i64_trunc_f64_u);
-        set(OP_F32_CONVERT_I32_S, h_f32_convert_i32_s);
-        set(OP_F32_CONVERT_I32_U, h_f32_convert_i32_u);
-        set(OP_F32_CONVERT_I64_S, h_f32_convert_i64_s);
-        set(OP_F32_CONVERT_I64_U, h_f32_convert_i64_u);
-        set(OP_F32_DEMOTE_F64, h_f32_demote_f64);
-        set(OP_F64_CONVERT_I32_S, h_f64_convert_i32_s);
-        set(OP_F64_CONVERT_I32_U, h_f64_convert_i32_u);
-        set(OP_F64_CONVERT_I64_S, h_f64_convert_i64_s);
-        set(OP_F64_CONVERT_I64_U, h_f64_convert_i64_u);
-        set(OP_F64_PROMOTE_F32, h_f64_promote_f32);
-        set(OP_I32_REINTERPRET_F32, h_i32_reinterpret_f32);
-        set(OP_I64_REINTERPRET_F64, h_i64_reinterpret_f64);
-        set(OP_F32_REINTERPRET_I32, h_f32_reinterpret_i32);
-        set(OP_F64_REINTERPRET_I64, h_f64_reinterpret_i64);
-        set(OP_I32_EXTEND8_S, h_i32_extend8_s);
-        set(OP_I32_EXTEND16_S, h_i32_extend16_s);
-        set(OP_I64_EXTEND8_S, h_i64_extend8_s);
-        set(OP_I64_EXTEND16_S, h_i64_extend16_s);
-        set(OP_I64_EXTEND32_S, h_i64_extend32_s);
-        set(OP_PREFIX_FC, h_prefix_fc);
-        set(OP_PROBE, h_probe);
+#define WIZPP_TABLE_SET(OP, NAME) gNormalTable[OP] = h_##NAME;
+        WIZPP_FOR_EACH_OPCODE(WIZPP_TABLE_SET)
+#undef WIZPP_TABLE_SET
+        gNormalTable[OP_PROBE] = h_probe;
     }
 };
 
 TableInit tableInit;
 
-} // namespace
-
-const void*
-interpNormalTable()
+/** Shared tail of every backend loop: write back the live pc/sp. */
+inline Signal
+finishInterp(Interp& I)
 {
-    return static_cast<const void*>(gNormalTable);
+    if (!I.eng.frames().empty() && I.signal != Signal::Trap &&
+        &I.eng.frames().back() == I.frame) {
+        I.sync();
+    }
+    return I.signal;
 }
 
-const void*
-interpProbedTable()
-{
-    return static_cast<const void*>(gProbedTable);
-}
+// ---------------------------------------------------------------------
+// Backend: table (reference). One indirect call per instruction; the
+// cached dispatch pointer is itself the handler table.
+// ---------------------------------------------------------------------
 
 Signal
-runInterpreter(Engine& eng)
+runInterpreterTable(Engine& eng)
 {
     Interp I(eng);
     I.loadTopFrame();
@@ -1300,11 +1397,238 @@ runInterpreter(Engine& eng)
         auto table = static_cast<OpHandler const*>(I.dispatch);
         table[I.code[I.pc]](I);
     }
-    if (!eng.frames().empty() && I.signal != Signal::Trap &&
-        &eng.frames().back() == I.frame) {
-        I.sync();
+    return finishInterp(I);
+}
+
+// ---------------------------------------------------------------------
+// Backend: switch (portable fallback). The cached dispatch pointer is
+// used only as the mode indicator.
+// ---------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+// Inline every handler body into the loop: the handlers must stay
+// address-takable out-of-line functions for the table backend, so
+// plain `inline` cannot do it.
+#define WIZPP_FLATTEN __attribute__((flatten))
+#else
+#define WIZPP_FLATTEN
+#endif
+
+WIZPP_FLATTEN Signal
+runInterpreterSwitch(Engine& eng)
+{
+    Interp I(eng);
+    I.loadTopFrame();
+    const void* probedTable = interpDispatchTable(DispatchMode::Probed);
+    while (!I.exit) {
+        if (I.dispatch == probedTable) {
+            // Probed mode: the stub fires global probes, then executes
+            // the instruction through the normal table.
+            h_global_stub(I);
+            continue;
+        }
+        switch (I.code[I.pc]) {
+#define WIZPP_SWITCH_CASE(OP, NAME)                                     \
+          case OP:                                                      \
+            h_##NAME(I);                                                \
+            break;
+            WIZPP_FOR_EACH_OPCODE(WIZPP_SWITCH_CASE)
+#undef WIZPP_SWITCH_CASE
+          case OP_PROBE:
+            h_probe(I);
+            break;
+          default:
+            h_illegal(I);
+            break;
+        }
     }
-    return I.signal;
+    return finishInterp(I);
+}
+
+// ---------------------------------------------------------------------
+// Backend: threaded (computed goto, GCC/Clang labels-as-values). The
+// handler bodies are inlined into this one translation-unit-local
+// function; each handler tail loads the next label ("next-handler
+// prefetch") before the exit check and jumps directly to it. Two
+// label tables mirror the Normal/Probed dispatch tables; probe
+// handlers may swap the engine's table mid-loop, so the two labels
+// that consume instrumentation changes re-derive the local jump table
+// from the epoch-refreshed cached pointer.
+// ---------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+#define WIZPP_HAS_COMPUTED_GOTO 1
+#else
+#define WIZPP_HAS_COMPUTED_GOTO 0
+#endif
+
+#if WIZPP_HAS_COMPUTED_GOTO
+
+WIZPP_FLATTEN Signal
+runInterpreterThreaded(Engine& eng)
+{
+    Interp I(eng);
+    I.loadTopFrame();
+
+    // Per-mode label tables, built on first entry (label addresses
+    // are only visible inside this function, so no compile-time init
+    // is possible). Each *engine* is single-threaded, but these
+    // statics are per-process and an embedder may run independent
+    // engines on different threads: double-checked locking makes the
+    // one-time init safe (&&label cannot move into a lambda, so a
+    // magic static is not an option).
+    static const void* normalLabels[256];
+    static const void* probedLabels[256];
+    static std::atomic<bool> labelsReady{false};
+    if (!labelsReady.load(std::memory_order_acquire)) {
+        static std::mutex initMutex;
+        std::lock_guard<std::mutex> lock(initMutex);
+        if (!labelsReady.load(std::memory_order_relaxed)) {
+            for (auto& l : normalLabels) l = &&L_illegal;
+            for (auto& l : probedLabels) l = &&L_global_stub;
+#define WIZPP_LABEL_SET(OP, NAME) normalLabels[OP] = &&L_##NAME;
+            WIZPP_FOR_EACH_OPCODE(WIZPP_LABEL_SET)
+#undef WIZPP_LABEL_SET
+            normalLabels[OP_PROBE] = &&L_probe;
+            labelsReady.store(true, std::memory_order_release);
+        }
+    }
+
+    const void* probedTable = interpDispatchTable(DispatchMode::Probed);
+    const void* const* jt =
+        I.dispatch == probedTable ? probedLabels : normalLabels;
+
+// Load the next handler's label before the (unlikely) exit check so
+// the target is resolved as early as possible. I.pc always addresses
+// a live instruction byte even when a handler set the exit flag, so
+// the speculative load is in bounds.
+#define WIZPP_NEXT()                                                    \
+    do {                                                                \
+        const void* next_ = jt[I.code[I.pc]];                           \
+        if (__builtin_expect(I.exit, 0)) goto L_done;                   \
+        goto* next_;                                                    \
+    } while (0)
+
+// Re-derive the local jump table after a handler that may have
+// swapped the engine's dispatch table (epoch-gated refresh of
+// I.dispatch inside h_probe / h_global_stub).
+#define WIZPP_RELOAD_JT()                                               \
+    (jt = I.dispatch == probedTable ? probedLabels : normalLabels)
+
+    goto* jt[I.code[I.pc]];
+
+#define WIZPP_LABEL_BODY(OP, NAME)                                      \
+    L_##NAME:                                                           \
+        h_##NAME(I);                                                    \
+        WIZPP_NEXT();
+    WIZPP_FOR_EACH_OPCODE(WIZPP_LABEL_BODY)
+#undef WIZPP_LABEL_BODY
+
+// Threaded equivalents of the probe machinery: the out-of-line
+// probeStep/globalStep cores fire the probes and hand back the byte
+// to execute, which is dispatched through the *normal* label set
+// (mirroring gNormalTable in the table backend), after re-deriving
+// the mode jump table from the possibly-swapped dispatch pointer.
+// Keeping &I out of these calls is what lets the compiler hold the
+// loop state in registers.
+
+L_probe: {
+    I.sync();
+    ProbeStep s = probeStep(I.eng, I.frame, I.fs, I.pc, I.dispatch);
+    I.dispatch = s.dispatch;
+    WIZPP_RELOAD_JT();
+    goto* normalLabels[s.op];
+}
+
+L_global_stub: {
+    I.sync();
+    ProbeStep s = globalStep(I.eng, I.frame, I.fs, I.pc, I.dispatch);
+    I.dispatch = s.dispatch;
+    WIZPP_RELOAD_JT();
+    goto* normalLabels[s.op];
+}
+
+L_illegal:
+    h_illegal(I);
+    WIZPP_NEXT();
+
+L_done:
+    return finishInterp(I);
+
+#undef WIZPP_NEXT
+#undef WIZPP_RELOAD_JT
+}
+
+#endif // WIZPP_HAS_COMPUTED_GOTO
+
+} // namespace
+
+const void*
+interpDispatchTable(DispatchMode mode)
+{
+    return mode == DispatchMode::Probed
+               ? static_cast<const void*>(gProbedTable)
+               : static_cast<const void*>(gNormalTable);
+}
+
+bool
+threadedDispatchSupported()
+{
+    return WIZPP_HAS_COMPUTED_GOTO != 0;
+}
+
+DispatchBackend
+defaultDispatchBackend()
+{
+#if defined(WIZPP_DISPATCH_DEFAULT_TABLE)
+    return DispatchBackend::Table;
+#elif defined(WIZPP_DISPATCH_DEFAULT_SWITCH)
+    return DispatchBackend::Switch;
+#else
+    // threaded requested (or nothing configured): fall back to the
+    // portable switch loop when computed goto is unavailable.
+    return threadedDispatchSupported() ? DispatchBackend::Threaded
+                                       : DispatchBackend::Switch;
+#endif
+}
+
+const char*
+dispatchBackendName(DispatchBackend b)
+{
+    switch (b) {
+      case DispatchBackend::Table: return "table";
+      case DispatchBackend::Switch: return "switch";
+      case DispatchBackend::Threaded: return "threaded";
+    }
+    return "?";
+}
+
+bool
+parseDispatchBackend(const std::string& name, DispatchBackend* out)
+{
+    if (name == "table") *out = DispatchBackend::Table;
+    else if (name == "switch") *out = DispatchBackend::Switch;
+    else if (name == "threaded") *out = DispatchBackend::Threaded;
+    else return false;
+    return true;
+}
+
+Signal
+runInterpreter(Engine& eng)
+{
+    switch (eng.config().dispatch) {
+      case DispatchBackend::Table:
+        return runInterpreterTable(eng);
+      case DispatchBackend::Switch:
+        return runInterpreterSwitch(eng);
+      case DispatchBackend::Threaded:
+#if WIZPP_HAS_COMPUTED_GOTO
+        return runInterpreterThreaded(eng);
+#else
+        return runInterpreterSwitch(eng);
+#endif
+    }
+    return runInterpreterSwitch(eng);
 }
 
 } // namespace wizpp

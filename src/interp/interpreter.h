@@ -3,18 +3,14 @@
  * The in-place bytecode interpreter tier.
  *
  * The interpreter executes the engine's mutable code copy directly
- * (LEB immediates are decoded on the fly; control flow uses the
- * validator-built side table). Dispatch is through a 256-entry handler
- * table:
- *
- *  - The normal table maps each opcode to its handler; the reserved
- *    OP_PROBE opcode maps to the local-probe handler (bytecode
- *    overwriting, Section 4.2) — uninstrumented instructions pay zero
- *    overhead.
- *  - The instrumented table maps *every* opcode to a stub that fires
- *    global probes and then dispatches through the normal table
- *    (dispatch-table switching, Section 4.1) — enabling/disabling
- *    global probes is a single pointer swap with zero disabled cost.
+ * (LEB immediates are decoded on the fly; control flow uses dense
+ * per-pc branch slots precomputed from the validator-built side
+ * table). The main loop exists in three behaviorally identical
+ * dispatch backends — threaded (computed goto), switch, and the
+ * reference 256-entry handler table — selected per engine via
+ * EngineConfig::dispatch; see docs/INTERPRETER.md for the backend
+ * design, the Normal/Probed per-mode jump tables, and the
+ * epoch-gated table-swap invariant.
  */
 
 #ifndef WIZPP_INTERP_INTERPRETER_H
@@ -27,14 +23,17 @@ namespace wizpp {
 /**
  * Runs the interpreter on the engine's top frame until the program
  * finishes, traps, or the top frame should enter the compiled tier.
+ * Dispatches to the backend selected by eng.config().dispatch.
  */
 Signal runInterpreter(Engine& eng);
 
-/** The normal dispatch table (opaque pointer; see file comment). */
-const void* interpNormalTable();
-
-/** The global-probe dispatch table. */
-const void* interpProbedTable();
+/**
+ * The handler table for @p mode (opaque pointer). The engine caches
+ * the active table in Engine::_dispatch; every backend treats that
+ * pointer as the mode indicator, and the table backend additionally
+ * calls through it.
+ */
+const void* interpDispatchTable(DispatchMode mode);
 
 } // namespace wizpp
 

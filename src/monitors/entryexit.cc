@@ -14,10 +14,15 @@ FunctionEntryExit::FunctionEntryExit(Engine& engine, EntryFn onEntry,
 
 FunctionEntryExit::~FunctionEntryExit()
 {
+    // One bulk detach for every installed probe: a single epoch bump
+    // and one fused-entry rebuild per touched site, mirroring the
+    // batch attach in instrumentAll().
+    std::vector<ProbeManager::SiteProbe> batch;
+    batch.reserve(_installed.size());
     for (const auto& inst : _installed) {
-        _engine.probes().removeLocal(inst.funcIndex, inst.pc,
-                                     inst.probe.get());
+        batch.push_back({inst.funcIndex, inst.pc, inst.probe});
     }
+    _engine.probes().removeBatch(batch);
 }
 
 void

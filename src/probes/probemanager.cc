@@ -16,6 +16,39 @@ cloneList(const ProbeListRef& ref)
     return ref ? ProbeList(*ref) : ProbeList{};
 }
 
+/**
+ * Shared batch skeleton for insertBatch/removeBatch: stable-sorts
+ * @p batch by site (preserving relative order of duplicates at one
+ * site — insertion order is firing order; monitors that walk
+ * functions in order produce already-sorted batches and skip the
+ * sort), then invokes @p fn once per site group with the half-open
+ * index range [i, j).
+ */
+template <typename F>
+void
+forEachSiteGroup(std::span<ProbeManager::SiteProbe> batch, F&& fn)
+{
+    auto siteLess = [](const ProbeManager::SiteProbe& a,
+                       const ProbeManager::SiteProbe& b) {
+        if (a.funcIndex != b.funcIndex) return a.funcIndex < b.funcIndex;
+        return a.pc < b.pc;
+    };
+    if (!std::is_sorted(batch.begin(), batch.end(), siteLess)) {
+        std::stable_sort(batch.begin(), batch.end(), siteLess);
+    }
+    for (size_t i = 0; i < batch.size();) {
+        uint32_t funcIndex = batch[i].funcIndex;
+        uint32_t pc = batch[i].pc;
+        size_t j = i;
+        while (j < batch.size() && batch[j].funcIndex == funcIndex &&
+               batch[j].pc == pc) {
+            j++;
+        }
+        fn(funcIndex, pc, i, j);
+        i = j;
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -133,33 +166,12 @@ ProbeManager::insertLocal(uint32_t funcIndex, uint32_t pc,
 size_t
 ProbeManager::insertBatch(std::span<SiteProbe> batch)
 {
-    // Group by site; stable so duplicates at one site keep their
-    // relative order (insertion order is firing order). Monitors that
-    // walk functions in order produce already-sorted batches — skip the
-    // sort for those.
-    auto siteLess = [](const SiteProbe& a, const SiteProbe& b) {
-        if (a.funcIndex != b.funcIndex) return a.funcIndex < b.funcIndex;
-        return a.pc < b.pc;
-    };
-    if (!std::is_sorted(batch.begin(), batch.end(), siteLess)) {
-        std::stable_sort(batch.begin(), batch.end(), siteLess);
-    }
-
     size_t inserted = 0;
     std::vector<uint32_t> touchedFuncs;
-    for (size_t i = 0; i < batch.size();) {
-        uint32_t funcIndex = batch[i].funcIndex;
-        uint32_t pc = batch[i].pc;
-        size_t j = i;
-        while (j < batch.size() && batch[j].funcIndex == funcIndex &&
-               batch[j].pc == pc) {
-            j++;
-        }
+    forEachSiteGroup(batch, [&](uint32_t funcIndex, uint32_t pc,
+                                size_t i, size_t j) {
         FuncState* fs = validSite(funcIndex, pc);
-        if (!fs) {
-            i = j;  // skip the whole invalid-site group
-            continue;
-        }
+        if (!fs) return;  // skip the whole invalid-site group
 
         // Build this site's new member list exactly once for the whole
         // group, then swap in one new fused firing entry.
@@ -176,8 +188,7 @@ ProbeManager::insertBatch(std::span<SiteProbe> batch)
         if (touchedFuncs.empty() || touchedFuncs.back() != funcIndex) {
             touchedFuncs.push_back(funcIndex);  // batch is func-sorted
         }
-        i = j;
-    }
+    });
 
     // One epoch bump and one compiled-code invalidation per touched
     // function for the entire batch.
@@ -212,6 +223,55 @@ ProbeManager::removeLocal(uint32_t funcIndex, uint32_t pc,
     fs.probeCount--;
     _engine.onLocalProbesChanged(funcIndex);
     return true;
+}
+
+size_t
+ProbeManager::removeBatch(std::span<SiteProbe> batch)
+{
+    // Same site grouping as insertBatch (stable, so duplicate pairs
+    // at one site remove the same number of occurrences as one-by-one
+    // removeLocal calls would).
+    size_t removed = 0;
+    std::vector<uint32_t> touchedFuncs;
+    forEachSiteGroup(batch, [&](uint32_t funcIndex, uint32_t pc,
+                                size_t i, size_t j) {
+        LocalSite* site = findSite(funcIndex, pc);
+        if (!site) return;  // nothing attached at this site group
+
+        // Erase this group's occurrences from one cloned list, then
+        // swap in one new fused firing entry (or release the site).
+        ProbeList list = cloneList(site->members);
+        size_t before = list.size();
+        for (size_t k = i; k < j; k++) {
+            const Probe* probe = batch[k].probe.get();
+            for (auto li = list.begin(); li != list.end(); ++li) {
+                if (li->get() == probe) {
+                    list.erase(li);
+                    break;
+                }
+            }
+        }
+        size_t erased = before - list.size();
+        if (!erased) return;
+        FuncState& fs = _engine.funcState(funcIndex);
+        if (list.empty()) {
+            releaseSite(fs, pc);
+        } else {
+            site->members =
+                std::make_shared<const ProbeList>(std::move(list));
+            rebuildFused(*site);
+        }
+        fs.probeCount -= static_cast<uint32_t>(erased);
+        removed += erased;
+        if (touchedFuncs.empty() || touchedFuncs.back() != funcIndex) {
+            touchedFuncs.push_back(funcIndex);  // batch is func-sorted
+        }
+    });
+
+    // One epoch bump and one compiled-code invalidation per touched
+    // function for the entire batch.
+    if (removed) _engine.onProbesBatchChanged(touchedFuncs);
+    return removed;
 }
 
 void

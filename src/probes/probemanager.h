@@ -111,6 +111,22 @@ class ProbeManager
      */
     bool removeLocal(uint32_t funcIndex, uint32_t pc, const Probe* probe);
 
+    /**
+     * Detaches every matching entry of @p batch, the bulk mirror of
+     * insertBatch(): equivalent to calling removeLocal() on each in
+     * order, but each touched site's member list and fused firing
+     * entry are rebuilt exactly once, and the whole batch performs a
+     * single instrumentation-epoch bump with one compiled-code
+     * invalidation per touched function.
+     *
+     * Entries whose (site, probe) pair is not attached are skipped.
+     * The span is reordered in place (sorted by site); the probe
+     * pointers are only observed, never consumed. Returns the number
+     * of probes detached. Deferred-removal consistency holds: sites
+     * touched while their event is firing keep the in-flight snapshot.
+     */
+    size_t removeBatch(std::span<SiteProbe> batch);
+
     /** Removes all probes at a location (restores the original byte). */
     void removeAllLocal(uint32_t funcIndex, uint32_t pc);
 

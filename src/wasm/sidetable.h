@@ -54,6 +54,34 @@ struct SideTable
     /** Maximum operand-stack height of the function (frame sizing). */
     uint32_t maxOperandHeight = 0;
 
+    /**
+     * Dense per-pc branch slots, built by finalize(): the interpreter's
+     * branch handlers index these directly (one array load) instead of
+     * hashing into the maps on every executed branch. Entries point
+     * into the node-stable unordered_maps above, so they survive moves
+     * of the whole SideTable.
+     */
+    std::vector<const SideTableEntry*> branchSlots;
+    std::vector<const std::vector<SideTableEntry>*> brTableSlots;
+
+    /**
+     * Builds the dense slots for a function of @p codeSize bytes. The
+     * engine calls this once per function after module load; call it
+     * again if branches/brTables are mutated afterwards.
+     */
+    void
+    finalize(uint32_t codeSize)
+    {
+        branchSlots.assign(codeSize, nullptr);
+        brTableSlots.assign(codeSize, nullptr);
+        for (const auto& [pc, e] : branches) {
+            if (pc < codeSize) branchSlots[pc] = &e;
+        }
+        for (const auto& [pc, v] : brTables) {
+            if (pc < codeSize) brTableSlots[pc] = &v;
+        }
+    }
+
     /** True if @p pc starts an instruction. */
     bool
     isInstrBoundary(uint32_t pc) const
@@ -66,14 +94,21 @@ struct SideTable
     const SideTableEntry&
     branchAt(uint32_t pc) const
     {
+        if (pc < branchSlots.size() && branchSlots[pc]) {
+            return *branchSlots[pc];
+        }
         return branches.at(pc);
     }
 
     const std::vector<SideTableEntry>&
     brTableAt(uint32_t pc) const
     {
+        if (pc < brTableSlots.size() && brTableSlots[pc]) {
+            return *brTableSlots[pc];
+        }
         return brTables.at(pc);
     }
+
 };
 
 } // namespace wizpp

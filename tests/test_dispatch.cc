@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Dispatch-backend parity tests (see docs/INTERPRETER.md): the three
+ * interpreter dispatch backends (table / switch / threaded) must be
+ * observationally identical. Trace streams recorded under each
+ * backend — probed and unprobed — are asserted byte-identical across
+ * a handful of corpus programs, replayVerify is run cross-backend,
+ * and the mid-execution dispatch-table swap (global probes toggling
+ * while the loop runs) is exercised under every backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "probes/probe.h"
+#include "probes/probemanager.h"
+#include "suites/suites.h"
+#include "test_util.h"
+#include "trace/replay.h"
+
+using namespace wizpp;
+using wizpp::test::mustParse;
+
+namespace {
+
+std::vector<DispatchBackend>
+allBackends()
+{
+    return {DispatchBackend::Table, DispatchBackend::Switch,
+            DispatchBackend::Threaded};
+}
+
+EngineConfig
+interpConfig(DispatchBackend backend)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    cfg.dispatch = backend;
+    return cfg;
+}
+
+/** Corpus programs the parity tests sweep (branchy, loopy, float,
+    call-heavy, br_table-bearing). */
+std::vector<const BenchProgram*>
+parityPrograms()
+{
+    std::vector<const BenchProgram*> out;
+    for (const char* name :
+         {"richards", "gemm", "trisolv", "durbin", "nussinov"}) {
+        const BenchProgram* p = findProgram(name);
+        if (p) out.push_back(p);
+    }
+    EXPECT_GE(out.size(), 3u);
+    return out;
+}
+
+/** First few instruction pcs of @p funcIndex, as trace probe points. */
+std::vector<std::pair<uint32_t, uint32_t>>
+somePoints(const Module& m, uint32_t count)
+{
+    // Load into a scratch engine to get validated side tables.
+    Engine eng(interpConfig(DispatchBackend::Table));
+    Module copy = m;
+    EXPECT_TRUE(eng.loadModule(std::move(copy)).ok());
+    std::vector<std::pair<uint32_t, uint32_t>> points;
+    for (uint32_t f = 0; f < eng.numFuncs() && points.size() < count;
+         f++) {
+        FuncState& fs = eng.funcState(f);
+        if (fs.decl->imported) continue;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            if (points.size() >= count) break;
+            points.push_back({f, pc});
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Trace parity across backends
+// ---------------------------------------------------------------------
+
+TEST(DispatchParity, DefaultBackendMatchesBuildConfig)
+{
+    // The build default is threaded wherever computed goto exists
+    // (WIZPP_DISPATCH may override to switch/table); either way the
+    // config must name a runnable backend.
+    EngineConfig cfg;
+    if (cfg.dispatch == DispatchBackend::Threaded) {
+        EXPECT_TRUE(threadedDispatchSupported());
+    }
+    DispatchBackend parsed;
+    ASSERT_TRUE(
+        parseDispatchBackend(dispatchBackendName(cfg.dispatch), &parsed));
+    EXPECT_EQ(parsed, cfg.dispatch);
+    EXPECT_FALSE(parseDispatchBackend("bogus", &parsed));
+}
+
+TEST(DispatchParity, UnprobedTracesByteIdentical)
+{
+    for (const BenchProgram* p : parityPrograms()) {
+        std::vector<Value> args{Value::makeI32(1)};
+        std::vector<uint8_t> golden =
+            recordTrace(mustParse(p->wat),
+                        interpConfig(DispatchBackend::Table), p->entry,
+                        args);
+        ASSERT_FALSE(golden.empty()) << p->name;
+        for (DispatchBackend b : allBackends()) {
+            std::vector<uint8_t> got = recordTrace(
+                mustParse(p->wat), interpConfig(b), p->entry, args);
+            EXPECT_EQ(golden, got)
+                << p->name << " diverged under "
+                << dispatchBackendName(b);
+        }
+    }
+}
+
+TEST(DispatchParity, ProbedTracesByteIdentical)
+{
+    // Probe points force the OP_PROBE path; the recorder's own probes
+    // cover entries/exits and branches. Byte-identical streams mean
+    // identical probe firing order under every backend.
+    for (const BenchProgram* p : parityPrograms()) {
+        Module m = mustParse(p->wat);
+        auto points = somePoints(m, 8);
+        ASSERT_FALSE(points.empty()) << p->name;
+        std::vector<Value> args{Value::makeI32(1)};
+        std::vector<uint8_t> golden =
+            recordTrace(mustParse(p->wat),
+                        interpConfig(DispatchBackend::Table), p->entry,
+                        args, points);
+        ASSERT_FALSE(golden.empty()) << p->name;
+        for (DispatchBackend b : allBackends()) {
+            std::vector<uint8_t> got =
+                recordTrace(mustParse(p->wat), interpConfig(b),
+                            p->entry, args, points);
+            EXPECT_EQ(golden, got)
+                << p->name << " (probed) diverged under "
+                << dispatchBackendName(b);
+        }
+    }
+}
+
+TEST(DispatchParity, ReplayVerifyAcrossBackends)
+{
+    const BenchProgram* p = findProgram("richards");
+    ASSERT_NE(p, nullptr);
+    std::vector<Value> args{Value::makeI32(2)};
+    std::vector<uint8_t> golden =
+        recordTrace(mustParse(p->wat),
+                    interpConfig(DispatchBackend::Table), p->entry, args);
+    for (DispatchBackend b : allBackends()) {
+        ReplayOutcome o =
+            replayVerify(golden, mustParse(p->wat), interpConfig(b));
+        EXPECT_TRUE(o.ok)
+            << dispatchBackendName(b) << ": " << o.message;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global probes (Probed dispatch mode) under every backend
+// ---------------------------------------------------------------------
+
+namespace {
+
+const char* kLoopWat = R"WAT((module
+  (func (export "run") (param $n i32) (result i32)
+    (local $i i32) (local $a i32)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $a (i32.add (local.get $a) (i32.const 3)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $a))))WAT";
+
+} // namespace
+
+TEST(DispatchParity, GlobalProbeCountsIdentical)
+{
+    uint64_t goldenFires = 0;
+    int32_t goldenResult = 0;
+    for (DispatchBackend b : allBackends()) {
+        auto eng = wizpp::test::makeEngine(kLoopWat, interpConfig(b));
+        eng->probes().insertGlobal(std::make_shared<CountProbe>());
+        Value r = wizpp::test::run1(*eng, "run", {Value::makeI32(500)});
+        uint64_t fires = eng->probes().globalFireCount;
+        EXPECT_GT(fires, 500u) << dispatchBackendName(b);
+        if (b == DispatchBackend::Table) {
+            goldenFires = fires;
+            goldenResult = r.i32s();
+        } else {
+            EXPECT_EQ(goldenFires, fires) << dispatchBackendName(b);
+            EXPECT_EQ(goldenResult, r.i32s()) << dispatchBackendName(b);
+        }
+    }
+    EXPECT_EQ(goldenResult, 1500);
+}
+
+// ---------------------------------------------------------------------
+// Mid-execution dispatch-table swap (the threaded backend's epoch-
+// gated jump-table reload; see docs/INTERPRETER.md)
+// ---------------------------------------------------------------------
+
+TEST(DispatchSwap, GlobalProbeToggledMidExecution)
+{
+    // A local probe on the loop body inserts a global probe on its
+    // 100th fire; the global probe removes itself after 50 fires. The
+    // dispatch table therefore swaps Normal->Probed->Normal while the
+    // loop is running, under each backend.
+    for (DispatchBackend b : allBackends()) {
+        auto eng = wizpp::test::makeEngine(kLoopWat, interpConfig(b));
+        Engine& e = *eng;
+
+        // Loop-body site (local.get $a): executes exactly once per
+        // iteration, after the br_if exit check.
+        FuncState& fs = e.funcState(0);
+        ASSERT_GE(fs.sideTable.instrBoundaries.size(), 7u);
+        uint32_t bodyPc = fs.sideTable.instrBoundaries[6];
+
+        int localFires = 0;
+        int globalFires = 0;
+        auto local = makeProbe([&](ProbeContext& ctx) {
+            localFires++;
+            if (localFires == 100) {
+                auto global = makeProbe([&](ProbeContext& gctx) {
+                    globalFires++;
+                    if (globalFires == 50) gctx.removeSelf();
+                });
+                ctx.engine().probes().insertGlobal(global);
+            }
+        });
+        ASSERT_TRUE(e.probes().insertLocal(0, bodyPc, local));
+
+        Value r = wizpp::test::run1(e, "run", {Value::makeI32(500)});
+        EXPECT_EQ(r.i32s(), 1500) << dispatchBackendName(b);
+        EXPECT_EQ(globalFires, 50) << dispatchBackendName(b);
+        EXPECT_EQ(localFires, 500) << dispatchBackendName(b);
+        // Probed mode was entered and left exactly once.
+        EXPECT_EQ(e.stats.dispatchTableSwitches, 2u)
+            << dispatchBackendName(b);
+        EXPECT_EQ(e.dispatchMode(), DispatchMode::Normal)
+            << dispatchBackendName(b);
+        EXPECT_EQ(e.dispatchTable(),
+                  interpDispatchTable(DispatchMode::Normal));
+    }
+}
+
+TEST(DispatchSwap, RepeatedTogglesUnderThreaded)
+{
+    // Stress the jump-table reload: every 50th body fire attaches a
+    // one-shot global probe that removes itself immediately, so the
+    // table swaps Probed->Normal on the very next instruction, many
+    // times in one run.
+    for (DispatchBackend b : allBackends()) {
+        auto eng = wizpp::test::makeEngine(kLoopWat, interpConfig(b));
+        Engine& e = *eng;
+        FuncState& fs = e.funcState(0);
+        uint32_t bodyPc = fs.sideTable.instrBoundaries[6];
+
+        int localFires = 0;
+        int globalFires = 0;
+        auto local = makeProbe([&](ProbeContext& ctx) {
+            if (++localFires % 50 == 0) {
+                e.probes().insertGlobal(makeProbe(
+                    [&](ProbeContext& gctx) {
+                        globalFires++;
+                        gctx.removeSelf();
+                    }));
+            }
+            (void)ctx;
+        });
+        ASSERT_TRUE(e.probes().insertLocal(0, bodyPc, local));
+
+        Value r = wizpp::test::run1(e, "run", {Value::makeI32(500)});
+        EXPECT_EQ(r.i32s(), 1500) << dispatchBackendName(b);
+        EXPECT_EQ(localFires, 500) << dispatchBackendName(b);
+        EXPECT_EQ(globalFires, 10) << dispatchBackendName(b);
+        EXPECT_EQ(e.stats.dispatchTableSwitches, 20u)
+            << dispatchBackendName(b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// removeBatch (bulk detach) — satellite of the same PR
+// ---------------------------------------------------------------------
+
+TEST(RemoveBatch, MirrorsOneByOneRemoval)
+{
+    auto eng = wizpp::test::makeEngine(
+        kLoopWat, interpConfig(DispatchBackend::Threaded));
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+    const auto& pcs = fs.sideTable.instrBoundaries;
+    ASSERT_GE(pcs.size(), 4u);
+
+    // Two probes on one shared site plus singles elsewhere.
+    std::vector<ProbeManager::SiteProbe> batch;
+    auto c1 = std::make_shared<CountProbe>();
+    auto c2 = std::make_shared<CountProbe>();
+    auto c3 = std::make_shared<CountProbe>();
+    batch.push_back({0, pcs[1], c1});
+    batch.push_back({0, pcs[1], c2});
+    batch.push_back({0, pcs[2], c3});
+    ASSERT_EQ(e.probes().insertBatch(batch), 3u);
+    ASSERT_EQ(e.probes().numProbedSites(), 2u);
+
+    uint64_t epoch0 = e.instrumentationEpoch;
+    std::vector<ProbeManager::SiteProbe> detach;
+    detach.push_back({0, pcs[2], c3});
+    detach.push_back({0, pcs[1], c1});
+    detach.push_back({0, pcs[1], c2});
+    // A pair that was never attached is skipped, not an error.
+    detach.push_back({0, pcs[3], std::make_shared<CountProbe>()});
+    EXPECT_EQ(e.probes().removeBatch(detach), 3u);
+    EXPECT_EQ(e.probes().numProbedSites(), 0u);
+    // One epoch bump for the whole batch.
+    EXPECT_EQ(e.instrumentationEpoch, epoch0 + 1);
+    EXPECT_EQ(fs.probeCount, 0u);
+    // Bytecode restored: the engine runs clean.
+    EXPECT_EQ(wizpp::test::run1(e, "run", {Value::makeI32(10)}).i32s(),
+              30);
+    EXPECT_EQ(e.probes().localFireCount, 0u);
+}
+
+TEST(RemoveBatch, PartialRemovalKeepsRemainingProbesFiring)
+{
+    auto eng = wizpp::test::makeEngine(
+        kLoopWat, interpConfig(DispatchBackend::Threaded));
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+    uint32_t pc = fs.sideTable.instrBoundaries[6];
+
+    auto keep = std::make_shared<CountProbe>();
+    auto drop1 = std::make_shared<CountProbe>();
+    auto drop2 = std::make_shared<CountProbe>();
+    std::vector<ProbeManager::SiteProbe> batch{
+        {0, pc, keep}, {0, pc, drop1}, {0, pc, drop2}};
+    ASSERT_EQ(e.probes().insertBatch(batch), 3u);
+
+    std::vector<ProbeManager::SiteProbe> detach{{0, pc, drop1},
+                                                {0, pc, drop2}};
+    EXPECT_EQ(e.probes().removeBatch(detach), 2u);
+
+    wizpp::test::run1(e, "run", {Value::makeI32(25)});
+    EXPECT_EQ(keep->count, 25u);
+    EXPECT_EQ(drop1->count, 0u);
+    EXPECT_EQ(drop2->count, 0u);
+}

@@ -7,6 +7,8 @@
  *   wizeng [options] <module.wat|module.wasm|@program> [args...]
  *     --monitors=m1,m2     attach monitors (see --help for names)
  *     --mode=int|jit|tiered   execution mode (default jit)
+ *     --dispatch=threaded|switch|table   interpreter dispatch backend
+ *                          (default: the build's WIZPP_DISPATCH)
  *     --no-intrinsify      disable probe intrinsification
  *     --invoke=<export>    entry point (default: "run", then "main")
  *     --list-programs      list the built-in benchmark corpus
@@ -50,6 +52,8 @@ usage()
     for (const auto& n : monitorNames()) std::cout << " " << n;
     std::cout << " debugger\n"
         "  --mode=int|jit|tiered  execution mode (default jit)\n"
+        "  --dispatch=threaded|switch|table  interpreter dispatch "
+        "backend\n"
         "  --no-intrinsify        disable probe intrinsification\n"
         "  --invoke=<export>      entry point (default run/main)\n"
         "  --list-programs        list built-in corpus programs\n"
@@ -125,6 +129,12 @@ main(int argc, char** argv)
             else if (m == "tiered") config.mode = ExecMode::Tiered;
             else {
                 std::cerr << "unknown mode " << m << "\n";
+                return 1;
+            }
+        } else if (a.rfind("--dispatch=", 0) == 0) {
+            std::string d = a.substr(11);
+            if (!parseDispatchBackend(d, &config.dispatch)) {
+                std::cerr << "unknown dispatch backend " << d << "\n";
                 return 1;
             }
         } else if (a == "--no-intrinsify") {
