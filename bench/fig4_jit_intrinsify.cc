@@ -6,28 +6,167 @@
  * uninstrumented compiled-tier execution. Also prints the Section 5.3
  * summary ranges (paper: hotness 7-134x -> 2.2-7.7x intrinsified;
  * branch 1.0-16.6x -> 1.0-2.8x).
+ *
+ * Extended with one column pair per lowering kind of the
+ * instrumentation-lowering layer (docs/JIT.md):
+ *
+ *  - fused: a CountProbe+EmptyProbe pair at every instruction, so
+ *    every site is multi-member — pre-resolved fused call vs the full
+ *    generic path, on the PolyBench programs (probe-dominated, like
+ *    the hotness columns);
+ *  - entry/exit: FunctionEntryExit hooks measured on call-dominated
+ *    micro programs (PolyBench bodies are loops with few calls, so
+ *    entry/exit cost would vanish in loop time there).
+ *
+ * The per-kind `*_intrins_speedup.geomean` keys (generic time /
+ * intrinsified time, same run, >= 1.0 when intrinsification helps)
+ * are gated by scripts/check_bench.py --intrinsify-floor.
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness.h"
+#include "monitors/entryexit.h"
+#include "wat/wat.h"
 
 using namespace wizpp;
 using namespace wizpp::bench;
+
+namespace {
+
+/** Call-dominated micro programs for the entry/exit kind: a hot loop
+    whose body is calls through a small helper chain. "deep" stacks
+    three call levels; "condexit" exits the helper through a
+    conditional branch targeting the function end, exercising the
+    top-of-stack (needsTopOfStack) variant of the lowered probe. */
+struct EeMicro
+{
+    const char* name;
+    const char* wat;
+};
+
+const EeMicro kEeMicros[] = {
+    {"calls",
+     R"WAT((module
+       (func $leaf (param $x i32) (result i32)
+         (i32.add (local.get $x) (i32.const 1)))
+       (func (export "run") (param $n i32) (result i32)
+         (local $i i32) (local $a i32)
+         (block $done
+           (loop $l
+             (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+             (local.set $a (call $leaf (local.get $a)))
+             (local.set $a (call $leaf (local.get $a)))
+             (local.set $a (call $leaf (local.get $a)))
+             (local.set $a (call $leaf (local.get $a)))
+             (local.set $i (i32.add (local.get $i) (i32.const 1)))
+             (br $l)))
+         (local.get $a))))WAT"},
+    {"deep",
+     R"WAT((module
+       (func $leaf (param $x i32) (result i32)
+         (i32.add (local.get $x) (i32.const 1)))
+       (func $mid (param $x i32) (result i32)
+         (call $leaf (call $leaf (local.get $x))))
+       (func $top (param $x i32) (result i32)
+         (call $mid (call $mid (local.get $x))))
+       (func (export "run") (param $n i32) (result i32)
+         (local $i i32) (local $a i32)
+         (block $done
+           (loop $l
+             (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+             (local.set $a (call $top (local.get $a)))
+             (local.set $i (i32.add (local.get $i) (i32.const 1)))
+             (br $l)))
+         (local.get $a))))WAT"},
+    {"condexit",
+     R"WAT((module
+       (func $step (param $x i32) (result i32)
+         (local $r i32)
+         (local.set $r (i32.add (local.get $x) (i32.const 1)))
+         (local.get $r)
+         (br_if 0 (i32.and (local.get $x) (i32.const 1)))
+         (drop)
+         (i32.add (local.get $x) (i32.const 2)))
+       (func (export "run") (param $n i32) (result i32)
+         (local $i i32) (local $a i32)
+         (block $done
+           (loop $l
+             (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+             (local.set $a (call $step (local.get $a)))
+             (local.set $a (call $step (local.get $a)))
+             (local.set $i (i32.add (local.get $i) (i32.const 1)))
+             (br $l)))
+         (local.get $a))))WAT"},
+};
+
+/** One timed run of an entry/exit-instrumented micro program. */
+double
+runEeMicro(const Module& module, bool instrument, bool intrinsify,
+           uint32_t n, uint64_t* fires)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    cfg.intrinsifyCountProbe = intrinsify;
+    cfg.intrinsifyOperandProbe = intrinsify;
+    cfg.intrinsifyEntryExitProbe = intrinsify;
+    cfg.intrinsifyFusedProbe = intrinsify;
+
+    double t0 = 0, t1 = 0;
+    {
+        Engine eng(cfg);
+        Module copy = module;
+        if (!eng.loadModule(std::move(copy)).ok()) return -1;
+        uint64_t count = 0;
+        std::unique_ptr<FunctionEntryExit> ee;
+        t0 = bench::nowSeconds();
+        if (instrument) {
+            ee = std::make_unique<FunctionEntryExit>(
+                eng, [&count](uint32_t, uint64_t) { count++; },
+                [&count](uint32_t, uint64_t) { count++; });
+            ee->instrumentAll();
+        }
+        if (!eng.instantiate().ok()) return -1;
+        auto r = eng.callExport("run", {Value::makeI32(
+            static_cast<int32_t>(n))});
+        if (!r.ok()) return -1;
+        t1 = bench::nowSeconds();
+        if (fires) *fires = count;
+    }
+    return t1 - t0;
+}
+
+double
+measureEeMicro(const Module& module, bool instrument, bool intrinsify,
+               uint32_t n, uint64_t* fires)
+{
+    double best = -1;
+    for (int i = 0; i < reps(); i++) {
+        double t = runEeMicro(module, instrument, intrinsify, n, fires);
+        if (t < 0) return -1;
+        if (best < 0 || t < best) best = t;
+    }
+    return best;
+}
+
+} // namespace
 
 int
 main()
 {
     printf("=== Figure 4: JIT probe intrinsification (PolyBench/C) "
            "===\n");
-    printf("%-16s %12s | %12s %12s | %12s %12s | %14s\n", "program",
-           "uninstr(ms)", "hot-intrins", "hot-generic", "br-intrins",
-           "br-generic", "probe fires");
+    printf("%-16s %12s | %12s %12s | %12s %12s | %12s %12s | %14s\n",
+           "program", "uninstr(ms)", "hot-intrins", "hot-generic",
+           "br-intrins", "br-generic", "fus-intrins", "fus-generic",
+           "probe fires");
 
     std::vector<std::string> csv;
     JsonReport json("fig4_jit_intrinsify");
-    std::vector<double> hi, hn, bi, bn;
+    std::vector<double> hi, hn, bi, bn, fi, fn;
+    std::vector<double> hs, bs, fs, es;
     for (const BenchProgram* p : selectPrograms("polybench")) {
         uint32_t n = p->defaultN;
         auto base = measureWizard(*p, ExecMode::Jit, Tool::None, true, n);
@@ -39,34 +178,87 @@ main()
                                  true, n);
         auto brN = measureWizard(*p, ExecMode::Jit, Tool::BranchLocal,
                                  false, n);
+        auto fusI = measureWizard(*p, ExecMode::Jit, Tool::FusedPair,
+                                  true, n);
+        auto fusN = measureWizard(*p, ExecMode::Jit, Tool::FusedPair,
+                                  false, n);
         double rHI = hotI.seconds / base.seconds;
         double rHN = hotN.seconds / base.seconds;
         double rBI = brI.seconds / base.seconds;
         double rBN = brN.seconds / base.seconds;
+        double rFI = fusI.seconds / base.seconds;
+        double rFN = fusN.seconds / base.seconds;
         hi.push_back(rHI);
         hn.push_back(rHN);
         bi.push_back(rBI);
         bn.push_back(rBN);
-        printf("%-16s %12.2f | %12s %12s | %12s %12s | %14llu\n",
+        fi.push_back(rFI);
+        fn.push_back(rFN);
+        hs.push_back(rHN / rHI);
+        bs.push_back(rBN / rBI);
+        fs.push_back(rFN / rFI);
+        printf("%-16s %12.2f | %12s %12s | %12s %12s | %12s %12s "
+               "| %14llu\n",
                p->name.c_str(), base.seconds * 1e3, fmtRatio(rHI).c_str(),
                fmtRatio(rHN).c_str(), fmtRatio(rBI).c_str(),
-               fmtRatio(rBN).c_str(),
+               fmtRatio(rBN).c_str(), fmtRatio(rFI).c_str(),
+               fmtRatio(rFN).c_str(),
                static_cast<unsigned long long>(hotI.probeFires));
         csv.push_back(p->name + "," + std::to_string(base.seconds) + "," +
                       std::to_string(rHI) + "," + std::to_string(rHN) +
                       "," + std::to_string(rBI) + "," +
-                      std::to_string(rBN) + "," +
+                      std::to_string(rBN) + "," + std::to_string(rFI) +
+                      "," + std::to_string(rFN) + "," +
                       std::to_string(hotI.probeFires));
         json.put(p->name + ".uninstr_s", base.seconds);
         json.put(p->name + ".hotness_intrins", rHI);
         json.put(p->name + ".hotness_generic", rHN);
         json.put(p->name + ".branch_intrins", rBI);
         json.put(p->name + ".branch_generic", rBN);
+        json.put(p->name + ".fused_intrins", rFI);
+        json.put(p->name + ".fused_generic", rFN);
     }
     writeCsv("fig4.csv",
              "program,uninstr_s,hotness_intrins,hotness_generic,"
-             "branch_intrins,branch_generic,hotness_fires",
+             "branch_intrins,branch_generic,fused_intrins,fused_generic,"
+             "hotness_fires",
              csv);
+
+    // ---- Entry/exit kind on the call-dominated micro programs ----
+    printf("\n--- entry/exit lowering kind (call-dominated micros) "
+           "---\n");
+    printf("%-16s %12s | %12s %12s %9s | %14s\n", "program",
+           "uninstr(ms)", "ee-intrins", "ee-generic", "speedup",
+           "hook fires");
+    const uint32_t eeN = fastMode() ? 60000 : 250000;
+    for (const EeMicro& m : kEeMicros) {
+        auto parsed = parseWat(m.wat);
+        if (!parsed.ok()) {
+            fprintf(stderr, "fig4: %s parse failed: %s\n", m.name,
+                    parsed.error().toString().c_str());
+            return 1;
+        }
+        Module module = parsed.take();
+        uint64_t fires = 0;
+        double tBase = measureEeMicro(module, false, true, eeN, nullptr);
+        double tI = measureEeMicro(module, true, true, eeN, &fires);
+        double tN = measureEeMicro(module, true, false, eeN, nullptr);
+        if (tBase <= 0 || tI <= 0 || tN <= 0) {
+            fprintf(stderr, "fig4: ee micro %s failed\n", m.name);
+            return 1;
+        }
+        double rEI = tI / tBase;
+        double rEN = tN / tBase;
+        es.push_back(rEN / rEI);
+        printf("%-16s %12.2f | %12s %12s %8.2fx | %14llu\n", m.name,
+               tBase * 1e3, fmtRatio(rEI).c_str(), fmtRatio(rEN).c_str(),
+               rEN / rEI, static_cast<unsigned long long>(fires));
+        std::string prefix = std::string("eemicro.") + m.name;
+        json.put(prefix + ".uninstr_s", tBase);
+        json.put(prefix + ".entryexit_intrins", rEI);
+        json.put(prefix + ".entryexit_generic", rEN);
+        json.put(prefix + ".fires", fires);
+    }
 
     auto range = [](const std::vector<double>& v) {
         double lo = v[0], hi2 = v[0];
@@ -88,11 +280,26 @@ main()
     printf("  branch:  generic %.1f-%.1fx (geomean %.1fx), intrinsified "
            "%.1f-%.1fx (geomean %.1fx)\n", bnLo, bnHi, geomean(bn), biLo,
            biHi, geomean(bi));
+    printf("  per-kind intrinsify speedups (generic/intrins, geomean): "
+           "count %.2fx, operand %.2fx, fused %.2fx, entry/exit "
+           "%.2fx\n",
+           geomean(hs), geomean(bs), geomean(fs), geomean(es));
 
     json.putRange("hotness_intrins", hi);
     json.putRange("hotness_generic", hn);
     json.putRange("branch_intrins", bi);
     json.putRange("branch_generic", bn);
+    json.putRange("fused_intrins", fi);
+    json.putRange("fused_generic", fn);
+    // Per-kind same-run speedups: generic time / intrinsified time.
+    // The hotness/fused/entryexit geomeans are floor-gated (>= 1.0)
+    // by scripts/check_bench.py; the branch kind rides the baseline
+    // comparison only (branch probes are sparse on PolyBench, so its
+    // speedup hovers just above 1 and a hard floor would flake).
+    json.put("hotness_intrins_speedup.geomean", geomean(hs));
+    json.put("branch_intrins_speedup.geomean", geomean(bs));
+    json.put("fused_intrins_speedup.geomean", geomean(fs));
+    json.put("entryexit_intrins_speedup.geomean", geomean(es));
     const std::string jsonPath = json.write();
     if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
     return 0;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "monitors/entryexit.h"
 #include "monitors/monitors.h"
 #include "wat/wat.h"
 #include "wasm/opcodes.h"
@@ -58,6 +59,8 @@ struct Instrumentation
     std::unique_ptr<Monitor> monitor;
     std::vector<std::shared_ptr<CountProbe>> counters;
     std::vector<std::shared_ptr<Probe>> probes;
+    std::unique_ptr<FunctionEntryExit> entryExit;
+    std::shared_ptr<uint64_t> entryExitFires;
     HotnessMonitor* hotness = nullptr;
     BranchMonitor* branch = nullptr;
 
@@ -66,6 +69,7 @@ struct Instrumentation
     {
         if (hotness) return hotness->totalCount();
         if (branch) return branch->totalFires();
+        if (entryExitFires) return *entryExitFires;
         uint64_t n = 0;
         for (const auto& c : counters) n += c->count;
         if (!counters.empty()) return n;
@@ -138,6 +142,39 @@ instrument(Engine& eng, Tool tool, Instrumentation* out)
         }
         break;
       }
+      case Tool::FusedPair: {
+        // A CountProbe plus an EmptyProbe fused at every instruction:
+        // every site has two members, so the compiled tier lowers each
+        // to kJProbeFused (one pre-resolved call) when fused
+        // intrinsification is on, and to the full generic path when
+        // off — the BENCH_fig4 fused-kind comparison.
+        std::vector<ProbeManager::SiteProbe> batch;
+        for (uint32_t f = 0; f < eng.numFuncs(); f++) {
+            FuncState& fs = eng.funcState(f);
+            if (fs.decl->imported) continue;
+            for (uint32_t pc : fs.sideTable.instrBoundaries) {
+                auto c = std::make_shared<CountProbe>();
+                out->counters.push_back(c);
+                batch.push_back({f, pc, std::move(c)});
+                batch.push_back({f, pc, std::make_shared<EmptyProbe>()});
+            }
+        }
+        eng.probes().insertBatch(batch);
+        break;
+      }
+      case Tool::EntryExit: {
+        // FunctionEntryExit hooks over the whole module (counting
+        // callbacks): entry/exit sites lower to kJProbeEntryExit when
+        // entry/exit intrinsification is on.
+        auto fires = std::make_shared<uint64_t>(0);
+        out->entryExitFires = fires;
+        out->entryExit = std::make_unique<FunctionEntryExit>(
+            eng,
+            [fires](uint32_t, uint64_t) { ++*fires; },
+            [fires](uint32_t, uint64_t) { ++*fires; });
+        out->entryExit->instrumentAll();
+        break;
+      }
     }
 }
 
@@ -149,6 +186,12 @@ reps()
     const char* e = std::getenv("WIZPP_BENCH_REPS");
     int r = e ? std::atoi(e) : 2;
     return r < 1 ? 1 : r;
+}
+
+double
+nowSeconds()
+{
+    return now();
 }
 
 bool
@@ -179,6 +222,8 @@ runWizard(const BenchProgram& p, ExecMode mode, Tool tool, bool intrinsify,
     cfg.mode = mode;
     cfg.intrinsifyCountProbe = intrinsify;
     cfg.intrinsifyOperandProbe = intrinsify;
+    cfg.intrinsifyEntryExitProbe = intrinsify;
+    cfg.intrinsifyFusedProbe = intrinsify;
 
     double t0 = now();
     Engine eng(cfg);

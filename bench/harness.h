@@ -42,6 +42,8 @@ enum class Tool : uint8_t {
     BranchGlobal,    ///< one global probe + branch-site lookup
     HotnessEmpty,    ///< empty probes at every instruction (T_PD)
     BranchEmpty,     ///< empty operand probes at branches (T_PD)
+    FusedPair,       ///< count+empty probes fused at every instruction
+    EntryExit,       ///< FunctionEntryExit hooks on every function
 };
 
 /** One measurement outcome. */
@@ -53,6 +55,10 @@ struct Measurement
 
 /** Repetitions (min-of-k) from WIZPP_BENCH_REPS. */
 int reps();
+
+/** Monotonic wall-clock seconds (steady_clock), for local timing in
+    benches that measure phases the Tool harness cannot express. */
+double nowSeconds();
 
 /** True if WIZPP_BENCH_FAST is set. */
 bool fastMode();

@@ -17,7 +17,14 @@
  *    sites resolve through the dense per-function site index);
  *  - steady-state per-fire cost in the compiled tier (single
  *    CountProbes intrinsify to inline increments; 2-probe fused sites
- *    take the one-virtual-call generic path).
+ *    lower to one pre-resolved fused call);
+ *  - tiered-recompile cost of landing probes in a *hot* Tiered
+ *    engine: attaching one probe at a time while execution continues
+ *    forces one invalidation + one lazy recompile per probe, while
+ *    one insertBatch dirties each touched function once and the
+ *    engine recompiles it exactly once per batch (docs/JIT.md). The
+ *    recompile counts are deterministic and gated by
+ *    scripts/check_bench.py.
  *
  * Unlike the fig* benches this intentionally times the steady state
  * only (attach cost is reported separately), because attach scaling is
@@ -68,10 +75,9 @@ moduleWat()
 }
 
 std::unique_ptr<Engine>
-makeEngine(const Module& module, ExecMode mode, bool instantiate = true)
+makeEngineWithConfig(const Module& module, EngineConfig cfg,
+                     bool instantiate = true)
 {
-    EngineConfig cfg;
-    cfg.mode = mode;
     auto eng = std::make_unique<Engine>(cfg);
     Module copy = module;
     auto lr = eng->loadModule(std::move(copy));
@@ -81,6 +87,14 @@ makeEngine(const Module& module, ExecMode mode, bool instantiate = true)
         if (!ir.ok()) { std::fprintf(stderr, "inst failed\n"); std::abort(); }
     }
     return eng;
+}
+
+std::unique_ptr<Engine>
+makeEngine(const Module& module, ExecMode mode, bool instantiate = true)
+{
+    EngineConfig cfg;
+    cfg.mode = mode;
+    return makeEngineWithConfig(module, cfg, instantiate);
 }
 
 /** Probes for the first @p s instrumentable sites, worker by worker:
@@ -116,12 +130,67 @@ workersFor(Engine& eng, size_t s)
     return eng.numFuncs();
 }
 
+/** Shared steady-clock timer (bench/harness.h). */
 double
 now()
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
+    return nowSeconds();
+}
+
+struct TieredResult
+{
+    double seconds = 0;
+    uint64_t recompiles = 0;
+};
+
+double runWorkers(Engine& eng, uint32_t k, uint32_t n);
+
+/**
+ * Attaches the first @p s sites' probes to a fully-warmed Tiered
+ * engine (threshold 1, so every touched worker is compiled) and
+ * re-runs the touched workers, two ways:
+ *
+ *  - one at a time, running the probe's worker after each insert —
+ *    the "monitor attaches while the program runs" interleaving;
+ *    every insert invalidates freshly-recompiled code, so the engine
+ *    pays one lazy recompile per probe;
+ *  - one insertBatch, then the same per-worker runs — each touched
+ *    function is dirtied once and recompiled exactly once per batch.
+ *
+ * The time includes the worker runs (they are what forces the lazy
+ * recompiles), with n=1 so translation, not execution, dominates.
+ */
+TieredResult
+tieredAttach(const Module& module, size_t s, bool batched)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Tiered;
+    cfg.tierUpThreshold = 1;
+    auto eng = makeEngineWithConfig(module, cfg);
+    uint32_t workers = workersFor(*eng, s);
+    runWorkers(*eng, workers, 1);  // warm: every touched worker compiles
+    auto sites = selectSites(*eng, s, 1);
+
+    uint64_t compiled0 = eng->stats.functionsCompiled;
+    double t0 = now();
+    if (batched) {
+        eng->probes().insertBatch(sites);
+        runWorkers(*eng, workers, 1);
+    } else {
+        for (auto& sp : sites) {
+            uint32_t f = sp.funcIndex;
+            eng->probes().insertLocal(f, sp.pc, std::move(sp.probe));
+            auto r = eng->callFunction(f, {Value::makeI32(1)});
+            if (!r.ok()) {
+                std::fprintf(stderr, "tiered run failed\n");
+                std::abort();
+            }
+        }
+    }
+    TieredResult out;
+    out.seconds = now() - t0;
+    out.recompiles = eng->stats.functionsCompiled - compiled0;
+    return out;
 }
 
 /** Calls w0..w<k-1> with n iterations each; returns wall seconds. */
@@ -286,8 +355,8 @@ main()
         }
 
         // --- Steady state: single CountProbe per site (intrinsifiable
-        // in the compiled tier) and 2-probe fused sites (generic,
-        // exactly one virtual call per site). ---
+        // in the compiled tier) and 2-probe fused sites (one virtual
+        // call per site; one pre-resolved call in the compiled tier). ---
         uint32_t n = static_cast<uint32_t>(
             std::max<uint64_t>(1, firesTarget / s));
         SteadyState i1 = steadyState(module, ExecMode::Interpreter, s, 1, n);
@@ -335,6 +404,50 @@ main()
                       std::to_string(i2.perFireNs) + "," +
                       std::to_string(j2.perFireNs));
     }
+
+    // --- Tiered recompile batching: probes landing in a hot engine.
+    // Recompile counts are structural (single = one per probe, batch =
+    // one per touched function) and gated as deterministic metrics. ---
+    printf("\n--- tiered recompile batching (hot engine, threshold 1) "
+           "---\n");
+    printf("%8s | %14s %14s | %12s %12s | %9s\n", "sites",
+           "single(us)", "batch(us)", "recomp-1x", "recomp-bat",
+           "speedup");
+    std::vector<std::string> tieredCsv;
+    for (size_t s : siteCounts) {
+        TieredResult single, batch;
+        double tSingle = 1e100, tBatch = 1e100;
+        for (int i = 0; i < reps(); i++) {
+            single = tieredAttach(module, s, false);
+            tSingle = std::min(tSingle, single.seconds);
+            batch = tieredAttach(module, s, true);
+            tBatch = std::min(tBatch, batch.seconds);
+        }
+        double speedup =
+            batch.recompiles
+                ? static_cast<double>(single.recompiles) /
+                      static_cast<double>(batch.recompiles)
+                : 0;
+        printf("%8zu | %14.1f %14.1f | %12llu %12llu | %8.1fx\n", s,
+               tSingle * 1e6, tBatch * 1e6,
+               static_cast<unsigned long long>(single.recompiles),
+               static_cast<unsigned long long>(batch.recompiles),
+               speedup);
+        std::string key = std::to_string(s);
+        json.put("tiered.attach_single_us." + key, tSingle * 1e6);
+        json.put("tiered.attach_batch_us." + key, tBatch * 1e6);
+        json.put("tiered.recompiles_single." + key, single.recompiles);
+        json.put("tiered.recompiles_batch." + key, batch.recompiles);
+        json.put("tiered.recompile_speedup." + key, speedup);
+        tieredCsv.push_back(key + "," + std::to_string(tSingle * 1e6) +
+                            "," + std::to_string(tBatch * 1e6) + "," +
+                            std::to_string(single.recompiles) + "," +
+                            std::to_string(batch.recompiles));
+    }
+    writeCsv("monitor_scaling_tiered.csv",
+             "sites,attach_single_us,attach_batch_us,recompiles_single,"
+             "recompiles_batch",
+             tieredCsv);
 
     writeCsv("monitor_scaling.csv",
              "sites,attach_single_us,attach_batch_us,detach_single_us,"

@@ -62,11 +62,16 @@ HIGHER_IS_BETTER = [
     r"speedup",
 ]
 
-# Deterministic engine outputs (trace event/byte counts): identical
-# inputs must produce identical streams, so these are gated in BOTH
-# directions and survive the fast-mode filter.
+# Deterministic engine outputs: identical inputs must produce
+# identical values, so these are gated in BOTH directions and survive
+# the fast-mode filter. Trace event/byte counts, plus the tiered
+# recompile counts of BENCH_monitor_scaling (structural: one recompile
+# per probe one-by-one, one per touched function per batch) and their
+# ratio.
 DETERMINISTIC = [
     r"(^|\.)(bytes|events)$",
+    r"\.recompiles_(single|batch)\.",
+    r"\.recompile_speedup\.",
 ]
 
 # The only metrics stable enough to gate against the *baseline* when
@@ -118,6 +123,12 @@ def main():
                     help="minimum geomean of the current run's "
                          "per-program dispatch_threaded_speedup keys "
                          "(same-run invariant; 0 disables)")
+    ap.add_argument("--intrinsify-floor", type=float, default=1.0,
+                    help="minimum for the current run's per-kind "
+                         "*_intrins_speedup.geomean keys (hotness, "
+                         "fused, entryexit — probe-dominated by "
+                         "construction; the sparse-probe branch kind "
+                         "is exempt). Same-run invariant; 0 disables")
     ap.add_argument("--gate-absolute", action="store_true",
                     help="also gate absolute time metrics (same-machine "
                          "comparisons only)")
@@ -198,6 +209,22 @@ def main():
                 regressions.append((fname, key, b, c, ratio, limit))
             else:
                 worst.append((limit - ratio, fname, key, ratio, limit))
+
+        # Same-run intrinsification floor (the JIT lowering layer's
+        # acceptance invariant, docs/JIT.md): each probe-dominated
+        # kind's generic/intrinsified speedup geomean must not fall
+        # below the floor — on any host, in any mode.
+        if args.intrinsify_floor > 0:
+            floor_re = re.compile(
+                r"(hotness|fused|entryexit)_intrins_speedup\.geomean$")
+            for k, v in cur.items():
+                if not floor_re.search(k) or v <= 0:
+                    continue
+                compared += 1
+                if float(v) < args.intrinsify_floor:
+                    regressions.append(
+                        (fname, k, args.intrinsify_floor, float(v),
+                         args.intrinsify_floor / float(v), 1.0))
 
         # Same-run threaded-dispatch floor: independent of the
         # baseline and of the host, so it gates in every mode.

@@ -167,14 +167,7 @@ Engine::execute(uint32_t funcIndex, const std::vector<Value>& args)
     // recompiled").
     Tier tier = Tier::Interpreter;
     if (!_interpreterOnly) {
-        if (!fs.jit) {
-            if (_config.mode == ExecMode::Jit) {
-                compileFunction(funcIndex);
-            } else if (_config.mode == ExecMode::Tiered &&
-                       ++fs.hotness >= _config.tierUpThreshold) {
-                compileFunction(funcIndex);
-            }
-        }
+        maybeCompileOnEntry(fs);
         if (fs.jit) tier = Tier::Jit;
     }
 
@@ -267,9 +260,12 @@ Engine::onLocalProbesChanged(uint32_t funcIndex)
     if (fs.jit) {
         // The compiled code was specialized to the old instrumentation
         // and is now invalid (Section 4.5). Live frames notice the epoch
-        // bump and return to the interpreter.
+        // bump and return to the interpreter; the dirty mark makes the
+        // Tiered engine recompile on the next call/backedge instead of
+        // re-earning hotness.
         fs.jitEpoch++;
         _retiredJit.push_back(std::move(fs.jit));
+        fs.recompilePending = true;
         stats.jitInvalidations++;
     }
 }
@@ -279,13 +275,16 @@ Engine::onProbesBatchChanged(const std::vector<uint32_t>& funcIndices)
 {
     // One epoch bump for the whole batch; per-function invalidation is
     // still required (each function's compiled code was specialized to
-    // its old instrumentation, Section 4.5).
+    // its old instrumentation, Section 4.5). Each touched function is
+    // marked dirty exactly once, so the whole batch costs one lazy
+    // recompile per function — not one per probe.
     instrumentationEpoch++;
     for (uint32_t funcIndex : funcIndices) {
         FuncState& fs = _funcs[funcIndex];
         if (fs.jit) {
             fs.jitEpoch++;
             _retiredJit.push_back(std::move(fs.jit));
+            fs.recompilePending = true;
             stats.jitInvalidations++;
         }
     }
@@ -308,6 +307,7 @@ Engine::compileFunction(uint32_t funcIndex)
 {
     FuncState& fs = _funcs[funcIndex];
     if (fs.decl->imported || _config.mode == ExecMode::Interpreter) return;
+    fs.recompilePending = false;
     fs.jit = translateFunction(*this, fs);
     if (fs.jit) stats.functionsCompiled++;
 }
@@ -339,6 +339,23 @@ OperandProbe::fire(ProbeContext& ctx)
     // Generic path: reach the top-of-stack through the FrameAccessor.
     // The compiled tier's intrinsified path calls fireOperand directly.
     fireOperand(ctx.accessor()->getOperand(0));
+}
+
+void
+EntryExitProbe::fire(ProbeContext& ctx)
+{
+    // Generic path (interpreter, fused sites, intrinsification off):
+    // assemble the same Activation the compiled tier's intrinsified
+    // path passes, so the hook cannot observe which path fired it.
+    Activation a;
+    a.funcIndex = ctx.funcIndex();
+    a.pc = ctx.pc();
+    a.frameId = ctx.frame()->frameId;
+    if (needsTopOfStack()) {
+        a.topOfStack = ctx.accessor()->getOperand(0);
+        a.hasTopOfStack = true;
+    }
+    fireActivation(a);
 }
 
 } // namespace wizpp

@@ -83,11 +83,22 @@ struct EngineConfig
      */
     DispatchBackend dispatch = defaultDispatchBackend();
 
+    // Probe-intrinsification knobs, one per lowering kind (Section 4.4;
+    // see src/jit/lowering.h and docs/JIT.md). `wizeng
+    // --no-intrinsify[=count,operand,entry,fused]` wires these per run.
+
     /** Intrinsify CountProbes to inline counter increments (Section 4.4). */
     bool intrinsifyCountProbe = true;
 
     /** Intrinsify OperandProbes to direct top-of-stack calls. */
     bool intrinsifyOperandProbe = true;
+
+    /** Intrinsify EntryExitProbes to pre-resolved direct calls. */
+    bool intrinsifyEntryExitProbe = true;
+
+    /** Pre-resolve fused multi-probe sites to one direct fused call
+        (no per-fire site re-dispatch). */
+    bool intrinsifyFusedProbe = true;
 
     /** Calls (or backedges) before a function tiers up in Tiered mode. */
     uint32_t tierUpThreshold = 10;
@@ -212,6 +223,28 @@ class Engine
 
     /** Compiles @p funcIndex into the jit tier (no-op for imports). */
     void compileFunction(uint32_t funcIndex);
+
+    /**
+     * The single tier-up/recompile policy, applied when @p fs is about
+     * to execute (call or loop backedge) without compiled code: Jit
+     * mode recompiles unconditionally (lazy recompilation, Section
+     * 4.5); Tiered mode recompiles dirty functions immediately
+     * (FuncState::recompilePending — one recompile per probe batch,
+     * docs/JIT.md) and otherwise charges one hotness event against
+     * the tier-up threshold. Check fs.jit afterwards.
+     */
+    void
+    maybeCompileOnEntry(FuncState& fs)
+    {
+        if (fs.jit) return;
+        if (_config.mode == ExecMode::Jit) {
+            compileFunction(fs.funcIndex);
+        } else if (_config.mode == ExecMode::Tiered &&
+                   (fs.recompilePending ||
+                    ++fs.hotness >= _config.tierUpThreshold)) {
+            compileFunction(fs.funcIndex);
+        }
+    }
 
     /** Sets the trap state (tier loops call this). */
     void setTrap(TrapReason r) { _trap = r; }

@@ -73,6 +73,17 @@ struct FuncState
     /** Call-count for tier-up heuristics. */
     uint32_t hotness = 0;
 
+    /**
+     * Set when a probe change invalidated this function's compiled
+     * code while it was already hot: the Tiered engine recompiles a
+     * dirty function on its next call or backedge without waiting for
+     * the hotness counter to climb again. One insertBatch/removeBatch
+     * marks each touched function dirty exactly once, so a batch costs
+     * one recompile per function instead of one per probe
+     * (Section 4.5; docs/JIT.md).
+     */
+    bool recompilePending = false;
+
     /** Number of local probes currently in this function. */
     uint32_t probeCount = 0;
 

@@ -134,8 +134,9 @@ maybeOsr(Interp& I, uint32_t targetPc, uint32_t fromPc)
     if (eng.interpreterOnly()) return;
     FuncState* fs = I.fs;
     if (!fs->jit) {
-        if (++fs->hotness < cfg.tierUpThreshold) return;
-        eng.compileFunction(fs->funcIndex);
+        // One policy for calls and backedges: dirty functions (probe
+        // batch landed) recompile immediately, others earn hotness.
+        eng.maybeCompileOnEntry(*fs);
         if (!fs->jit) return;
     }
     if (!cfg.osrAtLoopBackedge) return;
@@ -336,16 +337,8 @@ doCall(Interp& I, uint32_t calleeIdx, uint32_t pcAfter)
     // Tiering decision for the callee. Jit mode lazily recompiles code
     // invalidated by probe changes (Section 4.5).
     Tier tier = Tier::Interpreter;
-    const EngineConfig& cfg = eng.config();
     if (!eng.interpreterOnly()) {
-        if (!callee.jit) {
-            if (cfg.mode == ExecMode::Jit) {
-                eng.compileFunction(calleeIdx);
-            } else if (cfg.mode == ExecMode::Tiered &&
-                       ++callee.hotness >= cfg.tierUpThreshold) {
-                eng.compileFunction(calleeIdx);
-            }
-        }
+        eng.maybeCompileOnEntry(callee);
         if (callee.jit) tier = Tier::Jit;
     }
 

@@ -5,9 +5,10 @@
  * The "baseline JIT" of this reproduction pre-decodes a function body
  * into a dense array of JInst records: immediates are fully decoded,
  * control flow is resolved to instruction indices, and probed locations
- * are compiled to explicit probe instructions — a generic runtime call,
- * or an intrinsified form for CountProbes (inline counter increment)
- * and OperandProbes (direct top-of-stack call), exactly mirroring
+ * are compiled to explicit probe instructions whose shape the
+ * instrumentation-lowering layer (jit/lowering.h, docs/JIT.md) picks
+ * per site — intrinsified count/operand/entry-exit forms, one
+ * pre-resolved fused call, or the generic runtime call, mirroring
  * Figure 2 of the paper. See DESIGN.md substitution S1 for why this
  * stands in for native code emission.
  */
@@ -20,24 +21,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "jit/lowering.h"
+
 namespace wizpp {
 
 class Engine;
 struct FuncState;
 
-/** Extended opcode space for compiled instructions. */
+/** Extended opcode space for compiled instructions (probe opcodes —
+    kJProbe* — live with their decision logic in jit/lowering.h). */
 
 /** 0xFC-prefixed ops are encoded as kJFcBase + subopcode. */
 constexpr uint16_t kJFcBase = 256;
-
-/** Generic probe: checkpoint, runtime call into ProbeManager. */
-constexpr uint16_t kJProbeGeneric = 512;
-
-/** Intrinsified CountProbe: inline counter increment (Figure 2). */
-constexpr uint16_t kJProbeCount = 513;
-
-/** Intrinsified OperandProbe: direct call with top-of-stack value. */
-constexpr uint16_t kJProbeOperand = 514;
 
 /** Returned by JitCode::indexOfPc for unmapped pcs. */
 constexpr uint32_t kNoJitIndex = 0xffffffffu;
@@ -69,12 +64,37 @@ struct JitCode
     std::vector<JBranch> brTableArms;
     std::unordered_map<uint32_t, uint32_t> pcToIndex;
 
+    /**
+     * Owners of every pre-resolved probe target baked into insts
+     * (counter addresses, operand/entry-exit/fused probe pointers).
+     * Compiled code pins what it points at: even if M-code detaches a
+     * probe and drops the last external reference while this (then
+     * retired) code is still executing, no JInst::ptr can dangle.
+     */
+    std::vector<std::shared_ptr<Probe>> pinned;
+
+    /**
+     * pc -> lowering kind for every probe site compiled into this
+     * code (introspection: tests assert intrinsification decisions,
+     * benchmarks label per-kind columns).
+     */
+    std::unordered_map<uint32_t, ProbeLoweringKind> probeLowering;
+
     /** Maps a bytecode pc to its compiled index (kNoJitIndex if absent). */
     uint32_t
     indexOfPc(uint32_t pc) const
     {
         auto it = pcToIndex.find(pc);
         return it == pcToIndex.end() ? kNoJitIndex : it->second;
+    }
+
+    /** The lowering kind at @p pc (None when the pc is unprobed). */
+    ProbeLoweringKind
+    loweringAt(uint32_t pc) const
+    {
+        auto it = probeLowering.find(pc);
+        return it == probeLowering.end() ? ProbeLoweringKind::None
+                                         : it->second;
     }
 };
 

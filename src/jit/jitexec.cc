@@ -155,15 +155,7 @@ doCall(JState& J, uint32_t calleeIdx, uint32_t nextIdx)
 
     // Tier-up accounting also applies to calls made from compiled code;
     // Jit mode lazily recompiles invalidated code (Section 4.5).
-    const EngineConfig& cfg = eng.config();
-    if (!callee.jit) {
-        if (cfg.mode == ExecMode::Jit) {
-            eng.compileFunction(calleeIdx);
-        } else if (cfg.mode == ExecMode::Tiered &&
-                   ++callee.hotness >= cfg.tierUpThreshold) {
-            eng.compileFunction(calleeIdx);
-        }
-    }
+    eng.maybeCompileOnEntry(callee);
 
     frames.emplace_back();
     Frame& f = frames.back();
@@ -298,7 +290,8 @@ runJitTier(Engine& eng)
     while (!J.exit) {
         const JInst& n = J.jc->insts[J.idx];
         switch (n.op) {
-          // ---- Probes (Section 4.3-4.4) ----
+          // ---- Probes (Section 4.3-4.4; lowering kinds in
+          // jit/lowering.h, per-kind contracts in docs/JIT.md) ----
           case kJProbeGeneric: {
             uint32_t pc = n.pc;
             // Checkpoint program and VM state, then call M-code.
@@ -309,6 +302,45 @@ runJitTier(Engine& eng)
             eng.probes().fireLocal(J.frame, fs, pc);
             // The probes may have modified the frame or invalidated this
             // code; if so, continue in the interpreter (Section 4.5).
+            if (J.frame->deoptRequested ||
+                J.frame->jitEpoch != fs->jitEpoch || eng.interpreterOnly()) {
+                J.frame->deoptRequested = false;
+                deoptHere(J, pc, /*skipProbes=*/true);
+                break;
+            }
+            J.idx++;
+            break;
+          }
+          case kJProbeGenericLite: {
+            // Runtime-dispatched like kJProbeGeneric, but every probe
+            // at the site declared FrameAccess::None, so the frame
+            // checkpoint (the spill) is dropped entirely.
+            FuncState* fs = J.fs;
+            eng.probes().fireLocal(J.frame, fs, n.pc);
+            if (J.frame->deoptRequested ||
+                J.frame->jitEpoch != fs->jitEpoch ||
+                eng.interpreterOnly()) {
+                J.frame->deoptRequested = false;
+                deoptHere(J, n.pc, /*skipProbes=*/true);
+                break;
+            }
+            J.idx++;
+            break;
+          }
+          case kJProbeFused: {
+            // One pre-resolved call to the site's fused firing entry —
+            // no per-fire site lookup or snapshot copy. The spill
+            // decision was made at lowering time from the members'
+            // declared FrameAccess.
+            uint32_t pc = n.pc;
+            if (n.b) {
+                J.frame->pc = pc;
+                J.frame->sp = J.sp;
+                J.frame->jitResumeIdx = J.idx;
+            }
+            FuncState* fs = J.fs;
+            eng.probes().fireResolved(static_cast<Probe*>(n.ptr), n.aux,
+                                      J.frame, fs, pc);
             if (J.frame->deoptRequested ||
                 J.frame->jitEpoch != fs->jitEpoch || eng.interpreterOnly()) {
                 J.frame->deoptRequested = false;
@@ -329,6 +361,31 @@ runJitTier(Engine& eng)
             static_cast<OperandProbe*>(n.ptr)->fireOperand(TOP);
             if (eng.instrumentationEpoch != epoch) {
                 // M-code touched instrumentation; bail out safely.
+                J.frame->deoptRequested = false;
+                deoptHere(J, n.pc, /*skipProbes=*/true);
+                break;
+            }
+            J.idx++;
+            break;
+          }
+          case kJProbeEntryExit: {
+            // Pre-resolved entry/exit hook: the inline pre-sequence
+            // assembles the Activation from live loop state (no frame
+            // checkpoint, no ProbeContext, no FrameAccessor); the
+            // post-sequence re-checks the instrumentation epoch so
+            // hook callbacks that mutate instrumentation deopt safely.
+            auto* ee = static_cast<EntryExitProbe*>(n.ptr);
+            EntryExitProbe::Activation a;
+            a.funcIndex = J.fs->funcIndex;
+            a.pc = n.pc;
+            a.frameId = J.frame->frameId;
+            if (n.aux) {
+                a.topOfStack = TOP;
+                a.hasTopOfStack = true;
+            }
+            uint64_t epoch = eng.instrumentationEpoch;
+            ee->fireActivation(a);
+            if (eng.instrumentationEpoch != epoch) {
                 J.frame->deoptRequested = false;
                 deoptHere(J, n.pc, /*skipProbes=*/true);
                 break;

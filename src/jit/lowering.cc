@@ -1,0 +1,102 @@
+#include "jit/lowering.h"
+
+#include <typeinfo>
+
+#include "engine/engine.h"
+#include "probes/probe.h"
+
+namespace wizpp {
+
+const char*
+probeLoweringKindName(ProbeLoweringKind k)
+{
+    switch (k) {
+      case ProbeLoweringKind::None: return "none";
+      case ProbeLoweringKind::Count: return "count";
+      case ProbeLoweringKind::Operand: return "operand";
+      case ProbeLoweringKind::EntryExit: return "entryexit";
+      case ProbeLoweringKind::Fused: return "fused";
+      case ProbeLoweringKind::GenericLite: return "generic-lite";
+      case ProbeLoweringKind::Generic: return "generic";
+    }
+    return "?";
+}
+
+ProbeLowering
+lowerProbeSite(const EngineConfig& cfg, const ProbeManager::SiteView& site)
+{
+    ProbeLowering low;
+    if (!site.fired) return low;
+
+    Probe* p = site.fired.get();
+
+    if (site.memberCount == 1) {
+        // CountProbe intrinsifies to a bare `++count` — valid only when
+        // fire() is exactly CountProbe::fire (a subclass may override
+        // fire() and still answer isCountProbe(), so the dynamic type
+        // must be CountProbe itself). This is the single place that
+        // predicate exists; recompiles after a site grows, shrinks or
+        // is re-probed re-run it and cannot disagree with themselves.
+        if (cfg.intrinsifyCountProbe && p->isCountProbe() &&
+            typeid(*p) == typeid(CountProbe)) {
+            low.kind = ProbeLoweringKind::Count;
+            low.op = kJProbeCount;
+            low.ptr = &static_cast<CountProbe*>(p)->count;
+            low.needsSpill = false;
+            low.pin = site.fired;
+            return low;
+        }
+        // OperandProbe's contract is that fireOperand() IS the
+        // behavior (the base fire() merely routes the accessor-read
+        // top-of-stack into it), so every subclass intrinsifies.
+        if (cfg.intrinsifyOperandProbe && p->isOperandProbe()) {
+            low.kind = ProbeLoweringKind::Operand;
+            low.op = kJProbeOperand;
+            low.ptr = static_cast<OperandProbe*>(p);
+            low.needsSpill = false;
+            low.pin = site.fired;
+            return low;
+        }
+        // EntryExitProbe: same contract shape — fireActivation() is
+        // the behavior, the base fire() only assembles the Activation.
+        if (cfg.intrinsifyEntryExitProbe && p->isEntryExitProbe()) {
+            auto* ee = static_cast<EntryExitProbe*>(p);
+            low.kind = ProbeLoweringKind::EntryExit;
+            low.op = kJProbeEntryExit;
+            low.aux = ee->needsTopOfStack() ? 1 : 0;
+            low.ptr = ee;
+            low.needsSpill = false;
+            low.pin = site.fired;
+            return low;
+        }
+    } else if (cfg.intrinsifyFusedProbe) {
+        // Multi-probe site: one pre-resolved call to the fused firing
+        // entry. Membership changes always invalidate this code (epoch
+        // bump) before the stale entry could fire, and the pin keeps
+        // the entry alive for any in-flight retired frame.
+        low.kind = ProbeLoweringKind::Fused;
+        low.op = kJProbeFused;
+        low.aux = static_cast<uint16_t>(site.memberCount);
+        low.ptr = p;
+        low.needsSpill = p->frameAccess() != FrameAccess::None;
+        low.pin = site.fired;
+        return low;
+    }
+
+    // Generic path: runtime site dispatch through fireLocal, honoring
+    // the full deferred-insert/remove semantics. The spill set shrinks
+    // to nothing when every probe at the site declared that it never
+    // touches frame state.
+    if (p->frameAccess() == FrameAccess::None) {
+        low.kind = ProbeLoweringKind::GenericLite;
+        low.op = kJProbeGenericLite;
+        low.needsSpill = false;
+    } else {
+        low.kind = ProbeLoweringKind::Generic;
+        low.op = kJProbeGeneric;
+        low.needsSpill = true;
+    }
+    return low;
+}
+
+} // namespace wizpp

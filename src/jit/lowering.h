@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The instrumentation-lowering layer of the compiled tier.
+ *
+ * Every probe site in a function being translated maps to exactly one
+ * *lowering kind* that decides the shape of the probe instruction in
+ * the compiled code (Section 4.4; docs/JIT.md has the full per-kind
+ * contract):
+ *
+ *  - Count:      a lone CountProbe -> inline counter increment.
+ *  - Operand:    a lone OperandProbe -> direct top-of-stack call.
+ *  - EntryExit:  a lone EntryExitProbe -> pre-resolved direct call
+ *                with an inline pre/post sequence (no frame
+ *                checkpoint, epoch re-check after the call).
+ *  - Fused:      a multi-probe site -> one pre-resolved call to the
+ *                site's fused firing entry (no per-fire re-dispatch).
+ *  - GenericLite: runtime-dispatched generic call whose spill set is
+ *                empty because every probe at the site declared
+ *                FrameAccess::None.
+ *  - Generic:    the full spill/reload path — checkpoint pc/sp/resume
+ *                index, runtime site dispatch through fireLocal.
+ *
+ * The decision lives here — translator.cc only executes it — so the
+ * intrinsification predicate cannot drift between call sites when a
+ * site grows, shrinks, or is re-probed mid-run: recompilation always
+ * re-runs the same single decision function.
+ */
+
+#ifndef WIZPP_JIT_LOWERING_H
+#define WIZPP_JIT_LOWERING_H
+
+#include <cstdint>
+#include <memory>
+
+#include "probes/probemanager.h"
+
+namespace wizpp {
+
+struct EngineConfig;
+
+/** Extended opcode space for compiled probe instructions. */
+
+/** Generic probe: full checkpoint, runtime call into ProbeManager. */
+constexpr uint16_t kJProbeGeneric = 512;
+
+/** Intrinsified CountProbe: inline counter increment (Figure 2). */
+constexpr uint16_t kJProbeCount = 513;
+
+/** Intrinsified OperandProbe: direct call with top-of-stack value. */
+constexpr uint16_t kJProbeOperand = 514;
+
+/** Intrinsified EntryExitProbe: pre-resolved direct activation call. */
+constexpr uint16_t kJProbeEntryExit = 515;
+
+/** Fused multi-probe site: one pre-resolved fused call. */
+constexpr uint16_t kJProbeFused = 516;
+
+/** Generic probe whose declared access needs no frame checkpoint. */
+constexpr uint16_t kJProbeGenericLite = 517;
+
+/** How one probe site lowers into compiled code. */
+enum class ProbeLoweringKind : uint8_t {
+    None,         ///< unprobed instruction (no probe JInst emitted)
+    Count,        ///< kJProbeCount
+    Operand,      ///< kJProbeOperand
+    EntryExit,    ///< kJProbeEntryExit
+    Fused,        ///< kJProbeFused
+    GenericLite,  ///< kJProbeGenericLite
+    Generic,      ///< kJProbeGeneric
+};
+
+/** Lowercase kind name ("count", "fused", ... ) for reports/tests. */
+const char* probeLoweringKindName(ProbeLoweringKind k);
+
+/** The translator-facing decision for one probe site. */
+struct ProbeLowering
+{
+    ProbeLoweringKind kind = ProbeLoweringKind::None;
+
+    /** JInst opcode implementing the kind (kJProbe*). */
+    uint16_t op = 0;
+
+    /** Kind-specific immediate: EntryExit -> needsTopOfStack flag,
+        Fused -> member count (fire accounting). */
+    uint16_t aux = 0;
+
+    /** Pre-resolved target: &CountProbe::count, OperandProbe*,
+        EntryExitProbe*, or the fused Probe*. Null for the runtime-
+        dispatched kinds. */
+    void* ptr = nullptr;
+
+    /** Whether the executing tier must checkpoint frame state
+        (pc/sp/resume index) before the call. Derived from the site's
+        declared FrameAccess; pre-computed here so the executor takes
+        no per-fire decision. */
+    bool needsSpill = true;
+
+    /** Owner of @p ptr. The translator moves this into
+        JitCode::pinned so a pre-resolved target can never dangle,
+        even if M-code detaches the probe and drops its last external
+        reference while the (retired) code is still on a stack. */
+    std::shared_ptr<Probe> pin;
+};
+
+/**
+ * Maps one probe site to its lowering, under @p cfg's per-kind
+ * intrinsification switches. @p site must be live (site.fired set).
+ * Disabled kinds degrade to the runtime-dispatched generic path,
+ * whose spill set still honors the site's declared FrameAccess
+ * (GenericLite when every member declared None).
+ */
+ProbeLowering lowerProbeSite(const EngineConfig& cfg,
+                             const ProbeManager::SiteView& site);
+
+} // namespace wizpp
+
+#endif // WIZPP_JIT_LOWERING_H

@@ -1,8 +1,7 @@
 #include "jit/jitcode.h"
 
-#include <typeinfo>
-
 #include "engine/engine.h"
+#include "jit/lowering.h"
 #include "wasm/decoder.h"
 #include "wasm/opcodes.h"
 
@@ -40,34 +39,28 @@ translateFunction(Engine& eng, FuncState& fs)
     for (uint32_t pc : st.instrBoundaries) {
         jc->pcToIndex[pc] = static_cast<uint32_t>(jc->insts.size());
 
-        // Instrumentation: compile probe sites to probe instructions,
-        // specializing single count/operand probes (Section 4.4).
+        // Instrumentation: the lowering layer (jit/lowering.h) picks
+        // the shape of each probe site's compiled instruction. The
+        // site's fused firing entry IS the probe itself whenever
+        // exactly one probe is attached (ProbeManager never wraps a
+        // single member in a FusedProbe), so a site that was fused and
+        // shrank back to one probe re-lowers identically to a probe
+        // that was always alone — the decision is a pure function of
+        // (config, current site).
         uint8_t rawByte = fs.code[pc];
         uint8_t op = rawByte;
         if (rawByte == OP_PROBE) {
-            // The site's fused firing entry IS the probe itself whenever
-            // exactly one probe is attached (ProbeManager never wraps a
-            // single member in a FusedProbe), so a site that was fused
-            // and shrank back to one probe intrinsifies identically to a
-            // probe that was always alone. Multi-member sites take the
-            // generic path: one kJProbeGeneric, one virtual call.
             ProbeManager::SiteView site = pm.siteFor(fs.funcIndex, pc);
             op = site.originalByte;
+            ProbeLowering low = lowerProbeSite(cfg, site);
             JInst pi;
             pi.pc = pc;
-            pi.op = kJProbeGeneric;
-            if (site.memberCount == 1) {
-                Probe* p = site.fired.get();
-                if (cfg.intrinsifyCountProbe && p->isCountProbe() &&
-                    typeid(*p) == typeid(CountProbe)) {
-                    pi.op = kJProbeCount;
-                    pi.ptr = &static_cast<CountProbe*>(p)->count;
-                } else if (cfg.intrinsifyOperandProbe &&
-                           p->isOperandProbe()) {
-                    pi.op = kJProbeOperand;
-                    pi.ptr = static_cast<OperandProbe*>(p);
-                }
-            }
+            pi.op = low.op;
+            pi.aux = low.aux;
+            pi.b = low.needsSpill ? 1 : 0;
+            pi.ptr = low.ptr;
+            if (low.pin) jc->pinned.push_back(std::move(low.pin));
+            jc->probeLowering.emplace(pc, low.kind);
             jc->insts.push_back(pi);
         }
 

@@ -6,6 +6,54 @@
 
 namespace wizpp {
 
+/**
+ * Entry hook: fires on a function's first instruction. Needs only the
+ * activation identity, so it intrinsifies with no top-of-stack.
+ */
+class FunctionEntryExit::EntryProbe : public EntryExitProbe
+{
+  public:
+    explicit EntryProbe(FunctionEntryExit* owner) : _owner(owner) {}
+
+    void
+    fireActivation(const Activation& a) override
+    {
+        _owner->handleEntry(a);
+    }
+
+  private:
+    FunctionEntryExit* _owner;
+};
+
+/**
+ * Exit hook: fires on returns, the final end, and exit-targeting
+ * branches. Conditional branches consult the top-of-stack to learn
+ * whether the exit is taken, so those instances declare it.
+ */
+class FunctionEntryExit::ExitProbe : public EntryExitProbe
+{
+  public:
+    ExitProbe(FunctionEntryExit* owner, uint8_t opcode)
+        : _owner(owner), _opcode(opcode)
+    {}
+
+    bool
+    needsTopOfStack() const override
+    {
+        return _opcode == OP_BR_IF || _opcode == OP_BR_TABLE;
+    }
+
+    void
+    fireActivation(const Activation& a) override
+    {
+        _owner->handleMaybeExit(a, _opcode);
+    }
+
+  private:
+    FunctionEntryExit* _owner;
+    uint8_t _opcode;
+};
+
 FunctionEntryExit::FunctionEntryExit(Engine& engine, EntryFn onEntry,
                                      ExitFn onExit)
     : _engine(engine), _onEntry(std::move(onEntry)),
@@ -57,9 +105,7 @@ FunctionEntryExit::collect(uint32_t funcIndex,
 
     // Entry probe on the first instruction: loop labels resolve past
     // the loop header, so pc 0 is reached exactly once per activation.
-    auto entry = makeProbe([this](ProbeContext& ctx) {
-        handleEntry(ctx);
-    });
+    auto entry = std::make_shared<EntryProbe>(this);
     batch.push_back({funcIndex, 0, entry});
     _installed.push_back({funcIndex, 0, std::move(entry)});
 
@@ -83,45 +129,42 @@ FunctionEntryExit::collect(uint32_t funcIndex,
             }
         }
         if (!candidate) continue;
-        auto exitProbe = makeProbe([this, op](ProbeContext& ctx) {
-            handleMaybeExit(ctx, op);
-        });
+        auto exitProbe = std::make_shared<ExitProbe>(this, op);
         batch.push_back({funcIndex, pc, exitProbe});
         _installed.push_back({funcIndex, pc, std::move(exitProbe)});
     }
 }
 
 void
-FunctionEntryExit::handleEntry(ProbeContext& ctx)
+FunctionEntryExit::handleEntry(const EntryExitProbe::Activation& a)
 {
-    uint64_t id = ctx.frame()->frameId;
-    _shadow.push_back({ctx.funcIndex(), id});
-    if (_onEntry) _onEntry(ctx.funcIndex(), id);
+    _shadow.push_back({a.funcIndex, a.frameId});
+    if (_onEntry) _onEntry(a.funcIndex, a.frameId);
 }
 
 void
-FunctionEntryExit::handleMaybeExit(ProbeContext& ctx, uint8_t opcode)
+FunctionEntryExit::handleMaybeExit(const EntryExitProbe::Activation& a,
+                                   uint8_t opcode)
 {
-    // Conditional exits consult the frame state to learn whether the
-    // branch will be taken (Section 2.5 / 2.6 style FrameAccessor use).
-    FuncState* fs = ctx.func();
-    const SideTable& st = fs->sideTable;
+    // Conditional exits consult the top-of-stack (delivered inline by
+    // the compiled tier, via the FrameAccessor on the generic path) to
+    // learn whether the branch will be taken (Section 2.5 / 2.6).
+    FuncState& fs = _engine.funcState(a.funcIndex);
+    const SideTable& st = fs.sideTable;
     uint32_t endPc = st.instrBoundaries.back();
     bool exits = true;
     if (opcode == OP_BR_IF) {
-        auto acc = ctx.accessor();
-        exits = acc->getOperand(0).i32() != 0;
+        exits = a.topOfStack.i32() != 0;
     } else if (opcode == OP_BR_TABLE) {
-        auto acc = ctx.accessor();
-        uint32_t idx = acc->getOperand(0).i32();
-        const auto& arms = st.brTables.at(ctx.pc());
+        uint32_t idx = a.topOfStack.i32();
+        const auto& arms = st.brTables.at(a.pc);
         uint32_t n = static_cast<uint32_t>(arms.size()) - 1;
         const SideTableEntry& chosen = arms[idx < n ? idx : n];
         exits = chosen.targetPc == endPc;
     }
     if (!exits) return;
 
-    uint64_t id = ctx.frame()->frameId;
+    uint64_t id = a.frameId;
     // Pop the shadow stack down to (and including) this activation;
     // anything above it missed its exit (should not happen, but monitor
     // robustness beats silent corruption).

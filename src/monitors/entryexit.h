@@ -31,9 +31,15 @@ class Engine;
  *
  * Exit is detected by probing `return` instructions and the function's
  * final `end`, plus branches that target the function's outermost label
- * — for conditional branches the FrameAccessor's top-of-stack decides
- * whether the branch (and hence the exit) will be taken. Activations
- * unwound by traps are flushed via flushUnwound().
+ * — for conditional branches the top-of-stack value decides whether
+ * the branch (and hence the exit) will be taken. Activations unwound
+ * by traps are flushed via flushUnwound().
+ *
+ * All probes are EntryExitProbes, so in compiled code every entry and
+ * exit site lowers to the intrinsified kJProbeEntryExit form: a
+ * pre-resolved direct call with no frame checkpoint, and the
+ * conditional-exit top-of-stack delivered inline instead of through a
+ * FrameAccessor (Section 4.4; docs/JIT.md).
  */
 class FunctionEntryExit
 {
@@ -69,10 +75,14 @@ class FunctionEntryExit
         uint64_t frameId;
     };
 
+    class EntryProbe;
+    class ExitProbe;
+
     void collect(uint32_t funcIndex,
                  std::vector<ProbeManager::SiteProbe>& batch);
-    void handleEntry(ProbeContext& ctx);
-    void handleMaybeExit(ProbeContext& ctx, uint8_t opcode);
+    void handleEntry(const EntryExitProbe::Activation& a);
+    void handleMaybeExit(const EntryExitProbe::Activation& a,
+                         uint8_t opcode);
 
     Engine& _engine;
     EntryFn _onEntry;

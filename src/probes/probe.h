@@ -38,6 +38,22 @@ struct Frame;
 struct FuncState;
 
 /**
+ * What frame state a probe's fire() may reach through its ProbeContext
+ * — a *declaration* the compiled tier trusts when choosing how much
+ * execution state to spill before calling M-code (Section 4.4; see
+ * docs/JIT.md). A probe that declares less than it uses reads stale
+ * frame state in compiled code, so the default is the safe maximum.
+ */
+enum class FrameAccess : uint8_t {
+    /** Location only (funcIndex, pc, frameId); never calls accessor(). */
+    None,
+    /** The top-of-stack operand value only. */
+    Operand,
+    /** May materialize a FrameAccessor and read/write arbitrary state. */
+    Full,
+};
+
+/**
  * Everything a firing probe can reach. The location triple
  * (module, function, pc) is immediately available; frame state is
  * reached through the lazily-allocated FrameAccessor (Section 2.3).
@@ -132,9 +148,19 @@ class Probe
     /// Called just before the probed event.
     virtual void fire(ProbeContext& ctx) = 0;
 
-    /// Kind discriminators used by the compiled tier for intrinsification.
+    /// Kind discriminators used by the compiled tier for intrinsification
+    /// (the lowering pass in src/jit/lowering.cc consumes these).
     virtual bool isCountProbe() const { return false; }
     virtual bool isOperandProbe() const { return false; }
+    virtual bool isEntryExitProbe() const { return false; }
+
+    /**
+     * Declared frame-state footprint (see FrameAccess). The compiled
+     * tier shrinks the generic probe path's spill/reload set to exactly
+     * this; the interpreter ignores it (frame state is always live
+     * there).
+     */
+    virtual FrameAccess frameAccess() const { return FrameAccess::Full; }
 };
 
 /**
@@ -146,6 +172,7 @@ class CountProbe : public Probe
   public:
     void fire(ProbeContext&) override { count++; }
     bool isCountProbe() const override { return true; }
+    FrameAccess frameAccess() const override { return FrameAccess::None; }
 
     uint64_t count = 0;
 };
@@ -160,9 +187,57 @@ class OperandProbe : public Probe
   public:
     void fire(ProbeContext& ctx) override;
     bool isOperandProbe() const override { return true; }
+    FrameAccess frameAccess() const override
+    {
+        return FrameAccess::Operand;
+    }
 
     /// Receives the value on top of the operand stack.
     virtual void fireOperand(Value topOfStack) = 0;
+};
+
+/**
+ * A probe that observes only the activation identity and probed
+ * location — the shape of function entry/exit hooks (Section 2.5).
+ * The compiled tier intrinsifies a lone EntryExitProbe to a
+ * pre-resolved direct call (kJProbeEntryExit): no frame checkpoint, no
+ * site re-dispatch, no ProbeContext, and for conditional-exit sites
+ * the top-of-stack value is passed directly instead of being read
+ * through a FrameAccessor (see docs/JIT.md).
+ */
+class EntryExitProbe : public Probe
+{
+  public:
+    /** Everything an entry/exit hook may consult. */
+    struct Activation
+    {
+        uint32_t funcIndex = 0;
+        uint32_t pc = 0;
+        uint64_t frameId = 0;
+        Value topOfStack;         ///< valid only if hasTopOfStack
+        bool hasTopOfStack = false;
+    };
+
+    /// Generic-path adapter: builds an Activation from the context
+    /// (reading the top-of-stack through the accessor if declared) and
+    /// forwards to fireActivation, so both tiers observe identical
+    /// behavior.
+    void fire(ProbeContext& ctx) override;
+
+    bool isEntryExitProbe() const override { return true; }
+    FrameAccess frameAccess() const override
+    {
+        return needsTopOfStack() ? FrameAccess::Operand
+                                 : FrameAccess::None;
+    }
+
+    /// True if the hook consults the top-of-stack value (conditional
+    /// exits on br_if / br_table). Must be constant per instance: the
+    /// compiled tier bakes it into the lowered probe instruction.
+    virtual bool needsTopOfStack() const { return false; }
+
+    /// The hook proper — the compiled tier's intrinsified entry point.
+    virtual void fireActivation(const Activation& a) = 0;
 };
 
 /** A probe with an empty fire function (Section 5.3's T_PD methodology). */
@@ -170,6 +245,7 @@ class EmptyProbe : public Probe
 {
   public:
     void fire(ProbeContext&) override {}
+    FrameAccess frameAccess() const override { return FrameAccess::None; }
 };
 
 /** An empty probe that still counts as an operand probe (T_PD for branch). */
@@ -199,7 +275,11 @@ class FusedProbe : public Probe
   public:
     explicit FusedProbe(std::vector<std::shared_ptr<Probe>> members)
         : _members(std::move(members))
-    {}
+    {
+        for (const auto& m : _members) {
+            if (m->frameAccess() > _access) _access = m->frameAccess();
+        }
+    }
 
     /// Fires every member in insertion order (one nested virtual call
     /// each), tracking the current member so removeSelf() works inside
@@ -220,8 +300,13 @@ class FusedProbe : public Probe
         return _members;
     }
 
+    /// The widest access any member declared (drives the compiled
+    /// tier's spill decision for the whole fused site).
+    FrameAccess frameAccess() const override { return _access; }
+
   private:
     const std::vector<std::shared_ptr<Probe>> _members;
+    FrameAccess _access = FrameAccess::None;
 };
 
 /** Adapter wrapping a lambda as a probe. */

@@ -361,6 +361,20 @@ ProbeManager::fireSite(const SiteView& site, Frame* frame, FuncState* fs,
 }
 
 void
+ProbeManager::fireResolved(Probe* fired, uint32_t memberCount,
+                           Frame* frame, FuncState* fs, uint32_t pc)
+{
+    // The entry is immutable (a FusedProbe's member list never
+    // changes); M-code mutating the site swaps the *site's* entry and
+    // invalidates the calling code, so this firing completes from its
+    // translation-time snapshot — the Section 2.4 guarantees again.
+    localFireCount += memberCount;
+    ProbeContext ctx(_engine, frame, fs, pc);
+    ctx.setFiring(fired);
+    fired->fire(ctx);
+}
+
+void
 ProbeManager::fireGlobal(Frame* frame, FuncState* fs, uint32_t pc)
 {
     ProbeListRef list = _globals;

@@ -207,6 +207,17 @@ class ProbeManager
     void fireSite(const SiteView& site, Frame* frame, FuncState* fs,
                   uint32_t pc);
 
+    /**
+     * Fires a firing entry the compiled tier resolved at translation
+     * time (kJProbeFused sites): same accounting and context rules as
+     * fireSite(), no per-fire site lookup. @p fired is kept alive by
+     * the calling JitCode's pin list, and any membership change
+     * invalidates that code before a stale entry could fire, so the
+     * raw pointer is safe and deferred insert/remove semantics hold.
+     */
+    void fireResolved(Probe* fired, uint32_t memberCount, Frame* frame,
+                      FuncState* fs, uint32_t pc);
+
     /** Fires all global probes. */
     void fireGlobal(Frame* frame, FuncState* fs, uint32_t pc);
 

@@ -16,11 +16,15 @@
 #include <vector>
 
 #include "interp/interpreter.h"
+#include "jit/jitcode.h"
+#include "monitors/entryexit.h"
 #include "probes/probe.h"
 #include "probes/probemanager.h"
 #include "suites/suites.h"
 #include "test_util.h"
+#include "trace/recorder.h"
 #include "trace/replay.h"
+#include "wasm/opcodes.h"
 
 using namespace wizpp;
 using wizpp::test::mustParse;
@@ -351,4 +355,486 @@ TEST(RemoveBatch, PartialRemovalKeepsRemainingProbesFiring)
     EXPECT_EQ(keep->count, 25u);
     EXPECT_EQ(drop1->count, 0u);
     EXPECT_EQ(drop2->count, 0u);
+}
+
+// ---------------------------------------------------------------------
+// JIT instrumentation lowering (jit/lowering.h; docs/JIT.md)
+// ---------------------------------------------------------------------
+
+namespace {
+
+EngineConfig
+jitConfig()
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    return cfg;
+}
+
+/** A CountProbe subclass whose fire() is NOT CountProbe::fire: the
+    lowering pass must refuse the bare-increment intrinsification or
+    the override would be silently skipped in compiled code. */
+class DoubleCountProbe : public CountProbe
+{
+  public:
+    void fire(ProbeContext&) override { count += 2; }
+};
+
+/** First instruction boundary whose live opcode is @p opcode. */
+uint32_t
+pcOfOpcode(FuncState& fs, uint8_t opcode)
+{
+    for (uint32_t pc : fs.sideTable.instrBoundaries) {
+        if (fs.decl->code[pc] == opcode) return pc;
+    }
+    ADD_FAILURE() << "opcode not found";
+    return 0;
+}
+
+} // namespace
+
+TEST(Lowering, ReattachAtSamePcReintrinsifies)
+{
+    // Regression for the attach -> detach -> attach cycle at one pc:
+    // the lowering decision is a pure function of (config, site), so
+    // a site that grows to a fused pair and shrinks back must lower
+    // exactly as it did before — no stale intrinsification state.
+    auto eng = wizpp::test::makeEngine(kLoopWat, jitConfig());
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+    uint32_t pc = fs.sideTable.instrBoundaries[6];
+
+    auto count = std::make_shared<CountProbe>();
+    ASSERT_TRUE(e.probes().insertLocal(0, pc, count));
+    wizpp::test::run1(e, "run", {Value::makeI32(10)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_EQ(fs.jit->loweringAt(pc), ProbeLoweringKind::Count);
+    EXPECT_EQ(count->count, 10u);
+    // Fully intrinsified: the increment never reaches fireSite.
+    EXPECT_EQ(e.probes().localFireCount, 0u);
+
+    // The site grows: two members lower to one pre-resolved fused call.
+    auto extra = std::make_shared<CountProbe>();
+    ASSERT_TRUE(e.probes().insertLocal(0, pc, extra));
+    wizpp::test::run1(e, "run", {Value::makeI32(10)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_EQ(fs.jit->loweringAt(pc), ProbeLoweringKind::Fused);
+    EXPECT_EQ(count->count, 20u);
+    EXPECT_EQ(extra->count, 10u);
+
+    // It shrinks back to one member: re-intrinsifies identically.
+    ASSERT_TRUE(e.probes().removeLocal(0, pc, extra.get()));
+    wizpp::test::run1(e, "run", {Value::makeI32(10)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_EQ(fs.jit->loweringAt(pc), ProbeLoweringKind::Count);
+    EXPECT_EQ(count->count, 30u);
+
+    // Full detach -> attach cycle at the same pc.
+    ASSERT_TRUE(e.probes().removeLocal(0, pc, count.get()));
+    ASSERT_TRUE(e.probes().insertLocal(0, pc, count));
+    wizpp::test::run1(e, "run", {Value::makeI32(10)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_EQ(fs.jit->loweringAt(pc), ProbeLoweringKind::Count);
+    EXPECT_EQ(count->count, 40u);
+}
+
+TEST(Lowering, CountProbeSubclassTakesGenericPath)
+{
+    // isCountProbe() alone must not trigger the bare-increment
+    // intrinsification: DoubleCountProbe overrides fire().
+    auto eng = wizpp::test::makeEngine(kLoopWat, jitConfig());
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+    uint32_t pc = fs.sideTable.instrBoundaries[6];
+
+    auto sneaky = std::make_shared<DoubleCountProbe>();
+    ASSERT_TRUE(e.probes().insertLocal(0, pc, sneaky));
+    wizpp::test::run1(e, "run", {Value::makeI32(10)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    // It declares FrameAccess::None, so the generic path sheds its
+    // frame checkpoint — but it still dispatches through fire().
+    EXPECT_EQ(fs.jit->loweringAt(pc), ProbeLoweringKind::GenericLite);
+    EXPECT_EQ(sneaky->count, 20u);  // the override ran: +2 per fire
+    EXPECT_EQ(e.probes().localFireCount, 10u);
+}
+
+TEST(Lowering, PerKindConfigTogglesDegradeToGeneric)
+{
+    // Each intrinsification switch independently downgrades its kind
+    // to the runtime-dispatched generic path (full or lite per the
+    // site's declared FrameAccess).
+    EngineConfig cfg = jitConfig();
+    cfg.intrinsifyCountProbe = false;
+    cfg.intrinsifyFusedProbe = false;
+    auto eng = wizpp::test::makeEngine(kLoopWat, cfg);
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+    uint32_t pc = fs.sideTable.instrBoundaries[6];
+
+    auto count = std::make_shared<CountProbe>();
+    ASSERT_TRUE(e.probes().insertLocal(0, pc, count));
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_EQ(fs.jit->loweringAt(pc), ProbeLoweringKind::GenericLite);
+    EXPECT_EQ(count->count, 5u);
+
+    // A second member: fused intrinsification is off, and a plain
+    // LambdaProbe declares Full access -> the full generic path.
+    auto lambda = makeProbe([](ProbeContext&) {});
+    ASSERT_TRUE(e.probes().insertLocal(0, pc, lambda));
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_EQ(fs.jit->loweringAt(pc), ProbeLoweringKind::Generic);
+    EXPECT_EQ(count->count, 10u);
+}
+
+TEST(Lowering, OperandAndEntryExitKindsIntrinsify)
+{
+    auto eng = wizpp::test::makeEngine(kLoopWat, jitConfig());
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+    uint32_t brIfPc = pcOfOpcode(fs, OP_BR_IF);
+
+    auto op = std::make_shared<EmptyOperandProbe>();
+    ASSERT_TRUE(e.probes().insertLocal(0, brIfPc, op));
+
+    uint64_t entries = 0, exits = 0;
+    FunctionEntryExit ee(
+        e, [&](uint32_t, uint64_t) { entries++; },
+        [&](uint32_t, uint64_t) { exits++; });
+    ee.instrument(0);
+
+    wizpp::test::run1(e, "run", {Value::makeI32(3)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_EQ(fs.jit->loweringAt(brIfPc), ProbeLoweringKind::Operand);
+    EXPECT_EQ(fs.jit->loweringAt(0), ProbeLoweringKind::EntryExit);
+    EXPECT_EQ(entries, 1u);
+    EXPECT_EQ(exits, 1u);
+}
+
+// ---------------------------------------------------------------------
+// EntryExitProbe: intrinsified vs generic vs interpreter parity
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Observes the top-of-stack at a probed pc through the entry/exit
+    activation — the conditional-exit shape of FunctionEntryExit. */
+class TosProbe : public EntryExitProbe
+{
+  public:
+    bool needsTopOfStack() const override { return true; }
+
+    void
+    fireActivation(const Activation& a) override
+    {
+        fires++;
+        if (a.hasTopOfStack) sum += a.topOfStack.i32();
+        else missingTos = true;
+    }
+
+    uint64_t sum = 0;
+    uint64_t fires = 0;
+    bool missingTos = false;
+};
+
+} // namespace
+
+TEST(EntryExitProbe, TopOfStackIdenticalAcrossTiers)
+{
+    // The probe fires just before `local.set $a`, where the top of
+    // stack is the freshly computed a+3 — visible identically through
+    // the interpreter's accessor path and the compiled tier's inline
+    // top-of-stack delivery.
+    uint64_t goldenSum = 0, goldenFires = 0;
+    for (int mode = 0; mode < 3; mode++) {
+        EngineConfig cfg;
+        cfg.mode = mode == 0 ? ExecMode::Interpreter : ExecMode::Jit;
+        cfg.intrinsifyEntryExitProbe = mode != 2;
+        auto eng = wizpp::test::makeEngine(kLoopWat, cfg);
+        Engine& e = *eng;
+        FuncState& fs = e.funcState(0);
+        uint32_t setPc = pcOfOpcode(fs, OP_LOCAL_SET);
+
+        auto tos = std::make_shared<TosProbe>();
+        ASSERT_TRUE(e.probes().insertLocal(0, setPc, tos));
+        Value r = wizpp::test::run1(e, "run", {Value::makeI32(4)});
+        EXPECT_EQ(r.i32s(), 12);
+        EXPECT_FALSE(tos->missingTos) << "mode " << mode;
+        if (cfg.mode == ExecMode::Jit) {
+            ASSERT_TRUE(fs.jit != nullptr);
+            EXPECT_EQ(fs.jit->loweringAt(setPc),
+                      mode == 1 ? ProbeLoweringKind::EntryExit
+                                : ProbeLoweringKind::Generic);
+        }
+        if (mode == 0) {
+            goldenSum = tos->sum;
+            goldenFires = tos->fires;
+            EXPECT_EQ(tos->sum, 3u + 6u + 9u + 12u);
+        } else {
+            EXPECT_EQ(tos->sum, goldenSum) << "mode " << mode;
+            EXPECT_EQ(tos->fires, goldenFires) << "mode " << mode;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched tiered recompilation (Section 4.5; docs/JIT.md)
+// ---------------------------------------------------------------------
+
+TEST(TieredRecompile, BatchTriggersExactlyOneLazyRecompile)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Tiered;
+    cfg.tierUpThreshold = 1;
+    auto eng = wizpp::test::makeEngine(kLoopWat, cfg);
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    uint64_t compiled0 = e.stats.functionsCompiled;
+
+    // N probes across one function, one batch: one invalidation, one
+    // dirty mark, and — lazily — exactly one recompile.
+    const auto& pcs = fs.sideTable.instrBoundaries;
+    std::vector<std::shared_ptr<CountProbe>> probes;
+    std::vector<ProbeManager::SiteProbe> batch;
+    for (uint32_t i = 2; i <= 5; i++) {
+        auto p = std::make_shared<CountProbe>();
+        batch.push_back({0, pcs[i], p});
+        probes.push_back(std::move(p));
+    }
+    ASSERT_EQ(e.probes().insertBatch(batch), 4u);
+    EXPECT_TRUE(fs.jit == nullptr);
+    EXPECT_TRUE(fs.recompilePending);
+    // Lazy, as in Section 4.5: nothing recompiled at batch time.
+    EXPECT_EQ(e.stats.functionsCompiled, compiled0);
+
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    EXPECT_EQ(e.stats.functionsCompiled, compiled0 + 1);
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_FALSE(fs.recompilePending);
+    for (const auto& p : probes) EXPECT_GT(p->count, 0u);
+
+    // The bulk detach is batched the same way.
+    std::vector<ProbeManager::SiteProbe> detach;
+    for (uint32_t i = 2; i <= 5; i++) {
+        detach.push_back({0, pcs[i], probes[i - 2]});
+    }
+    ASSERT_EQ(e.probes().removeBatch(detach), 4u);
+    EXPECT_EQ(e.stats.functionsCompiled, compiled0 + 1);
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    EXPECT_EQ(e.stats.functionsCompiled, compiled0 + 2);
+}
+
+TEST(TieredRecompile, InterleavedOneByOneRecompilesPerProbe)
+{
+    // The contrast case the batch API exists for: inserting N probes
+    // one at a time while the function keeps executing recompiles it
+    // N times (each insert invalidates the freshly recompiled code).
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Tiered;
+    cfg.tierUpThreshold = 1;
+    auto eng = wizpp::test::makeEngine(kLoopWat, cfg);
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    uint64_t compiled0 = e.stats.functionsCompiled;
+
+    const auto& pcs = fs.sideTable.instrBoundaries;
+    for (uint32_t i = 2; i <= 5; i++) {
+        ASSERT_TRUE(
+            e.probes().insertLocal(0, pcs[i],
+                                   std::make_shared<CountProbe>()));
+        EXPECT_TRUE(fs.recompilePending);
+        wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    }
+    EXPECT_EQ(e.stats.functionsCompiled, compiled0 + 4);
+}
+
+TEST(TieredRecompile, DirtyFunctionRecompilesBelowHotnessThreshold)
+{
+    // A dirty mark alone must trigger the recompile: with a sky-high
+    // threshold the hotness counter could never re-earn tier-up, but
+    // a function that *was* compiled (here: eagerly, then switched to
+    // a high bar) recompiles on its first post-batch call.
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Tiered;
+    cfg.tierUpThreshold = 2;
+    auto eng = wizpp::test::makeEngine(kLoopWat, cfg);
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    ASSERT_TRUE(fs.jit != nullptr);
+    uint64_t compiled0 = e.stats.functionsCompiled;
+
+    // Make re-earning hotness impossible, then dirty the function.
+    fs.hotness = 0;
+    auto p = std::make_shared<CountProbe>();
+    ASSERT_TRUE(
+        e.probes().insertLocal(0, fs.sideTable.instrBoundaries[6], p));
+    ASSERT_TRUE(fs.recompilePending);
+
+    wizpp::test::run1(e, "run", {Value::makeI32(5)});
+    EXPECT_EQ(e.stats.functionsCompiled, compiled0 + 1);
+    ASSERT_TRUE(fs.jit != nullptr);
+    EXPECT_EQ(fs.jit->loweringAt(fs.sideTable.instrBoundaries[6]),
+              ProbeLoweringKind::Count);
+    EXPECT_EQ(p->count, 5u);
+}
+
+// ---------------------------------------------------------------------
+// Cross-tier trace byte-identity around probe batches (the Tiered
+// column of the dispatch parity matrix)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A function exiting through a conditional branch to its outermost
+    label: the recorder's exit probe there needs the top-of-stack, so
+    Tiered runs exercise the intrinsified conditional-exit path. */
+const char* kCondExitWat = R"WAT((module
+  (func $step (param $x i32) (result i32)
+    (local $r i32)
+    (local.set $r (i32.add (local.get $x) (i32.const 1)))
+    (local.get $r)
+    (br_if 0 (i32.and (local.get $x) (i32.const 1)))
+    (drop)
+    (i32.add (local.get $x) (i32.const 2)))
+  (func (export "run") (param $n i32) (result i32)
+    (local $i i32) (local $a i32)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $a (call $step (local.get $a)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $a))))WAT";
+
+/**
+ * Records a trace of run(500) on kLoopWat under @p cfg while a driver
+ * probe inserts a batch of empty probes at its 40th fire and removes
+ * it at its 120th — mid-run instrumentation churn (invalidation,
+ * deopt, lazy recompile in Tiered mode) that must not perturb the
+ * recorded event stream.
+ */
+std::vector<uint8_t>
+recordAroundMidRunBatch(EngineConfig cfg)
+{
+    Engine eng(cfg);
+    auto lr = eng.loadModule(wizpp::test::mustParse(kLoopWat));
+    EXPECT_TRUE(lr.ok());
+    TraceRecorder rec;
+    eng.attachMonitor(&rec);
+    FuncState& fs = eng.funcState(0);
+    const auto& pcs = fs.sideTable.instrBoundaries;
+    EXPECT_TRUE(rec.addProbePoint(0, pcs[4]));
+    EXPECT_TRUE(rec.addProbePoint(0, pcs[8]));
+
+    auto batch = std::make_shared<std::vector<ProbeManager::SiteProbe>>();
+    for (uint32_t i = 9; i <= 12; i++) {
+        batch->push_back({0, pcs[i], std::make_shared<EmptyProbe>()});
+    }
+    int fires = 0;
+    auto driver = makeProbe([batch, &fires](ProbeContext& ctx) {
+        fires++;
+        if (fires == 40) {
+            auto copy = *batch;
+            ctx.engine().probes().insertBatch(copy);
+        } else if (fires == 120) {
+            auto copy = *batch;
+            ctx.engine().probes().removeBatch(copy);
+        }
+    });
+    EXPECT_TRUE(eng.probes().insertLocal(0, pcs[6], driver));
+
+    EXPECT_TRUE(eng.instantiate().ok());
+    std::vector<Value> args{Value::makeI32(500)};
+    rec.setInvocation("run", args);
+    auto r = eng.callExport("run", args);
+    EXPECT_TRUE(r.ok());
+    rec.finish(TrapReason::None, r.ok() ? r.value()
+                                        : std::vector<Value>{});
+    return rec.bytes();
+}
+
+} // namespace
+
+TEST(TieredTraceParity, ProbedTracesMatchInterpreterAcrossTiers)
+{
+    // Probes attached before the run: the full probe-point + recorder
+    // load, byte-identical whether frames interpret, run compiled
+    // code, or tier up mid-run.
+    for (const char* name : {"richards", "gemm"}) {
+        const BenchProgram* p = findProgram(name);
+        ASSERT_NE(p, nullptr);
+        Module m = mustParse(p->wat);
+        auto points = somePoints(m, 8);
+        ASSERT_FALSE(points.empty());
+        std::vector<Value> args{Value::makeI32(1)};
+        EngineConfig interp;
+        interp.mode = ExecMode::Interpreter;
+        std::vector<uint8_t> golden = recordTrace(
+            mustParse(p->wat), interp, p->entry, args, points);
+        ASSERT_FALSE(golden.empty());
+        for (ExecMode mode : {ExecMode::Jit, ExecMode::Tiered}) {
+            EngineConfig cfg;
+            cfg.mode = mode;
+            cfg.tierUpThreshold = 2;
+            std::vector<uint8_t> got = recordTrace(
+                mustParse(p->wat), cfg, p->entry, args, points);
+            EXPECT_EQ(golden, got)
+                << name << " diverged in mode " << int(mode);
+        }
+    }
+}
+
+TEST(TieredTraceParity, ConditionalExitTracesMatchAcrossTiers)
+{
+    // kCondExitWat exits $step through a br_if to the function label:
+    // the recorder's conditional-exit probes run intrinsified with
+    // inline top-of-stack delivery in the compiled tiers.
+    std::vector<Value> args{Value::makeI32(64)};
+    EngineConfig interp;
+    interp.mode = ExecMode::Interpreter;
+    std::vector<uint8_t> golden = recordTrace(
+        wizpp::test::mustParse(kCondExitWat), interp, "run", args);
+    ASSERT_FALSE(golden.empty());
+    for (ExecMode mode : {ExecMode::Jit, ExecMode::Tiered}) {
+        EngineConfig cfg;
+        cfg.mode = mode;
+        cfg.tierUpThreshold = 3;
+        std::vector<uint8_t> got = recordTrace(
+            wizpp::test::mustParse(kCondExitWat), cfg, "run", args);
+        EXPECT_EQ(golden, got) << "mode " << int(mode);
+        // And with every intrinsification kind disabled.
+        cfg.intrinsifyCountProbe = false;
+        cfg.intrinsifyOperandProbe = false;
+        cfg.intrinsifyEntryExitProbe = false;
+        cfg.intrinsifyFusedProbe = false;
+        got = recordTrace(wizpp::test::mustParse(kCondExitWat), cfg,
+                          "run", args);
+        EXPECT_EQ(golden, got) << "generic, mode " << int(mode);
+    }
+}
+
+TEST(TieredTraceParity, MidRunBatchInsertRemoveKeepsTraceIdentity)
+{
+    // Probes attached and removed *during* the run (including during
+    // tier-up): the batch churns invalidation/deopt/lazy-recompile
+    // underneath the recorder, and the stream must not move a byte.
+    EngineConfig interp;
+    interp.mode = ExecMode::Interpreter;
+    std::vector<uint8_t> golden = recordAroundMidRunBatch(interp);
+    ASSERT_FALSE(golden.empty());
+    for (ExecMode mode : {ExecMode::Jit, ExecMode::Tiered}) {
+        EngineConfig cfg;
+        cfg.mode = mode;  // Tiered: default threshold tiers up mid-run
+        std::vector<uint8_t> got = recordAroundMidRunBatch(cfg);
+        EXPECT_EQ(golden, got) << "mode " << int(mode);
+    }
 }

@@ -9,7 +9,9 @@
  *     --mode=int|jit|tiered   execution mode (default jit)
  *     --dispatch=threaded|switch|table   interpreter dispatch backend
  *                          (default: the build's WIZPP_DISPATCH)
- *     --no-intrinsify      disable probe intrinsification
+ *     --no-intrinsify[=count,operand,entry,fused]
+ *                          disable probe intrinsification, entirely or
+ *                          per lowering kind (see docs/JIT.md)
  *     --invoke=<export>    entry point (default: "run", then "main")
  *     --list-programs      list the built-in benchmark corpus
  *     --trace=<file>       record the execution trace to <file>
@@ -54,7 +56,9 @@ usage()
         "  --mode=int|jit|tiered  execution mode (default jit)\n"
         "  --dispatch=threaded|switch|table  interpreter dispatch "
         "backend\n"
-        "  --no-intrinsify        disable probe intrinsification\n"
+        "  --no-intrinsify[=count,operand,entry,fused]\n"
+        "                         disable probe intrinsification (all\n"
+        "                         kinds, or a comma-separated subset)\n"
         "  --invoke=<export>      entry point (default run/main)\n"
         "  --list-programs        list built-in corpus programs\n"
         "  --trace=<file>         record the execution trace to <file>\n"
@@ -140,6 +144,24 @@ main(int argc, char** argv)
         } else if (a == "--no-intrinsify") {
             config.intrinsifyCountProbe = false;
             config.intrinsifyOperandProbe = false;
+            config.intrinsifyEntryExitProbe = false;
+            config.intrinsifyFusedProbe = false;
+        } else if (a.rfind("--no-intrinsify=", 0) == 0) {
+            for (const std::string& kind : split(a.substr(16), ',')) {
+                if (kind == "count") {
+                    config.intrinsifyCountProbe = false;
+                } else if (kind == "operand") {
+                    config.intrinsifyOperandProbe = false;
+                } else if (kind == "entry") {
+                    config.intrinsifyEntryExitProbe = false;
+                } else if (kind == "fused") {
+                    config.intrinsifyFusedProbe = false;
+                } else {
+                    std::cerr << "unknown intrinsify kind '" << kind
+                              << "' (count, operand, entry, fused)\n";
+                    return 1;
+                }
+            }
         } else if (a.rfind("--invoke=", 0) == 0) {
             entry = a.substr(9);
         } else if (a.rfind("--trace=", 0) == 0) {
