@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Static-analysis throughput: wall-clock cost of the abstract-
+ * interpretation dataflow pass (analysis::Analysis::build + the taint
+ * scan, docs/ANALYSIS.md) over every corpus program.
+ *
+ * Two kinds of metrics join the cross-PR trajectory:
+ *  - `<program>.analyze_us` — absolute pass time (reported, not gated;
+ *    host-dependent like all absolute times).
+ *  - deterministic structural counts (`<program>.findings`, corpus
+ *    totals) — identical inputs must produce identical values, so
+ *    check_bench.py gates them symmetrically: a drifting finding count
+ *    means the analysis changed behavior, not the machine.
+ *
+ * The full corpus runs even under WIZPP_BENCH_FAST: the pass is
+ * milliseconds per program, and the deterministic totals must key
+ * against the committed baseline exactly.
+ *
+ * Emits BENCH_analysis.json and results/analysis_pass.csv.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "analysis/taint.h"
+#include "harness.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+int
+main()
+{
+    std::vector<const BenchProgram*> programs;
+    for (const auto& p : allPrograms()) programs.push_back(&p);
+    programs.push_back(&richardsProgram());
+
+    JsonReport report("analysis");
+    std::vector<std::string> csv;
+
+    uint64_t totalInstrs = 0, totalReachable = 0, totalFindings = 0,
+             totalPtrLocals = 0;
+    double totalUs = 0;
+
+    std::cout << "=== static-analysis pass (" << programs.size()
+              << " programs, reps=" << reps() << ") ===\n";
+    for (const BenchProgram* p : programs) {
+        auto parsed = parseWat(p->wat);
+        if (!parsed.ok()) {
+            std::cerr << "analysis_pass: parse failed: " << p->name
+                      << "\n";
+            return 1;
+        }
+        Module m = parsed.take();
+
+        double best = 0;
+        uint64_t findings = 0, instrs = 0, reachable = 0,
+                 ptrLocals = 0;
+        for (int i = 0; i < reps(); i++) {
+            double t0 = nowSeconds();
+            auto ar = analysis::Analysis::build(m);
+            if (!ar.ok()) {
+                std::cerr << "analysis_pass: analysis failed: "
+                          << p->name << "\n";
+                return 1;
+            }
+            analysis::TaintReport rep =
+                analysis::analyzeTaint(m, ar.value());
+            double dt = nowSeconds() - t0;
+            if (i == 0 || dt < best) best = dt;
+
+            findings = rep.findings.size();
+            instrs = reachable = ptrLocals = 0;
+            for (uint32_t f = 0; f < ar.value().numFuncs(); f++) {
+                const analysis::FuncFacts& ff = ar.value().func(f);
+                instrs += ff.pcs.size();
+                reachable += ff.reachableCount;
+                for (uint64_t bits = ff.pointerLocals; bits;
+                     bits &= bits - 1) {
+                    ptrLocals++;
+                }
+            }
+        }
+
+        double us = best * 1e6;
+        totalUs += us;
+        totalInstrs += instrs;
+        totalReachable += reachable;
+        totalFindings += findings;
+        totalPtrLocals += ptrLocals;
+
+        report.put(p->name + ".analyze_us", us);
+        report.put(p->name + ".findings", findings);
+        csv.push_back(p->name + "," + std::to_string(us) + "," +
+                      std::to_string(instrs) + "," +
+                      std::to_string(reachable) + "," +
+                      std::to_string(findings));
+        std::cout << "  " << p->name << ": " << us << " us, " << instrs
+                  << " instr(s), " << findings << " finding(s)\n";
+    }
+
+    report.put("analysis.programs",
+               static_cast<uint64_t>(programs.size()));
+    report.put("analysis.total_us", totalUs);
+    report.put("analysis.total_instrs", totalInstrs);
+    report.put("analysis.total_reachable", totalReachable);
+    report.put("analysis.total_findings", totalFindings);
+    report.put("analysis.total_ptr_locals", totalPtrLocals);
+
+    std::cout << "corpus: " << totalUs << " us total, " << totalInstrs
+              << " instrs (" << totalReachable << " reachable), "
+              << totalFindings << " taint finding(s), "
+              << totalPtrLocals << " pointer-like local(s)\n";
+
+    writeCsv("analysis_pass.csv",
+             "program,analyze_us,instrs,reachable,findings", csv);
+    std::string path = report.write();
+    if (!path.empty()) std::cout << "wrote " << path << "\n";
+    return 0;
+}

@@ -31,7 +31,8 @@ cd "$OUT_DIR"
 # fig6 must precede fig7: fig7 reuses results/fig6.csv when present.
 BENCHES="fig3_local_vs_global fig4_jit_intrinsify fig5_decomposition \
 fig6_all_programs fig7_suite_means sec54_interp_vs_jit \
-sec6_jvmti_calls ablation_engine trace_overhead monitor_scaling"
+sec6_jvmti_calls ablation_engine trace_overhead monitor_scaling \
+analysis_pass"
 
 status=0
 for b in $BENCHES; do

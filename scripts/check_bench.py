@@ -72,6 +72,12 @@ DETERMINISTIC = [
     r"(^|\.)(bytes|events)$",
     r"\.recompiles_(single|batch)\.",
     r"\.recompile_speedup\.",
+    # Static-analysis structural counts (BENCH_analysis.json): the
+    # pass is deterministic over a fixed corpus, so any drift in a
+    # finding count or corpus total is a behavior change.
+    r"\.findings$",
+    r"^analysis\.(programs|total_instrs|total_reachable"
+    r"|total_findings|total_ptr_locals)$",
 ]
 
 # The only metrics stable enough to gate against the *baseline* when

@@ -5,10 +5,10 @@
 #   1. Every intra-repo markdown link in tracked *.md files resolves
 #      to an existing file (anchors are stripped; external http(s)/
 #      mailto links are skipped).
-#   2. Every ```cpp snippet in docs/PROBES.md is a complete translation
-#      unit that compiles against src/ (extract-and-compile with
-#      -fsyntax-only, so the snippets in the subsystem guide cannot
-#      rot).
+#   2. Every ```cpp snippet in the subsystem guides (docs/PROBES.md,
+#      docs/ANALYSIS.md) is a complete translation unit that compiles
+#      against src/ (extract-and-compile with -fsyntax-only, so the
+#      snippets cannot rot).
 #
 # Usage: scripts/check_docs.sh   (from anywhere; cd's to the repo root)
 set -eu
@@ -60,27 +60,32 @@ CXX=${CXX:-c++}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-awk -v out="$tmp" '
-    /^```cpp$/ { n++; f = sprintf("%s/snippet_%02d.cc", out, n); next }
-    /^```/     { f = "" }
-    f          { print > f }
-' docs/PROBES.md
-
 count=0
-for cc in "$tmp"/snippet_*.cc; do
-    [ -e "$cc" ] || break
-    count=$((count + 1))
-    if ! "$CXX" -std=c++20 -Wall -fsyntax-only -Isrc "$cc"; then
-        echo "check_docs: snippet $(basename "$cc") from docs/PROBES.md" \
-             "does not compile" >&2
+for doc in docs/PROBES.md docs/ANALYSIS.md; do
+    base=$(basename "$doc" .md)
+    awk -v out="$tmp" -v base="$base" '
+        /^```cpp$/ { n++; f = sprintf("%s/%s_%02d.cc", out, base, n); next }
+        /^```/     { f = "" }
+        f          { print > f }
+    ' "$doc"
+
+    found=0
+    for cc in "$tmp/${base}"_*.cc; do
+        [ -e "$cc" ] || break
+        found=$((found + 1))
+        if ! "$CXX" -std=c++20 -Wall -fsyntax-only -Isrc "$cc"; then
+            echo "check_docs: snippet $(basename "$cc") from $doc" \
+                 "does not compile" >&2
+            status=1
+        fi
+    done
+
+    if [ "$found" -eq 0 ]; then
+        echo "check_docs: no \`\`\`cpp snippets found in $doc" >&2
         status=1
     fi
+    count=$((count + found))
 done
-
-if [ "$count" -eq 0 ]; then
-    echo "check_docs: no \`\`\`cpp snippets found in docs/PROBES.md" >&2
-    status=1
-fi
 
 if [ "$status" -eq 0 ]; then
     echo "check_docs: OK ($(echo "$MDFILES" | wc -l | tr -d ' ') markdown" \

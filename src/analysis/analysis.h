@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Static bytecode analysis: a forward abstract-interpretation dataflow
+ * engine over validated function bodies.
+ *
+ * The engine re-uses the exact artifacts the execution tiers run on —
+ * decodeInstr for instruction shapes and the validator's SideTable for
+ * resolved control-flow edges — so its per-pc facts describe the same
+ * bytecode the interpreter executes and the JIT translates. Facts are
+ * computed on the *pristine* bytes (FuncDecl::code), never on the
+ * engine's probe-overwritten copy.
+ *
+ * Three clients ship on top (see docs/ANALYSIS.md):
+ *  - stack-shape/value-provenance facts (`Analysis::factsAt`),
+ *  - static taint/address-leak reporting (analysis/taint.h),
+ *  - the probe-lowering audit (analysis/audit.h).
+ *
+ * Correctness contract: for every reachable pc, the in-state operand
+ * depth equals the depth a FrameAccessor observes when a probe fires
+ * there. tests/test_analysis.cc enforces this differentially across
+ * the whole benchmark corpus; a divergence is a bug in this engine or
+ * in the validator, so the gate doubles as a validator oracle.
+ */
+
+#ifndef WIZPP_ANALYSIS_ANALYSIS_H
+#define WIZPP_ANALYSIS_ANALYSIS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/result.h"
+#include "wasm/module.h"
+#include "wasm/sidetable.h"
+
+namespace wizpp::analysis {
+
+/** Abstract value type: the validator's VT lattice with a top (Any). */
+enum class AbsType : uint8_t { I32, I64, F32, F64, FuncRef, Any };
+
+const char* absTypeName(AbsType t);
+AbsType absTypeOf(ValType t);
+
+/** Where a value came from (provenance). Merge of distinct origins
+    widens to Unknown; the pc/index qualifiers stay with the origin. */
+enum class Origin : uint8_t {
+    Unknown,        ///< untracked, or a merge of different origins
+    Const,          ///< *.const immediate
+    Param,          ///< function parameter (originIndex = local index)
+    LocalInit,      ///< default-zero non-param local
+    GlobalGet,      ///< global.get (originIndex = global index)
+    MemLoad,        ///< loaded from linear memory
+    MemSize,        ///< memory.size result
+    MemGrow,        ///< memory.grow result (an address in pages)
+    CallResult,     ///< result of a call to a local function
+    HostCallResult, ///< result of a call to an imported function
+    Compute,        ///< produced by a numeric/conversion instruction
+};
+
+const char* originName(Origin o);
+
+/** Taint bit: the value is derived from a memory.grow result. */
+constexpr uint8_t kTaintMemGrow = 1;
+
+/** Taint bit: the value is derived from a pointer-like local (a local
+    whose value reaches a load/store address slot somewhere in the
+    function). Weaker evidence than kTaintMemGrow: index arithmetic
+    makes most loop counters pointer-like, so only `--analyze=taint`
+    reports these flows (docs/ANALYSIS.md). */
+constexpr uint8_t kTaintPtrLocal = 2;
+
+/** One abstract operand-stack (or local) slot. */
+struct AbstractValue
+{
+    AbsType type = AbsType::Any;
+    Origin origin = Origin::Unknown;
+    uint32_t originPc = 0xffffffffu;  ///< pc of the producing instruction
+    uint32_t originIndex = 0;         ///< local/global/callee qualifier
+    uint8_t taint = 0;                ///< kTaint* bits
+    /** Locals whose values flowed into this one (bit 63 = "63 and
+        above"). Drives pointer-like-local inference. */
+    uint64_t localDeps = 0;
+
+    bool operator==(const AbstractValue&) const = default;
+};
+
+/** Static facts at one instruction boundary: the state *before* the
+    instruction executes — exactly what a probe firing there sees. */
+struct InstrFacts
+{
+    bool reachable = false;
+
+    /** Operand stack, bottom first; back() is the top of stack. */
+    std::vector<AbstractValue> stack;
+
+    uint32_t depth() const { return static_cast<uint32_t>(stack.size()); }
+};
+
+/** Per-function analysis result. */
+struct FuncFacts
+{
+    uint32_t funcIndex = 0;
+    bool analyzed = false;  ///< false for imported functions
+
+    /** Instruction boundaries, in pc order (from the side table). */
+    std::vector<uint32_t> pcs;
+
+    /** In-state facts, keyed by boundary pc. */
+    std::unordered_map<uint32_t, InstrFacts> facts;
+
+    /** Bitmask of pointer-like locals (bit 63 = "63 and above"). */
+    uint64_t pointerLocals = 0;
+
+    uint32_t reachableCount = 0;
+
+    /**
+     * Internal consistency violations found while solving (e.g. two
+     * reachable edges meeting at one pc with different stack depths).
+     * Validated code must produce none; any entry is a bug in the
+     * analysis or the validator and fails the differential gate.
+     */
+    std::vector<std::string> divergences;
+
+    /** Facts at @p pc, or null if pc is not an instruction boundary. */
+    const InstrFacts*
+    at(uint32_t pc) const
+    {
+        auto it = facts.find(pc);
+        return it == facts.end() ? nullptr : &it->second;
+    }
+};
+
+/**
+ * Analyzes one validated function body to a fixpoint. @p st must be
+ * the function's validation side table (branch targets resolved).
+ * Imported functions yield an empty result with analyzed = false.
+ */
+FuncFacts analyzeFunction(const Module& m, uint32_t funcIndex,
+                          const SideTable& st);
+
+/** Module-wide analysis: validates, then analyzes every function. */
+class Analysis
+{
+  public:
+    Analysis() = default;
+
+    /** Validates @p m and analyzes all function bodies. Returns the
+        validator's error on invalid input. The module must outlive
+        the Analysis only during build (facts are self-contained). */
+    static Result<Analysis> build(const Module& m);
+
+    size_t numFuncs() const { return _funcs.size(); }
+
+    const FuncFacts& func(uint32_t funcIndex) const
+    {
+        return _funcs[funcIndex];
+    }
+
+    /** The facts at (funcIndex, pc); null for imports, out-of-range
+        indices, or non-boundary pcs. */
+    const InstrFacts*
+    factsAt(uint32_t funcIndex, uint32_t pc) const
+    {
+        if (funcIndex >= _funcs.size()) return nullptr;
+        if (!_funcs[funcIndex].analyzed) return nullptr;
+        return _funcs[funcIndex].at(pc);
+    }
+
+  private:
+    std::vector<FuncFacts> _funcs;
+};
+
+} // namespace wizpp::analysis
+
+#endif // WIZPP_ANALYSIS_ANALYSIS_H

@@ -1,0 +1,120 @@
+#include "analysis/audit.h"
+
+#include <iostream>
+
+#include "engine/engine.h"
+#include "jit/jitcode.h"
+#include "jit/lowering.h"
+#include "wasm/disasm.h"
+
+namespace wizpp::analysis {
+
+namespace {
+
+void
+violation(AuditResult& out, uint32_t funcIndex, uint32_t pc,
+          std::string msg)
+{
+    out.violations.push_back({funcIndex, pc, std::move(msg)});
+}
+
+/** Audits every probed site of one function. */
+void
+auditFunction(Engine& eng, uint32_t funcIndex, AuditResult& out)
+{
+    FuncState& fs = eng.funcState(funcIndex);
+    if (fs.probeCount == 0 || !fs.decl || fs.decl->imported) return;
+
+    FuncFacts ff =
+        analyzeFunction(eng.module(), funcIndex, fs.sideTable);
+    for (const std::string& d : ff.divergences) {
+        violation(out, funcIndex, 0, "analysis divergence: " + d);
+    }
+
+    ProbeManager& pm = eng.probes();
+    for (uint32_t pc : fs.sideTable.instrBoundaries) {
+        ProbeManager::SiteView site = pm.siteFor(funcIndex, pc);
+        if (!site.fired) continue;
+        out.sitesAudited++;
+
+        const InstrFacts* fa = ff.at(pc);
+
+        // FrameAccess vs operand availability: a probe that declared
+        // Operand access (OperandProbe, or an EntryExitProbe whose
+        // needsTopOfStack() is true) needs a top-of-stack value, which
+        // a statically-empty stack cannot provide. Statically
+        // unreachable sites are skip-audited: their probes never fire.
+        if (fa && fa->reachable && fa->depth() == 0) {
+            ProbeListRef members = pm.probesAt(funcIndex, pc);
+            if (members) {
+                for (const auto& p : *members) {
+                    if (p->frameAccess() != FrameAccess::Operand) {
+                        continue;
+                    }
+                    violation(
+                        out, funcIndex, pc,
+                        "func #" + std::to_string(funcIndex) + " +" +
+                            std::to_string(pc) +
+                            ": mis-declared FrameAccess: probe "
+                            "declares Operand access but the operand "
+                            "stack is statically empty at `" +
+                            disassembleInstr(fs.decl->code, pc) + "`");
+                }
+            }
+        }
+
+        // Re-run the single lowering decision point and check its
+        // internal invariants and, when the function is currently
+        // compiled and clean, agreement with what the JIT recorded.
+        ProbeLowering low = lowerProbeSite(eng.config(), site);
+        if (low.kind == ProbeLoweringKind::Count &&
+            !site.fired->isCountProbe()) {
+            violation(out, funcIndex, pc,
+                      "func #" + std::to_string(funcIndex) + " +" +
+                          std::to_string(pc) +
+                          ": Count lowering for a non-CountProbe "
+                          "firing entry");
+        }
+        if (fs.jit && !fs.recompilePending) {
+            ProbeLoweringKind recorded = fs.jit->loweringAt(pc);
+            if (recorded != low.kind) {
+                violation(
+                    out, funcIndex, pc,
+                    "func #" + std::to_string(funcIndex) + " +" +
+                        std::to_string(pc) + ": lowering drift: " +
+                        "compiled code recorded '" +
+                        probeLoweringKindName(recorded) +
+                        "' but lowerProbeSite now decides '" +
+                        probeLoweringKindName(low.kind) + "'");
+            }
+        }
+    }
+}
+
+} // namespace
+
+AuditResult
+auditProbeLowering(Engine& eng)
+{
+    AuditResult out;
+    for (uint32_t i = 0; i < eng.numFuncs(); i++) {
+        auditFunction(eng, i, out);
+    }
+    return out;
+}
+
+size_t
+debugAuditFunctions(Engine& eng,
+                    const std::vector<uint32_t>& funcIndices)
+{
+    AuditResult out;
+    for (uint32_t i : funcIndices) {
+        if (i < eng.numFuncs()) auditFunction(eng, i, out);
+    }
+    for (const AuditFinding& f : out.violations) {
+        std::cerr << "[probe-audit] warning: " << f.message << "\n";
+    }
+    return out.violations.size();
+}
+
+} // namespace wizpp::analysis

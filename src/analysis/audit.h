@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Probe-lowering audit: cross-checks the engine's live instrumentation
+ * against the static dataflow facts.
+ *
+ * For every probed site the audit verifies that
+ *  - no attached probe declares FrameAccess::Operand (OperandProbes,
+ *    and EntryExitProbes whose needsTopOfStack() is true) at a pc whose
+ *    operand stack is statically empty — such a probe would fire with
+ *    no top-of-stack value to deliver;
+ *  - re-running lowerProbeSite() on the site agrees with the lowering
+ *    kind recorded in the function's current compiled code (no drift
+ *    between the attach-time decision and what the JIT emitted);
+ *  - kind-specific invariants hold (a Count lowering implies the fired
+ *    entry is a CountProbe).
+ *
+ * Two entry points: auditProbeLowering() is the full sweep behind
+ * `wizeng --audit-lowering`; debugAuditFunctions() is the targeted
+ * per-batch check ProbeManager::insertBatch runs in debug builds
+ * (warnings to stderr, never fatal — deliberate mis-declarations are
+ * exactly what the audit exists to surface).
+ */
+
+#ifndef WIZPP_ANALYSIS_AUDIT_H
+#define WIZPP_ANALYSIS_AUDIT_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+
+namespace wizpp {
+class Engine;
+}
+
+namespace wizpp::analysis {
+
+/** One audit violation at a probed site. */
+struct AuditFinding
+{
+    uint32_t funcIndex = 0;
+    uint32_t pc = 0;
+    std::string message;
+};
+
+struct AuditResult
+{
+    std::vector<AuditFinding> violations;
+    uint32_t sitesAudited = 0;
+};
+
+/** Audits every probed site of @p eng (all functions). */
+AuditResult auditProbeLowering(Engine& eng);
+
+/**
+ * Audits only the probed sites of @p funcIndices, printing each
+ * violation to stderr as a warning. Returns the violation count.
+ * Called by ProbeManager::insertBatch in debug builds.
+ */
+size_t debugAuditFunctions(Engine& eng,
+                           const std::vector<uint32_t>& funcIndices);
+
+} // namespace wizpp::analysis
+
+#endif // WIZPP_ANALYSIS_AUDIT_H

@@ -1,0 +1,742 @@
+/**
+ * @file
+ * The abstract-interpretation solver behind analysis/analysis.h.
+ *
+ * A worklist fixpoint over instruction boundaries: the abstract state
+ * (operand stack + locals, both vectors of AbstractValue) flows along
+ * the same edges the interpreter takes — fallthrough, plus the
+ * validator's resolved SideTable entries for br/br_if/br_table, the
+ * false edge of `if` and the skip edge of `else`. Branch edges apply
+ * the exact SideTableEntry transform the interpreter performs: keep
+ * stack[0, popTo), append the top valCount values, continue at
+ * targetPc.
+ *
+ * The lattice is finite (types widen once to Any, origins widen once
+ * to Unknown, taint and local-dependency bits only grow) and merges
+ * are monotone, so the fixpoint terminates. Reachable-edge merges must
+ * agree on stack depth; a depth conflict is recorded as a divergence
+ * (and fails the differential gate) instead of being widened away.
+ */
+
+#include <deque>
+#include <unordered_set>
+
+#include "analysis/analysis.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+#include "wasm/validator.h"
+
+namespace wizpp::analysis {
+
+namespace {
+
+constexpr uint32_t kNoPc = 0xffffffffu;
+
+/** Locals 63 and above share one dependency bit. */
+uint64_t
+localBit(uint32_t i)
+{
+    return 1ull << (i < 63 ? i : 63);
+}
+
+/** The full abstract state at one program point. */
+struct State
+{
+    std::vector<AbstractValue> stack;
+    std::vector<AbstractValue> locals;
+};
+
+/** Joins @p from into @p into; returns true if @p into changed. */
+bool
+mergeValue(AbstractValue& into, const AbstractValue& from)
+{
+    bool changed = false;
+    if (into.type != from.type && into.type != AbsType::Any) {
+        into.type = AbsType::Any;
+        changed = true;
+    }
+    bool sameOrigin = into.origin == from.origin &&
+                      into.originPc == from.originPc &&
+                      into.originIndex == from.originIndex;
+    if (!sameOrigin && into.origin != Origin::Unknown) {
+        into.origin = Origin::Unknown;
+        into.originPc = kNoPc;
+        into.originIndex = 0;
+        changed = true;
+    }
+    uint8_t taint = into.taint | from.taint;
+    if (taint != into.taint) {
+        into.taint = taint;
+        changed = true;
+    }
+    uint64_t deps = into.localDeps | from.localDeps;
+    if (deps != into.localDeps) {
+        into.localDeps = deps;
+        changed = true;
+    }
+    return changed;
+}
+
+class Solver
+{
+  public:
+    Solver(const Module& m, uint32_t funcIndex, const SideTable& st,
+           FuncFacts& out)
+        : _m(m), _f(m.functions[funcIndex]),
+          _sig(m.types[_f.typeIndex]), _st(st), _out(out)
+    {}
+
+    void
+    run()
+    {
+        State entry;
+        uint32_t numParams = static_cast<uint32_t>(_sig.params.size());
+        for (uint32_t i = 0; i < numParams; i++) {
+            entry.locals.push_back({absTypeOf(_sig.params[i]),
+                                    Origin::Param, kNoPc, i, 0, 0});
+        }
+        for (size_t i = 0; i < _f.locals.size(); i++) {
+            entry.locals.push_back(
+                {absTypeOf(_f.locals[i]), Origin::LocalInit, kNoPc,
+                 numParams + static_cast<uint32_t>(i), 0, 0});
+        }
+        if (_f.code.empty()) return;
+        mergeInto(0, entry);
+
+        // Safety margin far above what the finite lattice permits; a
+        // trip means a monotonicity bug, reported as a divergence.
+        size_t maxSteps =
+            (_st.instrBoundaries.size() + 1) * 4096 + 65536;
+        size_t steps = 0;
+        while (!_worklist.empty()) {
+            if (++steps > maxSteps) {
+                diverge(0, "fixpoint failed to converge");
+                break;
+            }
+            uint32_t pc = _worklist.front();
+            _worklist.pop_front();
+            _queued.erase(pc);
+            step(pc);
+        }
+
+        // Export stack facts and compute the pointer-like-local set
+        // (locals whose values reach a load/store address slot).
+        for (uint32_t pc : _st.instrBoundaries) {
+            InstrFacts fa;
+            auto it = _in.find(pc);
+            if (it != _in.end()) {
+                fa.reachable = true;
+                fa.stack = it->second.stack;
+                _out.reachableCount++;
+                accumulateAddressDeps(pc, it->second);
+            }
+            _out.facts.emplace(pc, std::move(fa));
+        }
+    }
+
+  private:
+    void
+    diverge(uint32_t pc, const std::string& msg)
+    {
+        if (_out.divergences.size() < 64) {
+            _out.divergences.push_back(
+                "func #" + std::to_string(_f.index) + " +" +
+                std::to_string(pc) + ": " + msg);
+        }
+    }
+
+    /** Joins @p s into the in-state at @p pc, queueing on change. */
+    void
+    mergeInto(uint32_t pc, const State& s)
+    {
+        auto it = _in.find(pc);
+        if (it == _in.end()) {
+            _in.emplace(pc, s);
+            enqueue(pc);
+            return;
+        }
+        State& dst = it->second;
+        if (dst.stack.size() != s.stack.size()) {
+            diverge(pc, "reachable edges meet with depths " +
+                            std::to_string(dst.stack.size()) + " and " +
+                            std::to_string(s.stack.size()));
+            return;
+        }
+        bool changed = false;
+        for (size_t i = 0; i < dst.stack.size(); i++) {
+            changed |= mergeValue(dst.stack[i], s.stack[i]);
+        }
+        for (size_t i = 0; i < dst.locals.size(); i++) {
+            changed |= mergeValue(dst.locals[i], s.locals[i]);
+        }
+        if (changed) enqueue(pc);
+    }
+
+    void
+    enqueue(uint32_t pc)
+    {
+        if (_queued.insert(pc).second) _worklist.push_back(pc);
+    }
+
+    /** The interpreter's branch transform: keep stack[0, popTo),
+        append the top valCount values. */
+    bool
+    applyEdge(const State& s, const SideTableEntry& e, uint32_t pc,
+              State* out)
+    {
+        if (s.stack.size() <
+            static_cast<size_t>(e.popTo) + e.valCount) {
+            diverge(pc, "branch edge needs depth >= " +
+                            std::to_string(e.popTo + e.valCount) +
+                            ", have " + std::to_string(s.stack.size()));
+            return false;
+        }
+        *out = s;
+        std::vector<AbstractValue> vals(s.stack.end() - e.valCount,
+                                        s.stack.end());
+        out->stack.resize(e.popTo);
+        out->stack.insert(out->stack.end(), vals.begin(), vals.end());
+        return true;
+    }
+
+    const SideTableEntry*
+    branchEntry(uint32_t pc)
+    {
+        auto it = _st.branches.find(pc);
+        if (it == _st.branches.end()) {
+            diverge(pc, "missing side-table branch entry");
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    bool
+    pop(State& s, uint32_t pc, AbstractValue* out)
+    {
+        if (s.stack.empty()) {
+            diverge(pc, "operand stack underflow in reachable code");
+            return false;
+        }
+        *out = s.stack.back();
+        s.stack.pop_back();
+        return true;
+    }
+
+    static AbstractValue
+    make(AbsType t, Origin o, uint32_t pc, uint32_t index = 0)
+    {
+        return {t, o, pc, index, 0, 0};
+    }
+
+    /** Transfers the in-state through the instruction at @p pc and
+        propagates to every successor edge. */
+    void
+    step(uint32_t pc)
+    {
+        InstrView v;
+        if (!decodeInstr(_f.code, pc, &v)) {
+            diverge(pc, "validated code failed to decode");
+            return;
+        }
+        State s = _in.at(pc);  // copy: transfer mutates
+        uint32_t next = pc + static_cast<uint32_t>(v.length);
+        AbstractValue a, b, c;
+
+        // Derived compute result: taint and local deps flow through.
+        auto compute = [&](AbsType t,
+                           std::initializer_list<const AbstractValue*>
+                               srcs) {
+            AbstractValue r = make(t, Origin::Compute, pc);
+            for (const AbstractValue* src : srcs) {
+                r.taint |= src->taint;
+                r.localDeps |= src->localDeps;
+            }
+            return r;
+        };
+        auto cvt = [&](AbsType to) {
+            if (!pop(s, pc, &a)) return false;
+            s.stack.push_back(compute(to, {&a}));
+            return true;
+        };
+        auto fallthrough = [&]() { mergeInto(next, s); };
+
+        switch (v.opcode) {
+          case OP_UNREACHABLE:
+            return;  // no successors
+          case OP_NOP:
+          case OP_BLOCK:
+          case OP_LOOP:
+            fallthrough();
+            return;
+
+          case OP_IF: {
+            if (!pop(s, pc, &a)) return;  // condition
+            const SideTableEntry* e = branchEntry(pc);
+            if (!e) return;
+            State f;
+            if (applyEdge(s, *e, pc, &f)) mergeInto(e->targetPc, f);
+            fallthrough();  // then-body
+            return;
+          }
+          case OP_ELSE: {
+            // Reached by falling out of the then-branch; the skip
+            // edge jumps past `end`. The else-body itself is entered
+            // through the `if`'s false edge, not from here.
+            const SideTableEntry* e = branchEntry(pc);
+            if (!e) return;
+            State f;
+            if (applyEdge(s, *e, pc, &f)) mergeInto(e->targetPc, f);
+            return;
+          }
+          case OP_END:
+            // Identity transfer. The final `end` is the function
+            // exit (and the function-label branch target): no
+            // successors.
+            if (next < _f.code.size()) fallthrough();
+            return;
+
+          case OP_BR: {
+            const SideTableEntry* e = branchEntry(pc);
+            if (!e) return;
+            State f;
+            if (applyEdge(s, *e, pc, &f)) mergeInto(e->targetPc, f);
+            return;
+          }
+          case OP_BR_IF: {
+            if (!pop(s, pc, &a)) return;  // condition
+            const SideTableEntry* e = branchEntry(pc);
+            if (!e) return;
+            State f;
+            if (applyEdge(s, *e, pc, &f)) mergeInto(e->targetPc, f);
+            fallthrough();
+            return;
+          }
+          case OP_BR_TABLE: {
+            if (!pop(s, pc, &a)) return;  // index
+            auto it = _st.brTables.find(pc);
+            if (it == _st.brTables.end()) {
+                diverge(pc, "missing side-table br_table entry");
+                return;
+            }
+            for (const SideTableEntry& e : it->second) {
+                State f;
+                if (applyEdge(s, e, pc, &f)) mergeInto(e.targetPc, f);
+            }
+            return;
+          }
+          case OP_RETURN:
+            return;  // no successors
+
+          case OP_CALL: {
+            if (v.index >= _m.functions.size()) {
+                diverge(pc, "call target out of range");
+                return;
+            }
+            const FuncType& ft = _m.funcType(v.index);
+            for (size_t i = 0; i < ft.params.size(); i++) {
+                if (!pop(s, pc, &a)) return;
+            }
+            bool host = _m.functions[v.index].imported;
+            for (ValType t : ft.results) {
+                s.stack.push_back(make(
+                    absTypeOf(t),
+                    host ? Origin::HostCallResult : Origin::CallResult,
+                    pc, v.index));
+            }
+            fallthrough();
+            return;
+          }
+          case OP_CALL_INDIRECT: {
+            if (v.index >= _m.types.size()) {
+                diverge(pc, "call_indirect type out of range");
+                return;
+            }
+            const FuncType& ft = _m.types[v.index];
+            if (!pop(s, pc, &a)) return;  // table index
+            for (size_t i = 0; i < ft.params.size(); i++) {
+                if (!pop(s, pc, &b)) return;
+            }
+            for (ValType t : ft.results) {
+                s.stack.push_back(
+                    make(absTypeOf(t), Origin::CallResult, pc, v.index));
+            }
+            fallthrough();
+            return;
+          }
+
+          case OP_DROP:
+            if (!pop(s, pc, &a)) return;
+            fallthrough();
+            return;
+          case OP_SELECT: {
+            if (!pop(s, pc, &c) || !pop(s, pc, &a) || !pop(s, pc, &b)) {
+                return;
+            }
+            AbstractValue r = compute(
+                a.type == b.type ? a.type : AbsType::Any, {&a, &b, &c});
+            s.stack.push_back(r);
+            fallthrough();
+            return;
+          }
+
+          case OP_LOCAL_GET: {
+            if (v.index >= s.locals.size()) {
+                diverge(pc, "local index out of range");
+                return;
+            }
+            AbstractValue r = s.locals[v.index];
+            r.localDeps |= localBit(v.index);
+            s.stack.push_back(r);
+            fallthrough();
+            return;
+          }
+          case OP_LOCAL_SET: {
+            if (v.index >= s.locals.size()) {
+                diverge(pc, "local index out of range");
+                return;
+            }
+            if (!pop(s, pc, &a)) return;
+            s.locals[v.index] = a;
+            fallthrough();
+            return;
+          }
+          case OP_LOCAL_TEE: {
+            if (v.index >= s.locals.size()) {
+                diverge(pc, "local index out of range");
+                return;
+            }
+            if (!pop(s, pc, &a)) return;
+            s.locals[v.index] = a;
+            AbstractValue r = a;
+            r.localDeps |= localBit(v.index);
+            s.stack.push_back(r);
+            fallthrough();
+            return;
+          }
+          case OP_GLOBAL_GET: {
+            if (v.index >= _m.globals.size()) {
+                diverge(pc, "global index out of range");
+                return;
+            }
+            s.stack.push_back(make(absTypeOf(_m.globals[v.index].type),
+                                   Origin::GlobalGet, pc, v.index));
+            fallthrough();
+            return;
+          }
+          case OP_GLOBAL_SET:
+            if (!pop(s, pc, &a)) return;
+            fallthrough();
+            return;
+
+          case OP_I32_CONST:
+            s.stack.push_back(make(AbsType::I32, Origin::Const, pc));
+            fallthrough();
+            return;
+          case OP_I64_CONST:
+            s.stack.push_back(make(AbsType::I64, Origin::Const, pc));
+            fallthrough();
+            return;
+          case OP_F32_CONST:
+            s.stack.push_back(make(AbsType::F32, Origin::Const, pc));
+            fallthrough();
+            return;
+          case OP_F64_CONST:
+            s.stack.push_back(make(AbsType::F64, Origin::Const, pc));
+            fallthrough();
+            return;
+
+          case OP_MEMORY_SIZE:
+            s.stack.push_back(make(AbsType::I32, Origin::MemSize, pc));
+            fallthrough();
+            return;
+          case OP_MEMORY_GROW: {
+            if (!pop(s, pc, &a)) return;
+            AbstractValue r = make(AbsType::I32, Origin::MemGrow, pc);
+            r.taint = kTaintMemGrow;  // the address-leak taint source
+            s.stack.push_back(r);
+            fallthrough();
+            return;
+          }
+
+          case OP_PREFIX_FC:
+            switch (v.prefixOp) {
+              case FC_I32_TRUNC_SAT_F32_S:
+              case FC_I32_TRUNC_SAT_F32_U:
+              case FC_I32_TRUNC_SAT_F64_S:
+              case FC_I32_TRUNC_SAT_F64_U:
+                if (!cvt(AbsType::I32)) return;
+                break;
+              case FC_I64_TRUNC_SAT_F32_S:
+              case FC_I64_TRUNC_SAT_F32_U:
+              case FC_I64_TRUNC_SAT_F64_S:
+              case FC_I64_TRUNC_SAT_F64_U:
+                if (!cvt(AbsType::I64)) return;
+                break;
+              case FC_MEMORY_FILL:
+              case FC_MEMORY_COPY:
+                if (!pop(s, pc, &a) || !pop(s, pc, &b) ||
+                    !pop(s, pc, &c)) {
+                    return;
+                }
+                break;
+              default:
+                diverge(pc, "unsupported 0xfc opcode");
+                return;
+            }
+            fallthrough();
+            return;
+
+          default:
+            if (!numericOrMemory(pc, v, s)) return;
+            fallthrough();
+            return;
+        }
+    }
+
+    /** Loads, stores and the numeric opcode ranges (the validator's
+        `default` arm, with provenance-carrying results). */
+    bool
+    numericOrMemory(uint32_t pc, const InstrView& v, State& s)
+    {
+        uint8_t op = v.opcode;
+        AbstractValue a, b;
+        auto compute = [&](AbsType t,
+                           std::initializer_list<const AbstractValue*>
+                               srcs) {
+            AbstractValue r = make(t, Origin::Compute, pc);
+            for (const AbstractValue* src : srcs) {
+                r.taint |= src->taint;
+                r.localDeps |= src->localDeps;
+            }
+            return r;
+        };
+        auto unop = [&](AbsType t) {
+            if (!pop(s, pc, &a)) return false;
+            s.stack.push_back(compute(t, {&a}));
+            return true;
+        };
+        auto binop = [&](AbsType t) {
+            if (!pop(s, pc, &a) || !pop(s, pc, &b)) return false;
+            s.stack.push_back(compute(t, {&a, &b}));
+            return true;
+        };
+        auto relop = [&](AbsType) {
+            if (!pop(s, pc, &a) || !pop(s, pc, &b)) return false;
+            s.stack.push_back(compute(AbsType::I32, {&a, &b}));
+            return true;
+        };
+        auto cvt = [&](AbsType to) {
+            if (!pop(s, pc, &a)) return false;
+            s.stack.push_back(compute(to, {&a}));
+            return true;
+        };
+
+        if (isLoadOpcode(op)) {
+            if (!pop(s, pc, &a)) return false;  // address
+            s.stack.push_back(make(loadStoreType(op), Origin::MemLoad,
+                                   pc));
+            return true;
+        }
+        if (isStoreOpcode(op)) {
+            // value, then address
+            return pop(s, pc, &a) && pop(s, pc, &b);
+        }
+
+        if (op == OP_I32_EQZ) return cvt(AbsType::I32);
+        if (op >= OP_I32_EQ && op <= OP_I32_GE_U) {
+            return relop(AbsType::I32);
+        }
+        if (op == OP_I64_EQZ) return cvt(AbsType::I32);
+        if (op >= OP_I64_EQ && op <= OP_I64_GE_U) {
+            return relop(AbsType::I64);
+        }
+        if (op >= OP_F32_EQ && op <= OP_F32_GE) return relop(AbsType::F32);
+        if (op >= OP_F64_EQ && op <= OP_F64_GE) return relop(AbsType::F64);
+        if (op >= OP_I32_CLZ && op <= OP_I32_POPCNT) {
+            return unop(AbsType::I32);
+        }
+        if (op >= OP_I32_ADD && op <= OP_I32_ROTR) {
+            return binop(AbsType::I32);
+        }
+        if (op >= OP_I64_CLZ && op <= OP_I64_POPCNT) {
+            return unop(AbsType::I64);
+        }
+        if (op >= OP_I64_ADD && op <= OP_I64_ROTR) {
+            return binop(AbsType::I64);
+        }
+        if (op >= OP_F32_ABS && op <= OP_F32_SQRT) return unop(AbsType::F32);
+        if (op >= OP_F32_ADD && op <= OP_F32_COPYSIGN) {
+            return binop(AbsType::F32);
+        }
+        if (op >= OP_F64_ABS && op <= OP_F64_SQRT) return unop(AbsType::F64);
+        if (op >= OP_F64_ADD && op <= OP_F64_COPYSIGN) {
+            return binop(AbsType::F64);
+        }
+        if (op == OP_I32_WRAP_I64) return cvt(AbsType::I32);
+        if (op == OP_I32_TRUNC_F32_S || op == OP_I32_TRUNC_F32_U ||
+            op == OP_I32_TRUNC_F64_S || op == OP_I32_TRUNC_F64_U ||
+            op == OP_I32_REINTERPRET_F32) {
+            return cvt(AbsType::I32);
+        }
+        if (op == OP_I64_EXTEND_I32_S || op == OP_I64_EXTEND_I32_U ||
+            op == OP_I64_TRUNC_F32_S || op == OP_I64_TRUNC_F32_U ||
+            op == OP_I64_TRUNC_F64_S || op == OP_I64_TRUNC_F64_U ||
+            op == OP_I64_REINTERPRET_F64) {
+            return cvt(AbsType::I64);
+        }
+        if (op == OP_F32_CONVERT_I32_S || op == OP_F32_CONVERT_I32_U ||
+            op == OP_F32_CONVERT_I64_S || op == OP_F32_CONVERT_I64_U ||
+            op == OP_F32_DEMOTE_F64 || op == OP_F32_REINTERPRET_I32) {
+            return cvt(AbsType::F32);
+        }
+        if (op == OP_F64_CONVERT_I32_S || op == OP_F64_CONVERT_I32_U ||
+            op == OP_F64_CONVERT_I64_S || op == OP_F64_CONVERT_I64_U ||
+            op == OP_F64_PROMOTE_F32 || op == OP_F64_REINTERPRET_I64) {
+            return cvt(AbsType::F64);
+        }
+        if (op == OP_I32_EXTEND8_S || op == OP_I32_EXTEND16_S) {
+            return unop(AbsType::I32);
+        }
+        if (op >= OP_I64_EXTEND8_S && op <= OP_I64_EXTEND32_S) {
+            return unop(AbsType::I64);
+        }
+        diverge(pc, std::string("unmodeled opcode ") + opcodeName(op));
+        return false;
+    }
+
+    static AbsType
+    loadStoreType(uint8_t op)
+    {
+        switch (op) {
+          case OP_I32_LOAD:
+          case OP_I32_LOAD8_S:
+          case OP_I32_LOAD8_U:
+          case OP_I32_LOAD16_S:
+          case OP_I32_LOAD16_U:
+            return AbsType::I32;
+          case OP_F32_LOAD:
+            return AbsType::F32;
+          case OP_F64_LOAD:
+            return AbsType::F64;
+          default:
+            return AbsType::I64;  // the i64.load* family
+        }
+    }
+
+    /** Unions the local-dependency bits of every address slot at
+        @p pc into the function's pointer-like-local set. */
+    void
+    accumulateAddressDeps(uint32_t pc, const State& s)
+    {
+        uint8_t op = _f.code[pc];
+        const auto& st = s.stack;
+        if (isLoadOpcode(op)) {
+            if (!st.empty()) _out.pointerLocals |= st.back().localDeps;
+        } else if (isStoreOpcode(op)) {
+            if (st.size() >= 2) {
+                _out.pointerLocals |= st[st.size() - 2].localDeps;
+            }
+        } else if (op == OP_PREFIX_FC) {
+            InstrView v;
+            if (!decodeInstr(_f.code, pc, &v)) return;
+            // fill: [dest, val, n]; copy: [dest, src, n] — dest and
+            // src are addresses.
+            if (v.prefixOp == FC_MEMORY_FILL && st.size() >= 3) {
+                _out.pointerLocals |= st[st.size() - 3].localDeps;
+            } else if (v.prefixOp == FC_MEMORY_COPY && st.size() >= 3) {
+                _out.pointerLocals |= st[st.size() - 3].localDeps;
+                _out.pointerLocals |= st[st.size() - 2].localDeps;
+            }
+        }
+    }
+
+    const Module& _m;
+    const FuncDecl& _f;
+    const FuncType& _sig;
+    const SideTable& _st;
+    FuncFacts& _out;
+
+    std::unordered_map<uint32_t, State> _in;
+    std::deque<uint32_t> _worklist;
+    std::unordered_set<uint32_t> _queued;
+};
+
+} // namespace
+
+const char*
+absTypeName(AbsType t)
+{
+    switch (t) {
+      case AbsType::I32: return "i32";
+      case AbsType::I64: return "i64";
+      case AbsType::F32: return "f32";
+      case AbsType::F64: return "f64";
+      case AbsType::FuncRef: return "funcref";
+      case AbsType::Any: return "any";
+    }
+    return "?";
+}
+
+AbsType
+absTypeOf(ValType t)
+{
+    switch (t) {
+      case ValType::I32: return AbsType::I32;
+      case ValType::I64: return AbsType::I64;
+      case ValType::F32: return AbsType::F32;
+      case ValType::F64: return AbsType::F64;
+      case ValType::FuncRef: return AbsType::FuncRef;
+      default: return AbsType::Any;
+    }
+}
+
+const char*
+originName(Origin o)
+{
+    switch (o) {
+      case Origin::Unknown: return "unknown";
+      case Origin::Const: return "const";
+      case Origin::Param: return "param";
+      case Origin::LocalInit: return "local-init";
+      case Origin::GlobalGet: return "global.get";
+      case Origin::MemLoad: return "mem-load";
+      case Origin::MemSize: return "memory.size";
+      case Origin::MemGrow: return "memory.grow";
+      case Origin::CallResult: return "call-result";
+      case Origin::HostCallResult: return "host-call-result";
+      case Origin::Compute: return "compute";
+    }
+    return "?";
+}
+
+FuncFacts
+analyzeFunction(const Module& m, uint32_t funcIndex, const SideTable& st)
+{
+    FuncFacts out;
+    out.funcIndex = funcIndex;
+    if (funcIndex >= m.functions.size() ||
+        m.functions[funcIndex].imported) {
+        return out;
+    }
+    out.analyzed = true;
+    out.pcs = st.instrBoundaries;
+    Solver solver(m, funcIndex, st, out);
+    solver.run();
+    return out;
+}
+
+Result<Analysis>
+Analysis::build(const Module& m)
+{
+    auto vr = validateModule(m);
+    if (!vr.ok()) return vr.error();
+    Analysis a;
+    a._funcs.reserve(m.functions.size());
+    for (uint32_t i = 0; i < m.functions.size(); i++) {
+        a._funcs.push_back(
+            analyzeFunction(m, i, vr.value().sideTables[i]));
+    }
+    return a;
+}
+
+} // namespace wizpp::analysis

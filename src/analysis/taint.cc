@@ -1,0 +1,139 @@
+#include "analysis/taint.h"
+
+#include "wasm/decoder.h"
+#include "wasm/disasm.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp::analysis {
+
+namespace {
+
+/** Taint on @p v as seen by a sink: the solver's bits plus the
+    derived pointer-like-local bit (localDeps ∩ pointerLocals). */
+uint8_t
+effectiveTaint(const AbstractValue& v, const FuncFacts& ff)
+{
+    uint8_t t = v.taint;
+    if (v.localDeps & ff.pointerLocals) t |= kTaintPtrLocal;
+    return t;
+}
+
+void
+report(TaintReport& out, const Module& m, const FuncFacts& ff,
+       uint32_t pc, SinkKind sink, const AbstractValue& v)
+{
+    uint8_t taint = effectiveTaint(v, ff);
+    if (taint == 0) return;
+
+    LeakFinding fi;
+    fi.funcIndex = ff.funcIndex;
+    fi.pc = pc;
+    fi.sink = sink;
+    fi.definite = (taint & kTaintMemGrow) != 0;
+    fi.taint = taint;
+    fi.origin = v.origin;
+    fi.originPc = v.originPc;
+
+    const FuncDecl& f = m.functions[ff.funcIndex];
+    std::string what = fi.definite ? "memory.grow-derived address"
+                                   : "pointer-like-local-derived value";
+    fi.message = "func #" + std::to_string(ff.funcIndex) + " +" +
+                 std::to_string(pc) + ": " +
+                 (fi.definite ? "definite" : "potential") +
+                 " address leak: " + what + " (origin " +
+                 originName(v.origin);
+    if (v.originPc != 0xffffffffu) {
+        fi.message += " @+" + std::to_string(v.originPc);
+    }
+    fi.message += ") reaches " + std::string(sinkKindName(sink)) +
+                  " in `" + disassembleInstr(f.code, pc) + "`";
+
+    if (fi.definite) {
+        out.definiteCount++;
+    } else {
+        out.potentialCount++;
+    }
+    out.findings.push_back(std::move(fi));
+}
+
+void
+scanFunction(TaintReport& out, const Module& m, const FuncFacts& ff)
+{
+    const FuncDecl& f = m.functions[ff.funcIndex];
+    const FuncType& sig = m.types[f.typeIndex];
+    for (uint32_t pc : ff.pcs) {
+        const InstrFacts* fa = ff.at(pc);
+        if (!fa || !fa->reachable) continue;
+        const auto& st = fa->stack;
+        uint8_t op = f.code[pc];
+
+        if (isStoreOpcode(op)) {
+            // [..., addr, value] — the stored value is on top.
+            if (!st.empty()) {
+                report(out, m, ff, pc, SinkKind::StoreValue, st.back());
+            }
+            continue;
+        }
+        if (op == OP_RETURN ||
+            (op == OP_END && pc + 1 == f.code.size())) {
+            if (!sig.results.empty() && !st.empty()) {
+                report(out, m, ff, pc, SinkKind::ReturnValue, st.back());
+            }
+            continue;
+        }
+        if (op == OP_CALL) {
+            InstrView v;
+            if (!decodeInstr(f.code, pc, &v)) continue;
+            if (v.index >= m.functions.size()) continue;
+            if (!m.functions[v.index].imported) continue;
+            size_t n = m.funcType(v.index).params.size();
+            if (st.size() < n) continue;
+            for (size_t i = 0; i < n; i++) {
+                report(out, m, ff, pc, SinkKind::HostCallArg,
+                       st[st.size() - 1 - i]);
+            }
+            continue;
+        }
+        if (op == OP_CALL_INDIRECT) {
+            InstrView v;
+            if (!decodeInstr(f.code, pc, &v)) continue;
+            if (v.index >= m.types.size()) continue;
+            // [..., args..., tableIdx] — the table index is on top.
+            size_t n = m.types[v.index].params.size();
+            if (st.size() < n + 1) continue;
+            for (size_t i = 0; i < n; i++) {
+                report(out, m, ff, pc, SinkKind::IndirectCallArg,
+                       st[st.size() - 2 - i]);
+            }
+            continue;
+        }
+    }
+}
+
+} // namespace
+
+const char*
+sinkKindName(SinkKind k)
+{
+    switch (k) {
+      case SinkKind::StoreValue: return "memory store";
+      case SinkKind::ReturnValue: return "function return";
+      case SinkKind::HostCallArg: return "host-call argument";
+      case SinkKind::IndirectCallArg: return "indirect-call argument";
+    }
+    return "?";
+}
+
+TaintReport
+analyzeTaint(const Module& m, const Analysis& a)
+{
+    TaintReport out;
+    for (uint32_t i = 0; i < a.numFuncs(); i++) {
+        const FuncFacts& ff = a.func(i);
+        if (!ff.analyzed) continue;
+        scanFunction(out, m, ff);
+    }
+    return out;
+}
+
+} // namespace wizpp::analysis

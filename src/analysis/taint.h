@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Static taint/address-leak analysis on top of the dataflow facts.
+ *
+ * Sources are memory-address-producing values: `memory.grow` results
+ * (definite — the value *is* an address in pages) and values derived
+ * from pointer-like locals (potential — locals whose values reach a
+ * load/store address slot; see FuncFacts::pointerLocals). Sinks are
+ * places a value escapes the function: stored to linear memory,
+ * returned to the caller, or passed to a host (imported) call.
+ *
+ * `wizeng --analyze=leaks` reports only the definite (memory.grow)
+ * flows; `--analyze=taint` reports both classes. The split keeps the
+ * leak report actionable: index arithmetic makes most loop counters
+ * pointer-like, so potential flows are plentiful in clean numeric
+ * code, while memory.grow-derived flows are rare and deliberate.
+ */
+
+#ifndef WIZPP_ANALYSIS_TAINT_H
+#define WIZPP_ANALYSIS_TAINT_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+
+namespace wizpp::analysis {
+
+/** Where a tainted value escaped to. */
+enum class SinkKind : uint8_t {
+    StoreValue,       ///< stored into linear memory
+    ReturnValue,      ///< returned to the caller
+    HostCallArg,      ///< passed to an imported function
+    IndirectCallArg,  ///< passed through call_indirect (callee unknown)
+};
+
+const char* sinkKindName(SinkKind k);
+
+/** One tainted-value-reaches-sink flow. */
+struct LeakFinding
+{
+    uint32_t funcIndex = 0;
+    uint32_t pc = 0;          ///< pc of the sink instruction
+    SinkKind sink = SinkKind::StoreValue;
+    bool definite = false;    ///< memory.grow-derived (vs pointer-like)
+    uint8_t taint = 0;        ///< kTaint* bits on the sunk value
+    Origin origin = Origin::Unknown;
+    uint32_t originPc = 0xffffffffu;
+    std::string message;      ///< rendered finding with disasm context
+};
+
+struct TaintReport
+{
+    std::vector<LeakFinding> findings;
+    uint32_t definiteCount = 0;
+    uint32_t potentialCount = 0;
+};
+
+/**
+ * Scans every analyzed function of @p a for tainted values reaching
+ * sinks. Findings are ordered by (funcIndex, pc). @p m must be the
+ * module @p a was built from.
+ */
+TaintReport analyzeTaint(const Module& m, const Analysis& a);
+
+} // namespace wizpp::analysis
+
+#endif // WIZPP_ANALYSIS_TAINT_H

@@ -1,5 +1,6 @@
 #include "monitors/debugger.h"
 
+#include <cassert>
 #include <sstream>
 
 #include "engine/engine.h"
@@ -95,7 +96,10 @@ DebuggerMonitor::cmdWatch(uint32_t addr)
             bool isStore = isStoreOpcode(op);
             if (!isLoad && !isStore) continue;
             InstrView v;
-            decodeInstr(code, pc, &v);
+            if (!decodeInstr(code, pc, &v)) {
+                assert(false && "validated code must decode");
+                continue;
+            }
             uint32_t offset = v.memOffset;
             auto probe = makeProbe(
                 [this, addr, offset, isLoad](ProbeContext& ctx) {

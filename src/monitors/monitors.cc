@@ -1,6 +1,7 @@
 #include "monitors/monitors.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <iomanip>
 
@@ -344,7 +345,10 @@ MemoryMonitor::onAttach(Engine& engine)
             bool isStore = isStoreOpcode(op);
             if (!isLoad && !isStore) continue;
             InstrView v;
-            decodeInstr(code, pc, &v);
+            if (!decodeInstr(code, pc, &v)) {
+                assert(false && "validated code must decode");
+                continue;
+            }
             uint32_t offset = v.memOffset;
             auto probe = makeProbe(
                 [this, op, offset, isLoad, &engine](ProbeContext& ctx) {
@@ -387,7 +391,10 @@ CallsMonitor::onAttach(Engine& engine)
             uint8_t op = code[pc];
             if (op != OP_CALL && op != OP_CALL_INDIRECT) continue;
             InstrView v;
-            decodeInstr(code, pc, &v);
+            if (!decodeInstr(code, pc, &v)) {
+                assert(false && "validated code must decode");
+                continue;
+            }
             CallSite site;
             site.funcIndex = f;
             site.pc = pc;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/audit.h"
 #include "engine/engine.h"
 #include "wasm/opcodes.h"
 
@@ -193,6 +194,15 @@ ProbeManager::insertBatch(std::span<SiteProbe> batch)
     // One epoch bump and one compiled-code invalidation per touched
     // function for the entire batch.
     if (inserted) _engine.onProbesBatchChanged(touchedFuncs);
+
+#ifndef NDEBUG
+    // Debug builds cross-check the batch against the static dataflow
+    // facts (analysis/audit.h): warnings to stderr, never fatal.
+    if (inserted) {
+        auditWarnings +=
+            analysis::debugAuditFunctions(_engine, touchedFuncs);
+    }
+#endif
     return inserted;
 }
 

@@ -225,6 +225,11 @@ class ProbeManager
     uint64_t localFireCount = 0;
     uint64_t globalFireCount = 0;
 
+    /** Telemetry: violations flagged by the debug-build batch audit
+        (analysis/audit.h); warnings only, never fatal. Always zero in
+        release builds. */
+    uint64_t auditWarnings = 0;
+
   private:
     static constexpr uint32_t kNoSite = 0xffffffffu;
 

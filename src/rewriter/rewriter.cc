@@ -1,5 +1,7 @@
 #include "rewriter/rewriter.h"
 
+#include <cassert>
+
 #include "support/leb128.h"
 #include "wasm/decoder.h"
 #include "wasm/opcodes.h"
@@ -85,7 +87,12 @@ rewriteForCounting(const Module& in, RewriteKind kind)
         size_t pc = 0;
         while (pc < f.code.size()) {
             InstrView v;
-            decodeInstr(f.code, pc, &v);
+            if (!decodeInstr(f.code, pc, &v)) {
+                // The first pass decoded this same body successfully;
+                // a zero-length view here would loop forever.
+                assert(false && "validated code must decode");
+                break;
+            }
             if (wantsCounter(kind, v.opcode)) {
                 emitCounterIncrement(out, r.counterBase + counter * 8);
                 counter++;

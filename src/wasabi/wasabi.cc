@@ -1,5 +1,7 @@
 #include "wasabi/wasabi.h"
 
+#include <cassert>
+
 #include "support/leb128.h"
 #include "wasm/decoder.h"
 #include "wasm/opcodes.h"
@@ -22,7 +24,13 @@ injectBody(const FuncDecl& f, uint32_t funcIndexAfterShift, uint32_t shift,
     size_t pc = 0;
     while (pc < f.code.size()) {
         InstrView v;
-        decodeInstr(f.code, pc, &v);
+        if (!decodeInstr(f.code, pc, &v)) {
+            // Bodies were validated at load time; a zero-length decode
+            // here would silently desynchronize the rewritten body (or
+            // loop forever), so never fall through on failure.
+            assert(false && "validated code must decode");
+            break;
+        }
         bool isBranch = v.opcode == OP_IF || v.opcode == OP_BR_IF ||
                         v.opcode == OP_BR_TABLE;
         if (kind == WasabiKind::Hotness) {

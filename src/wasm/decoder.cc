@@ -527,6 +527,7 @@ decodeInstr(const std::vector<uint8_t>& code, size_t pc, InstrView* out)
       case OP_IF: {
         // Block type: single byte (valtype or 0x40). We don't support
         // multi-value (sleb type indices) in block types.
+        if (p >= end) return false;  // opcode was the last byte
         uint8_t bt = *p++;
         if (bt != 0x40 && !isValType(bt)) return false;
         v.index = bt;
@@ -546,6 +547,10 @@ decodeInstr(const std::vector<uint8_t>& code, size_t pc, InstrView* out)
         auto n = decodeULEB<uint32_t>(p, end);
         if (!n.ok()) return false;
         p += n.length;
+        // Each target needs at least one byte, so a count beyond the
+        // remaining bytes is malformed; reject it before looping over
+        // a bogus (up to 2^32-1) entry count.
+        if (n.value >= static_cast<uint64_t>(end - p)) return false;
         for (uint32_t i = 0; i <= n.value; i++) {  // targets + default
             auto t = decodeULEB<uint32_t>(p, end);
             if (!t.ok()) return false;

@@ -1,0 +1,21 @@
+;; Known-leaky fixture for `wizeng --analyze=leaks` (docs/ANALYSIS.md).
+;;
+;; $leak grows linear memory and lets the memory.grow result — an
+;; address in pages — escape through all three sink kinds the static
+;; taint analysis tracks: stored to memory, passed to a host call, and
+;; returned to the caller. The analysis must report three definite
+;; address-leak findings here and none in $clean.
+(module
+  (import "env" "sink" (func $sink (param i32)))
+  (memory 1)
+  (func (export "leak") (param $n i32) (result i32)
+    (local $base i32)
+    (local.set $base (memory.grow (local.get $n)))
+    ;; definite leak 1: the grown base is stored to linear memory
+    (i32.store (i32.const 0) (local.get $base))
+    ;; definite leak 2: the grown base is passed to an imported host call
+    (call $sink (local.get $base))
+    ;; definite leak 3: the grown base is returned to the caller
+    (local.get $base))
+  (func (export "clean") (param $n i32) (result i32)
+    (i32.add (local.get $n) (i32.const 1))))

@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Static-analysis tests: the dynamic-oracle differential gate (static
+ * per-pc stack-depth/type facts vs FrameAccessor-observed depths via a
+ * one-shot probe sweep, across the whole benchmark corpus), validator
+ * stack-polymorphism corner cases checked through the same gate, the
+ * taint/leak analysis on a known-leaky module, and the probe-lowering
+ * audit (including the deliberately mis-declared FrameAccess probe it
+ * must reject). A divergence or depth mismatch anywhere is a bug in
+ * the analysis *or* the validator, so this suite doubles as a
+ * validator oracle (docs/ANALYSIS.md).
+ */
+
+#include <cctype>
+#include <memory>
+
+#include "analysis/analysis.h"
+#include "analysis/audit.h"
+#include "analysis/taint.h"
+#include "monitors/monitors.h"
+#include "probes/frameaccessor.h"
+#include "suites/suites.h"
+#include "test_util.h"
+#include "wasm/decoder.h"
+#include "wasm/validator.h"
+
+namespace wizpp {
+namespace {
+
+using test::run1;
+
+// ---------------------------------------------------------------------
+// The differential harness
+// ---------------------------------------------------------------------
+
+struct DiffOutcome
+{
+    uint64_t fired = 0;
+    std::vector<std::string> mismatches;
+};
+
+/**
+ * Runs the differential depth check: analyze the module statically,
+ * plant a one-shot self-removing probe at every instruction boundary,
+ * execute @p argSets against @p entry, and compare each probe's
+ * FrameAccessor view (operand depth + top-of-stack type) with the
+ * static facts at its pc.
+ */
+DiffOutcome
+runDifferential(const std::string& wat, const std::string& entry,
+                const std::vector<std::vector<Value>>& argSets)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    auto eng = test::makeEngine(wat, cfg);
+
+    auto ar = analysis::Analysis::build(eng->module());
+    EXPECT_TRUE(ar.ok()) << (ar.ok() ? "" : ar.error().toString());
+    auto an = std::make_shared<analysis::Analysis>(ar.take());
+
+    auto out = std::make_shared<DiffOutcome>();
+    for (uint32_t i = 0; i < an->numFuncs(); i++) {
+        for (const std::string& d : an->func(i).divergences) {
+            out->mismatches.push_back("divergence: " + d);
+        }
+    }
+
+    std::vector<ProbeManager::SiteProbe> batch;
+    for (uint32_t f = 0; f < eng->numFuncs(); f++) {
+        FuncState& fs = eng->funcState(f);
+        if (fs.decl->imported) continue;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            batch.push_back({f, pc, makeProbe([out, an](
+                                        ProbeContext& ctx) {
+                out->fired++;
+                auto report = [&](const std::string& msg) {
+                    if (out->mismatches.size() < 32) {
+                        out->mismatches.push_back(
+                            "func #" + std::to_string(ctx.funcIndex()) +
+                            " +" + std::to_string(ctx.pc()) + ": " +
+                            msg);
+                    }
+                };
+                const analysis::InstrFacts* fa =
+                    an->factsAt(ctx.funcIndex(), ctx.pc());
+                auto acc = ctx.accessor();
+                if (!fa) {
+                    report("probe fired at a pc with no static facts");
+                } else if (!fa->reachable) {
+                    report("probe fired at a statically-unreachable pc");
+                } else if (acc->numOperands() != fa->depth()) {
+                    report("dynamic depth " +
+                           std::to_string(acc->numOperands()) +
+                           " != static depth " +
+                           std::to_string(fa->depth()));
+                } else if (fa->depth() > 0 &&
+                           fa->stack.back().type !=
+                               analysis::AbsType::Any) {
+                    Value top = acc->getOperand(0);
+                    if (analysis::absTypeOf(top.type) !=
+                        fa->stack.back().type) {
+                        report(std::string("dynamic top type ") +
+                               valTypeName(top.type) +
+                               " != static top type " +
+                               analysis::absTypeName(
+                                   fa->stack.back().type));
+                    }
+                }
+                ctx.removeSelf();  // one observation per pc suffices
+            })});
+        }
+    }
+    eng->probes().insertBatch(batch);
+
+    for (const auto& args : argSets) {
+        auto r = eng->callExport(entry, args);
+        EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().toString());
+    }
+    return *out;
+}
+
+// ---------------------------------------------------------------------
+// Corpus-wide differential gate (the dynamic oracle)
+// ---------------------------------------------------------------------
+
+class AnalysisDifferential
+    : public ::testing::TestWithParam<const BenchProgram*>
+{
+};
+
+TEST_P(AnalysisDifferential, StaticFactsMatchDynamicDepths)
+{
+    const BenchProgram& p = *GetParam();
+    DiffOutcome out =
+        runDifferential(p.wat, p.entry, {{Value::makeI32(1)}});
+    EXPECT_GT(out.fired, 0u) << p.name << ": no probes fired";
+    EXPECT_TRUE(out.mismatches.empty())
+        << p.name << ": " << out.mismatches.size() << " mismatch(es), "
+        << "first: " << out.mismatches.front();
+}
+
+std::vector<const BenchProgram*>
+allProgramPointers()
+{
+    std::vector<const BenchProgram*> out;
+    for (const auto& p : allPrograms()) out.push_back(&p);
+    out.push_back(&richardsProgram());
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, AnalysisDifferential,
+    ::testing::ValuesIn(allProgramPointers()),
+    [](const ::testing::TestParamInfo<const BenchProgram*>& info) {
+        std::string n = info.param->suite + "_" + info.param->name;
+        for (char& c : n) {
+            if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+        }
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// Corpus-wide static decode walk (instrLength edge-case audit)
+// ---------------------------------------------------------------------
+
+TEST_P(AnalysisDifferential, DecodeWalkMatchesSideTable)
+{
+    const BenchProgram& p = *GetParam();
+    Module m = test::mustParse(p.wat);
+    auto vr = validateModule(m);
+    ASSERT_TRUE(vr.ok()) << vr.error().toString();
+    for (uint32_t i = 0; i < m.functions.size(); i++) {
+        const FuncDecl& f = m.functions[i];
+        if (f.imported) continue;
+        const SideTable& st = vr.value().sideTables[i];
+        std::vector<uint32_t> walked;
+        size_t pc = 0;
+        while (pc < f.code.size()) {
+            size_t len = instrLength(f.code, pc);
+            ASSERT_GT(len, 0u)
+                << p.name << " func #" << i << " +" << pc
+                << ": validated code failed to decode";
+            walked.push_back(static_cast<uint32_t>(pc));
+            pc += len;
+        }
+        EXPECT_EQ(pc, f.code.size()) << p.name << " func #" << i;
+        EXPECT_EQ(walked, st.instrBoundaries)
+            << p.name << " func #" << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validator stack-polymorphism corners, via the differential gate
+// ---------------------------------------------------------------------
+
+TEST(AnalysisCorners, DeadCodeAfterBranchTyping)
+{
+    // Unreachable code after `br` type-checks polymorphically; the
+    // static pass must mark those pcs unreachable and the executed
+    // path must still match the facts.
+    // After the br the stack is polymorphic: i32.add pops two
+    // bottom-typed values and its concrete i32 result is dropped
+    // before the (dead) fallthrough block result.
+    const char* wat = R"((module
+      (func (export "run") (param i32) (result f64)
+        (block (result f64)
+          (f64.const 1)
+          (br 0)
+          (i32.add)
+          (drop)
+          (f64.const 2)))))";
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    auto eng = test::makeEngine(wat, cfg);
+    EXPECT_EQ(run1(*eng, "run", {Value::makeI32(0)}).f64(), 1.0);
+
+    auto ar = analysis::Analysis::build(eng->module());
+    ASSERT_TRUE(ar.ok());
+    const analysis::FuncFacts& ff = ar.value().func(0);
+    EXPECT_TRUE(ff.divergences.empty());
+    // The dead i32.add (opcode 0x6a) must be statically unreachable.
+    const FuncDecl& f = eng->module().functions[0];
+    bool sawDead = false;
+    for (uint32_t pc : ff.pcs) {
+        if (f.code[pc] == 0x6a) {
+            const analysis::InstrFacts* fa = ff.at(pc);
+            ASSERT_NE(fa, nullptr);
+            EXPECT_FALSE(fa->reachable);
+            sawDead = true;
+        }
+    }
+    EXPECT_TRUE(sawDead);
+
+    DiffOutcome out =
+        runDifferential(wat, "run", {{Value::makeI32(0)}});
+    EXPECT_GT(out.fired, 0u);
+    EXPECT_TRUE(out.mismatches.empty())
+        << "first: " << out.mismatches.front();
+}
+
+TEST(AnalysisCorners, BrTableArmArityCarriesValue)
+{
+    // Every br_table arm (including the default) carries the f64
+    // block result; the two targets unwind to different heights.
+    const char* wat = R"((module
+      (func (export "run") (param i32) (result f64)
+        (block $outer (result f64)
+          (block $inner (result f64)
+            (f64.const 10)
+            (local.get 0)
+            (br_table $inner $outer $inner))
+          (f64.const 1)
+          (f64.add)))))";
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    auto eng = test::makeEngine(wat, cfg);
+    EXPECT_EQ(run1(*eng, "run", {Value::makeI32(0)}).f64(), 11.0);
+    EXPECT_EQ(run1(*eng, "run", {Value::makeI32(1)}).f64(), 10.0);
+    EXPECT_EQ(run1(*eng, "run", {Value::makeI32(2)}).f64(), 11.0);
+
+    DiffOutcome out = runDifferential(
+        wat, "run",
+        {{Value::makeI32(0)}, {Value::makeI32(1)}, {Value::makeI32(2)}});
+    EXPECT_GT(out.fired, 0u);
+    EXPECT_TRUE(out.mismatches.empty())
+        << "first: " << out.mismatches.front();
+}
+
+TEST(AnalysisCorners, BrIfToFunctionLabel)
+{
+    // A conditional exit targeting the function label: the branch
+    // carries the f64 result to the final `end`, whose in-state must
+    // merge the branch edge with the fallthrough path.
+    const char* wat = R"((module
+      (func (export "run") (param i32) (result f64)
+        (f64.const 2)
+        (local.get 0)
+        (br_if 0)
+        (drop)
+        (f64.const 3))))";
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    auto eng = test::makeEngine(wat, cfg);
+    EXPECT_EQ(run1(*eng, "run", {Value::makeI32(1)}).f64(), 2.0);
+    EXPECT_EQ(run1(*eng, "run", {Value::makeI32(0)}).f64(), 3.0);
+
+    auto ar = analysis::Analysis::build(eng->module());
+    ASSERT_TRUE(ar.ok());
+    const analysis::FuncFacts& ff = ar.value().func(0);
+    // At the br_if the stack is [f64 result, i32 condition].
+    const FuncDecl& f = eng->module().functions[0];
+    for (uint32_t pc : ff.pcs) {
+        if (f.code[pc] == 0x0d) {  // br_if
+            const analysis::InstrFacts* fa = ff.at(pc);
+            ASSERT_NE(fa, nullptr);
+            EXPECT_TRUE(fa->reachable);
+            EXPECT_EQ(fa->depth(), 2u);
+        }
+    }
+
+    DiffOutcome out = runDifferential(
+        wat, "run", {{Value::makeI32(1)}, {Value::makeI32(0)}});
+    EXPECT_GT(out.fired, 0u);
+    EXPECT_TRUE(out.mismatches.empty())
+        << "first: " << out.mismatches.front();
+}
+
+// ---------------------------------------------------------------------
+// Taint/address-leak analysis
+// ---------------------------------------------------------------------
+
+// Kept in sync with tests/fixtures/leaky.wat (the --analyze=leaks
+// smoke ctest runs the file; this test checks the findings' shape).
+const char* kLeakyWat = R"((module
+  (import "env" "sink" (func $sink (param i32)))
+  (memory 1)
+  (func (export "leak") (param $n i32) (result i32)
+    (local $base i32)
+    (local.set $base (memory.grow (local.get $n)))
+    (i32.store (i32.const 0) (local.get $base))
+    (call $sink (local.get $base))
+    (local.get $base))
+  (func (export "clean") (param $n i32) (result i32)
+    (i32.add (local.get $n) (i32.const 1)))))";
+
+TEST(AnalysisTaint, LeakyModuleReportsAllThreeSinkKinds)
+{
+    Module m = test::mustParse(kLeakyWat);
+    auto ar = analysis::Analysis::build(m);
+    ASSERT_TRUE(ar.ok()) << ar.error().toString();
+    analysis::TaintReport rep = analysis::analyzeTaint(m, ar.value());
+
+    EXPECT_EQ(rep.definiteCount, 3u);
+    ASSERT_EQ(rep.findings.size(), 3u);
+    EXPECT_EQ(rep.findings[0].sink, analysis::SinkKind::StoreValue);
+    EXPECT_EQ(rep.findings[1].sink, analysis::SinkKind::HostCallArg);
+    EXPECT_EQ(rep.findings[2].sink, analysis::SinkKind::ReturnValue);
+    for (const auto& f : rep.findings) {
+        EXPECT_TRUE(f.definite);
+        EXPECT_EQ(f.funcIndex, 1u);  // the imported sink is func #0
+        EXPECT_EQ(f.origin, analysis::Origin::MemGrow);
+        EXPECT_NE(f.message.find("memory.grow"), std::string::npos);
+    }
+}
+
+TEST(AnalysisTaint, CleanCorpusProgramsHaveNoDefiniteLeaks)
+{
+    for (const char* name : {"gemm", "trisolv", "atax"}) {
+        const BenchProgram* p = findProgram(name);
+        ASSERT_NE(p, nullptr) << name;
+        Module m = test::mustParse(p->wat);
+        auto ar = analysis::Analysis::build(m);
+        ASSERT_TRUE(ar.ok()) << name;
+        analysis::TaintReport rep =
+            analysis::analyzeTaint(m, ar.value());
+        EXPECT_EQ(rep.definiteCount, 0u) << name;
+    }
+}
+
+TEST(AnalysisTaint, PointerLikeLocalsAreInferred)
+{
+    // The corpus is memory-heavy: @gemm indexes linear memory through
+    // locals, so at least one function must have a non-empty
+    // pointer-like local set.
+    const BenchProgram* p = findProgram("gemm");
+    ASSERT_NE(p, nullptr);
+    Module m = test::mustParse(p->wat);
+    auto ar = analysis::Analysis::build(m);
+    ASSERT_TRUE(ar.ok());
+    bool any = false;
+    for (uint32_t i = 0; i < ar.value().numFuncs(); i++) {
+        if (ar.value().func(i).pointerLocals != 0) any = true;
+    }
+    EXPECT_TRUE(any);
+}
+
+// ---------------------------------------------------------------------
+// Probe-lowering audit
+// ---------------------------------------------------------------------
+
+/** Deliberately mis-declared: claims Operand access at any site. */
+class MisdeclaredProbe : public EntryExitProbe
+{
+  public:
+    bool needsTopOfStack() const override { return true; }
+    void fireActivation(const Activation&) override {}
+};
+
+TEST(AnalysisAudit, RejectsMisdeclaredFrameAccess)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    auto eng = std::make_unique<Engine>(cfg);
+    ASSERT_TRUE(eng->loadModule(test::mustParse(kLeakyWat)).ok());
+    FuncType sinkType;
+    sinkType.params = {ValType::I32};
+    eng->imports().addFunc("env", "sink",
+                           {sinkType, [](const std::vector<Value>&,
+                                         std::vector<Value>*) {
+                                return TrapReason::None;
+                            }});
+    ASSERT_TRUE(eng->instantiate().ok());
+    // Function entry (+0) has a statically-empty operand stack, so an
+    // Operand-access probe there is mis-declared by construction.
+    std::vector<ProbeManager::SiteProbe> batch;
+    batch.push_back({1, 0, std::make_shared<MisdeclaredProbe>()});
+    ASSERT_EQ(eng->probes().insertBatch(batch), 1u);
+#ifndef NDEBUG
+    // Debug builds flag the batch at insertion time too.
+    EXPECT_EQ(eng->probes().auditWarnings, 1u);
+#endif
+
+    analysis::AuditResult res = analysis::auditProbeLowering(*eng);
+    ASSERT_EQ(res.violations.size(), 1u);
+    EXPECT_EQ(res.violations[0].funcIndex, 1u);
+    EXPECT_EQ(res.violations[0].pc, 0u);
+    EXPECT_NE(res.violations[0].message.find("mis-declared FrameAccess"),
+              std::string::npos);
+}
+
+TEST(AnalysisAudit, RealMonitorsPassClean)
+{
+    // Real monitors declare their access correctly; with the eager
+    // compiled tier their recorded lowering kinds must also agree
+    // with re-running lowerProbeSite (no drift).
+    const BenchProgram* p = findProgram("gemm");
+    ASSERT_NE(p, nullptr);
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = std::make_unique<Engine>(cfg);
+    ASSERT_TRUE(eng->loadModule(test::mustParse(p->wat)).ok());
+    auto hotness = createMonitor("hotness", std::cout);
+    auto branches = createMonitor("branches", std::cout);
+    ASSERT_NE(hotness, nullptr);
+    ASSERT_NE(branches, nullptr);
+    eng->attachMonitor(hotness.get());
+    eng->attachMonitor(branches.get());
+    ASSERT_TRUE(eng->instantiate().ok());
+
+    analysis::AuditResult res = analysis::auditProbeLowering(*eng);
+    EXPECT_GT(res.sitesAudited, 0u);
+    EXPECT_TRUE(res.violations.empty())
+        << "first: " << res.violations.front().message;
+}
+
+// ---------------------------------------------------------------------
+// Facts API basics
+// ---------------------------------------------------------------------
+
+TEST(AnalysisFacts, ImportsAndBoundsAreNull)
+{
+    Module m = test::mustParse(kLeakyWat);
+    auto ar = analysis::Analysis::build(m);
+    ASSERT_TRUE(ar.ok());
+    const analysis::Analysis& an = ar.value();
+    EXPECT_EQ(an.numFuncs(), 3u);
+    EXPECT_FALSE(an.func(0).analyzed);        // the import
+    EXPECT_EQ(an.factsAt(0, 0), nullptr);     // no facts for imports
+    EXPECT_EQ(an.factsAt(99, 0), nullptr);    // out of range
+    EXPECT_EQ(an.factsAt(1, 1), nullptr);     // not a boundary
+    ASSERT_NE(an.factsAt(1, 0), nullptr);
+    EXPECT_TRUE(an.factsAt(1, 0)->reachable);
+    EXPECT_EQ(an.factsAt(1, 0)->depth(), 0u);
+}
+
+TEST(AnalysisFacts, ProvenanceSurvivesLocalRoundTrip)
+{
+    // memory.grow -> local.set -> local.get keeps origin and taint.
+    Module m = test::mustParse(kLeakyWat);
+    auto ar = analysis::Analysis::build(m);
+    ASSERT_TRUE(ar.ok());
+    const analysis::FuncFacts& ff = ar.value().func(1);
+    const FuncDecl& f = m.functions[1];
+    // Find the i32.store (0x36): its value slot is the reloaded base.
+    for (uint32_t pc : ff.pcs) {
+        if (f.code[pc] != 0x36) continue;
+        const analysis::InstrFacts* fa = ff.at(pc);
+        ASSERT_NE(fa, nullptr);
+        ASSERT_GE(fa->depth(), 2u);
+        const analysis::AbstractValue& v = fa->stack.back();
+        EXPECT_EQ(v.origin, analysis::Origin::MemGrow);
+        EXPECT_EQ(v.taint & analysis::kTaintMemGrow,
+                  analysis::kTaintMemGrow);
+        EXPECT_EQ(v.type, analysis::AbsType::I32);
+    }
+}
+
+} // namespace
+} // namespace wizpp

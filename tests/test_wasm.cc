@@ -168,6 +168,55 @@ TEST(Decoder, EmptyModuleIsValid)
     EXPECT_TRUE(validateModule(r.value()).ok());
 }
 
+TEST(Decoder, RejectsTruncatedInstructions)
+{
+    // Malformed bodies must make decodeInstr return false (and
+    // instrLength 0) rather than read past the end — the contract the
+    // static analyzer and every rewriting pass relies on.
+    InstrView v;
+
+    // A block opcode as the very last byte (blocktype missing).
+    std::vector<uint8_t> blockEnd = {OP_BLOCK};
+    EXPECT_FALSE(decodeInstr(blockEnd, 0, &v));
+    EXPECT_EQ(instrLength(blockEnd, 0), 0u);
+
+    // A 0xFC prefix with no subopcode byte.
+    std::vector<uint8_t> fcEnd = {OP_PREFIX_FC};
+    EXPECT_FALSE(decodeInstr(fcEnd, 0, &v));
+    EXPECT_EQ(instrLength(fcEnd, 0), 0u);
+
+    // An unsupported 0xFC subopcode (8 = memory.init, not modeled).
+    std::vector<uint8_t> fcUnknown = {OP_PREFIX_FC, 0x08};
+    EXPECT_FALSE(decodeInstr(fcUnknown, 0, &v));
+
+    // memory.fill missing its trailing memory-index byte.
+    std::vector<uint8_t> fillShort = {OP_PREFIX_FC, FC_MEMORY_FILL};
+    EXPECT_FALSE(decodeInstr(fillShort, 0, &v));
+
+    // memory.copy with only one of its two memory-index bytes.
+    std::vector<uint8_t> copyShort = {OP_PREFIX_FC, FC_MEMORY_COPY,
+                                      0x00};
+    EXPECT_FALSE(decodeInstr(copyShort, 0, &v));
+}
+
+TEST(Decoder, RejectsOversizedBrTableCount)
+{
+    // A br_table whose LEB target count exceeds the remaining bytes
+    // (here: claims ~268M targets in a 6-byte body) must be rejected
+    // instead of looping over bogus targets.
+    InstrView v;
+    std::vector<uint8_t> huge = {OP_BR_TABLE, 0xff, 0xff, 0xff,
+                                 0x7f, 0x00};
+    EXPECT_FALSE(decodeInstr(huge, 0, &v));
+    EXPECT_EQ(instrLength(huge, 0), 0u);
+
+    // Sanity: a well-formed two-target br_table still decodes.
+    std::vector<uint8_t> good = {OP_BR_TABLE, 0x01, 0x00, 0x00};
+    EXPECT_TRUE(decodeInstr(good, 0, &v));
+    EXPECT_EQ(v.opcode, OP_BR_TABLE);
+    EXPECT_EQ(v.length, 4u);
+}
+
 TEST(Decoder, InstrViewsDecodeImmediates)
 {
     auto m = parseWat(R"((module (memory 1)

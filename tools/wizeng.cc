@@ -6,6 +6,10 @@
  * Usage:
  *   wizeng [options] <module.wat|module.wasm|@program> [args...]
  *     --monitors=m1,m2     attach monitors (see --help for names)
+ *     --analyze=stack|taint|leaks  static analysis report, no execution
+ *                          (see docs/ANALYSIS.md)
+ *     --audit-lowering[=selftest]  audit probe lowering decisions
+ *                          against static facts instead of running
  *     --mode=int|jit|tiered   execution mode (default jit)
  *     --dispatch=threaded|switch|table   interpreter dispatch backend
  *                          (default: the build's WIZPP_DISPATCH)
@@ -28,6 +32,9 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/analysis.h"
+#include "analysis/audit.h"
+#include "analysis/taint.h"
 #include "engine/engine.h"
 #include "monitors/debugger.h"
 #include "monitors/monitors.h"
@@ -37,6 +44,7 @@
 #include "trace/replay.h"
 #include "trace/sidecar.h"
 #include "wasm/decoder.h"
+#include "wasm/disasm.h"
 #include "wasm/encoder.h"
 #include "wat/wat.h"
 
@@ -64,7 +72,11 @@ usage()
         "  --trace=<file>         record the execution trace to <file>\n"
         "  --replay-check=<file>  re-run and verify against a trace\n"
         "  --trace-report=<f1[,f2...]>  coverage + profile over traces\n"
-        "  --emit-wasm=<file>     encode the module to binary and exit\n";
+        "  --emit-wasm=<file>     encode the module to binary and exit\n"
+        "  --analyze=stack|taint|leaks  static analysis report (no\n"
+        "                         execution; see docs/ANALYSIS.md)\n"
+        "  --audit-lowering[=selftest]  audit probe lowering against\n"
+        "                         static facts instead of running\n";
 }
 
 /** Offline sidecar mode: merge and report saved traces; no execution. */
@@ -83,6 +95,136 @@ traceReport(const std::vector<std::string>& files)
     writeCoverageReport(std::cout, merged);
     writeProfileReport(std::cout, merged);
     return 0;
+}
+
+/**
+ * `--analyze=<kind>`: validate, run the dataflow engine, print the
+ * requested static report. No engine, no execution — host imports need
+ * not be linkable. Exit 0 means "clean" (no findings, no divergences).
+ */
+int
+runAnalyze(const Module& module, const std::string& kind)
+{
+    using namespace analysis;
+    if (kind != "stack" && kind != "taint" && kind != "leaks") {
+        std::cerr << "unknown analyze kind '" << kind
+                  << "' (stack, taint, leaks)\n";
+        return 1;
+    }
+    auto ar = Analysis::build(module);
+    if (!ar.ok()) {
+        std::cerr << "validate: " << ar.error().toString() << "\n";
+        return 1;
+    }
+    const Analysis& an = ar.value();
+
+    size_t divergences = 0;
+    for (uint32_t i = 0; i < an.numFuncs(); i++) {
+        for (const std::string& d : an.func(i).divergences) {
+            std::cerr << "divergence: " << d << "\n";
+            divergences++;
+        }
+    }
+
+    if (kind == "stack") {
+        for (uint32_t i = 0; i < an.numFuncs(); i++) {
+            const FuncFacts& ff = an.func(i);
+            if (!ff.analyzed) continue;
+            const FuncDecl& f = module.functions[i];
+            std::cout << "func #" << i;
+            if (!f.name.empty()) std::cout << " (" << f.name << ")";
+            std::cout << ": " << ff.pcs.size() << " instr(s), "
+                      << ff.reachableCount << " reachable\n";
+            for (uint32_t pc : ff.pcs) {
+                const InstrFacts* fa = ff.at(pc);
+                std::cout << "  +" << pc << ": ";
+                if (!fa || !fa->reachable) {
+                    std::cout << "unreachable";
+                } else {
+                    std::cout << "depth=" << fa->depth();
+                    if (!fa->stack.empty()) {
+                        const AbstractValue& top = fa->stack.back();
+                        std::cout << " top=" << absTypeName(top.type)
+                                  << "(" << originName(top.origin)
+                                  << ")";
+                    }
+                }
+                std::cout << "  " << disassembleInstr(f.code, pc)
+                          << "\n";
+            }
+        }
+        return divergences ? 1 : 0;
+    }
+
+    TaintReport rep = analyzeTaint(module, an);
+    bool leaksOnly = kind == "leaks";
+    if (!leaksOnly) {
+        for (uint32_t i = 0; i < an.numFuncs(); i++) {
+            const FuncFacts& ff = an.func(i);
+            if (!ff.analyzed || !ff.pointerLocals) continue;
+            std::cout << "func #" << i << ": pointer-like locals:";
+            for (uint32_t l = 0; l < 64; l++) {
+                if (ff.pointerLocals & (1ull << l)) {
+                    std::cout << " " << l
+                              << (l == 63 ? "+" : "");
+                }
+            }
+            std::cout << "\n";
+        }
+    }
+    size_t shown = 0;
+    for (const LeakFinding& f : rep.findings) {
+        if (leaksOnly && !f.definite) continue;
+        std::cout << f.message << "\n";
+        shown++;
+    }
+    if (leaksOnly) {
+        std::cout << shown << " address-leak finding(s)\n";
+    } else {
+        std::cout << shown << " taint flow(s) (" << rep.definiteCount
+                  << " definite, " << rep.potentialCount
+                  << " potential)\n";
+    }
+    return (shown || divergences) ? 1 : 0;
+}
+
+/**
+ * Deliberately mis-declared probe for `--audit-lowering=selftest`: it
+ * claims to consult the top-of-stack value while planted at function
+ * entry, where the operand stack is statically empty. The audit must
+ * reject it.
+ */
+class MisdeclaredAccessProbe : public EntryExitProbe
+{
+  public:
+    bool needsTopOfStack() const override { return true; }
+    void fireActivation(const Activation&) override {}
+};
+
+/** `--audit-lowering[=selftest]`: audits every probed site. */
+int
+runAudit(Engine& engine, bool selftest)
+{
+    if (selftest) {
+        // Plant the mis-declared probe at the entry pc of the first
+        // non-imported function.
+        for (uint32_t i = 0; i < engine.numFuncs(); i++) {
+            FuncState& fs = engine.funcState(i);
+            if (fs.decl->imported) continue;
+            std::vector<ProbeManager::SiteProbe> batch;
+            batch.push_back(
+                {i, 0, std::make_shared<MisdeclaredAccessProbe>()});
+            engine.probes().insertBatch(batch);
+            break;
+        }
+    }
+    analysis::AuditResult res = analysis::auditProbeLowering(engine);
+    for (const analysis::AuditFinding& v : res.violations) {
+        std::cout << v.message << "\n";
+    }
+    std::cout << res.sitesAudited << " site(s) audited, "
+              << res.violations.size() << " violation(s)\n";
+    return res.violations.empty() ? 0 : 1;
 }
 
 std::vector<std::string>
@@ -112,6 +254,9 @@ main(int argc, char** argv)
     std::string traceFile;
     std::string replayFile;
     std::string emitWasmFile;
+    std::string analyzeKind;
+    bool auditLowering = false;
+    bool auditSelftest = false;
 
     for (int i = 1; i < argc; i++) {
         std::string a = argv[i];
@@ -172,6 +317,13 @@ main(int argc, char** argv)
             return traceReport(split(a.substr(15), ','));
         } else if (a.rfind("--emit-wasm=", 0) == 0) {
             emitWasmFile = a.substr(12);
+        } else if (a.rfind("--analyze=", 0) == 0) {
+            analyzeKind = a.substr(10);
+        } else if (a == "--audit-lowering") {
+            auditLowering = true;
+        } else if (a == "--audit-lowering=selftest") {
+            auditLowering = true;
+            auditSelftest = true;
         } else if (target.empty()) {
             target = a;
         } else {
@@ -195,6 +347,23 @@ main(int argc, char** argv)
                          "--replay-check or --emit-wasm\n";
             return 1;
         }
+    }
+    // The static modes replace normal execution too. --analyze never
+    // builds an engine; --audit-lowering builds one (and accepts
+    // --monitors so their probe placements can be audited) but does
+    // not run it.
+    if (!analyzeKind.empty() &&
+        (auditLowering || !replayFile.empty() || !emitWasmFile.empty() ||
+         !traceFile.empty() || !monitorList.empty())) {
+        std::cerr << "--analyze cannot be combined with other modes\n";
+        return 1;
+    }
+    if (auditLowering &&
+        (!replayFile.empty() || !emitWasmFile.empty() ||
+         !traceFile.empty())) {
+        std::cerr << "--audit-lowering cannot be combined with "
+                     "--trace, --replay-check or --emit-wasm\n";
+        return 1;
     }
 
     // Resolve the module: corpus program, .wat file, or .wasm file.
@@ -239,6 +408,8 @@ main(int argc, char** argv)
             module = r.take();
         }
     }
+
+    if (!analyzeKind.empty()) return runAnalyze(module, analyzeKind);
 
     if (!emitWasmFile.empty()) {
         std::vector<uint8_t> bytes = encodeModule(module);
@@ -306,6 +477,8 @@ main(int argc, char** argv)
         std::cerr << "instantiate: " << ir.error().toString() << "\n";
         return 1;
     }
+
+    if (auditLowering) return runAudit(engine, auditSelftest);
 
     // Pick the entry point.
     if (entry.empty()) {
