@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Observability-layer overhead: the metrics registry + timeline
+ * emitter enabled together, and the sampling profiler at its default
+ * budget, versus the uninstrumented baseline, in the interpreter and
+ * JIT tiers over the fig6 corpus (docs/OBSERVABILITY.md).
+ *
+ * The acceptance invariant held by scripts/check_bench.py
+ * (--obs-profile-ceiling): the default-budget profiler's relative
+ * execution time stays <= 1.10x geomean in both tiers. The structural
+ * counts — timeline span count per run and profiler sample count —
+ * are deterministic (fire-count sampling) and gated symmetrically.
+ *
+ * Emits BENCH_obs_overhead.json and results/obs_overhead.csv.
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+struct ObsRun
+{
+    double seconds = 0;
+    uint64_t spans = 0;    ///< timeline events recorded
+    uint64_t samples = 0;  ///< profiler samples taken
+};
+
+/** One run with the timeline attached and a metrics dump at the end,
+    or with the sampling profiler attached — timed like harness
+    runWizard (engine construction → result, dump included). */
+ObsRun
+runObs(const Module& m, const BenchProgram& p, ExecMode mode,
+       bool withTimeline, uint64_t profileBudget)
+{
+    ObsRun out;
+    EngineConfig cfg;
+    cfg.mode = mode;
+    double t0 = nowSeconds();
+    Engine eng(cfg);
+    obs::Timeline timeline;
+    if (withTimeline) eng.setTimeline(&timeline);
+    if (!eng.loadModule(m).ok()) {
+        std::cerr << "obs_overhead: load failed: " << p.name << "\n";
+        exit(1);
+    }
+    obs::SamplingProfiler::Options opts;
+    opts.budget = profileBudget ? profileBudget : 1;
+    obs::SamplingProfiler prof(opts);
+    if (profileBudget) eng.attachMonitor(&prof);
+    if (!eng.instantiate().ok()) {
+        std::cerr << "obs_overhead: instantiate failed: " << p.name
+                  << "\n";
+        exit(1);
+    }
+    auto r = eng.callExport(p.entry, {Value::makeI32(1)});
+    if (!r.ok()) {
+        std::cerr << "obs_overhead: run failed: " << p.name << "\n";
+        exit(1);
+    }
+    if (withTimeline) {
+        // The enabled-mode cost includes serializing the registry, as
+        // `wizeng --metrics --timeline=...` would.
+        std::ostringstream sink;
+        eng.metrics().write(sink, obs::MetricsFormat::Text);
+    }
+    out.seconds = nowSeconds() - t0;
+    out.spans = timeline.events().size();
+    out.samples = prof.sampleCount();
+    return out;
+}
+
+ObsRun
+measureObs(const Module& m, const BenchProgram& p, ExecMode mode,
+           bool withTimeline, uint64_t profileBudget)
+{
+    ObsRun best;
+    for (int i = 0; i < reps(); i++) {
+        ObsRun r = runObs(m, p, mode, withTimeline, profileBudget);
+        if (i == 0 || r.seconds < best.seconds) best = r;
+    }
+    return best;
+}
+
+constexpr uint64_t kDefaultBudget = 4096;
+
+} // namespace
+
+int
+main()
+{
+    // The fig6 corpus selection: every suite (fast-mode subset when
+    // WIZPP_BENCH_FAST is set) plus richards.
+    std::vector<const BenchProgram*> programs;
+    for (const char* suite : {"polybench", "ostrich", "libsodium"}) {
+        for (const BenchProgram* p : selectPrograms(suite)) {
+            programs.push_back(p);
+        }
+    }
+    programs.push_back(&richardsProgram());
+
+    struct ModeRow
+    {
+        ExecMode mode;
+        const char* name;
+    };
+    const ModeRow modes[] = {{ExecMode::Interpreter, "int"},
+                             {ExecMode::Jit, "jit"}};
+
+    JsonReport report("obs_overhead");
+    report.put("fast_mode", static_cast<uint64_t>(fastMode() ? 1 : 0));
+    std::vector<std::string> csv;
+    std::vector<double> tlRatios[2], profRatios[2];
+
+    std::cout << "=== observability overhead (n=1, reps=" << reps()
+              << ", profiler budget " << kDefaultBudget << ") ===\n";
+    for (const BenchProgram* p : programs) {
+        auto parsed = parseWat(p->wat);
+        if (!parsed.ok()) {
+            std::cerr << "obs_overhead: parse failed: " << p->name
+                      << "\n";
+            return 1;
+        }
+        Module m = parsed.take();
+
+        for (int mi = 0; mi < 2; mi++) {
+            const ModeRow& mr = modes[mi];
+            Measurement base =
+                measureWizard(*p, mr.mode, Tool::None, true, 1);
+            ObsRun tl = measureObs(m, *p, mr.mode, true, 0);
+            ObsRun prof =
+                measureObs(m, *p, mr.mode, false, kDefaultBudget);
+
+            double tlRatio = tl.seconds / base.seconds;
+            double profRatio = prof.seconds / base.seconds;
+            tlRatios[mi].push_back(tlRatio);
+            profRatios[mi].push_back(profRatio);
+
+            std::string key = p->name + std::string(".") + mr.name;
+            report.put(key + ".base_s", base.seconds);
+            report.put(key + ".timeline_s", tl.seconds);
+            report.put(key + ".timeline_ratio", tlRatio);
+            report.put(key + ".profile_s", prof.seconds);
+            report.put(key + ".profile_ratio", profRatio);
+            report.put(key + ".obs.spans", tl.spans);
+            report.put(key + ".obs.samples", prof.samples);
+            csv.push_back(p->name + "," + mr.name + "," +
+                          std::to_string(base.seconds) + "," +
+                          std::to_string(tlRatio) + "," +
+                          std::to_string(profRatio) + "," +
+                          std::to_string(tl.spans) + "," +
+                          std::to_string(prof.samples));
+            std::cout << "  " << p->name << " [" << mr.name
+                      << "]: timeline " << fmtRatio(tlRatio)
+                      << ", profile " << fmtRatio(profRatio) << " ("
+                      << tl.spans << " spans, " << prof.samples
+                      << " samples)\n";
+        }
+    }
+
+    // Budget sweep on one hot program: how the sampling rate trades
+    // against overhead (absolute seconds are reported, not gated; the
+    // sample counts are deterministic).
+    const BenchProgram* gemm = findProgram("gemm");
+    if (gemm) {
+        auto parsed = parseWat(gemm->wat);
+        Module m = parsed.take();
+        Measurement base =
+            measureWizard(*gemm, ExecMode::Jit, Tool::None, true, 1);
+        for (uint64_t budget : {1024u, 4096u, 16384u}) {
+            ObsRun r = measureObs(m, *gemm, ExecMode::Jit, false, budget);
+            std::string key = "sweep." + std::to_string(budget);
+            report.put(key + ".profile_s", r.seconds);
+            report.put(key + ".ratio", r.seconds / base.seconds);
+            report.put(key + ".obs.samples", r.samples);
+            std::cout << "  sweep gemm [jit] budget " << budget << ": "
+                      << fmtRatio(r.seconds / base.seconds) << " ("
+                      << r.samples << " samples)\n";
+        }
+    }
+
+    for (int mi = 0; mi < 2; mi++) {
+        report.putRange(std::string(modes[mi].name) + ".timeline_ratio",
+                        tlRatios[mi]);
+        report.putRange(std::string(modes[mi].name) + ".profile_ratio",
+                        profRatios[mi]);
+        std::cout << modes[mi].name << ": timeline geomean "
+                  << fmtRatio(geomean(tlRatios[mi]))
+                  << ", profile geomean "
+                  << fmtRatio(geomean(profRatios[mi])) << "\n";
+    }
+
+    std::string path = report.write();
+    writeCsv("obs_overhead.csv",
+             "program,mode,base_s,timeline_ratio,profile_ratio,spans,"
+             "samples",
+             csv);
+    if (!path.empty()) std::cout << "wrote " << path << "\n";
+    return 0;
+}

@@ -78,6 +78,11 @@ DETERMINISTIC = [
     r"\.findings$",
     r"^analysis\.(programs|total_instrs|total_reachable"
     r"|total_findings|total_ptr_locals)$",
+    # Observability structural counts (BENCH_obs_overhead.json): the
+    # timeline span count and the profiler sample count are functions
+    # of the program alone (fire-count sampling, docs/OBSERVABILITY.md),
+    # so any drift is a behavior change, not noise.
+    r"\.obs\.(spans|samples)$",
 ]
 
 # The only metrics stable enough to gate against the *baseline* when
@@ -135,6 +140,12 @@ def main():
                          "fused, entryexit — probe-dominated by "
                          "construction; the sparse-probe branch kind "
                          "is exempt). Same-run invariant; 0 disables")
+    ap.add_argument("--obs-profile-ceiling", type=float, default=1.10,
+                    help="maximum for the current run's sampling-"
+                         "profiler overhead geomeans "
+                         "((int|jit).profile_ratio.geomean in "
+                         "BENCH_obs_overhead.json; same-run "
+                         "invariant; 0 disables)")
     ap.add_argument("--gate-absolute", action="store_true",
                     help="also gate absolute time metrics (same-machine "
                          "comparisons only)")
@@ -231,6 +242,22 @@ def main():
                     regressions.append(
                         (fname, k, args.intrinsify_floor, float(v),
                          args.intrinsify_floor / float(v), 1.0))
+
+        # Same-run sampling-profiler ceiling (the observability
+        # layer's acceptance invariant, docs/OBSERVABILITY.md): the
+        # default-budget profiler must stay cheap on the fig6 corpus
+        # geomean, in both tiers, on any host.
+        if args.obs_profile_ceiling > 0:
+            ceiling_re = re.compile(
+                r"^(int|jit)\.profile_ratio\.geomean$")
+            for k, v in cur.items():
+                if not ceiling_re.search(k) or v <= 0:
+                    continue
+                compared += 1
+                if float(v) > args.obs_profile_ceiling:
+                    regressions.append(
+                        (fname, k, args.obs_profile_ceiling, float(v),
+                         float(v) / args.obs_profile_ceiling, 1.0))
 
         # Same-run threaded-dispatch floor: independent of the
         # baseline and of the host, so it gates in every mode.

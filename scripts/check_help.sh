@@ -1,0 +1,81 @@
+#!/bin/sh
+# CLI surface checks (registered as the ctest case wizeng.help_audit):
+#
+#   1. `wizeng --help` exits 0 and lists every public flag with a
+#      one-liner — the flags table in tools/wizeng.cc is the single
+#      source of truth, and this check keeps it honest when a PR adds
+#      a flag but forgets the table.
+#   2. An unknown `--flag` exits non-zero, names the flag, and offers
+#      a nearest-flag suggestion; a known flag used with the wrong
+#      value shape gets a usage hint instead of silently becoming the
+#      module target.
+#
+# Usage: scripts/check_help.sh <path-to-wizeng>
+set -u
+
+WIZENG=${1:?usage: check_help.sh <path-to-wizeng>}
+status=0
+
+# Every flag the engine has grown, PRs 2 through 7. A flag missing
+# here is fine (the list is a floor, not a ceiling); a flag missing
+# from --help is a failure.
+FLAGS="
+--monitors
+--mode
+--dispatch
+--no-intrinsify
+--invoke
+--list-programs
+--trace
+--replay-check
+--trace-report
+--emit-wasm
+--analyze
+--audit-lowering
+--metrics
+--timeline
+--profile
+--profile-budget
+--profile-every-instr
+--help
+"
+
+help=$("$WIZENG" --help 2>&1)
+if [ $? -ne 0 ]; then
+    echo "check_help: wizeng --help exited non-zero" >&2
+    status=1
+fi
+for flag in $FLAGS; do
+    if ! printf '%s\n' "$help" | grep -q -- "^  $flag"; then
+        echo "check_help: --help does not list $flag" >&2
+        status=1
+    fi
+done
+
+# Unknown flag: non-zero exit + a did-you-mean suggestion.
+if out=$("$WIZENG" --timelin=x @gemm 2>&1); then
+    echo "check_help: unknown flag --timelin exited 0" >&2
+    status=1
+fi
+case $out in
+    *"did you mean --timeline"*) ;;
+    *) echo "check_help: no suggestion for --timelin (got: $out)" >&2
+       status=1 ;;
+esac
+
+# Known flag, missing value: non-zero exit + the expected shape.
+if out=$("$WIZENG" --timeline @gemm 2>&1); then
+    echo "check_help: bare --timeline exited 0" >&2
+    status=1
+fi
+case $out in
+    *"--timeline=<file>"*) ;;
+    *) echo "check_help: no usage hint for bare --timeline" >&2
+       status=1 ;;
+esac
+
+if [ "$status" -eq 0 ]; then
+    echo "check_help: OK ($(echo $FLAGS | wc -w) flags listed," \
+         "unknown-flag and missing-value paths reject)"
+fi
+exit $status

@@ -4,7 +4,9 @@
 # Scope: the static-analysis subsystem plus the decode/probe-manager
 # files it leans on — the code where a lint-grade defect (dangling
 # reference into a facts map, accidental copy of a per-pc state
-# vector) would corrupt analysis results silently. The whole tree is
+# vector) would corrupt analysis results silently — and the
+# observability layer (src/obs/), whose registry hands out long-lived
+# references and whose profiler walks live frames. The whole tree is
 # not linted: the interpreter/JIT cores are -Werror clean and their
 # opcode switches drown tidy in style noise.
 #
@@ -28,6 +30,9 @@ FILES="
 src/analysis/audit.cc
 src/analysis/dataflow.cc
 src/analysis/taint.cc
+src/obs/metrics.cc
+src/obs/profiler.cc
+src/obs/timeline.cc
 src/probes/probemanager.cc
 src/wasm/decoder.cc
 "

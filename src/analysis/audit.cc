@@ -100,6 +100,7 @@ auditProbeLowering(Engine& eng)
     for (uint32_t i = 0; i < eng.numFuncs(); i++) {
         auditFunction(eng, i, out);
     }
+    eng.metrics().counter("analysis.audit_runs")++;
     return out;
 }
 

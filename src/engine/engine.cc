@@ -1,15 +1,35 @@
 #include "engine/engine.h"
 
+#include <chrono>
+
 #include "interp/interpreter.h"
 #include "jit/jitcode.h"
 #include "jit/jitexec.h"
 #include "monitors/monitor.h"
+#include "obs/timeline.h"
 #include "probes/frameaccessor.h"
 
 namespace wizpp {
 
 namespace {
 constexpr uint32_t kNoPc = 0xffffffffu;
+
+uint64_t
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+}
+
+Engine::Stats::Stats(obs::MetricsRegistry& m)
+    : functionsCompiled(m.counter("engine.functions_compiled")),
+      jitInvalidations(m.counter("engine.jit_invalidations")),
+      frameDeopts(m.counter("engine.frame_deopts")),
+      osrEntries(m.counter("engine.osr_entries")),
+      dispatchTableSwitches(m.counter("engine.dispatch_table_switches"))
+{
 }
 
 FuncState::FuncState() = default;
@@ -22,6 +42,44 @@ Engine::Engine(EngineConfig config) : _config(config)
     _values.resize(_config.valueStackSize);
     _frames.reserve(_config.maxFrames);
     _dispatch = interpDispatchTable(DispatchMode::Normal);
+
+    // Pull-model metrics (docs/OBSERVABILITY.md): hot-path counters
+    // stay plain non-atomic fields on their fire paths and are only
+    // sampled here at dump/snapshot time.
+    _metrics.registerCallback("probes.local_fires",
+                              [this] { return _probes.localFireCount; });
+    _metrics.registerCallback("probes.global_fires",
+                              [this] { return _probes.globalFireCount; });
+    _metrics.registerCallback("probes.audit_warnings",
+                              [this] { return _probes.auditWarnings; });
+    _metrics.registerCallback("probes.sites", [this] {
+        return (uint64_t)_probes.numProbedSites();
+    });
+    _metrics.registerCallback("probes.epoch",
+                              [this] { return instrumentationEpoch; });
+    _metrics.registerCallback("engine.monitors", [this] {
+        return (uint64_t)_monitors.size();
+    });
+    // Live probe-site population by lowering kind across all compiled
+    // functions (how the lowering layer resolved the current
+    // instrumentation; see src/jit/lowering.h).
+    using LK = ProbeLoweringKind;
+    for (LK k : {LK::Count, LK::Operand, LK::EntryExit, LK::Fused,
+                 LK::GenericLite, LK::Generic}) {
+        _metrics.registerCallback(
+            std::string("jit.lowering.") + probeLoweringKindName(k),
+            [this, k] {
+                uint64_t n = 0;
+                for (const FuncState& fs : _funcs) {
+                    if (!fs.jit) continue;
+                    for (auto& [pc, kind] : fs.jit->probeLowering) {
+                        (void)pc;
+                        if (kind == k) n++;
+                    }
+                }
+                return n;
+            });
+    }
 }
 
 Engine::~Engine() = default;
@@ -30,7 +88,13 @@ Result<bool>
 Engine::loadModule(Module m)
 {
     if (_loaded) return Error{"engine already has a module", 0};
+    if (_timeline) {
+        _timeline->begin(
+            "module.validate",
+            {{"functions", std::to_string(m.functions.size())}});
+    }
     auto vr = validateModule(m);
+    if (_timeline) _timeline->end({{"ok", vr.ok() ? "1" : "0"}});
     if (!vr.ok()) return vr.error();
     _module = std::move(m);
     ValidationInfo info = vr.take();
@@ -87,6 +151,7 @@ Result<bool>
 Engine::instantiate()
 {
     if (!_loaded) return Error{"no module loaded", 0};
+    obs::Timeline::Span span(_timeline, "engine.instantiate");
     auto ir = Instance::instantiate(_module, _imports);
     if (!ir.ok()) return ir.error();
     _instance = ir.take();
@@ -152,6 +217,12 @@ Engine::execute(uint32_t funcIndex, const std::vector<Value>& args)
     FuncState& fs = _funcs[funcIndex];
     if (fs.decl->imported) return Error{"cannot call an import", 0};
 
+    if (_timeline) {
+        _timeline->begin("engine.execute",
+                         {{"func", std::to_string(funcIndex)},
+                          {"name", fs.decl->name}});
+    }
+
     _frames.clear();
     _trap = TrapReason::None;
 
@@ -190,9 +261,15 @@ Engine::execute(uint32_t funcIndex, const std::vector<Value>& args)
     _retiredJit.clear();
 
     if (s == Signal::Trap) {
+        if (_timeline) {
+            _timeline->instant("trap",
+                               {{"reason", trapReasonName(_trap)}});
+            _timeline->end({{"outcome", "trap"}});
+        }
         unwindAll();
         return Error{std::string("trap: ") + trapReasonName(_trap), 0};
     }
+    if (_timeline) _timeline->end({{"outcome", "ok"}});
 
     std::vector<Value> results;
     for (uint32_t i = 0; i < fs.numResults; i++) results.push_back(_values[i]);
@@ -241,6 +318,8 @@ Engine::unwindAll()
 void
 Engine::attachMonitor(Monitor* m)
 {
+    obs::Timeline::Span span(_timeline, "monitor.attach",
+                             {{"monitor", m->name()}});
     _monitors.push_back(m);
     m->onAttach(*this);
 }
@@ -300,6 +379,10 @@ Engine::onGlobalProbesChanged()
     _dispatchMode = enable ? DispatchMode::Probed : DispatchMode::Normal;
     _dispatch = interpDispatchTable(_dispatchMode);
     stats.dispatchTableSwitches++;
+    if (_timeline) {
+        _timeline->instant("dispatch.switch",
+                           {{"mode", enable ? "probed" : "normal"}});
+    }
 }
 
 void
@@ -307,9 +390,45 @@ Engine::compileFunction(uint32_t funcIndex)
 {
     FuncState& fs = _funcs[funcIndex];
     if (fs.decl->imported || _config.mode == ExecMode::Interpreter) return;
+    bool recompile = fs.recompilePending;
+    if (_timeline) {
+        _timeline->begin("jit.compile",
+                         {{"func", std::to_string(funcIndex)},
+                          {"name", fs.decl->name},
+                          {"recompile", recompile ? "1" : "0"}});
+    }
+    auto t0 = std::chrono::steady_clock::now();
     fs.recompilePending = false;
     fs.jit = translateFunction(*this, fs);
-    if (fs.jit) stats.functionsCompiled++;
+    _metrics.histogram("jit.compile_us").record(microsSince(t0));
+    if (fs.jit) {
+        stats.functionsCompiled++;
+        if (recompile) _metrics.counter("jit.recompiles")++;
+    }
+    if (_timeline) {
+        std::vector<std::pair<std::string, std::string>> endArgs;
+        if (fs.jit) {
+            endArgs.emplace_back("insts",
+                                 std::to_string(fs.jit->insts.size()));
+            // Lowering summary: "count=2 generic=1" style, sorted by
+            // kind; empty when the function has no probe sites.
+            uint64_t byKind[7] = {};
+            for (auto& [pc, kind] : fs.jit->probeLowering) {
+                (void)pc;
+                byKind[(int)kind]++;
+            }
+            std::string lowering;
+            for (int k = 1; k <= 6; k++) {
+                if (!byKind[k]) continue;
+                if (!lowering.empty()) lowering += " ";
+                lowering += probeLoweringKindName((ProbeLoweringKind)k);
+                lowering += "=";
+                lowering += std::to_string(byKind[k]);
+            }
+            endArgs.emplace_back("lowering", lowering);
+        }
+        _timeline->end(std::move(endArgs));
+    }
 }
 
 // ---- ProbeContext ----

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/frame.h"
+#include "obs/metrics.h"
 #include "probes/probemanager.h"
 #include "runtime/instance.h"
 #include "runtime/trap.h"
@@ -32,6 +33,10 @@ namespace wizpp {
 
 class Monitor;
 struct Interp;
+
+namespace obs {
+class Timeline;
+}
 
 /** How the engine executes code. */
 enum class ExecMode : uint8_t {
@@ -168,6 +173,27 @@ class Engine
 
     const std::vector<Monitor*>& monitors() const { return _monitors; }
 
+    // ---- Observability (docs/OBSERVABILITY.md) ----
+
+    /**
+     * The engine's metrics registry: every engine counter (compiles,
+     * invalidations, deopts, probe batches, trace bytes, ...) lives
+     * here under a dotted name; `stats` below aliases the engine.*
+     * counters for compatibility. Dumped by `wizeng --metrics`.
+     */
+    obs::MetricsRegistry& metrics() { return _metrics; }
+
+    /**
+     * Points the engine at a timeline to receive lifecycle spans
+     * (module validate, per-function compiles, probe batches, monitor
+     * attach, execution, traps). Non-owning; null (the default)
+     * disables every hook — the hooks all sit on cold paths behind a
+     * single null check, so a run without a timeline pays nothing
+     * measurable (BENCH_obs_overhead.json).
+     */
+    void setTimeline(obs::Timeline* t) { _timeline = t; }
+    obs::Timeline* timeline() const { return _timeline; }
+
     // ---- Introspection ----
 
     const EngineConfig& config() const { return _config; }
@@ -266,16 +292,29 @@ class Engine
         return _canonTypeIds[typeIndex];
     }
 
-    /** Statistics (tests assert on these). */
+  private:
+    // Declared ahead of `stats` so the registry outlives and
+    // pre-dates the counter references it hands out.
+    obs::MetricsRegistry _metrics;
+
+  public:
+    /**
+     * Statistics (tests assert on these). Each field aliases the
+     * `engine.*` metrics-registry counter of the same name, so
+     * `stats.functionsCompiled++` and
+     * `metrics().value("engine.functions_compiled")` are one number —
+     * one counting idiom engine-wide (docs/OBSERVABILITY.md).
+     */
     struct Stats
     {
-        uint64_t functionsCompiled = 0;
-        uint64_t jitInvalidations = 0;
-        uint64_t frameDeopts = 0;
-        uint64_t osrEntries = 0;
-        uint64_t dispatchTableSwitches = 0;
+        explicit Stats(obs::MetricsRegistry& m);
+        obs::Counter& functionsCompiled;
+        obs::Counter& jitInvalidations;
+        obs::Counter& frameDeopts;
+        obs::Counter& osrEntries;
+        obs::Counter& dispatchTableSwitches;
     };
-    Stats stats;
+    Stats stats{_metrics};
 
   private:
     friend struct Interp;
@@ -301,6 +340,8 @@ class Engine
     std::vector<Value> _values;
     std::vector<Frame> _frames;
     uint64_t _nextFrameId = 1;
+
+    obs::Timeline* _timeline = nullptr;
 
     const void* _dispatch = nullptr;
     DispatchMode _dispatchMode = DispatchMode::Normal;

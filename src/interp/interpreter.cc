@@ -1072,9 +1072,10 @@ probeStep(Engine& eng, Frame* frame, FuncState* fs, uint32_t pc,
 {
     ProbeManager& pm = eng.probes();
     // One dense lookup fetches the firing entry and the original byte.
-    // The shared_ptr snapshot keeps the entry alive even if the firing
-    // probes re-fuse or remove this very site mid-fire.
-    ProbeManager::SiteView site = pm.siteFor(fs->funcIndex, pc);
+    // The entry is borrowed, not shared: fireBorrowed's retire list
+    // keeps it alive even if the firing probes re-fuse or remove this
+    // very site mid-fire, without a per-fire atomic refcount.
+    ProbeManager::BorrowedSite site = pm.borrowSite(fs->funcIndex, pc);
     if (!site.fired) {
         // The site vanished between opcode fetch and lookup — a global
         // probe firing at this instruction removed its local probes.
@@ -1089,7 +1090,7 @@ probeStep(Engine& eng, Frame* frame, FuncState* fs, uint32_t pc,
         return {site.originalByte, dispatch};
     }
     uint64_t epoch = eng.instrumentationEpoch;
-    pm.fireSite(site, frame, fs, pc);
+    pm.fireBorrowed(site, frame, fs, pc);
     // Epoch-gated refresh of the cached dispatch pointer (the fired
     // M-code may have toggled global probes); the invariant making
     // this sufficient is documented in docs/INTERPRETER.md.

@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+namespace wizpp::obs {
+
+uint64_t
+Histogram::count() const noexcept
+{
+    uint64_t n = 0;
+    for (int i = 0; i < kBuckets; i++) n += bucketCount(i);
+    return n;
+}
+
+uint64_t
+Histogram::quantile(double q) const noexcept
+{
+    uint64_t total = count();
+    if (total == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    // Rank of the q-th sample, 1-based; walk buckets until reached.
+    uint64_t rank = (uint64_t)std::ceil(q * (double)total);
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; i++) {
+        seen += bucketCount(i);
+        if (seen >= rank) return bucketLimit(i) - 1;
+    }
+    return bucketLimit(kBuckets - 1) - 1;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    Entry& e = _entries[name];
+    if (!e.counter) {
+        assert(!e.gauge && !e.histogram && !e.callback &&
+               "metric registered under two kinds");
+        e.counter = std::make_unique<Counter>();
+    }
+    return *e.counter;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    Entry& e = _entries[name];
+    if (!e.gauge) {
+        assert(!e.counter && !e.histogram && !e.callback &&
+               "metric registered under two kinds");
+        e.gauge = std::make_unique<Gauge>();
+    }
+    return *e.gauge;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    Entry& e = _entries[name];
+    if (!e.histogram) {
+        assert(!e.counter && !e.gauge && !e.callback &&
+               "metric registered under two kinds");
+        e.histogram = std::make_unique<Histogram>();
+    }
+    return *e.histogram;
+}
+
+void
+MetricsRegistry::registerCallback(const std::string& name,
+                                  std::function<uint64_t()> fn)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    Entry& e = _entries[name];
+    assert(!e.counter && !e.gauge && !e.histogram &&
+           "metric registered under two kinds");
+    e.callback = std::move(fn);
+}
+
+std::map<std::string, double>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    std::map<std::string, double> out;
+    for (auto& [name, e] : _entries) {
+        if (e.counter) {
+            out[name] = (double)e.counter->value();
+        } else if (e.gauge) {
+            out[name] = (double)e.gauge->value();
+        } else if (e.histogram) {
+            const Histogram& h = *e.histogram;
+            out[name + ".count"] = (double)h.count();
+            out[name + ".sum"] = (double)h.sum();
+            out[name + ".p50"] = (double)h.quantile(0.50);
+            out[name + ".p99"] = (double)h.quantile(0.99);
+            out[name + ".max"] = (double)h.quantile(1.0);
+        } else if (e.callback) {
+            out[name] = (double)e.callback();
+        }
+    }
+    return out;
+}
+
+double
+MetricsRegistry::value(const std::string& name) const
+{
+    auto snap = snapshot();
+    auto it = snap.find(name);
+    return it == snap.end() ? 0.0 : it->second;
+}
+
+static void
+writeJsonNumber(std::ostream& out, double v)
+{
+    // All registry values are integral counts; keep the JSON clean.
+    if (v == (double)(int64_t)v) {
+        out << (int64_t)v;
+    } else {
+        out << v;
+    }
+}
+
+void
+MetricsRegistry::write(std::ostream& out, MetricsFormat format) const
+{
+    auto snap = snapshot();
+    switch (format) {
+    case MetricsFormat::Text:
+        for (auto& [name, v] : snap) {
+            out << name << " ";
+            writeJsonNumber(out, v);
+            out << "\n";
+        }
+        break;
+    case MetricsFormat::Json: {
+        out << "{\n";
+        bool first = true;
+        for (auto& [name, v] : snap) {
+            if (!first) out << ",\n";
+            first = false;
+            out << "  \"" << name << "\": ";
+            writeJsonNumber(out, v);
+        }
+        out << "\n}\n";
+        break;
+    }
+    case MetricsFormat::Csv:
+        out << "metric,value\n";
+        for (auto& [name, v] : snap) {
+            out << name << ",";
+            writeJsonNumber(out, v);
+            out << "\n";
+        }
+        break;
+    }
+}
+
+bool
+parseMetricsFormat(const std::string& s, MetricsFormat* out)
+{
+    if (s.empty() || s == "text") {
+        *out = MetricsFormat::Text;
+    } else if (s == "json") {
+        *out = MetricsFormat::Json;
+    } else if (s == "csv") {
+        *out = MetricsFormat::Csv;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace wizpp::obs

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The engine-wide metrics registry (docs/OBSERVABILITY.md).
+ *
+ * A MetricsRegistry names and owns three kinds of low-overhead
+ * instruments plus value callbacks:
+ *
+ *  - Counter:   a monotonically increasing count (lock-free relaxed
+ *               atomic increment; one `lock add` on the writer path).
+ *  - Gauge:     a settable signed level (attached monitors, live
+ *               probe sites).
+ *  - Histogram: fixed power-of-two buckets for latency-style values
+ *               (compile micros, batch-attach micros). Recording is a
+ *               single relaxed atomic increment per bucket plus a sum;
+ *               quantiles are estimated from the buckets at dump time.
+ *  - Callback:  a pull-model value sampled only when the registry is
+ *               dumped or snapshotted — the idiom for exposing
+ *               hot-path counters (probe fire counts) that must stay
+ *               plain non-atomic fields on their fast path.
+ *
+ * Registration takes a mutex and returns a stable reference; the
+ * instruments themselves never move, so the hot path holds a direct
+ * pointer and performs no lookup, no lock, and no allocation. All
+ * instruments are safe to write from concurrent threads; totals are
+ * exact (the ASan concurrency smoke in tests/test_obs.cc holds this).
+ *
+ * Everything here is compiled in unconditionally: the engine's hooks
+ * sit on cold paths (compiles, epoch bumps, batch attaches), and hot
+ * counters are exported through callbacks, so an engine that never
+ * dumps its registry pays nothing measurable
+ * (BENCH_obs_overhead.json's metrics columns hold this).
+ */
+
+#ifndef WIZPP_OBS_METRICS_H
+#define WIZPP_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wizpp::obs {
+
+/** A monotonically increasing, lock-free counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void inc(uint64_t n = 1) noexcept
+    {
+        _v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    Counter& operator++() noexcept
+    {
+        inc();
+        return *this;
+    }
+
+    /** Post-increment, counter idiom: `stats.frameDeopts++`. */
+    void operator++(int) noexcept { inc(); }
+
+    Counter& operator+=(uint64_t n) noexcept
+    {
+        inc(n);
+        return *this;
+    }
+
+    uint64_t value() const noexcept
+    {
+        return _v.load(std::memory_order_relaxed);
+    }
+
+    /** Counters compare and read like plain integers in tests. */
+    operator uint64_t() const noexcept { return value(); }  // NOLINT
+
+  private:
+    std::atomic<uint64_t> _v{0};
+};
+
+/** A settable signed level. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set(int64_t v) noexcept
+    {
+        _v.store(v, std::memory_order_relaxed);
+    }
+
+    void add(int64_t d) noexcept
+    {
+        _v.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    int64_t value() const noexcept
+    {
+        return _v.load(std::memory_order_relaxed);
+    }
+
+    operator int64_t() const noexcept { return value(); }  // NOLINT
+
+  private:
+    std::atomic<int64_t> _v{0};
+};
+
+/**
+ * A fixed-bucket latency histogram: bucket i counts values v with
+ * 2^i <= v < 2^(i+1) (bucket 0 also takes v == 0). Unit-agnostic —
+ * the registry convention is a unit suffix in the name (`_us`).
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 32;
+
+    Histogram() = default;
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void
+    record(uint64_t v) noexcept
+    {
+        _buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        _sum.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    uint64_t count() const noexcept;
+    uint64_t sum() const noexcept
+    {
+        return _sum.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Quantile estimate from the buckets (upper bound of the bucket
+     * holding the q-th sample); q in [0, 1]. 0 when empty.
+     */
+    uint64_t quantile(double q) const noexcept;
+
+    uint64_t bucketCount(int i) const noexcept
+    {
+        return _buckets[i].load(std::memory_order_relaxed);
+    }
+
+    static int
+    bucketOf(uint64_t v) noexcept
+    {
+        if (v < 2) return 0;
+        int b = 64 - __builtin_clzll(v) - 1;
+        return b < kBuckets ? b : kBuckets - 1;
+    }
+
+    /** Upper value bound (exclusive) of bucket @p i. */
+    static uint64_t
+    bucketLimit(int i) noexcept
+    {
+        return i >= 63 ? ~0ull : (2ull << i);
+    }
+
+  private:
+    std::atomic<uint64_t> _buckets[kBuckets]{};
+    std::atomic<uint64_t> _sum{0};
+};
+
+/** Dump format for MetricsRegistry::write (wizeng --metrics=...). */
+enum class MetricsFormat : uint8_t { Text, Json, Csv };
+
+/**
+ * The named-instrument registry. One per Engine (Engine::metrics());
+ * standalone instances work too (tests, tools).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /**
+     * Returns the instrument registered under @p name, creating it on
+     * first use. References are stable for the registry's lifetime.
+     * Registering one name as two different kinds is a programming
+     * error (asserted in debug builds; first kind wins in release).
+     */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /**
+     * Registers a pull-model value: @p fn is invoked only at
+     * dump/snapshot time. The callable must stay valid for the
+     * registry's lifetime (or until re-registered under the same
+     * name, which replaces it).
+     */
+    void registerCallback(const std::string& name,
+                          std::function<uint64_t()> fn);
+
+    /**
+     * A flat name -> value view of every instrument: counters, gauges
+     * and callbacks verbatim; histograms expanded to `<name>.count`,
+     * `<name>.sum`, `<name>.p50`, `<name>.p99`, `<name>.max`.
+     */
+    std::map<std::string, double> snapshot() const;
+
+    /** snapshot()[name], or 0 when absent. */
+    double value(const std::string& name) const;
+
+    /** Writes every instrument in @p format (sorted by name). */
+    void write(std::ostream& out, MetricsFormat format) const;
+
+  private:
+    struct Entry
+    {
+        // Exactly one is set; instruments are pointer-stable.
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+        std::function<uint64_t()> callback;
+    };
+
+    mutable std::mutex _mu;
+    std::map<std::string, Entry> _entries;
+};
+
+/** Parses "json"/"csv"/"text"; false on an unknown name. */
+bool parseMetricsFormat(const std::string& s, MetricsFormat* out);
+
+} // namespace wizpp::obs
+
+#endif // WIZPP_OBS_METRICS_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The sampling profiler monitor (docs/OBSERVABILITY.md).
+ *
+ * Built purely on the public instrumentation API — local probes via
+ * ProbeManager::insertBatch and stack walks via FrameAccessor — with
+ * no engine-core edits, like the trace recorder: the profiler is just
+ * another monitor, which is the point (DynamoRIO-style tooling on the
+ * probe substrate).
+ *
+ * Sampling contract: one probe per *sample site* — every function's
+ * entry (pc 0) plus every loop header, i.e. the places execution must
+ * pass to make progress — and a shared fire-count budget. Every probe
+ * fire decrements the budget; when it hits zero the profiler walks
+ * the active frame stack through FrameAccessor::caller() and records
+ * one folded root-first stack, then re-arms the budget. Because the
+ * budget counts probe *fires* (deterministic events), not wall-clock
+ * ticks, the folded output is byte-identical across all three
+ * dispatch backends and all execution tiers for a deterministic
+ * program — which is how the parity tests pin it.
+ *
+ * Self-attribution: each site tracks its own fire count; report()
+ * combines that with a calibrated per-fire base cost (measured by
+ * firing a detached probe in a loop at attach time) and the lowering
+ * kind the compiled tier chose for the site (JitCode::loweringAt) to
+ * estimate where the profiler's own overhead went.
+ */
+
+#ifndef WIZPP_OBS_PROFILER_H
+#define WIZPP_OBS_PROFILER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitors/monitor.h"
+#include "probes/probe.h"
+
+namespace wizpp::obs {
+
+class SamplingProfiler : public Monitor
+{
+  public:
+    struct Options
+    {
+        /** Probe fires (function entries + loop backedges) between
+            samples. 1 samples on every fire. */
+        uint64_t budget = 4096;
+
+        /** Probe every instruction boundary instead of entries + loop
+            headers: maximum resolution, tracing-level overhead. */
+        bool everyInstruction = false;
+    };
+
+    SamplingProfiler() = default;
+    explicit SamplingProfiler(Options opts) : _opts(opts) {}
+
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "profile"; }
+
+    /** Emits "root;...;leaf count" folded stacks (flamegraph input),
+        sorted by stack string — deterministic across backends/tiers. */
+    void writeFolded(std::ostream& out) const;
+
+    uint64_t sampleCount() const { return _samples; }
+
+    /** Total probe fires, summed from the per-site counters (the fire
+        path never maintains a shared total). */
+    uint64_t fireCount() const;
+
+    const Options& options() const { return _opts; }
+
+    /** Calibrated generic probe-fire base cost, nanoseconds. Runs the
+        calibration loop on first use (report() also triggers it), so
+        a profiled run that never asks for attribution never pays. */
+    double perFireNanos();
+
+  private:
+    class SampleProbe;
+    friend class SampleProbe;
+
+    void takeSample(ProbeContext& ctx);
+    void ensureCalibrated();
+
+    struct Site
+    {
+        uint32_t funcIndex = 0;
+        uint32_t pc = 0;
+        std::shared_ptr<SampleProbe> probe;
+    };
+
+    Options _opts;
+    Engine* _engine = nullptr;
+    uint64_t _countdown = 0;
+    uint64_t _samples = 0;
+    double _perFireNanos = 0.0;
+    std::vector<Site> _sites;
+    std::map<std::string, uint64_t> _folded;
+};
+
+} // namespace wizpp::obs
+
+#endif // WIZPP_OBS_PROFILER_H

@@ -1,0 +1,97 @@
+#include "obs/timeline.h"
+
+#include <ostream>
+
+namespace wizpp::obs {
+
+Timeline::Timeline() : _epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t
+Timeline::nowMicros() const
+{
+    return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - _epoch)
+        .count();
+}
+
+void
+Timeline::begin(const std::string& name,
+                std::vector<std::pair<std::string, std::string>> args)
+{
+    _events.push_back({'B', name, nowMicros(), std::move(args)});
+    _stack.push_back(name);
+}
+
+void
+Timeline::end(std::vector<std::pair<std::string, std::string>> args)
+{
+    if (_stack.empty()) return;
+    _events.push_back({'E', _stack.back(), nowMicros(), std::move(args)});
+    _stack.pop_back();
+}
+
+void
+Timeline::instant(const std::string& name,
+                  std::vector<std::pair<std::string, std::string>> args)
+{
+    _events.push_back({'i', name, nowMicros(), std::move(args)});
+}
+
+static void
+writeJsonString(std::ostream& out, const std::string& s)
+{
+    out << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                snprintf(buf, sizeof buf, "\\u%04x", c);
+                out << buf;
+            } else {
+                out << c;
+            }
+        }
+    }
+    out << '"';
+}
+
+void
+Timeline::writeJson(std::ostream& out)
+{
+    // A trap can cut execution short with spans still open; close
+    // them now so viewers see matched B/E pairs.
+    while (!_stack.empty()) end();
+
+    out << "{\"traceEvents\": [\n";
+    bool first = true;
+    for (const TimelineEvent& e : _events) {
+        if (!first) out << ",\n";
+        first = false;
+        out << "  {\"name\": ";
+        writeJsonString(out, e.name);
+        out << ", \"ph\": \"" << e.phase << "\", \"ts\": " << e.tsMicros
+            << ", \"pid\": 1, \"tid\": 1";
+        if (e.phase == 'i') out << ", \"s\": \"t\"";
+        if (!e.args.empty()) {
+            out << ", \"args\": {";
+            bool firstArg = true;
+            for (auto& [k, v] : e.args) {
+                if (!firstArg) out << ", ";
+                firstArg = false;
+                writeJsonString(out, k);
+                out << ": ";
+                writeJsonString(out, v);
+            }
+            out << "}";
+        }
+        out << "}";
+    }
+    out << "\n]}\n";
+}
+
+} // namespace wizpp::obs

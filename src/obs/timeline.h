@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The engine-event timeline (docs/OBSERVABILITY.md).
+ *
+ * A Timeline records named lifecycle spans (module decode/validate,
+ * per-function compiles, probe batch attach/detach, monitor attach,
+ * execution) and instant events (traps, dispatch-table switches) with
+ * microsecond timestamps, and writes them as Chrome trace-event JSON
+ * — loadable in chrome://tracing and Perfetto.
+ *
+ * The engine holds a non-owning `Timeline*` that is null by default:
+ * every hook is a `if (timeline) ...` on an already-cold path, so a
+ * run without `--timeline=` pays one predicted-not-taken branch per
+ * compile/batch/trap and nothing per instruction. The recording side
+ * is single-threaded by design (the engine is); `events()` exposes
+ * the raw record for structural tests.
+ *
+ * Span discipline: begin()/end() must nest (the timeline keeps the
+ * open-span stack and end() pops it), which is what makes the B/E
+ * pairs in the JSON well-formed for trace viewers. The Span RAII
+ * guard is the normal way to hold that invariant.
+ */
+
+#ifndef WIZPP_OBS_TIMELINE_H
+#define WIZPP_OBS_TIMELINE_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wizpp::obs {
+
+/** One trace-event record: a span edge ('B'/'E') or instant ('i'). */
+struct TimelineEvent
+{
+    char phase;            // 'B', 'E' or 'i'
+    std::string name;      // span taxonomy name, e.g. "jit.compile"
+    uint64_t tsMicros;     // microseconds since the timeline epoch
+    // Flat key/value args; values are emitted as JSON strings.
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Timeline
+{
+  public:
+    Timeline();
+
+    /** Opens a span; close with end(). Args attach to the 'B' edge. */
+    void begin(const std::string& name,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+    /**
+     * Closes the innermost open span. Args attach to the 'E' edge
+     * (for results known only at completion, e.g. a lowering
+     * summary). No-op when no span is open.
+     */
+    void end(std::vector<std::pair<std::string, std::string>> args = {});
+
+    /** Records a zero-duration instant event. */
+    void instant(const std::string& name,
+                 std::vector<std::pair<std::string, std::string>> args = {});
+
+    /** RAII span guard: begins on construction, ends on destruction. */
+    class Span
+    {
+      public:
+        Span(Timeline* t, const std::string& name,
+             std::vector<std::pair<std::string, std::string>> args = {})
+            : _t(t)
+        {
+            if (_t) _t->begin(name, std::move(args));
+        }
+        ~Span() { close(); }
+        Span(const Span&) = delete;
+        Span& operator=(const Span&) = delete;
+
+        /** Closes early, optionally attaching end args. */
+        void
+        close(std::vector<std::pair<std::string, std::string>> args = {})
+        {
+            if (_t) _t->end(std::move(args));
+            _t = nullptr;
+        }
+
+      private:
+        Timeline* _t;
+    };
+
+    const std::vector<TimelineEvent>& events() const { return _events; }
+
+    /** Open (un-ended) span count; 0 in a well-formed finished trace. */
+    size_t openSpans() const { return _stack.size(); }
+
+    /** Microseconds elapsed since the timeline was constructed. */
+    uint64_t nowMicros() const;
+
+    /**
+     * Writes `{"traceEvents": [...]}` with any still-open spans
+     * closed at the current timestamp (so a trace cut short by a trap
+     * still loads).
+     */
+    void writeJson(std::ostream& out);
+
+  private:
+    std::chrono::steady_clock::time_point _epoch;
+    std::vector<TimelineEvent> _events;
+    std::vector<std::string> _stack;  // names of open spans
+};
+
+} // namespace wizpp::obs
+
+#endif // WIZPP_OBS_TIMELINE_H

@@ -1,9 +1,11 @@
 #include "probes/probemanager.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/audit.h"
 #include "engine/engine.h"
+#include "obs/timeline.h"
 #include "wasm/opcodes.h"
 
 namespace wizpp {
@@ -123,6 +125,9 @@ ProbeManager::releaseSite(FuncState& fs, uint32_t pc)
     uint32_t slot = f.pcToSite[pc];
     if (slot == kNoSite) return;
     fs.code[pc] = f.slots[slot].originalByte;
+    // A borrowed firing of this site may be on the stack (a probe
+    // removing its own site mid-fire); keep its entry alive.
+    retire(std::move(f.slots[slot].fused));
     f.slots[slot] = LocalSite{};
     f.pcToSite[pc] = kNoSite;
     f.freeSlots.push_back(slot);
@@ -134,7 +139,9 @@ ProbeManager::rebuildFused(LocalSite& site)
 {
     // Single-member sites fire the member directly, keeping their
     // compiled-tier intrinsification eligibility; larger sites get a
-    // fresh immutable FusedProbe (in-flight firings hold the old one).
+    // fresh immutable FusedProbe. In-flight firings may be borrowing
+    // the old entry, so park it on the retire list first.
+    retire(std::move(site.fused));
     const ProbeList& m = *site.members;
     if (m.size() == 1) {
         site.fused = m[0];
@@ -167,6 +174,10 @@ ProbeManager::insertLocal(uint32_t funcIndex, uint32_t pc,
 size_t
 ProbeManager::insertBatch(std::span<SiteProbe> batch)
 {
+    obs::Timeline::Span span(
+        _engine.timeline(), "probes.insertBatch",
+        {{"probes", std::to_string(batch.size())}});
+    auto t0 = std::chrono::steady_clock::now();
     size_t inserted = 0;
     std::vector<uint32_t> touchedFuncs;
     forEachSiteGroup(batch, [&](uint32_t funcIndex, uint32_t pc,
@@ -203,6 +214,16 @@ ProbeManager::insertBatch(std::span<SiteProbe> batch)
             analysis::debugAuditFunctions(_engine, touchedFuncs);
     }
 #endif
+    obs::MetricsRegistry& m = _engine.metrics();
+    m.counter("probes.batch_inserts")++;
+    m.counter("probes.batch_probes_inserted") += inserted;
+    m.histogram("probes.insert_batch_us")
+        .record((uint64_t)std::chrono::duration_cast<
+                    std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+    span.close({{"attached", std::to_string(inserted)},
+                {"funcs", std::to_string(touchedFuncs.size())}});
     return inserted;
 }
 
@@ -241,6 +262,9 @@ ProbeManager::removeBatch(std::span<SiteProbe> batch)
     // Same site grouping as insertBatch (stable, so duplicate pairs
     // at one site remove the same number of occurrences as one-by-one
     // removeLocal calls would).
+    obs::Timeline::Span span(
+        _engine.timeline(), "probes.removeBatch",
+        {{"probes", std::to_string(batch.size())}});
     size_t removed = 0;
     std::vector<uint32_t> touchedFuncs;
     forEachSiteGroup(batch, [&](uint32_t funcIndex, uint32_t pc,
@@ -281,6 +305,11 @@ ProbeManager::removeBatch(std::span<SiteProbe> batch)
     // One epoch bump and one compiled-code invalidation per touched
     // function for the entire batch.
     if (removed) _engine.onProbesBatchChanged(touchedFuncs);
+    obs::MetricsRegistry& m = _engine.metrics();
+    m.counter("probes.batch_removes")++;
+    m.counter("probes.batch_probes_removed") += removed;
+    span.close({{"detached", std::to_string(removed)},
+                {"funcs", std::to_string(touchedFuncs.size())}});
     return removed;
 }
 
@@ -351,9 +380,9 @@ ProbeManager::removeGlobal(const Probe* probe)
 void
 ProbeManager::fireLocal(Frame* frame, FuncState* fs, uint32_t pc)
 {
-    SiteView site = siteFor(fs->funcIndex, pc);
+    BorrowedSite site = borrowSite(fs->funcIndex, pc);
     if (!site.fired) return;
-    fireSite(site, frame, fs, pc);
+    fireBorrowed(site, frame, fs, pc);
 }
 
 void
@@ -367,6 +396,23 @@ ProbeManager::fireSite(const SiteView& site, Frame* frame, FuncState* fs,
     localFireCount += site.memberCount;
     ProbeContext ctx(_engine, frame, fs, pc);
     ctx.setFiring(site.fired.get());
+    site.fired->fire(ctx);
+}
+
+void
+ProbeManager::fireBorrowed(const BorrowedSite& site, Frame* frame,
+                           FuncState* fs, uint32_t pc)
+{
+    if (!site.fired) return;
+    // Same immutable-snapshot semantics as fireSite, but the entry is
+    // borrowed: the FireScope keeps anything the firing probes swap
+    // out alive until this (outermost) fire returns, so the M-code may
+    // insert, remove or re-fuse freely — including at this very site —
+    // and all three Section 2.4 guarantees still hold.
+    FireScope scope(*this);
+    localFireCount += site.memberCount;
+    ProbeContext ctx(_engine, frame, fs, pc);
+    ctx.setFiring(site.fired);
     site.fired->fire(ctx);
 }
 

@@ -169,6 +169,41 @@ class ProbeManager
                 site.originalByte};
     }
 
+    /**
+     * A site view that borrows the firing entry instead of sharing
+     * ownership. Produced by borrowSite() and consumed immediately by
+     * fireBorrowed(): the pointer stays valid through that fire (see
+     * fireBorrowed for the lifetime argument) but must not be stashed
+     * past it — use siteFor() for anything longer-lived.
+     */
+    struct BorrowedSite
+    {
+        Probe* fired = nullptr;  ///< null if the site is unprobed
+        uint32_t memberCount = 0;
+        uint8_t originalByte = 0;
+    };
+
+    /**
+     * siteFor() minus the shared_ptr copy: the same two dense array
+     * loads, but the firing entry comes back as a borrowed raw
+     * pointer, skipping the per-fire atomic refcount round-trip —
+     * measurable on probe-dense runs (the per-instruction handlers of
+     * Section 4.2 are the engine's hottest instrumentation path).
+     */
+    BorrowedSite
+    borrowSite(uint32_t funcIndex, uint32_t pc) const
+    {
+        if (funcIndex >= _funcSites.size()) return {};
+        const FuncSites& f = _funcSites[funcIndex];
+        if (pc >= f.pcToSite.size()) return {};
+        uint32_t slot = f.pcToSite[pc];
+        if (slot == kNoSite) return {};
+        const LocalSite& site = f.slots[slot];
+        return {site.fused.get(),
+                static_cast<uint32_t>(site.members->size()),
+                site.originalByte};
+    }
+
     /** The original (pre-overwrite) opcode byte at a probed location. */
     uint8_t originalByte(uint32_t funcIndex, uint32_t pc) const;
 
@@ -193,10 +228,10 @@ class ProbeManager
 
     /**
      * Fires all local probes at (fs, pc) against @p frame, resolving
-     * the site itself. The engine must have checkpointed the frame
-     * (pc, sp) before calling. Used by the compiled tier's generic
-     * probe path; the interpreter resolves via siteFor() and calls
-     * fireSite() directly.
+     * the site itself (borrowSite + fireBorrowed). The engine must
+     * have checkpointed the frame (pc, sp) before calling. Used by
+     * the compiled tier's generic probe path; the interpreter resolves
+     * via borrowSite() and calls fireBorrowed() directly.
      */
     void fireLocal(Frame* frame, FuncState* fs, uint32_t pc);
 
@@ -206,6 +241,20 @@ class ProbeManager
      */
     void fireSite(const SiteView& site, Frame* frame, FuncState* fs,
                   uint32_t pc);
+
+    /**
+     * Fires a borrowed site view (borrowSite()) without taking
+     * ownership of the entry. The Section 2.4 keep-alive that the
+     * shared_ptr copy used to provide comes from retirement instead:
+     * firings are depth-tracked, and any entry the firing probes swap
+     * out (insert, remove, re-fusion at any site) is parked on a
+     * retire list that is only drained when the outermost fire
+     * returns — so the borrowed entry outlives this call even if the
+     * M-code detaches it mid-fire, at zero per-fire cost on the
+     * (overwhelmingly common) mutation-free path.
+     */
+    void fireBorrowed(const BorrowedSite& site, Frame* frame,
+                      FuncState* fs, uint32_t pc);
 
     /**
      * Fires a firing entry the compiled tier resolved at translation
@@ -265,12 +314,38 @@ class ProbeManager
     /** Drops a site slot and restores its original bytecode byte. */
     void releaseSite(FuncState& fs, uint32_t pc);
 
-    /** Rebuilds the single firing entry after a membership change. */
-    static void rebuildFused(LocalSite& site);
+    /** Rebuilds the single firing entry after a membership change,
+        retiring the previous entry (it may be firing right now). */
+    void rebuildFused(LocalSite& site);
+
+    /** Parks a swapped-out firing entry until the outermost in-flight
+        fire returns; destroys it immediately when nothing is firing. */
+    void
+    retire(std::shared_ptr<Probe> old)
+    {
+        if (old && _fireDepth) _retired.push_back(std::move(old));
+    }
+
+    /** RAII depth guard for borrowed-entry firings: entries retired
+        while any fire is on the stack are destroyed only when the
+        outermost one unwinds. */
+    struct FireScope
+    {
+        explicit FireScope(ProbeManager& m) : _m(m) { _m._fireDepth++; }
+        ~FireScope()
+        {
+            if (--_m._fireDepth == 0 && !_m._retired.empty()) {
+                _m._retired.clear();
+            }
+        }
+        ProbeManager& _m;
+    };
 
     Engine& _engine;
     std::vector<FuncSites> _funcSites;  ///< indexed by funcIndex
     size_t _numSites = 0;
+    uint32_t _fireDepth = 0;
+    std::vector<std::shared_ptr<Probe>> _retired;
     ProbeListRef _globals = std::make_shared<const ProbeList>();
 };
 

@@ -188,6 +188,15 @@ TraceRecorder::finish(TrapReason trap, const std::vector<Value>& results)
     }
     _writer.end();
     _finished = true;
+    if (_engine) {
+        // Cold path (one finish per recording): fold the stream totals
+        // into the engine's metrics registry.
+        _engine->metrics().counter("trace.bytes_written") +=
+            _writer.bytes().size();
+        _engine->metrics().counter("trace.events") +=
+            _writer.eventCount();
+        _engine->metrics().counter("trace.recordings")++;
+    }
 }
 
 bool

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * The observability layer (docs/OBSERVABILITY.md): metrics registry
+ * semantics and concurrency, timeline structural validation over the
+ * corpus (including a trapping run), and sampling-profiler folded
+ * parity across every dispatch backend and execution tier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
+#include "suites/suites.h"
+#include "test_util.h"
+
+namespace wizpp {
+namespace {
+
+using test::makeEngine;
+using test::modeName;
+using test::mustParse;
+using test::run1;
+
+// ---------------------------------------------------------------- registry
+
+TEST(Metrics, CounterGaugeHistogramBasics)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter& c = reg.counter("a.count");
+    c++;
+    ++c;
+    c += 40;
+    EXPECT_EQ(42u, c.value());
+    EXPECT_EQ(42u, reg.value("a.count"));
+
+    obs::Gauge& g = reg.gauge("a.gauge");
+    g.set(7);
+    g.add(-3);
+    EXPECT_EQ(4, g.value());
+
+    obs::Histogram& h = reg.histogram("a.lat_us");
+    for (uint64_t v : {1u, 2u, 4u, 100u, 1000u}) h.record(v);
+    EXPECT_EQ(5u, h.count());
+    EXPECT_EQ(1107u, h.sum());
+    // Quantiles report bucket upper bounds: monotone in q.
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(Metrics, ReferencesAreStableAcrossRegistrations)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter& first = reg.counter("stable");
+    first += 5;
+    // Registering many more metrics must not move the first one.
+    for (int i = 0; i < 100; i++) {
+        reg.counter("filler." + std::to_string(i));
+    }
+    obs::Counter& again = reg.counter("stable");
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(5u, first.value());
+}
+
+TEST(Metrics, CallbacksArePulledIntoSnapshots)
+{
+    obs::MetricsRegistry reg;
+    uint64_t source = 123;
+    reg.registerCallback("pulled", [&source] { return source; });
+    EXPECT_EQ(123u, reg.value("pulled"));
+    source = 456;  // pull model: reads see the live value
+    EXPECT_EQ(456u, reg.value("pulled"));
+}
+
+TEST(Metrics, WriteFormats)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("z.count") += 3;
+    reg.counter("a.count") += 1;
+
+    std::ostringstream text;
+    reg.write(text, obs::MetricsFormat::Text);
+    // Sorted by name, one `name value` line each.
+    EXPECT_EQ("a.count 1\nz.count 3\n", text.str());
+
+    std::ostringstream json;
+    reg.write(json, obs::MetricsFormat::Json);
+    EXPECT_NE(std::string::npos, json.str().find("\"a.count\": 1"));
+    EXPECT_EQ('{', json.str().front());
+    EXPECT_EQ('\n', json.str().back());
+
+    std::ostringstream csv;
+    reg.write(csv, obs::MetricsFormat::Csv);
+    EXPECT_EQ(0u, csv.str().rfind("metric,value\n", 0));
+    EXPECT_NE(std::string::npos, csv.str().find("z.count,3"));
+}
+
+TEST(Metrics, ParseFormat)
+{
+    obs::MetricsFormat f;
+    EXPECT_TRUE(obs::parseMetricsFormat("", &f));
+    EXPECT_EQ(obs::MetricsFormat::Text, f);
+    EXPECT_TRUE(obs::parseMetricsFormat("json", &f));
+    EXPECT_EQ(obs::MetricsFormat::Json, f);
+    EXPECT_TRUE(obs::parseMetricsFormat("csv", &f));
+    EXPECT_EQ(obs::MetricsFormat::Csv, f);
+    EXPECT_FALSE(obs::parseMetricsFormat("xml", &f));
+}
+
+/** The lock-free-counter contract, held under ASan/real threads: N
+    threads hammering shared counters and histograms lose no updates. */
+TEST(Metrics, ConcurrencySmoke)
+{
+    obs::MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kIters = 20000;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&reg, t] {
+            // Half the threads also register fresh metrics while the
+            // others increment — registration is mutex-guarded and
+            // must not invalidate outstanding references.
+            obs::Counter& c = reg.counter("mt.count");
+            obs::Histogram& h = reg.histogram("mt.lat");
+            for (uint64_t i = 0; i < kIters; i++) {
+                c++;
+                h.record(i & 0xff);
+                if ((i & 0x3ff) == 0) {
+                    reg.counter("mt.thread." + std::to_string(t))++;
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(kThreads * kIters, reg.value("mt.count"));
+    EXPECT_EQ(kThreads * kIters, reg.histogram("mt.lat").count());
+}
+
+// ------------------------------------------------- engine stats promotion
+
+TEST(Metrics, EngineStatsAreRegistryCounters)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = makeEngine(
+        "(module (func (export \"run\") (result i32) (i32.const 7)))",
+        cfg);
+    run1(*eng, "run");
+    // The legacy stats fields and the registry are one storage.
+    EXPECT_EQ(eng->stats.functionsCompiled.value(),
+              eng->metrics().value("engine.functions_compiled"));
+    EXPECT_GE(eng->metrics().value("engine.functions_compiled"), 1u);
+    // Hot-path probe counters surface through pull callbacks.
+    EXPECT_EQ(eng->probes().localFireCount,
+              eng->metrics().value("probes.local_fires"));
+}
+
+// ---------------------------------------------------------------- timeline
+
+/** Structural validation of one timeline: monotonic timestamps and
+    strict B/E stack discipline (every E closes the innermost open B
+    of the same name, nothing left open). */
+void
+validateTimeline(const obs::Timeline& tl, const std::string& label)
+{
+    uint64_t lastTs = 0;
+    std::vector<std::string> open;
+    for (const obs::TimelineEvent& e : tl.events()) {
+        EXPECT_GE(e.tsMicros, lastTs) << label << ": ts not monotonic";
+        lastTs = e.tsMicros;
+        if (e.phase == 'B') {
+            open.push_back(e.name);
+        } else if (e.phase == 'E') {
+            ASSERT_FALSE(open.empty())
+                << label << ": E '" << e.name << "' with no open span";
+            EXPECT_EQ(open.back(), e.name)
+                << label << ": spans must close innermost-first";
+            open.pop_back();
+        } else {
+            EXPECT_EQ('i', e.phase) << label;
+        }
+    }
+    EXPECT_TRUE(open.empty())
+        << label << ": " << open.size() << " span(s) left open";
+}
+
+/** A deliberately minimal JSON well-formedness scan (balanced braces
+    and brackets outside strings, legal escapes) — enough to catch a
+    broken emitter without a JSON library in the test deps. */
+void
+expectWellFormedJson(const std::string& s, const std::string& label)
+{
+    int depth = 0;
+    bool inString = false;
+    bool escaped = false;
+    for (char ch : s) {
+        if (inString) {
+            if (escaped) escaped = false;
+            else if (ch == '\\') escaped = true;
+            else if (ch == '"') inString = false;
+            continue;
+        }
+        if (ch == '"') inString = true;
+        else if (ch == '{' || ch == '[') depth++;
+        else if (ch == '}' || ch == ']') {
+            depth--;
+            EXPECT_GE(depth, 0) << label << ": unbalanced JSON";
+        }
+    }
+    EXPECT_FALSE(inString) << label << ": unterminated string";
+    EXPECT_EQ(0, depth) << label << ": unbalanced JSON";
+    EXPECT_EQ(0u, s.rfind("{\"traceEvents\": [", 0)) << label;
+}
+
+TEST(Timeline, CorpusProgramsProduceValidTimelines)
+{
+    // Five corpus programs spanning all three suites.
+    const char* kPrograms[] = {"gemm", "trisolv", "richards", "crc",
+                               "siphashx24"};
+    for (const char* name : kPrograms) {
+        const BenchProgram* p = findProgram(name);
+        ASSERT_NE(nullptr, p) << name;
+
+        obs::Timeline tl;
+        EngineConfig cfg;
+        cfg.mode = ExecMode::Jit;
+        Engine eng(cfg);
+        eng.setTimeline(&tl);
+        ASSERT_TRUE(eng.loadModule(mustParse(p->wat)).ok()) << name;
+        ASSERT_TRUE(eng.instantiate().ok()) << name;
+        auto r = eng.callExport(p->entry,
+                                {Value::makeI32(p->defaultN)});
+        ASSERT_TRUE(r.ok()) << name;
+
+        validateTimeline(tl, name);
+
+        // The span taxonomy holds: a validate span, per-function
+        // compile spans, and a successful execute span.
+        size_t compiles = 0;
+        bool sawValidate = false;
+        bool sawExecuteOk = false;
+        for (const obs::TimelineEvent& e : tl.events()) {
+            if (e.name == "module.validate") sawValidate = true;
+            if (e.name == "jit.compile" && e.phase == 'B') compiles++;
+            if (e.name == "engine.execute" && e.phase == 'E') {
+                for (const auto& [k, v] : e.args) {
+                    if (k == "outcome") {
+                        EXPECT_EQ("ok", v) << name;
+                        sawExecuteOk = true;
+                    }
+                }
+            }
+        }
+        EXPECT_TRUE(sawValidate) << name;
+        EXPECT_TRUE(sawExecuteOk) << name;
+        EXPECT_GE(compiles, 1u) << name;
+
+        std::ostringstream out;
+        tl.writeJson(out);
+        expectWellFormedJson(out.str(), name);
+    }
+}
+
+TEST(Timeline, TrappingRunStillClosesEverySpan)
+{
+    obs::Timeline tl;
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    Engine eng(cfg);
+    eng.setTimeline(&tl);
+    ASSERT_TRUE(eng.loadModule(mustParse(
+        "(module (func (export \"run\") (result i32)\n"
+        "  (unreachable)))")).ok());
+    ASSERT_TRUE(eng.instantiate().ok());
+    auto r = eng.callExport("run", {});
+    ASSERT_FALSE(r.ok());
+
+    validateTimeline(tl, "trap");
+    bool sawTrapInstant = false;
+    bool sawExecuteTrap = false;
+    for (const obs::TimelineEvent& e : tl.events()) {
+        if (e.name == "trap" && e.phase == 'i') sawTrapInstant = true;
+        if (e.name == "engine.execute" && e.phase == 'E') {
+            for (const auto& [k, v] : e.args) {
+                if (k == "outcome" && v == "trap") sawExecuteTrap = true;
+            }
+        }
+    }
+    EXPECT_TRUE(sawTrapInstant);
+    EXPECT_TRUE(sawExecuteTrap);
+
+    std::ostringstream out;
+    tl.writeJson(out);
+    expectWellFormedJson(out.str(), "trap");
+}
+
+TEST(Timeline, JsonStringsAreEscaped)
+{
+    obs::Timeline tl;
+    tl.instant("weird\"name\\with\ncontrol\tchars",
+               {{"k", std::string("v\x01", 2)}});
+    std::ostringstream out;
+    tl.writeJson(out);
+    expectWellFormedJson(out.str(), "escaping");
+    EXPECT_NE(std::string::npos, out.str().find("\\\"name\\\\with\\n"));
+    EXPECT_NE(std::string::npos, out.str().find("\\u0001"));
+}
+
+TEST(Timeline, DisabledTimelineCostsNothingAndBreaksNothing)
+{
+    // The null-timeline idiom used on every instrumented path.
+    obs::Timeline::Span span(nullptr, "never.emitted");
+    span.close({{"ignored", "yes"}});
+
+    // An engine without a timeline runs every instrumented path.
+    auto eng = makeEngine(
+        "(module (func (export \"run\") (result i32) (i32.const 1)))");
+    EXPECT_EQ(nullptr, eng->timeline());
+    EXPECT_EQ(1, run1(*eng, "run").i32());
+}
+
+// ---------------------------------------------------------------- profiler
+
+/** Folded profiler output for one (backend, mode) combination. */
+std::string
+foldedFor(const BenchProgram& p, DispatchBackend backend, ExecMode mode)
+{
+    EngineConfig cfg;
+    cfg.mode = mode;
+    cfg.dispatch = backend;
+    cfg.tierUpThreshold = 2;
+    Engine eng(cfg);
+    obs::SamplingProfiler::Options opts;
+    opts.budget = 64;
+    obs::SamplingProfiler prof(opts);
+    auto lr = eng.loadModule(mustParse(p.wat));
+    EXPECT_TRUE(lr.ok());
+    eng.attachMonitor(&prof);
+    auto ir = eng.instantiate();
+    EXPECT_TRUE(ir.ok());
+    auto r = eng.callExport(p.entry, {Value::makeI32(p.defaultN)});
+    EXPECT_TRUE(r.ok());
+    EXPECT_GT(prof.sampleCount(), 0u);
+    std::ostringstream out;
+    prof.writeFolded(out);
+    return out.str();
+}
+
+/** The profiler's budget counts probe fires — deterministic events —
+    so folded output is byte-identical across every dispatch backend
+    and every execution tier (the cross-tier consistency argument of
+    the paper, applied to the profiler). */
+TEST(Profiler, FoldedParityAcrossBackendsAndTiers)
+{
+    const BenchProgram* p = findProgram("trisolv");
+    ASSERT_NE(nullptr, p);
+
+    const DispatchBackend backends[] = {DispatchBackend::Table,
+                                        DispatchBackend::Switch,
+                                        DispatchBackend::Threaded};
+    const ExecMode modes[] = {ExecMode::Interpreter, ExecMode::Jit,
+                              ExecMode::Tiered};
+    std::string golden;
+    for (DispatchBackend b : backends) {
+        for (ExecMode m : modes) {
+            std::string folded = foldedFor(*p, b, m);
+            if (golden.empty()) {
+                golden = folded;
+                EXPECT_FALSE(golden.empty());
+                continue;
+            }
+            EXPECT_EQ(golden, folded)
+                << "backend " << dispatchBackendName(b) << ", mode "
+                << modeName(m);
+        }
+    }
+}
+
+TEST(Profiler, BudgetControlsSampleRate)
+{
+    const BenchProgram* p = findProgram("gemm");
+    ASSERT_NE(nullptr, p);
+
+    for (uint64_t budget : {64u, 1024u}) {
+        EngineConfig cfg;
+        cfg.mode = ExecMode::Jit;
+        Engine eng(cfg);
+        obs::SamplingProfiler::Options opts;
+        opts.budget = budget;
+        obs::SamplingProfiler prof(opts);
+        ASSERT_TRUE(eng.loadModule(mustParse(p->wat)).ok());
+        eng.attachMonitor(&prof);
+        ASSERT_TRUE(eng.instantiate().ok());
+        ASSERT_TRUE(
+            eng.callExport(p->entry, {Value::makeI32(p->defaultN)})
+                .ok());
+        // Samples are taken exactly every `budget` fires.
+        EXPECT_EQ(prof.fireCount() / budget, prof.sampleCount())
+            << "budget " << budget;
+        EXPECT_GT(prof.perFireNanos(), 0.0);
+    }
+}
+
+TEST(Profiler, ReportAttributesLoweringKinds)
+{
+    const BenchProgram* p = findProgram("gemm");
+    ASSERT_NE(nullptr, p);
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    Engine eng(cfg);
+    obs::SamplingProfiler::Options opts;
+    opts.budget = 128;
+    obs::SamplingProfiler prof(opts);
+    ASSERT_TRUE(eng.loadModule(mustParse(p->wat)).ok());
+    eng.attachMonitor(&prof);
+    ASSERT_TRUE(eng.instantiate().ok());
+    ASSERT_TRUE(
+        eng.callExport(p->entry, {Value::makeI32(p->defaultN)}).ok());
+
+    std::ostringstream out;
+    prof.report(out);
+    // The self-attribution table names the lowering kind the JIT chose
+    // for the profiler's own sites (Full frame access => generic).
+    EXPECT_NE(std::string::npos, out.str().find("generic"));
+    EXPECT_NE(std::string::npos,
+              out.str().find("probe-fire cost by lowering kind"));
+}
+
+} // namespace
+} // namespace wizpp

@@ -23,9 +23,19 @@
  *     --trace-report=<f1[,f2...]>  offline coverage + profile report
  *                          over saved traces (no module needed)
  *     --emit-wasm=<file>   encode the module to binary and exit
+ *     --metrics[=text|json|csv]  dump the engine metrics registry
+ *     --timeline=<file>    write a Chrome trace-event timeline
+ *     --profile=<file>     sampling profiler -> folded stacks
+ *     --profile-budget=<n> probe fires between samples (default 4096)
+ *     --profile-every-instr  sample sites at every instruction
  *   `@name` runs a built-in corpus program (e.g. @gemm, @richards).
+ *
+ * Every flag lives in kFlags below: --help renders the table, and an
+ * unknown --flag exits non-zero with a nearest-flag suggestion (both
+ * held by scripts/check_help.sh in ctest).
  */
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -38,6 +48,9 @@
 #include "engine/engine.h"
 #include "monitors/debugger.h"
 #include "monitors/monitors.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "suites/suites.h"
 #include "trace/reader.h"
 #include "trace/recorder.h"
@@ -52,31 +65,113 @@ using namespace wizpp;
 
 namespace {
 
+/**
+ * The single source of truth for the CLI surface: --help renders this
+ * table and unknown-flag handling suggests from it, so a flag cannot
+ * ship without appearing in both.
+ */
+struct FlagSpec
+{
+    const char* name;  ///< "--flag"
+    const char* arg;   ///< "=<value>", "[=value]" or ""
+    const char* help;  ///< one-liner
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--monitors", "=<m1,m2,...>",
+     "attach monitors (names listed below)"},
+    {"--mode", "=int|jit|tiered", "execution mode (default jit)"},
+    {"--dispatch", "=threaded|switch|table",
+     "interpreter dispatch backend (default: build setting)"},
+    {"--no-intrinsify", "[=count,operand,entry,fused]",
+     "disable probe intrinsification, all kinds or a subset"},
+    {"--invoke", "=<export>", "entry point (default run, then main)"},
+    {"--list-programs", "", "list built-in corpus programs and exit"},
+    {"--trace", "=<file>", "record the execution trace to <file>"},
+    {"--replay-check", "=<file>",
+     "re-run and verify against a recorded trace"},
+    {"--trace-report", "=<f1[,f2...]>",
+     "offline coverage + profile report over saved traces"},
+    {"--emit-wasm", "=<file>",
+     "encode the module to binary and exit"},
+    {"--analyze", "=stack|taint|leaks",
+     "static analysis report, no execution (docs/ANALYSIS.md)"},
+    {"--audit-lowering", "[=selftest]",
+     "audit probe lowering against static facts instead of running"},
+    {"--metrics", "[=text|json|csv]",
+     "dump the engine metrics registry after the run"},
+    {"--timeline", "=<file>",
+     "write a Chrome trace-event timeline of the run to <file>"},
+    {"--profile", "=<file>",
+     "sampling profiler: write folded stacks to <file>"},
+    {"--profile-budget", "=<n>",
+     "profiler probe fires between samples (default 4096)"},
+    {"--profile-every-instr", "",
+     "profiler samples at every instruction, not entries+loops"},
+    {"--help", "", "show this help and exit"},
+};
+
 void
 usage()
 {
     std::cout <<
         "usage: wizeng [options] <module.wat|module.wasm|@program> "
-        "[i32 args...]\n"
-        "  --monitors=<names>   comma-separated; available:";
+        "[i32 args...]\n";
+    for (const FlagSpec& f : kFlags) {
+        std::string lhs = std::string("  ") + f.name + f.arg;
+        if (lhs.size() < 26) lhs.resize(26, ' ');
+        std::cout << lhs << " " << f.help << "\n";
+    }
+    std::cout << "monitors:";
     for (const auto& n : monitorNames()) std::cout << " " << n;
     std::cout << " debugger\n"
-        "  --mode=int|jit|tiered  execution mode (default jit)\n"
-        "  --dispatch=threaded|switch|table  interpreter dispatch "
-        "backend\n"
-        "  --no-intrinsify[=count,operand,entry,fused]\n"
-        "                         disable probe intrinsification (all\n"
-        "                         kinds, or a comma-separated subset)\n"
-        "  --invoke=<export>      entry point (default run/main)\n"
-        "  --list-programs        list built-in corpus programs\n"
-        "  --trace=<file>         record the execution trace to <file>\n"
-        "  --replay-check=<file>  re-run and verify against a trace\n"
-        "  --trace-report=<f1[,f2...]>  coverage + profile over traces\n"
-        "  --emit-wasm=<file>     encode the module to binary and exit\n"
-        "  --analyze=stack|taint|leaks  static analysis report (no\n"
-        "                         execution; see docs/ANALYSIS.md)\n"
-        "  --audit-lowering[=selftest]  audit probe lowering against\n"
-        "                         static facts instead of running\n";
+        "`@name` runs a built-in corpus program (see "
+        "--list-programs).\n";
+}
+
+size_t
+editDistance(const std::string& a, const std::string& b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); j++) row[j] = j;
+    for (size_t i = 1; i <= a.size(); i++) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); j++) {
+            size_t up = row[j];
+            row[j] = std::min(
+                {up + 1, row[j - 1] + 1,
+                 diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** Rejects an unrecognized --flag with the nearest known flag. */
+int
+unknownFlag(const std::string& a)
+{
+    std::string name = a.substr(0, a.find('='));
+    const FlagSpec* best = nullptr;
+    size_t bestDist = 5;  // suggestions past this are noise
+    for (const FlagSpec& f : kFlags) {
+        if (name == f.name) {
+            // Known flag, malformed use: missing or unexpected value.
+            std::cerr << "flag " << f.name << " is used as " << f.name
+                      << f.arg << "\n";
+            return 1;
+        }
+        size_t d = editDistance(name, f.name);
+        if (d < bestDist) {
+            bestDist = d;
+            best = &f;
+        }
+    }
+    std::cerr << "unknown flag " << name;
+    if (best) std::cerr << " (did you mean " << best->name << "?)";
+    std::cerr << "\nrun wizeng --help for the flag list\n";
+    return 1;
 }
 
 /** Offline sidecar mode: merge and report saved traces; no execution. */
@@ -257,6 +352,11 @@ main(int argc, char** argv)
     std::string analyzeKind;
     bool auditLowering = false;
     bool auditSelftest = false;
+    bool metricsRequested = false;
+    obs::MetricsFormat metricsFormat = obs::MetricsFormat::Text;
+    std::string timelineFile;
+    std::string profileFile;
+    obs::SamplingProfiler::Options profOpts;
 
     for (int i = 1; i < argc; i++) {
         std::string a = argv[i];
@@ -324,6 +424,31 @@ main(int argc, char** argv)
         } else if (a == "--audit-lowering=selftest") {
             auditLowering = true;
             auditSelftest = true;
+        } else if (a == "--metrics" || a.rfind("--metrics=", 0) == 0) {
+            metricsRequested = true;
+            std::string f = a.size() > 9 ? a.substr(10) : "";
+            if (!obs::parseMetricsFormat(f, &metricsFormat)) {
+                std::cerr << "unknown metrics format '" << f
+                          << "' (text, json, csv)\n";
+                return 1;
+            }
+        } else if (a.rfind("--timeline=", 0) == 0) {
+            timelineFile = a.substr(11);
+        } else if (a.rfind("--profile=", 0) == 0) {
+            profileFile = a.substr(10);
+        } else if (a.rfind("--profile-budget=", 0) == 0) {
+            profOpts.budget = strtoull(a.c_str() + 17, nullptr, 0);
+            if (profOpts.budget == 0) {
+                std::cerr << "--profile-budget must be >= 1\n";
+                return 1;
+            }
+        } else if (a == "--profile-every-instr") {
+            profOpts.everyInstruction = true;
+        } else if (a.rfind("--", 0) == 0) {
+            // Only `--`-prefixed arguments are flags; bare words are
+            // the target and numeric program arguments (which may be
+            // negative, so a leading single `-` is not a flag).
+            return unknownFlag(a);
         } else if (target.empty()) {
             target = a;
         } else {
@@ -342,8 +467,11 @@ main(int argc, char** argv)
             std::cerr << "--replay-check and --emit-wasm conflict\n";
             return 1;
         }
-        if (!traceFile.empty() || !monitorList.empty()) {
-            std::cerr << "--trace/--monitors cannot be combined with "
+        if (!traceFile.empty() || !monitorList.empty() ||
+            metricsRequested || !timelineFile.empty() ||
+            !profileFile.empty()) {
+            std::cerr << "--trace/--monitors/--metrics/--timeline/"
+                         "--profile cannot be combined with "
                          "--replay-check or --emit-wasm\n";
             return 1;
         }
@@ -354,7 +482,9 @@ main(int argc, char** argv)
     // not run it.
     if (!analyzeKind.empty() &&
         (auditLowering || !replayFile.empty() || !emitWasmFile.empty() ||
-         !traceFile.empty() || !monitorList.empty())) {
+         !traceFile.empty() || !monitorList.empty() ||
+         metricsRequested || !timelineFile.empty() ||
+         !profileFile.empty())) {
         std::cerr << "--analyze cannot be combined with other modes\n";
         return 1;
     }
@@ -364,6 +494,15 @@ main(int argc, char** argv)
         std::cerr << "--audit-lowering cannot be combined with "
                      "--trace, --replay-check or --emit-wasm\n";
         return 1;
+    }
+
+    // The timeline outlives the engine so wizeng can put the module
+    // resolution span on it before the engine exists; failures before
+    // the run exit without writing the file.
+    std::unique_ptr<obs::Timeline> timeline;
+    if (!timelineFile.empty()) {
+        timeline = std::make_unique<obs::Timeline>();
+        timeline->begin("module.load", {{"source", target}});
     }
 
     // Resolve the module: corpus program, .wat file, or .wasm file.
@@ -409,6 +548,11 @@ main(int argc, char** argv)
         }
     }
 
+    if (timeline) {
+        timeline->end(
+            {{"functions", std::to_string(module.functions.size())}});
+    }
+
     if (!analyzeKind.empty()) return runAnalyze(module, analyzeKind);
 
     if (!emitWasmFile.empty()) {
@@ -441,6 +585,7 @@ main(int argc, char** argv)
     }
 
     Engine engine(config);
+    engine.setTimeline(timeline.get());
     auto lr = engine.loadModule(std::move(module));
     if (!lr.ok()) {
         std::cerr << "load: " << lr.error().toString() << "\n";
@@ -470,6 +615,11 @@ main(int argc, char** argv)
     if (!traceFile.empty()) {
         recorder = std::make_unique<TraceRecorder>();
         engine.attachMonitor(recorder.get());
+    }
+    std::unique_ptr<obs::SamplingProfiler> profiler;
+    if (!profileFile.empty()) {
+        profiler = std::make_unique<obs::SamplingProfiler>(profOpts);
+        engine.attachMonitor(profiler.get());
     }
 
     auto ir = engine.instantiate();
@@ -517,7 +667,35 @@ main(int argc, char** argv)
                   << " event(s), " << recorder->bytes().size()
                   << " byte(s) -> " << traceFile << "\n";
     }
+    // Observability outputs are written on both outcomes: a trapping
+    // run still has a complete timeline, profile and metrics story.
+    if (profiler) {
+        std::ofstream out(profileFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write profile to " << profileFile
+                      << "\n";
+            return 1;
+        }
+        profiler->writeFolded(out);
+        std::cout << "profile: " << profiler->sampleCount()
+                  << " sample(s) over " << profiler->fireCount()
+                  << " probe fire(s) -> " << profileFile << "\n";
+    }
+    if (timeline) {
+        std::ofstream out(timelineFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write timeline to " << timelineFile
+                      << "\n";
+            return 1;
+        }
+        timeline->writeJson(out);
+        std::cout << "timeline: " << timeline->events().size()
+                  << " event(s) -> " << timelineFile << "\n";
+    }
     if (!result.ok()) {
+        if (metricsRequested) {
+            engine.metrics().write(std::cout, metricsFormat);
+        }
         std::cerr << "error: " << result.error().toString() << "\n";
         return 42;
     }
@@ -525,5 +703,9 @@ main(int argc, char** argv)
         std::cout << v.toString() << "\n";
     }
     for (const auto& m : monitors) m->report(std::cout);
+    if (profiler) profiler->report(std::cout);
+    if (metricsRequested) {
+        engine.metrics().write(std::cout, metricsFormat);
+    }
     return 0;
 }
