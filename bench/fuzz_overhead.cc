@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Fuzzing-subsystem overhead (docs/FUZZING.md).
+ *
+ * The one-shot CoverageProbe's whole point is that coverage costs
+ * nothing once it has been observed. Three steady-state measurements
+ * per program in the JIT tier, each relative to the same-engine
+ * uninstrumented call time:
+ *
+ *  - coverage_attached_ratio: calls after every slot has fired but
+ *    before flush() — the intrinsified kJProbeCovered nop path;
+ *  - coverage_attached_generic_ratio: the same with intrinsification
+ *    off — what the generic probe path would cost instead;
+ *  - coverage_steady_ratio: calls after flush() batch-detached the
+ *    saturated probes and recompiled — the acceptance invariant held
+ *    by scripts/check_bench.py (--fuzz-steady-ceiling): geomean
+ *    <= 1.02x, enforced same-run so it gates on any host.
+ *
+ * The first instrumented call (lowering + every first fire) is
+ * reported as coverage_firstrun_ratio, not gated. A bounded fuzz
+ * campaign per anchor program reports execs_per_s (absolute, not
+ * gated) plus deterministic structural counts — covered sites/edges
+ * and the finding count — which check_bench.py gates symmetrically.
+ *
+ * Emits BENCH_fuzz.json and results/fuzz_overhead.csv.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/coverage.h"
+#include "fuzz/fuzzer.h"
+#include "harness.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+/** Minimum calls per timed sample; short programs batch further (see
+    sampleCalls) so each sample clears OS-jitter territory. The gated
+    steady ratio compares two byte-identical compiles, so the signal
+    is pure noise floor — batch generously. */
+constexpr int kCallsPerSample = 6;
+
+/** Seconds a single timed sample should at least span. */
+constexpr double kMinSampleSeconds = 0.02;
+
+struct CoverageRun
+{
+    double baseCall = 0;      ///< uninstrumented steady call time
+    double firstCall = 0;     ///< first instrumented call
+    double attachedCall = 0;  ///< saturated, before flush()
+    double steadyCall = 0;    ///< after flush() detached everything
+    uint64_t sitesCovered = 0;
+    uint64_t edgesCovered = 0;
+    uint64_t detached = 0;
+};
+
+double
+timeCalls(Engine& eng, const BenchProgram& p, int calls)
+{
+    double best = 0;
+    int samples = reps() + 2;  // min-of-k: k beyond the global knob
+    for (int r = 0; r < samples; r++) {
+        double t0 = nowSeconds();
+        for (int i = 0; i < calls; i++) {
+            auto res = eng.callExport(p.entry, {Value::makeI32(1)});
+            if (!res.ok()) {
+                std::cerr << "fuzz_overhead: run failed: " << p.name
+                          << "\n";
+                exit(1);
+            }
+        }
+        double dt = nowSeconds() - t0;
+        if (r == 0 || dt < best) best = dt;
+    }
+    return best / calls;
+}
+
+/** Batch size putting one sample above kMinSampleSeconds. The same
+    count is used for the base and instrumented engines of a program,
+    so the gated ratios always compare like against like. */
+int
+sampleCalls(Engine& eng, const BenchProgram& p)
+{
+    double t0 = nowSeconds();
+    auto res = eng.callExport(p.entry, {Value::makeI32(1)});
+    double one = nowSeconds() - t0;
+    if (!res.ok()) {
+        std::cerr << "fuzz_overhead: run failed: " << p.name << "\n";
+        exit(1);
+    }
+    int calls = kCallsPerSample;
+    while (calls * one < kMinSampleSeconds && calls < 4096) calls *= 2;
+    return calls;
+}
+
+CoverageRun
+measureCoverage(const Module& m, const BenchProgram& p, bool intrinsify)
+{
+    CoverageRun out;
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    cfg.intrinsifyCoverageProbe = intrinsify;
+
+    Engine base(cfg);
+    if (!base.loadModule(Module(m)).ok() || !base.instantiate().ok()) {
+        std::cerr << "fuzz_overhead: load failed: " << p.name << "\n";
+        exit(1);
+    }
+    base.callExport(p.entry, {Value::makeI32(1)});  // warm the JIT
+    int calls = sampleCalls(base, p);
+
+    Engine eng(cfg);
+    if (!eng.loadModule(Module(m)).ok()) {
+        std::cerr << "fuzz_overhead: load failed: " << p.name << "\n";
+        exit(1);
+    }
+    fuzz::CoverageIndex cov;
+    cov.attach(eng);
+    if (!eng.instantiate().ok()) {
+        std::cerr << "fuzz_overhead: instantiate failed: " << p.name
+                  << "\n";
+        exit(1);
+    }
+
+    double t0 = nowSeconds();
+    auto r = eng.callExport(p.entry, {Value::makeI32(1)});
+    out.firstCall = nowSeconds() - t0;
+    if (!r.ok()) {
+        std::cerr << "fuzz_overhead: run failed: " << p.name << "\n";
+        exit(1);
+    }
+    out.attachedCall = timeCalls(eng, p, calls);
+
+    out.detached = cov.flush();
+    // One warm-up call eats the post-flush recompile so the steady
+    // samples time the clean code only. The gated steady/base ratio
+    // compares two byte-identical compiles, so the samples are
+    // interleaved: clock drift between the two engines cancels.
+    eng.callExport(p.entry, {Value::makeI32(1)});
+    for (int r = 0; r < reps() + 2; r++) {
+        double b = timeCalls(base, p, calls);
+        double s = timeCalls(eng, p, calls);
+        if (r == 0 || b < out.baseCall) out.baseCall = b;
+        if (r == 0 || s < out.steadyCall) out.steadyCall = s;
+    }
+    out.sitesCovered = cov.sitesCovered();
+    out.edgesCovered = cov.edgesCovered();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<const BenchProgram*> programs;
+    for (const BenchProgram* p : selectPrograms("polybench")) {
+        programs.push_back(p);
+    }
+    programs.push_back(&richardsProgram());
+
+    JsonReport report("fuzz");
+    report.put("fast_mode", static_cast<uint64_t>(fastMode() ? 1 : 0));
+    std::vector<std::string> csv;
+    std::vector<double> steady, attached, attachedGeneric, firstRun;
+
+    std::cout << "=== coverage-probe overhead (jit, "
+              << kCallsPerSample << " calls/sample, reps=" << reps()
+              << ") ===\n";
+    for (const BenchProgram* p : programs) {
+        auto parsed = parseWat(p->wat);
+        if (!parsed.ok()) {
+            std::cerr << "fuzz_overhead: parse failed: " << p->name
+                      << "\n";
+            return 1;
+        }
+        Module m = parsed.take();
+        CoverageRun intr = measureCoverage(m, *p, true);
+        CoverageRun gen = measureCoverage(m, *p, false);
+
+        double steadyRatio = intr.steadyCall / intr.baseCall;
+        double attachedRatio = intr.attachedCall / intr.baseCall;
+        double genericRatio = gen.attachedCall / gen.baseCall;
+        double firstRatio = intr.firstCall / intr.baseCall;
+        steady.push_back(steadyRatio);
+        attached.push_back(attachedRatio);
+        attachedGeneric.push_back(genericRatio);
+        firstRun.push_back(firstRatio);
+
+        std::string key = p->name;
+        report.put(key + ".jit.base_call_s", intr.baseCall);
+        report.put(key + ".jit.coverage_steady_ratio", steadyRatio);
+        report.put(key + ".jit.coverage_attached_ratio", attachedRatio);
+        report.put(key + ".jit.coverage_attached_generic_ratio",
+                   genericRatio);
+        report.put(key + ".jit.coverage_firstrun_ratio", firstRatio);
+        report.put(key + ".fuzz.sites_covered", intr.sitesCovered);
+        report.put(key + ".fuzz.edges_covered", intr.edgesCovered);
+        report.put(key + ".fuzz.probes_detached", intr.detached);
+        csv.push_back(p->name + "," + std::to_string(steadyRatio) +
+                      "," + std::to_string(attachedRatio) + "," +
+                      std::to_string(genericRatio) + "," +
+                      std::to_string(firstRatio) + "," +
+                      std::to_string(intr.sitesCovered) + "," +
+                      std::to_string(intr.edgesCovered));
+        std::cout << "  " << p->name << ": steady "
+                  << fmtRatio(steadyRatio) << ", attached "
+                  << fmtRatio(attachedRatio) << " (generic "
+                  << fmtRatio(genericRatio) << "), first run "
+                  << fmtRatio(firstRatio) << " ("
+                  << intr.sitesCovered << " sites, "
+                  << intr.edgesCovered << " edges)\n";
+    }
+
+    report.putRange("jit.coverage_steady_ratio", steady);
+    report.putRange("jit.coverage_attached_ratio", attached);
+    report.putRange("jit.coverage_attached_generic_ratio",
+                    attachedGeneric);
+    report.putRange("jit.coverage_firstrun_ratio", firstRun);
+    std::cout << "jit: steady geomean " << fmtRatio(geomean(steady))
+              << " (ceiling 1.02x), attached "
+              << fmtRatio(geomean(attached)) << " vs generic "
+              << fmtRatio(geomean(attachedGeneric)) << "\n";
+
+    // Bounded fuzz campaigns on two anchors: throughput (absolute,
+    // informational) and deterministic structural outcomes (gated).
+    for (const char* name : {"gemm", "richards"}) {
+        const BenchProgram* p = findProgram(name);
+        if (!p) continue;
+        auto parsed = parseWat(p->wat);
+        if (!parsed.ok()) continue;
+        fuzz::FuzzOptions opts;
+        opts.entry = p->entry;
+        opts.seed = 7;
+        opts.runs = 32;
+        opts.maxArg = 8;
+        EngineConfig cfg;
+        cfg.mode = ExecMode::Jit;
+        fuzz::FuzzResult fr = runFuzzer(parsed.take(), cfg, opts);
+        if (!fr.ok) {
+            std::cerr << "fuzz_overhead: campaign failed: " << fr.error
+                      << "\n";
+            return 1;
+        }
+        std::string key = std::string(name) + ".fuzz";
+        report.put(key + ".execs_per_s", fr.execsPerSec);
+        report.put(key + ".sites_covered",
+                   static_cast<uint64_t>(fr.sitesCovered));
+        report.put(key + ".edges_covered",
+                   static_cast<uint64_t>(fr.edgesCovered));
+        report.put(key + ".corpus", static_cast<uint64_t>(fr.corpusSize));
+        report.put(key + ".findings",
+                   static_cast<uint64_t>(fr.findings.size()));
+        std::cout << "  fuzz " << name << " [jit]: "
+                  << static_cast<uint64_t>(fr.execsPerSec) << " execs/s, "
+                  << fr.sitesCovered << "/" << fr.sitesTotal
+                  << " sites, corpus " << fr.corpusSize << ", "
+                  << fr.findings.size() << " finding(s)\n";
+    }
+
+    std::string path = report.write();
+    writeCsv("fuzz_overhead.csv",
+             "program,steady_ratio,attached_ratio,generic_ratio,"
+             "firstrun_ratio,sites_covered,edges_covered",
+             csv);
+    if (!path.empty()) std::cout << "wrote " << path << "\n";
+    return 0;
+}

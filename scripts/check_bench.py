@@ -55,6 +55,10 @@ NOISY_ALLOWLIST = [
     r"_pct(\.|$)",                      # overhead decomposition shares
     r"^(reps|fast_mode)$",              # harness configuration echoes
     r"^module\.",                       # module shape counts
+    # While coverage probes are attached the per-program cost swings
+    # with corpus shape and host; the steady-state ratio is the held
+    # invariant (same-run --fuzz-steady-ceiling), these are context.
+    r"\.coverage_(attached|attached_generic|firstrun)_ratio$",
 ]
 
 # Gated metrics where larger is better: a regression is a *drop*.
@@ -83,6 +87,12 @@ DETERMINISTIC = [
     # of the program alone (fire-count sampling, docs/OBSERVABILITY.md),
     # so any drift is a behavior change, not noise.
     r"\.obs\.(spans|samples)$",
+    # Fuzzing structural outcomes (BENCH_fuzz.json): covered
+    # sites/edges, probes detached by flush(), corpus size and the
+    # finding count of a fixed-seed campaign are all deterministic in
+    # (module, seed) — drift means the coverage map or the campaign
+    # changed behavior (docs/FUZZING.md).
+    r"\.fuzz\.(sites_covered|edges_covered|probes_detached|corpus)$",
 ]
 
 # The only metrics stable enough to gate against the *baseline* when
@@ -146,6 +156,13 @@ def main():
                          "((int|jit).profile_ratio.geomean in "
                          "BENCH_obs_overhead.json; same-run "
                          "invariant; 0 disables)")
+    ap.add_argument("--fuzz-steady-ceiling", type=float, default=1.02,
+                    help="maximum for the current run's one-shot "
+                         "coverage-probe steady-state overhead "
+                         "(jit.coverage_steady_ratio.geomean in "
+                         "BENCH_fuzz.json — after first-fire "
+                         "batch-detach, coverage must cost nothing; "
+                         "same-run invariant; 0 disables)")
     ap.add_argument("--gate-absolute", action="store_true",
                     help="also gate absolute time metrics (same-machine "
                          "comparisons only)")
@@ -258,6 +275,22 @@ def main():
                     regressions.append(
                         (fname, k, args.obs_profile_ceiling, float(v),
                          float(v) / args.obs_profile_ceiling, 1.0))
+
+        # Same-run one-shot coverage ceiling (the fuzzing subsystem's
+        # acceptance invariant, docs/FUZZING.md): after the first fire
+        # detaches every saturated probe, steady-state coverage must
+        # time like the uninstrumented baseline on any host.
+        if args.fuzz_steady_ceiling > 0:
+            fuzz_re = re.compile(
+                r"^jit\.coverage_steady_ratio\.geomean$")
+            for k, v in cur.items():
+                if not fuzz_re.search(k) or v <= 0:
+                    continue
+                compared += 1
+                if float(v) > args.fuzz_steady_ceiling:
+                    regressions.append(
+                        (fname, k, args.fuzz_steady_ceiling, float(v),
+                         float(v) / args.fuzz_steady_ceiling, 1.0))
 
         # Same-run threaded-dispatch floor: independent of the
         # baseline and of the host, so it gates in every mode.

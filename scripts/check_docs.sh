@@ -6,8 +6,8 @@
 #      to an existing file (anchors are stripped; external http(s)/
 #      mailto links are skipped).
 #   2. Every ```cpp snippet in the subsystem guides (docs/PROBES.md,
-#      docs/ANALYSIS.md, docs/OBSERVABILITY.md) is a complete
-#      translation unit that compiles
+#      docs/ANALYSIS.md, docs/OBSERVABILITY.md, docs/FUZZING.md) is a
+#      complete translation unit that compiles
 #      against src/ (extract-and-compile with -fsyntax-only, so the
 #      snippets cannot rot).
 #
@@ -62,7 +62,8 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 count=0
-for doc in docs/PROBES.md docs/ANALYSIS.md docs/OBSERVABILITY.md; do
+for doc in docs/PROBES.md docs/ANALYSIS.md docs/OBSERVABILITY.md \
+           docs/FUZZING.md; do
     base=$(basename "$doc" .md)
     awk -v out="$tmp" -v base="$base" '
         /^```cpp$/ { n++; f = sprintf("%s/%s_%02d.cc", out, base, n); next }

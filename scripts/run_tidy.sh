@@ -6,7 +6,9 @@
 # reference into a facts map, accidental copy of a per-pc state
 # vector) would corrupt analysis results silently — and the
 # observability layer (src/obs/), whose registry hands out long-lived
-# references and whose profiler walks live frames. The whole tree is
+# references and whose profiler walks live frames, and the fuzzing
+# subsystem (src/fuzz/), whose minimizer/reproducer plumbing shuffles
+# byte buffers and owning pointers around callbacks. The whole tree is
 # not linted: the interpreter/JIT cores are -Werror clean and their
 # opcode switches drown tidy in style noise.
 #
@@ -30,6 +32,11 @@ FILES="
 src/analysis/audit.cc
 src/analysis/dataflow.cc
 src/analysis/taint.cc
+src/fuzz/coverage.cc
+src/fuzz/fuzzer.cc
+src/fuzz/minimize.cc
+src/fuzz/repro.cc
+src/fuzz/shake.cc
 src/obs/metrics.cc
 src/obs/profiler.cc
 src/obs/timeline.cc

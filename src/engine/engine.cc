@@ -65,7 +65,7 @@ Engine::Engine(EngineConfig config) : _config(config)
     // instrumentation; see src/jit/lowering.h).
     using LK = ProbeLoweringKind;
     for (LK k : {LK::Count, LK::Operand, LK::EntryExit, LK::Fused,
-                 LK::GenericLite, LK::Generic}) {
+                 LK::GenericLite, LK::Generic, LK::Coverage}) {
         _metrics.registerCallback(
             std::string("jit.lowering.") + probeLoweringKindName(k),
             [this, k] {
@@ -412,13 +412,13 @@ Engine::compileFunction(uint32_t funcIndex)
                                  std::to_string(fs.jit->insts.size()));
             // Lowering summary: "count=2 generic=1" style, sorted by
             // kind; empty when the function has no probe sites.
-            uint64_t byKind[7] = {};
+            uint64_t byKind[kNumProbeLoweringKinds] = {};
             for (auto& [pc, kind] : fs.jit->probeLowering) {
                 (void)pc;
                 byKind[(int)kind]++;
             }
             std::string lowering;
-            for (int k = 1; k <= 6; k++) {
+            for (int k = 1; k < kNumProbeLoweringKinds; k++) {
                 if (!byKind[k]) continue;
                 if (!lowering.empty()) lowering += " ";
                 lowering += probeLoweringKindName((ProbeLoweringKind)k);

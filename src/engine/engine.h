@@ -105,6 +105,10 @@ struct EngineConfig
         (no per-fire site re-dispatch). */
     bool intrinsifyFusedProbe = true;
 
+    /** Intrinsify one-shot CoverageProbes to self-patching slots
+        (docs/FUZZING.md). Off, they take the generic-lite path. */
+    bool intrinsifyCoverageProbe = true;
+
     /** Calls (or backedges) before a function tiers up in Tiered mode. */
     uint32_t tierUpThreshold = 10;
 

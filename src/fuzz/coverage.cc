@@ -1,0 +1,162 @@
+#include "fuzz/coverage.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "engine/engine.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp::fuzz {
+
+/**
+ * Direction coverage for one if/br_if site. An OperandProbe so a lone
+ * edge probe intrinsifies to a direct top-of-stack call; once both
+ * directions executed it reports nothing further and flush() detaches
+ * it.
+ */
+class CoverageIndex::EdgeProbe : public OperandProbe
+{
+  public:
+    EdgeProbe(CoverageIndex& idx, uint32_t func, uint32_t pc)
+        : funcIndex(func), pc(pc), _idx(idx)
+    {}
+
+    void
+    fireOperand(Value tos) override
+    {
+        uint8_t bit = tos.i32() != 0 ? 1 : 2;
+        if (bits & bit) return;
+        bits |= bit;
+        _idx.onEdgeBit(funcIndex, pc, bit == 1);
+    }
+
+    const uint32_t funcIndex;
+    const uint32_t pc;
+    uint8_t bits = 0;  ///< 1 = taken seen, 2 = not-taken seen
+
+  private:
+    CoverageIndex& _idx;
+};
+
+CoverageIndex::~CoverageIndex() = default;
+
+void
+CoverageIndex::attach(Engine& engine, const CoverageOptions& opts)
+{
+    _engine = &engine;
+    std::vector<ProbeManager::SiteProbe> batch;
+    for (uint32_t f = 0; f < engine.numFuncs(); f++) {
+        FuncState& fs = engine.funcState(f);
+        if (fs.decl->imported) continue;
+        const std::vector<uint8_t>& code = fs.decl->code;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            uint8_t op = code[pc];
+            if (opts.branchEdges && (op == OP_IF || op == OP_BR_IF)) {
+                auto p = std::make_shared<EdgeProbe>(*this, f, pc);
+                batch.push_back({f, pc, p});
+                _edges.push_back({std::move(p)});
+            } else {
+                auto p = std::make_shared<CoverageProbe>(f, pc, this);
+                batch.push_back({f, pc, p});
+                _sites.push_back({std::move(p)});
+            }
+        }
+    }
+    engine.probes().insertBatch(batch);
+}
+
+void
+CoverageIndex::onCovered(CoverageProbe&)
+{
+    _sitesCovered++;
+    _newHits++;
+}
+
+void
+CoverageIndex::onEdgeBit(uint32_t, uint32_t, bool)
+{
+    _edgesCovered++;
+    _newHits++;
+}
+
+size_t
+CoverageIndex::flush()
+{
+    if (!_engine) return 0;
+    std::vector<ProbeManager::SiteProbe> batch;
+    for (SiteEntry& s : _sites) {
+        if (s.attached && s.probe->hit()) {
+            batch.push_back(
+                {s.probe->funcIndex, s.probe->pc, s.probe});
+            s.attached = false;
+        }
+    }
+    for (EdgeEntry& e : _edges) {
+        if (e.attached && e.probe->bits == 3) {
+            batch.push_back(
+                {e.probe->funcIndex, e.probe->pc, e.probe});
+            e.attached = false;
+        }
+    }
+    if (batch.empty()) return 0;
+    return _engine->probes().removeBatch(batch);
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+CoverageIndex::coveredSites() const
+{
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    for (const SiteEntry& s : _sites) {
+        if (s.probe->hit()) {
+            out.emplace_back(s.probe->funcIndex, s.probe->pc);
+        }
+    }
+    for (const EdgeEntry& e : _edges) {
+        if (e.probe->bits) {
+            out.emplace_back(e.probe->funcIndex, e.probe->pc);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::map<uint64_t, uint8_t>
+CoverageIndex::branchEdges() const
+{
+    std::map<uint64_t, uint8_t> out;
+    for (const EdgeEntry& e : _edges) {
+        if (e.probe->bits) {
+            uint64_t key = (static_cast<uint64_t>(e.probe->funcIndex)
+                            << 32) |
+                           e.probe->pc;
+            out[key] = e.probe->bits;
+        }
+    }
+    return out;
+}
+
+void
+CoverageIndex::writeReport(std::ostream& out) const
+{
+    out << "== coverage ==\n"
+        << "locations: " << sitesCovered() << "/" << sitesTotal() << "\n"
+        << "edges:     " << edgesCovered() << "/" << edgesTotal() << "\n";
+
+    std::set<uint32_t> funcs;
+    for (const auto& [f, pc] : coveredSites()) {
+        (void)pc;
+        funcs.insert(f);
+    }
+    out << "functions covered: " << funcs.size() << "\n";
+
+    for (const EdgeEntry& e : _edges) {
+        if (e.probe->bits == 1 || e.probe->bits == 2) {
+            out << "one-sided branch " << e.probe->funcIndex << ":"
+                << e.probe->pc << " only "
+                << (e.probe->bits == 1 ? "taken" : "not-taken") << "\n";
+        }
+    }
+}
+
+} // namespace wizpp::fuzz

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * CoverageIndex: the engine-side coverage map of the fuzzing subsystem
+ * (docs/FUZZING.md), built entirely on the probe API.
+ *
+ * attach() plants one probe per reachable location of every local
+ * function in a single insertBatch:
+ *
+ *  - a one-shot CoverageProbe at plain instruction boundaries — the
+ *    compiled tier lowers a lone CoverageProbe to the self-patching
+ *    kJProbeCoverage slot (src/jit/lowering.h), so a covered location
+ *    costs one nop dispatch until the next flush();
+ *  - an EdgeProbe (an OperandProbe) at if/br_if sites, recording which
+ *    directions executed — the drcov-style *edge* signal the corpus
+ *    scheduler keys on. A lone OperandProbe intrinsifies to a direct
+ *    top-of-stack call, so edges ride the existing fast path.
+ *
+ * flush() batch-detaches everything that has nothing left to observe
+ * (hit coverage bits, both-ways edges) with ONE epoch bump and one
+ * recompile per touched function, restoring the original bytecode: the
+ * steady-state cost of coverage converges to zero as coverage saturates
+ * — the paper's batched-removal machinery doing fuzzing work.
+ */
+
+#ifndef WIZPP_FUZZ_COVERAGE_H
+#define WIZPP_FUZZ_COVERAGE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "probes/probe.h"
+
+namespace wizpp {
+class Engine;
+}
+
+namespace wizpp::fuzz {
+
+/** What attach() instruments. */
+struct CoverageOptions
+{
+    /** Instrument if/br_if sites with direction-edge probes (else they
+        get plain one-shot location bits like everything else). */
+    bool branchEdges = true;
+};
+
+class CoverageIndex : public CoverageProbe::Listener
+{
+  public:
+    CoverageIndex() = default;
+    ~CoverageIndex() override;
+
+    CoverageIndex(const CoverageIndex&) = delete;
+    CoverageIndex& operator=(const CoverageIndex&) = delete;
+
+    /**
+     * Instruments every local function of @p engine (one insertBatch).
+     * Must be called after loadModule, once per index.
+     */
+    void attach(Engine& engine, const CoverageOptions& opts = {});
+
+    /** CoverageProbe::Listener — first execution of a location bit. */
+    void onCovered(CoverageProbe& probe) override;
+
+    /** EdgeProbe callback: a branch direction executed for the first
+        time. @p taken is the direction; internal use. */
+    void onEdgeBit(uint32_t func, uint32_t pc, bool taken);
+
+    /**
+     * Batch-detaches every probe with nothing left to observe: hit
+     * location bits, and edge probes that have seen both directions.
+     * One epoch bump total. Returns the number of probes detached.
+     * Call between executions, not from probe context.
+     */
+    size_t flush();
+
+    /** New coverage events (bits or edges) since resetNewHits(). */
+    uint64_t newHits() const { return _newHits; }
+    void resetNewHits() { _newHits = 0; }
+
+    // ---- Totals ----
+
+    size_t sitesTotal() const { return _sites.size() + _edges.size(); }
+    size_t sitesCovered() const { return _sitesCovered; }
+    size_t edgesTotal() const { return _edges.size() * 2; }
+    size_t edgesCovered() const { return _edgesCovered; }
+
+    /** Covered (func, pc) locations, sorted. */
+    std::vector<std::pair<uint32_t, uint32_t>> coveredSites() const;
+
+    /**
+     * Branch-direction coverage: site key ((func << 32) | pc) → bit 0
+     * = taken seen, bit 1 = not-taken seen. Only sites with at least
+     * one executed direction appear (parity with the trace sidecar's
+     * TraceAnalysis::branches).
+     */
+    std::map<uint64_t, uint8_t> branchEdges() const;
+
+    /** drcov-style text report (covered funcs, sites, one-sided edges). */
+    void writeReport(std::ostream& out) const;
+
+  private:
+    class EdgeProbe;
+
+    struct SiteEntry
+    {
+        std::shared_ptr<CoverageProbe> probe;
+        bool attached = true;
+    };
+    struct EdgeEntry
+    {
+        std::shared_ptr<EdgeProbe> probe;
+        bool attached = true;
+    };
+
+    Engine* _engine = nullptr;
+    std::vector<SiteEntry> _sites;
+    std::vector<EdgeEntry> _edges;
+    size_t _sitesCovered = 0;
+    size_t _edgesCovered = 0;
+    uint64_t _newHits = 0;
+};
+
+} // namespace wizpp::fuzz
+
+#endif // WIZPP_FUZZ_COVERAGE_H

@@ -1,0 +1,359 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <set>
+
+#include "fuzz/coverage.h"
+#include "fuzz/rng.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+
+namespace wizpp::fuzz {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Little-endian byte consumption; missing bytes read as zero so a
+    short input still maps to a full argument vector. */
+uint32_t
+take32(const std::vector<uint8_t>& in, size_t* at)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++) {
+        if (*at < in.size()) v |= static_cast<uint32_t>(in[*at]) << (8 * i);
+        (*at)++;
+    }
+    return v;
+}
+
+uint64_t
+take64(const std::vector<uint8_t>& in, size_t* at)
+{
+    uint64_t lo = take32(in, at);
+    uint64_t hi = take32(in, at);
+    return lo | (hi << 32);
+}
+
+/**
+ * Maps input bytes to entry arguments (the leading bytes, fixed width
+ * per parameter) and reports where the memory-seed tail starts.
+ * Integer args are clamped mod (maxArg + 1) to keep loop bounds small;
+ * float args are built from small integers so every bit pattern is
+ * finite and canonical.
+ */
+std::vector<Value>
+argsFromInput(const std::vector<uint8_t>& in, const FuncType& type,
+              uint32_t maxArg, size_t* tail)
+{
+    std::vector<Value> args;
+    size_t at = 0;
+    for (ValType t : type.params) {
+        switch (t) {
+          case ValType::I32: {
+              uint32_t v = take32(in, &at);
+              if (maxArg) v %= maxArg + 1;
+              args.push_back(Value::makeI32(v));
+              break;
+          }
+          case ValType::I64: {
+              uint64_t v = take64(in, &at);
+              if (maxArg) v %= static_cast<uint64_t>(maxArg) + 1;
+              args.push_back(Value::makeI64(v));
+              break;
+          }
+          case ValType::F32:
+              args.push_back(Value::makeF32(
+                  static_cast<float>(take32(in, &at) % 4096) / 8.0f));
+              break;
+          case ValType::F64:
+              args.push_back(Value::makeF64(
+                  static_cast<double>(take32(in, &at) % 65536) / 32.0));
+              break;
+          default:
+              args.push_back(Value::zeroOf(t));
+              break;
+        }
+    }
+    *tail = std::min(at, in.size());
+    return args;
+}
+
+/** One mutated child of a scheduled corpus entry. */
+std::vector<uint8_t>
+mutate(const std::vector<std::vector<uint8_t>>& corpus, Rng& rng,
+       uint32_t maxBytes)
+{
+    std::vector<uint8_t> input = corpus[rng.below(corpus.size())];
+    int rounds = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < rounds; i++) {
+        switch (rng.below(6)) {
+          case 0:  // bit flip
+            if (input.empty()) input.push_back(0);
+            input[rng.below(input.size())] ^=
+                static_cast<uint8_t>(1u << rng.below(8));
+            break;
+          case 1:  // random byte
+            if (input.empty()) input.push_back(0);
+            input[rng.below(input.size())] = rng.nextByte();
+            break;
+          case 2:  // small arithmetic
+            if (input.empty()) input.push_back(0);
+            input[rng.below(input.size())] += static_cast<uint8_t>(
+                static_cast<int64_t>(rng.below(9)) - 4);
+            break;
+          case 3:  // extend
+            input.push_back(rng.nextByte());
+            break;
+          case 4:  // truncate
+            if (!input.empty()) {
+                input.resize(rng.below(input.size() + 1));
+            }
+            break;
+          default: {  // splice with another corpus entry
+              const std::vector<uint8_t>& other =
+                  corpus[rng.below(corpus.size())];
+              if (!other.empty()) {
+                  size_t cut = rng.below(other.size() + 1);
+                  input.insert(input.end(), other.begin(),
+                               other.begin() + static_cast<long>(cut));
+              }
+              break;
+          }
+        }
+    }
+    if (input.size() > maxBytes) input.resize(maxBytes);
+    return input;
+}
+
+size_t
+traceEventCount(const std::vector<uint8_t>& bytes)
+{
+    if (bytes.empty()) return 0;
+    auto parsed = readTrace(bytes);
+    return parsed.ok() ? parsed.value().events.size() : 0;
+}
+
+} // namespace
+
+FuzzResult
+runFuzzer(const Module& module, const EngineConfig& config,
+          const FuzzOptions& opts)
+{
+    FuzzResult res;
+    res.seed = opts.seed;
+
+    int32_t entryIdx = module.findFuncExport(opts.entry);
+    if (entryIdx < 0) {
+        res.error = "no exported function '" + opts.entry + "'";
+        return res;
+    }
+    const FuncType& type = module.funcType(
+        static_cast<uint32_t>(entryIdx));
+
+    Engine eng(config);
+    auto lr = eng.loadModule(Module(module));
+    if (!lr.ok()) {
+        res.error = "load failed: " + lr.error().toString();
+        return res;
+    }
+    CoverageIndex cov;
+    cov.attach(eng);
+
+    // Per-run shake environment: the recorded modes plus this input's
+    // memory-seed tail. Rebuilt per execution so host streams restart
+    // exactly as they would in a fresh engine — an input that fails
+    // mid-campaign fails identically when replayed alone.
+    auto shakeFor = [&opts](const std::vector<uint8_t>& input,
+                            size_t tail) {
+        ShakeOptions sh = opts.shake;
+        if (tail < input.size()) {
+            sh.memSeed.assign(input.begin() + static_cast<long>(tail),
+                              input.end());
+        }
+        return sh;
+    };
+
+    // Fresh-engine reference run (interpreter unless asked otherwise):
+    // the minimizer's runner and the golden-trace recorder.
+    EngineConfig refCfg = config;
+    refCfg.mode = ExecMode::Interpreter;
+    auto traceFor = [&](const EngineConfig& cfg,
+                        const std::vector<uint8_t>& input) {
+        size_t tail = 0;
+        std::vector<Value> args =
+            argsFromInput(input, type, opts.maxArg, &tail);
+        ReplayEnv env = makeShakeEnv(module, shakeFor(input, tail));
+        return recordTrace(module, cfg, opts.entry, args, {}, env);
+    };
+    auto signatureOf = [](const std::vector<uint8_t>& bytes) {
+        FailureSignature sig;
+        if (bytes.empty()) return sig;
+        auto parsed = readTrace(bytes);
+        if (parsed.ok() &&
+            parsed.value().trapReason() != TrapReason::None) {
+            sig.kind = FailureSignature::Kind::Trap;
+            sig.trap = parsed.value().trapReason();
+        }
+        return sig;
+    };
+    FailureRunner trapRunner = [&](const std::vector<uint8_t>& input) {
+        return signatureOf(traceFor(refCfg, input));
+    };
+
+    std::set<std::string> seenSignatures;
+    auto addFinding = [&](const std::vector<uint8_t>& input,
+                          const FailureSignature& sig,
+                          const FailureRunner& runner) {
+        if (!seenSignatures.insert(sig.toString()).second) return;
+        FuzzFinding f;
+        f.signature = sig;
+        f.origTraceEvents = traceEventCount(traceFor(refCfg, input));
+        std::vector<uint8_t> minInput = input;
+        if (opts.minimizeFindings) {
+            MinimizeOptions mo;
+            mo.maxExecs = opts.minimizeBudget;
+            MinimizeResult m = minimizeInput(input, runner, sig, mo);
+            minInput = std::move(m.input);
+            res.execs += m.execs;
+        }
+        f.input = minInput;
+        f.trace = traceFor(refCfg, minInput);
+        f.minTraceEvents = traceEventCount(f.trace);
+        if (!opts.watSource.empty()) {
+            size_t tail = 0;
+            f.repro.entry = opts.entry;
+            f.repro.seed = opts.shake.seed;
+            f.repro.shakeModes = shakeModesToString(opts.shake);
+            f.repro.expect = sig;
+            f.repro.args =
+                argsFromInput(minInput, type, opts.maxArg, &tail);
+            f.repro.memSeed = shakeFor(minInput, tail).memSeed;
+            f.repro.trace = f.trace;
+            f.repro.watModule = opts.watSource;
+            f.haveRepro = true;
+        }
+        res.findings.push_back(std::move(f));
+    };
+
+    // ---- The campaign loop ----
+    Rng rng(opts.seed);
+    std::vector<std::vector<uint8_t>> corpus;
+    corpus.push_back({});
+    corpus.push_back(std::vector<uint8_t>(
+        std::min<uint32_t>(opts.maxInputBytes, 16), 0));
+
+    double t0 = nowSeconds();
+    for (uint32_t run = 0; run < opts.runs; run++) {
+        std::vector<uint8_t> input =
+            run < corpus.size()
+                ? corpus[run]
+                : mutate(corpus, rng, opts.maxInputBytes);
+        size_t tail = 0;
+        std::vector<Value> args =
+            argsFromInput(input, type, opts.maxArg, &tail);
+        ReplayEnv env = makeShakeEnv(module, shakeFor(input, tail));
+        env.preInstantiate(eng);
+        auto ir = eng.instantiate();
+        if (!ir.ok()) {
+            res.error = "instantiate failed: " + ir.error().toString();
+            return res;
+        }
+        env.postInstantiate(eng);
+
+        cov.resetNewHits();
+        auto r = eng.callExport(opts.entry, args);
+        res.execs++;
+        bool trapped = !r.ok() && eng.lastTrap() != TrapReason::None;
+        if (!r.ok() && !trapped) {
+            res.error = "invoke failed: " + r.error().toString();
+            return res;
+        }
+
+        if (cov.newHits() > 0) corpus.push_back(input);
+        cov.flush();
+
+        if (trapped) {
+            FailureSignature sig;
+            sig.kind = FailureSignature::Kind::Trap;
+            sig.trap = eng.lastTrap();
+            addFinding(input, sig, trapRunner);
+        }
+    }
+    double elapsed = nowSeconds() - t0;
+
+    // ---- Optional cross-tier divergence sweep over the corpus ----
+    if (opts.crossTierCheck) {
+        EngineConfig jitCfg = config;
+        jitCfg.mode = ExecMode::Jit;
+        EngineConfig tieredCfg = config;
+        tieredCfg.mode = ExecMode::Tiered;
+        tieredCfg.tierUpThreshold = 2;
+        FailureRunner divergeRunner =
+            [&](const std::vector<uint8_t>& input) {
+                FailureSignature sig;
+                std::vector<uint8_t> a = traceFor(refCfg, input);
+                if (a.empty()) return sig;
+                if (traceFor(jitCfg, input) != a ||
+                    traceFor(tieredCfg, input) != a) {
+                    sig.kind = FailureSignature::Kind::Divergence;
+                }
+                return sig;
+            };
+        size_t limit = std::min<size_t>(corpus.size(), 32);
+        for (size_t i = 0; i < limit; i++) {
+            res.execs += 3;
+            FailureSignature sig = divergeRunner(corpus[i]);
+            if (sig.kind == FailureSignature::Kind::Divergence) {
+                addFinding(corpus[i], sig, divergeRunner);
+            }
+        }
+    }
+
+    res.ok = true;
+    res.corpusSize = corpus.size();
+    res.sitesTotal = cov.sitesTotal();
+    res.sitesCovered = cov.sitesCovered();
+    res.edgesTotal = cov.edgesTotal();
+    res.edgesCovered = cov.edgesCovered();
+    res.execsPerSec =
+        elapsed > 0 ? static_cast<double>(res.execs) / elapsed : 0;
+    return res;
+}
+
+void
+writeFuzzReport(std::ostream& out, const FuzzResult& r)
+{
+    if (!r.ok) {
+        out << "fuzz: error: " << r.error << "\n";
+        return;
+    }
+    out << "== fuzz ==\n"
+        << "seed:     " << r.seed << "\n"
+        << "execs:    " << r.execs << " (" << static_cast<uint64_t>(
+            r.execsPerSec) << "/s)\n"
+        << "corpus:   " << r.corpusSize << "\n"
+        << "coverage: " << r.sitesCovered << "/" << r.sitesTotal
+        << " locations, " << r.edgesCovered << "/" << r.edgesTotal
+        << " edges\n"
+        << "findings: " << r.findings.size() << "\n";
+    for (const FuzzFinding& f : r.findings) {
+        out << "  " << f.signature.toString() << ": input "
+            << f.input.size() << " byte(s), trace " << f.minTraceEvents
+            << " event(s)";
+        if (f.origTraceEvents > f.minTraceEvents) {
+            out << " (minimized from " << f.origTraceEvents << ")";
+        }
+        out << "\n";
+    }
+}
+
+} // namespace wizpp::fuzz

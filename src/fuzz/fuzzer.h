@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The in-process coverage-guided fuzzer (docs/FUZZING.md;
+ * `wizeng --fuzz=<entry>`).
+ *
+ * One engine, many executions: each run re-instantiates the module
+ * (fresh memory/globals/host streams), derives the entry arguments and
+ * a linear-memory seed from a mutated byte string, and executes under
+ * the configured tier. The corpus scheduler keys on new coverage from
+ * the CoverageIndex — one-shot location bits plus branch-direction
+ * edges — whose probes batch-detach as coverage saturates, so the
+ * fuzzing loop gets faster as it learns (the paper's batched-removal
+ * machinery as fuzzing infrastructure).
+ *
+ * Every trap (and, with crossTierCheck, every cross-tier trace
+ * divergence) becomes a FuzzFinding: deduplicated by failure
+ * signature, delta-minimized (minimize.h), re-recorded as a golden
+ * WZTR trace, and packaged as a reproducer (repro.h) ready to commit
+ * to tests/fixtures/fuzz/.
+ *
+ * Everything is deterministic in (module, config, FuzzOptions): the
+ * PRNG is seeded and recorded, and the shake environment re-derives
+ * fresh per-import streams on every execution, so an input that traps
+ * mid-campaign traps identically in a fresh engine.
+ */
+
+#ifndef WIZPP_FUZZ_FUZZER_H
+#define WIZPP_FUZZ_FUZZER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "fuzz/minimize.h"
+#include "fuzz/repro.h"
+#include "fuzz/shake.h"
+
+namespace wizpp::fuzz {
+
+struct FuzzOptions
+{
+    /** Exported entry function to drive. */
+    std::string entry;
+
+    /** Campaign PRNG seed (recorded; same seed ⇒ same campaign). */
+    uint64_t seed = 1;
+
+    /** Executions to attempt. */
+    uint32_t runs = 256;
+
+    /** i32 arguments are reduced mod (maxArg + 1) to keep loop bounds
+        small; 0 disables the clamp (raw 32-bit args). */
+    uint32_t maxArg = 64;
+
+    /** Mutated inputs never grow beyond this many bytes. */
+    uint32_t maxInputBytes = 64;
+
+    /** Environment perturbations applied to every execution. The
+        fuzzer overrides memSeed per run from the input tail. */
+    ShakeOptions shake;
+
+    /** Delta-minimize findings (costs extra executions). */
+    bool minimizeFindings = true;
+
+    /** Exec budget per finding minimization. */
+    size_t minimizeBudget = 600;
+
+    /** After the campaign, replay corpus entries across all three
+        tiers and flag trace divergences as findings (bounded). */
+    bool crossTierCheck = false;
+
+    /** WAT source of the module, if known: enables reproducer
+        emission (a reproducer embeds its module). */
+    std::string watSource;
+};
+
+/** One deduplicated failure, minimized and packaged. */
+struct FuzzFinding
+{
+    FailureSignature signature;
+    std::vector<uint8_t> input;   ///< minimized input bytes
+    std::vector<uint8_t> trace;   ///< golden WZTR of the minimized run
+    size_t origTraceEvents = 0;   ///< trace length before minimization
+    size_t minTraceEvents = 0;    ///< trace length after
+    bool haveRepro = false;       ///< repro populated (watSource known)
+    Reproducer repro;
+};
+
+struct FuzzResult
+{
+    bool ok = false;          ///< the campaign ran (≠ "no findings")
+    std::string error;        ///< set when !ok
+    uint64_t seed = 0;        ///< recorded campaign seed
+    uint64_t execs = 0;
+    double execsPerSec = 0;
+    size_t corpusSize = 0;
+    size_t sitesTotal = 0;
+    size_t sitesCovered = 0;
+    size_t edgesTotal = 0;
+    size_t edgesCovered = 0;
+    std::vector<FuzzFinding> findings;
+};
+
+/** Runs one fuzzing campaign. @p module is copied per internal engine. */
+FuzzResult runFuzzer(const Module& module, const EngineConfig& config,
+                     const FuzzOptions& opts);
+
+/** Human-readable campaign summary (wizeng --fuzz output). */
+void writeFuzzReport(std::ostream& out, const FuzzResult& r);
+
+} // namespace wizpp::fuzz
+
+#endif // WIZPP_FUZZ_FUZZER_H

@@ -1,0 +1,135 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wizpp::fuzz {
+
+std::string
+FailureSignature::toString() const
+{
+    switch (kind) {
+      case Kind::None: return "none";
+      case Kind::Trap:
+        return std::string("trap:") + trapReasonName(trap);
+      case Kind::Divergence: return "divergence";
+    }
+    return "?";
+}
+
+bool
+FailureSignature::parse(const std::string& s, FailureSignature* out)
+{
+    if (s == "none") {
+        *out = {};
+        return true;
+    }
+    if (s == "divergence") {
+        out->kind = Kind::Divergence;
+        out->trap = TrapReason::None;
+        return true;
+    }
+    if (s.rfind("trap:", 0) == 0) {
+        std::string name = s.substr(5);
+        for (int r = 1; r <= static_cast<int>(TrapReason::HostError);
+             r++) {
+            if (name == trapReasonName(static_cast<TrapReason>(r))) {
+                out->kind = Kind::Trap;
+                out->trap = static_cast<TrapReason>(r);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+namespace {
+
+/** One budgeted runner probe: does @p candidate still fail like
+    @p target? */
+bool
+stillFails(const FailureRunner& run, const FailureSignature& target,
+           const std::vector<uint8_t>& candidate, size_t* execs,
+           size_t maxExecs)
+{
+    if (*execs >= maxExecs) return false;
+    (*execs)++;
+    return run(candidate).matches(target);
+}
+
+} // namespace
+
+MinimizeResult
+minimizeInput(std::vector<uint8_t> input, const FailureRunner& run,
+              const FailureSignature& target, const MinimizeOptions& opts)
+{
+    MinimizeResult res;
+
+    // Sanity: the starting input must reproduce the failure, otherwise
+    // there is nothing meaningful to preserve while shrinking.
+    if (!stillFails(run, target, input, &res.execs, opts.maxExecs)) {
+        res.input = std::move(input);
+        return res;
+    }
+
+    // Phase 1: ddmin chunk removal. Try dropping contiguous chunks,
+    // halving the chunk size until single bytes; restart at the
+    // current size after any successful removal.
+    size_t chunk = std::max<size_t>(1, input.size() / 2);
+    while (true) {
+        bool shrunk = false;
+        for (size_t at = 0; at < input.size() && !input.empty();) {
+            size_t len = std::min(chunk, input.size() - at);
+            std::vector<uint8_t> candidate;
+            candidate.reserve(input.size() - len);
+            candidate.insert(candidate.end(), input.begin(),
+                             input.begin() + static_cast<long>(at));
+            candidate.insert(candidate.end(),
+                             input.begin() + static_cast<long>(at + len),
+                             input.end());
+            if (stillFails(run, target, candidate, &res.execs,
+                           opts.maxExecs)) {
+                input = std::move(candidate);
+                shrunk = true;
+                // keep `at`: the next chunk slid into this position
+            } else {
+                at += len;
+            }
+        }
+        if (res.execs >= opts.maxExecs) break;
+        if (!shrunk) {
+            if (chunk == 1) break;
+            chunk = std::max<size_t>(1, chunk / 2);
+        }
+    }
+
+    // Phase 2: value shrinking — drive each surviving byte toward 0
+    // (0, v/2, v-1) to a fixpoint. Smaller bytes mean smaller args and
+    // shorter loops, i.e. shorter reproducer traces.
+    bool changed = true;
+    while (changed && res.execs < opts.maxExecs) {
+        changed = false;
+        for (size_t i = 0; i < input.size(); i++) {
+            uint8_t v = input[i];
+            if (v == 0) continue;
+            for (uint8_t cand :
+                 {static_cast<uint8_t>(0), static_cast<uint8_t>(v / 2),
+                  static_cast<uint8_t>(v - 1)}) {
+                if (cand >= v) continue;
+                std::vector<uint8_t> candidate = input;
+                candidate[i] = cand;
+                if (stillFails(run, target, candidate, &res.execs,
+                               opts.maxExecs)) {
+                    input = std::move(candidate);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    res.input = std::move(input);
+    return res;
+}
+
+} // namespace wizpp::fuzz

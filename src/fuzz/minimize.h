@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Delta-minimization of failing fuzz inputs (docs/FUZZING.md).
+ *
+ * The minimizer shrinks a byte-level input while a caller-supplied
+ * runner keeps reproducing the same failure signature. Because the
+ * engine is deterministic given (input, seed, environment), shrinking
+ * the input shrinks the execution: the minimized input's golden WZTR
+ * trace is the minimal reproducer trace prefix the ISSUE's pipeline
+ * checks into tests/fixtures/fuzz/.
+ *
+ * The algorithm is classic ddmin (Zeller/Hildebrandt) over byte chunks
+ * — remove chunks of n/2, n/4, ... 1 bytes while the failure persists
+ * — followed by per-byte value shrinking (0, v/2, v-1) to a fixpoint
+ * or the exec budget, whichever first. Fully deterministic: same
+ * input, same runner, same result.
+ */
+
+#ifndef WIZPP_FUZZ_MINIMIZE_H
+#define WIZPP_FUZZ_MINIMIZE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/trap.h"
+
+namespace wizpp::fuzz {
+
+/** What went wrong — the equivalence class minimization preserves. */
+struct FailureSignature
+{
+    enum class Kind : uint8_t {
+        None,        ///< the run completed normally
+        Trap,        ///< trapped; `trap` holds the reason
+        Divergence,  ///< tiers disagreed (trace mismatch)
+    };
+
+    Kind kind = Kind::None;
+    TrapReason trap = TrapReason::None;
+
+    bool failing() const { return kind != Kind::None; }
+
+    /** Same failure class: traps must match by reason; divergences
+        match each other (the diverging site may move as the input
+        shrinks — the bug class is "tiers disagree"). */
+    bool
+    matches(const FailureSignature& o) const
+    {
+        if (kind != o.kind) return false;
+        if (kind == Kind::Trap) return trap == o.trap;
+        return true;
+    }
+
+    /** "trap:MemoryOutOfBounds" / "divergence" / "none". */
+    std::string toString() const;
+
+    /** Inverse of toString(); returns false on an unknown rendering. */
+    static bool parse(const std::string& s, FailureSignature* out);
+};
+
+/** Runs one input, reports how it failed. Must be deterministic. */
+using FailureRunner =
+    std::function<FailureSignature(const std::vector<uint8_t>&)>;
+
+struct MinimizeOptions
+{
+    /** Hard budget on runner invocations. */
+    size_t maxExecs = 2000;
+};
+
+struct MinimizeResult
+{
+    std::vector<uint8_t> input;  ///< smallest still-failing input
+    size_t execs = 0;            ///< runner invocations spent
+};
+
+/**
+ * Shrinks @p input while @p run keeps producing a signature matching
+ * @p target. @p input must already fail (callers pass the signature
+ * the fuzzer observed); if it does not, it is returned unchanged.
+ */
+MinimizeResult minimizeInput(std::vector<uint8_t> input,
+                             const FailureRunner& run,
+                             const FailureSignature& target,
+                             const MinimizeOptions& opts = {});
+
+} // namespace wizpp::fuzz
+
+#endif // WIZPP_FUZZ_MINIMIZE_H

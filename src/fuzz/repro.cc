@@ -1,0 +1,323 @@
+#include "fuzz/repro.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/shake.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "wat/wat.h"
+
+namespace wizpp::fuzz {
+
+namespace {
+
+std::string
+toHex(const std::vector<uint8_t>& bytes)
+{
+    static const char* kDigits = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out += kDigits[b >> 4];
+        out += kDigits[b & 0xf];
+    }
+    return out;
+}
+
+bool
+fromHex(const std::string& hex, std::vector<uint8_t>* out)
+{
+    if (hex.size() % 2) return false;
+    out->clear();
+    out->reserve(hex.size() / 2);
+    auto nib = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+    };
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nib(hex[i]), lo = nib(hex[i + 1]);
+        if (hi < 0 || lo < 0) return false;
+        out->push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+valueToText(const Value& v)
+{
+    char buf[32];
+    switch (v.type) {
+      case ValType::I32:
+        return "i32:" + std::to_string(v.i32s());
+      case ValType::I64:
+        return "i64:" + std::to_string(v.i64s());
+      case ValType::F32:
+        // Raw bits: std::to_string(float) is lossy and a reproducer
+        // must round-trip exactly.
+        std::snprintf(buf, sizeof buf, "f32:0x%08x", v.i32());
+        return buf;
+      case ValType::F64:
+        std::snprintf(buf, sizeof buf, "f64:0x%016llx",
+                      static_cast<unsigned long long>(v.bits));
+        return buf;
+      default:
+        return "i32:0";
+    }
+}
+
+bool
+valueFromText(const std::string& s, Value* out)
+{
+    size_t colon = s.find(':');
+    if (colon == std::string::npos) return false;
+    std::string type = s.substr(0, colon);
+    std::string payload = s.substr(colon + 1);
+    if (payload.empty()) return false;
+    try {
+        if (type == "i32") {
+            *out = Value::makeI32(
+                static_cast<int32_t>(std::stoll(payload)));
+        } else if (type == "i64") {
+            *out = Value::makeI64(
+                static_cast<int64_t>(std::stoll(payload)));
+        } else if (type == "f32") {
+            *out = Value{ValType::F32,
+                         static_cast<uint32_t>(
+                             std::stoull(payload, nullptr, 0))};
+        } else if (type == "f64") {
+            *out =
+                Value{ValType::F64, std::stoull(payload, nullptr, 0)};
+        } else {
+            return false;
+        }
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+std::string
+renderReproducer(const Reproducer& r)
+{
+    std::ostringstream out;
+    out << "# wizpp fuzz reproducer v1\n";
+    out << "entry: " << r.entry << "\n";
+    out << "seed: " << r.seed << "\n";
+    if (!r.shakeModes.empty()) out << "shake: " << r.shakeModes << "\n";
+    out << "expect: " << r.expect.toString() << "\n";
+    out << "args:";
+    for (const Value& v : r.args) out << " " << valueToText(v);
+    out << "\n";
+    if (!r.memSeed.empty()) out << "mem: " << toHex(r.memSeed) << "\n";
+    out << "trace: " << toHex(r.trace) << "\n";
+    out << "module:\n";
+    out << r.watModule;
+    if (!r.watModule.empty() && r.watModule.back() != '\n') out << "\n";
+    return out.str();
+}
+
+Result<Reproducer>
+parseReproducer(const std::string& text)
+{
+    Reproducer r;
+    std::istringstream in(text);
+    std::string line;
+    bool sawEntry = false, sawTrace = false, sawExpect = false;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        lineNo++;
+        if (line.empty() || line[0] == '#') continue;
+        if (line == "module:") {
+            std::ostringstream rest;
+            rest << in.rdbuf();
+            r.watModule = rest.str();
+            // render/parse normalization: rendering guarantees one
+            // trailing newline, so parsing drops exactly one.
+            if (!r.watModule.empty() && r.watModule.back() == '\n') {
+                r.watModule.pop_back();
+            }
+            break;
+        }
+        size_t colon = line.find(": ");
+        if (colon == std::string::npos) {
+            return Error{"reproducer: malformed line '" + line + "'",
+                         lineNo};
+        }
+        std::string key = line.substr(0, colon);
+        std::string val = line.substr(colon + 2);
+        if (key == "entry") {
+            r.entry = val;
+            sawEntry = true;
+        } else if (key == "seed") {
+            try {
+                r.seed = std::stoull(val);
+            } catch (...) {
+                return Error{"reproducer: bad seed '" + val + "'",
+                             lineNo};
+            }
+        } else if (key == "shake") {
+            ShakeOptions probeParse;
+            if (!parseShakeModes(val, &probeParse)) {
+                return Error{"reproducer: bad shake modes '" + val + "'",
+                             lineNo};
+            }
+            r.shakeModes = val;
+        } else if (key == "expect") {
+            if (!FailureSignature::parse(val, &r.expect)) {
+                return Error{"reproducer: bad expect '" + val + "'",
+                             lineNo};
+            }
+            sawExpect = true;
+        } else if (key == "args") {
+            std::istringstream args(val);
+            std::string tok;
+            while (args >> tok) {
+                Value v;
+                if (!valueFromText(tok, &v)) {
+                    return Error{"reproducer: bad arg '" + tok + "'",
+                                 lineNo};
+                }
+                r.args.push_back(v);
+            }
+        } else if (key == "mem") {
+            if (!fromHex(val, &r.memSeed)) {
+                return Error{"reproducer: bad mem hex", lineNo};
+            }
+        } else if (key == "trace") {
+            if (!fromHex(val, &r.trace)) {
+                return Error{"reproducer: bad trace hex", lineNo};
+            }
+            sawTrace = true;
+        } else {
+            return Error{"reproducer: unknown key '" + key + "'",
+                         lineNo};
+        }
+    }
+    if (!sawEntry || !sawExpect || !sawTrace || r.watModule.empty()) {
+        return Error{"reproducer: missing entry/expect/trace/module "
+                     "section",
+                     lineNo};
+    }
+    return r;
+}
+
+bool
+writeReproducer(const std::string& path, const Reproducer& r)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << renderReproducer(r);
+    return static_cast<bool>(out);
+}
+
+Result<Reproducer>
+readReproducer(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) return Error{"cannot open reproducer '" + path + "'", 0};
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseReproducer(text.str());
+}
+
+ReproVerdict
+verifyReproducer(const Reproducer& r)
+{
+    ReproVerdict v;
+
+    auto parsed = parseWat(r.watModule);
+    if (!parsed.ok()) {
+        v.message =
+            "reproducer module does not parse: " +
+            parsed.error().toString();
+        return v;
+    }
+    const Module& module = parsed.value();
+
+    ShakeOptions shake;
+    shake.seed = r.seed;
+    if (!parseShakeModes(r.shakeModes, &shake)) {
+        v.message = "bad shake modes '" + r.shakeModes + "'";
+        return v;
+    }
+    shake.memSeed = r.memSeed;
+
+    struct TierRun
+    {
+        const char* name;
+        EngineConfig cfg;
+    };
+    TierRun tiers[3] = {{"int", {}}, {"jit", {}}, {"tiered", {}}};
+    tiers[0].cfg.mode = ExecMode::Interpreter;
+    tiers[1].cfg.mode = ExecMode::Jit;
+    tiers[2].cfg.mode = ExecMode::Tiered;
+    tiers[2].cfg.tierUpThreshold = 2;
+
+    std::vector<uint8_t> traces[3];
+    for (int i = 0; i < 3; i++) {
+        ReplayEnv env = makeShakeEnv(module, shake);
+        traces[i] = recordTrace(module, tiers[i].cfg, r.entry, r.args,
+                                {}, env);
+        if (traces[i].empty()) {
+            v.message = std::string("tier ") + tiers[i].name +
+                        ": run failed to record a trace";
+            return v;
+        }
+    }
+
+    // The interpreter run is the reference: its outcome must match the
+    // expected signature and (always) the stored golden trace.
+    auto ref = readTrace(traces[0]);
+    if (!ref.ok()) {
+        v.message = "interpreter trace unreadable";
+        return v;
+    }
+    FailureSignature got;
+    if (ref.value().trapReason() != TrapReason::None) {
+        got.kind = FailureSignature::Kind::Trap;
+        got.trap = ref.value().trapReason();
+    }
+    if (r.expect.kind == FailureSignature::Kind::Trap &&
+        !got.matches(r.expect)) {
+        v.message = "expected " + r.expect.toString() + ", got " +
+                    got.toString();
+        return v;
+    }
+    if (traces[0] != r.trace) {
+        v.message = "interpreter trace differs from the stored golden "
+                    "trace";
+        return v;
+    }
+
+    if (r.expect.kind == FailureSignature::Kind::Divergence) {
+        if (traces[1] == traces[0] && traces[2] == traces[0]) {
+            v.message = "expected a cross-tier divergence but all "
+                        "tiers agree";
+            return v;
+        }
+        v.ok = true;
+        v.message = "divergence reproduced";
+        return v;
+    }
+
+    for (int i = 1; i < 3; i++) {
+        if (traces[i] != traces[0]) {
+            v.message = std::string("tier ") + tiers[i].name +
+                        " trace diverges from the interpreter trace";
+            return v;
+        }
+    }
+    v.ok = true;
+    v.message = "reproduced " + r.expect.toString() + " on all tiers, " +
+                std::to_string(r.trace.size()) + " trace byte(s) " +
+                "identical";
+    return v;
+}
+
+} // namespace wizpp::fuzz

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproducer files: the minimizer's output format IS the regression-
+ * fixture format (the .repro files in tests/fixtures/fuzz/;
+ * docs/FUZZING.md).
+ *
+ * A reproducer is a self-contained text file: the module (inline WAT),
+ * the entry and arguments, the recorded shake environment (seed +
+ * modes + memory seed), the expected failure signature, and the golden
+ * minimized WZTR trace. verifyReproducer() re-runs it under all three
+ * execution tiers and checks (a) the failure reproduces and (b) every
+ * tier's fresh trace is byte-identical to the stored one — a committed
+ * fuzz finding doubles as a tier-independence regression test.
+ *
+ * Format (line-oriented header, then the module to EOF):
+ *
+ *     # wizpp fuzz reproducer v1
+ *     entry: run
+ *     seed: 7
+ *     shake: grow,short            (omitted when no modes)
+ *     expect: trap:MemoryOutOfBounds
+ *     args: i32:5 i64:-1           (f32/f64 as raw-bit hex)
+ *     mem: 00ff3a                  (omitted when empty)
+ *     trace: 575a54...             (hex of the golden WZTR bytes)
+ *     module:
+ *     (module ...)
+ */
+
+#ifndef WIZPP_FUZZ_REPRO_H
+#define WIZPP_FUZZ_REPRO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/minimize.h"
+#include "runtime/value.h"
+#include "support/result.h"
+
+namespace wizpp::fuzz {
+
+/** One parsed (or to-be-written) reproducer. */
+struct Reproducer
+{
+    std::string entry;
+    uint64_t seed = 1;
+    std::string shakeModes;         ///< "grow,short,random" subset
+    FailureSignature expect;
+    std::vector<Value> args;
+    std::vector<uint8_t> memSeed;   ///< written at offset 0
+    std::vector<uint8_t> trace;     ///< golden minimized WZTR
+    std::string watModule;          ///< inline module source
+};
+
+/** Renders @p r in the file format above. */
+std::string renderReproducer(const Reproducer& r);
+
+/** Parses the file format; Error carries the offending line. */
+Result<Reproducer> parseReproducer(const std::string& text);
+
+/** File I/O wrappers. */
+bool writeReproducer(const std::string& path, const Reproducer& r);
+Result<Reproducer> readReproducer(const std::string& path);
+
+/** Outcome of re-running a reproducer. */
+struct ReproVerdict
+{
+    bool ok = false;
+    std::string message;  ///< verdict, or first mismatch
+};
+
+/**
+ * Re-runs @p r under Interpreter, Jit and Tiered tiers with its
+ * recorded shake environment. For a trap expectation, every tier must
+ * reproduce the trap AND record a trace byte-identical to the stored
+ * golden one. For a divergence expectation, the interpreter trace must
+ * match the golden trace and at least one compiled tier must diverge
+ * from it.
+ */
+ReproVerdict verifyReproducer(const Reproducer& r);
+
+/** "i32:-5", "f64:0x3ff0000000000000" <-> Value (raw-bit exact). */
+std::string valueToText(const Value& v);
+bool valueFromText(const std::string& s, Value* out);
+
+} // namespace wizpp::fuzz
+
+#endif // WIZPP_FUZZ_REPRO_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic PRNG for the fuzzing subsystem.
+ *
+ * SplitMix64: tiny, fast, and — unlike std::mt19937 driven through
+ * std::uniform_int_distribution — with output that is fully specified
+ * by this header, so a recorded seed reproduces the identical mutation
+ * and perturbation sequence on every platform and standard library.
+ * Every fuzz and shake run records its seed (docs/FUZZING.md); replay
+ * determinism starts here.
+ */
+
+#ifndef WIZPP_FUZZ_RNG_H
+#define WIZPP_FUZZ_RNG_H
+
+#include <cstdint>
+
+namespace wizpp::fuzz {
+
+/** SplitMix64 (Steele/Lea/Flood 2014 finalizer), seedable, copyable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 1) : _state(seed) {}
+
+    /** Next 64 uniformly distributed bits. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (_state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, bound); returns 0 for bound == 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** One byte. */
+    uint8_t nextByte() { return static_cast<uint8_t>(next()); }
+
+    /** True with probability 1/n (n >= 1). */
+    bool oneIn(uint64_t n) { return below(n) == 0; }
+
+    /**
+     * Derives an independent stream: hashing (seed, salt) through one
+     * extra mix so e.g. each host import gets its own deterministic
+     * sequence regardless of call interleaving.
+     */
+    static Rng
+    derive(uint64_t seed, uint64_t salt)
+    {
+        Rng r(seed ^ (salt * 0xff51afd7ed558ccdull + 0x2545f4914f6cdd1dull));
+        r.next();
+        return r;
+    }
+
+  private:
+    uint64_t _state;
+};
+
+} // namespace wizpp::fuzz
+
+#endif // WIZPP_FUZZ_RNG_H

@@ -1,0 +1,167 @@
+#include "fuzz/shake.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "engine/engine.h"
+#include "fuzz/rng.h"
+
+namespace wizpp::fuzz {
+
+namespace {
+
+/** "Looks like a read": last param i32 (length), single i32 result. */
+bool
+isShortReadShape(const FuncType& t)
+{
+    return t.results.size() == 1 && t.results[0] == ValType::I32 &&
+           !t.params.empty() && t.params.back() == ValType::I32;
+}
+
+/** Seeded value of type @p t. Floats are built from small integers so
+    every produced bit pattern is finite and canonical. */
+Value
+randomValue(ValType t, Rng& rng)
+{
+    switch (t) {
+      case ValType::I32:
+        return Value::makeI32(static_cast<uint32_t>(rng.next()));
+      case ValType::I64:
+        return Value::makeI64(rng.next());
+      case ValType::F32:
+        return Value::makeF32(
+            static_cast<float>(rng.below(1u << 16)) / 16.0f);
+      case ValType::F64:
+        return Value::makeF64(
+            static_cast<double>(rng.below(1u << 20)) / 32.0);
+      default:
+        return Value::zeroOf(t);
+    }
+}
+
+} // namespace
+
+ReplayEnv
+makeShakeEnv(const Module& module, const ShakeOptions& opts)
+{
+    // Import declarations are captured up front: the Module handed to
+    // recordTrace is moved into the engine before the hooks run.
+    struct Import
+    {
+        std::string mod, name;
+        FuncType type;
+        uint64_t salt = 0;
+    };
+    auto imports = std::make_shared<std::vector<Import>>();
+    uint64_t salt = 0;
+    for (const FuncDecl& f : module.functions) {
+        if (!f.imported) break;
+        imports->push_back(
+            {f.importModule, f.importName, module.types[f.typeIndex],
+             salt++});
+    }
+
+    ShakeOptions o = opts;
+    ReplayEnv env;
+    env.preInstantiate = [imports, o](Engine& eng) {
+        for (const Import& imp : *imports) {
+            // One fresh stream per (engine, import), derived from the
+            // recorded seed: the hook body runs once per engine, so the
+            // recording and the verifying engine see identical
+            // sequences regardless of tier.
+            auto rng =
+                std::make_shared<Rng>(Rng::derive(o.seed, imp.salt));
+            FuncType type = imp.type;
+            bool shortRead = o.shortReads && isShortReadShape(type);
+            bool random = o.randomHost;
+            eng.imports().addFunc(
+                imp.mod, imp.name,
+                HostFunc{type,
+                         [rng, type, shortRead, random](
+                             const std::vector<Value>& args,
+                             std::vector<Value>* results) {
+                             results->clear();
+                             if (shortRead) {
+                                 uint32_t asked =
+                                     args.empty() ? 0 : args.back().i32();
+                                 results->push_back(Value::makeI32(
+                                     static_cast<uint32_t>(rng->below(
+                                         static_cast<uint64_t>(asked) +
+                                         1))));
+                                 return TrapReason::None;
+                             }
+                             for (ValType t : type.results) {
+                                 results->push_back(
+                                     random ? randomValue(t, *rng)
+                                            : Value::zeroOf(t));
+                             }
+                             return TrapReason::None;
+                         }});
+        }
+    };
+    env.postInstantiate = [o](Engine& eng) {
+        if (o.failMemGrow) {
+            // The schedule is a pure function of (seed, call ordinal):
+            // roughly every other grow fails, in an order the replay
+            // reproduces exactly.
+            auto calls = std::make_shared<uint64_t>(0);
+            uint64_t seed = o.seed;
+            eng.instance().memory.setGrowFault(
+                [calls, seed](uint32_t, uint32_t) {
+                    uint64_t n = (*calls)++;
+                    return (Rng::derive(seed, 0x6001 + n).next() & 1) !=
+                           0;
+                });
+        }
+        if (!o.memSeed.empty()) {
+            Memory& mem = eng.instance().memory;
+            size_t n = std::min(o.memSeed.size(), mem.byteSize());
+            if (n) std::memcpy(mem.data(), o.memSeed.data(), n);
+        }
+    };
+    return env;
+}
+
+bool
+parseShakeModes(const std::string& csv, ShakeOptions* opts)
+{
+    size_t start = 0;
+    while (start <= csv.size()) {
+        size_t comma = csv.find(',', start);
+        std::string mode =
+            csv.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        if (!mode.empty()) {
+            if (mode == "grow") {
+                opts->failMemGrow = true;
+            } else if (mode == "short") {
+                opts->shortReads = true;
+            } else if (mode == "random") {
+                opts->randomHost = true;
+            } else {
+                return false;
+            }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return true;
+}
+
+std::string
+shakeModesToString(const ShakeOptions& opts)
+{
+    std::string out;
+    auto add = [&out](const char* m) {
+        if (!out.empty()) out += ",";
+        out += m;
+    };
+    if (opts.failMemGrow) add("grow");
+    if (opts.shortReads) add("short");
+    if (opts.randomHost) add("random");
+    return out;
+}
+
+} // namespace wizpp::fuzz

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * "Shake": deterministic environmental perturbation (docs/FUZZING.md).
+ *
+ * A shake run executes the program in a hostile-but-reproducible
+ * environment: memory.grow failures injected on a seeded schedule,
+ * host "reads" returning fewer bytes than asked, host calls returning
+ * randomized results — every perturbation a pure function of the
+ * recorded seed. The run is captured to WZTR and replayVerify is the
+ * oracle: re-running under the same ShakeOptions (any tier) must
+ * reproduce the trace byte for byte.
+ *
+ * The injection points are deliberately tier-independent:
+ *  - Memory::setGrowFault sits under both the interpreter's and the
+ *    compiled tier's memory.grow implementation;
+ *  - host imports are resolved once at instantiation, shared by every
+ *    tier.
+ *
+ * makeShakeEnv() packages the whole environment as a trace::ReplayEnv,
+ * so recordTrace/replayVerify construct identical worlds on the
+ * recording and the verifying engine.
+ */
+
+#ifndef WIZPP_FUZZ_SHAKE_H
+#define WIZPP_FUZZ_SHAKE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/replay.h"
+
+namespace wizpp::fuzz {
+
+/** The recorded environment of one shake run. */
+struct ShakeOptions
+{
+    /** Seed for every perturbation stream (recorded in reproducers). */
+    uint64_t seed = 1;
+
+    /** Fail memory.grow on a seeded schedule (~1 in 2 per call). */
+    bool failMemGrow = false;
+
+    /**
+     * Short reads: an import shaped like a read — last param i32
+     * (the requested length), single i32 result — returns a seeded
+     * value in [0, requested] instead of the stub default.
+     */
+    bool shortReads = false;
+
+    /** Randomize every host-call result (seeded, finite floats). */
+    bool randomHost = false;
+
+    /** Bytes written to linear memory at offset 0 after instantiate. */
+    std::vector<uint8_t> memSeed;
+};
+
+/**
+ * Builds the ReplayEnv for @p opts against @p module: preInstantiate
+ * binds a deterministic host function for every function import (zero
+ * results unless a shake mode overrides); postInstantiate installs the
+ * grow-fault schedule and writes the memory seed. Each engine the env
+ * is applied to gets fresh per-import streams derived from the seed,
+ * so record and replay perturb identically.
+ */
+ReplayEnv makeShakeEnv(const Module& module, const ShakeOptions& opts);
+
+/**
+ * Parses a "grow,short,random" mode list into @p opts flags.
+ * Returns false (and leaves @p opts unspecified) on an unknown mode.
+ */
+bool parseShakeModes(const std::string& csv, ShakeOptions* opts);
+
+/** Renders the enabled modes back to the canonical csv ("" if none). */
+std::string shakeModesToString(const ShakeOptions& opts);
+
+} // namespace wizpp::fuzz
+
+#endif // WIZPP_FUZZ_SHAKE_H

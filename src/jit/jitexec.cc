@@ -21,7 +21,7 @@ struct JState
     Instance* inst;
     Frame* frame = nullptr;
     FuncState* fs = nullptr;
-    const JitCode* jc = nullptr;
+    JitCode* jc = nullptr;  ///< non-const: coverage slots self-patch
     uint32_t idx = 0;      ///< next instruction index
     uint32_t sp = 0;
     Signal signal = Signal::Done;
@@ -353,6 +353,31 @@ runJitTier(Engine& eng)
           case kJProbeCount:
             // Fully intrinsified counter increment (Figure 2, right).
             ++*static_cast<uint64_t*>(n.ptr);
+            J.idx++;
+            break;
+          case kJProbeCoverage: {
+            // One-shot coverage slot (docs/FUZZING.md): record the hit,
+            // then patch this very instruction into the covered nop so
+            // steady-state coverage costs one dispatch. The listener
+            // callback is M-code, so the epoch is re-checked like any
+            // intrinsified call; a listener that mutates
+            // instrumentation deopts here and the (invalidated) code —
+            // patched or not — is never re-entered.
+            uint64_t epoch = eng.instrumentationEpoch;
+            static_cast<CoverageProbe*>(n.ptr)->recordHit();
+            if (eng.instrumentationEpoch != epoch) {
+                J.frame->deoptRequested = false;
+                deoptHere(J, n.pc, /*skipProbes=*/true);
+                break;
+            }
+            J.jc->insts[J.idx].op = kJProbeCovered;
+            J.idx++;
+            break;
+          }
+          case kJProbeCovered:
+            // Self-patched coverage slot after its first fire: inert
+            // until the owning index batch-detaches the probe and the
+            // function recompiles without the slot.
             J.idx++;
             break;
           case kJProbeOperand: {

@@ -18,6 +18,7 @@ probeLoweringKindName(ProbeLoweringKind k)
       case ProbeLoweringKind::Fused: return "fused";
       case ProbeLoweringKind::GenericLite: return "generic-lite";
       case ProbeLoweringKind::Generic: return "generic";
+      case ProbeLoweringKind::Coverage: return "coverage";
     }
     return "?";
 }
@@ -42,6 +43,19 @@ lowerProbeSite(const EngineConfig& cfg, const ProbeManager::SiteView& site)
             low.kind = ProbeLoweringKind::Count;
             low.op = kJProbeCount;
             low.ptr = &static_cast<CountProbe*>(p)->count;
+            low.needsSpill = false;
+            low.pin = site.fired;
+            return low;
+        }
+        // CoverageProbe intrinsifies to the self-patching one-shot
+        // slot — recordHit() IS fire(), so the same exact-dynamic-type
+        // rule as CountProbe applies (a subclass overriding fire()
+        // must take the generic path).
+        if (cfg.intrinsifyCoverageProbe && p->isCoverageProbe() &&
+            typeid(*p) == typeid(CoverageProbe)) {
+            low.kind = ProbeLoweringKind::Coverage;
+            low.op = kJProbeCoverage;
+            low.ptr = static_cast<CoverageProbe*>(p);
             low.needsSpill = false;
             low.pin = site.fired;
             return low;

@@ -58,6 +58,19 @@ constexpr uint16_t kJProbeFused = 516;
 /** Generic probe whose declared access needs no frame checkpoint. */
 constexpr uint16_t kJProbeGenericLite = 517;
 
+/**
+ * Intrinsified one-shot CoverageProbe: a self-patching slot. The first
+ * execution records the hit, then rewrites its own JInst opcode to
+ * kJProbeCovered, so every later execution of the (still-attached)
+ * site costs exactly one dispatch until the owning index batch-detaches
+ * the fired probes and the function recompiles without the slot
+ * (docs/FUZZING.md).
+ */
+constexpr uint16_t kJProbeCoverage = 518;
+
+/** A coverage slot after its first fire: a pure nop (self-patched). */
+constexpr uint16_t kJProbeCovered = 519;
+
 /** How one probe site lowers into compiled code. */
 enum class ProbeLoweringKind : uint8_t {
     None,         ///< unprobed instruction (no probe JInst emitted)
@@ -67,7 +80,11 @@ enum class ProbeLoweringKind : uint8_t {
     Fused,        ///< kJProbeFused
     GenericLite,  ///< kJProbeGenericLite
     Generic,      ///< kJProbeGeneric
+    Coverage,     ///< kJProbeCoverage (one-shot self-patching slot)
 };
+
+/** Number of ProbeLoweringKind values (metrics/timeline loops). */
+constexpr int kNumProbeLoweringKinds = 8;
 
 /** Lowercase kind name ("count", "fused", ... ) for reports/tests. */
 const char* probeLoweringKindName(ProbeLoweringKind k);

@@ -153,6 +153,7 @@ class Probe
     virtual bool isCountProbe() const { return false; }
     virtual bool isOperandProbe() const { return false; }
     virtual bool isEntryExitProbe() const { return false; }
+    virtual bool isCoverageProbe() const { return false; }
 
     /**
      * Declared frame-state footprint (see FrameAccess). The compiled
@@ -238,6 +239,80 @@ class EntryExitProbe : public Probe
 
     /// The hook proper — the compiled tier's intrinsified entry point.
     virtual void fireActivation(const Activation& a) = 0;
+};
+
+/**
+ * A one-shot coverage bit: records "this location executed" exactly
+ * once, then becomes inert. The fundamental primitive of the fuzzing
+ * subsystem (src/fuzz/, docs/FUZZING.md).
+ *
+ * Lifecycle contract (the "self-patching slot" lowering of
+ * docs/FUZZING.md):
+ *
+ *  - First execution calls recordHit(): the hit bit is set and the
+ *    owning Listener (normally a fuzz::CoverageIndex) is notified
+ *    exactly once.
+ *  - The probe does NOT detach itself per fire — removeSelf() would
+ *    bump the instrumentation epoch and invalidate compiled code once
+ *    per covered location. Instead the listener batch-detaches every
+ *    fired probe via ProbeManager::removeBatch (one epoch bump for
+ *    thousands of bits), after which the bytecode byte is restored and
+ *    steady-state cost is literally zero.
+ *  - Between the first hit and the batch detach, the compiled tier's
+ *    intrinsified slot (kJProbeCoverage, src/jit/lowering.h) rewrites
+ *    itself into a nop after the first fire, so a covered location in
+ *    a hot loop costs one opcode dispatch, not a hit-bit load and
+ *    branch; the interpreter's generic path takes the idempotent
+ *    recordHit() early-out instead.
+ */
+class CoverageProbe : public Probe
+{
+  public:
+    /** Receives first-hit notifications; owns the batching policy. */
+    class Listener
+    {
+      public:
+        virtual ~Listener() = default;
+
+        /// Called exactly once per probe, on its first execution.
+        /// Fired from probe context (M-code rules apply): mutating
+        /// instrumentation here is legal but costs a deopt/epoch bump.
+        virtual void onCovered(CoverageProbe& probe) = 0;
+    };
+
+    CoverageProbe(uint32_t funcIndex, uint32_t pc,
+                  Listener* listener = nullptr)
+        : funcIndex(funcIndex), pc(pc), _listener(listener)
+    {}
+
+    void fire(ProbeContext&) override { recordHit(); }
+    bool isCoverageProbe() const override { return true; }
+    FrameAccess frameAccess() const override { return FrameAccess::None; }
+
+    /**
+     * Idempotent hit record — the intrinsified slot's entry point and
+     * the whole behavior of fire(). Subclasses overriding fire() lose
+     * intrinsification (the lowering pass requires the exact dynamic
+     * type, same rule as CountProbe).
+     */
+    void
+    recordHit()
+    {
+        if (_hit) return;
+        _hit = true;
+        if (_listener) _listener->onCovered(*this);
+    }
+
+    bool hit() const { return _hit; }
+
+    /// The location this bit covers (stamped at construction so the
+    /// listener needs no site lookup).
+    const uint32_t funcIndex;
+    const uint32_t pc;
+
+  private:
+    Listener* _listener;
+    bool _hit = false;
 };
 
 /** A probe with an empty fire function (Section 5.3's T_PD methodology). */

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "wasm/types.h"
@@ -43,6 +44,8 @@ class Memory
     grow(uint32_t delta)
     {
         uint64_t cur = pages();
+        if (_growFault && _growFault(delta, static_cast<uint32_t>(cur)))
+            return -1;
         uint64_t next = cur + delta;
         uint64_t cap = _limits.hasMax ? _limits.max : kMaxPages;
         if (next > cap || next > kMaxPages) return -1;
@@ -78,9 +81,24 @@ class Memory
 
     const Limits& limits() const { return _limits; }
 
+    /**
+     * Installs a fault-injection plan for grow(): when the predicate
+     * returns true for (delta, pagesBefore), the grow fails with -1
+     * exactly as a capacity miss would — the single tier-independent
+     * injection point both the interpreter and the compiled tier hit
+     * ("shake" perturbation, docs/FUZZING.md). Null disables injection.
+     * The instance's Memory is rebuilt on instantiate(), so plans must
+     * be (re)installed after instantiation.
+     */
+    void setGrowFault(std::function<bool(uint32_t, uint32_t)> fault)
+    {
+        _growFault = std::move(fault);
+    }
+
   private:
     Limits _limits;
     std::vector<uint8_t> _bytes;
+    std::function<bool(uint32_t, uint32_t)> _growFault;
 };
 
 } // namespace wizpp

@@ -9,7 +9,8 @@ namespace wizpp {
 std::vector<uint8_t>
 recordTrace(Module module, const EngineConfig& config,
             const std::string& entry, const std::vector<Value>& args,
-            const std::vector<std::pair<uint32_t, uint32_t>>& probePoints)
+            const std::vector<std::pair<uint32_t, uint32_t>>& probePoints,
+            const ReplayEnv& env)
 {
     Engine engine(config);
     auto lr = engine.loadModule(std::move(module));
@@ -21,8 +22,10 @@ recordTrace(Module module, const EngineConfig& config,
         recorder.addProbePoint(f, pc);
     }
 
+    if (env.preInstantiate) env.preInstantiate(engine);
     auto ir = engine.instantiate();
     if (!ir.ok()) return {};
+    if (env.postInstantiate) env.postInstantiate(engine);
 
     recorder.setInvocation(entry, args);
     auto r = engine.callExport(entry, args);
@@ -65,7 +68,7 @@ describeDivergence(const Trace& golden, const Trace& replay,
 
 ReplayOutcome
 replayVerify(const std::vector<uint8_t>& golden, Module module,
-             const EngineConfig& config)
+             const EngineConfig& config, const ReplayEnv& env)
 {
     ReplayOutcome out;
 
@@ -96,8 +99,8 @@ replayVerify(const std::vector<uint8_t>& golden, Module module,
         }
     }
 
-    std::vector<uint8_t> fresh =
-        recordTrace(std::move(module), config, g.entry, g.args, points);
+    std::vector<uint8_t> fresh = recordTrace(std::move(module), config,
+                                             g.entry, g.args, points, env);
     if (fresh.empty()) {
         out.message = "replay failed to load, instantiate or invoke "
                       "the recorded entry '" + g.entry + "'";

@@ -16,6 +16,7 @@
 #define WIZPP_TRACE_REPLAY_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,28 @@
 #include "trace/reader.h"
 
 namespace wizpp {
+
+/**
+ * Optional environment hooks for recordTrace/replayVerify. Both build a
+ * fresh Engine internally; a caller that needs host imports or
+ * fault-injection plans ("shake", src/fuzz/shake.h) supplies them here
+ * so record and replay construct *identical* environments — the
+ * determinism certificate covers the perturbations too.
+ *
+ *  - preInstantiate runs after loadModule + monitor attach, before
+ *    instantiate(): the place to populate engine.imports().
+ *  - postInstantiate runs after instantiate(): the place to install
+ *    Memory::setGrowFault plans and write memory seeds (the instance's
+ *    memory exists only from here on).
+ *
+ * Hooks must be deterministic functions of the engine they receive: a
+ * hook that consumes external state across calls breaks replay.
+ */
+struct ReplayEnv
+{
+    std::function<void(Engine&)> preInstantiate;
+    std::function<void(Engine&)> postInstantiate;
+};
 
 /** Outcome of a replay verification. */
 struct ReplayOutcome
@@ -44,7 +67,8 @@ struct ReplayOutcome
  * trace itself; the module must have the recorded fingerprint.
  */
 ReplayOutcome replayVerify(const std::vector<uint8_t>& golden,
-                           Module module, const EngineConfig& config);
+                           Module module, const EngineConfig& config,
+                           const ReplayEnv& env = {});
 
 /**
  * Records one invocation of @p entry(@p args) on a fresh engine built
@@ -55,7 +79,8 @@ ReplayOutcome replayVerify(const std::vector<uint8_t>& golden,
 std::vector<uint8_t> recordTrace(
     Module module, const EngineConfig& config, const std::string& entry,
     const std::vector<Value>& args,
-    const std::vector<std::pair<uint32_t, uint32_t>>& probePoints = {});
+    const std::vector<std::pair<uint32_t, uint32_t>>& probePoints = {},
+    const ReplayEnv& env = {});
 
 } // namespace wizpp
 

@@ -1,0 +1,773 @@
+/**
+ * @file
+ * Fuzzing-subsystem tests (docs/FUZZING.md): one-shot CoverageProbe
+ * semantics across every dispatch backend and tier (fires exactly
+ * once, batched self-detach, re-attach re-lowering, intrinsified vs
+ * generic lowering, the listener-mutates-instrumentation deopt path),
+ * coverage/edge parity against the trace sidecar, shake determinism
+ * (same seed ⇒ byte-identical WZTR across tiers; grow-fault,
+ * short-read and memory-seed injection), delta-minimization (unit and
+ * the planted-divergence ≤10%-of-trace acceptance criterion), the
+ * coverage-guided fuzzer's determinism and planted-trap discovery,
+ * and reproducer round-trip + cross-tier verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/coverage.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/minimize.h"
+#include "fuzz/repro.h"
+#include "fuzz/rng.h"
+#include "fuzz/shake.h"
+#include "test_util.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "trace/sidecar.h"
+
+using namespace wizpp;
+using namespace wizpp::fuzz;
+using wizpp::test::modeName;
+using wizpp::test::mustParse;
+
+namespace {
+
+/** A loop with an exit branch: one br_if site that goes both ways. */
+const char* kLoopWat = R"((module
+  (memory 1)
+  (func (export "run") (param i32) (result i32)
+    (local i32 i32)
+    (block
+      (loop
+        (br_if 1 (i32.ge_u (local.get 1) (local.get 0)))
+        (local.set 2 (i32.add (local.get 2) (local.get 1)))
+        (local.set 1 (i32.add (local.get 1) (i32.const 1)))
+        (br 0)))
+    (local.get 2)))
+)";
+
+/** Two host reads of the requested length (short-read shape). */
+const char* kReadWat = R"((module
+  (import "env" "read" (func $read (param i32) (result i32)))
+  (func (export "run") (param i32) (result i32)
+    (i32.add (call $read (local.get 0)) (call $read (local.get 0)))))
+)";
+
+/** Traps iff a grow-fault plan fails the grow. */
+const char* kGrowWat = R"((module
+  (memory 1)
+  (func (export "run") (param i32) (result i32)
+    (if (i32.eq (memory.grow (local.get 0)) (i32.const -1))
+      (then (unreachable)))
+    (memory.size)))
+)";
+
+/** Calls step(i) every iteration: the planted-divergence vehicle. */
+const char* kStepWat = R"((module
+  (import "env" "step" (func $step (param i32) (result i32)))
+  (func (export "run") (param i32) (result i32)
+    (local i32 i32)
+    (block
+      (loop
+        (br_if 1 (i32.ge_u (local.get 1) (local.get 0)))
+        (local.set 2 (i32.add (local.get 2)
+                              (call $step (local.get 1))))
+        (local.set 1 (i32.add (local.get 1) (i32.const 1)))
+        (br 0)))
+    (local.get 2)))
+)";
+
+/** The full mode × dispatch-backend matrix (3 tiers × 3 backends). */
+struct MatrixConfig
+{
+    EngineConfig cfg;
+    std::string name;
+};
+
+std::vector<MatrixConfig>
+fullMatrix()
+{
+    std::vector<MatrixConfig> out;
+    for (EngineConfig base : test::allModes()) {
+        for (DispatchBackend b : {DispatchBackend::Table,
+                                  DispatchBackend::Switch,
+                                  DispatchBackend::Threaded}) {
+            if (b == DispatchBackend::Threaded &&
+                !threadedDispatchSupported()) {
+                continue;
+            }
+            EngineConfig cfg = base;
+            cfg.dispatch = b;
+            out.push_back({cfg, std::string(modeName(cfg.mode)) + "/" +
+                                    dispatchBackendName(b)});
+        }
+    }
+    return out;
+}
+
+Trace
+mustRead(const std::vector<uint8_t>& bytes)
+{
+    auto r = readTrace(bytes);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().toString());
+    return r.ok() ? r.take() : Trace{};
+}
+
+/** Counts onCovered notifications per (func, pc). */
+class CountingListener : public CoverageProbe::Listener
+{
+  public:
+    void
+    onCovered(CoverageProbe& p) override
+    {
+        hits[{p.funcIndex, p.pc}]++;
+    }
+    std::map<std::pair<uint32_t, uint32_t>, int> hits;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CoverageProbe unit semantics
+// ---------------------------------------------------------------------
+
+TEST(CoverageProbeUnit, RecordHitIsIdempotentAndNotifiesOnce)
+{
+    CountingListener l;
+    CoverageProbe p(3, 7, &l);
+    EXPECT_FALSE(p.hit());
+    p.recordHit();
+    p.recordHit();
+    p.recordHit();
+    EXPECT_TRUE(p.hit());
+    EXPECT_EQ(1, (l.hits[{3u, 7u}]));
+}
+
+TEST(CoverageProbeUnit, DiscriminatorAndFrameAccess)
+{
+    CoverageProbe p(0, 0);
+    EXPECT_TRUE(p.isCoverageProbe());
+    EXPECT_FALSE(p.isCountProbe());
+    EXPECT_EQ(FrameAccess::None, p.frameAccess());
+}
+
+TEST(FuzzRng, DeterministicAndSaltSeparated)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 16; i++) EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 16; i++) differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+    EXPECT_NE(Rng::derive(1, 1).next(), Rng::derive(1, 2).next());
+    EXPECT_EQ(0u, Rng(1).below(0));
+}
+
+TEST(FailureSignatureUnit, ToStringParseRoundTrip)
+{
+    for (const char* s : {"none", "divergence"}) {
+        FailureSignature sig;
+        ASSERT_TRUE(FailureSignature::parse(s, &sig)) << s;
+        EXPECT_EQ(s, sig.toString());
+    }
+    FailureSignature trap;
+    trap.kind = FailureSignature::Kind::Trap;
+    trap.trap = TrapReason::DivByZero;
+    FailureSignature parsed;
+    ASSERT_TRUE(FailureSignature::parse(trap.toString(), &parsed));
+    EXPECT_TRUE(parsed.matches(trap));
+    EXPECT_EQ(TrapReason::DivByZero, parsed.trap);
+    EXPECT_FALSE(FailureSignature::parse("trap:bogus", &parsed));
+}
+
+// ---------------------------------------------------------------------
+// One-shot coverage across the full dispatch × tier matrix
+// ---------------------------------------------------------------------
+
+class CoverageMatrix : public ::testing::TestWithParam<MatrixConfig>
+{};
+
+TEST_P(CoverageMatrix, FiresExactlyOnceThenBatchDetaches)
+{
+    const MatrixConfig& mc = GetParam();
+    auto eng = std::make_unique<Engine>(mc.cfg);
+    ASSERT_TRUE(eng->loadModule(mustParse(kLoopWat)).ok());
+    CoverageIndex cov;
+    cov.attach(*eng);
+    ASSERT_TRUE(eng->instantiate().ok());
+
+    // A loop of 8 iterations executes every covered site many times,
+    // but each location bit reports exactly once.
+    Value r = test::run1(*eng, "run", {Value::makeI32(8)});
+    EXPECT_EQ(28u, static_cast<uint32_t>(r.bits)) << mc.name;
+    size_t covered = cov.sitesCovered();
+    EXPECT_GT(covered, 0u) << mc.name;
+    EXPECT_EQ(2u, cov.edgesCovered()) << mc.name;  // br_if both ways
+
+    // A second run adds nothing: every probe already fired.
+    cov.resetNewHits();
+    test::run1(*eng, "run", {Value::makeI32(8)});
+    EXPECT_EQ(0u, cov.newHits()) << mc.name;
+    EXPECT_EQ(covered, cov.sitesCovered()) << mc.name;
+
+    // flush() batch-detaches everything saturated; execution still
+    // works and coverage is remembered.
+    EXPECT_GT(cov.flush(), 0u) << mc.name;
+    r = test::run1(*eng, "run", {Value::makeI32(8)});
+    EXPECT_EQ(28u, static_cast<uint32_t>(r.bits)) << mc.name;
+    EXPECT_EQ(covered, cov.sitesCovered()) << mc.name;
+    EXPECT_EQ(0u, cov.flush()) << mc.name;  // nothing left to detach
+}
+
+TEST_P(CoverageMatrix, ReattachAfterFlushRelowersAndFiresAgain)
+{
+    const MatrixConfig& mc = GetParam();
+    auto eng = std::make_unique<Engine>(mc.cfg);
+    ASSERT_TRUE(eng->loadModule(mustParse(kLoopWat)).ok());
+    CoverageIndex first;
+    first.attach(*eng);
+    ASSERT_TRUE(eng->instantiate().ok());
+    test::run1(*eng, "run", {Value::makeI32(4)});
+    std::vector<std::pair<uint32_t, uint32_t>> sites =
+        first.coveredSites();
+    ASSERT_FALSE(sites.empty());
+    first.flush();
+
+    // A fresh index on the now-clean code re-lowers the same sites and
+    // observes the same coverage, once each.
+    CoverageIndex second;
+    second.attach(*eng);
+    test::run1(*eng, "run", {Value::makeI32(4)});
+    EXPECT_EQ(sites, second.coveredSites()) << mc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTiersAllBackends, CoverageMatrix,
+    ::testing::ValuesIn(fullMatrix()),
+    [](const ::testing::TestParamInfo<MatrixConfig>& info) {
+        std::string n = info.param.name;
+        std::replace(n.begin(), n.end(), '/', '_');
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// JIT lowering of the coverage slot
+// ---------------------------------------------------------------------
+
+TEST(CoverageLowering, IntrinsifiedSlotVsGenericPath)
+{
+    for (bool intrinsify : {true, false}) {
+        EngineConfig cfg;
+        cfg.mode = ExecMode::Jit;
+        cfg.intrinsifyCoverageProbe = intrinsify;
+        auto eng = std::make_unique<Engine>(cfg);
+        ASSERT_TRUE(eng->loadModule(mustParse(kLoopWat)).ok());
+        CoverageIndex cov;
+        CoverageOptions opts;
+        opts.branchEdges = false;  // pure coverage slots only
+        cov.attach(*eng, opts);
+        ASSERT_TRUE(eng->instantiate().ok());
+        Value r = test::run1(*eng, "run", {Value::makeI32(6)});
+        EXPECT_EQ(15u, static_cast<uint32_t>(r.bits));
+
+        double coverageLowered =
+            eng->metrics().value("jit.lowering.coverage");
+        if (intrinsify) {
+            EXPECT_GT(coverageLowered, 0) << "expected coverage slots";
+        } else {
+            EXPECT_EQ(0, coverageLowered)
+                << "coverage slots despite intrinsification off";
+        }
+        EXPECT_GT(cov.sitesCovered(), 0u);
+    }
+}
+
+namespace {
+
+/** Mutates instrumentation from probe context: inserts a CountProbe
+    the first time it hears any coverage — an epoch bump while the
+    coverage slot is mid-fire, forcing the JIT's deopt path. */
+class MutatingListener : public CoverageProbe::Listener
+{
+  public:
+    explicit MutatingListener(Engine* eng) : _eng(eng) {}
+
+    void
+    onCovered(CoverageProbe& p) override
+    {
+        covered++;
+        if (!_inserted) {
+            _inserted = true;
+            extra = std::make_shared<CountProbe>();
+            _eng->probes().insertLocal(p.funcIndex, p.pc, extra);
+        }
+    }
+
+    Engine* _eng;
+    bool _inserted = false;
+    int covered = 0;
+    std::shared_ptr<CountProbe> extra;
+};
+
+} // namespace
+
+TEST(CoverageLowering, ListenerMutationMidFireDeoptsCleanly)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    auto eng = std::make_unique<Engine>(cfg);
+    auto module = mustParse(kLoopWat);
+    ASSERT_TRUE(eng->loadModule(std::move(module)).ok());
+
+    MutatingListener listener(eng.get());
+    // Hand-plant coverage probes at every boundary of func 0 so the
+    // first fire happens inside JIT code.
+    const SideTable& st = eng->funcState(0).sideTable;
+    std::vector<std::shared_ptr<CoverageProbe>> owned;
+    std::vector<ProbeManager::SiteProbe> batch;
+    for (uint32_t pc : st.instrBoundaries) {
+        owned.push_back(
+            std::make_shared<CoverageProbe>(0, pc, &listener));
+        batch.push_back({0, pc, owned.back()});
+    }
+    eng->probes().insertBatch(batch);
+    ASSERT_TRUE(eng->instantiate().ok());
+
+    Value r = test::run1(*eng, "run", {Value::makeI32(8)});
+    EXPECT_EQ(28u, static_cast<uint32_t>(r.bits));
+    EXPECT_TRUE(listener._inserted);
+
+    // Every *executed* slot fired exactly once despite the mid-fire
+    // epoch bump. (`end` opcodes are branch targets' fall-throughs
+    // that never execute here, so not every boundary is reachable.)
+    int hit = 0;
+    for (const auto& p : owned) hit += p->hit() ? 1 : 0;
+    EXPECT_EQ(hit, listener.covered);
+    EXPECT_GT(listener.covered, 0);
+
+    // A second run re-executes the mutated site: the probe inserted
+    // from probe context fires, and no coverage bit double-reports.
+    int coveredAfterFirst = listener.covered;
+    r = test::run1(*eng, "run", {Value::makeI32(8)});
+    EXPECT_EQ(28u, static_cast<uint32_t>(r.bits));
+    EXPECT_EQ(coveredAfterFirst, listener.covered);
+    EXPECT_GT(listener.extra->count, 0u)
+        << "the probe inserted mid-fire must fire on re-execution";
+}
+
+// ---------------------------------------------------------------------
+// Parity: CoverageIndex edges vs the trace sidecar's branch analysis
+// ---------------------------------------------------------------------
+
+TEST(CoverageParity, EdgeSetMatchesTraceSidecarBranches)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+
+    // Reference: the recorded-trace sidecar over the same run.
+    std::vector<uint8_t> bytes = recordTrace(
+        mustParse(kLoopWat), cfg, "run", {Value::makeI32(5)});
+    TraceAnalysis analysis = analyzeTrace(mustRead(bytes));
+    ASSERT_FALSE(analysis.branches.empty());
+
+    auto eng = std::make_unique<Engine>(cfg);
+    ASSERT_TRUE(eng->loadModule(mustParse(kLoopWat)).ok());
+    CoverageIndex cov;
+    cov.attach(*eng);
+    ASSERT_TRUE(eng->instantiate().ok());
+    test::run1(*eng, "run", {Value::makeI32(5)});
+
+    std::map<uint64_t, uint8_t> edges = cov.branchEdges();
+    EXPECT_EQ(analysis.branches.size(), edges.size());
+    for (const auto& [key, counts] : analysis.branches) {
+        auto it = edges.find(key);
+        ASSERT_NE(edges.end(), it) << "sidecar site missing: " << key;
+        EXPECT_EQ(counts.taken > 0, (it->second & 1) != 0) << key;
+        EXPECT_EQ(counts.notTaken > 0, (it->second & 2) != 0) << key;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shake: deterministic perturbation, replay-verified
+// ---------------------------------------------------------------------
+
+TEST(Shake, SameSeedIsByteIdenticalAcrossTiersAndSeedsDiffer)
+{
+    ShakeOptions sh;
+    sh.seed = 9;
+    sh.shortReads = true;
+    sh.randomHost = true;
+    std::vector<Value> args{Value::makeI32(40)};
+
+    std::vector<uint8_t> golden;
+    for (EngineConfig cfg : test::allModes()) {
+        Module m = mustParse(kReadWat);
+        std::vector<uint8_t> t =
+            recordTrace(m, cfg, "run", args, {}, makeShakeEnv(m, sh));
+        ASSERT_FALSE(t.empty()) << modeName(cfg.mode);
+        if (golden.empty()) {
+            golden = t;
+        } else {
+            EXPECT_EQ(golden, t)
+                << modeName(cfg.mode) << " diverged from interpreter";
+        }
+    }
+
+    // Short reads stay within [0, asked]: two reads of 40 sum ≤ 80.
+    Trace t = mustRead(golden);
+    ASSERT_EQ(1u, t.results().size());
+    EXPECT_LE(static_cast<uint32_t>(t.results()[0].bits), 80u);
+
+    // A different seed perturbs differently (different host stream).
+    ShakeOptions other = sh;
+    other.seed = 10;
+    Module m = mustParse(kReadWat);
+    EngineConfig interp;
+    interp.mode = ExecMode::Interpreter;
+    std::vector<uint8_t> t2 =
+        recordTrace(m, interp, "run", args, {}, makeShakeEnv(m, other));
+    EXPECT_NE(golden, t2);
+}
+
+TEST(Shake, GrowFaultInjectsTierIndependently)
+{
+    ShakeOptions sh;
+    sh.seed = 1;  // first grow fails under this seed (see fixtures)
+    sh.failMemGrow = true;
+    std::vector<Value> args{Value::makeI32(1)};
+    EngineConfig interp;
+    interp.mode = ExecMode::Interpreter;
+
+    Module m = mustParse(kGrowWat);
+    std::vector<uint8_t> shaken =
+        recordTrace(m, interp, "run", args, {}, makeShakeEnv(m, sh));
+    ASSERT_EQ(TrapReason::Unreachable, mustRead(shaken).trapReason())
+        << "seed 1 must fail the first grow";
+
+    // The same environment reproduces the trap byte-for-byte on the
+    // compiled tiers: the injection point is under all of them.
+    for (EngineConfig cfg :
+         {test::allModes()[1], test::allModes()[2]}) {
+        Module fresh = mustParse(kGrowWat);
+        ReplayEnv env = makeShakeEnv(fresh, sh);
+        ReplayOutcome o = replayVerify(shaken, std::move(fresh), cfg, env);
+        EXPECT_TRUE(o.ok) << modeName(cfg.mode) << ": " << o.message;
+    }
+
+    // Without the plan the grow succeeds and nothing traps.
+    std::vector<uint8_t> clean =
+        recordTrace(mustParse(kGrowWat), interp, "run", args);
+    EXPECT_EQ(TrapReason::None, mustRead(clean).trapReason());
+    EXPECT_NE(shaken, clean);
+}
+
+TEST(Shake, MemorySeedIsWrittenAtOffsetZero)
+{
+    const char* wat = R"((module (memory 1)
+      (func (export "run") (result i32) (i32.load (i32.const 0)))))";
+    ShakeOptions sh;
+    sh.memSeed = {0x78, 0x56, 0x34, 0x12};
+    EngineConfig interp;
+    interp.mode = ExecMode::Interpreter;
+    Module m = mustParse(wat);
+    Trace t = mustRead(
+        recordTrace(m, interp, "run", {}, {}, makeShakeEnv(m, sh)));
+    ASSERT_EQ(1u, t.results().size());
+    EXPECT_EQ(0x12345678u, static_cast<uint32_t>(t.results()[0].bits));
+}
+
+// ---------------------------------------------------------------------
+// Delta-minimization
+// ---------------------------------------------------------------------
+
+TEST(Minimize, DdminShrinksToTheSingleRelevantByte)
+{
+    FailureSignature target;
+    target.kind = FailureSignature::Kind::Trap;
+    target.trap = TrapReason::Unreachable;
+    FailureRunner run = [&](const std::vector<uint8_t>& in) {
+        FailureSignature sig;
+        if (std::count(in.begin(), in.end(), 0x42) > 0) sig = target;
+        return sig;
+    };
+    std::vector<uint8_t> input(64, 0x11);
+    input[37] = 0x42;
+    MinimizeResult m = minimizeInput(input, run, target);
+    EXPECT_EQ(std::vector<uint8_t>{0x42}, m.input);
+    EXPECT_GT(m.execs, 0u);
+}
+
+TEST(Minimize, NonReproducingInputIsReturnedUnchanged)
+{
+    FailureSignature target;
+    target.kind = FailureSignature::Kind::Divergence;
+    FailureRunner run = [](const std::vector<uint8_t>&) {
+        return FailureSignature{};  // never fails
+    };
+    std::vector<uint8_t> input{1, 2, 3};
+    MinimizeResult m = minimizeInput(input, run, target);
+    EXPECT_EQ(input, m.input);
+}
+
+TEST(Minimize, RespectsTheExecBudget)
+{
+    FailureSignature target;
+    target.kind = FailureSignature::Kind::Divergence;
+    size_t calls = 0;
+    FailureRunner run = [&](const std::vector<uint8_t>&) {
+        calls++;
+        return target;  // always fails: worst case for the budget
+    };
+    MinimizeOptions opts;
+    opts.maxExecs = 10;
+    std::vector<uint8_t> input(256, 0xee);
+    MinimizeResult m = minimizeInput(input, run, target, opts);
+    EXPECT_LE(m.execs, opts.maxExecs + 1);
+    EXPECT_LE(calls, opts.maxExecs + 1);
+    EXPECT_LT(m.input.size(), input.size()) << "budget spent shrinking";
+}
+
+/** The acceptance criterion: a planted cross-environment divergence
+    minimizes to ≤10% of the original trace length. */
+TEST(Minimize, PlantedDivergenceShrinksBelowTenPercentOfTrace)
+{
+    Module module = mustParse(kStepWat);
+    EngineConfig interp;
+    interp.mode = ExecMode::Interpreter;
+
+    // Two hand-built environments that agree on step(i) for i < 5 and
+    // disagree from i == 5 on: any run reaching the sixth call
+    // diverges, shorter runs do not.
+    auto envReturning = [](int divergeFrom) {
+        ReplayEnv env;
+        env.preInstantiate = [divergeFrom](Engine& eng) {
+            FuncType ty;
+            ty.params = {ValType::I32};
+            ty.results = {ValType::I32};
+            eng.imports().addFunc(
+                "env", "step",
+                HostFunc{ty, [divergeFrom](
+                                 const std::vector<Value>& args,
+                                 std::vector<Value>* results) {
+                             int32_t i = static_cast<int32_t>(
+                                 args[0].bits);
+                             int32_t v =
+                                 i >= divergeFrom ? i + 100 : i;
+                             results->push_back(Value::makeI32(v));
+                             return TrapReason::None;
+                         }});
+        };
+        return env;
+    };
+
+    auto traceWith = [&](int divergeFrom, uint32_t n) {
+        ReplayEnv env = envReturning(divergeFrom);
+        return recordTrace(module, interp, "run",
+                           {Value::makeI32(static_cast<int32_t>(n))},
+                           {}, env);
+    };
+    auto eventsOf = [&](const std::vector<uint8_t>& t) {
+        return mustRead(t).events.size();
+    };
+
+    FailureSignature target;
+    target.kind = FailureSignature::Kind::Divergence;
+    FailureRunner run = [&](const std::vector<uint8_t>& in) {
+        uint32_t n = in.empty() ? 0 : in[0];
+        FailureSignature sig;
+        if (traceWith(5, n) != traceWith(1000, n)) sig = target;
+        return sig;
+    };
+
+    std::vector<uint8_t> original{200, 0, 0, 0};
+    ASSERT_TRUE(run(original).failing());
+    size_t originalEvents = eventsOf(traceWith(5, 200));
+
+    MinimizeResult m = minimizeInput(original, run, target);
+    ASSERT_TRUE(run(m.input).failing());
+    ASSERT_EQ(1u, m.input.size());
+    EXPECT_EQ(6u, m.input[0]) << "smallest n reaching the sixth call";
+
+    size_t minimizedEvents = eventsOf(traceWith(5, m.input[0]));
+    EXPECT_LE(minimizedEvents * 10, originalEvents)
+        << minimizedEvents << " events vs " << originalEvents
+        << " — reproducer trace prefix not minimal enough";
+}
+
+// ---------------------------------------------------------------------
+// The coverage-guided fuzzer
+// ---------------------------------------------------------------------
+
+TEST(Fuzzer, FindsAndMinimizesAPlantedTrap)
+{
+    const char* wat = R"((module
+      (func (export "run") (param i32) (result i32)
+        (i32.div_s (i32.const 1000) (local.get 0)))))";
+    FuzzOptions opts;
+    opts.entry = "run";
+    opts.seed = 5;
+    opts.runs = 40;
+    opts.watSource = wat;
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+
+    FuzzResult r = runFuzzer(mustParse(wat), cfg, opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(1u, r.findings.size());
+    const FuzzFinding& f = r.findings[0];
+    EXPECT_EQ(FailureSignature::Kind::Trap, f.signature.kind);
+    EXPECT_EQ(TrapReason::DivByZero, f.signature.trap);
+    EXPECT_TRUE(f.input.empty()) << "zero divisor minimizes to no input";
+    EXPECT_GT(f.minTraceEvents, 0u);
+
+    // The packaged reproducer verifies across all three tiers.
+    ASSERT_TRUE(f.haveRepro);
+    ReproVerdict v = verifyReproducer(f.repro);
+    EXPECT_TRUE(v.ok) << v.message;
+}
+
+TEST(Fuzzer, CampaignIsDeterministicInItsSeed)
+{
+    Module module = mustParse(kLoopWat);
+    FuzzOptions opts;
+    opts.entry = "run";
+    opts.seed = 7;
+    opts.runs = 48;
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+
+    FuzzResult a = runFuzzer(module, cfg, opts);
+    FuzzResult b = runFuzzer(module, cfg, opts);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.execs, b.execs);
+    EXPECT_EQ(a.corpusSize, b.corpusSize);
+    EXPECT_EQ(a.sitesCovered, b.sitesCovered);
+    EXPECT_EQ(a.edgesCovered, b.edgesCovered);
+    EXPECT_EQ(a.findings.size(), b.findings.size());
+
+    FuzzOptions other = opts;
+    other.seed = 8;
+    FuzzResult c = runFuzzer(module, cfg, other);
+    ASSERT_TRUE(c.ok);
+    EXPECT_EQ(c.seed, 8u) << "the campaign seed is recorded";
+}
+
+TEST(Fuzzer, CoverageGuidanceGrowsTheCorpus)
+{
+    FuzzOptions opts;
+    opts.entry = "run";
+    opts.seed = 3;
+    opts.runs = 64;
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Jit;
+    FuzzResult r = runFuzzer(mustParse(kLoopWat), cfg, opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.corpusSize, 2u) << "new coverage should admit inputs";
+    EXPECT_GT(r.sitesCovered, 0u);
+    EXPECT_EQ(r.edgesCovered, r.edgesTotal) << "loop covers both ways";
+}
+
+TEST(Fuzzer, UnknownEntryIsAnErrorNotACrash)
+{
+    FuzzOptions opts;
+    opts.entry = "nope";
+    FuzzResult r = runFuzzer(mustParse(kLoopWat), EngineConfig{}, opts);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(std::string::npos, r.error.find("nope"));
+}
+
+// ---------------------------------------------------------------------
+// Reproducers
+// ---------------------------------------------------------------------
+
+TEST(Repro, ValueTextIsRawBitExactForFloats)
+{
+    // A NaN payload survives because floats render as raw-bit hex.
+    Value nan{};
+    nan.type = ValType::F32;
+    nan.bits = 0x7fc00123u;
+    Value out{};
+    ASSERT_TRUE(valueFromText(valueToText(nan), &out));
+    EXPECT_EQ(nan.bits, out.bits);
+    EXPECT_EQ(ValType::F32, out.type);
+
+    for (Value v : {Value::makeI32(-5),
+                    Value::makeI64(static_cast<int64_t>(1) << 40),
+                    Value::makeF64(3.25)}) {
+        Value round{};
+        ASSERT_TRUE(valueFromText(valueToText(v), &round))
+            << valueToText(v);
+        EXPECT_EQ(v.type, round.type);
+        EXPECT_EQ(v.bits, round.bits);
+    }
+    EXPECT_FALSE(valueFromText("q32:1", &out));
+}
+
+TEST(Repro, RenderParseRoundTrip)
+{
+    Reproducer r;
+    r.entry = "run";
+    r.seed = 77;
+    r.shakeModes = "grow,short";
+    r.expect.kind = FailureSignature::Kind::Trap;
+    r.expect.trap = TrapReason::Unreachable;
+    r.args = {Value::makeI32(-3), Value::makeF64(1.5)};
+    r.memSeed = {0xde, 0xad};
+    r.trace = {0x57, 0x5a, 0x54, 0x52};
+    r.watModule = "(module)";
+
+    auto parsed = parseReproducer(renderReproducer(r));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().toString();
+    const Reproducer& p = parsed.value();
+    EXPECT_EQ(r.entry, p.entry);
+    EXPECT_EQ(r.seed, p.seed);
+    EXPECT_EQ(r.shakeModes, p.shakeModes);
+    EXPECT_TRUE(r.expect.matches(p.expect));
+    ASSERT_EQ(2u, p.args.size());
+    EXPECT_EQ(r.args[0].bits, p.args[0].bits);
+    EXPECT_EQ(r.args[1].bits, p.args[1].bits);
+    EXPECT_EQ(r.memSeed, p.memSeed);
+    EXPECT_EQ(r.trace, p.trace);
+    EXPECT_EQ(r.watModule, p.watModule);
+
+    EXPECT_FALSE(parseReproducer("not a reproducer").ok());
+}
+
+TEST(Repro, TamperedGoldenTraceFailsVerification)
+{
+    const char* wat = R"((module
+      (func (export "run") (param i32) (result i32)
+        (i32.div_s (i32.const 10) (local.get 0)))))";
+    FuzzOptions opts;
+    opts.entry = "run";
+    opts.seed = 2;
+    opts.runs = 16;
+    opts.watSource = wat;
+    FuzzResult r = runFuzzer(mustParse(wat), EngineConfig{}, opts);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(1u, r.findings.size());
+    ASSERT_TRUE(r.findings[0].haveRepro);
+
+    Reproducer tampered = r.findings[0].repro;
+    ASSERT_FALSE(tampered.trace.empty());
+    tampered.trace.back() ^= 0xff;
+    EXPECT_FALSE(verifyReproducer(tampered).ok);
+}
+
+TEST(Repro, ShakeModesRoundTripThroughTheFormat)
+{
+    ShakeOptions sh;
+    ASSERT_TRUE(parseShakeModes("grow,short,random", &sh));
+    EXPECT_TRUE(sh.failMemGrow && sh.shortReads && sh.randomHost);
+    EXPECT_EQ("grow,short,random", shakeModesToString(sh));
+    ShakeOptions none;
+    EXPECT_EQ("", shakeModesToString(none));
+    EXPECT_FALSE(parseShakeModes("grow,bogus", &sh));
+}

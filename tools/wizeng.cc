@@ -28,6 +28,12 @@
  *     --profile=<file>     sampling profiler -> folded stacks
  *     --profile-budget=<n> probe fires between samples (default 4096)
  *     --profile-every-instr  sample sites at every instruction
+ *     --fuzz=<entry>       coverage-guided fuzzing campaign against an
+ *                          exported entry (docs/FUZZING.md)
+ *     --fuzz-runs/--fuzz-seed/--fuzz-max-arg/--fuzz-out  campaign knobs
+ *     --shake=grow,short,random  deterministic perturbation modes
+ *     --shake-seed=<n>     perturbation seed (recorded)
+ *     --repro=<file>       verify a fuzz reproducer across all tiers
  *   `@name` runs a built-in corpus program (e.g. @gemm, @richards).
  *
  * Every flag lives in kFlags below: --help renders the table, and an
@@ -37,6 +43,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,6 +53,9 @@
 #include "analysis/audit.h"
 #include "analysis/taint.h"
 #include "engine/engine.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/repro.h"
+#include "fuzz/shake.h"
 #include "monitors/debugger.h"
 #include "monitors/monitors.h"
 #include "obs/metrics.h"
@@ -83,7 +93,7 @@ constexpr FlagSpec kFlags[] = {
     {"--mode", "=int|jit|tiered", "execution mode (default jit)"},
     {"--dispatch", "=threaded|switch|table",
      "interpreter dispatch backend (default: build setting)"},
-    {"--no-intrinsify", "[=count,operand,entry,fused]",
+    {"--no-intrinsify", "[=count,operand,entry,fused,coverage]",
      "disable probe intrinsification, all kinds or a subset"},
     {"--invoke", "=<export>", "entry point (default run, then main)"},
     {"--list-programs", "", "list built-in corpus programs and exit"},
@@ -108,6 +118,20 @@ constexpr FlagSpec kFlags[] = {
      "profiler probe fires between samples (default 4096)"},
     {"--profile-every-instr", "",
      "profiler samples at every instruction, not entries+loops"},
+    {"--fuzz", "=<entry>",
+     "coverage-guided fuzzing campaign against an exported entry"},
+    {"--fuzz-runs", "=<n>", "fuzz executions to attempt (default 256)"},
+    {"--fuzz-seed", "=<n>", "fuzz campaign PRNG seed (default 1)"},
+    {"--fuzz-max-arg", "=<n>",
+     "clamp integer entry args to [0, n] (default 64; 0 = raw)"},
+    {"--fuzz-out", "=<dir>",
+     "write minimized finding reproducers to <dir>"},
+    {"--shake", "=<grow,short,random>",
+     "deterministic perturbation: grow failures, short reads, random "
+     "host results"},
+    {"--shake-seed", "=<n>", "perturbation seed (default 1, recorded)"},
+    {"--repro", "=<file>",
+     "verify a fuzz reproducer file across all three tiers"},
     {"--help", "", "show this help and exit"},
 };
 
@@ -357,6 +381,12 @@ main(int argc, char** argv)
     std::string timelineFile;
     std::string profileFile;
     obs::SamplingProfiler::Options profOpts;
+    fuzz::FuzzOptions fuzzOpts;
+    bool fuzzRequested = false;
+    std::string fuzzOutDir;
+    std::string shakeModes;
+    bool shakeRequested = false;
+    std::string reproFile;
 
     for (int i = 1; i < argc; i++) {
         std::string a = argv[i];
@@ -391,6 +421,7 @@ main(int argc, char** argv)
             config.intrinsifyOperandProbe = false;
             config.intrinsifyEntryExitProbe = false;
             config.intrinsifyFusedProbe = false;
+            config.intrinsifyCoverageProbe = false;
         } else if (a.rfind("--no-intrinsify=", 0) == 0) {
             for (const std::string& kind : split(a.substr(16), ',')) {
                 if (kind == "count") {
@@ -401,9 +432,12 @@ main(int argc, char** argv)
                     config.intrinsifyEntryExitProbe = false;
                 } else if (kind == "fused") {
                     config.intrinsifyFusedProbe = false;
+                } else if (kind == "coverage") {
+                    config.intrinsifyCoverageProbe = false;
                 } else {
                     std::cerr << "unknown intrinsify kind '" << kind
-                              << "' (count, operand, entry, fused)\n";
+                              << "' (count, operand, entry, fused, "
+                                 "coverage)\n";
                     return 1;
                 }
             }
@@ -444,6 +478,37 @@ main(int argc, char** argv)
             }
         } else if (a == "--profile-every-instr") {
             profOpts.everyInstruction = true;
+        } else if (a.rfind("--fuzz=", 0) == 0) {
+            fuzzOpts.entry = a.substr(7);
+            fuzzRequested = true;
+        } else if (a.rfind("--fuzz-runs=", 0) == 0) {
+            fuzzOpts.runs = static_cast<uint32_t>(
+                strtoul(a.c_str() + 12, nullptr, 0));
+            if (fuzzOpts.runs == 0) {
+                std::cerr << "--fuzz-runs must be >= 1\n";
+                return 1;
+            }
+        } else if (a.rfind("--fuzz-seed=", 0) == 0) {
+            fuzzOpts.seed = strtoull(a.c_str() + 12, nullptr, 0);
+        } else if (a.rfind("--fuzz-max-arg=", 0) == 0) {
+            fuzzOpts.maxArg = static_cast<uint32_t>(
+                strtoul(a.c_str() + 15, nullptr, 0));
+        } else if (a.rfind("--fuzz-out=", 0) == 0) {
+            fuzzOutDir = a.substr(11);
+        } else if (a.rfind("--shake=", 0) == 0) {
+            shakeModes = a.substr(8);
+            shakeRequested = true;
+            fuzz::ShakeOptions probeParse;
+            if (!fuzz::parseShakeModes(shakeModes, &probeParse)) {
+                std::cerr << "unknown shake mode in '" << shakeModes
+                          << "' (grow, short, random)\n";
+                return 1;
+            }
+        } else if (a.rfind("--shake-seed=", 0) == 0) {
+            fuzzOpts.shake.seed = strtoull(a.c_str() + 13, nullptr, 0);
+            shakeRequested = true;
+        } else if (a.rfind("--repro=", 0) == 0) {
+            reproFile = a.substr(8);
         } else if (a.rfind("--", 0) == 0) {
             // Only `--`-prefixed arguments are flags; bare words are
             // the target and numeric program arguments (which may be
@@ -456,8 +521,36 @@ main(int argc, char** argv)
                 static_cast<int32_t>(strtol(a.c_str(), nullptr, 0))));
         }
     }
+    // --repro is fully self-contained (the reproducer embeds its
+    // module, entry, args and environment) and replaces execution.
+    if (!reproFile.empty()) {
+        if (!target.empty() || fuzzRequested || shakeRequested ||
+            !traceFile.empty() || !replayFile.empty() ||
+            !monitorList.empty()) {
+            std::cerr << "--repro is self-contained and cannot be "
+                         "combined with a module or other modes\n";
+            return 1;
+        }
+        auto rr = fuzz::readReproducer(reproFile);
+        if (!rr.ok()) {
+            std::cerr << rr.error().toString() << "\n";
+            return 1;
+        }
+        fuzz::ReproVerdict verdict = fuzz::verifyReproducer(rr.value());
+        std::cout << reproFile << ": " << verdict.message << "\n";
+        return verdict.ok ? 0 : 1;
+    }
     if (target.empty()) {
         usage();
+        return 1;
+    }
+    if (fuzzRequested &&
+        (!traceFile.empty() || !replayFile.empty() ||
+         !emitWasmFile.empty() || !monitorList.empty() ||
+         !analyzeKind.empty() || auditLowering || !profileFile.empty())) {
+        std::cerr << "--fuzz replaces normal execution and cannot be "
+                     "combined with --trace/--replay-check/--emit-wasm/"
+                     "--monitors/--analyze/--audit-lowering/--profile\n";
         return 1;
     }
     // --replay-check and --emit-wasm replace normal execution; flags
@@ -506,7 +599,10 @@ main(int argc, char** argv)
     }
 
     // Resolve the module: corpus program, .wat file, or .wasm file.
+    // The WAT source text is kept when available: fuzz reproducers
+    // embed their module.
     Module module;
+    std::string watSource;
     uint32_t defaultN = 1;
     if (target[0] == '@') {
         const BenchProgram* p = findProgram(target.substr(1));
@@ -520,6 +616,7 @@ main(int argc, char** argv)
             return 1;
         }
         module = r.take();
+        watSource = p->wat;
         if (entry.empty()) entry = p->entry;
         defaultN = p->defaultN;
     } else {
@@ -539,18 +636,56 @@ main(int argc, char** argv)
             }
             module = r.take();
         } else {
-            auto r = parseWat(std::string(bytes.begin(), bytes.end()));
+            std::string source(bytes.begin(), bytes.end());
+            auto r = parseWat(source);
             if (!r.ok()) {
                 std::cerr << "parse: " << r.error().toString() << "\n";
                 return 1;
             }
             module = r.take();
+            watSource = std::move(source);
         }
     }
 
     if (timeline) {
         timeline->end(
             {{"functions", std::to_string(module.functions.size())}});
+    }
+
+    if (!shakeModes.empty() &&
+        !fuzz::parseShakeModes(shakeModes, &fuzzOpts.shake)) {
+        std::cerr << "unknown shake mode in '" << shakeModes << "'\n";
+        return 1;
+    }
+
+    if (fuzzRequested) {
+        fuzzOpts.watSource = watSource;
+        fuzz::FuzzResult fr = fuzz::runFuzzer(module, config, fuzzOpts);
+        fuzz::writeFuzzReport(std::cout, fr);
+        if (!fr.ok) return 1;
+        if (!fuzzOutDir.empty() && !fr.findings.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(fuzzOutDir, ec);
+            for (const fuzz::FuzzFinding& f : fr.findings) {
+                if (!f.haveRepro) continue;
+                std::string name = f.signature.toString();
+                for (char& c : name) {
+                    if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                        c != '-' && c != '.') {
+                        c = '_';
+                    }
+                }
+                std::string path = fuzzOutDir + "/" + name + ".repro";
+                if (!fuzz::writeReproducer(path, f.repro)) {
+                    std::cerr << "cannot write " << path << "\n";
+                    return 1;
+                }
+                std::cout << "wrote " << path << "\n";
+            }
+        }
+        // Findings exit distinctly so scripts can tell "campaign ran,
+        // bugs found" from "campaign failed to run".
+        return fr.findings.empty() ? 0 : 3;
     }
 
     if (!analyzeKind.empty()) return runAnalyze(module, analyzeKind);
@@ -579,7 +714,14 @@ main(int argc, char** argv)
         std::vector<uint8_t> golden(
             (std::istreambuf_iterator<char>(in)),
             std::istreambuf_iterator<char>());
-        ReplayOutcome o = replayVerify(golden, std::move(module), config);
+        // A shake recording replays only under the same recorded
+        // environment, so --shake/--shake-seed apply here too.
+        ReplayEnv env;
+        if (shakeRequested) {
+            env = fuzz::makeShakeEnv(module, fuzzOpts.shake);
+        }
+        ReplayOutcome o =
+            replayVerify(golden, std::move(module), config, env);
         std::cout << o.message << "\n";
         return o.ok ? 0 : 1;
     }
@@ -622,11 +764,19 @@ main(int argc, char** argv)
         engine.attachMonitor(profiler.get());
     }
 
+    // A shaken normal run: same environment hooks record/replay use,
+    // applied around instantiation (imports before, memory plan after).
+    ReplayEnv shakeEnv;
+    if (shakeRequested) {
+        shakeEnv = fuzz::makeShakeEnv(engine.module(), fuzzOpts.shake);
+        shakeEnv.preInstantiate(engine);
+    }
     auto ir = engine.instantiate();
     if (!ir.ok()) {
         std::cerr << "instantiate: " << ir.error().toString() << "\n";
         return 1;
     }
+    if (shakeRequested) shakeEnv.postInstantiate(engine);
 
     if (auditLowering) return runAudit(engine, auditSelftest);
 
