@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Serving-runtime benchmark: one ValidatedModule shared by an
+ * InstancePool fleet, thousands of short-lived invocations through
+ * the work-stealing executor, instrumented vs not, at 1/4/16 worker
+ * threads (docs/SERVING.md, docs/BENCHMARKS.md).
+ *
+ * Acceptance invariants held by scripts/check_bench.py, all same-run
+ * (cross-machine comparisons of threaded latency are noise):
+ *
+ *  - --serving-p50-ceiling: with the steady-state serving
+ *    instrumentation attached (one CountProbe per function entry),
+ *    p50 invocation latency stays <= 1.10x uninstrumented at every
+ *    thread count (`serve.t<N>.instr_p50_ratio`).
+ *  - --serving-scaling-floor: uninstrumented invocations/sec scale
+ *    >= 3.5x from 1 to 16 workers (`serve.scaling_t1_t16`) — gated
+ *    only when the recorded `serve.hw_threads` is >= 16, so a small
+ *    CI box reports the number without flaking on it.
+ *  - --serving-pause-ceiling: batch-attaching a CountProbe at every
+ *    instruction boundary (>= 10k sites) against 16 busy workers
+ *    keeps the worst per-worker quiescent-point pause below the
+ *    uninstrumented t16 p99 (`serve.pause.vs_p99` < 1.0).
+ *
+ * Latencies are exact per-invocation samples (per-worker vectors, no
+ * histogram bucketing) so the p50 ratio is meaningful at 1.10x. Fire
+ * counts from a fixed-work phase are deterministic and gated
+ * symmetrically. Emits BENCH_serving.json and results/serving.csv.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "monitors/monitor.h"
+#include "serve/pool.h"
+#include "wasm/validator.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+constexpr int kFuncs = 64;
+constexpr int kRoundsPerFunc = 26;  // ~160 instrs/func -> >=10k sites
+
+/**
+ * The synthetic serving module: kFuncs straight-line arithmetic
+ * functions (the >= 10k probe sites) plus an exported "run" whose
+ * parameter scales dynamic work, so service time is calibrated at
+ * runtime without changing the module's static shape.
+ */
+std::string
+makeServingWat()
+{
+    std::ostringstream w;
+    w << "(module\n";
+    for (int i = 0; i < kFuncs; i++) {
+        w << "  (func $w" << i << " (param $x i32) (result i32)\n"
+          << "    (local $a i32)\n"
+          << "    (local.set $a (local.get $x))\n";
+        for (int k = 0; k < kRoundsPerFunc; k++) {
+            w << "    (local.set $a (i32.add (i32.mul (local.get $a)"
+              << " (i32.const 3)) (i32.const " << (i + k + 1)
+              << ")))\n";
+        }
+        w << "    (local.get $a))\n";
+    }
+    w << "  (func (export \"run\") (param $r i32) (result i32)\n"
+      << "    (local $i i32) (local $a i32)\n"
+      << "    (block $x (loop $t\n"
+      << "      (br_if $x (i32.ge_u (local.get $i) (local.get $r)))\n";
+    for (int i = 0; i < kFuncs; i++) {
+        w << "      (local.set $a (call $w" << i
+          << " (local.get $a)))\n";
+    }
+    w << "      (local.set $i (i32.add (local.get $i) (i32.const 1)))\n"
+      << "      (br $t)))\n"
+      << "    (local.get $a))\n"
+      << ")";
+    return w.str();
+}
+
+/** One CountProbe at every function's first instruction boundary —
+    the steady-state serving instrumentation (--serve-instrument=entry). */
+std::vector<ProbeManager::SiteProbe>
+entryPlan(Engine& eng)
+{
+    std::vector<ProbeManager::SiteProbe> probes;
+    for (uint32_t fi = 0; fi < eng.numFuncs(); fi++) {
+        FuncState& fs = eng.funcState(fi);
+        if (fs.decl->imported || fs.sideTable.instrBoundaries.empty())
+            continue;
+        probes.push_back({fi, fs.sideTable.instrBoundaries.front(),
+                          std::make_shared<CountProbe>()});
+    }
+    return probes;
+}
+
+/** A CountProbe at *every* instruction boundary: the 10k-site batch. */
+std::vector<ProbeManager::SiteProbe>
+everySitePlan(Engine& eng)
+{
+    std::vector<ProbeManager::SiteProbe> probes;
+    for (uint32_t fi = 0; fi < eng.numFuncs(); fi++) {
+        FuncState& fs = eng.funcState(fi);
+        if (fs.decl->imported) continue;
+        for (uint32_t pc : fs.sideTable.instrBoundaries) {
+            probes.push_back({fi, pc, std::make_shared<CountProbe>()});
+        }
+    }
+    return probes;
+}
+
+struct LoadRun
+{
+    double wallS = 0;
+    std::vector<uint64_t> latUs;  ///< exact, merged across workers
+};
+
+uint64_t
+quantileUs(std::vector<uint64_t>& xs, double q)
+{
+    if (xs.empty()) return 0;
+    std::sort(xs.begin(), xs.end());
+    size_t i = (size_t)(q * (double)(xs.size() - 1));
+    return xs[i];
+}
+
+std::atomic<uint64_t> gTraps{0};
+
+/**
+ * Drives @p requests invocations through the pool's executor,
+ * recording the exact service time of each into a per-worker vector
+ * (owner-thread writes only; merged after drain). Submitting directly
+ * keeps the timed region to the call itself — queueing delay is
+ * reported via wall-clock throughput instead.
+ */
+LoadRun
+runLoad(serve::InstancePool& pool, uint32_t f, int requests, int r)
+{
+    uint32_t workers = pool.workers();
+    std::vector<std::vector<uint64_t>> lat(workers);
+    for (auto& v : lat) v.reserve((size_t)requests);
+    std::vector<Value> args{Value::makeI32(r)};
+
+    double t0 = nowSeconds();
+    for (int i = 0; i < requests; i++) {
+        pool.executor().submit([&pool, &lat, &args, f](uint32_t w) {
+            auto s = std::chrono::steady_clock::now();
+            auto res = pool.workerEngine(w).callFunction(f, args);
+            auto us = std::chrono::duration_cast<
+                          std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - s)
+                          .count();
+            lat[w].push_back((uint64_t)us);
+            if (!res.ok())
+                gTraps.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    pool.executor().drain();
+
+    LoadRun out;
+    out.wallS = nowSeconds() - t0;
+    for (auto& v : lat)
+        out.latUs.insert(out.latUs.end(), v.begin(), v.end());
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string wat = makeServingWat();
+    auto parsed = parseWat(wat);
+    if (!parsed.ok()) {
+        std::cerr << "serving: module parse failed: "
+                  << parsed.error().toString() << "\n";
+        return 1;
+    }
+    auto vr = ValidatedModule::create(parsed.take());
+    if (!vr.ok()) {
+        std::cerr << "serving: validation failed\n";
+        return 1;
+    }
+    std::shared_ptr<const ValidatedModule> vm = vr.take();
+    EngineConfig cfg;
+
+    // Module shape (deterministic: fixed generator).
+    uint64_t sites = 0, funcs = 0;
+    {
+        Engine eng(cfg);
+        (void)eng.loadShared(vm);
+        for (uint32_t fi = 0; fi < eng.numFuncs(); fi++) {
+            FuncState& fs = eng.funcState(fi);
+            if (fs.decl->imported) continue;
+            funcs++;
+            sites += fs.sideTable.instrBoundaries.size();
+        }
+    }
+    if (sites < 10000) {
+        std::cerr << "serving: module too small (" << sites
+                  << " sites, need >= 10000)\n";
+        return 1;
+    }
+
+    // Calibrate the per-request loop count for a mid-single-digit-ms
+    // service time: long enough that a 10k-site attach pause can beat
+    // p99, short enough that thousands of requests stay cheap.
+    int r = 16;
+    {
+        Engine eng(cfg);
+        (void)eng.loadShared(vm);
+        (void)eng.instantiate();
+        // Warm once (JIT compile), then time.
+        (void)eng.callExport("run", {Value::makeI32(4)});
+        double best = 1e9;
+        for (int i = 0; i < reps(); i++) {
+            double t0 = nowSeconds();
+            (void)eng.callExport("run", {Value::makeI32(r)});
+            best = std::min(best, nowSeconds() - t0);
+        }
+        const double targetS = 6e-3;
+        double scaled = (double)r * targetS / std::max(best, 1e-7);
+        r = (int)std::min(std::max(scaled, 8.0), 65536.0);
+    }
+
+    const bool fast = fastMode();
+    const int reqPerWorker = fast ? 24 : 64;
+
+    JsonReport report("serving");
+    report.put("serve.hw_threads",
+               (uint64_t)std::thread::hardware_concurrency());
+    report.put("serve.funcs", funcs);
+    report.put("serve.sites", sites);
+    report.put("serve.calibrated_r", (uint64_t)r);
+
+    std::vector<std::string> csv;
+    std::cout << "=== serving (" << funcs << " funcs, " << sites
+              << " sites, r=" << r << ", reps=" << reps()
+              << ") ===\n";
+
+    double t1InvS = 0, t16InvS = 0;
+    uint64_t t16BaseP99 = 0;
+    for (uint32_t threads : {1u, 4u, 16u}) {
+        serve::InstancePool pool(vm, cfg, serve::PoolOptions{threads});
+        if (!pool.start().ok()) {
+            std::cerr << "serving: pool start failed\n";
+            return 1;
+        }
+        int32_t f = pool.findFunc("run");
+        if (f < 0) return 1;
+        const int requests = reqPerWorker * (int)threads;
+
+        // Uninstrumented, then the same load with entry probes
+        // attached fleet-wide; min-of-reps on p50 and throughput.
+        LoadRun base, instr;
+        for (int i = 0; i < reps(); i++) {
+            LoadRun x = runLoad(pool, (uint32_t)f, requests, r);
+            if (i == 0 || x.wallS < base.wallS) base = std::move(x);
+        }
+        uint64_t batch = pool.attachEach(
+            [](Engine& eng, uint32_t) { return entryPlan(eng); });
+        for (int i = 0; i < reps(); i++) {
+            LoadRun x = runLoad(pool, (uint32_t)f, requests, r);
+            if (i == 0 || x.wallS < instr.wallS) instr = std::move(x);
+        }
+        pool.detachBatch(batch);
+        pool.stop();
+
+        double baseInvS = (double)requests / base.wallS;
+        double instrInvS = (double)requests / instr.wallS;
+        uint64_t bp50 = quantileUs(base.latUs, 0.50);
+        uint64_t bp99 = quantileUs(base.latUs, 0.99);
+        uint64_t ip50 = quantileUs(instr.latUs, 0.50);
+        uint64_t ip99 = quantileUs(instr.latUs, 0.99);
+        double p50Ratio = bp50 ? (double)ip50 / (double)bp50 : 1.0;
+
+        std::string key = "serve.t" + std::to_string(threads);
+        report.put(key + ".base_inv_s", baseInvS);
+        report.put(key + ".base_p50_us", bp50);
+        report.put(key + ".base_p99_us", bp99);
+        report.put(key + ".instr_inv_s", instrInvS);
+        report.put(key + ".instr_p50_us", ip50);
+        report.put(key + ".instr_p99_us", ip99);
+        report.put(key + ".instr_p50_ratio", p50Ratio);
+        report.put(key + ".steals", pool.executor().steals());
+        csv.push_back(std::to_string(threads) + "," +
+                      std::to_string(baseInvS) + "," +
+                      std::to_string(bp50) + "," +
+                      std::to_string(bp99) + "," +
+                      std::to_string(instrInvS) + "," +
+                      std::to_string(ip50) + "," +
+                      std::to_string(ip99) + "," +
+                      std::to_string(p50Ratio));
+        std::cout << "  t" << threads << ": " << (uint64_t)baseInvS
+                  << " inv/s base (p50=" << bp50 << "us p99=" << bp99
+                  << "us), " << (uint64_t)instrInvS
+                  << " inv/s instrumented (p50=" << ip50
+                  << "us), p50 ratio " << fmtRatio(p50Ratio) << "\n";
+
+        if (threads == 1) t1InvS = baseInvS;
+        if (threads == 16) {
+            t16InvS = baseInvS;
+            t16BaseP99 = bp99;
+        }
+    }
+    report.put("serve.scaling_t1_t16", t16InvS / t1InvS);
+    std::cout << "  scaling 1->16 workers: "
+              << fmtRatio(t16InvS / t1InvS) << " ("
+              << std::thread::hardware_concurrency()
+              << " hw threads)\n";
+
+    // Deterministic fire counts: fixed work (r=8, 64 requests), entry
+    // probes attached before any traffic. Independent of host, thread
+    // interleaving and the calibrated r.
+    {
+        constexpr int kDetR = 8, kDetReq = 64;
+        serve::InstancePool pool(vm, cfg, serve::PoolOptions{4});
+        if (!pool.start().ok()) return 1;
+        int32_t f = pool.findFunc("run");
+        uint64_t batch = pool.attachEach(
+            [](Engine& eng, uint32_t) { return entryPlan(eng); });
+        for (int i = 0; i < kDetReq; i++) {
+            pool.submit((uint32_t)f, {Value::makeI32(kDetR)});
+        }
+        pool.drain();
+        uint64_t fires = 0;
+        for (uint32_t w = 0; w < pool.workers(); w++) {
+            for (const auto& sp : pool.attachedProbes(batch, w)) {
+                fires +=
+                    static_cast<CountProbe*>(sp.probe.get())->count;
+            }
+        }
+        pool.detachBatch(batch);
+        pool.stop();
+        // Every request: one entry fire + kDetR fires per worker func.
+        uint64_t perInvocation = 1 + (uint64_t)kFuncs * kDetR;
+        report.put("serve.fires.per_invocation", perInvocation);
+        report.put("serve.fires.total", fires);
+        std::cout << "  fires: " << fires << " total ("
+                  << perInvocation << "/invocation x " << kDetReq
+                  << " requests)\n";
+        if (fires != perInvocation * kDetReq) {
+            std::cerr << "serving: nondeterministic fire count\n";
+            return 1;
+        }
+    }
+
+    // Bounded-pause phase: batch-attach the full >= 10k-site plan
+    // against 16 busy workers. The worst per-worker quiescent-point
+    // pause (probe-plan build + insertBatch on its own engine) must
+    // stay below an uninstrumented invocation's p99.
+    {
+        serve::InstancePool pool(vm, cfg, serve::PoolOptions{16});
+        if (!pool.start().ok()) return 1;
+        int32_t f = pool.findFunc("run");
+        const int phaseReq = fast ? 96 : 192;
+        const int phaseR = std::max(r / 2, 8);
+        for (int i = 0; i < phaseReq; i++) {
+            pool.submit((uint32_t)f, {Value::makeI32(phaseR)});
+        }
+        // Mid-flight: the queue is deep on every worker.
+        double t0 = nowSeconds();
+        uint64_t batch = pool.attachEach(
+            [](Engine& eng, uint32_t) { return everySitePlan(eng); });
+        double wallUs = (nowSeconds() - t0) * 1e6;
+        uint64_t maxPauseUs = 0;
+        for (uint32_t w = 0; w < pool.workers(); w++) {
+            maxPauseUs = std::max(
+                maxPauseUs,
+                pool.workerStats(w).applyPauseMaxUs.load());
+        }
+        pool.detachBatch(batch);
+        pool.drain();
+        pool.stop();
+        double vsP99 =
+            t16BaseP99 ? (double)maxPauseUs / (double)t16BaseP99 : 0;
+        report.put("serve.pause.attach_sites", sites);
+        report.put("serve.pause.max_worker_us", maxPauseUs);
+        report.put("serve.pause.writer_wall_us", wallUs);
+        report.put("serve.pause.vs_p99", vsP99);
+        std::cout << "  10k-site attach vs 16 busy workers: max "
+                     "worker pause "
+                  << maxPauseUs << "us, writer wall "
+                  << (uint64_t)wallUs << "us, pause/p99 "
+                  << fmtRatio(vsP99) << "\n";
+    }
+
+    if (gTraps.load() != 0) {
+        std::cerr << "serving: " << gTraps.load() << " trap(s)\n";
+        return 1;
+    }
+
+    std::string path = report.write();
+    writeCsv("serving.csv",
+             "threads,base_inv_s,base_p50_us,base_p99_us,instr_inv_s,"
+             "instr_p50_us,instr_p99_us,instr_p50_ratio",
+             csv);
+    if (!path.empty()) std::cout << "wrote " << path << "\n";
+    return 0;
+}

@@ -59,6 +59,17 @@ NOISY_ALLOWLIST = [
     # with corpus shape and host; the steady-state ratio is the held
     # invariant (same-run --fuzz-steady-ceiling), these are context.
     r"\.coverage_(attached|attached_generic|firstrun)_ratio$",
+    # Serving-runtime metrics (BENCH_serving.json): threaded latency
+    # ratios, oversubscription scaling and pause ratios all depend on
+    # the host's core count, so cross-run comparison is pure noise.
+    # They are held by the same-run --serving-* gates instead; only
+    # the deterministic module-shape and fire-count keys (below) are
+    # compared against the baseline.
+    r"^serve\.hw_threads$",
+    r"^serve\.calibrated_r$",
+    r"^serve\.scaling_t1_t16$",
+    r"^serve\.t\d+\.",
+    r"^serve\.pause\.",
 ]
 
 # Gated metrics where larger is better: a regression is a *drop*.
@@ -93,6 +104,13 @@ DETERMINISTIC = [
     # (module, seed) — drift means the coverage map or the campaign
     # changed behavior (docs/FUZZING.md).
     r"\.fuzz\.(sites_covered|edges_covered|probes_detached|corpus)$",
+    # Serving structural outcomes (BENCH_serving.json): the synthetic
+    # module's shape and the fixed-work phase's probe-fire totals are
+    # functions of the generator alone — RCU application must deliver
+    # exactly one batch per worker, so any drift is a lost or doubled
+    # fleet op (docs/SERVING.md).
+    r"^serve\.(funcs|sites)$",
+    r"^serve\.fires\.(per_invocation|total)$",
 ]
 
 # The only metrics stable enough to gate against the *baseline* when
@@ -163,6 +181,25 @@ def main():
                          "BENCH_fuzz.json — after first-fire "
                          "batch-detach, coverage must cost nothing; "
                          "same-run invariant; 0 disables)")
+    ap.add_argument("--serving-p50-ceiling", type=float, default=1.10,
+                    help="maximum for the current run's per-thread-"
+                         "count instrumented p50 latency ratio "
+                         "(serve.t<N>.instr_p50_ratio in "
+                         "BENCH_serving.json; same-run invariant; "
+                         "0 disables)")
+    ap.add_argument("--serving-scaling-floor", type=float, default=3.5,
+                    help="minimum uninstrumented invocations/sec "
+                         "scaling from 1 to 16 workers "
+                         "(serve.scaling_t1_t16) - applied only when "
+                         "the run's serve.hw_threads is >= 16, so "
+                         "small CI hosts report without flaking "
+                         "(same-run invariant; 0 disables)")
+    ap.add_argument("--serving-pause-ceiling", type=float, default=1.0,
+                    help="maximum for serve.pause.vs_p99: the worst "
+                         "per-worker pause of a 10k-site batch attach "
+                         "against 16 busy workers, as a fraction of "
+                         "the uninstrumented t16 p99 latency "
+                         "(same-run invariant; 0 disables)")
     ap.add_argument("--gate-absolute", action="store_true",
                     help="also gate absolute time metrics (same-machine "
                          "comparisons only)")
@@ -291,6 +328,43 @@ def main():
                     regressions.append(
                         (fname, k, args.fuzz_steady_ceiling, float(v),
                          float(v) / args.fuzz_steady_ceiling, 1.0))
+
+        # Same-run serving gates (the serving runtime's acceptance
+        # invariants, docs/SERVING.md): steady-state instrumentation
+        # must not move p50 at any thread count; a 10k-site fleet
+        # attach must pause no worker longer than an invocation's
+        # p99; and on a >= 16-hw-thread host, throughput must scale.
+        if args.serving_p50_ceiling > 0:
+            p50_re = re.compile(r"^serve\.t\d+\.instr_p50_ratio$")
+            for k, v in cur.items():
+                if not p50_re.search(k) or v <= 0:
+                    continue
+                compared += 1
+                if float(v) > args.serving_p50_ceiling:
+                    regressions.append(
+                        (fname, k, args.serving_p50_ceiling, float(v),
+                         float(v) / args.serving_p50_ceiling, 1.0))
+        if args.serving_pause_ceiling > 0 \
+                and "serve.pause.vs_p99" in cur:
+            v = float(cur["serve.pause.vs_p99"])
+            if v > 0:
+                compared += 1
+                if v > args.serving_pause_ceiling:
+                    regressions.append(
+                        (fname, "serve.pause.vs_p99",
+                         args.serving_pause_ceiling, v,
+                         v / args.serving_pause_ceiling, 1.0))
+        if args.serving_scaling_floor > 0 \
+                and cur.get("serve.hw_threads", 0) >= 16 \
+                and "serve.scaling_t1_t16" in cur:
+            v = float(cur["serve.scaling_t1_t16"])
+            if v > 0:
+                compared += 1
+                if v < args.serving_scaling_floor:
+                    regressions.append(
+                        (fname, "serve.scaling_t1_t16",
+                         args.serving_scaling_floor, v,
+                         args.serving_scaling_floor / v, 1.0))
 
         # Same-run threaded-dispatch floor: independent of the
         # baseline and of the host, so it gates in every mode.

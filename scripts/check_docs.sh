@@ -6,7 +6,8 @@
 #      to an existing file (anchors are stripped; external http(s)/
 #      mailto links are skipped).
 #   2. Every ```cpp snippet in the subsystem guides (docs/PROBES.md,
-#      docs/ANALYSIS.md, docs/OBSERVABILITY.md, docs/FUZZING.md) is a
+#      docs/ANALYSIS.md, docs/OBSERVABILITY.md, docs/FUZZING.md,
+#      docs/SERVING.md) is a
 #      complete translation unit that compiles
 #      against src/ (extract-and-compile with -fsyntax-only, so the
 #      snippets cannot rot).
@@ -18,7 +19,9 @@ cd "$(dirname "$0")/.."
 status=0
 
 # ---------------------------------------------------------- link check
-MDFILES=$(find . \( -path ./build -o -path ./build-asan -o -path ./.git \) \
+MDFILES=$(find . \( -path ./build -o -path ./build-asan \
+                    -o -path ./build-tsan -o -path ./build-debug \
+                    -o -path ./.git \) \
                -prune -o -name '*.md' -print | sort)
 
 for md in $MDFILES; do
@@ -63,7 +66,7 @@ trap 'rm -rf "$tmp"' EXIT
 
 count=0
 for doc in docs/PROBES.md docs/ANALYSIS.md docs/OBSERVABILITY.md \
-           docs/FUZZING.md; do
+           docs/FUZZING.md docs/SERVING.md; do
     base=$(basename "$doc" .md)
     awk -v out="$tmp" -v base="$base" '
         /^```cpp$/ { n++; f = sprintf("%s/%s_%02d.cc", out, base, n); next }

@@ -16,7 +16,7 @@ set -u
 WIZENG=${1:?usage: check_help.sh <path-to-wizeng>}
 status=0
 
-# Every flag the engine has grown, PRs 2 through 8. A flag missing
+# Every flag the engine has grown, PRs 2 through 9. A flag missing
 # here is fine (the list is a floor, not a ceiling); a flag missing
 # from --help is a failure.
 FLAGS="
@@ -45,6 +45,10 @@ FLAGS="
 --shake
 --shake-seed
 --repro
+--serve
+--serve-threads
+--serve-requests
+--serve-instrument
 --help
 "
 

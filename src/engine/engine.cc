@@ -93,18 +93,27 @@ Engine::loadModule(Module m)
             "module.validate",
             {{"functions", std::to_string(m.functions.size())}});
     }
-    auto vr = validateModule(m);
+    auto vr = ValidatedModule::create(std::move(m));
     if (_timeline) _timeline->end({{"ok", vr.ok() ? "1" : "0"}});
     if (!vr.ok()) return vr.error();
-    _module = std::move(m);
-    ValidationInfo info = vr.take();
+    return loadShared(vr.take());
+}
+
+Result<bool>
+Engine::loadShared(std::shared_ptr<const ValidatedModule> vm)
+{
+    if (_loaded) return Error{"engine already has a module", 0};
+    if (!vm) return Error{"null validated module", 0};
+    _vm = std::move(vm);
+    const Module& mod = _vm->module;
+    const ValidationInfo& info = _vm->info;
 
     // Canonicalize (deduplicate) types for call_indirect checks.
-    _canonTypeIds.resize(_module.types.size());
-    for (size_t i = 0; i < _module.types.size(); i++) {
+    _canonTypeIds.resize(mod.types.size());
+    for (size_t i = 0; i < mod.types.size(); i++) {
         uint32_t id = static_cast<uint32_t>(i);
         for (size_t j = 0; j < i; j++) {
-            if (_module.types[j] == _module.types[i]) {
+            if (mod.types[j] == mod.types[i]) {
                 id = static_cast<uint32_t>(j);
                 break;
             }
@@ -113,10 +122,10 @@ Engine::loadModule(Module m)
     }
 
     _funcs.clear();
-    _funcs.reserve(_module.functions.size());
-    for (size_t i = 0; i < _module.functions.size(); i++) {
-        const FuncDecl& decl = _module.functions[i];
-        const FuncType& type = _module.types[decl.typeIndex];
+    _funcs.reserve(mod.functions.size());
+    for (size_t i = 0; i < mod.functions.size(); i++) {
+        const FuncDecl& decl = mod.functions[i];
+        const FuncType& type = mod.types[decl.typeIndex];
         FuncState fs;
         fs.decl = &decl;
         fs.type = &type;
@@ -130,7 +139,10 @@ Engine::loadModule(Module m)
         fs.canonTypeId = _canonTypeIds[decl.typeIndex];
         if (!decl.imported) {
             fs.code = decl.code;  // private mutable copy for overwriting
-            fs.sideTable = std::move(info.sideTables[i]);
+            // Copy (not move): the validation output is shared
+            // immutably across engines. finalize() below rebuilds the
+            // dense slots against this engine's own copy.
+            fs.sideTable = info.sideTables[i];
             fs.maxOperand = info.maxOperandStack[i];
         }
         _funcs.push_back(std::move(fs));
@@ -152,7 +164,7 @@ Engine::instantiate()
 {
     if (!_loaded) return Error{"no module loaded", 0};
     obs::Timeline::Span span(_timeline, "engine.instantiate");
-    auto ir = Instance::instantiate(_module, _imports);
+    auto ir = Instance::instantiate(module(), _imports);
     if (!ir.ok()) return ir.error();
     _instance = ir.take();
     _instantiated = true;
@@ -165,8 +177,8 @@ Engine::instantiate()
         }
     }
 
-    if (_module.start) {
-        auto r = execute(*_module.start, {});
+    if (module().start) {
+        auto r = execute(*module().start, {});
         if (!r.ok()) return r.error();
     }
     return true;
@@ -175,9 +187,9 @@ Engine::instantiate()
 int32_t
 Engine::findFunc(const std::string& name) const
 {
-    int32_t e = _module.findFuncExport(name);
+    int32_t e = module().findFuncExport(name);
     if (e >= 0) return e;
-    for (const auto& f : _module.functions) {
+    for (const auto& f : module().functions) {
         if (f.name == name) return static_cast<int32_t>(f.index);
     }
     return -1;
@@ -186,7 +198,7 @@ Engine::findFunc(const std::string& name) const
 Result<std::vector<Value>>
 Engine::callExport(const std::string& name, const std::vector<Value>& args)
 {
-    int32_t idx = _module.findFuncExport(name);
+    int32_t idx = module().findFuncExport(name);
     if (idx < 0) return Error{"no exported function '" + name + "'", 0};
     return callFunction(static_cast<uint32_t>(idx), args);
 }

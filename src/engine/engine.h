@@ -146,8 +146,19 @@ class Engine
     /**
      * Validates @p m, builds per-function engine state (side tables,
      * mutable code copies) and takes ownership of the module.
+     * Equivalent to ValidatedModule::create + loadShared.
      */
     Result<bool> loadModule(Module m);
+
+    /**
+     * Builds engine state from an already-validated shared module.
+     * Many engines may load the same ValidatedModule concurrently —
+     * the shared state is immutable; everything probe insertion
+     * mutates (code copies, side-table slots, sites, compiled code)
+     * is private to this engine. The serving runtime's instance pool
+     * is built on this (docs/SERVING.md).
+     */
+    Result<bool> loadShared(std::shared_ptr<const ValidatedModule> vm);
 
     /** Allocates the instance and runs the start function, if any. */
     Result<bool> instantiate();
@@ -201,8 +212,12 @@ class Engine
     // ---- Introspection ----
 
     const EngineConfig& config() const { return _config; }
-    Module& module() { return _module; }
-    const Module& module() const { return _module; }
+    const Module& module() const { return _vm->module; }
+    /** The shared validated module (null before load). */
+    const std::shared_ptr<const ValidatedModule>& validatedModule() const
+    {
+        return _vm;
+    }
     Instance& instance() { return _instance; }
     bool loaded() const { return _loaded; }
 
@@ -333,7 +348,7 @@ class Engine
     void unwindAll();
 
     EngineConfig _config;
-    Module _module;
+    std::shared_ptr<const ValidatedModule> _vm;
     ImportMap _imports;
     Instance _instance;
     std::vector<FuncState> _funcs;

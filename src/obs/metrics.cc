@@ -75,33 +75,48 @@ void
 MetricsRegistry::registerCallback(const std::string& name,
                                   std::function<uint64_t()> fn)
 {
+    auto cb = std::make_shared<const std::function<uint64_t()>>(
+        std::move(fn));
     std::lock_guard<std::mutex> lock(_mu);
     Entry& e = _entries[name];
     assert(!e.counter && !e.gauge && !e.histogram &&
            "metric registered under two kinds");
-    e.callback = std::move(fn);
+    e.callback = std::move(cb);
 }
 
 std::map<std::string, double>
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    // Instruments (atomics) are read under the lock; callbacks are
+    // collected under the lock but invoked outside it, so a callback
+    // may itself use the registry (no self-deadlock) and concurrent
+    // re-registration stays safe (shared ownership keeps the callable
+    // alive while we run it).
     std::map<std::string, double> out;
-    for (auto& [name, e] : _entries) {
-        if (e.counter) {
-            out[name] = (double)e.counter->value();
-        } else if (e.gauge) {
-            out[name] = (double)e.gauge->value();
-        } else if (e.histogram) {
-            const Histogram& h = *e.histogram;
-            out[name + ".count"] = (double)h.count();
-            out[name + ".sum"] = (double)h.sum();
-            out[name + ".p50"] = (double)h.quantile(0.50);
-            out[name + ".p99"] = (double)h.quantile(0.99);
-            out[name + ".max"] = (double)h.quantile(1.0);
-        } else if (e.callback) {
-            out[name] = (double)e.callback();
+    std::vector<std::pair<
+        std::string, std::shared_ptr<const std::function<uint64_t()>>>>
+        callbacks;
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        for (auto& [name, e] : _entries) {
+            if (e.counter) {
+                out[name] = (double)e.counter->value();
+            } else if (e.gauge) {
+                out[name] = (double)e.gauge->value();
+            } else if (e.histogram) {
+                const Histogram& h = *e.histogram;
+                out[name + ".count"] = (double)h.count();
+                out[name + ".sum"] = (double)h.sum();
+                out[name + ".p50"] = (double)h.quantile(0.50);
+                out[name + ".p99"] = (double)h.quantile(0.99);
+                out[name + ".max"] = (double)h.quantile(1.0);
+            } else if (e.callback) {
+                callbacks.emplace_back(name, e.callback);
+            }
         }
+    }
+    for (auto& [name, cb] : callbacks) {
+        out[name] = (double)(*cb)();
     }
     return out;
 }

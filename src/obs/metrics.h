@@ -202,6 +202,17 @@ class MetricsRegistry
      * dump/snapshot time. The callable must stay valid for the
      * registry's lifetime (or until re-registered under the same
      * name, which replaces it).
+     *
+     * Safe to call concurrently with snapshot()/value()/write() from
+     * other threads: callbacks are held by shared ownership, so a
+     * replacement never destroys a callable a concurrent snapshot is
+     * invoking, and snapshot() invokes callbacks *outside* the
+     * registry lock, so a callback may itself read the registry
+     * without deadlocking. What the callable reads is the caller's
+     * contract: engine-owned callbacks sample that engine's plain
+     * fields and must only be snapshotted on the owning worker thread
+     * or while it is quiesced (docs/SERVING.md,
+     * docs/OBSERVABILITY.md).
      */
     void registerCallback(const std::string& name,
                           std::function<uint64_t()> fn);
@@ -226,7 +237,11 @@ class MetricsRegistry
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
-        std::function<uint64_t()> callback;
+        // Shared so re-registration cannot destroy a callable a
+        // concurrent snapshot() is still invoking (the pre-serving
+        // code stored the std::function inline, which TSan flags as a
+        // data race the moment two threads touch the registry).
+        std::shared_ptr<const std::function<uint64_t()>> callback;
     };
 
     mutable std::mutex _mu;

@@ -135,10 +135,16 @@ class ProbeContext
 /**
  * Base class of all probes.
  *
- * Thread-safety: the engine is single-threaded; probes fire on the
- * execution thread and may freely call back into the probe API
- * (insert/remove/removeSelf) — the Section 2.4 deferred
- * insertion/removal guarantees make that safe mid-firing.
+ * Thread-safety: an engine is a single-threaded object; probes fire
+ * on the thread running the engine and may freely call back into the
+ * probe API (insert/remove/removeSelf) — the Section 2.4 deferred
+ * insertion/removal guarantees make that safe mid-firing. In a
+ * serving pool (src/serve/) each worker owns a private engine and
+ * private probe instances; fleet-wide attach reaches an engine only
+ * through its worker's quiescent points, never concurrently. Probe
+ * objects must not be shared across engines — share the data they
+ * point at (with its own synchronization) instead. See
+ * docs/SERVING.md for the full contract.
  */
 class Probe
 {

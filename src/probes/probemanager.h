@@ -33,6 +33,13 @@
  *  - insertBatch() attaches whole monitors' worth of probes with one
  *    list build per site and a single instrumentation-epoch bump,
  *    instead of O(sites) copy-on-write churn.
+ *
+ * Thread-safety: engine-private and single-threaded, deliberately —
+ * that is what keeps the per-fire path lock-free. Call only from the
+ * thread running the owning engine. In a serving pool each worker has
+ * its own ProbeManager; fleet-wide mutation goes through
+ * serve::InstancePool's RCU writers, which apply per-worker at
+ * quiescent points (docs/SERVING.md).
  */
 
 #ifndef WIZPP_PROBES_PROBEMANAGER_H

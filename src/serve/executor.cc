@@ -1,0 +1,153 @@
+#include "serve/executor.h"
+
+#include <chrono>
+#include <utility>
+
+namespace wizpp::serve {
+
+WorkStealingExecutor::WorkStealingExecutor(uint32_t workers,
+                                           WorkerHooks hooks)
+    : _n(workers == 0 ? 1 : workers),
+      _hooks(std::move(hooks)),
+      _queues(_n)
+{
+}
+
+WorkStealingExecutor::~WorkStealingExecutor() { stop(); }
+
+void
+WorkStealingExecutor::start()
+{
+    if (_started) return;
+    _started = true;
+    _stopping.store(false, std::memory_order_relaxed);
+    _threads.reserve(_n);
+    for (uint32_t w = 0; w < _n; w++) {
+        _threads.emplace_back([this, w] { workerMain(w); });
+    }
+}
+
+void
+WorkStealingExecutor::stop()
+{
+    if (!_started) return;
+    _stopping.store(true, std::memory_order_release);
+    wakeAll();
+    for (std::thread& t : _threads) {
+        if (t.joinable()) t.join();
+    }
+    _threads.clear();
+    _started = false;
+}
+
+void
+WorkStealingExecutor::submit(Task t)
+{
+    uint32_t w = _rr.fetch_add(1, std::memory_order_relaxed) % _n;
+    submitTo(w, std::move(t));
+}
+
+void
+WorkStealingExecutor::submitTo(uint32_t worker, Task t)
+{
+    _pending.fetch_add(1, std::memory_order_relaxed);
+    _submitted.fetch_add(1, std::memory_order_relaxed);
+    {
+        Queue& q = _queues[worker % _n];
+        std::lock_guard<std::mutex> lock(q.mu);
+        q.tasks.push_back(std::move(t));
+    }
+    {
+        std::lock_guard<std::mutex> lock(_parkMu);
+        _wakeSeq.fetch_add(1, std::memory_order_relaxed);
+    }
+    _parkCv.notify_all();
+}
+
+void
+WorkStealingExecutor::drain()
+{
+    std::unique_lock<std::mutex> lock(_drainMu);
+    _drainCv.wait(lock, [this] {
+        return _pending.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+WorkStealingExecutor::wakeAll()
+{
+    {
+        std::lock_guard<std::mutex> lock(_parkMu);
+        _wakeSeq.fetch_add(1, std::memory_order_relaxed);
+    }
+    _parkCv.notify_all();
+}
+
+bool
+WorkStealingExecutor::tryPop(uint32_t worker, Task& out)
+{
+    Queue& q = _queues[worker];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) return false;
+    out = std::move(q.tasks.back());  // owner: LIFO, cache-warm
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+WorkStealingExecutor::trySteal(uint32_t thief, Task& out)
+{
+    for (uint32_t i = 1; i < _n; i++) {
+        Queue& q = _queues[(thief + i) % _n];
+        std::lock_guard<std::mutex> lock(q.mu);
+        if (q.tasks.empty()) continue;
+        out = std::move(q.tasks.front());  // thief: FIFO, oldest
+        q.tasks.pop_front();
+        _steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+WorkStealingExecutor::workerMain(uint32_t worker)
+{
+    while (true) {
+        if (_hooks.onQuiescent) _hooks.onQuiescent(worker);
+
+        Task t;
+        if (tryPop(worker, t) || trySteal(worker, t)) {
+            if (_hooks.beforeTask) _hooks.beforeTask(worker);
+            t(worker);
+            if (_hooks.afterTask) _hooks.afterTask(worker);
+            t = Task();  // release captures before signaling done
+            if (_pending.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                std::lock_guard<std::mutex> lock(_drainMu);
+                _drainCv.notify_all();
+            }
+            continue;
+        }
+
+        if (_stopping.load(std::memory_order_acquire)) return;
+
+        // Park until new work, a wakeAll, or stop. The sequence
+        // number read under _parkMu closes the lost-wakeup window
+        // between the empty-queue check above and the wait below.
+        uint64_t seq;
+        {
+            std::lock_guard<std::mutex> lock(_parkMu);
+            seq = _wakeSeq.load(std::memory_order_relaxed);
+        }
+        if (_pending.load(std::memory_order_acquire) != 0) continue;
+        std::unique_lock<std::mutex> lock(_parkMu);
+        _parkCv.wait_for(
+            lock, std::chrono::milliseconds(10), [this, seq] {
+                return _wakeSeq.load(std::memory_order_relaxed) !=
+                           seq ||
+                       _stopping.load(std::memory_order_acquire);
+            });
+    }
+}
+
+} // namespace wizpp::serve

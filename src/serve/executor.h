@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Work-stealing executor for the serving runtime (docs/SERVING.md).
+ *
+ * A fixed set of worker threads, each with its own deque: the owner
+ * pushes and pops at the back (LIFO, cache-warm), thieves steal from
+ * the front (FIFO, oldest first). Tasks are short-lived invocations;
+ * the executor adds three hooks so the InstancePool can run its RCU
+ * protocol at the right points of every worker's loop:
+ *
+ *  - onQuiescent(worker)  — top of the loop, outside any read-side
+ *    critical section; the pool applies pending fleet batches here.
+ *  - beforeTask(worker)   — immediately before a task runs; the pool
+ *    pins the current generation.
+ *  - afterTask(worker)    — immediately after; the pool unpins.
+ *
+ * wakeAll() kicks parked workers without queueing work, so a writer
+ * publishing a new generation gets bounded grace periods even on an
+ * idle fleet (parked workers wake, pass through onQuiescent, apply,
+ * and park again).
+ */
+
+#ifndef WIZPP_SERVE_EXECUTOR_H
+#define WIZPP_SERVE_EXECUTOR_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wizpp::serve {
+
+/** A unit of work; receives the executing worker's index. */
+using Task = std::function<void(uint32_t worker)>;
+
+/** Pool callbacks woven into each worker's loop (see file header). */
+struct WorkerHooks
+{
+    std::function<void(uint32_t)> onQuiescent;
+    std::function<void(uint32_t)> beforeTask;
+    std::function<void(uint32_t)> afterTask;
+};
+
+class WorkStealingExecutor
+{
+  public:
+    explicit WorkStealingExecutor(uint32_t workers,
+                                  WorkerHooks hooks = {});
+    ~WorkStealingExecutor();
+
+    WorkStealingExecutor(const WorkStealingExecutor&) = delete;
+    WorkStealingExecutor& operator=(const WorkStealingExecutor&) =
+        delete;
+
+    /** Starts the worker threads. Idempotent. */
+    void start();
+
+    /** Drains remaining work, then joins all workers. Idempotent. */
+    void stop();
+
+    /** Enqueues @p t on a worker picked round-robin. */
+    void submit(Task t);
+
+    /**
+     * Enqueues @p t on @p worker's own deque. Another worker may
+     * still steal it; use this for load placement, not affinity
+     * guarantees.
+     */
+    void submitTo(uint32_t worker, Task t);
+
+    /** Blocks until every submitted task has finished. */
+    void drain();
+
+    /**
+     * Wakes every parked worker without queueing work, so each one
+     * passes through onQuiescent promptly. Called by RCU writers
+     * after publishing a new generation.
+     */
+    void wakeAll();
+
+    uint32_t workers() const noexcept { return _n; }
+
+    /** Tasks executed after being stolen from another worker. */
+    uint64_t
+    steals() const noexcept
+    {
+        return _steals.load(std::memory_order_relaxed);
+    }
+
+    /** Tasks submitted over the executor's lifetime. */
+    uint64_t
+    submitted() const noexcept
+    {
+        return _submitted.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Queue
+    {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    bool tryPop(uint32_t worker, Task& out);
+    bool trySteal(uint32_t thief, Task& out);
+    void workerMain(uint32_t worker);
+
+    uint32_t _n;
+    WorkerHooks _hooks;
+    std::vector<Queue> _queues;
+    std::vector<std::thread> _threads;
+
+    std::mutex _parkMu;
+    std::condition_variable _parkCv;
+
+    std::mutex _drainMu;
+    std::condition_variable _drainCv;
+
+    std::atomic<uint64_t> _pending{0};  // submitted, not yet finished
+    std::atomic<uint64_t> _steals{0};
+    std::atomic<uint64_t> _submitted{0};
+    std::atomic<uint32_t> _rr{0};       // round-robin submit cursor
+    std::atomic<uint64_t> _wakeSeq{0};  // bumps on wakeAll/submit
+    std::atomic<bool> _stopping{false};
+    bool _started = false;
+};
+
+} // namespace wizpp::serve
+
+#endif // WIZPP_SERVE_EXECUTOR_H

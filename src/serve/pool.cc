@@ -1,0 +1,411 @@
+#include "serve/pool.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace wizpp::serve {
+
+namespace {
+uint64_t
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    return (uint64_t)std::chrono::duration_cast<
+               std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+atomicMax(std::atomic<uint64_t>& a, uint64_t v)
+{
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (cur < v && !a.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+} // namespace
+
+InstancePool::InstancePool(std::shared_ptr<const ValidatedModule> vm,
+                           EngineConfig config, PoolOptions opts)
+    : _vm(std::move(vm)),
+      _config(config),
+      _gate(opts.workers == 0 ? 1 : opts.workers),
+      _executor(opts.workers == 0 ? 1 : opts.workers,
+                WorkerHooks{
+                    [this](uint32_t w) { onQuiescent(w); },
+                    [this](uint32_t w) { _gate.pin(w); },
+                    [this](uint32_t w) { _gate.unpin(w); },
+                }),
+      _ops(new OpsSnapshot)
+{
+    _slots.reserve(_gate.readers());
+    for (uint32_t w = 0; w < _gate.readers(); w++) {
+        _slots.push_back(std::make_unique<WorkerSlot>());
+        // Workers start with the initial generation fully applied
+        // (the initial snapshot is empty).
+        _slots[w]->applied.store(_gate.current(),
+                                 std::memory_order_relaxed);
+    }
+}
+
+InstancePool::~InstancePool()
+{
+    stop();
+    // Workers are joined: no reader can hold any snapshot.
+    for (Retired& r : _graveyard) delete r.snap;
+    _graveyard.clear();
+    delete _ops.load(std::memory_order_relaxed);
+}
+
+Result<bool>
+InstancePool::start()
+{
+    if (_started) return Error{"pool already started", 0};
+    for (uint32_t w = 0; w < _gate.readers(); w++) {
+        auto eng = std::make_unique<Engine>(_config);
+        auto lr = eng->loadShared(_vm);
+        if (!lr.ok()) return lr.error();
+        auto ir = eng->instantiate();
+        if (!ir.ok()) return ir.error();
+        _slots[w]->engine = std::move(eng);
+    }
+    _started = true;
+    _executor.start();
+    return true;
+}
+
+void
+InstancePool::stop()
+{
+    if (!_started) return;
+    _executor.stop();
+    _started = false;
+}
+
+int32_t
+InstancePool::findFunc(const std::string& name) const
+{
+    int32_t e = _vm->module.findFuncExport(name);
+    if (e >= 0) return e;
+    for (const auto& f : _vm->module.functions) {
+        if (f.name == name) return static_cast<int32_t>(f.index);
+    }
+    return -1;
+}
+
+void
+InstancePool::submit(uint32_t funcIndex, std::vector<Value> args,
+                     DoneFn done)
+{
+    _executor.submit([this, funcIndex, args = std::move(args),
+                      done = std::move(done)](uint32_t w) {
+        runOne(w, funcIndex, args, done);
+    });
+}
+
+void
+InstancePool::drain()
+{
+    _executor.drain();
+}
+
+void
+InstancePool::runOne(uint32_t w, uint32_t funcIndex,
+                     const std::vector<Value>& args, const DoneFn& done)
+{
+    WorkerSlot& slot = *_slots[w];
+    bool instrumented = slot.engine->probes().numProbedSites() > 0;
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = slot.engine->callFunction(funcIndex, args);
+    slot.latencyUs.record(microsSince(t0));
+    slot.stats.invocations.fetch_add(1, std::memory_order_relaxed);
+    if (instrumented) {
+        slot.stats.instrumentedInvocations.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+    if (!r.ok()) {
+        slot.stats.traps.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (done) done(w, r);
+}
+
+// ---- Reader side -----------------------------------------------------
+
+void
+InstancePool::onQuiescent(uint32_t w)
+{
+    WorkerSlot& slot = *_slots[w];
+    if (_gate.current() ==
+        slot.applied.load(std::memory_order_relaxed)) {
+        return;
+    }
+    // Pin before loading the snapshot: the RCU handshake guarantees
+    // the pointer we load stays alive until we unpin.
+    uint64_t g = _gate.pin(w);
+    // seq_cst pairs with the writer's seq_cst snapshot swap: either
+    // the writer saw our pin (and waits in synchronize), or this load
+    // is guaranteed to see the post-swap snapshot — never one the
+    // writer went on to reclaim.
+    const OpsSnapshot* snap = _ops.load(std::memory_order_seq_cst);
+    // Unconditional (release builds too): the retirement stress test
+    // leans on this to catch any use-after-retire of a snapshot.
+    if (snap->canary != OpsSnapshot::kCanary) {
+        std::fprintf(stderr,
+                     "serve: ops-snapshot canary dead "
+                     "(use-after-retire)\n");
+        std::abort();
+    }
+    uint64_t appliedTo = slot.applied.load(std::memory_order_relaxed);
+    uint64_t applied = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto& op : snap->ops) {
+        if (op->gen <= appliedTo) continue;
+        applyOp(*op, w);
+        appliedTo = op->gen;
+        applied++;
+    }
+    if (applied != 0) {
+        uint64_t us = microsSince(t0);
+        slot.stats.batchesApplied.fetch_add(
+            applied, std::memory_order_relaxed);
+        slot.stats.applyPauseTotalUs.fetch_add(
+            us, std::memory_order_relaxed);
+        atomicMax(slot.stats.applyPauseMaxUs, us);
+    }
+    // The writer compacts the snapshot only after everyone applied,
+    // so a snapshot current at pinned generation g contains every op
+    // up to g: this worker is now caught up through max(applied, g).
+    if (g > appliedTo) appliedTo = g;
+    slot.applied.store(appliedTo, std::memory_order_release);
+    _gate.unpin(w);
+}
+
+void
+InstancePool::applyOp(const FleetOp& op, uint32_t w)
+{
+    WorkerSlot& slot = *_slots[w];
+    Engine& eng = *slot.engine;
+    switch (op.kind) {
+    case FleetOp::Kind::Attach: {
+        std::vector<ProbeManager::SiteProbe> probes =
+            op.plan(eng, w);
+        // insertBatch() consumes the probe pointers (moves them into
+        // the site lists); keep our own copy so detachBatch() and
+        // attachedProbes() can still see them.
+        std::vector<ProbeManager::SiteProbe> record = probes;
+        eng.probes().insertBatch(probes);
+        slot.batches[op.batchId] =
+            BatchRecord{std::move(record), false};
+        break;
+    }
+    case FleetOp::Kind::Detach: {
+        auto it = slot.batches.find(op.batchId);
+        if (it != slot.batches.end() && !it->second.detached) {
+            eng.probes().removeBatch(it->second.probes);
+            it->second.detached = true;
+        }
+        break;
+    }
+    case FleetOp::Kind::Generic:
+        op.op(eng, w);
+        break;
+    }
+}
+
+// ---- Writer side -----------------------------------------------------
+
+uint64_t
+InstancePool::publishAndWait(FleetOp op)
+{
+    std::lock_guard<std::mutex> lock(_writerMu);
+    const OpsSnapshot* old = _ops.load(std::memory_order_relaxed);
+    uint64_t g = _gate.current() + 1;
+    auto shared = std::make_shared<FleetOp>(std::move(op));
+    shared->gen = g;
+
+    // Publish: swap the snapshot first, then bump the generation
+    // (readers load in the opposite order: generation, fence, then
+    // snapshot — see GenerationGate::pin).
+    auto* ns = new OpsSnapshot;
+    ns->ops = old->ops;
+    ns->ops.push_back(std::move(shared));
+    _ops.store(ns, std::memory_order_seq_cst);
+    // `old` may still be held by readers pinned before the swap; its
+    // grace period ends once every reader is quiescent or >= g.
+    _graveyard.push_back(Retired{old, g});
+    _retiredCount.fetch_add(1, std::memory_order_relaxed);
+
+    uint64_t pg = _gate.publish();
+    assert(pg == g);
+    (void)pg;
+
+    // Kick parked workers so idle fleets apply promptly (bounded
+    // pause does not depend on traffic).
+    _executor.wakeAll();
+    waitAllApplied(g);
+    _gate.synchronize(g);
+    reclaim(g);
+
+    // Compact: every worker applied everything, so the op list can
+    // shrink back to empty. The pre-compaction snapshot may be held
+    // by readers pinned *at* g, so its grace period only ends at a
+    // generation after g.
+    auto* empty = new OpsSnapshot;
+    const OpsSnapshot* prev =
+        _ops.exchange(empty, std::memory_order_seq_cst);
+    _graveyard.push_back(Retired{prev, g + 1});
+    _retiredCount.fetch_add(1, std::memory_order_relaxed);
+    return g;
+}
+
+void
+InstancePool::waitAllApplied(uint64_t gen)
+{
+    for (auto& slot : _slots) {
+        for (int spins = 0;
+             slot->applied.load(std::memory_order_acquire) < gen;
+             spins++) {
+            if (spins < 64) {
+                std::this_thread::yield();
+            } else {
+                _executor.wakeAll();  // belt-and-braces vs lost wakeups
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+            }
+        }
+    }
+}
+
+void
+InstancePool::reclaim(uint64_t gen)
+{
+    size_t kept = 0;
+    for (Retired& r : _graveyard) {
+        if (r.graceGen <= gen) {
+            // Poison before free so a stale reader trips the canary
+            // check instead of silently reading freed memory.
+            const_cast<OpsSnapshot*>(r.snap)->canary = 0;
+            delete r.snap;
+            _freedCount.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            _graveyard[kept++] = r;
+        }
+    }
+    _graveyard.resize(kept);
+}
+
+uint64_t
+InstancePool::attachEach(ProbePlan plan)
+{
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(_writerMu);
+        id = _nextBatchId++;
+    }
+    FleetOp op;
+    op.kind = FleetOp::Kind::Attach;
+    op.batchId = id;
+    op.plan = std::move(plan);
+    publishAndWait(std::move(op));
+    return id;
+}
+
+void
+InstancePool::detachBatch(uint64_t batchId)
+{
+    FleetOp op;
+    op.kind = FleetOp::Kind::Detach;
+    op.batchId = batchId;
+    publishAndWait(std::move(op));
+}
+
+void
+InstancePool::applyEach(EngineOp fn)
+{
+    FleetOp op;
+    op.kind = FleetOp::Kind::Generic;
+    op.op = std::move(fn);
+    publishAndWait(std::move(op));
+}
+
+void
+InstancePool::synchronize()
+{
+    std::lock_guard<std::mutex> lock(_writerMu);
+    _gate.synchronize(_gate.current());
+}
+
+// ---- Introspection ---------------------------------------------------
+
+const std::vector<ProbeManager::SiteProbe>&
+InstancePool::attachedProbes(uint64_t batchId, uint32_t w) const
+{
+    static const std::vector<ProbeManager::SiteProbe> kEmpty;
+    const WorkerSlot& slot = *_slots[w];
+    auto it = slot.batches.find(batchId);
+    return it == slot.batches.end() ? kEmpty : it->second.probes;
+}
+
+uint64_t
+InstancePool::latencyQuantileUs(double q) const
+{
+    uint64_t counts[obs::Histogram::kBuckets] = {};
+    uint64_t total = 0;
+    for (const auto& slot : _slots) {
+        for (int i = 0; i < obs::Histogram::kBuckets; i++) {
+            uint64_t c = slot->latencyUs.bucketCount(i);
+            counts[i] += c;
+            total += c;
+        }
+    }
+    if (total == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    uint64_t target = (uint64_t)(q * (double)(total - 1)) + 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < obs::Histogram::kBuckets; i++) {
+        seen += counts[i];
+        if (seen >= target) {
+            return obs::Histogram::bucketLimit(i) - 1;
+        }
+    }
+    return obs::Histogram::bucketLimit(obs::Histogram::kBuckets - 1);
+}
+
+uint64_t
+InstancePool::invocations() const
+{
+    uint64_t n = 0;
+    for (const auto& slot : _slots) {
+        n += slot->stats.invocations.load(std::memory_order_relaxed);
+    }
+    return n;
+}
+
+uint64_t
+InstancePool::traps() const
+{
+    uint64_t n = 0;
+    for (const auto& slot : _slots) {
+        n += slot->stats.traps.load(std::memory_order_relaxed);
+    }
+    return n;
+}
+
+uint64_t
+InstancePool::snapshotsRetired() const
+{
+    return _retiredCount.load(std::memory_order_relaxed);
+}
+
+uint64_t
+InstancePool::snapshotsFreed() const
+{
+    return _freedCount.load(std::memory_order_relaxed);
+}
+
+} // namespace wizpp::serve

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * InstancePool: the multi-instance serving runtime (docs/SERVING.md).
+ *
+ * One ValidatedModule, N engines (one per worker thread, each with
+ * its own linear memory, frame stack, probe sites, and compiled
+ * code), driven by a WorkStealingExecutor handling thousands of
+ * short-lived invocations. The pool is where the single-threaded
+ * instrumentation epoch becomes an RCU generation:
+ *
+ *  - A *fleet op* (batch attach, batch detach, or a generic engine
+ *    mutation) is published by swapping an immutable OpsSnapshot
+ *    pointer and bumping the GenerationGate.
+ *  - Each worker applies pending ops to its *own* engine at its next
+ *    quiescent point (between invocations), inside a pinned section.
+ *    Because every probe-site structure is engine-private and only
+ *    ever mutated by its owner thread at a quiescent point, torn
+ *    fused-probe lists are impossible by construction — the fleet
+ *    never mutates an engine another thread is executing.
+ *  - The writer waits for every worker to apply (bounded by one
+ *    invocation per worker — the executor wakes parked workers so
+ *    idle fleets apply immediately), then for a grace period, then
+ *    reclaims superseded snapshots. Use-after-retire is checked by a
+ *    canary in debug and by the TSan/ASan suites.
+ *
+ * Metrics stay lock-free and per-worker: each worker owns a
+ * cache-line-padded WorkerStats block and a latency Histogram written
+ * only by relaxed atomics on its own thread; aggregation merges at
+ * read time.
+ */
+
+#ifndef WIZPP_SERVE_POOL_H
+#define WIZPP_SERVE_POOL_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "serve/executor.h"
+#include "serve/rcu.h"
+
+namespace wizpp::serve {
+
+/**
+ * Builds the per-worker probe list for a fleet attach. Called on the
+ * *owning worker's thread* at a quiescent point, so it may freely
+ * inspect the engine and must create fresh Probe instances (probes
+ * fire on that worker's thread; sharing one instance across workers
+ * would race its state).
+ */
+using ProbePlan = std::function<std::vector<ProbeManager::SiteProbe>(
+    Engine&, uint32_t worker)>;
+
+/** A generic fleet-wide engine mutation, same execution contract. */
+using EngineOp = std::function<void(Engine&, uint32_t worker)>;
+
+/** Completion callback for one invocation (runs on the worker). */
+using DoneFn =
+    std::function<void(uint32_t worker,
+                       const Result<std::vector<Value>>& result)>;
+
+struct PoolOptions
+{
+    uint32_t workers = 1;
+};
+
+/** Per-worker counters; padded so owners never false-share. */
+struct alignas(64) WorkerStats
+{
+    std::atomic<uint64_t> invocations{0};
+    std::atomic<uint64_t> traps{0};
+    /** Invocations that ran with at least one probed site attached. */
+    std::atomic<uint64_t> instrumentedInvocations{0};
+    std::atomic<uint64_t> batchesApplied{0};
+    /** Worst single quiescent-point application pause, microseconds. */
+    std::atomic<uint64_t> applyPauseMaxUs{0};
+    std::atomic<uint64_t> applyPauseTotalUs{0};
+};
+
+class InstancePool
+{
+  public:
+    InstancePool(std::shared_ptr<const ValidatedModule> vm,
+                 EngineConfig config, PoolOptions opts);
+    ~InstancePool();
+
+    InstancePool(const InstancePool&) = delete;
+    InstancePool& operator=(const InstancePool&) = delete;
+
+    /**
+     * Builds one engine per worker from the shared module (loadShared
+     * + instantiate, including the start function) and starts the
+     * executor. Returns the first instantiation error, if any.
+     */
+    Result<bool> start();
+
+    /** Drains outstanding work and joins the workers. Idempotent. */
+    void stop();
+
+    // ---- Request side ----
+
+    /** Resolves an export/function name; -1 if absent. */
+    int32_t findFunc(const std::string& name) const;
+
+    /** Enqueues one invocation; @p done (optional) runs on the worker. */
+    void submit(uint32_t funcIndex, std::vector<Value> args,
+                DoneFn done = {});
+
+    /** Blocks until every submitted invocation has finished. */
+    void drain();
+
+    // ---- Fleet instrumentation (the RCU writer side) ----
+    // All three are serialized internally and may be called from any
+    // non-worker thread while the fleet is busy. They return only
+    // after every worker has applied the op *and* a full grace period
+    // has elapsed, so the caller observes fleet-wide completion.
+
+    /**
+     * Batch-attaches @p plan's probes to every worker's engine at its
+     * next quiescent point. Returns a batch id for detachBatch().
+     */
+    uint64_t attachEach(ProbePlan plan);
+
+    /** Batch-detaches a previous attachEach() everywhere. */
+    void detachBatch(uint64_t batchId);
+
+    /** Runs @p op once on every worker's engine (generic fleet op). */
+    void applyEach(EngineOp op);
+
+    /**
+     * Waits for a full grace period with no op: every invocation that
+     * was in flight when this was called has finished.
+     */
+    void synchronize();
+
+    // ---- Introspection ----
+    // Engines and batch records are owned by their workers; read them
+    // only while the fleet is quiesced (after drain() with no
+    // concurrent submits, after a writer call returned, or after
+    // stop()).
+
+    uint32_t workers() const noexcept { return _executor.workers(); }
+    WorkStealingExecutor& executor() noexcept { return _executor; }
+    const GenerationGate& gate() const noexcept { return _gate; }
+
+    Engine& workerEngine(uint32_t w) { return *_slots[w]->engine; }
+    const WorkerStats& workerStats(uint32_t w) const
+    {
+        return _slots[w]->stats;
+    }
+    const obs::Histogram& workerLatency(uint32_t w) const
+    {
+        return _slots[w]->latencyUs;
+    }
+
+    /**
+     * The exact probes @p batchId attached on @p worker (empty if
+     * none). Valid after the attach returned; stable across detach —
+     * use it to read per-worker fire counts back out of a detached
+     * batch.
+     */
+    const std::vector<ProbeManager::SiteProbe>& attachedProbes(
+        uint64_t batchId, uint32_t w) const;
+
+    /** Merged invocation-latency quantile across all workers (µs). */
+    uint64_t latencyQuantileUs(double q) const;
+
+    uint64_t invocations() const;
+    uint64_t traps() const;
+
+    /** Snapshots retired / reclaimed so far (retirement telemetry). */
+    uint64_t snapshotsRetired() const;
+    uint64_t snapshotsFreed() const;
+
+  private:
+    struct FleetOp
+    {
+        enum class Kind : uint8_t { Attach, Detach, Generic };
+        Kind kind = Kind::Generic;
+        uint64_t gen = 0;      ///< generation that published this op
+        uint64_t batchId = 0;  ///< attach: new id; detach: target
+        ProbePlan plan;
+        EngineOp op;
+    };
+
+    /**
+     * The immutable publication unit: readers load the pointer inside
+     * a pinned section and never see it mutate. Superseded snapshots
+     * are reclaimed only after a grace period.
+     */
+    struct OpsSnapshot
+    {
+        static constexpr uint64_t kCanary = 0x5ca1ab1e0ddba11ull;
+        uint64_t canary = kCanary;
+        std::vector<std::shared_ptr<const FleetOp>> ops;  ///< gen asc
+    };
+
+    struct BatchRecord
+    {
+        std::vector<ProbeManager::SiteProbe> probes;
+        bool detached = false;
+    };
+
+    /** Per-worker state; mutated only by the owning worker thread. */
+    struct alignas(64) WorkerSlot
+    {
+        std::unique_ptr<Engine> engine;
+        /** Highest generation whose ops this worker has applied. */
+        std::atomic<uint64_t> applied{0};
+        WorkerStats stats;
+        obs::Histogram latencyUs;
+        std::unordered_map<uint64_t, BatchRecord> batches;
+    };
+
+    void onQuiescent(uint32_t w);
+    void applyOp(const FleetOp& op, uint32_t w);
+    void runOne(uint32_t w, uint32_t funcIndex,
+                const std::vector<Value>& args, const DoneFn& done);
+
+    /** Publishes @p op and blocks through application + grace. */
+    uint64_t publishAndWait(FleetOp op);
+    void waitAllApplied(uint64_t gen);
+    /** Frees retired snapshots whose grace period ended at <= gen. */
+    void reclaim(uint64_t gen);
+
+    std::shared_ptr<const ValidatedModule> _vm;
+    EngineConfig _config;
+    std::vector<std::unique_ptr<WorkerSlot>> _slots;
+    GenerationGate _gate;
+    WorkStealingExecutor _executor;
+
+    std::atomic<const OpsSnapshot*> _ops;
+
+    std::mutex _writerMu;  ///< serializes all fleet writers
+    struct Retired
+    {
+        const OpsSnapshot* snap;
+        uint64_t graceGen;  ///< free once synchronized through this
+    };
+    std::vector<Retired> _graveyard;  ///< guarded by _writerMu
+    uint64_t _nextBatchId = 1;        ///< guarded by _writerMu
+    std::atomic<uint64_t> _retiredCount{0};
+    std::atomic<uint64_t> _freedCount{0};
+    bool _started = false;
+};
+
+} // namespace wizpp::serve
+
+#endif // WIZPP_SERVE_POOL_H

@@ -1,0 +1,30 @@
+#include "serve/rcu.h"
+
+#include <chrono>
+#include <thread>
+
+namespace wizpp::serve {
+
+void
+GenerationGate::synchronize(uint64_t gen) const noexcept
+{
+    for (const Slot& s : _slots) {
+        // Adaptive wait: spin briefly (readers quiesce every
+        // invocation, typically microseconds), then back off to short
+        // sleeps so a descheduled reader does not burn a core.
+        for (int spins = 0;; spins++) {
+            // seq_cst: the load must be ordered after the writer's
+            // publication (see pin() — the Dekker pair's other side).
+            uint64_t p = s.pinned.load(std::memory_order_seq_cst);
+            if (p == kQuiescent || p >= gen) break;
+            if (spins < 64) {
+                std::this_thread::yield();
+            } else {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+            }
+        }
+    }
+}
+
+} // namespace wizpp::serve

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * GenerationGate: the RCU-style grace-period primitive behind the
+ * serving runtime's concurrency-safe instrumentation
+ * (docs/SERVING.md).
+ *
+ * The single-threaded engine already has an instrumentation *epoch* —
+ * a counter bumped once per probe batch so compiled code and cached
+ * dispatch state notice that instrumentation changed
+ * (docs/INTERPRETER.md). The serving runtime generalizes that counter
+ * into a *generation* published across threads:
+ *
+ *  - Writers (fleet-wide batch attach/detach in serve::InstancePool)
+ *    publish new instrumentation state, bump the generation, and wait
+ *    for a grace period before reclaiming anything the publication
+ *    superseded.
+ *  - Readers (pool workers) pin the current generation for the
+ *    duration of one invocation — the read-side critical section —
+ *    and are quiescent between invocations. Anything a reader can
+ *    observe while pinned at generation G stays alive until every
+ *    reader is quiescent or pinned at a generation >= the one that
+ *    retired it.
+ *
+ * This is quiescent-state-based reclamation (QSBR): read-side cost is
+ * one seq_cst store and one relaxed load per invocation, never a
+ * lock, and writers pay the whole price of synchronization. The
+ * store/load pairs use seq_cst rather than a fence so ThreadSanitizer
+ * models the handshake exactly (TSan cannot reason about
+ * atomic_thread_fence, and the cost difference is invisible at
+ * invocation granularity). The correctness
+ * argument and the memory-ordering table for every atomic below are
+ * documented in docs/SERVING.md and verified by the TSan preset
+ * (build-tsan) over tests/test_serve.cc.
+ */
+
+#ifndef WIZPP_SERVE_RCU_H
+#define WIZPP_SERVE_RCU_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace wizpp::serve {
+
+/**
+ * A grace-period gate over a fixed set of reader slots (one per
+ * worker thread). Writer methods (publish, synchronize) may be called
+ * from any thread but must be externally serialized — the pool holds
+ * one writer mutex. Reader methods (pin, unpin) are wait-free and
+ * must only be called on the slot's owning thread.
+ */
+class GenerationGate
+{
+  public:
+    /** Slot value meaning "not inside a read-side critical section". */
+    static constexpr uint64_t kQuiescent = 0;
+
+    /** @p readers is the fixed number of reader slots (workers). */
+    explicit GenerationGate(uint32_t readers) : _slots(readers) {}
+
+    GenerationGate(const GenerationGate&) = delete;
+    GenerationGate& operator=(const GenerationGate&) = delete;
+
+    /** The current published generation (starts at 1, only grows). */
+    uint64_t
+    current() const noexcept
+    {
+        return _gen.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Enters a read-side critical section on @p slot and returns the
+     * pinned generation. The seq_cst slot store orders the pin before
+     * any subsequent load of writer-published state (Dekker with the
+     * writer's publish-then-inspect sequence): a writer that observed
+     * this slot quiescent is guaranteed the reader will load the
+     * *new* publication, never a reclaimed one — the store-load
+     * ordering both sides of the RCU handshake rely on.
+     */
+    uint64_t
+    pin(uint32_t slot) noexcept
+    {
+        uint64_t g = _gen.load(std::memory_order_relaxed);
+        _slots[slot].pinned.store(g, std::memory_order_seq_cst);
+        return g;
+    }
+
+    /**
+     * Leaves the read-side critical section. The release store orders
+     * every read the critical section performed before the quiescent
+     * mark a synchronizing writer acquires.
+     */
+    void
+    unpin(uint32_t slot) noexcept
+    {
+        _slots[slot].pinned.store(kQuiescent, std::memory_order_release);
+    }
+
+    /** True while @p slot is inside a read-side critical section. */
+    bool
+    pinned(uint32_t slot) const noexcept
+    {
+        return _slots[slot].pinned.load(std::memory_order_acquire) !=
+               kQuiescent;
+    }
+
+    /**
+     * Writer: advances the generation after new state has been
+     * published (store the state first, then publish — readers load
+     * in the opposite order). Returns the new generation. The seq_cst
+     * bump pairs with the seq_cst slot store in pin().
+     */
+    uint64_t
+    publish() noexcept
+    {
+        return _gen.fetch_add(1, std::memory_order_seq_cst) + 1;
+    }
+
+    /**
+     * Writer: blocks until every reader slot has been observed either
+     * quiescent or pinned at a generation >= @p gen. Once a slot
+     * passes, that reader can no longer hold a reference to anything
+     * retired before @p gen: a quiescent reader re-pinning stores its
+     * pin seq_cst and then loads post-publication state. Readers
+     * quiesce at every
+     * invocation boundary, so the wait is bounded by the longest
+     * in-flight invocation plus scheduling delay.
+     */
+    void synchronize(uint64_t gen) const noexcept;
+
+    uint32_t readers() const noexcept
+    {
+        return static_cast<uint32_t>(_slots.size());
+    }
+
+  private:
+    /** One cache line per reader so pin/unpin never false-share. */
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> pinned{kQuiescent};
+    };
+
+    std::atomic<uint64_t> _gen{1};
+    std::vector<Slot> _slots;
+};
+
+} // namespace wizpp::serve
+
+#endif // WIZPP_SERVE_RCU_H

@@ -720,4 +720,15 @@ validateModule(const Module& m)
     return info;
 }
 
+Result<std::shared_ptr<const ValidatedModule>>
+ValidatedModule::create(Module m)
+{
+    auto vr = validateModule(m);
+    if (!vr.ok()) return vr.error();
+    auto vm = std::make_shared<ValidatedModule>();
+    vm->module = std::move(m);
+    vm->info = vr.take();
+    return std::shared_ptr<const ValidatedModule>(std::move(vm));
+}
+
 } // namespace wizpp

@@ -10,6 +10,7 @@
 #ifndef WIZPP_WASM_VALIDATOR_H
 #define WIZPP_WASM_VALIDATOR_H
 
+#include <memory>
 #include <vector>
 
 #include "support/result.h"
@@ -23,6 +24,25 @@ struct ValidationInfo
 {
     std::vector<SideTable> sideTables;
     std::vector<uint32_t> maxOperandStack;  ///< per-function max height
+};
+
+/**
+ * A module validated exactly once and frozen for sharing. Engines
+ * built from the same ValidatedModule share the bytes and the
+ * validation output immutably (each engine still makes its own
+ * mutable code copies — probe insertion overwrites bytecode — and
+ * finalizes its own side-table slots). This is the unit the serving
+ * runtime's instance pool fans out across worker threads
+ * (docs/SERVING.md): validate once, instantiate N times.
+ */
+struct ValidatedModule
+{
+    Module module;
+    ValidationInfo info;
+
+    /** Validates @p m; on success returns the frozen shared module. */
+    static Result<std::shared_ptr<const ValidatedModule>> create(
+        Module m);
 };
 
 /**

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Serving-runtime tests (docs/SERVING.md): the work-stealing
+ * executor, the GenerationGate RCU primitive, and the InstancePool's
+ * concurrency contract — exact fire counts under mid-flight fleet
+ * attach/detach, per-instance trace byte-identity under concurrent
+ * recording, and a generation-retirement stress test. This suite is
+ * what the ThreadSanitizer preset (build-tsan) runs.
+ */
+
+#include "test_util.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "monitors/monitor.h"
+#include "serve/executor.h"
+#include "serve/pool.h"
+#include "serve/rcu.h"
+#include "suites/suites.h"
+#include "trace/recorder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+namespace {
+
+using serve::GenerationGate;
+using serve::InstancePool;
+using serve::PoolOptions;
+using serve::WorkStealingExecutor;
+using test::mustParse;
+
+/** A counting loop: the probed instruction executes exactly n times. */
+const char* kLoopWat = R"((module
+  (func (export "f") (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    (block $x (loop $t
+      (br_if $x (i32.ge_u (local.get $i) (local.get $n)))
+      (local.set $acc (i32.add (local.get $acc) (i32.const 3)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $t)))
+    (local.get $acc))
+))";
+
+// TSan's ~15x interpreter slowdown turns the release-sized traffic
+// waves into ctest timeouts on small hosts, and the interleavings it
+// checks don't need the volume — scale the heavy tests down under
+// TSan only.
+#if defined(__SANITIZE_THREAD__)
+#  define WIZPP_TSAN_BUILD 1
+#elif defined(__has_feature)
+#  if __has_feature(thread_sanitizer)
+#    define WIZPP_TSAN_BUILD 1
+#  endif
+#endif
+#ifdef WIZPP_TSAN_BUILD
+constexpr int kWave = 40;
+#else
+constexpr int kWave = 300;
+#endif
+
+std::shared_ptr<const ValidatedModule>
+mustValidate(const std::string& wat)
+{
+    auto r = ValidatedModule::create(mustParse(wat));
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().toString());
+    return r.take();
+}
+
+/** First pc holding @p opcode in function 0 of a fresh engine. */
+uint32_t
+findOpcodePc(const std::string& wat, uint8_t opcode)
+{
+    auto eng = test::makeEngine(wat);
+    FuncState& fs = eng->funcState(0);
+    for (uint32_t pc : fs.sideTable.instrBoundaries) {
+        if (fs.decl->code[pc] == opcode) return pc;
+    }
+    ADD_FAILURE() << "opcode not found";
+    return 0;
+}
+
+// ---- Executor --------------------------------------------------------
+
+TEST(Executor, RunsEverySubmittedTask)
+{
+    WorkStealingExecutor ex(4);
+    ex.start();
+    std::atomic<uint64_t> sum{0};
+    for (int i = 1; i <= 1000; i++) {
+        ex.submit([&sum, i](uint32_t) {
+            sum.fetch_add((uint64_t)i, std::memory_order_relaxed);
+        });
+    }
+    ex.drain();
+    EXPECT_EQ(sum.load(), 1000u * 1001u / 2);
+    ex.stop();
+}
+
+TEST(Executor, StealsFromLoadedWorker)
+{
+    WorkStealingExecutor ex(4);
+    ex.start();
+    std::atomic<uint32_t> executedBy[4] = {};
+    // Pile everything on worker 0; the others must steal to help.
+    for (int i = 0; i < 400; i++) {
+        ex.submitTo(0, [&executedBy](uint32_t w) {
+            executedBy[w].fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        });
+    }
+    ex.drain();
+    uint32_t total = 0;
+    for (auto& c : executedBy) total += c.load();
+    EXPECT_EQ(total, 400u);
+    EXPECT_GT(ex.steals(), 0u);
+    ex.stop();
+}
+
+TEST(Executor, QuiescentHookRunsWhileParked)
+{
+    std::atomic<uint64_t> quiescentCalls{0};
+    serve::WorkerHooks hooks;
+    hooks.onQuiescent = [&quiescentCalls](uint32_t) {
+        quiescentCalls.fetch_add(1, std::memory_order_relaxed);
+    };
+    WorkStealingExecutor ex(2, hooks);
+    ex.start();
+    ex.drain();  // nothing queued
+    uint64_t before = quiescentCalls.load();
+    ex.wakeAll();  // parked workers must still pass through the hook
+    for (int i = 0; i < 1000 && quiescentCalls.load() <= before; i++) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GT(quiescentCalls.load(), before);
+    ex.stop();
+}
+
+// ---- GenerationGate --------------------------------------------------
+
+TEST(GenerationGate, PinUnpinPublish)
+{
+    GenerationGate gate(2);
+    EXPECT_EQ(gate.current(), 1u);
+    EXPECT_EQ(gate.pin(0), 1u);
+    EXPECT_TRUE(gate.pinned(0));
+    EXPECT_FALSE(gate.pinned(1));
+    gate.unpin(0);
+    EXPECT_FALSE(gate.pinned(0));
+    EXPECT_EQ(gate.publish(), 2u);
+    EXPECT_EQ(gate.current(), 2u);
+    gate.synchronize(2);  // all quiescent: returns immediately
+}
+
+TEST(GenerationGate, SynchronizeWaitsForStaleReader)
+{
+    GenerationGate gate(1);
+    std::atomic<bool> synced{false};
+
+    // Reader pins the current generation, then a writer publishes.
+    ASSERT_EQ(gate.pin(0), 1u);
+    uint64_t g = gate.publish();
+
+    std::thread writer([&] {
+        gate.synchronize(g);
+        synced.store(true, std::memory_order_release);
+    });
+    // The writer must not complete while the stale pin is held.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(synced.load(std::memory_order_acquire));
+    gate.unpin(0);
+    writer.join();
+    EXPECT_TRUE(synced.load());
+
+    // A reader pinned at the *new* generation does not block writers.
+    EXPECT_EQ(gate.pin(0), g);
+    gate.synchronize(g);
+    gate.unpin(0);
+}
+
+// ---- InstancePool: basics --------------------------------------------
+
+TEST(InstancePool, ServesConcurrentInvocations)
+{
+    InstancePool pool(mustValidate(kLoopWat), EngineConfig{},
+                     PoolOptions{4});
+    ASSERT_TRUE(pool.start().ok());
+    std::atomic<uint64_t> wrong{0};
+    for (int i = 0; i < 2000; i++) {
+        pool.submit(0, {Value::makeI32(10)},
+                    [&wrong](uint32_t, const Result<std::vector<Value>>&
+                                           r) {
+                        if (!r.ok() || r.value()[0].i32() != 30u) {
+                            wrong.fetch_add(1,
+                                            std::memory_order_relaxed);
+                        }
+                    });
+    }
+    pool.drain();
+    EXPECT_EQ(wrong.load(), 0u);
+    EXPECT_EQ(pool.invocations(), 2000u);
+    EXPECT_EQ(pool.traps(), 0u);
+    EXPECT_GT(pool.latencyQuantileUs(0.5), 0u);
+    pool.stop();
+}
+
+TEST(InstancePool, EachWorkerHasIsolatedMemory)
+{
+    // Each instance must own its linear memory: a counter in memory
+    // bumped per invocation stays per-worker, never shared.
+    const char* wat = R"((module
+      (memory 1)
+      (func (export "bump") (result i32)
+        (i32.store (i32.const 0)
+                   (i32.add (i32.load (i32.const 0)) (i32.const 1)))
+        (i32.load (i32.const 0)))
+    ))";
+    InstancePool pool(mustValidate(wat), EngineConfig{},
+                     PoolOptions{4});
+    ASSERT_TRUE(pool.start().ok());
+    for (int i = 0; i < 800; i++) pool.submit(0, {});
+    pool.drain();
+    pool.stop();
+    // Per-worker: memory counter == that worker's invocation count.
+    uint64_t total = 0;
+    for (uint32_t w = 0; w < pool.workers(); w++) {
+        Engine& eng = pool.workerEngine(w);
+        uint32_t inMemory = 0;
+        std::memcpy(&inMemory, eng.instance().memory.data(), 4);
+        EXPECT_EQ(inMemory, pool.workerStats(w).invocations.load());
+        total += inMemory;
+    }
+    EXPECT_EQ(total, 800u);
+}
+
+// ---- InstancePool: RCU fleet instrumentation -------------------------
+
+/**
+ * The satellite-task core: batch attach + detach mid-flight while 8
+ * workers execute a corpus program. Fire counts must be *exact*: each
+ * invocation runs either fully instrumented or fully uninstrumented
+ * (applies happen only at quiescent points), so every worker's count
+ * is exactly perInvocationFires x its instrumented invocations — no
+ * lost fires, no double fires, no torn fused lists.
+ */
+TEST(InstancePool, MidFlightFleetAttachDetachExactFireCounts)
+{
+    const BenchProgram* prog = findProgram("gemm");
+    ASSERT_NE(prog, nullptr);
+    const int n = 4;
+
+    // Reference: per-invocation fires at the probed pc, single engine.
+    uint32_t pc = 0;
+    uint64_t perInvocation = 0;
+    {
+        auto eng = test::makeEngine(prog->wat);
+        int32_t f = eng->findFunc(prog->entry);
+        ASSERT_GE(f, 0);
+        FuncState& fs = eng->funcState((uint32_t)f);
+        pc = fs.sideTable.instrBoundaries.at(1);
+        auto probe = std::make_shared<CountProbe>();
+        ASSERT_TRUE(
+            eng->probes().insertLocal((uint32_t)f, pc, probe));
+        ASSERT_TRUE(
+            eng->callExport(prog->entry, {Value::makeI32(n)}).ok());
+        perInvocation = probe->count;
+        ASSERT_GT(perInvocation, 0u);
+    }
+
+    InstancePool pool(mustValidate(prog->wat), EngineConfig{},
+                     PoolOptions{8});
+    ASSERT_TRUE(pool.start().ok());
+    int32_t f = pool.findFunc(prog->entry);
+    ASSERT_GE(f, 0);
+
+    auto submitSome = [&](int count) {
+        for (int i = 0; i < count; i++) {
+            pool.submit((uint32_t)f, {Value::makeI32(n)});
+        }
+    };
+
+    submitSome(kWave);  // uninstrumented traffic in flight
+    uint64_t batch = pool.attachEach(
+        [f, pc](Engine&, uint32_t) {
+            std::vector<ProbeManager::SiteProbe> probes;
+            probes.push_back({(uint32_t)f, pc,
+                              std::make_shared<CountProbe>()});
+            return probes;
+        });
+    submitSome(kWave);  // instrumented traffic
+    pool.drain();     // detach must not overtake the queued wave
+    pool.detachBatch(batch);
+    submitSome(kWave);  // uninstrumented again
+    pool.drain();
+    pool.stop();
+
+    uint64_t totalInstrumented = 0;
+    for (uint32_t w = 0; w < pool.workers(); w++) {
+        const auto& probes = pool.attachedProbes(batch, w);
+        ASSERT_EQ(probes.size(), 1u);
+        auto* cp = static_cast<CountProbe*>(probes[0].probe.get());
+        uint64_t instrInvocations =
+            pool.workerStats(w).instrumentedInvocations.load();
+        // Exactness: fires are a whole multiple of one invocation's
+        // fires, and the multiple is the worker's own instrumented
+        // invocation count.
+        EXPECT_EQ(cp->count, perInvocation * instrInvocations)
+            << "worker " << w;
+        totalInstrumented += instrInvocations;
+    }
+    // The attach returned only after every worker applied, before the
+    // second wave was submitted; the detach covered the rest. So the
+    // instrumented window saw at least the middle wave.
+    EXPECT_GE(totalInstrumented, (uint64_t)kWave);
+    EXPECT_EQ(pool.invocations(), (uint64_t)(3 * kWave));
+    EXPECT_EQ(pool.traps(), 0u);
+}
+
+/**
+ * Concurrent recording: every worker records one invocation of the
+ * same deterministic program at the same probe points, all at the
+ * same time. Per-instance traces must be byte-identical — instance
+ * isolation means concurrency cannot leak into recorded streams.
+ */
+TEST(InstancePool, TraceByteIdentityAcrossInstances)
+{
+    const BenchProgram* prog = findProgram("gemm");
+    ASSERT_NE(prog, nullptr);
+    const int n = 4;
+
+    InstancePool pool(mustValidate(prog->wat), EngineConfig{},
+                     PoolOptions{8});
+    ASSERT_TRUE(pool.start().ok());
+    int32_t f = pool.findFunc(prog->entry);
+    ASSERT_GE(f, 0);
+
+    // Warm traffic so recording happens on busy, tiered-up engines.
+    for (int i = 0; i < 200; i++) {
+        pool.submit((uint32_t)f, {Value::makeI32(n)});
+    }
+    pool.drain();
+
+    std::vector<std::vector<uint8_t>> traces(pool.workers());
+    pool.applyEach([&traces, prog, f, n](Engine& eng, uint32_t w) {
+        TraceRecorder rec;
+        eng.attachMonitor(&rec);
+        FuncState& fs = eng.funcState((uint32_t)f);
+        ASSERT_GE(fs.sideTable.instrBoundaries.size(), 3u);
+        rec.addProbePoint((uint32_t)f,
+                          fs.sideTable.instrBoundaries.at(1));
+        rec.addProbePoint((uint32_t)f,
+                          fs.sideTable.instrBoundaries.at(2));
+        std::vector<Value> args = {Value::makeI32(n)};
+        rec.setInvocation(prog->entry, args);
+        auto r = eng.callExport(prog->entry, args);
+        ASSERT_TRUE(r.ok());
+        rec.finish(TrapReason::None, r.value());
+        traces[w] = rec.bytes();
+        // Restore: drop the recorder's probes before more traffic.
+        eng.probes().removeAllLocal(
+            (uint32_t)f, fs.sideTable.instrBoundaries.at(1));
+        eng.probes().removeAllLocal(
+            (uint32_t)f, fs.sideTable.instrBoundaries.at(2));
+    });
+    pool.stop();
+
+    ASSERT_FALSE(traces[0].empty());
+    for (uint32_t w = 1; w < pool.workers(); w++) {
+        EXPECT_EQ(traces[w], traces[0]) << "worker " << w;
+    }
+}
+
+/**
+ * Generation-retirement stress: hammer attach/detach cycles against
+ * live traffic and assert the retirement pipeline reclaims every
+ * superseded snapshot except the trailing one (whose grace period
+ * ends at the next publication) — with the unconditional canary check
+ * in the reader path proving no apply pass ever touched a reclaimed
+ * snapshot (no use-after-retire of published op lists or the fused
+ * site lists they rebuild).
+ */
+TEST(InstancePool, GenerationRetirementStress)
+{
+    InstancePool pool(mustValidate(kLoopWat), EngineConfig{},
+                     PoolOptions{8});
+    ASSERT_TRUE(pool.start().ok());
+    uint32_t pc = findOpcodePc(kLoopWat, OP_I32_CONST);
+
+    std::atomic<bool> stopTraffic{false};
+    std::thread traffic([&] {
+        while (!stopTraffic.load(std::memory_order_acquire)) {
+            for (int i = 0; i < 64; i++) {
+                pool.submit(0, {Value::makeI32(64)});
+            }
+            pool.drain();
+        }
+    });
+
+    const int kCycles = 50;
+    for (int c = 0; c < kCycles; c++) {
+        uint64_t batch = pool.attachEach([pc](Engine&, uint32_t) {
+            std::vector<ProbeManager::SiteProbe> probes;
+            probes.push_back(
+                {0, pc, std::make_shared<CountProbe>()});
+            return probes;
+        });
+        pool.detachBatch(batch);
+    }
+    stopTraffic.store(true, std::memory_order_release);
+    traffic.join();
+    pool.drain();
+
+    // Every cycle publishes two ops; each publication retires the
+    // previous snapshot and each wait retires a compacted one. All
+    // but the most recent compaction (grace period still open) must
+    // be reclaimed.
+    EXPECT_EQ(pool.snapshotsRetired(), (uint64_t)kCycles * 4);
+    EXPECT_EQ(pool.snapshotsFreed(), pool.snapshotsRetired() - 1);
+    EXPECT_EQ(pool.gate().current(), 1u + (uint64_t)kCycles * 2);
+
+    // Fleet is clean: no probes left anywhere, every batch applied.
+    for (uint32_t w = 0; w < pool.workers(); w++) {
+        EXPECT_EQ(pool.workerEngine(w).probes().numProbedSites(), 0u);
+        EXPECT_EQ(pool.workerStats(w).batchesApplied.load(),
+                  (uint64_t)kCycles * 2);
+    }
+    pool.stop();
+}
+
+/** Fleet ops on an idle (fully parked) pool still complete promptly. */
+TEST(InstancePool, IdleFleetAttachCompletes)
+{
+    InstancePool pool(mustValidate(kLoopWat), EngineConfig{},
+                     PoolOptions{4});
+    ASSERT_TRUE(pool.start().ok());
+    uint32_t pc = findOpcodePc(kLoopWat, OP_I32_CONST);
+    // No traffic at all: workers are parked. wakeAll inside the
+    // writer must still bound the grace period.
+    uint64_t batch = pool.attachEach([pc](Engine&, uint32_t) {
+        std::vector<ProbeManager::SiteProbe> probes;
+        probes.push_back({0, pc, std::make_shared<CountProbe>()});
+        return probes;
+    });
+    for (int i = 0; i < 100; i++) pool.submit(0, {Value::makeI32(7)});
+    pool.drain();
+    pool.detachBatch(batch);
+    uint64_t fires = 0;
+    for (uint32_t w = 0; w < pool.workers(); w++) {
+        const auto& probes = pool.attachedProbes(batch, w);
+        ASSERT_EQ(probes.size(), 1u);
+        fires +=
+            static_cast<CountProbe*>(probes[0].probe.get())->count;
+    }
+    // Every invocation ran instrumented: 7 loop iterations each.
+    EXPECT_EQ(fires, 700u);
+    pool.stop();
+}
+
+/**
+ * Concurrent metrics-registry use: workers snapshotting while another
+ * thread re-registers callbacks — the TSan target for the
+ * MetricsRegistry callback fix.
+ */
+TEST(Metrics, CallbackRegistrationRacesSnapshot)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("c").inc(41);
+    std::atomic<bool> stop{false};
+    std::thread registrar([&] {
+        uint64_t i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            reg.registerCallback("cb", [i] { return i; });
+            i++;
+        }
+    });
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            auto snap = reg.snapshot();
+            EXPECT_EQ(snap.at("c"), 41.0);
+        }
+    });
+    // A callback that itself takes the registry lock must not
+    // deadlock (callbacks are invoked outside the lock).
+    reg.registerCallback("self",
+                         [&reg] { return reg.counter("c").value(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true, std::memory_order_release);
+    registrar.join();
+    reader.join();
+    EXPECT_EQ(reg.value("self"), 41.0);
+}
+
+} // namespace
+} // namespace wizpp

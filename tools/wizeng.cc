@@ -34,6 +34,9 @@
  *     --shake=grow,short,random  deterministic perturbation modes
  *     --shake-seed=<n>     perturbation seed (recorded)
  *     --repro=<file>       verify a fuzz reproducer across all tiers
+ *     --serve=<entry>      serving mode: drive <entry> on an instance
+ *                          pool of worker threads (docs/SERVING.md)
+ *     --serve-threads/--serve-requests/--serve-instrument  pool knobs
  *   `@name` runs a built-in corpus program (e.g. @gemm, @richards).
  *
  * Every flag lives in kFlags below: --help renders the table, and an
@@ -42,8 +45,10 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <iomanip>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -61,6 +66,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/timeline.h"
+#include "serve/pool.h"
 #include "suites/suites.h"
 #include "trace/reader.h"
 #include "trace/recorder.h"
@@ -132,6 +138,16 @@ constexpr FlagSpec kFlags[] = {
     {"--shake-seed", "=<n>", "perturbation seed (default 1, recorded)"},
     {"--repro", "=<file>",
      "verify a fuzz reproducer file across all three tiers"},
+    {"--serve", "=<entry>",
+     "serving mode: drive <entry> across an instance pool "
+     "(docs/SERVING.md)"},
+    {"--serve-threads", "=<n>",
+     "serving worker threads / instances (default 4)"},
+    {"--serve-requests", "=<n>",
+     "invocations the request driver submits (default 1024)"},
+    {"--serve-instrument", "=none|entry|hot",
+     "fleet-attach count probes mid-flight: none, function entries, "
+     "or entries+loop heads"},
     {"--help", "", "show this help and exit"},
 };
 
@@ -358,6 +374,125 @@ split(const std::string& s, char sep)
     return out;
 }
 
+/**
+ * The --serve-instrument fleet plan: a CountProbe at every function
+ * entry ("entry": call-profiler-shaped, fully jit-intrinsified) plus
+ * every loop header ("hot": hotness-profiler-shaped). Runs on each
+ * worker's own thread at a quiescent point (docs/SERVING.md).
+ */
+std::vector<ProbeManager::SiteProbe>
+serveInstrumentPlan(Engine& eng, bool loopHeads)
+{
+    std::vector<ProbeManager::SiteProbe> probes;
+    for (uint32_t fi = 0; fi < eng.numFuncs(); fi++) {
+        FuncState& fs = eng.funcState(fi);
+        if (fs.decl->imported ||
+            fs.sideTable.instrBoundaries.empty()) {
+            continue;
+        }
+        probes.push_back({fi, fs.sideTable.instrBoundaries.front(),
+                          std::make_shared<CountProbe>()});
+        if (loopHeads) {
+            for (uint32_t pc : fs.sideTable.loopHeaders) {
+                probes.push_back(
+                    {fi, pc, std::make_shared<CountProbe>()});
+            }
+        }
+    }
+    return probes;
+}
+
+/**
+ * The --serve request driver: submit --serve-requests invocations of
+ * the entry across the pool; with --serve-instrument, the first half
+ * runs clean, then the fleet is batch-attached mid-flight (the RCU
+ * path) and the second half runs instrumented.
+ */
+int
+runServe(Module module, const EngineConfig& config,
+         const std::string& entry, uint32_t threads, uint32_t requests,
+         const std::string& instrument, std::vector<Value> args,
+         uint32_t defaultN)
+{
+    auto vr = ValidatedModule::create(std::move(module));
+    if (!vr.ok()) {
+        std::cerr << "serve: " << vr.error().toString() << "\n";
+        return 1;
+    }
+    std::shared_ptr<const ValidatedModule> vm = vr.take();
+    serve::InstancePool pool(vm, config, serve::PoolOptions{threads});
+    auto sr = pool.start();
+    if (!sr.ok()) {
+        std::cerr << "serve: " << sr.error().toString() << "\n";
+        return 1;
+    }
+    int32_t f = pool.findFunc(entry);
+    if (f < 0) {
+        std::cerr << "serve: no function '" << entry << "'\n";
+        return 1;
+    }
+    const FuncType& sig = vm->module.funcType(f);
+    while (args.size() < sig.params.size()) {
+        args.push_back(Value::makeI32(defaultN));
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    uint32_t firstWave =
+        instrument == "none" ? requests : requests / 2;
+    for (uint32_t i = 0; i < firstWave; i++) {
+        pool.submit(static_cast<uint32_t>(f), args);
+    }
+    uint64_t batch = 0;
+    if (instrument != "none") {
+        bool loopHeads = instrument == "hot";
+        batch = pool.attachEach([loopHeads](Engine& eng, uint32_t) {
+            return serveInstrumentPlan(eng, loopHeads);
+        });
+        for (uint32_t i = firstWave; i < requests; i++) {
+            pool.submit(static_cast<uint32_t>(f), args);
+        }
+    }
+    pool.drain();
+    double secs =
+        (double)std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        1e6;
+
+    uint64_t fires = 0;
+    uint64_t instrumented = 0;
+    uint64_t maxPauseUs = 0;
+    for (uint32_t w = 0; w < pool.workers(); w++) {
+        instrumented +=
+            pool.workerStats(w).instrumentedInvocations.load();
+        maxPauseUs = std::max(
+            maxPauseUs, pool.workerStats(w).applyPauseMaxUs.load());
+        if (batch != 0) {
+            for (const auto& sp : pool.attachedProbes(batch, w)) {
+                fires +=
+                    static_cast<CountProbe*>(sp.probe.get())->count;
+            }
+        }
+    }
+
+    std::cout << "serve: " << pool.invocations()
+              << " invocation(s) on " << pool.workers()
+              << " worker(s), " << pool.traps() << " trap(s), "
+              << pool.executor().steals() << " steal(s)\n";
+    std::cout << "serve: " << std::fixed << std::setprecision(1)
+              << ((double)pool.invocations() / (secs > 0 ? secs : 1))
+              << " inv/s, p50=" << pool.latencyQuantileUs(0.5)
+              << "us p99=" << pool.latencyQuantileUs(0.99) << "us\n";
+    if (batch != 0) {
+        std::cout << "serve: instrumented " << instrumented
+                  << " invocation(s), " << fires
+                  << " probe fire(s), max apply pause " << maxPauseUs
+                  << "us\n";
+    }
+    pool.stop();
+    return pool.traps() == 0 ? 0 : 42;
+}
+
 } // namespace
 
 int
@@ -387,6 +522,11 @@ main(int argc, char** argv)
     std::string shakeModes;
     bool shakeRequested = false;
     std::string reproFile;
+    std::string serveEntry;
+    bool serveRequested = false;
+    uint32_t serveThreads = 4;
+    uint32_t serveRequests = 1024;
+    std::string serveInstrument = "none";
 
     for (int i = 1; i < argc; i++) {
         std::string a = argv[i];
@@ -509,6 +649,37 @@ main(int argc, char** argv)
             shakeRequested = true;
         } else if (a.rfind("--repro=", 0) == 0) {
             reproFile = a.substr(8);
+        } else if (a.rfind("--serve=", 0) == 0) {
+            serveEntry = a.substr(8);
+            serveRequested = true;
+            if (serveEntry.empty()) {
+                std::cerr << "--serve needs an entry name\n";
+                return 1;
+            }
+        } else if (a.rfind("--serve-threads=", 0) == 0) {
+            serveThreads = static_cast<uint32_t>(
+                strtoul(a.c_str() + 16, nullptr, 0));
+            if (serveThreads == 0 || serveThreads > 256) {
+                std::cerr << "--serve-threads must be in [1, 256]\n";
+                return 1;
+            }
+        } else if (a.rfind("--serve-requests=", 0) == 0) {
+            serveRequests = static_cast<uint32_t>(
+                strtoul(a.c_str() + 17, nullptr, 0));
+            if (serveRequests == 0) {
+                std::cerr << "--serve-requests must be >= 1\n";
+                return 1;
+            }
+        } else if (a.rfind("--serve-instrument=", 0) == 0) {
+            serveInstrument = a.substr(19);
+            if (serveInstrument != "none" &&
+                serveInstrument != "entry" &&
+                serveInstrument != "hot") {
+                std::cerr << "--serve-instrument must be none, entry "
+                             "or hot (got '"
+                          << serveInstrument << "')\n";
+                return 1;
+            }
         } else if (a.rfind("--", 0) == 0) {
             // Only `--`-prefixed arguments are flags; bare words are
             // the target and numeric program arguments (which may be
@@ -542,6 +713,17 @@ main(int argc, char** argv)
     }
     if (target.empty()) {
         usage();
+        return 1;
+    }
+    if (serveRequested &&
+        (fuzzRequested || !traceFile.empty() || !replayFile.empty() ||
+         !emitWasmFile.empty() || !monitorList.empty() ||
+         !analyzeKind.empty() || auditLowering ||
+         !profileFile.empty() || shakeRequested)) {
+        std::cerr << "--serve replaces normal execution and cannot be "
+                     "combined with --fuzz/--trace/--replay-check/"
+                     "--emit-wasm/--monitors/--analyze/"
+                     "--audit-lowering/--profile/--shake\n";
         return 1;
     }
     if (fuzzRequested &&
@@ -656,6 +838,12 @@ main(int argc, char** argv)
         !fuzz::parseShakeModes(shakeModes, &fuzzOpts.shake)) {
         std::cerr << "unknown shake mode in '" << shakeModes << "'\n";
         return 1;
+    }
+
+    if (serveRequested) {
+        return runServe(std::move(module), config, serveEntry,
+                        serveThreads, serveRequests, serveInstrument,
+                        std::move(args), defaultN);
     }
 
     if (fuzzRequested) {
