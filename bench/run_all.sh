@@ -32,7 +32,7 @@ cd "$OUT_DIR"
 BENCHES="fig3_local_vs_global fig4_jit_intrinsify fig5_decomposition \
 fig6_all_programs fig7_suite_means sec54_interp_vs_jit \
 sec6_jvmti_calls ablation_engine trace_overhead monitor_scaling \
-analysis_pass obs_overhead fuzz_overhead serving"
+analysis_pass obs_overhead fuzz_overhead serving superinst"
 
 status=0
 for b in $BENCHES; do

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Superinstruction fusion speedup on the interpreter tier
+ * (docs/INTERPRETER.md, "Superinstructions & TOS caching").
+ *
+ * For every program of the fig6 corpus (all three suites), times the
+ * interpreter with fusion on vs off *in the same run* — two engine
+ * configurations differing only in EngineConfig::fuseSuperinstructions
+ * — and reports the per-program speedup plus the corpus geomean. The
+ * geomean is held by the same-run --superinst-floor gate in
+ * scripts/check_bench.py: being a ratio of two measurements taken
+ * seconds apart on one host with one binary, it is comparable across
+ * machines and compilers, unlike the absolute times.
+ *
+ * Also reports the per-program fused-window count (a deterministic
+ * function of the module and the pattern table, gated symmetrically
+ * against the baseline) so a silent matcher regression cannot hide
+ * behind a fast host.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "wat/wat.h"
+
+using namespace wizpp;
+using namespace wizpp::bench;
+
+namespace {
+
+double
+oneRun(const BenchProgram& p, bool fuse, uint32_t n)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    cfg.fuseSuperinstructions = fuse;
+    return runWizardWithConfig(p, cfg, Tool::None, n).seconds;
+}
+
+/**
+ * Measures fused and unfused interpreter time for one program.
+ *
+ * Two robustness measures keep the ratio a ratio and not a noise
+ * sample: the workload is scaled (via the programs' repetition
+ * parameter) until the unfused leg runs at least ~20 ms, and the two
+ * legs are interleaved rep by rep, so a load transient hits both
+ * mins instead of wiping out one whole leg.
+ */
+void
+measurePair(const BenchProgram& p, double* fusedOut, double* unfusedOut)
+{
+    uint32_t n = p.defaultN;
+    double probe = oneRun(p, false, n);
+    if (probe < 0.020) {
+        uint32_t scale = static_cast<uint32_t>(0.025 / probe) + 1;
+        if (scale > 32) scale = 32;
+        n = p.defaultN * scale;
+    }
+    double fused = 0, unfused = 0;
+    int r = reps() < 3 ? 3 : reps();
+    for (int i = 0; i < r; i++) {
+        double f = oneRun(p, true, n);
+        double u = oneRun(p, false, n);
+        if (i == 0 || f < fused) fused = f;
+        if (i == 0 || u < unfused) unfused = u;
+    }
+    *fusedOut = fused;
+    *unfusedOut = unfused;
+}
+
+/** Windows annotated at load: deterministic in (module, table). */
+uint64_t
+countWindows(const BenchProgram& p)
+{
+    auto r = parseWat(p.wat);
+    if (!r.ok()) std::abort();
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    Engine eng(cfg);
+    if (!eng.loadModule(r.take()).ok()) std::abort();
+    return eng.stats.fusedWindows.value();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::string> csv;
+    JsonReport json("superinst");
+    std::vector<double> speedups;
+    uint64_t totalWindows = 0;
+
+    printf("=== Superinstruction fusion: interpreter tier, fused vs "
+           "unfused (same run) ===\n");
+    printf("%-28s %8s %12s %12s %10s\n", "program", "windows",
+           "unfused(ms)", "fused(ms)", "speedup");
+    for (const char* suite : {"polybench", "libsodium", "ostrich"}) {
+        for (const BenchProgram* p : selectPrograms(suite)) {
+            double fused, unfused;
+            measurePair(*p, &fused, &unfused);
+            double speedup = unfused / fused;
+            uint64_t windows = countWindows(*p);
+            speedups.push_back(speedup);
+            totalWindows += windows;
+
+            const std::string id = p->suite + "/" + p->name;
+            printf("%-28s %8llu %12.2f %12.2f %9s\n", id.c_str(),
+                   static_cast<unsigned long long>(windows),
+                   unfused * 1e3, fused * 1e3,
+                   fmtRatio(speedup).c_str());
+            csv.push_back(p->suite + "," + p->name + "," +
+                          std::to_string(windows) + "," +
+                          std::to_string(unfused) + "," +
+                          std::to_string(fused) + "," +
+                          std::to_string(speedup));
+            json.put(id + ".superinst_windows", windows);
+            json.put(id + ".superinst_unfused_s", unfused);
+            json.put(id + ".superinst_fused_s", fused);
+            json.put(id + ".superinst_speedup", speedup);
+        }
+    }
+
+    json.putRange("superinst_speedup", speedups);
+    json.put("superinst.total_windows", totalWindows);
+    printf("\ncorpus geomean speedup: %s over %zu program(s), %llu "
+           "fused window(s)\n", fmtRatio(geomean(speedups)).c_str(),
+           speedups.size(),
+           static_cast<unsigned long long>(totalWindows));
+    printf("gate: scripts/check_bench.py --superinst-floor holds the "
+           "geomean (same-run invariant)\n");
+
+    writeCsv("superinst.csv",
+             "suite,program,windows,unfused_s,fused_s,speedup", csv);
+    const std::string jsonPath = json.write();
+    if (!jsonPath.empty()) printf("wrote %s\n", jsonPath.c_str());
+    return 0;
+}

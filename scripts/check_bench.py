@@ -29,7 +29,16 @@ Design (see docs/BENCHMARKS.md):
   run's per-program `dispatch_threaded_speedup` keys (threaded vs
   table inside one binary on one host) must stay above
   --dispatch-floor. A broken threaded backend collapses that geomean
-  to ~1.0 on any machine or compiler.
+  to ~1.0 on any machine or compiler. The superinstruction gains are
+  held the same way: the geomean of the per-program
+  `superinst_speedup` keys (interpreter fused vs unfused in one run,
+  BENCH_superinst.json) must stay above --superinst-floor.
+- Every same-run gate also checks that its input columns exist in the
+  fresh report: a bench that silently stopped emitting a gated key
+  would otherwise pass vacuously. All missing columns and all
+  violations are reported together in one run. Baseline keys that
+  vanished from a fresh report are skipped with a warning, never
+  silently.
 
 Exit codes: 0 ok, 1 regressions found, 77 skipped (no current bench
 output — lets the `bench.regress` ctest case no-op in test-only
@@ -111,6 +120,12 @@ DETERMINISTIC = [
     # fleet op (docs/SERVING.md).
     r"^serve\.(funcs|sites)$",
     r"^serve\.fires\.(per_invocation|total)$",
+    # Superinstruction fusion structural counts (BENCH_superinst.json):
+    # the number of windows annotated is a function of the module and
+    # the pattern table alone (docs/INTERPRETER.md), so any drift is a
+    # matcher or table change, not noise.
+    r"\.superinst_windows$",
+    r"^superinst\.total_windows$",
 ]
 
 # The only metrics stable enough to gate against the *baseline* when
@@ -162,6 +177,17 @@ def main():
                     help="minimum geomean of the current run's "
                          "per-program dispatch_threaded_speedup keys "
                          "(same-run invariant; 0 disables)")
+    ap.add_argument("--superinst-floor", type=float, default=1.12,
+                    help="minimum geomean of the current run's "
+                         "per-program superinst_speedup keys "
+                         "(interpreter fused vs unfused inside one "
+                         "binary on one host, BENCH_superinst.json; "
+                         "same-run invariant; 0 disables). Quiet "
+                         "full-run measurements sit at ~1.25x; like "
+                         "--dispatch-floor the default leaves noise "
+                         "margin for fast-mode CI runners and guards "
+                         "the collapse case (a broken matcher or "
+                         "handler table measures ~1.0)")
     ap.add_argument("--intrinsify-floor", type=float, default=1.0,
                     help="minimum for the current run's per-kind "
                          "*_intrins_speedup.geomean keys (hotness, "
@@ -227,11 +253,44 @@ def main():
               f"{args.current_dir} - skipping (run bench_all first)")
         return 77
 
+    # Same-run gates and the fresh-report file + key shape each one
+    # reads. Used after the comparison loop to report gates whose
+    # input columns are missing entirely (a bench that stopped
+    # emitting them must not pass vacuously). The serving scaling
+    # floor is absent by design: it only applies on >=16-hw-thread
+    # hosts, so a missing column there is expected.
+    same_run_gates = [
+        ("--dispatch-floor", args.dispatch_floor,
+         "BENCH_sec54_interp_vs_jit.json",
+         re.compile(r"\.dispatch_threaded_speedup$")),
+        ("--superinst-floor", args.superinst_floor,
+         "BENCH_superinst.json",
+         re.compile(r"\.superinst_speedup$")),
+        ("--intrinsify-floor", args.intrinsify_floor,
+         "BENCH_fig4_jit_intrinsify.json",
+         re.compile(
+             r"(hotness|fused|entryexit)_intrins_speedup\.geomean$")),
+        ("--obs-profile-ceiling", args.obs_profile_ceiling,
+         "BENCH_obs_overhead.json",
+         re.compile(r"^(int|jit)\.profile_ratio\.geomean$")),
+        ("--fuzz-steady-ceiling", args.fuzz_steady_ceiling,
+         "BENCH_fuzz.json",
+         re.compile(r"^jit\.coverage_steady_ratio\.geomean$")),
+        ("--serving-p50-ceiling", args.serving_p50_ceiling,
+         "BENCH_serving.json",
+         re.compile(r"^serve\.t\d+\.instr_p50_ratio$")),
+        ("--serving-pause-ceiling", args.serving_pause_ceiling,
+         "BENCH_serving.json",
+         re.compile(r"^serve\.pause\.vs_p99$")),
+    ]
+
     regressions = []   # (file, key, base, cur, ratio, limit)
+    missing = []       # (file, gate flag) — gate columns absent
     compared = 0
     skipped_noisy = 0
     skipped_absolute = 0
     worst = []         # (margin, file, key, ratio, limit)
+    cur_by_file = {}
 
     for fname in common:
         base = load_metrics(os.path.join(args.baseline_dir, fname))
@@ -240,6 +299,22 @@ def main():
             print(f"check_bench: {fname}: not a flat metrics report",
                   file=sys.stderr)
             return 2
+        cur_by_file[fname] = cur
+
+        # Baseline keys that vanished from the fresh report would
+        # otherwise drop out of `set(base) & set(cur)` silently; a
+        # renamed or dropped column may be a gate losing its input,
+        # so skip them loudly.
+        gone = [k for k in sorted(set(base) - set(cur))
+                if not matches_any(k, NOISY_ALLOWLIST)
+                and not (ABSOLUTE_RE.search(k)
+                         and not matches_any(k, DETERMINISTIC))]
+        if gone:
+            shown = ", ".join(gone[:5])
+            more = f" (+{len(gone) - 5} more)" if len(gone) > 5 else ""
+            print(f"check_bench: WARNING: {fname}: {len(gone)} gated "
+                  f"baseline key(s) absent from the fresh report, "
+                  f"skipped: {shown}{more}")
 
         limit = args.threshold
         fast_mismatch = bool(cur.get("fast_mode", 0)) != bool(
@@ -384,6 +459,46 @@ def main():
                          args.dispatch_floor, geomean,
                          args.dispatch_floor / geomean, 1.0))
 
+        # Same-run superinstruction floor (the interpreter fusion
+        # layer's acceptance invariant, docs/INTERPRETER.md): the
+        # geomean of the fused-vs-unfused interpreter speedups over
+        # the fig6 corpus — two configurations of one binary measured
+        # back to back — must stay above the floor on any host.
+        if args.superinst_floor > 0:
+            speedups = [
+                float(v) for k, v in cur.items()
+                if k.endswith(".superinst_speedup") and v > 0
+            ]
+            if speedups:
+                geomean = 1.0
+                for s in speedups:
+                    geomean *= s ** (1.0 / len(speedups))
+                compared += 1
+                if geomean < args.superinst_floor:
+                    regressions.append(
+                        (fname, "<superinst_speedup geomean>",
+                         args.superinst_floor, geomean,
+                         args.superinst_floor / geomean, 1.0))
+
+    # Gate columns that are absent from a fresh report the run DID
+    # produce: the gate would pass vacuously, so that is a failure in
+    # its own right — and all of them are reported together with any
+    # violations, in one run.
+    for flag, enabled, fname, key_re in same_run_gates:
+        if enabled <= 0 or fname not in cur_by_file:
+            continue
+        if not any(key_re.search(k) for k in cur_by_file[fname]):
+            missing.append((fname, flag, key_re.pattern))
+
+    if missing:
+        print("check_bench: MISSING GATE COLUMNS "
+              f"({len(missing)} same-run gate(s) with no input keys "
+              "in the fresh report):\n")
+        for fname, flag, pattern in missing:
+            print(f"  {fname}: {flag} found no key matching "
+                  f"{pattern}")
+        print()
+
     if regressions:
         print("check_bench: PERFORMANCE REGRESSIONS "
               f"({len(regressions)} of {compared} gated metrics):\n")
@@ -394,8 +509,10 @@ def main():
                                          key=lambda t: -t[4]):
             print(f"  {f + ':' + k:<{w}}  {b:>10.4g}  {c:>10.4g}  "
                   f"{r:>6.2f}x  {lim:>5.2f}x")
+    if regressions or missing:
         print("\ncheck_bench: FAIL - raise the metric, fix the "
-              "regression, or allowlist a genuinely noisy metric in "
+              "regression (or restore the missing gate columns), or "
+              "allowlist a genuinely noisy metric in "
               "scripts/check_bench.py")
         return 1
 

@@ -16,13 +16,15 @@ set -u
 WIZENG=${1:?usage: check_help.sh <path-to-wizeng>}
 status=0
 
-# Every flag the engine has grown, PRs 2 through 9. A flag missing
+# Every flag the engine has grown, PRs 2 through 10. A flag missing
 # here is fine (the list is a floor, not a ceiling); a flag missing
 # from --help is a failure.
 FLAGS="
 --monitors
 --mode
 --dispatch
+--no-fuse
+--profile-pairs
 --no-intrinsify
 --invoke
 --list-programs
@@ -72,6 +74,36 @@ fi
 case $out in
     *"did you mean --timeline"*) ;;
     *) echo "check_help: no suggestion for --timelin (got: $out)" >&2
+       status=1 ;;
+esac
+
+# The fusion flags follow the same contract: nearest-flag suggestion
+# for a typo, usage hint for a value-taking flag used bare.
+if out=$("$WIZENG" --no-fus @gemm 2>&1); then
+    echo "check_help: unknown flag --no-fus exited 0" >&2
+    status=1
+fi
+case $out in
+    *"did you mean --no-fuse"*) ;;
+    *) echo "check_help: no suggestion for --no-fus (got: $out)" >&2
+       status=1 ;;
+esac
+if out=$("$WIZENG" --profile-pair=/dev/null @gemm 2>&1); then
+    echo "check_help: unknown flag --profile-pair exited 0" >&2
+    status=1
+fi
+case $out in
+    *"did you mean --profile-pairs"*) ;;
+    *) echo "check_help: no suggestion for --profile-pair" >&2
+       status=1 ;;
+esac
+if out=$("$WIZENG" --profile-pairs @gemm 2>&1); then
+    echo "check_help: bare --profile-pairs exited 0" >&2
+    status=1
+fi
+case $out in
+    *"--profile-pairs=<file>"*) ;;
+    *) echo "check_help: no usage hint for bare --profile-pairs" >&2
        status=1 ;;
 esac
 

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Rank superinstruction fusion candidates from pair-profile reports.
+
+Folds one or more reports written by `wizeng --profile-pairs=<out>`
+(executed straight-line opcode pair/triple histograms) across a corpus
+and ranks candidates by saved dispatches: a fused window of n members
+executed c times saves c*(n-1) handler dispatches.
+
+Candidates are filtered to members a fused handler can actually
+absorb: locals, single-byte consts, pure i32/f64 arithmetic and
+comparisons, plain loads/stores, and a window-terminating br_if.
+Trapping div/rem, calls and interior control flow are excluded — the
+same constraints src/interp/fusion.cc enforces at match time.
+
+With --table=src/interp/fusion.cc the current WIZPP pattern table is
+parsed and each candidate is marked [fused] or [miss], so the output
+reads as a to-do list for retuning the table.
+
+Usage:
+  wizeng --mode=int --profile-pairs=out/p.txt @gemm
+  scripts/mine_superinsts.py [--top=N] [--table=FILE] out/*.txt
+"""
+
+import re
+import sys
+
+# Members a fused handler can absorb mid-window.
+FUSABLE = {
+    "local.get", "local.set", "local.tee",
+    "i32.const", "i64.const", "f32.const", "f64.const",
+    "i32.add", "i32.sub", "i32.mul", "i32.and", "i32.or", "i32.xor",
+    "i32.shl", "i32.shr_s", "i32.shr_u",
+    "i32.eq", "i32.ne", "i32.lt_s", "i32.lt_u", "i32.gt_s", "i32.gt_u",
+    "i32.le_s", "i32.le_u", "i32.ge_s", "i32.ge_u", "i32.eqz",
+    "i64.add", "i64.sub", "i64.mul",
+    "f32.add", "f32.sub", "f32.mul",
+    "f64.add", "f64.sub", "f64.mul", "f64.neg", "f64.abs",
+    "i32.load", "i64.load", "f32.load", "f64.load",
+    "i32.store", "i64.store", "f32.store", "f64.store",
+}
+# May only terminate a window (the branch target is outside it).
+TERMINAL = {"br_if"}
+
+
+def fusable(seq):
+    if any(op not in FUSABLE and op not in TERMINAL for op in seq):
+        return False
+    # br_if only in terminal position.
+    return all(op not in TERMINAL for op in seq[:-1])
+
+
+def fold(paths):
+    pairs, triples = {}, {}
+    instructions = 0
+    for path in paths:
+        with open(path) as f:
+            for line in f:
+                parts = line.split()
+                if not parts:
+                    continue
+                if parts[0] == "instructions":
+                    instructions += int(parts[1])
+                elif parts[0] == "pair" and len(parts) == 4:
+                    key = (parts[1], parts[2])
+                    pairs[key] = pairs.get(key, 0) + int(parts[3])
+                elif parts[0] == "triple" and len(parts) == 5:
+                    key = (parts[1], parts[2], parts[3])
+                    triples[key] = triples.get(key, 0) + int(parts[4])
+    return instructions, pairs, triples
+
+
+def parse_table(path):
+    """Extracts member-name sequences from fusion.cc's kPatterns."""
+    table = set()
+    text = open(path).read()
+    block = re.search(r"kPatterns\[\]\s*=\s*\{(.*?)\n\};", text,
+                      re.DOTALL)
+    if not block:
+        return table
+    # Entries look like: {SOP_X, 3, {OP_LOCAL_GET, OP_I32_CONST, ...}}
+    dotted = ("i32", "i64", "f32", "f64", "local", "global", "memory")
+    def name(op):
+        op = op.lower()
+        head = op.split("_", 1)[0]
+        return op.replace("_", ".", 1) if head in dotted else op
+    for m in re.finditer(r"\{SOP_\w+,\s*\d+,\s*\{([^}]*)\}", block.group(1)):
+        ops = re.findall(r"OP_(\w+)", m.group(1))
+        table.add(tuple(name(o) for o in ops))
+    return table
+
+
+def main(argv):
+    top = 40
+    table_path = None
+    paths = []
+    for a in argv[1:]:
+        if a.startswith("--top="):
+            top = int(a[6:])
+        elif a.startswith("--table="):
+            table_path = a[8:]
+        elif a.startswith("--"):
+            sys.stderr.write(f"unknown option {a}\n{__doc__}")
+            return 1
+        else:
+            paths.append(a)
+    if not paths:
+        sys.stderr.write(__doc__)
+        return 1
+
+    instructions, pairs, triples = fold(paths)
+    table = parse_table(table_path) if table_path else None
+
+    # Saved dispatches: count * (members - 1). Triples subsume their
+    # two constituent pairs when the greedy matcher picks the longer
+    # window, but both are reported — the matcher is longest-first, so
+    # a triple in the table makes its prefix pair's count conditional.
+    candidates = []
+    for seq, count in pairs.items():
+        if fusable(seq):
+            candidates.append((count * 1, count, seq))
+    for seq, count in triples.items():
+        if fusable(seq):
+            candidates.append((count * 2, count, seq))
+    candidates.sort(key=lambda c: (-c[0], c[2]))
+
+    print(f"{instructions} instructions over {len(paths)} report(s)")
+    print(f"{'saved':>12} {'count':>12}  candidate")
+    for saved, count, seq in candidates[:top]:
+        mark = ""
+        if table is not None:
+            mark = "  [fused]" if seq in table else "  [miss]"
+        print(f"{saved:12} {count:12}  {' ; '.join(seq)}{mark}")
+    if table is not None:
+        mined = {seq for _, _, seq in candidates}
+        stale = sorted(t for t in table if t not in mined)
+        for t in stale:
+            print(f"table-only (not observed): {' ; '.join(t)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "interp/fusion.h"
 #include "interp/interpreter.h"
 #include "jit/jitcode.h"
 #include "jit/jitexec.h"
@@ -28,7 +29,10 @@ Engine::Stats::Stats(obs::MetricsRegistry& m)
       jitInvalidations(m.counter("engine.jit_invalidations")),
       frameDeopts(m.counter("engine.frame_deopts")),
       osrEntries(m.counter("engine.osr_entries")),
-      dispatchTableSwitches(m.counter("engine.dispatch_table_switches"))
+      dispatchTableSwitches(m.counter("engine.dispatch_table_switches")),
+      fusedWindows(m.counter("engine.fused_windows")),
+      fusionSplits(m.counter("engine.fusion_splits")),
+      fusionRefusions(m.counter("engine.fusion_refusions"))
 {
 }
 
@@ -153,6 +157,10 @@ Engine::loadShared(std::shared_ptr<const ValidatedModule> vm)
     for (FuncState& fs : _funcs) {
         if (!fs.decl->imported) {
             fs.sideTable.finalize(static_cast<uint32_t>(fs.code.size()));
+            // Superinstruction fusion pass: annotates dcode windows
+            // (always builds dcode, even with fusion disabled).
+            stats.fusedWindows +=
+                fuseFunction(fs, _config.fuseSuperinstructions);
         }
     }
     _loaded = true;

@@ -109,6 +109,16 @@ struct EngineConfig
         (docs/FUZZING.md). Off, they take the generic-lite path. */
     bool intrinsifyCoverageProbe = true;
 
+    /**
+     * Fuse hot instruction sequences into superinstructions at module
+     * load (interpreter tier only; see src/interp/fusion.h). The
+     * annotation is a dispatch side table — bytecode, traces and probe
+     * semantics are unchanged, probed windows split back to singles —
+     * so this is safe to leave on; `wizeng --no-fuse` and ablation
+     * benchmarks turn it off.
+     */
+    bool fuseSuperinstructions = true;
+
     /** Calls (or backedges) before a function tiers up in Tiered mode. */
     uint32_t tierUpThreshold = 10;
 
@@ -332,6 +342,12 @@ class Engine
         obs::Counter& frameDeopts;
         obs::Counter& osrEntries;
         obs::Counter& dispatchTableSwitches;
+        /** Superinstruction windows annotated at module load. */
+        obs::Counter& fusedWindows;
+        /** Windows split to singles by a covering probe attach. */
+        obs::Counter& fusionSplits;
+        /** Windows re-fused after their last covering probe left. */
+        obs::Counter& fusionRefusions;
     };
     Stats stats{_metrics};
 

@@ -30,6 +30,22 @@ enum class Tier : uint8_t {
     Jit = 1,
 };
 
+/**
+ * One fused superinstruction window: a side annotation over the
+ * function's bytecode (src/interp/fusion.h). The head byte in
+ * FuncState::dcode is the superinstruction opcode while the window is
+ * fused; probes covering any pc of the window split it back to
+ * singles (probeRefs tracks how many).
+ */
+struct FusedWindow
+{
+    uint32_t headPc = 0;    ///< pc of the window's first instruction
+    uint32_t endPc = 0;     ///< one past the window's last byte
+    uint8_t sop = 0;        ///< superinstruction opcode (dcode head)
+    uint8_t headByte = 0;   ///< original single opcode at headPc
+    uint32_t probeRefs = 0; ///< live probed pcs inside [headPc, endPc)
+};
+
 /** Engine-side state for one function. */
 struct FuncState
 {
@@ -57,6 +73,21 @@ struct FuncState
      * remain in decl->code (Section 4.2, bytecode overwriting).
      */
     std::vector<uint8_t> code;
+
+    /**
+     * Dispatch-byte side annotation (superinstruction fusion, see
+     * src/interp/fusion.h and docs/INTERPRETER.md): a copy of `code`
+     * in which the head byte of every fused window is replaced by the
+     * window's superinstruction opcode. The interpreter *dispatches*
+     * on these bytes; immediates, probe state, traces, analysis and
+     * the JIT keep reading `code`, which stays byte-identical to an
+     * unfused engine. Probe attach/detach mirrors OP_PROBE here and
+     * splits/re-fuses the covering window.
+     */
+    std::vector<uint8_t> dcode;
+
+    /** Fused windows, sorted by headPc (empty when fusion is off). */
+    std::vector<FusedWindow> fusedWindows;
 
     SideTable sideTable;
 

@@ -1,0 +1,273 @@
+#include "interp/fusion.h"
+
+#include <algorithm>
+
+#include "engine/frame.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+namespace {
+
+/**
+ * One fusion pattern: the opcode sequence of a window. Patterns are
+ * matched greedily (longest match wins at each head pc); the handler
+ * offsets in src/interp/interpreter.cc assume every immediate inside
+ * a window is a single LEB byte, which the matcher enforces.
+ */
+struct Pattern
+{
+    uint8_t sop;
+    uint8_t n;
+    uint8_t ops[6];
+};
+
+const Pattern kPatterns[] = {
+    // Mined from the fig6 corpus (scripts/mine_superinsts.py over
+    // `wizeng --profile-pairs` reports); see the ranking comments in
+    // fusion.h. Quads first only by convention; the matcher picks the
+    // longest match regardless of order.
+    {SOP_IDX_F64_LOAD, 6,
+     {OP_LOCAL_GET, OP_I32_CONST, OP_I32_MUL, OP_LOCAL_GET,
+      OP_I32_ADD, OP_F64_LOAD}},
+    {SOP_IDX, 5,
+     {OP_LOCAL_GET, OP_I32_CONST, OP_I32_MUL, OP_LOCAL_GET,
+      OP_I32_ADD}},
+    {SOP_GET_CONST_MUL_ADD, 4,
+     {OP_LOCAL_GET, OP_I32_CONST, OP_I32_MUL, OP_I32_ADD}},
+    {SOP_GET_INC_SET, 4,
+     {OP_LOCAL_GET, OP_I32_CONST, OP_I32_ADD, OP_LOCAL_SET}},
+    {SOP_GET_CONST_GE_S_BRIF, 4,
+     {OP_LOCAL_GET, OP_I32_CONST, OP_I32_GE_S, OP_BR_IF}},
+    {SOP_GET_GET_GE_S_BRIF, 4,
+     {OP_LOCAL_GET, OP_LOCAL_GET, OP_I32_GE_S, OP_BR_IF}},
+    {SOP_GET_GET_GET, 3, {OP_LOCAL_GET, OP_LOCAL_GET, OP_LOCAL_GET}},
+    {SOP_CONST_GET_CONST, 3,
+     {OP_I32_CONST, OP_LOCAL_GET, OP_I32_CONST}},
+    {SOP_SET_GET_GET, 3, {OP_LOCAL_SET, OP_LOCAL_GET, OP_LOCAL_GET}},
+    {SOP_GET_GET_I64_MUL, 3, {OP_LOCAL_GET, OP_LOCAL_GET, OP_I64_MUL}},
+    {SOP_GET_GET_I32_AND, 3, {OP_LOCAL_GET, OP_LOCAL_GET, OP_I32_AND}},
+    {SOP_GET_CONST_I32_SUB, 3,
+     {OP_LOCAL_GET, OP_I32_CONST, OP_I32_SUB}},
+    {SOP_CONST_MUL_I32_LOAD, 3,
+     {OP_I32_CONST, OP_I32_MUL, OP_I32_LOAD}},
+    {SOP_MUL_ADD_I32_LOAD, 3, {OP_I32_MUL, OP_I32_ADD, OP_I32_LOAD}},
+    {SOP_MUL_ADD_I64_LOAD, 3, {OP_I32_MUL, OP_I32_ADD, OP_I64_LOAD}},
+    {SOP_MUL_GET_I32_STORE, 3,
+     {OP_I32_MUL, OP_LOCAL_GET, OP_I32_STORE}},
+    {SOP_ADD_GET_I64_STORE, 3,
+     {OP_I32_ADD, OP_LOCAL_GET, OP_I64_STORE}},
+    {SOP_GET_GET_I64_ADD, 3, {OP_LOCAL_GET, OP_LOCAL_GET, OP_I64_ADD}},
+    {SOP_GET_GET_I64_SUB, 3, {OP_LOCAL_GET, OP_LOCAL_GET, OP_I64_SUB}},
+    {SOP_I64_SUB_CONST_ADD, 3, {OP_I64_SUB, OP_I64_CONST, OP_I64_ADD}},
+    {SOP_GET_GET_CONST, 3,
+     {OP_LOCAL_GET, OP_LOCAL_GET, OP_I32_CONST}},
+    {SOP_GET_MUL_GET, 3, {OP_LOCAL_GET, OP_I32_MUL, OP_LOCAL_GET}},
+    {SOP_GET_ADD_CONST, 3, {OP_LOCAL_GET, OP_I32_ADD, OP_I32_CONST}},
+    {SOP_ADD_CONST_MUL, 3, {OP_I32_ADD, OP_I32_CONST, OP_I32_MUL}},
+    {SOP_SET_GET_SET, 3, {OP_LOCAL_SET, OP_LOCAL_GET, OP_LOCAL_SET}},
+    {SOP_GET_I64_LOAD_SET, 3,
+     {OP_LOCAL_GET, OP_I64_LOAD, OP_LOCAL_SET}},
+    {SOP_CONST_MUL_GET, 3, {OP_I32_CONST, OP_I32_MUL, OP_LOCAL_GET}},
+    {SOP_GET_GET_I32_MUL, 3, {OP_LOCAL_GET, OP_LOCAL_GET, OP_I32_MUL}},
+    {SOP_GET_CONST_I32_ADD, 3, {OP_LOCAL_GET, OP_I32_CONST, OP_I32_ADD}},
+    {SOP_GET_CONST_I32_MUL, 3, {OP_LOCAL_GET, OP_I32_CONST, OP_I32_MUL}},
+    {SOP_CONST_I32_MUL_ADD, 3, {OP_I32_CONST, OP_I32_MUL, OP_I32_ADD}},
+    {SOP_MUL_GET_ADD, 3, {OP_I32_MUL, OP_LOCAL_GET, OP_I32_ADD}},
+    {SOP_CONST_ADD_SET, 3, {OP_I32_CONST, OP_I32_ADD, OP_LOCAL_SET}},
+    {SOP_MUL_ADD_F64_LOAD, 3, {OP_I32_MUL, OP_I32_ADD, OP_F64_LOAD}},
+    {SOP_F64_MUL_ADD_SET, 3, {OP_F64_MUL, OP_F64_ADD, OP_LOCAL_SET}},
+    {SOP_F64_LOAD_MUL_ADD, 3, {OP_F64_LOAD, OP_F64_MUL, OP_F64_ADD}},
+    {SOP_GET_GET, 2, {OP_LOCAL_GET, OP_LOCAL_GET}},
+    {SOP_GET_CONST, 2, {OP_LOCAL_GET, OP_I32_CONST}},
+    {SOP_CONST_GET, 2, {OP_I32_CONST, OP_LOCAL_GET}},
+    {SOP_SET_GET, 2, {OP_LOCAL_SET, OP_LOCAL_GET}},
+    {SOP_CONST_I32_ADD, 2, {OP_I32_CONST, OP_I32_ADD}},
+    {SOP_CONST_I32_MUL, 2, {OP_I32_CONST, OP_I32_MUL}},
+    {SOP_I32_MUL_ADD, 2, {OP_I32_MUL, OP_I32_ADD}},
+    {SOP_ADD_CONST, 2, {OP_I32_ADD, OP_I32_CONST}},
+    {SOP_I32_ADD_SET, 2, {OP_I32_ADD, OP_LOCAL_SET}},
+    {SOP_GET_I32_ADD, 2, {OP_LOCAL_GET, OP_I32_ADD}},
+    {SOP_F64_MUL_ADD, 2, {OP_F64_MUL, OP_F64_ADD}},
+    {SOP_F64_ADD_SET, 2, {OP_F64_ADD, OP_LOCAL_SET}},
+    {SOP_I32_ADD_F64_LOAD, 2, {OP_I32_ADD, OP_F64_LOAD}},
+    {SOP_F64_LOAD_F64_ADD, 2, {OP_F64_LOAD, OP_F64_ADD}},
+    {SOP_I32_XOR_GET, 2, {OP_I32_XOR, OP_LOCAL_GET}},
+    {SOP_I32_ADD_I64_LOAD, 2, {OP_I32_ADD, OP_I64_LOAD}},
+    {SOP_GET_I64_MUL, 2, {OP_LOCAL_GET, OP_I64_MUL}},
+    {SOP_GET_I64_ADD, 2, {OP_LOCAL_GET, OP_I64_ADD}},
+    {SOP_I64_MUL_CONST, 2, {OP_I64_MUL, OP_I64_CONST}},
+    {SOP_GET_I32_STORE, 2, {OP_LOCAL_GET, OP_I32_STORE}},
+    {SOP_GET_I64_SUB, 2, {OP_LOCAL_GET, OP_I64_SUB}},
+    // Const-free idioms: absorb sequences whose adjacent constants
+    // are multi-byte LEBs (loop bounds >= 128, i64 masks) that the
+    // immediate-bearing patterns above must reject.
+    {SOP_I32_XOR_SET_GET, 3, {OP_I32_XOR, OP_LOCAL_SET, OP_LOCAL_GET}},
+    {SOP_I32_GE_S_BRIF, 2, {OP_I32_GE_S, OP_BR_IF}},
+    {SOP_GET_I64_LOAD, 2, {OP_LOCAL_GET, OP_I64_LOAD}},
+    // Third retune round (low-range bytes): branch-test, bitwise and
+    // shuffle idioms.
+    {SOP_GET_EQZ_BRIF, 3, {OP_LOCAL_GET, OP_I32_EQZ, OP_BR_IF}},
+    {SOP_GET_GET_I32_OR, 3, {OP_LOCAL_GET, OP_LOCAL_GET, OP_I32_OR}},
+    {SOP_GET_GET_I32_EQ, 3, {OP_LOCAL_GET, OP_LOCAL_GET, OP_I32_EQ}},
+    {SOP_SUB_AND_SET, 3, {OP_I32_SUB, OP_I32_AND, OP_LOCAL_SET}},
+    {SOP_I32_ADD_SET_GET, 3, {OP_I32_ADD, OP_LOCAL_SET, OP_LOCAL_GET}},
+    {SOP_CONST_MUL_SET, 3, {OP_I32_CONST, OP_I32_MUL, OP_LOCAL_SET}},
+    {SOP_CONST_GET_GET, 3, {OP_I32_CONST, OP_LOCAL_GET, OP_LOCAL_GET}},
+    {SOP_SET_GET_CONST, 3, {OP_LOCAL_SET, OP_LOCAL_GET, OP_I32_CONST}},
+    {SOP_F64_LOAD_CONST_GET, 3,
+     {OP_F64_LOAD, OP_I32_CONST, OP_LOCAL_GET}},
+    {SOP_MUL_ADD_GET, 3, {OP_I32_MUL, OP_I32_ADD, OP_LOCAL_GET}},
+    {SOP_GET_CONST_GET, 3, {OP_LOCAL_GET, OP_I32_CONST, OP_LOCAL_GET}},
+    {SOP_F64_ADD_SET_GET, 3, {OP_F64_ADD, OP_LOCAL_SET, OP_LOCAL_GET}},
+    {SOP_GET_I32_OR, 2, {OP_LOCAL_GET, OP_I32_OR}},
+};
+
+/**
+ * Byte length of a window member at @p pc when its immediates all fit
+ * the single-byte fast path (fixed handler offsets); 0 rejects the
+ * match. Only the opcodes appearing in kPatterns are consulted.
+ */
+uint32_t
+fusedMemberLen(const std::vector<uint8_t>& code, size_t pc, uint8_t op)
+{
+    switch (op) {
+      case OP_LOCAL_GET:
+      case OP_LOCAL_SET:
+      case OP_LOCAL_TEE:
+      case OP_I32_CONST:
+      case OP_I64_CONST:
+      case OP_BR_IF:
+        if (pc + 1 >= code.size() || code[pc + 1] >= 0x80) return 0;
+        return 2;
+      case OP_I32_LOAD:
+      case OP_I64_LOAD:
+      case OP_F64_LOAD:
+      case OP_I32_STORE:
+      case OP_I64_STORE:
+      case OP_F64_STORE:
+        if (pc + 2 >= code.size() || code[pc + 1] >= 0x80 ||
+            code[pc + 2] >= 0x80) {
+            return 0;
+        }
+        return 3;
+      default:
+        return 1;  // pure stack operation, no immediates
+    }
+}
+
+FusedWindow*
+windowCovering(FuncState& fs, uint32_t pc)
+{
+    auto& ws = fs.fusedWindows;
+    auto it = std::upper_bound(
+        ws.begin(), ws.end(), pc,
+        [](uint32_t p, const FusedWindow& w) { return p < w.headPc; });
+    if (it == ws.begin()) return nullptr;
+    --it;
+    return pc < it->endPc ? &*it : nullptr;
+}
+
+} // namespace
+
+const char*
+superOpcodeName(uint8_t sop)
+{
+    switch (sop) {
+#define WIZPP_SOP_NAME(OP, NAME)                                        \
+      case OP:                                                          \
+        return #NAME;
+        WIZPP_FOR_EACH_SUPERINST(WIZPP_SOP_NAME)
+#undef WIZPP_SOP_NAME
+      default:
+        return "<not-a-superinstruction>";
+    }
+}
+
+uint32_t
+fuseFunction(FuncState& fs, bool enable)
+{
+    fs.dcode = fs.code;
+    fs.fusedWindows.clear();
+    if (!enable) return 0;
+
+    const std::vector<uint8_t>& code = fs.code;
+    const size_t n = code.size();
+    size_t pc = 0;
+    while (pc < n) {
+        const uint8_t op = code[pc];
+        size_t bestEnd = 0;
+        uint8_t bestSop = 0;
+        for (const Pattern& p : kPatterns) {
+            if (p.ops[0] != op) continue;
+            size_t q = pc;
+            bool ok = true;
+            for (uint8_t k = 0; k < p.n; k++) {
+                if (q >= n || code[q] != p.ops[k]) {
+                    ok = false;
+                    break;
+                }
+                uint32_t len = fusedMemberLen(code, q, p.ops[k]);
+                if (!len) {
+                    ok = false;
+                    break;
+                }
+                q += len;
+            }
+            if (ok && q > bestEnd) {
+                bestEnd = q;
+                bestSop = p.sop;
+            }
+        }
+        if (bestEnd) {
+            fs.fusedWindows.push_back({static_cast<uint32_t>(pc),
+                                       static_cast<uint32_t>(bestEnd),
+                                       bestSop, op, 0});
+            fs.dcode[pc] = bestSop;
+            pc = bestEnd;
+        } else {
+            pc += instrLength(code, pc);
+        }
+    }
+    return static_cast<uint32_t>(fs.fusedWindows.size());
+}
+
+bool
+fusionOnProbeAttach(FuncState& fs, uint32_t pc)
+{
+    if (pc >= fs.dcode.size()) return false;
+    fs.dcode[pc] = OP_PROBE;  // mirror the bytecode overwrite
+    FusedWindow* w = windowCovering(fs, pc);
+    if (!w) return false;
+    bool split = (w->probeRefs++ == 0);
+    if (split && pc != w->headPc) {
+        // Split: the head dispatches as its original single again, so
+        // every pc of the window (including the probed one) executes
+        // individually through the normal machinery. A probe at the
+        // head itself is already split by the OP_PROBE mirror above.
+        fs.dcode[w->headPc] = w->headByte;
+    }
+    return split;
+}
+
+bool
+fusionOnProbeDetach(FuncState& fs, uint32_t pc, uint8_t originalByte)
+{
+    if (pc >= fs.dcode.size()) return false;
+    FusedWindow* w = windowCovering(fs, pc);
+    if (!w) {
+        fs.dcode[pc] = originalByte;
+        return false;
+    }
+    // Still split while other probes cover the window: the head stays
+    // a single (originalByte == headByte when pc is the head).
+    fs.dcode[pc] = (pc == w->headPc) ? w->headByte : originalByte;
+    if (--w->probeRefs == 0) {
+        fs.dcode[w->headPc] = w->sop;  // re-fuse
+        return true;
+    }
+    return false;
+}
+
+} // namespace wizpp

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Superinstruction fusion for the interpreter tier (see
+ * docs/INTERPRETER.md, "Superinstructions & TOS caching").
+ *
+ * A per-function fusion pass runs once at module load and annotates
+ * hot multi-instruction sequences ("windows") so the interpreter can
+ * execute each window with a single fused handler, keeping the
+ * intermediate top-of-stack values in registers instead of bouncing
+ * them through the value array.
+ *
+ * The annotation is a *side table*, not a bytecode rewrite:
+ * FuncState::dcode is a copy of FuncState::code in which only the
+ * head byte of each fused window is replaced by a superinstruction
+ * opcode. The interpreter dispatches on dcode but reads immediates
+ * from it all the same (dcode differs from code only at window
+ * heads, which fused handlers never read as immediates). Everything
+ * else in the engine — the JIT, static analysis, the trace/replay pc
+ * stream, probe overwriting — keeps observing `code`, which stays
+ * byte-identical to the unfused engine. WZTR byte-identity therefore
+ * holds by construction.
+ *
+ * Probe interaction (split / re-fuse protocol):
+ *  - Attaching a local probe at any pc covered by a window splits the
+ *    window back to singles: the head byte in dcode is restored, so
+ *    every instruction of the window dispatches individually and the
+ *    probed pc traps into the normal OP_PROBE machinery.
+ *  - Detaching the last probe covering a window re-fuses it (the head
+ *    byte in dcode becomes the superinstruction opcode again). Both
+ *    directions ride the caller's instrumentation-epoch bump, so a
+ *    batched detach re-fuses every window with one epoch change.
+ *  - Global probes never consult dcode (the Probed dispatch tables
+ *    route every byte through the global stub, which re-dispatches
+ *    the `code` byte), so global instrumentation always observes the
+ *    exact singles instruction stream.
+ *
+ * Windows never contain calls, probes or interior control flow (a
+ * trailing br_if is the only branch form), so the per-handler
+ * cached/spilled TOS state is static: registers are live strictly
+ * inside one handler and every call/branch/probe boundary sees a
+ * fully materialized value stack. Fused memory handlers reconstruct
+ * the exact singles stack state before trapping.
+ */
+
+#ifndef WIZPP_INTERP_FUSION_H
+#define WIZPP_INTERP_FUSION_H
+
+#include <cstdint>
+
+namespace wizpp {
+
+struct FuncState;
+
+/**
+ * Superinstruction opcodes. They occupy the reserved byte ranges
+ * 0xc5..0xdf (between the last core opcode 0xc4 and OP_PROBE 0xe0),
+ * 0xe1..0xfb (above OP_PROBE, below the 0xfc prefix byte),
+ * 0xfd..0xff (above the prefix byte), and the wasm-reserved encoding
+ * gaps 0x06..0x0a, 0x12..0x19 and 0x1c..0x1e. They exist only in
+ * FuncState::dcode — never in FuncState::code, the wire format, or a
+ * trace.
+ */
+enum SuperOpcode : uint8_t {
+    // -- low range: wasm-reserved encoding gaps (0x06..0x0a and
+    //    0x12..0x19). The validator rejects these bytes in wire code,
+    //    so they are free in dcode; they host the third retune round
+    //    (branch-test, bitwise and shuffle idioms the corpus fold
+    //    ranked after the high range filled up) --
+    SOP_GET_I32_OR          = 0x06,  ///< lg B; i32.or
+    SOP_GET_GET_I32_OR      = 0x07,  ///< lg A; lg B; i32.or
+    SOP_GET_EQZ_BRIF        = 0x08,  ///< lg A; i32.eqz; br_if
+    SOP_SUB_AND_SET         = 0x09,  ///< i32.sub; i32.and; ls A
+    SOP_I32_ADD_SET_GET     = 0x0a,  ///< i32.add; ls A; lg B
+    SOP_CONST_MUL_SET       = 0x12,  ///< i32.const C; i32.mul; ls A
+    SOP_CONST_GET_GET       = 0x13,  ///< i32.const C; lg A; lg B
+    SOP_SET_GET_CONST       = 0x14,  ///< ls A; lg B; i32.const C
+    SOP_F64_LOAD_CONST_GET  = 0x15,  ///< f64.load; i32.const C; lg B
+    SOP_MUL_ADD_GET         = 0x16,  ///< i32.mul; i32.add; lg B
+    SOP_GET_CONST_GET       = 0x17,  ///< lg A; i32.const C; lg B
+    SOP_F64_ADD_SET_GET     = 0x18,  ///< f64.add; ls A; lg B
+    SOP_GET_GET_I32_EQ      = 0x19,  ///< lg A; lg B; i32.eq
+
+    // -- long windows: the row-major x[i*N+j] addressing chain, the
+    //    hottest straight-line sequence in the corpus (the 5- and
+    //    6-member forms collapse 3 dispatches into 1) --
+    SOP_IDX                 = 0x1c,  ///< lg A; i32.const C; i32.mul;
+                                     ///  lg B; i32.add
+    SOP_IDX_F64_LOAD        = 0x1d,  ///< SOP_IDX; f64.load
+    SOP_GET_CONST_MUL_ADD   = 0x1e,  ///< lg A; i32.const C; i32.mul;
+                                     ///  i32.add
+
+    /** First byte of the contiguous high superinstruction range. */
+    SOP_FIRST = 0xc5,
+
+    // The table is mined from executed pair/triple histograms over
+    // the fig6 corpus (`wizeng --profile-pairs` folded by
+    // scripts/mine_superinsts.py); each entry's comment cites its
+    // corpus-wide saved-dispatch count (count x (members-1)).
+
+    // -- local/const pushes --
+    SOP_GET_GET             = 0xc5,  ///< lg A; lg B             (8.1M)
+    SOP_GET_CONST           = 0xc6,  ///< lg A; i32.const C      (11.5M)
+    SOP_CONST_GET           = 0xc7,  ///< i32.const C; lg B      (4.9M)
+    SOP_SET_GET             = 0xc8,  ///< ls A; lg B             (1.8M)
+    SOP_GET_GET_GET         = 0xc9,  ///< lg A; lg B; lg C       (4.3M)
+
+    // -- local/const operand + i32 binop --
+    SOP_GET_GET_I32_MUL     = 0xca,  ///< lg A; lg B; i32.mul    (4.1M)
+    SOP_GET_CONST_I32_ADD   = 0xcb,  ///< lg A; i32.const; add   (4.9M)
+    SOP_GET_CONST_I32_MUL   = 0xcc,  ///< lg A; i32.const; mul   (6.6M)
+    SOP_GET_I32_ADD         = 0xcd,  ///< lg A; i32.add          (3.3M)
+    SOP_CONST_I32_ADD       = 0xce,  ///< i32.const C; i32.add   (2.4M)
+    SOP_CONST_I32_MUL       = 0xcf,  ///< i32.const C; i32.mul   (6.8M)
+    SOP_CONST_I32_MUL_ADD   = 0xd0,  ///< i32.const; mul; add    (10.1M)
+    SOP_I32_MUL_ADD         = 0xd1,  ///< i32.mul; i32.add       (5.1M)
+    SOP_MUL_GET_ADD         = 0xd2,  ///< i32.mul; lg B; i32.add (6.2M)
+    SOP_ADD_CONST           = 0xd3,  ///< i32.add; i32.const C   (3.7M)
+    SOP_I32_ADD_SET         = 0xd4,  ///< i32.add; ls A          (2.2M)
+    SOP_CONST_ADD_SET       = 0xd5,  ///< i32.const; add; ls A   (4.0M)
+
+    // -- loop idioms --
+    SOP_GET_INC_SET         = 0xd6,  ///< lg A; i32.const C; i32.add;
+                                     ///  ls B                   (6.0M)
+    SOP_GET_CONST_GE_S_BRIF = 0xd7,  ///< lg A; i32.const C; i32.ge_s;
+                                     ///  br_if                  (4.8M)
+    SOP_GET_GET_GE_S_BRIF   = 0xd8,  ///< lg A; lg B; i32.ge_s;
+                                     ///  br_if                  (1.4M)
+
+    // -- f64 accumulate chains --
+    SOP_F64_MUL_ADD         = 0xd9,  ///< f64.mul; f64.add       (0.9M)
+    SOP_F64_MUL_ADD_SET     = 0xda,  ///< f64.mul; f64.add; ls A (1.5M)
+    SOP_F64_ADD_SET         = 0xdb,  ///< f64.add; ls A          (0.8M)
+
+    // -- memory --
+    SOP_I32_ADD_F64_LOAD    = 0xdc,  ///< i32.add; f64.load      (1.7M)
+    SOP_MUL_ADD_F64_LOAD    = 0xdd,  ///< i32.mul; i32.add;
+                                     ///  f64.load               (3.3M)
+    SOP_F64_LOAD_F64_ADD    = 0xde,  ///< f64.load; f64.add      (0.7M)
+    SOP_F64_LOAD_MUL_ADD    = 0xdf,  ///< f64.load; f64.mul;
+                                     ///  f64.add                (1.6M)
+
+    // 0xe0 is OP_PROBE — never a superinstruction.
+
+    // -- crypto-kernel idioms (mined over the libsodium suite alone,
+    //    131M instructions: i32 state-word addressing feeding i64
+    //    lanes; counts below are libsodium-only saved dispatches) --
+    SOP_CONST_GET_CONST     = 0xe1,  ///< i32.const; lg B;
+                                     ///  i32.const              (7.7M)
+    SOP_SET_GET_GET         = 0xe2,  ///< ls A; lg B; lg C       (4.1M)
+    SOP_GET_GET_I64_MUL     = 0xe3,  ///< lg A; lg B; i64.mul    (2.0M)
+    SOP_GET_GET_I32_AND     = 0xe4,  ///< lg A; lg B; i32.and    (1.7M)
+    SOP_GET_CONST_I32_SUB   = 0xe5,  ///< lg A; i32.const; sub   (1.4M)
+    SOP_I32_XOR_GET         = 0xe6,  ///< i32.xor; lg B          (1.4M)
+    SOP_CONST_MUL_I32_LOAD  = 0xe7,  ///< i32.const; i32.mul;
+                                     ///  i32.load               (5.2M)
+    SOP_MUL_ADD_I32_LOAD    = 0xe8,  ///< i32.mul; i32.add;
+                                     ///  i32.load               (1.8M)
+    SOP_MUL_ADD_I64_LOAD    = 0xe9,  ///< i32.mul; i32.add;
+                                     ///  i64.load               (3.6M)
+    SOP_I32_ADD_I64_LOAD    = 0xea,  ///< i32.add; i64.load      (2.0M)
+    SOP_MUL_GET_I32_STORE   = 0xeb,  ///< i32.mul; lg B;
+                                     ///  i32.store              (2.2M)
+    SOP_ADD_GET_I64_STORE   = 0xec,  ///< i32.add; lg B;
+                                     ///  i64.store              (1.8M)
+
+    // -- i64 field-arithmetic chains (curve25519 / poly1305 / siphash
+    //    kernels; counts are libsodium-only saved dispatches) --
+    SOP_GET_I64_MUL         = 0xed,  ///< lg B; i64.mul          (0.5M)
+    SOP_GET_I64_ADD         = 0xee,  ///< lg B; i64.add          (0.3M)
+    SOP_GET_GET_I64_ADD     = 0xef,  ///< lg A; lg B; i64.add    (0.4M)
+    SOP_GET_GET_I64_SUB     = 0xf0,  ///< lg A; lg B; i64.sub    (0.4M)
+    SOP_I64_MUL_CONST       = 0xf1,  ///< i64.mul; i64.const C   (0.5M)
+    SOP_I64_SUB_CONST_ADD   = 0xf2,  ///< i64.sub; i64.const;
+                                     ///  i64.add                (0.4M)
+
+    // -- second retune round: the corpus-wide fold ranked these above
+    //    the i64-const chains they replaced (which saved under 1M
+    //    dispatches each; these save 5..10M) --
+    SOP_GET_GET_CONST       = 0xf3,  ///< lg A; lg B; i32.const  (6.8M)
+    SOP_GET_MUL_GET         = 0xf4,  ///< lg B; i32.mul; lg C    (9.6M)
+    SOP_GET_I64_LOAD_SET    = 0xf5,  ///< lg A; i64.load; ls B   (0.2M)
+    SOP_GET_ADD_CONST       = 0xf6,  ///< lg B; i32.add;
+                                     ///  i32.const C            (7.7M)
+    SOP_GET_I32_STORE       = 0xf7,  ///< lg B; i32.store        (0.4M)
+    SOP_CONST_MUL_GET       = 0xf8,  ///< i32.const; i32.mul;
+                                     ///  lg B                   (0.9M)
+    SOP_ADD_CONST_MUL       = 0xf9,  ///< i32.add; i32.const C;
+                                     ///  i32.mul                (7.5M)
+    SOP_GET_I64_SUB         = 0xfa,  ///< lg B; i64.sub   (curve limb
+                                     ///  diffs w/ multi-byte consts)
+    SOP_SET_GET_SET         = 0xfb,  ///< ls A; lg B; ls C (register
+                                     ///  shuffle between statements)
+
+    // 0xfc is OP_PREFIX_FC — never a superinstruction.
+
+    // -- const-free idioms above the FC prefix: these absorb the hot
+    //    sequences whose adjacent constants are multi-byte LEBs the
+    //    immediate-bearing patterns must reject --
+    SOP_I32_GE_S_BRIF       = 0xfd,  ///< i32.ge_s; br_if        (loop
+                                     ///  exits w/ multi-byte bounds)
+    SOP_GET_I64_LOAD        = 0xfe,  ///< lg A; i64.load
+    SOP_I32_XOR_SET_GET     = 0xff,  ///< i32.xor; ls A; lg B
+                                     ///  (stream-cipher keystream)
+
+    /** The last superinstruction byte (inclusive: the SOP range runs
+     *  to the top of the byte, around the 0xe0 probe and 0xfc prefix
+     *  holes; see isSuperOpcode). */
+    SOP_LAST                = 0xff,
+};
+
+/**
+ * X(SOP_BYTE, name) for every superinstruction whose handler is
+ * h_<name>. Like WIZPP_FOR_EACH_OPCODE, all three dispatch backends
+ * generate their fused entries from this one list and cannot drift.
+ */
+#define WIZPP_FOR_EACH_SUPERINST(X)                                     \
+    X(SOP_GET_GET, sop_get_get)                                         \
+    X(SOP_GET_CONST, sop_get_const)                                     \
+    X(SOP_CONST_GET, sop_const_get)                                     \
+    X(SOP_SET_GET, sop_set_get)                                         \
+    X(SOP_GET_GET_GET, sop_get_get_get)                                 \
+    X(SOP_GET_GET_I32_MUL, sop_get_get_i32_mul)                         \
+    X(SOP_GET_CONST_I32_ADD, sop_get_const_i32_add)                     \
+    X(SOP_GET_CONST_I32_MUL, sop_get_const_i32_mul)                     \
+    X(SOP_GET_I32_ADD, sop_get_i32_add)                                 \
+    X(SOP_CONST_I32_ADD, sop_const_i32_add)                             \
+    X(SOP_CONST_I32_MUL, sop_const_i32_mul)                             \
+    X(SOP_CONST_I32_MUL_ADD, sop_const_i32_mul_add)                     \
+    X(SOP_I32_MUL_ADD, sop_i32_mul_add)                                 \
+    X(SOP_MUL_GET_ADD, sop_mul_get_add)                                 \
+    X(SOP_ADD_CONST, sop_add_const)                                     \
+    X(SOP_I32_ADD_SET, sop_i32_add_set)                                 \
+    X(SOP_CONST_ADD_SET, sop_const_add_set)                             \
+    X(SOP_GET_INC_SET, sop_get_inc_set)                                 \
+    X(SOP_GET_CONST_GE_S_BRIF, sop_get_const_ge_s_brif)                 \
+    X(SOP_GET_GET_GE_S_BRIF, sop_get_get_ge_s_brif)                     \
+    X(SOP_F64_MUL_ADD, sop_f64_mul_add)                                 \
+    X(SOP_F64_MUL_ADD_SET, sop_f64_mul_add_set)                         \
+    X(SOP_F64_ADD_SET, sop_f64_add_set)                                 \
+    X(SOP_I32_ADD_F64_LOAD, sop_i32_add_f64_load)                       \
+    X(SOP_MUL_ADD_F64_LOAD, sop_mul_add_f64_load)                       \
+    X(SOP_F64_LOAD_F64_ADD, sop_f64_load_f64_add)                       \
+    X(SOP_F64_LOAD_MUL_ADD, sop_f64_load_mul_add)                       \
+    X(SOP_CONST_GET_CONST, sop_const_get_const)                         \
+    X(SOP_SET_GET_GET, sop_set_get_get)                                 \
+    X(SOP_GET_GET_I64_MUL, sop_get_get_i64_mul)                         \
+    X(SOP_GET_GET_I32_AND, sop_get_get_i32_and)                         \
+    X(SOP_GET_CONST_I32_SUB, sop_get_const_i32_sub)                     \
+    X(SOP_I32_XOR_GET, sop_i32_xor_get)                                 \
+    X(SOP_CONST_MUL_I32_LOAD, sop_const_mul_i32_load)                   \
+    X(SOP_MUL_ADD_I32_LOAD, sop_mul_add_i32_load)                       \
+    X(SOP_MUL_ADD_I64_LOAD, sop_mul_add_i64_load)                       \
+    X(SOP_I32_ADD_I64_LOAD, sop_i32_add_i64_load)                       \
+    X(SOP_MUL_GET_I32_STORE, sop_mul_get_i32_store)                     \
+    X(SOP_ADD_GET_I64_STORE, sop_add_get_i64_store)                     \
+    X(SOP_GET_I64_MUL, sop_get_i64_mul)                                 \
+    X(SOP_GET_I64_ADD, sop_get_i64_add)                                 \
+    X(SOP_GET_GET_I64_ADD, sop_get_get_i64_add)                         \
+    X(SOP_GET_GET_I64_SUB, sop_get_get_i64_sub)                         \
+    X(SOP_I64_MUL_CONST, sop_i64_mul_const)                             \
+    X(SOP_I64_SUB_CONST_ADD, sop_i64_sub_const_add)                     \
+    X(SOP_GET_GET_CONST, sop_get_get_const)                             \
+    X(SOP_GET_MUL_GET, sop_get_mul_get)                                 \
+    X(SOP_GET_I64_LOAD_SET, sop_get_i64_load_set)                       \
+    X(SOP_GET_ADD_CONST, sop_get_add_const)                             \
+    X(SOP_GET_I32_STORE, sop_get_i32_store)                             \
+    X(SOP_CONST_MUL_GET, sop_const_mul_get)                             \
+    X(SOP_ADD_CONST_MUL, sop_add_const_mul)                             \
+    X(SOP_GET_I64_SUB, sop_get_i64_sub)                                 \
+    X(SOP_SET_GET_SET, sop_set_get_set)                                 \
+    X(SOP_I32_GE_S_BRIF, sop_i32_ge_s_brif)                             \
+    X(SOP_GET_I64_LOAD, sop_get_i64_load)                               \
+    X(SOP_I32_XOR_SET_GET, sop_i32_xor_set_get)                         \
+    X(SOP_GET_I32_OR, sop_get_i32_or)                                   \
+    X(SOP_GET_GET_I32_OR, sop_get_get_i32_or)                           \
+    X(SOP_GET_EQZ_BRIF, sop_get_eqz_brif)                               \
+    X(SOP_SUB_AND_SET, sop_sub_and_set)                                 \
+    X(SOP_I32_ADD_SET_GET, sop_i32_add_set_get)                         \
+    X(SOP_CONST_MUL_SET, sop_const_mul_set)                             \
+    X(SOP_CONST_GET_GET, sop_const_get_get)                             \
+    X(SOP_SET_GET_CONST, sop_set_get_const)                             \
+    X(SOP_F64_LOAD_CONST_GET, sop_f64_load_const_get)                   \
+    X(SOP_MUL_ADD_GET, sop_mul_add_get)                                 \
+    X(SOP_GET_CONST_GET, sop_get_const_get)                             \
+    X(SOP_F64_ADD_SET_GET, sop_f64_add_set_get)                         \
+    X(SOP_GET_GET_I32_EQ, sop_get_get_i32_eq)                           \
+    X(SOP_IDX, sop_idx)                                                 \
+    X(SOP_IDX_F64_LOAD, sop_idx_f64_load)                               \
+    X(SOP_GET_CONST_MUL_ADD, sop_get_const_mul_add)
+
+/** True for a superinstruction (dcode-only) opcode byte. */
+inline bool
+isSuperOpcode(uint8_t op)
+{
+    // High range 0xc5..0xff: 0xe0 (OP_PROBE) and 0xfc (OP_PREFIX_FC)
+    // sit inside it and are real opcodes, not superinstructions. Low
+    // range: the wasm-reserved encoding gaps.
+    if (op >= SOP_FIRST) return op != 0xe0 && op != 0xfc;
+    return (op >= 0x06 && op <= 0x0a) || (op >= 0x12 && op <= 0x19) ||
+           (op >= 0x1c && op <= 0x1e);
+}
+
+/** Mnemonic for a superinstruction byte ("sop_get_get", ...). */
+const char* superOpcodeName(uint8_t sop);
+
+/**
+ * Builds fs.dcode and, when @p enable is set, runs the fusion pass:
+ * greedy longest-match, left-to-right, non-overlapping windows whose
+ * immediates are all single-byte LEBs (fixed handler offsets). Always
+ * (re)initializes dcode, so a disabled engine still dispatches on a
+ * valid singles copy. Returns the number of windows annotated.
+ */
+uint32_t fuseFunction(FuncState& fs, bool enable);
+
+/**
+ * Probe-attach hook (ProbeManager::ensureSite): mirrors the OP_PROBE
+ * overwrite into dcode and splits the window covering @p pc, if any.
+ * Returns true if a window transitioned fused -> split.
+ */
+bool fusionOnProbeAttach(FuncState& fs, uint32_t pc);
+
+/**
+ * Probe-detach hook (ProbeManager::releaseSite): restores the dcode
+ * byte at @p pc (@p originalByte is the saved pre-overwrite opcode)
+ * and re-fuses the covering window once its last probe is gone.
+ * Returns true if a window transitioned split -> fused.
+ */
+bool fusionOnProbeDetach(FuncState& fs, uint32_t pc,
+                         uint8_t originalByte);
+
+} // namespace wizpp
+
+#endif // WIZPP_INTERP_FUSION_H

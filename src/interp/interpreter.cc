@@ -5,6 +5,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "interp/fusion.h"
 #include "jit/jitcode.h"
 #include "probes/frameaccessor.h"
 #include "support/leb128.h"
@@ -22,6 +23,12 @@ struct Interp
     Engine& eng;
     Value* vals = nullptr;
     const uint8_t* code = nullptr;
+    /**
+     * Dispatch bytes (fs->dcode): identical to `code` except at fused
+     * window heads, which hold superinstruction opcodes. All backends
+     * dispatch on dcode[pc]; immediates are always read from `code`.
+     */
+    const uint8_t* dcode = nullptr;
     uint32_t pc = 0;
     uint32_t sp = 0;           ///< absolute index into the value array
     uint32_t codeSize = 0;     ///< cached fs->code.size()
@@ -54,6 +61,7 @@ struct Interp
         frame = &eng.frames().back();
         fs = frame->fs;
         code = fs->code.data();
+        dcode = fs->dcode.data();
         codeSize = static_cast<uint32_t>(fs->code.size());
         pc = frame->pc;
         sp = frame->sp;
@@ -1035,6 +1043,969 @@ h_illegal(Interp& I)
 }
 
 // ---------------------------------------------------------------------
+// Superinstruction handlers (src/interp/fusion.h). Each executes one
+// fused window with the window's intermediate top-of-stack values
+// cached in C++ locals — i.e. registers — touching the value array
+// only at the window boundary. The fusion matcher guarantees every
+// immediate inside a window is a single LEB byte, so all operand
+// offsets below are fixed. Windows end before calls, branches (a
+// trailing br_if is the only branch form) and probe boundaries, so
+// the cached state is spilled — by construction — everywhere the rest
+// of the engine can observe the frame. Handlers that can trap
+// reconstruct the exact singles stack state (and the trapping
+// sub-instruction's pc) before doTrap.
+// ---------------------------------------------------------------------
+
+/** Sign-extends a single-byte SLEB immediate (same idiom as
+    h_i32_const's fast path). */
+inline int32_t
+sext7(uint8_t b)
+{
+    return static_cast<int32_t>(b << 25) >> 25;
+}
+
+// local.get A; local.get B
+void
+h_sop_get_get(Interp& I)
+{
+    Value a = I.vals[I.localsBase + I.code[I.pc + 1]];
+    Value b = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.vals[I.sp] = a;
+    I.vals[I.sp + 1] = b;
+    I.sp += 2;
+    I.pc += 4;
+}
+
+// local.get A; i32.const C
+void
+h_sop_get_const(Interp& I)
+{
+    I.vals[I.sp] = I.vals[I.localsBase + I.code[I.pc + 1]];
+    I.vals[I.sp + 1] = Value::makeI32(sext7(I.code[I.pc + 3]));
+    I.sp += 2;
+    I.pc += 4;
+}
+
+// i32.const C; local.get B
+void
+h_sop_const_get(Interp& I)
+{
+    I.vals[I.sp] = Value::makeI32(sext7(I.code[I.pc + 1]));
+    I.vals[I.sp + 1] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.sp += 2;
+    I.pc += 4;
+}
+
+// local.set A; local.get B
+void
+h_sop_set_get(Interp& I)
+{
+    I.vals[I.localsBase + I.code[I.pc + 1]] = I.vals[--I.sp];
+    I.vals[I.sp++] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.pc += 4;
+}
+
+// local.get A; local.get B; local.get C
+void
+h_sop_get_get_get(Interp& I)
+{
+    I.vals[I.sp] = I.vals[I.localsBase + I.code[I.pc + 1]];
+    I.vals[I.sp + 1] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.vals[I.sp + 2] = I.vals[I.localsBase + I.code[I.pc + 5]];
+    I.sp += 3;
+    I.pc += 6;
+}
+
+// local.get A; local.get B; i32.mul — both operands and the result
+// stay in registers; one stack write replaces two writes + two reads.
+void
+h_sop_get_get_i32_mul(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 3]].i32();
+    I.vals[I.sp++] = Value::makeI32(a * b);
+    I.pc += 5;
+}
+
+// local.get A; i32.const C; i32.add / i32.mul
+void
+h_sop_get_const_i32_add(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 3]));
+    I.vals[I.sp++] = Value::makeI32(a + c);
+    I.pc += 5;
+}
+
+void
+h_sop_get_const_i32_mul(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 3]));
+    I.vals[I.sp++] = Value::makeI32(a * c);
+    I.pc += 5;
+}
+
+// i32.const C; i32.add — add-immediate to the (register-cached) TOS.
+void
+h_sop_const_i32_add(Interp& I)
+{
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 1]));
+    I.vals[I.sp - 1] = Value::makeI32(I.vals[I.sp - 1].i32() + c);
+    I.pc += 3;
+}
+
+// i32.const C; i32.mul — multiply-immediate on the TOS.
+void
+h_sop_const_i32_mul(Interp& I)
+{
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 1]));
+    I.vals[I.sp - 1] = Value::makeI32(I.vals[I.sp - 1].i32() * c);
+    I.pc += 3;
+}
+
+// i32.const C; i32.mul; i32.add — the scale-and-offset half of the
+// corpus's addressing idiom: [x, y] -> [x + y*C] in registers.
+void
+h_sop_const_i32_mul_add(Interp& I)
+{
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 1]));
+    uint32_t y = I.vals[--I.sp].i32();
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() + y * c);
+    I.pc += 4;
+}
+
+// i32.mul; i32.add — [x, y, z] -> [x + y*z].
+void
+h_sop_i32_mul_add(Interp& I)
+{
+    uint32_t m = I.vals[I.sp - 2].i32() * I.vals[I.sp - 1].i32();
+    I.sp -= 2;
+    I.vals[I.sp - 1] = Value::makeI32(I.vals[I.sp - 1].i32() + m);
+    I.pc += 2;
+}
+
+// i32.mul; local.get B; i32.add — [x, y] -> [x*y + B].
+void
+h_sop_mul_get_add(Interp& I)
+{
+    uint32_t m = I.vals[I.sp - 2].i32() * I.vals[I.sp - 1].i32();
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 2]].i32();
+    I.sp -= 1;
+    I.vals[I.sp - 1] = Value::makeI32(m + b);
+    I.pc += 4;
+}
+
+// i32.add; i32.const C — fold the add, then push the next constant.
+void
+h_sop_add_const(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() + b);
+    I.vals[I.sp++] = Value::makeI32(sext7(I.code[I.pc + 2]));
+    I.pc += 3;
+}
+
+// i32.add; local.set A — the sum goes straight to the local.
+void
+h_sop_i32_add_set(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t a = I.vals[--I.sp].i32();
+    I.vals[I.localsBase + I.code[I.pc + 2]] = Value::makeI32(a + b);
+    I.pc += 3;
+}
+
+// i32.const C; i32.add; local.set A — add-immediate into a local.
+void
+h_sop_const_add_set(Interp& I)
+{
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 1]));
+    uint32_t x = I.vals[--I.sp].i32();
+    I.vals[I.localsBase + I.code[I.pc + 4]] = Value::makeI32(x + c);
+    I.pc += 5;
+}
+
+// local.get B; i32.add — fold a local into the TOS in place.
+void
+h_sop_get_i32_add(Interp& I)
+{
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() + b);
+    I.pc += 3;
+}
+
+// local.get A; i32.const C; i32.add; local.set B — the loop-counter
+// increment idiom: zero stack traffic, one dispatch instead of four.
+void
+h_sop_get_inc_set(Interp& I)
+{
+    uint32_t v = I.vals[I.localsBase + I.code[I.pc + 1]].i32() +
+                 static_cast<uint32_t>(sext7(I.code[I.pc + 3]));
+    I.vals[I.localsBase + I.code[I.pc + 6]] = Value::makeI32(v);
+    I.pc += 7;
+}
+
+// local.get A; (i32.const C | local.get B); <i32 cmp>; br_if — the
+// loop-exit idiom. Operands never touch the stack; the branch path is
+// exactly h_br_if's (same side-table entry, the br_if's pc), so OSR
+// and stack collapse behave identically to singles. In both layouts
+// the br_if sits at window head + 5.
+#define SOP_CMP_BRIF(NAME, LOADB, CMP)                                  \
+    void h_sop_##NAME(Interp& I)                                        \
+    {                                                                   \
+        int32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32s();     \
+        int32_t b = (LOADB);                                            \
+        if (CMP) {                                                      \
+            uint32_t from = I.pc + 5;                                   \
+            applyBranch(I, (*I.branchSlots[from]));                     \
+            maybeOsr(I, I.pc, from);                                    \
+        } else {                                                        \
+            I.pc += 7;                                                  \
+        }                                                               \
+    }
+
+SOP_CMP_BRIF(get_const_ge_s_brif, sext7(I.code[I.pc + 3]), a >= b)
+SOP_CMP_BRIF(get_get_ge_s_brif,
+             I.vals[I.localsBase + I.code[I.pc + 3]].i32s(), a >= b)
+
+// f64.mul; f64.add — the accumulate chain: [c, x, y] -> [c + x*y].
+// Operand order matches the singles exactly (a*b then c+m).
+void
+h_sop_f64_mul_add(Interp& I)
+{
+    double m = I.vals[I.sp - 2].f64() * I.vals[I.sp - 1].f64();
+    I.sp -= 2;
+    I.vals[I.sp - 1] = Value::makeF64(I.vals[I.sp - 1].f64() + m);
+    I.pc += 2;
+}
+
+// f64.mul; f64.add; local.set A — the full accumulate statement:
+// [c, x, y] -> (local A) = c + x*y, zero residual stack.
+void
+h_sop_f64_mul_add_set(Interp& I)
+{
+    double m = I.vals[I.sp - 2].f64() * I.vals[I.sp - 1].f64();
+    I.vals[I.localsBase + I.code[I.pc + 3]] =
+        Value::makeF64(I.vals[I.sp - 3].f64() + m);
+    I.sp -= 3;
+    I.pc += 4;
+}
+
+// f64.add; local.set A — the sum goes straight to the local.
+void
+h_sop_f64_add_set(Interp& I)
+{
+    double b = I.vals[--I.sp].f64();
+    double a = I.vals[--I.sp].f64();
+    I.vals[I.localsBase + I.code[I.pc + 2]] = Value::makeF64(a + b);
+    I.pc += 3;
+}
+
+// i32.add; f64.load — address arithmetic folded into the load. On a
+// bounds failure the add has executed: leave the sum as TOS, set pc
+// to the load, then trap.
+void
+h_sop_i32_add_f64_load(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 3];
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t addr = I.vals[I.sp - 1].i32() + b;
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        I.vals[I.sp - 1] = Value::makeI32(addr);
+        I.pc += 1;
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    I.vals[I.sp - 1] = Value::makeF64(mem.read<double>(addr + offset));
+    I.pc += 4;
+}
+
+// i32.mul; i32.add; f64.load — the whole element-address computation
+// plus the load: [x, y, z] -> [mem[x + y*z + offset]]. On a bounds
+// failure the mul and add have executed: leave the sum as TOS, set pc
+// to the load, then trap.
+void
+h_sop_mul_add_f64_load(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 4];
+    uint32_t m = I.vals[I.sp - 2].i32() * I.vals[I.sp - 1].i32();
+    I.sp -= 2;
+    uint32_t addr = I.vals[I.sp - 1].i32() + m;
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        I.vals[I.sp - 1] = Value::makeI32(addr);
+        I.pc += 2;
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    I.vals[I.sp - 1] = Value::makeF64(mem.read<double>(addr + offset));
+    I.pc += 5;
+}
+
+// f64.load; f64.add — fold a loaded value into the accumulating TOS:
+// [x, addr] -> [x + mem[addr]]. A bounds failure traps at the load,
+// the window head, with nothing yet executed.
+void
+h_sop_f64_load_f64_add(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 2];
+    uint32_t addr = I.vals[I.sp - 1].i32();
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    double v = mem.read<double>(addr + offset);
+    I.sp -= 1;
+    I.vals[I.sp - 1] = Value::makeF64(I.vals[I.sp - 1].f64() + v);
+    I.pc += 4;
+}
+
+// f64.load; f64.mul; f64.add — the stencil-kernel accumulate:
+// [acc, x, addr] -> [acc + x * mem[addr]]. Operand order matches the
+// singles exactly (x * v, then acc + m). A bounds failure traps at
+// the load, the window head, with nothing yet executed.
+void
+h_sop_f64_load_mul_add(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 2];
+    uint32_t addr = I.vals[I.sp - 1].i32();
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    double m =
+        I.vals[I.sp - 2].f64() * mem.read<double>(addr + offset);
+    I.sp -= 2;
+    I.vals[I.sp - 1] = Value::makeF64(I.vals[I.sp - 1].f64() + m);
+    I.pc += 5;
+}
+
+// i32.const A; local.get B; i32.const C — three pushes, one dispatch
+// (the crypto kernels' argument-staging idiom).
+void
+h_sop_const_get_const(Interp& I)
+{
+    I.vals[I.sp] = Value::makeI32(sext7(I.code[I.pc + 1]));
+    I.vals[I.sp + 1] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.vals[I.sp + 2] = Value::makeI32(sext7(I.code[I.pc + 5]));
+    I.sp += 3;
+    I.pc += 6;
+}
+
+// local.set A; local.get B; local.get C
+void
+h_sop_set_get_get(Interp& I)
+{
+    I.vals[I.localsBase + I.code[I.pc + 1]] = I.vals[--I.sp];
+    I.vals[I.sp] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.vals[I.sp + 1] = I.vals[I.localsBase + I.code[I.pc + 5]];
+    I.sp += 2;
+    I.pc += 6;
+}
+
+// local.get A; local.get B; i64.mul — the wide-limb multiply of the
+// poly1305/blake kernels, operands straight from the locals.
+void
+h_sop_get_get_i64_mul(Interp& I)
+{
+    uint64_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i64();
+    uint64_t b = I.vals[I.localsBase + I.code[I.pc + 3]].i64();
+    I.vals[I.sp++] = Value::makeI64(a * b);
+    I.pc += 5;
+}
+
+// local.get A; local.get B; i32.and
+void
+h_sop_get_get_i32_and(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 3]].i32();
+    I.vals[I.sp++] = Value::makeI32(a & b);
+    I.pc += 5;
+}
+
+// local.get A; i32.const C; i32.sub
+void
+h_sop_get_const_i32_sub(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 3]));
+    I.vals[I.sp++] = Value::makeI32(a - c);
+    I.pc += 5;
+}
+
+// i32.xor; local.get B — fold the xor, then push the next operand.
+void
+h_sop_i32_xor_get(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() ^ b);
+    I.vals[I.sp++] = I.vals[I.localsBase + I.code[I.pc + 2]];
+    I.pc += 3;
+}
+
+// i32.const C; i32.mul; i32.load — scale-and-load, the state-word
+// indexing idiom: [x] -> [mem[x*C + offset]]. On a bounds failure the
+// const and mul have executed and a load traps without popping: leave
+// the product as TOS, set pc to the load, then trap.
+void
+h_sop_const_mul_i32_load(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 5];
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 1]));
+    uint32_t addr = I.vals[I.sp - 1].i32() * c;
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 4), 0)) {
+        I.vals[I.sp - 1] = Value::makeI32(addr);
+        I.pc += 3;
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    I.vals[I.sp - 1] =
+        Value::makeI32(mem.read<uint32_t>(addr + offset));
+    I.pc += 6;
+}
+
+// i32.mul; i32.add; i32.load / i64.load — the element-address
+// computation plus the load, as h_sop_mul_add_f64_load but for the
+// integer lane widths the crypto kernels use.
+#define SOP_MUL_ADD_LOAD(NAME, CT, MAKE)                                \
+    void h_sop_##NAME(Interp& I)                                        \
+    {                                                                   \
+        uint32_t offset = I.code[I.pc + 4];                             \
+        uint32_t m = I.vals[I.sp - 2].i32() * I.vals[I.sp - 1].i32();   \
+        I.sp -= 2;                                                      \
+        uint32_t addr = I.vals[I.sp - 1].i32() + m;                     \
+        Memory& mem = I.inst->memory;                                   \
+        if (__builtin_expect(!mem.inBounds(addr, offset,                \
+                                           sizeof(CT)), 0)) {           \
+            I.vals[I.sp - 1] = Value::makeI32(addr);                    \
+            I.pc += 2;                                                  \
+            doTrap(I, TrapReason::MemoryOutOfBounds);                   \
+            return;                                                     \
+        }                                                               \
+        CT raw = mem.read<CT>(addr + offset);                          \
+        I.vals[I.sp - 1] = MAKE;                                        \
+        I.pc += 5;                                                      \
+    }
+
+SOP_MUL_ADD_LOAD(mul_add_i32_load, uint32_t, Value::makeI32(raw))
+SOP_MUL_ADD_LOAD(mul_add_i64_load, uint64_t, Value::makeI64(raw))
+
+// i32.add; i64.load — as h_sop_i32_add_f64_load for the i64 lane.
+void
+h_sop_i32_add_i64_load(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 3];
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t addr = I.vals[I.sp - 1].i32() + b;
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        I.vals[I.sp - 1] = Value::makeI32(addr);
+        I.pc += 1;
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    I.vals[I.sp - 1] =
+        Value::makeI64(mem.read<uint64_t>(addr + offset));
+    I.pc += 4;
+}
+
+// i32.mul; local.get B; i32.store / i32.add; local.get B; i64.store —
+// address arithmetic, the value push and the store in one handler:
+// [x, y] -> mem[x OP y + offset] = B. A store pops both operands
+// before its bounds check, so on failure the stack has shrunk by two
+// and pc is the store's.
+#define SOP_BIN_GET_STORE(NAME, EXPR, CT, GET)                          \
+    void h_sop_##NAME(Interp& I)                                        \
+    {                                                                   \
+        uint32_t offset = I.code[I.pc + 5];                             \
+        uint32_t x = I.vals[I.sp - 2].i32();                            \
+        uint32_t y = I.vals[I.sp - 1].i32();                            \
+        uint32_t addr = (EXPR);                                         \
+        Value val = I.vals[I.localsBase + I.code[I.pc + 2]];            \
+        I.sp -= 2;                                                      \
+        Memory& mem = I.inst->memory;                                   \
+        if (__builtin_expect(!mem.inBounds(addr, offset,                \
+                                           sizeof(CT)), 0)) {           \
+            I.pc += 3;                                                  \
+            doTrap(I, TrapReason::MemoryOutOfBounds);                   \
+            return;                                                     \
+        }                                                               \
+        mem.write<CT>(addr + offset, static_cast<CT>(GET));             \
+        I.pc += 6;                                                      \
+    }
+
+SOP_BIN_GET_STORE(mul_get_i32_store, x * y, uint32_t, val.i32())
+SOP_BIN_GET_STORE(add_get_i64_store, x + y, uint64_t, val.i64())
+
+// local.get B; i64.mul / i64.add — fold a local into the TOS in
+// place (the curve25519 field-arithmetic inner step).
+void
+h_sop_get_i64_mul(Interp& I)
+{
+    uint64_t b = I.vals[I.localsBase + I.code[I.pc + 1]].i64();
+    I.vals[I.sp - 1] =
+        Value::makeI64(I.vals[I.sp - 1].i64() * b);
+    I.pc += 3;
+}
+
+void
+h_sop_get_i64_add(Interp& I)
+{
+    uint64_t b = I.vals[I.localsBase + I.code[I.pc + 1]].i64();
+    I.vals[I.sp - 1] =
+        Value::makeI64(I.vals[I.sp - 1].i64() + b);
+    I.pc += 3;
+}
+
+// local.get A; local.get B; i64.add / i64.sub
+void
+h_sop_get_get_i64_add(Interp& I)
+{
+    uint64_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i64();
+    uint64_t b = I.vals[I.localsBase + I.code[I.pc + 3]].i64();
+    I.vals[I.sp++] = Value::makeI64(a + b);
+    I.pc += 5;
+}
+
+void
+h_sop_get_get_i64_sub(Interp& I)
+{
+    uint64_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i64();
+    uint64_t b = I.vals[I.localsBase + I.code[I.pc + 3]].i64();
+    I.vals[I.sp++] = Value::makeI64(a - b);
+    I.pc += 5;
+}
+
+// i64.mul; i64.const C — fold the multiply, then push the next
+// constant (the limb-reduction chain's shape).
+void
+h_sop_i64_mul_const(Interp& I)
+{
+    uint64_t m = I.vals[I.sp - 2].i64() * I.vals[I.sp - 1].i64();
+    I.vals[I.sp - 2] = Value::makeI64(m);
+    I.vals[I.sp - 1] =
+        Value::makeI64(static_cast<int64_t>(sext7(I.code[I.pc + 2])));
+    I.pc += 3;
+}
+
+// i64.sub; i64.const C; i64.add — [a, b] -> [a - b + C], the carry
+// borrow-adjust idiom, entirely in registers.
+void
+h_sop_i64_sub_const_add(Interp& I)
+{
+    uint64_t a = I.vals[I.sp - 2].i64();
+    uint64_t b = I.vals[I.sp - 1].i64();
+    uint64_t c =
+        static_cast<uint64_t>(static_cast<int64_t>(sext7(I.code[I.pc + 2])));
+    I.sp -= 1;
+    I.vals[I.sp - 1] = Value::makeI64(a - b + c);
+    I.pc += 4;
+}
+
+// local.get A; local.get B; i32.const C — three pushes, one
+// dispatch (the operand-setup prefix of address arithmetic).
+void
+h_sop_get_get_const(Interp& I)
+{
+    I.vals[I.sp] = I.vals[I.localsBase + I.code[I.pc + 1]];
+    I.vals[I.sp + 1] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.vals[I.sp + 2] =
+        Value::makeI32(static_cast<uint32_t>(sext7(I.code[I.pc + 5])));
+    I.sp += 3;
+    I.pc += 6;
+}
+
+// local.get B; i32.mul; local.get C — fold the local into the TOS,
+// then push the next operand: [x] -> [x*B, C].
+void
+h_sop_get_mul_get(Interp& I)
+{
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() * b);
+    I.vals[I.sp++] = I.vals[I.localsBase + I.code[I.pc + 4]];
+    I.pc += 5;
+}
+
+// local.get A; i64.load; local.set B — a whole load statement:
+// (local B) = mem[(local A) + offset], zero stack traffic. On a
+// bounds failure the local.get has executed and a load traps without
+// popping: push the address, set pc to the load, then trap.
+void
+h_sop_get_i64_load_set(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 4];
+    Value a = I.vals[I.localsBase + I.code[I.pc + 1]];
+    uint32_t addr = a.i32();
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        I.vals[I.sp++] = a;
+        I.pc += 2;
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    I.vals[I.localsBase + I.code[I.pc + 6]] =
+        Value::makeI64(mem.read<uint64_t>(addr + offset));
+    I.pc += 7;
+}
+
+// local.get B; i32.add; i32.const C — fold the local into the TOS,
+// then push the next constant: [x] -> [x+B, C].
+void
+h_sop_get_add_const(Interp& I)
+{
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() + b);
+    I.vals[I.sp++] =
+        Value::makeI32(static_cast<uint32_t>(sext7(I.code[I.pc + 4])));
+    I.pc += 5;
+}
+
+// local.get B; i32.store — the state-word writeback: the address is
+// already on the stack, the value comes straight from the local. A
+// store pops both operands before its bounds check, so on failure
+// the stack has shrunk by one (the pushed value and the address both
+// popped, the value was never on the stack) and pc is the store's.
+void
+h_sop_get_i32_store(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 4];
+    uint32_t addr = I.vals[I.sp - 1].i32();
+    Value val = I.vals[I.localsBase + I.code[I.pc + 1]];
+    I.sp -= 1;
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 4), 0)) {
+        I.pc += 2;
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    mem.write<uint32_t>(addr + offset, val.i32());
+    I.pc += 5;
+}
+
+// i32.const C; i32.mul; local.get B — scale the TOS, then push the
+// next operand: [x] -> [x*C, B].
+void
+h_sop_const_mul_get(Interp& I)
+{
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 1]));
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() * c);
+    I.vals[I.sp++] = I.vals[I.localsBase + I.code[I.pc + 4]];
+    I.pc += 5;
+}
+
+// i32.add; i32.const C; i32.mul — [x, y] -> [(x + y) * C] (the
+// row-major index-scale step).
+void
+h_sop_add_const_mul(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 2]));
+    I.vals[I.sp - 1] =
+        Value::makeI32((I.vals[I.sp - 1].i32() + b) * c);
+    I.pc += 4;
+}
+
+// local.get B; i64.sub — fold the local into the TOS in place (the
+// limb-difference step; the curve constants around it are multi-byte
+// LEBs, so only this const-free core fuses).
+void
+h_sop_get_i64_sub(Interp& I)
+{
+    uint64_t b = I.vals[I.localsBase + I.code[I.pc + 1]].i64();
+    I.vals[I.sp - 1] =
+        Value::makeI64(I.vals[I.sp - 1].i64() - b);
+    I.pc += 3;
+}
+
+// local.set A; local.get B; local.set C — the register-shuffle idiom
+// between statements: one pop, one local-to-local copy.
+void
+h_sop_set_get_set(Interp& I)
+{
+    I.vals[I.localsBase + I.code[I.pc + 1]] = I.vals[--I.sp];
+    I.vals[I.localsBase + I.code[I.pc + 5]] =
+        I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.pc += 6;
+}
+
+// i32.ge_s; br_if — the loop-exit tail when the bound constant is a
+// multi-byte LEB the quad patterns must reject: both operands come
+// off the stack, so there is no immediate to constrain. The branch
+// path is exactly h_br_if's (same side-table entry, the br_if's pc).
+void
+h_sop_i32_ge_s_brif(Interp& I)
+{
+    int32_t b = I.vals[--I.sp].i32s();
+    int32_t a = I.vals[--I.sp].i32s();
+    if (a >= b) {
+        uint32_t from = I.pc + 1;
+        applyBranch(I, (*I.branchSlots[from]));
+        maybeOsr(I, I.pc, from);
+    } else {
+        I.pc += 3;
+    }
+}
+
+// local.get A; i64.load — push a 64-bit lane. The follower is often a
+// multi-byte i64.const mask, which stays a single; fusing the
+// get+load pair is still one dispatch saved per lane touched.
+void
+h_sop_get_i64_load(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 4];
+    uint32_t addr = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        // The get executed; the load traps with the address still the
+        // TOS, exactly as the singles leave it.
+        I.vals[I.sp++] = Value::makeI32(addr);
+        I.pc += 2;
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    I.vals[I.sp++] = Value::makeI64(mem.read<uint64_t>(addr + offset));
+    I.pc += 5;
+}
+
+// i32.xor; local.set A; local.get B — the stream-cipher keystream
+// idiom (xor a word into state, reload the next): net one slot popped
+// and nothing else touches the stack.
+void
+h_sop_i32_xor_set_get(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t r = I.vals[--I.sp].i32() ^ b;
+    I.vals[I.localsBase + I.code[I.pc + 2]] = Value::makeI32(r);
+    I.vals[I.sp++] = I.vals[I.localsBase + I.code[I.pc + 4]];
+    I.pc += 5;
+}
+
+// local.get B; i32.or — fold the local into the TOS in place.
+void
+h_sop_get_i32_or(Interp& I)
+{
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() | b);
+    I.pc += 3;
+}
+
+// local.get A; local.get B; i32.or — the attack-mask union
+// (backtracking search kernels): one push, no intermediate traffic.
+void
+h_sop_get_get_i32_or(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 3]].i32();
+    I.vals[I.sp++] = Value::makeI32(a | b);
+    I.pc += 5;
+}
+
+// local.get A; local.get B; i32.eq — push the comparison result.
+void
+h_sop_get_get_i32_eq(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 3]].i32();
+    I.vals[I.sp++] = Value::makeI32(a == b ? 1 : 0);
+    I.pc += 5;
+}
+
+// local.get A; i32.eqz; br_if — branch when the local is zero; the
+// operand never touches the stack. Branch path is h_br_if's (same
+// side-table entry, the br_if's pc).
+void
+h_sop_get_eqz_brif(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    if (a == 0) {
+        uint32_t from = I.pc + 3;
+        applyBranch(I, (*I.branchSlots[from]));
+        maybeOsr(I, I.pc, from);
+    } else {
+        I.pc += 5;
+    }
+}
+
+// i32.sub; i32.and; local.set A — [x, a, b] -> (local A) = x & (a-b),
+// the occupancy-mask update, zero residual stack.
+void
+h_sop_sub_and_set(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t a = I.vals[--I.sp].i32();
+    uint32_t x = I.vals[--I.sp].i32();
+    I.vals[I.localsBase + I.code[I.pc + 3]] =
+        Value::makeI32(x & (a - b));
+    I.pc += 4;
+}
+
+// i32.add; local.set A; local.get B — finish one statement, start the
+// next: (local A) = x + y, then push B.
+void
+h_sop_i32_add_set_get(Interp& I)
+{
+    uint32_t b = I.vals[--I.sp].i32();
+    uint32_t a = I.vals[--I.sp].i32();
+    I.vals[I.localsBase + I.code[I.pc + 2]] = Value::makeI32(a + b);
+    I.vals[I.sp++] = I.vals[I.localsBase + I.code[I.pc + 4]];
+    I.pc += 5;
+}
+
+// i32.const C; i32.mul; local.set A — (local A) = x * C.
+void
+h_sop_const_mul_set(Interp& I)
+{
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 1]));
+    uint32_t x = I.vals[--I.sp].i32();
+    I.vals[I.localsBase + I.code[I.pc + 4]] = Value::makeI32(x * c);
+    I.pc += 5;
+}
+
+// i32.const C; local.get A; local.get B — three pushes, one dispatch.
+void
+h_sop_const_get_get(Interp& I)
+{
+    I.vals[I.sp] =
+        Value::makeI32(static_cast<uint32_t>(sext7(I.code[I.pc + 1])));
+    I.vals[I.sp + 1] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.vals[I.sp + 2] = I.vals[I.localsBase + I.code[I.pc + 5]];
+    I.sp += 3;
+    I.pc += 6;
+}
+
+// local.set A; local.get B; i32.const C — finish one statement, set
+// up the next operand pair.
+void
+h_sop_set_get_const(Interp& I)
+{
+    I.vals[I.localsBase + I.code[I.pc + 1]] = I.vals[--I.sp];
+    I.vals[I.sp] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.vals[I.sp + 1] =
+        Value::makeI32(static_cast<uint32_t>(sext7(I.code[I.pc + 5])));
+    I.sp += 2;
+    I.pc += 6;
+}
+
+// f64.load; i32.const C; local.get B — load an element, then set up
+// the next address pair. A bounds failure traps at the load, the
+// window head, with nothing yet executed.
+void
+h_sop_f64_load_const_get(Interp& I)
+{
+    uint32_t offset = I.code[I.pc + 2];
+    uint32_t addr = I.vals[I.sp - 1].i32();
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    I.vals[I.sp - 1] =
+        Value::makeF64(mem.read<double>(addr + offset));
+    I.vals[I.sp] =
+        Value::makeI32(static_cast<uint32_t>(sext7(I.code[I.pc + 4])));
+    I.vals[I.sp + 1] = I.vals[I.localsBase + I.code[I.pc + 6]];
+    I.sp += 2;
+    I.pc += 7;
+}
+
+// i32.mul; i32.add; local.get B — the index chain continues: [x, a,
+// b] -> [x + a*b, B].
+void
+h_sop_mul_add_get(Interp& I)
+{
+    uint32_t m = I.vals[I.sp - 2].i32() * I.vals[I.sp - 1].i32();
+    I.sp -= 2;
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() + m);
+    I.vals[I.sp++] = I.vals[I.localsBase + I.code[I.pc + 3]];
+    I.pc += 4;
+}
+
+// local.get A; i32.const C; local.get B — three pushes, one dispatch.
+void
+h_sop_get_const_get(Interp& I)
+{
+    I.vals[I.sp] = I.vals[I.localsBase + I.code[I.pc + 1]];
+    I.vals[I.sp + 1] =
+        Value::makeI32(static_cast<uint32_t>(sext7(I.code[I.pc + 3])));
+    I.vals[I.sp + 2] = I.vals[I.localsBase + I.code[I.pc + 5]];
+    I.sp += 3;
+    I.pc += 6;
+}
+
+// f64.add; local.set A; local.get B — finish the accumulate, start
+// the next statement.
+void
+h_sop_f64_add_set_get(Interp& I)
+{
+    double b = I.vals[--I.sp].f64();
+    double a = I.vals[--I.sp].f64();
+    I.vals[I.localsBase + I.code[I.pc + 2]] = Value::makeF64(a + b);
+    I.vals[I.sp++] = I.vals[I.localsBase + I.code[I.pc + 4]];
+    I.pc += 5;
+}
+
+// local.get A; i32.const C; i32.mul; i32.add — [x] -> [x + A*C].
+void
+h_sop_get_const_mul_add(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 3]));
+    I.vals[I.sp - 1] =
+        Value::makeI32(I.vals[I.sp - 1].i32() + a * c);
+    I.pc += 6;
+}
+
+// local.get A; i32.const C; i32.mul; local.get B; i32.add — the full
+// row-major index computation x[A*C + B]: five instructions, one
+// dispatch, one push.
+void
+h_sop_idx(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 3]));
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 6]].i32();
+    I.vals[I.sp++] = Value::makeI32(a * c + b);
+    I.pc += 8;
+}
+
+// SOP_IDX; f64.load — the whole indexed element read. On a bounds
+// failure the five address instructions have executed and the load
+// traps without popping: push the address, set pc to the load, trap.
+void
+h_sop_idx_f64_load(Interp& I)
+{
+    uint32_t a = I.vals[I.localsBase + I.code[I.pc + 1]].i32();
+    uint32_t c = static_cast<uint32_t>(sext7(I.code[I.pc + 3]));
+    uint32_t b = I.vals[I.localsBase + I.code[I.pc + 6]].i32();
+    uint32_t offset = I.code[I.pc + 10];
+    uint32_t addr = a * c + b;
+    Memory& mem = I.inst->memory;
+    if (__builtin_expect(!mem.inBounds(addr, offset, 8), 0)) {
+        I.vals[I.sp++] = Value::makeI32(addr);
+        I.pc += 8;
+        doTrap(I, TrapReason::MemoryOutOfBounds);
+        return;
+    }
+    I.vals[I.sp++] = Value::makeF64(mem.read<double>(addr + offset));
+    I.pc += 11;
+}
+
+// ---------------------------------------------------------------------
 // Probe handlers
 // ---------------------------------------------------------------------
 
@@ -1359,6 +2330,7 @@ struct TableInit
         for (auto& h : gProbedTable) h = h_global_stub;
 #define WIZPP_TABLE_SET(OP, NAME) gNormalTable[OP] = h_##NAME;
         WIZPP_FOR_EACH_OPCODE(WIZPP_TABLE_SET)
+        WIZPP_FOR_EACH_SUPERINST(WIZPP_TABLE_SET)
 #undef WIZPP_TABLE_SET
         gNormalTable[OP_PROBE] = h_probe;
     }
@@ -1389,7 +2361,7 @@ runInterpreterTable(Engine& eng)
     I.loadTopFrame();
     while (!I.exit) {
         auto table = static_cast<OpHandler const*>(I.dispatch);
-        table[I.code[I.pc]](I);
+        table[I.dcode[I.pc]](I);
     }
     return finishInterp(I);
 }
@@ -1421,12 +2393,13 @@ runInterpreterSwitch(Engine& eng)
             h_global_stub(I);
             continue;
         }
-        switch (I.code[I.pc]) {
+        switch (I.dcode[I.pc]) {
 #define WIZPP_SWITCH_CASE(OP, NAME)                                     \
           case OP:                                                      \
             h_##NAME(I);                                                \
             break;
             WIZPP_FOR_EACH_OPCODE(WIZPP_SWITCH_CASE)
+            WIZPP_FOR_EACH_SUPERINST(WIZPP_SWITCH_CASE)
 #undef WIZPP_SWITCH_CASE
           case OP_PROBE:
             h_probe(I);
@@ -1482,6 +2455,7 @@ runInterpreterThreaded(Engine& eng)
             for (auto& l : probedLabels) l = &&L_global_stub;
 #define WIZPP_LABEL_SET(OP, NAME) normalLabels[OP] = &&L_##NAME;
             WIZPP_FOR_EACH_OPCODE(WIZPP_LABEL_SET)
+            WIZPP_FOR_EACH_SUPERINST(WIZPP_LABEL_SET)
 #undef WIZPP_LABEL_SET
             normalLabels[OP_PROBE] = &&L_probe;
             labelsReady.store(true, std::memory_order_release);
@@ -1498,7 +2472,7 @@ runInterpreterThreaded(Engine& eng)
 // the speculative load is in bounds.
 #define WIZPP_NEXT()                                                    \
     do {                                                                \
-        const void* next_ = jt[I.code[I.pc]];                           \
+        const void* next_ = jt[I.dcode[I.pc]];                          \
         if (__builtin_expect(I.exit, 0)) goto L_done;                   \
         goto* next_;                                                    \
     } while (0)
@@ -1509,13 +2483,14 @@ runInterpreterThreaded(Engine& eng)
 #define WIZPP_RELOAD_JT()                                               \
     (jt = I.dispatch == probedTable ? probedLabels : normalLabels)
 
-    goto* jt[I.code[I.pc]];
+    goto* jt[I.dcode[I.pc]];
 
 #define WIZPP_LABEL_BODY(OP, NAME)                                      \
     L_##NAME:                                                           \
         h_##NAME(I);                                                    \
         WIZPP_NEXT();
     WIZPP_FOR_EACH_OPCODE(WIZPP_LABEL_BODY)
+    WIZPP_FOR_EACH_SUPERINST(WIZPP_LABEL_BODY)
 #undef WIZPP_LABEL_BODY
 
 // Threaded equivalents of the probe machinery: the out-of-line

@@ -8,6 +8,7 @@
 #include "engine/engine.h"
 #include "monitors/entryexit.h"
 #include "probes/frameaccessor.h"
+#include "trace/pairprofile.h"
 #include "wasm/decoder.h"
 #include "wasm/opcodes.h"
 
@@ -579,6 +580,7 @@ createMonitor(const std::string& name, std::ostream& out)
     if (name == "memory") return std::make_unique<MemoryMonitor>(out);
     if (name == "calls") return std::make_unique<CallsMonitor>();
     if (name == "calltree") return std::make_unique<CallTreeMonitor>();
+    if (name == "pairs") return std::make_unique<PairProfileMonitor>();
     return nullptr;
 }
 
@@ -587,7 +589,7 @@ monitorNames()
 {
     return {"trace", "trace-stack", "coverage", "loops", "hotness",
             "hotness-global", "branches", "branches-global", "memory",
-            "calls", "calltree"};
+            "calls", "calltree", "pairs"};
 }
 
 } // namespace wizpp

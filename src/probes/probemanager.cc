@@ -5,6 +5,7 @@
 
 #include "analysis/audit.h"
 #include "engine/engine.h"
+#include "interp/fusion.h"
 #include "obs/timeline.h"
 #include "wasm/opcodes.h"
 
@@ -114,6 +115,11 @@ ProbeManager::ensureSite(FuncState& fs, uint32_t pc)
     site.members = std::make_shared<const ProbeList>();
     site.fused = nullptr;
     fs.code[pc] = OP_PROBE;
+    // Mirror the overwrite into the dispatch annotation and split any
+    // superinstruction window covering this pc back to singles, so the
+    // probed instruction dispatches through the normal OP_PROBE
+    // machinery (src/interp/fusion.h). Rides this change's epoch bump.
+    if (fusionOnProbeAttach(fs, pc)) _engine.stats.fusionSplits++;
     _numSites++;
     return site;
 }
@@ -125,6 +131,12 @@ ProbeManager::releaseSite(FuncState& fs, uint32_t pc)
     uint32_t slot = f.pcToSite[pc];
     if (slot == kNoSite) return;
     fs.code[pc] = f.slots[slot].originalByte;
+    // Restore the dispatch annotation too; the covering window (if
+    // any) re-fuses once its last probe is gone — under removeBatch
+    // every re-fusion of the batch shares one epoch bump.
+    if (fusionOnProbeDetach(fs, pc, f.slots[slot].originalByte)) {
+        _engine.stats.fusionRefusions++;
+    }
     // A borrowed firing of this site may be on the stack (a probe
     // removing its own site mid-fire); keep its entry alive.
     retire(std::move(f.slots[slot].fused));

@@ -1,0 +1,94 @@
+#include "trace/pairprofile.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "engine/engine.h"
+#include "wasm/decoder.h"
+#include "wasm/opcodes.h"
+
+namespace wizpp {
+
+void
+PairProfile::merge(const PairProfile& other)
+{
+    for (const auto& [k, n] : other.pairs) pairs[k] += n;
+    for (const auto& [k, n] : other.triples) triples[k] += n;
+    instructions += other.instructions;
+}
+
+namespace {
+
+/** Sorts (key, count) by count desc, then key asc — deterministic. */
+std::vector<std::pair<uint32_t, uint64_t>>
+ranked(const std::map<uint32_t, uint64_t>& hist)
+{
+    std::vector<std::pair<uint32_t, uint64_t>> v(hist.begin(),
+                                                 hist.end());
+    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    return v;
+}
+
+} // namespace
+
+void
+PairProfile::writeReport(std::ostream& out) const
+{
+    out << "instructions " << instructions << "\n";
+    for (const auto& [key, count] : ranked(pairs)) {
+        out << "pair " << opcodeName((key >> 8) & 0xff) << " "
+            << opcodeName(key & 0xff) << " " << count << "\n";
+    }
+    for (const auto& [key, count] : ranked(triples)) {
+        out << "triple " << opcodeName((key >> 16) & 0xff) << " "
+            << opcodeName((key >> 8) & 0xff) << " "
+            << opcodeName(key & 0xff) << " " << count << "\n";
+    }
+}
+
+void
+PairProfileMonitor::onAttach(Engine& engine)
+{
+    _probe = makeProbe([this](ProbeContext& ctx) {
+        const FuncState& fs = *ctx.func();
+        uint32_t pc = ctx.pc();
+        uint8_t op = fs.code[pc];
+        // A concurrently-attached local probe shadows the opcode; the
+        // pristine byte is in the declaration.
+        if (op == OP_PROBE) op = fs.decl->code[pc];
+        _profile.instructions++;
+
+        uint64_t frameId = ctx.frame()->frameId;
+        bool fallThrough = _chain > 0 && frameId == _lastFrameId &&
+                           pc == _lastPc + _lastLen;
+        if (fallThrough) {
+            _profile.pairs[(uint32_t(_prevOp) << 8) | op]++;
+            if (_chain >= 2) {
+                _profile.triples[(uint32_t(_prevOp2) << 16) |
+                                 (uint32_t(_prevOp) << 8) | op]++;
+            }
+            _chain = 2;
+        } else {
+            _chain = 1;
+        }
+        _prevOp2 = _prevOp;
+        _prevOp = op;
+        _lastFrameId = frameId;
+        _lastPc = pc;
+        _lastLen =
+            static_cast<uint32_t>(instrLength(fs.decl->code, pc));
+    });
+    engine.probes().insertGlobal(_probe);
+}
+
+void
+PairProfileMonitor::report(std::ostream& out)
+{
+    _profile.writeReport(out);
+}
+
+} // namespace wizpp

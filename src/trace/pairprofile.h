@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Executed opcode pair/triple profiling — the data source for the
+ * superinstruction fusion table (src/interp/fusion.h).
+ *
+ * One global probe observes every executed instruction and tallies
+ * straight-line adjacent opcode pairs and triples: (a, b) counts one
+ * occurrence when instruction b executes immediately after a in the
+ * same activation and b's pc is exactly a's pc plus a's encoded length
+ * (i.e. fall-through, no branch/call/return in between). That is
+ * precisely the adjacency a fused handler can exploit, so ranking
+ * these histograms over a corpus ranks fusion candidates.
+ *
+ * The companion miner, scripts/mine_superinsts.py, folds the reports
+ * written by `wizeng --profile-pairs=<out>` across the corpus and
+ * ranks candidates against the current WIZPP_FOR_EACH_SUPERINST table.
+ *
+ * Global-probe mode pins execution to the interpreter in Probed
+ * dispatch, which reads un-fused bytes — so the profile observes the
+ * singles stream even in an engine with fusion enabled, and counts are
+ * identical across the three dispatch backends (held by ctest).
+ */
+
+#ifndef WIZPP_TRACE_PAIRPROFILE_H
+#define WIZPP_TRACE_PAIRPROFILE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+
+#include "monitors/monitor.h"
+#include "probes/probe.h"
+
+namespace wizpp {
+
+/** Straight-line executed pair/triple histograms for one run. */
+struct PairProfile
+{
+    /** (op a << 8 | op b) → times b fell through directly after a. */
+    std::map<uint32_t, uint64_t> pairs;
+
+    /** (a << 16 | b << 8 | c) → fall-through triple count. */
+    std::map<uint32_t, uint64_t> triples;
+
+    uint64_t instructions = 0;  ///< instructions observed
+
+    /** Folds another profile in (corpus accumulation). */
+    void merge(const PairProfile& other);
+
+    /**
+     * Deterministic text report: `pair <name-a> <name-b> <count>` and
+     * `triple <a> <b> <c> <count>` lines sorted by count descending,
+     * opcode bytes ascending on ties — byte-identical across runs and
+     * dispatch backends for a deterministic program.
+     */
+    void writeReport(std::ostream& out) const;
+};
+
+/**
+ * Monitor that records a PairProfile via a single global probe
+ * (`wizeng --profile-pairs=<out>` / `--monitors=pairs`).
+ */
+class PairProfileMonitor : public Monitor
+{
+  public:
+    void onAttach(Engine& engine) override;
+    void report(std::ostream& out) override;
+    std::string name() const override { return "pairs"; }
+
+    const PairProfile& profile() const { return _profile; }
+
+  private:
+    PairProfile _profile;
+    std::shared_ptr<Probe> _probe;
+
+    // Fall-through chain state: the previous two observed
+    // instructions, valid only while execution stays straight-line in
+    // one activation.
+    uint64_t _lastFrameId = 0;
+    uint32_t _lastPc = 0;
+    uint32_t _lastLen = 0;
+    int _chain = 0;          ///< 0 none, 1 have prev, 2 have prev two
+    uint8_t _prevOp = 0;
+    uint8_t _prevOp2 = 0;
+};
+
+} // namespace wizpp
+
+#endif // WIZPP_TRACE_PAIRPROFILE_H

@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Superinstruction fusion tests (src/interp/fusion.h;
+ * docs/INTERPRETER.md, "Superinstructions & TOS caching").
+ *
+ * The fusion pass is a *side annotation*: FuncState::dcode carries the
+ * fused dispatch bytes while FuncState::code stays byte-identical to an
+ * unfused engine. These tests pin the matcher (window placement, greedy
+ * longest-match, the single-byte-LEB immediate restriction), fused
+ * execution (results and traps equal to singles, WZTR streams
+ * byte-identical across backends and tiers), the probe protocol (a
+ * probed pc splits its window to singles; the last detach re-fuses it),
+ * and the determinism of the pair-profile monitor that feeds the
+ * fusion table's mining pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/frame.h"
+#include "interp/fusion.h"
+#include "interp/interpreter.h"
+#include "probes/probe.h"
+#include "probes/probemanager.h"
+#include "suites/suites.h"
+#include "test_util.h"
+#include "trace/pairprofile.h"
+#include "trace/recorder.h"
+#include "trace/replay.h"
+#include "wasm/opcodes.h"
+
+using namespace wizpp;
+using wizpp::test::mustParse;
+
+namespace {
+
+std::vector<DispatchBackend>
+allBackends()
+{
+    return {DispatchBackend::Table, DispatchBackend::Switch,
+            DispatchBackend::Threaded};
+}
+
+EngineConfig
+interpConfig(bool fuse, DispatchBackend b = DispatchBackend::Table)
+{
+    EngineConfig cfg;
+    cfg.mode = ExecMode::Interpreter;
+    cfg.dispatch = b;
+    cfg.fuseSuperinstructions = fuse;
+    return cfg;
+}
+
+/** run(n) = n*3: the loop body fuses into a SOP_GET_INC_SET quad. */
+const char* kIncLoopWat = R"WAT((module
+  (func (export "run") (param $n i32) (result i32)
+    (local $i i32) (local $a i32)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $a (i32.add (local.get $a) (i32.const 3)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $a))))WAT";
+
+/** Same dataflow with a two-byte-LEB constant: the const-bearing quad
+    cannot fuse, so the matcher falls back to windows that avoid the
+    wide immediate. */
+const char* kBigConstWat = R"WAT((module
+  (func (export "run") (param $n i32) (result i32)
+    (local $a i32)
+    (local.set $a (i32.add (local.get $n) (i32.const 300)))
+    (local.get $a))))WAT";
+
+/** Array-sum over f64s with the canonical base+index*8 addressing the
+    6-member SOP_IDX_F64_LOAD window covers. run(n) sums n doubles
+    starting at address 0 (memory is zero-initialized: sum is 0.0). */
+const char* kIdxLoopWat = R"WAT((module
+  (memory 1)
+  (func (export "run") (param $n i32) (result f64)
+    (local $i i32) (local $b i32) (local $s f64)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_s (local.get $i) (local.get $n)))
+        (local.set $s
+          (f64.add
+            (f64.load (i32.add (i32.mul (local.get $i) (i32.const 8))
+                               (local.get $b)))
+            (local.get $s)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (local.get $s))))WAT";
+
+/** Windows of function @p f under @p cfg via a scratch engine. */
+const FusedWindow*
+findWindow(const FuncState& fs, uint8_t sop)
+{
+    for (const FusedWindow& w : fs.fusedWindows) {
+        if (w.sop == sop) return &w;
+    }
+    return nullptr;
+}
+
+bool
+anyWindowCovers(const FuncState& fs, uint32_t pc)
+{
+    for (const FusedWindow& w : fs.fusedWindows) {
+        if (pc >= w.headPc && pc < w.endPc) return true;
+    }
+    return false;
+}
+
+/** Every instruction-boundary pc of function 0, as probe points. */
+std::vector<std::pair<uint32_t, uint32_t>>
+everyPcOfFunc0(const Module& m)
+{
+    Engine eng(interpConfig(true));
+    Module copy = m;
+    EXPECT_TRUE(eng.loadModule(std::move(copy)).ok());
+    std::vector<std::pair<uint32_t, uint32_t>> points;
+    for (uint32_t pc : eng.funcState(0).sideTable.instrBoundaries) {
+        points.push_back({0, pc});
+    }
+    return points;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Matcher: window placement, dcode/code split, greedy longest-match
+// ---------------------------------------------------------------------
+
+TEST(FusionMatcher, AnnotatesWindowsInDcodeOnly)
+{
+    auto eng = wizpp::test::makeEngine(kIncLoopWat, interpConfig(true));
+    FuncState& fs = eng->funcState(0);
+    ASSERT_FALSE(fs.fusedWindows.empty());
+    EXPECT_EQ(eng->stats.fusedWindows.value(), fs.fusedWindows.size());
+
+    const FusedWindow* quad = findWindow(fs, SOP_GET_INC_SET);
+    ASSERT_NE(quad, nullptr) << "local.get;i32.const;i32.add;local.set "
+                                "did not fuse";
+    // 4 members: local.get(2) + i32.const(2) + i32.add(1) + local.set(2).
+    EXPECT_EQ(quad->endPc - quad->headPc, 7u);
+    EXPECT_EQ(quad->headByte, OP_LOCAL_GET);
+
+    ASSERT_EQ(fs.dcode.size(), fs.code.size());
+    uint32_t prevEnd = 0;
+    for (const FusedWindow& w : fs.fusedWindows) {
+        // Sorted, non-overlapping, annotated at the head byte only.
+        EXPECT_GE(w.headPc, prevEnd);
+        prevEnd = w.endPc;
+        EXPECT_TRUE(isSuperOpcode(w.sop)) << superOpcodeName(w.sop);
+        EXPECT_EQ(fs.dcode[w.headPc], w.sop);
+        EXPECT_EQ(fs.code[w.headPc], w.headByte);
+        EXPECT_FALSE(isSuperOpcode(fs.code[w.headPc]));
+        for (uint32_t pc = w.headPc + 1; pc < w.endPc; pc++) {
+            EXPECT_EQ(fs.dcode[pc], fs.code[pc]);
+        }
+    }
+    // Everything outside a window head dispatches on the single byte.
+    for (uint32_t pc : fs.sideTable.instrBoundaries) {
+        bool isHead = false;
+        for (const FusedWindow& w : fs.fusedWindows) {
+            if (w.headPc == pc) isHead = true;
+        }
+        if (!isHead) {
+            EXPECT_EQ(fs.dcode[pc], fs.code[pc]) << "pc " << pc;
+        }
+    }
+}
+
+TEST(FusionMatcher, DisabledEngineDispatchesOnSinglesCopy)
+{
+    auto eng = wizpp::test::makeEngine(kIncLoopWat, interpConfig(false));
+    FuncState& fs = eng->funcState(0);
+    EXPECT_TRUE(fs.fusedWindows.empty());
+    EXPECT_EQ(eng->stats.fusedWindows.value(), 0u);
+    ASSERT_EQ(fs.dcode.size(), fs.code.size());
+    EXPECT_EQ(fs.dcode, fs.code);
+    EXPECT_EQ(wizpp::test::run1(*eng, "run", {Value::makeI32(9)}).i32s(),
+              27);
+}
+
+TEST(FusionMatcher, MultiByteLebImmediateBlocksWindow)
+{
+    // i32.const 300 is a two-byte LEB: the GET_INC_SET-shaped quad and
+    // every other const-bearing pattern at that site must be rejected
+    // (fused handlers use fixed immediate offsets). The matcher falls
+    // back to the const-free i32.add;local.set;local.get triple.
+    auto eng = wizpp::test::makeEngine(kBigConstWat, interpConfig(true));
+    FuncState& fs = eng->funcState(0);
+    EXPECT_EQ(findWindow(fs, SOP_GET_INC_SET), nullptr);
+
+    uint32_t constPc = UINT32_MAX;
+    for (uint32_t pc : fs.sideTable.instrBoundaries) {
+        if (fs.code[pc] == OP_I32_CONST) constPc = pc;
+    }
+    ASSERT_NE(constPc, UINT32_MAX);
+    EXPECT_FALSE(anyWindowCovers(fs, constPc));
+
+    const FusedWindow* triple = findWindow(fs, SOP_I32_ADD_SET_GET);
+    ASSERT_NE(triple, nullptr);
+    EXPECT_EQ(triple->headByte, OP_I32_ADD);
+
+    EXPECT_EQ(wizpp::test::run1(*eng, "run", {Value::makeI32(5)}).i32s(),
+              305);
+}
+
+TEST(FusionMatcher, GreedyPrefersLongestWindow)
+{
+    // lg;c32;mul;lg;add;f64.load must fuse as one 6-member
+    // SOP_IDX_F64_LOAD window, not as the 5-member SOP_IDX, the
+    // 4-member SOP_GET_CONST_MUL_ADD, or any pair at the same head.
+    auto eng = wizpp::test::makeEngine(kIdxLoopWat, interpConfig(true));
+    FuncState& fs = eng->funcState(0);
+    const FusedWindow* idx = findWindow(fs, SOP_IDX_F64_LOAD);
+    ASSERT_NE(idx, nullptr);
+    // 2+2+1+2+1+3 bytes (the f64.load carries align + offset).
+    EXPECT_EQ(idx->endPc - idx->headPc, 11u);
+    EXPECT_EQ(fs.code[idx->headPc], OP_LOCAL_GET);
+    EXPECT_EQ(findWindow(fs, SOP_IDX), nullptr);
+    EXPECT_EQ(findWindow(fs, SOP_GET_CONST_MUL_ADD), nullptr);
+
+    // The loop-exit check fuses into a br_if-terminated quad.
+    EXPECT_NE(findWindow(fs, SOP_GET_GET_GE_S_BRIF), nullptr);
+
+    EXPECT_EQ(
+        wizpp::test::run1(*eng, "run", {Value::makeI32(64)}).f64(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Fused execution: results and traps identical to singles
+// ---------------------------------------------------------------------
+
+TEST(FusionExecution, CorpusResultsMatchUnfusedAcrossBackends)
+{
+    for (const char* name : {"gemm", "richards", "trisolv"}) {
+        const BenchProgram* p = findProgram(name);
+        ASSERT_NE(p, nullptr) << name;
+        std::vector<Value> args{Value::makeI32(1)};
+        auto golden =
+            wizpp::test::makeEngine(p->wat, interpConfig(false));
+        Value want = wizpp::test::run1(*golden, p->entry, args);
+        for (DispatchBackend b : allBackends()) {
+            auto eng =
+                wizpp::test::makeEngine(p->wat, interpConfig(true, b));
+            EXPECT_GT(eng->stats.fusedWindows.value(), 0u) << name;
+            Value got = wizpp::test::run1(*eng, p->entry, args);
+            EXPECT_EQ(want.i64(), got.i64())
+                << name << " under " << dispatchBackendName(b);
+        }
+    }
+}
+
+TEST(FusionExecution, MidWindowTrapMatchesUnfused)
+{
+    // run(10000) reads past the single memory page from inside the
+    // SOP_IDX_F64_LOAD window: the fused handler must surface the
+    // identical trap (reason and partial sum semantics) as singles.
+    for (bool fuse : {false, true}) {
+        auto eng =
+            wizpp::test::makeEngine(kIdxLoopWat, interpConfig(fuse));
+        auto r = eng->callExport("run", {Value::makeI32(10000)});
+        EXPECT_FALSE(r.ok()) << "fuse=" << fuse;
+        EXPECT_EQ(eng->lastTrap(), TrapReason::MemoryOutOfBounds)
+            << "fuse=" << fuse;
+    }
+}
+
+// ---------------------------------------------------------------------
+// WZTR byte-identity: fused dispatch must not move a trace byte
+// ---------------------------------------------------------------------
+
+TEST(FusionTraceIdentity, UnprobedAcrossBackendsAndTiers)
+{
+    for (const char* name : {"richards", "gemm"}) {
+        const BenchProgram* p = findProgram(name);
+        ASSERT_NE(p, nullptr);
+        std::vector<Value> args{Value::makeI32(1)};
+        std::vector<uint8_t> golden = recordTrace(
+            mustParse(p->wat), interpConfig(false), p->entry, args);
+        ASSERT_FALSE(golden.empty());
+        for (DispatchBackend b : allBackends()) {
+            std::vector<uint8_t> got =
+                recordTrace(mustParse(p->wat), interpConfig(true, b),
+                            p->entry, args);
+            EXPECT_EQ(golden, got)
+                << name << " fused trace diverged under "
+                << dispatchBackendName(b);
+        }
+        for (ExecMode mode : {ExecMode::Jit, ExecMode::Tiered}) {
+            EngineConfig cfg;
+            cfg.mode = mode;
+            cfg.tierUpThreshold = 2;
+            cfg.fuseSuperinstructions = true;
+            std::vector<uint8_t> got =
+                recordTrace(mustParse(p->wat), cfg, p->entry, args);
+            EXPECT_EQ(golden, got)
+                << name << " diverged in mode " << int(mode);
+        }
+    }
+}
+
+TEST(FusionTraceIdentity, ProbeAtEveryPcSplitTraceMatchesUnfused)
+{
+    // Probe points at *every* pc of the hot function: every fused
+    // window splits at attach, and the probed stream must still be
+    // byte-identical to the unfused interpreter and the JIT.
+    Module m = mustParse(kIdxLoopWat);
+    auto points = everyPcOfFunc0(m);
+    ASSERT_GT(points.size(), 10u);
+    std::vector<Value> args{Value::makeI32(40)};
+    std::vector<uint8_t> golden = recordTrace(
+        mustParse(kIdxLoopWat), interpConfig(false), "run", args, points);
+    ASSERT_FALSE(golden.empty());
+    for (DispatchBackend b : allBackends()) {
+        std::vector<uint8_t> got =
+            recordTrace(mustParse(kIdxLoopWat), interpConfig(true, b),
+                        "run", args, points);
+        EXPECT_EQ(golden, got)
+            << "probed split trace diverged under "
+            << dispatchBackendName(b);
+    }
+    EngineConfig jit;
+    jit.mode = ExecMode::Jit;
+    std::vector<uint8_t> got = recordTrace(mustParse(kIdxLoopWat), jit,
+                                           "run", args, points);
+    EXPECT_EQ(golden, got) << "probed split trace diverged under JIT";
+
+    // replayVerify closes the loop: the fused engine re-executes the
+    // unfused golden stream.
+    ReplayOutcome o = replayVerify(golden, mustParse(kIdxLoopWat),
+                                   interpConfig(true));
+    EXPECT_TRUE(o.ok) << o.message;
+}
+
+// ---------------------------------------------------------------------
+// Probe protocol: split at attach, re-fuse after the last detach
+// ---------------------------------------------------------------------
+
+TEST(FusionProbeSplit, BatchedProbeAtEveryPcSplitsAndRefuses)
+{
+    auto eng = wizpp::test::makeEngine(
+        kIdxLoopWat, interpConfig(true, DispatchBackend::Threaded));
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+    const size_t numWindows = fs.fusedWindows.size();
+    ASSERT_GT(numWindows, 2u);
+    std::vector<uint8_t> fusedDcode = fs.dcode;
+
+    std::vector<Value> args{Value::makeI32(25)};
+    Value want = wizpp::test::run1(e, "run", args);
+
+    // One batch probing every pc of the function: one epoch bump,
+    // every window transitions fused -> split exactly once.
+    uint64_t splits0 = e.stats.fusionSplits.value();
+    uint64_t epoch0 = e.instrumentationEpoch;
+    const std::vector<uint32_t> pcs = fs.sideTable.instrBoundaries;
+    std::vector<std::shared_ptr<CountProbe>> probes;
+    std::vector<ProbeManager::SiteProbe> batch;
+    for (uint32_t pc : pcs) {
+        auto p = std::make_shared<CountProbe>();
+        batch.push_back({0, pc, p});
+        probes.push_back(std::move(p));
+    }
+    ASSERT_EQ(e.probes().insertBatch(batch), batch.size());
+    EXPECT_EQ(e.instrumentationEpoch, epoch0 + 1);
+    EXPECT_EQ(e.stats.fusionSplits.value(), splits0 + numWindows);
+    EXPECT_EQ(fs.fusedWindows.size(), numWindows);
+    for (const FusedWindow& w : fs.fusedWindows) {
+        EXPECT_GT(w.probeRefs, 0u);
+        // Split + probed at the head: dcode mirrors the OP_PROBE
+        // overwrite instead of the superinstruction byte.
+        EXPECT_EQ(fs.dcode[w.headPc], OP_PROBE);
+        EXPECT_EQ(fs.code[w.headPc], OP_PROBE);
+    }
+
+    // Split execution: identical result. Probes on live instructions
+    // all fire; `end` bytes a branch jumps past never dispatch.
+    EXPECT_EQ(wizpp::test::run1(e, "run", args).f64(), want.f64());
+    size_t fired = 0;
+    for (const auto& p : probes) {
+        if (p->count > 0) fired++;
+    }
+    EXPECT_GE(fired, probes.size() - 4);
+
+    // Batched detach (insertBatch moved the shared_ptrs out of the
+    // insert vector, so the detach vector is rebuilt): one epoch bump,
+    // every window re-fuses, and the dcode annotation is
+    // byte-identical to the pre-probe state.
+    uint64_t refusions0 = e.stats.fusionRefusions.value();
+    std::vector<ProbeManager::SiteProbe> detach;
+    for (size_t i = 0; i < pcs.size(); i++) {
+        detach.push_back({0, pcs[i], probes[i]});
+    }
+    EXPECT_EQ(e.probes().removeBatch(detach), detach.size());
+    EXPECT_EQ(e.instrumentationEpoch, epoch0 + 2);
+    EXPECT_EQ(e.stats.fusionRefusions.value(), refusions0 + numWindows);
+    EXPECT_EQ(fs.dcode, fusedDcode);
+    for (const FusedWindow& w : fs.fusedWindows) {
+        EXPECT_EQ(w.probeRefs, 0u);
+        EXPECT_EQ(fs.dcode[w.headPc], w.sop);
+    }
+
+    // Re-fused execution still matches.
+    EXPECT_EQ(wizpp::test::run1(e, "run", args).f64(), want.f64());
+}
+
+TEST(FusionProbeSplit, SingleProbeInsideWindowSplitsOnlyThatWindow)
+{
+    auto eng = wizpp::test::makeEngine(kIdxLoopWat, interpConfig(true));
+    Engine& e = *eng;
+    FuncState& fs = e.funcState(0);
+    const FusedWindow* idx = findWindow(fs, SOP_IDX_F64_LOAD);
+    ASSERT_NE(idx, nullptr);
+    uint32_t headPc = idx->headPc;
+
+    // A mid-window pc (the i32.const member, 2 bytes after the head):
+    // the head byte is NOT probed, so the split restores the original
+    // single opcode there while the probe overwrite lands mid-window.
+    uint32_t midPc = headPc + 2;
+    auto probe = std::make_shared<CountProbe>();
+    ASSERT_TRUE(e.probes().insertLocal(0, midPc, probe));
+
+    const FusedWindow* after = findWindow(fs, SOP_IDX_F64_LOAD);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->probeRefs, 1u);
+    EXPECT_EQ(fs.dcode[headPc], OP_LOCAL_GET);
+    EXPECT_EQ(fs.dcode[midPc], OP_PROBE);
+    // Other windows stay fused.
+    const FusedWindow* brIf = findWindow(fs, SOP_GET_GET_GE_S_BRIF);
+    ASSERT_NE(brIf, nullptr);
+    EXPECT_EQ(brIf->probeRefs, 0u);
+    EXPECT_EQ(fs.dcode[brIf->headPc], brIf->sop);
+
+    std::vector<Value> args{Value::makeI32(12)};
+    EXPECT_EQ(wizpp::test::run1(e, "run", args).f64(), 0.0);
+    EXPECT_EQ(probe->count, 12u);
+
+    ASSERT_TRUE(e.probes().removeLocal(0, midPc, probe.get()));
+    const FusedWindow* refused = findWindow(fs, SOP_IDX_F64_LOAD);
+    ASSERT_NE(refused, nullptr);
+    EXPECT_EQ(refused->probeRefs, 0u);
+    EXPECT_EQ(fs.dcode[headPc], refused->sop);
+    EXPECT_EQ(wizpp::test::run1(e, "run", args).f64(), 0.0);
+}
+
+TEST(FusionProbeSplit, ChurnedEngineTraceMatchesUnfusedGolden)
+{
+    // Split -> re-fuse churn before recording: the trace recorded on a
+    // re-fused engine must equal the unfused golden byte for byte.
+    Module m = mustParse(kIdxLoopWat);
+    auto points = everyPcOfFunc0(m);
+    std::vector<Value> args{Value::makeI32(30)};
+    std::vector<uint8_t> golden = recordTrace(
+        mustParse(kIdxLoopWat), interpConfig(false), "run", args, points);
+    ASSERT_FALSE(golden.empty());
+
+    Engine eng(interpConfig(true));
+    ASSERT_TRUE(eng.loadModule(mustParse(kIdxLoopWat)).ok());
+    TraceRecorder rec;
+    eng.attachMonitor(&rec);
+    for (const auto& fp : points) {
+        ASSERT_TRUE(rec.addProbePoint(fp.first, fp.second));
+    }
+    // Churn an unrelated probe batch through every pc and back out, so
+    // the recorded run executes on re-fused windows. (insertBatch
+    // consumes the vector's shared_ptrs; detach gets its own copy.)
+    std::vector<std::shared_ptr<CountProbe>> churn;
+    std::vector<ProbeManager::SiteProbe> batch, detach;
+    for (const auto& fp : points) {
+        auto p = std::make_shared<CountProbe>();
+        batch.push_back({fp.first, fp.second, p});
+        detach.push_back({fp.first, fp.second, p});
+        churn.push_back(std::move(p));
+    }
+    ASSERT_EQ(eng.probes().insertBatch(batch), batch.size());
+    ASSERT_EQ(eng.probes().removeBatch(detach), detach.size());
+
+    ASSERT_TRUE(eng.instantiate().ok());
+    rec.setInvocation("run", args);
+    auto r = eng.callExport("run", args);
+    ASSERT_TRUE(r.ok());
+    rec.finish(TrapReason::None, r.value());
+    EXPECT_EQ(golden, rec.bytes());
+}
+
+// ---------------------------------------------------------------------
+// Pair-profile determinism (the fusion table's mining data source)
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+pairReportFor(const BenchProgram* p, EngineConfig cfg)
+{
+    Engine eng(cfg);
+    EXPECT_TRUE(eng.loadModule(mustParse(p->wat)).ok());
+    PairProfileMonitor mon;
+    eng.attachMonitor(&mon);
+    EXPECT_TRUE(eng.instantiate().ok());
+    auto r = eng.callExport(p->entry, {Value::makeI32(1)});
+    EXPECT_TRUE(r.ok());
+    EXPECT_GT(mon.profile().instructions, 0u);
+    std::ostringstream oss;
+    mon.profile().writeReport(oss);
+    return oss.str();
+}
+
+} // namespace
+
+TEST(PairProfile, ReportByteIdenticalAcrossBackendsAndFusion)
+{
+    // `wizeng --profile-pairs` pins execution to Probed dispatch over
+    // the singles stream, so the report must be byte-identical across
+    // the three backends and with fusion on or off — a fused engine
+    // profiles the same adjacencies the miner ranks.
+    const BenchProgram* p = findProgram("trisolv");
+    ASSERT_NE(p, nullptr);
+    std::string golden = pairReportFor(p, interpConfig(false));
+    ASSERT_FALSE(golden.empty());
+    EXPECT_NE(golden.find("pair "), std::string::npos);
+    for (DispatchBackend b : allBackends()) {
+        for (bool fuse : {false, true}) {
+            std::string got = pairReportFor(p, interpConfig(fuse, b));
+            EXPECT_EQ(golden, got)
+                << dispatchBackendName(b) << " fuse=" << fuse;
+        }
+    }
+}

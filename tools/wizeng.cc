@@ -13,6 +13,10 @@
  *     --mode=int|jit|tiered   execution mode (default jit)
  *     --dispatch=threaded|switch|table   interpreter dispatch backend
  *                          (default: the build's WIZPP_DISPATCH)
+ *     --no-fuse            disable superinstruction fusion in the
+ *                          interpreter (see docs/INTERPRETER.md)
+ *     --profile-pairs=<file>  profile executed opcode pairs/triples
+ *                          (fusion candidates) to <file>
  *     --no-intrinsify[=count,operand,entry,fused]
  *                          disable probe intrinsification, entirely or
  *                          per lowering kind (see docs/JIT.md)
@@ -68,6 +72,7 @@
 #include "obs/timeline.h"
 #include "serve/pool.h"
 #include "suites/suites.h"
+#include "trace/pairprofile.h"
 #include "trace/reader.h"
 #include "trace/recorder.h"
 #include "trace/replay.h"
@@ -99,6 +104,11 @@ constexpr FlagSpec kFlags[] = {
     {"--mode", "=int|jit|tiered", "execution mode (default jit)"},
     {"--dispatch", "=threaded|switch|table",
      "interpreter dispatch backend (default: build setting)"},
+    {"--no-fuse", "",
+     "disable interpreter superinstruction fusion (docs/INTERPRETER.md)"},
+    {"--profile-pairs", "=<file>",
+     "write executed opcode pair/triple histograms (fusion candidates) "
+     "to <file>"},
     {"--no-intrinsify", "[=count,operand,entry,fused,coverage]",
      "disable probe intrinsification, all kinds or a subset"},
     {"--invoke", "=<export>", "entry point (default run, then main)"},
@@ -515,6 +525,7 @@ main(int argc, char** argv)
     obs::MetricsFormat metricsFormat = obs::MetricsFormat::Text;
     std::string timelineFile;
     std::string profileFile;
+    std::string pairProfileFile;
     obs::SamplingProfiler::Options profOpts;
     fuzz::FuzzOptions fuzzOpts;
     bool fuzzRequested = false;
@@ -554,6 +565,14 @@ main(int argc, char** argv)
             std::string d = a.substr(11);
             if (!parseDispatchBackend(d, &config.dispatch)) {
                 std::cerr << "unknown dispatch backend " << d << "\n";
+                return 1;
+            }
+        } else if (a == "--no-fuse") {
+            config.fuseSuperinstructions = false;
+        } else if (a.rfind("--profile-pairs=", 0) == 0) {
+            pairProfileFile = a.substr(16);
+            if (pairProfileFile.empty()) {
+                std::cerr << "--profile-pairs needs a file name\n";
                 return 1;
             }
         } else if (a == "--no-intrinsify") {
@@ -951,6 +970,11 @@ main(int argc, char** argv)
         profiler = std::make_unique<obs::SamplingProfiler>(profOpts);
         engine.attachMonitor(profiler.get());
     }
+    std::unique_ptr<PairProfileMonitor> pairProfiler;
+    if (!pairProfileFile.empty()) {
+        pairProfiler = std::make_unique<PairProfileMonitor>();
+        engine.attachMonitor(pairProfiler.get());
+    }
 
     // A shaken normal run: same environment hooks record/replay use,
     // applied around instantiation (imports before, memory plan after).
@@ -1007,6 +1031,19 @@ main(int argc, char** argv)
     }
     // Observability outputs are written on both outcomes: a trapping
     // run still has a complete timeline, profile and metrics story.
+    if (pairProfiler) {
+        std::ofstream out(pairProfileFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write pair profile to "
+                      << pairProfileFile << "\n";
+            return 1;
+        }
+        pairProfiler->profile().writeReport(out);
+        std::cout << "pairs: " << pairProfiler->profile().instructions
+                  << " instruction(s), "
+                  << pairProfiler->profile().pairs.size()
+                  << " distinct pair(s) -> " << pairProfileFile << "\n";
+    }
     if (profiler) {
         std::ofstream out(profileFile, std::ios::trunc);
         if (!out) {
